@@ -1,0 +1,132 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's substrates: mesh
+ * routing, calendar resources, cache tag probes, the IR interpreter, the
+ * scheduler lowerings and end-to-end simulation throughput. These track
+ * simulator (host) performance, not simulated-machine performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/configs.hh"
+#include "arch/processor.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "kernels/catalog.hh"
+#include "kernels/interp.hh"
+#include "kernels/workload.hh"
+#include "mem/cache_model.hh"
+#include "noc/mesh.hh"
+#include "sched/linearize.hh"
+#include "sched/simd_lowering.hh"
+#include "sim/eventq.hh"
+#include "sim/resource.hh"
+
+using namespace dlp;
+
+static void
+BM_MeshRoute(benchmark::State &state)
+{
+    noc::MeshNetwork mesh(8, 8);
+    Rng rng(1);
+    Tick t = 0;
+    for (auto _ : state) {
+        noc::Coord src{uint8_t(rng.below(8)), uint8_t(rng.below(8))};
+        noc::Coord dst{uint8_t(rng.below(8)), uint8_t(rng.below(8))};
+        benchmark::DoNotOptimize(mesh.route(src, dst, t++));
+    }
+}
+BENCHMARK(BM_MeshRoute);
+
+static void
+BM_ResourceAcquireInOrder(benchmark::State &state)
+{
+    sim::Resource res(1);
+    Tick t = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(res.acquire(t += 2));
+}
+BENCHMARK(BM_ResourceAcquireInOrder);
+
+static void
+BM_ResourceAcquireScattered(benchmark::State &state)
+{
+    sim::Resource res(1);
+    Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(res.acquire(rng.below(1 << 20)));
+}
+BENCHMARK(BM_ResourceAcquireScattered);
+
+static void
+BM_CacheProbe(benchmark::State &state)
+{
+    mem::CacheModel cache("bench", 64 * 1024, 4, 32, 8, 2);
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.probe(rng.below(1 << 18), false));
+}
+BENCHMARK(BM_CacheProbe);
+
+static void
+BM_EventQueue(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    for (auto _ : state) {
+        eq.reset();
+        for (int i = 0; i < 64; ++i)
+            eq.schedule(static_cast<Tick>(i * 3 % 17), [] {});
+        eq.run();
+    }
+}
+BENCHMARK(BM_EventQueue);
+
+static void
+BM_InterpretRijndael(benchmark::State &state)
+{
+    auto k = kernels::makeRijndael();
+    Rng rng(4);
+    std::vector<Word> in(k.inWords), out(k.outWords);
+    for (auto &w : in)
+        w = rng.next();
+    for (auto _ : state)
+        kernels::interpret(k, 0, in.data(), out.data());
+}
+BENCHMARK(BM_InterpretRijndael);
+
+static void
+BM_LowerSimd(benchmark::State &state)
+{
+    auto k = kernels::makeVertexSimple();
+    auto m = arch::configByName("S-O");
+    sched::StreamLayout layout{0, 30000, 60000};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sched::lowerSimd(k, m, layout));
+}
+BENCHMARK(BM_LowerSimd);
+
+static void
+BM_LowerMimd(benchmark::State &state)
+{
+    auto k = kernels::makeVertexSimple();
+    auto m = arch::configByName("M-D");
+    sched::StreamLayout layout{0, 30000, 60000};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sched::lowerMimd(k, m, layout));
+}
+BENCHMARK(BM_LowerMimd);
+
+static void
+BM_EndToEndConvert(benchmark::State &state)
+{
+    setQuietLogging(true);
+    for (auto _ : state) {
+        auto wl = kernels::makeWorkload("convert", 256, 5);
+        arch::TripsProcessor cpu(arch::configByName("S-O"));
+        auto res = cpu.run(*wl);
+        benchmark::DoNotOptimize(res.cycles);
+    }
+}
+BENCHMARK(BM_EndToEndConvert);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Configuration-exploration example: take any benchmark kernel from the
+ * command line, run it across every Table 5 machine configuration, and
+ * report which mechanisms pay off -- the "dynamically tailor the
+ * architecture to the application" workflow the paper proposes.
+ *
+ *   ./build/examples/explore_configs blowfish
+ *   ./build/examples/explore_configs vertex-skinning 4096
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "arch/configs.hh"
+#include "arch/processor.hh"
+#include "common/logging.hh"
+#include "kernels/workload.hh"
+
+using namespace dlp;
+
+int
+main(int argc, char **argv)
+{
+    setQuietLogging(true);
+    std::string kernel = argc > 1 ? argv[1] : "blowfish";
+    uint64_t scale = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                              : kernels::defaultScale(kernel);
+
+    std::printf("exploring machine configurations for '%s' (scale %llu)\n\n",
+                kernel.c_str(), (unsigned long long)scale);
+    std::printf("  %-9s %12s %10s %12s %10s\n", "config", "cycles",
+                "ops/cyc", "activations", "speedup");
+
+    Cycles base = 0;
+    std::string best;
+    Cycles bestCycles = ~Cycles(0);
+    for (const auto &config : arch::allConfigNames()) {
+        auto wl = kernels::makeWorkload(kernel, scale, 11);
+        arch::TripsProcessor cpu(arch::configByName(config));
+        auto res = cpu.run(*wl);
+        fatal_if(!res.verified, "%s on %s: %s", kernel.c_str(),
+                 config.c_str(), res.error.c_str());
+        if (config == "baseline")
+            base = res.cycles;
+        if (res.cycles < bestCycles) {
+            bestCycles = res.cycles;
+            best = config;
+        }
+        std::printf("  %-9s %12llu %10.2f %12llu %9.2fx\n", config.c_str(),
+                    (unsigned long long)res.cycles, res.opsPerCycle(),
+                    (unsigned long long)res.activations,
+                    double(base) / double(res.cycles));
+    }
+    std::printf("\n  -> best configuration for %s: %s\n", kernel.c_str(),
+                best.c_str());
+    return 0;
+}

@@ -1,0 +1,198 @@
+#include "analysis/attributes.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "kernels/catalog.hh"
+
+namespace dlp::analysis {
+
+using namespace dlp::kernels;
+
+namespace {
+
+struct LoopExtent
+{
+    size_t first = ~size_t(0);
+    size_t last = 0;
+};
+
+/**
+ * Symbolic unrolled walk computing instruction count, dataflow height
+ * and irregular-access count (variable loops taken at their bound).
+ */
+class Analyzer
+{
+  public:
+    explicit Analyzer(const Kernel &kern) : k(kern)
+    {
+        extents.resize(k.loops.size());
+        for (size_t i = 0; i < k.nodes.size(); ++i) {
+            LoopId l = k.nodes[i].loop;
+            while (l != topLevel) {
+                extents[l].first = std::min(extents[l].first, i);
+                extents[l].last = std::max(extents[l].last, i);
+                l = k.loops[l].parent;
+            }
+        }
+        depth.assign(k.nodes.size(), 0);
+        carryDepth.assign(k.carries.size(), 0);
+    }
+
+    void
+    run(KernelAttributes &attrs)
+    {
+        walkRange(0, k.nodes.size(), topLevel);
+        attrs.numInsts = instCount;
+        attrs.ilp = maxDepth ? double(instCount) / double(maxDepth) : 1.0;
+        attrs.irregularAccesses = irregular;
+    }
+
+  private:
+    static bool
+    isInstruction(const Node &n)
+    {
+        switch (n.kind) {
+          case NodeKind::Const:
+          case NodeKind::RecIdx:
+          case NodeKind::LoopIdx:
+          case NodeKind::Carry:
+          case NodeKind::LoopExit:
+          case NodeKind::WordOf: // a wire out of the wide load
+            return false;
+          default:
+            return true;
+        }
+    }
+
+    uint64_t
+    srcDepth(const Node &n)
+    {
+        uint64_t d = 0;
+        for (unsigned s = 0; s < 3; ++s) {
+            if (s == 1 && n.immB)
+                continue;
+            if (n.src[s] == noValue)
+                continue;
+            const Node &sn = k.nodes[n.src[s]];
+            if (sn.kind == NodeKind::Carry)
+                d = std::max(d, carryDepth[static_cast<size_t>(sn.imm)]);
+            else
+                d = std::max(d, depth[n.src[s]]);
+        }
+        return d;
+    }
+
+    void
+    visit(size_t i)
+    {
+        const Node &n = k.nodes[i];
+        uint64_t d = srcDepth(n);
+        if (n.kind == NodeKind::LoopExit) {
+            const Node &cn = k.nodes[n.src[0]];
+            d = carryDepth[static_cast<size_t>(cn.imm)];
+        }
+        if (isInstruction(n)) {
+            ++instCount;
+            ++d;
+            if (n.kind == NodeKind::CachedLoad ||
+                n.kind == NodeKind::CachedStore)
+                ++irregular;
+        }
+        depth[i] = d;
+        maxDepth = std::max(maxDepth, d);
+    }
+
+    void
+    walkRange(size_t first, size_t last, LoopId level)
+    {
+        size_t i = first;
+        while (i < last) {
+            LoopId nl = k.nodes[i].loop;
+            if (nl == level) {
+                visit(i);
+                ++i;
+                continue;
+            }
+            LoopId child = nl;
+            while (k.loops[child].parent != level)
+                child = k.loops[child].parent;
+            walkLoop(child);
+            i = extents[child].last + 1;
+        }
+    }
+
+    void
+    walkLoop(LoopId l)
+    {
+        const auto &li = k.loops[l];
+        uint32_t trips = li.staticTrip ? li.staticTrip : li.maxTrip;
+        for (uint32_t c : li.carries)
+            carryDepth[c] = depth[k.carries[c].init];
+        for (uint32_t iter = 0; iter < trips; ++iter) {
+            walkRange(extents[l].first, extents[l].last + 1, l);
+            for (uint32_t c : li.carries)
+                carryDepth[c] = depth[k.carries[c].next];
+        }
+    }
+
+    const Kernel &k;
+    std::vector<LoopExtent> extents;
+    std::vector<uint64_t> depth;
+    std::vector<uint64_t> carryDepth;
+    uint64_t instCount = 0;
+    uint64_t maxDepth = 0;
+    uint64_t irregular = 0;
+};
+
+std::string
+loopBoundsOf(const Kernel &k)
+{
+    std::string s;
+    bool variable = false;
+    for (const auto &l : k.loops) {
+        if (l.staticTrip == 0) {
+            variable = true;
+            continue;
+        }
+        if (!s.empty())
+            s += "+";
+        s += std::to_string(l.staticTrip);
+    }
+    if (variable)
+        return s.empty() ? "variable" : s + ",variable";
+    return s.empty() ? "-" : s;
+}
+
+} // namespace
+
+KernelAttributes
+extractAttributes(const Kernel &k)
+{
+    KernelAttributes attrs;
+    attrs.name = k.name;
+    attrs.domain = k.domain;
+    attrs.recordRead = k.inWords;
+    attrs.recordWrite = k.outWords;
+    attrs.numConstants = static_cast<unsigned>(k.constants.size());
+    attrs.indexedConstants = 0;
+    for (const auto &t : k.tables)
+        attrs.indexedConstants += t.data.size();
+    attrs.loopBounds = loopBoundsOf(k);
+
+    Analyzer a(k);
+    a.run(attrs);
+    return attrs;
+}
+
+std::vector<KernelAttributes>
+extractAllAttributes()
+{
+    std::vector<KernelAttributes> rows;
+    for (const auto &k : allKernels())
+        rows.push_back(extractAttributes(k));
+    return rows;
+}
+
+} // namespace dlp::analysis

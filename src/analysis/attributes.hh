@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Kernel attribute extraction: regenerates the rows of the paper's
+ * Table 2 (computation, memory and control attributes) directly from the
+ * kernel IR.
+ */
+
+#ifndef DLP_ANALYSIS_ATTRIBUTES_HH
+#define DLP_ANALYSIS_ATTRIBUTES_HH
+
+#include <string>
+#include <vector>
+
+#include "kernels/ir.hh"
+
+namespace dlp::analysis {
+
+/** One row of Table 2. */
+struct KernelAttributes
+{
+    std::string name;
+    kernels::Domain domain;
+
+    // Computation.
+    uint64_t numInsts = 0;      ///< fully unrolled instruction count
+    double ilp = 0.0;           ///< numInsts / dataflow-graph height
+
+    // Memory.
+    unsigned recordRead = 0;    ///< input record words
+    unsigned recordWrite = 0;   ///< output record words
+    uint64_t irregularAccesses = 0; ///< cached accesses per iteration (max)
+    unsigned numConstants = 0;  ///< named scalar constants
+    uint64_t indexedConstants = 0; ///< total lookup-table entries
+
+    // Control.
+    std::string loopBounds;     ///< "-", "16", "8+8", or "variable"
+};
+
+/** Extract the attributes of one kernel. */
+KernelAttributes extractAttributes(const kernels::Kernel &k);
+
+/** Extract attributes of the whole Table 1 suite, in paper order. */
+std::vector<KernelAttributes> extractAllAttributes();
+
+} // namespace dlp::analysis
+
+#endif // DLP_ANALYSIS_ATTRIBUTES_HH

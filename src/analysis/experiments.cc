@@ -1,0 +1,115 @@
+#include "analysis/experiments.hh"
+
+#include <algorithm>
+
+#include "analysis/report.hh"
+#include "arch/configs.hh"
+#include "common/logging.hh"
+#include "kernels/workload.hh"
+
+namespace dlp::analysis {
+
+const std::vector<std::string> &
+perfKernels()
+{
+    static const std::vector<std::string> names = {
+        "convert",        "dct",
+        "highpassfilter", "fft",
+        "lu",             "md5",
+        "blowfish",       "rijndael",
+        "vertex-simple",  "fragment-simple",
+        "vertex-reflection", "fragment-reflection",
+        "vertex-skinning"};
+    return names;
+}
+
+const std::vector<std::string> &
+figure5Order()
+{
+    // Figure 5 groups programs by preferred configuration: the
+    // S-preferring pair, then the S-O group, then the M-D group.
+    static const std::vector<std::string> names = {
+        "fft",           "lu",
+        "convert",       "dct",
+        "highpassfilter","vertex-reflection",
+        "fragment-reflection", "fragment-simple",
+        "vertex-simple", "md5",
+        "blowfish",      "rijndael",
+        "vertex-skinning"};
+    return names;
+}
+
+arch::ExperimentResult
+runExperiment(const std::string &kernel, const std::string &config,
+              uint64_t scaleDiv, uint64_t seed)
+{
+    uint64_t scale = kernels::defaultScale(kernel);
+    if (scaleDiv > 1) {
+        if (kernel == "fft") {
+            // Transform length must stay a power of two.
+            while (scaleDiv > 1 && scale > 32) {
+                scale /= 2;
+                scaleDiv /= 2;
+            }
+        } else {
+            scale = std::max<uint64_t>(scale / scaleDiv, 16);
+        }
+    }
+    auto wl = kernels::makeWorkload(kernel, scale, seed);
+    arch::TripsProcessor cpu(arch::configByName(config));
+    auto res = cpu.run(*wl);
+    fatal_if(!res.verified, "%s on %s failed verification: %s",
+             kernel.c_str(), config.c_str(), res.error.c_str());
+    return res;
+}
+
+Grid
+runGrid(uint64_t scaleDiv, uint64_t seed)
+{
+    Grid grid;
+    for (const auto &kernel : perfKernels())
+        for (const auto &config : arch::allConfigNames())
+            grid[kernel][config] =
+                runExperiment(kernel, config, scaleDiv, seed);
+    return grid;
+}
+
+double
+speedup(const Grid &grid, const std::string &kernel,
+        const std::string &config)
+{
+    const auto &base = grid.at(kernel).at("baseline");
+    const auto &cfg = grid.at(kernel).at(config);
+    panic_if(cfg.cycles == 0, "zero cycles for %s on %s", kernel.c_str(),
+             config.c_str());
+    return double(base.cycles) / double(cfg.cycles);
+}
+
+std::string
+bestConfig(const Grid &grid, const std::string &kernel)
+{
+    std::string best = "baseline";
+    Cycles bestCycles = grid.at(kernel).at("baseline").cycles;
+    for (const auto &config : arch::allConfigNames()) {
+        Cycles c = grid.at(kernel).at(config).cycles;
+        if (c < bestCycles) {
+            bestCycles = c;
+            best = config;
+        }
+    }
+    return best;
+}
+
+double
+meanSpeedup(const Grid &grid, const std::string &config)
+{
+    std::vector<double> speedups;
+    for (const auto &kernel : perfKernels()) {
+        std::string cfg =
+            config == "flexible" ? bestConfig(grid, kernel) : config;
+        speedups.push_back(speedup(grid, kernel, cfg));
+    }
+    return harmonicMean(speedups);
+}
+
+} // namespace dlp::analysis

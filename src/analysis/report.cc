@@ -1,0 +1,64 @@
+#include "analysis/report.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dlp::analysis {
+
+void
+TextTable::print(std::ostream &os) const
+{
+    size_t cols = head.size();
+    for (const auto &r : rows)
+        cols = std::max(cols, r.size());
+    std::vector<size_t> widths(cols, 0);
+    auto widen = [&](const std::vector<std::string> &r) {
+        for (size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+    };
+    widen(head);
+    for (const auto &r : rows)
+        widen(r);
+
+    auto printRow = [&](const std::vector<std::string> &r) {
+        for (size_t c = 0; c < r.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << r[c];
+        }
+        os << "\n";
+    };
+    if (!head.empty()) {
+        printRow(head);
+        size_t total = 0;
+        for (size_t w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows)
+        printRow(r);
+}
+
+std::string
+fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    panic_if(values.empty(), "harmonic mean of nothing");
+    double denom = 0.0;
+    for (double v : values) {
+        panic_if(v <= 0.0, "harmonic mean needs positive values");
+        denom += 1.0 / v;
+    }
+    return double(values.size()) / denom;
+}
+
+} // namespace dlp::analysis

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text table formatting and summary statistics for the benchmark
+ * harness (the tables printed by bench/ mirror the paper's layout).
+ */
+
+#ifndef DLP_ANALYSIS_REPORT_HH
+#define DLP_ANALYSIS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dlp::analysis {
+
+/** Fixed-width text table. */
+class TextTable
+{
+  public:
+    void
+    header(std::vector<std::string> cells)
+    {
+        head = std::move(cells);
+    }
+
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows.push_back(std::move(cells));
+    }
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with the given precision. */
+std::string fmt(double v, int precision = 2);
+
+/** Harmonic mean of a set of ratios (the paper's Figure 5 summary). */
+double harmonicMean(const std::vector<double> &values);
+
+} // namespace dlp::analysis
+
+#endif // DLP_ANALYSIS_REPORT_HH

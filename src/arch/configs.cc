@@ -1,0 +1,100 @@
+#include "arch/configs.hh"
+
+#include "common/logging.hh"
+
+namespace dlp::arch {
+
+using core::MachineParams;
+
+namespace {
+
+MachineParams
+base()
+{
+    MachineParams p;
+    p.name = "baseline";
+    return p;
+}
+
+} // namespace
+
+MachineParams
+baselineConfig()
+{
+    return base();
+}
+
+MachineParams
+sConfig()
+{
+    MachineParams p = base();
+    p.name = "S";
+    p.mech.smc = true;
+    p.mech.instRevitalize = true;
+    return p;
+}
+
+MachineParams
+soConfig()
+{
+    MachineParams p = sConfig();
+    p.name = "S-O";
+    p.mech.operandRevitalize = true;
+    return p;
+}
+
+MachineParams
+sodConfig()
+{
+    MachineParams p = soConfig();
+    p.name = "S-O-D";
+    p.mech.l0DataStore = true;
+    return p;
+}
+
+MachineParams
+mConfig()
+{
+    MachineParams p = base();
+    p.name = "M";
+    p.mech.smc = true;
+    p.mech.localPC = true;
+    return p;
+}
+
+MachineParams
+mdConfig()
+{
+    MachineParams p = mConfig();
+    p.name = "M-D";
+    p.mech.l0DataStore = true;
+    return p;
+}
+
+MachineParams
+configByName(const std::string &name)
+{
+    if (name == "baseline")
+        return baselineConfig();
+    if (name == "S")
+        return sConfig();
+    if (name == "S-O")
+        return soConfig();
+    if (name == "S-O-D")
+        return sodConfig();
+    if (name == "M")
+        return mConfig();
+    if (name == "M-D")
+        return mdConfig();
+    fatal("unknown machine configuration '%s'", name.c_str());
+}
+
+const std::vector<std::string> &
+allConfigNames()
+{
+    static const std::vector<std::string> names = {
+        "baseline", "S", "S-O", "S-O-D", "M", "M-D"};
+    return names;
+}
+
+} // namespace dlp::arch

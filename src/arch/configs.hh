@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The machine configurations of Table 5.
+ *
+ * All configurations share the baseline substrate of Section 5.2 (8x8
+ * array, 64 KB SMC banks one per row, 2 MB L2, 64 KB L1, Alpha-21264
+ * latencies, half-cycle hops); they differ only in which universal
+ * mechanisms are enabled:
+ *
+ *   baseline  : none (the ILP-mode TRIPS core of Table 4)
+ *   S         : SMC + instruction revitalization      (SIMD-like)
+ *   S-O       : S + operand revitalization
+ *   S-O-D     : S-O + L0 data store
+ *   M         : SMC + local program counters          (MIMD)
+ *   M-D       : M + L0 data store
+ */
+
+#ifndef DLP_ARCH_CONFIGS_HH
+#define DLP_ARCH_CONFIGS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/machine.hh"
+
+namespace dlp::arch {
+
+core::MachineParams baselineConfig();
+core::MachineParams sConfig();
+core::MachineParams soConfig();
+core::MachineParams sodConfig();
+core::MachineParams mConfig();
+core::MachineParams mdConfig();
+
+/** Look up by Table 5 name: baseline, S, S-O, S-O-D, M, M-D. */
+core::MachineParams configByName(const std::string &name);
+
+/** All Table 5 names, baseline first. */
+const std::vector<std::string> &allConfigNames();
+
+} // namespace dlp::arch
+
+#endif // DLP_ARCH_CONFIGS_HH

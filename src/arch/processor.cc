@@ -1,0 +1,197 @@
+#include "arch/processor.hh"
+
+#include <algorithm>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "sched/linearize.hh"
+#include "sched/simd_lowering.hh"
+
+namespace dlp::arch {
+
+using kernels::Kernel;
+using kernels::Workload;
+
+TripsProcessor::TripsProcessor(const core::MachineParams &params)
+    : m(params)
+{
+}
+
+sched::StreamLayout
+TripsProcessor::makeLayout(const Kernel &k, uint64_t &chunkRecords) const
+{
+    // Partition the SMC between input, output and scratch streams; keep
+    // slack for the unroll padding (at most 64 instances) so speculative
+    // accesses of the last partial group stay in bounds.
+    uint64_t capacity = m.memParams.rows * m.memParams.smcBankWords();
+    uint64_t span = uint64_t(k.inWords) + k.outWords + k.scratchWords;
+    uint64_t alloc = capacity / span;
+    fatal_if(alloc < 96,
+             "kernel %s: record span %llu words too large for the SMC",
+             k.name.c_str(), (unsigned long long)span);
+    chunkRecords = alloc - 80;
+
+    sched::StreamLayout layout;
+    layout.inBase = 0;
+    layout.outBase = alloc * k.inWords;
+    layout.scratchBase = layout.outBase + alloc * k.outWords;
+    return layout;
+}
+
+ExperimentResult
+TripsProcessor::run(Workload &workload)
+{
+    return m.mech.localPC ? runMimd(workload) : runSimd(workload);
+}
+
+namespace {
+
+/** Copy a chunk of records into the SMC, zero-padding to padRecords. */
+void
+loadChunk(mem::MemorySystem &mem, const sched::StreamLayout &layout,
+          const Kernel &k, const std::vector<Word> &input, uint64_t first,
+          uint64_t count, uint64_t padRecords)
+{
+    for (uint64_t r = 0; r < padRecords; ++r) {
+        for (unsigned w = 0; w < k.inWords; ++w) {
+            Word v = r < count ? input[(first + r) * k.inWords + w] : 0;
+            mem.smc().poke(layout.inBase + r * k.inWords + w, v);
+        }
+    }
+}
+
+void
+readChunk(mem::MemorySystem &mem, const sched::StreamLayout &layout,
+          const Kernel &k, std::vector<Word> &out, uint64_t count)
+{
+    for (uint64_t r = 0; r < count; ++r)
+        for (unsigned w = 0; w < k.outWords; ++w)
+            out.push_back(mem.smc().peek(layout.outBase + r * k.outWords + w));
+}
+
+void
+fill(ExperimentResult &res, const core::RunStats &stats)
+{
+    res.cycles += stats.cycles;
+    res.usefulOps += stats.usefulOps;
+    res.instsExecuted += stats.instsExecuted;
+    res.activations += stats.activations;
+    res.mappings += stats.mappings;
+}
+
+} // namespace
+
+ExperimentResult
+TripsProcessor::runSimd(Workload &workload)
+{
+    const Kernel &k = workload.kernel();
+    ExperimentResult res;
+    res.kernel = k.name;
+    res.config = m.name;
+
+    uint64_t chunkRecords = 0;
+    sched::StreamLayout layout = makeLayout(k, chunkRecords);
+    sched::SimdPlan plan = sched::lowerSimd(k, m, layout);
+
+    mem::MemorySystem memory(m.memParams, m.mech.smc, m.hopTicks);
+    workload.populateIrregular([&memory](Addr a, Word w) {
+        memory.mainMemory().writeWord(a, w);
+    });
+
+    core::BlockEngine engine(m, memory);
+    engine.setTables(&k.tables);
+
+    std::vector<Word> input;
+    uint64_t records;
+    uint64_t chunks = 0;
+    while (workload.nextBatch(input, records)) {
+        std::vector<Word> output;
+        output.reserve(records * k.outWords);
+        bool multiChunk = records > chunkRecords;
+        for (uint64_t first = 0; first < records; first += chunkRecords) {
+            uint64_t count = std::min(chunkRecords, records - first);
+            uint64_t pad =
+                divCeil(count, plan.unroll) * plan.unroll;
+            loadChunk(memory, layout, k, input, first, count, pad);
+            if (multiChunk) {
+                // The dataset exceeds the SMC (the paper's lu case):
+                // the DMA engines stage this chunk in and the previous
+                // chunk's results out.
+                uint64_t words =
+                    count * (uint64_t(k.inWords) + k.outWords);
+                Tick done = memory.dma(first == 0 ? 0u : 1u,
+                                       static_cast<unsigned>(
+                                           std::min<uint64_t>(words,
+                                                              1u << 30)),
+                                       engine.now());
+                engine.advanceTo(done);
+            }
+            core::RunStats stats = engine.run(plan, count);
+            fill(res, stats);
+            readChunk(memory, layout, k, output, count);
+            ++chunks;
+        }
+        workload.consumeOutput(output);
+        res.records += records;
+    }
+
+    std::string err;
+    res.verified = workload.verify(err);
+    res.error = err;
+    return res;
+}
+
+ExperimentResult
+TripsProcessor::runMimd(Workload &workload)
+{
+    const Kernel &k = workload.kernel();
+    ExperimentResult res;
+    res.kernel = k.name;
+    res.config = m.name;
+
+    uint64_t chunkRecords = 0;
+    sched::StreamLayout layout = makeLayout(k, chunkRecords);
+    sched::MimdPlan plan = sched::lowerMimd(k, m, layout);
+
+    mem::MemorySystem memory(m.memParams, m.mech.smc, m.hopTicks);
+    workload.populateIrregular([&memory](Addr a, Word w) {
+        memory.mainMemory().writeWord(a, w);
+    });
+
+    core::MimdEngine engine(m, memory);
+    engine.setTables(&k.tables);
+
+    std::vector<Word> input;
+    uint64_t records;
+    while (workload.nextBatch(input, records)) {
+        std::vector<Word> output;
+        output.reserve(records * k.outWords);
+        bool multiChunk = records > chunkRecords;
+        for (uint64_t first = 0; first < records; first += chunkRecords) {
+            uint64_t count = std::min(chunkRecords, records - first);
+            loadChunk(memory, layout, k, input, first, count, count);
+            if (multiChunk) {
+                uint64_t words =
+                    count * (uint64_t(k.inWords) + k.outWords);
+                Tick done = memory.dma(first == 0 ? 0u : 1u,
+                                       static_cast<unsigned>(
+                                           std::min<uint64_t>(words,
+                                                              1u << 30)),
+                                       engine.now());
+                engine.advanceTo(done);
+            }
+            core::RunStats stats = engine.run(plan, count);
+            fill(res, stats);
+            readChunk(memory, layout, k, output, count);
+        }
+        workload.consumeOutput(output);
+        res.records += records;
+    }
+
+    std::string err;
+    res.verified = workload.verify(err);
+    res.error = err;
+    return res;
+}
+
+} // namespace dlp::arch

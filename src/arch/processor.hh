@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The top-level configurable processor: assembles the memory system, the
+ * scheduler and the right execution engine for a machine configuration,
+ * and runs complete workloads end to end (functional outputs verified
+ * against the golden models by the workload itself).
+ *
+ * This is the primary entry point of the library:
+ *
+ *   auto wl = kernels::makeWorkload("rijndael", 1024, seed);
+ *   arch::TripsProcessor cpu(arch::configByName("S-O-D"));
+ *   auto result = cpu.run(*wl);
+ *   // result.verified, result.cycles, result.opsPerCycle()
+ */
+
+#ifndef DLP_ARCH_PROCESSOR_HH
+#define DLP_ARCH_PROCESSOR_HH
+
+#include <memory>
+#include <string>
+
+#include "core/block_engine.hh"
+#include "core/machine.hh"
+#include "core/mimd_engine.hh"
+#include "kernels/workload.hh"
+#include "sched/plan.hh"
+
+namespace dlp::arch {
+
+/** Outcome of running one workload on one configuration. */
+struct ExperimentResult
+{
+    std::string kernel;
+    std::string config;
+    bool verified = false;
+    std::string error;
+
+    Cycles cycles = 0;
+    uint64_t usefulOps = 0;
+    uint64_t instsExecuted = 0;
+    uint64_t records = 0;
+    uint64_t activations = 0;
+    uint64_t mappings = 0;
+
+    double
+    opsPerCycle() const
+    {
+        return cycles ? double(usefulOps) / double(cycles) : 0.0;
+    }
+};
+
+class TripsProcessor
+{
+  public:
+    explicit TripsProcessor(const core::MachineParams &params);
+
+    /** Run a workload to completion and verify its outputs. */
+    ExperimentResult run(kernels::Workload &workload);
+
+    const core::MachineParams &params() const { return m; }
+
+  private:
+    ExperimentResult runSimd(kernels::Workload &workload);
+    ExperimentResult runMimd(kernels::Workload &workload);
+
+    /** Records per SMC-resident chunk for a kernel, and its layout. */
+    sched::StreamLayout makeLayout(const kernels::Kernel &k,
+                                   uint64_t &chunkRecords) const;
+
+    core::MachineParams m;
+};
+
+} // namespace dlp::arch
+
+#endif // DLP_ARCH_PROCESSOR_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the ISA, caches and kernels.
+ */
+
+#ifndef DLP_COMMON_BITUTILS_HH
+#define DLP_COMMON_BITUTILS_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace dlp {
+
+/** True if x is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)); x must be non-zero. */
+constexpr unsigned
+floorLog2(uint64_t x)
+{
+    unsigned r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+/** ceil(log2(x)); x must be non-zero. */
+constexpr unsigned
+ceilLog2(uint64_t x)
+{
+    return x <= 1 ? 0 : floorLog2(x - 1) + 1;
+}
+
+/** Round v up to the next multiple of align (align must be a power of 2). */
+constexpr uint64_t
+roundUp(uint64_t v, uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Round v down to a multiple of align (align must be a power of 2). */
+constexpr uint64_t
+roundDown(uint64_t v, uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Extract bits [lo, hi] (inclusive) of v. */
+constexpr uint64_t
+bits(uint64_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & ((hi - lo == 63) ? ~uint64_t(0)
+                                        : ((uint64_t(1) << (hi - lo + 1)) - 1));
+}
+
+/** Rotate a 32-bit value left. */
+constexpr uint32_t
+rotl32(uint32_t v, unsigned s)
+{
+    s &= 31;
+    return s == 0 ? v : (v << s) | (v >> (32 - s));
+}
+
+/** Rotate a 32-bit value right. */
+constexpr uint32_t
+rotr32(uint32_t v, unsigned s)
+{
+    s &= 31;
+    return s == 0 ? v : (v >> s) | (v << (32 - s));
+}
+
+/** Ceiling division for unsigned integers. */
+constexpr uint64_t
+divCeil(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace dlp
+
+#endif // DLP_COMMON_BITUTILS_HH

@@ -1,0 +1,75 @@
+#include "common/logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace dlp {
+
+namespace {
+bool quietFlag = false;
+} // namespace
+
+namespace logging_detail {
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args2;
+    va_copy(args2, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (needed < 0) {
+        va_end(args2);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args2);
+    va_end(args2);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+} // namespace logging_detail
+
+void
+panicMsg(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    throw PanicError(msg);
+}
+
+void
+fatalMsg(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    throw FatalError(msg);
+}
+
+void
+warnMsg(const std::string &msg)
+{
+    if (!quietFlag)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informMsg(const std::string &msg)
+{
+    if (!quietFlag)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+setQuietLogging(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+quietLogging()
+{
+    return quietFlag;
+}
+
+} // namespace dlp

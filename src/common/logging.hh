@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  -- an internal simulator invariant was violated (a bug in the
+ *             simulator itself); aborts so a debugger or core dump can
+ *             capture the state.
+ * fatal()  -- the simulation cannot continue because of a user error
+ *             (bad configuration, impossible kernel, ...); exits cleanly.
+ * warn()   -- something is suspicious but simulation can continue.
+ * inform() -- purely informational status output.
+ */
+
+#ifndef DLP_COMMON_LOGGING_HH
+#define DLP_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dlp {
+
+/** Exception thrown by fatal() so tests can observe user-level errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown by panic() so tests can observe simulator bugs. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace logging_detail {
+
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace logging_detail
+
+/** Report an unrecoverable internal error and throw PanicError. */
+[[noreturn]] void panicMsg(const char *file, int line, const std::string &msg);
+
+/** Report an unrecoverable user error and throw FatalError. */
+[[noreturn]] void fatalMsg(const char *file, int line, const std::string &msg);
+
+/** Emit a warning to stderr. */
+void warnMsg(const std::string &msg);
+
+/** Emit an informational message to stderr. */
+void informMsg(const std::string &msg);
+
+/** Globally silence warn()/inform() output (benchmarks use this). */
+void setQuietLogging(bool quiet);
+bool quietLogging();
+
+#define panic(...) \
+    ::dlp::panicMsg(__FILE__, __LINE__, ::dlp::logging_detail::format(__VA_ARGS__))
+
+#define fatal(...) \
+    ::dlp::fatalMsg(__FILE__, __LINE__, ::dlp::logging_detail::format(__VA_ARGS__))
+
+#define warn(...) \
+    ::dlp::warnMsg(::dlp::logging_detail::format(__VA_ARGS__))
+
+#define inform(...) \
+    ::dlp::informMsg(::dlp::logging_detail::format(__VA_ARGS__))
+
+/**
+ * Always-on assertion for simulator invariants. Unlike assert(), this is
+ * active in release builds: a cycle-level model that silently corrupts
+ * state is worse than one that stops.
+ */
+#define panic_if(cond, ...)                                                   \
+    do {                                                                      \
+        if (cond)                                                             \
+            panic(__VA_ARGS__);                                               \
+    } while (0)
+
+#define fatal_if(cond, ...)                                                   \
+    do {                                                                      \
+        if (cond)                                                             \
+            fatal(__VA_ARGS__);                                               \
+    } while (0)
+
+} // namespace dlp
+
+#endif // DLP_COMMON_LOGGING_HH

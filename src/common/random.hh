@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic pseudo-random generator for synthetic workload data.
+ *
+ * Every workload generator in the benchmark harness derives its data from
+ * this generator with a fixed seed, so the experiments are exactly
+ * reproducible run to run; std::mt19937 and friends are avoided in the
+ * public API so generated datasets cannot drift with the standard library.
+ */
+
+#ifndef DLP_COMMON_RANDOM_HH
+#define DLP_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace dlp {
+
+/** xoshiro256** generator; small, fast and high quality. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialize the state from a single seed word (splitmix64). */
+    void
+    reseed(uint64_t seed)
+    {
+        for (auto &word : state) {
+            seed += 0x9e3779b97f4a7c15ull;
+            uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + uniform() * (hi - lo);
+    }
+
+  private:
+    static constexpr uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state[4] = {};
+};
+
+} // namespace dlp
+
+#endif // DLP_COMMON_RANDOM_HH

@@ -1,0 +1,16 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace dlp {
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : stats) {
+        os << std::left << std::setw(48) << (name + "." + kv.first)
+           << std::right << std::setw(16) << kv.second.get() << "\n";
+    }
+}
+
+} // namespace dlp

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A tiny statistics package in the spirit of gem5's Stats.
+ *
+ * Components register named scalar counters and distributions with a
+ * StatGroup. The experiment runner dumps all groups after a simulation and
+ * the benchmark harness pulls individual values to build the paper's
+ * tables. Stats are plain doubles; the goal is uniform naming and dumping,
+ * not fancy formulas.
+ */
+
+#ifndef DLP_COMMON_STATS_HH
+#define DLP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dlp {
+
+/** A named scalar counter. */
+class Stat
+{
+  public:
+    Stat() = default;
+    explicit Stat(std::string statName) : name(std::move(statName)) {}
+
+    Stat &operator++() { value += 1.0; return *this; }
+    Stat &operator+=(double v) { value += v; return *this; }
+    void set(double v) { value = v; }
+    void reset() { value = 0.0; }
+
+    double get() const { return value; }
+    const std::string &statName() const { return name; }
+
+  private:
+    std::string name;
+    double value = 0.0;
+};
+
+/**
+ * A group of related statistics with a hierarchical name prefix
+ * (e.g. "core.tile3_4" or "mem.smc0").
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string groupName) : name(std::move(groupName)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Create (or fetch) a counter under this group. */
+    Stat &
+    scalar(const std::string &statName)
+    {
+        auto it = stats.find(statName);
+        if (it == stats.end())
+            it = stats.emplace(statName, Stat(statName)).first;
+        return it->second;
+    }
+
+    /** Look up a counter; panics if absent (tests use this). */
+    const Stat &
+    lookup(const std::string &statName) const
+    {
+        auto it = stats.find(statName);
+        panic_if(it == stats.end(), "unknown stat %s.%s", name.c_str(),
+                 statName.c_str());
+        return it->second;
+    }
+
+    bool has(const std::string &statName) const
+    {
+        return stats.count(statName) != 0;
+    }
+
+    /** Zero every counter in the group. */
+    void
+    resetAll()
+    {
+        for (auto &kv : stats)
+            kv.second.reset();
+    }
+
+    /** Pretty-print all counters, one per line, prefixed with the group. */
+    void dump(std::ostream &os) const;
+
+    const std::string &groupName() const { return name; }
+    const std::map<std::string, Stat> &all() const { return stats; }
+
+  private:
+    std::string name;
+    std::map<std::string, Stat> stats;
+};
+
+} // namespace dlp
+
+#endif // DLP_COMMON_STATS_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator module.
+ *
+ * The simulator advances in *ticks* where one tick is half a clock cycle.
+ * The paper (Section 5.2) assumes a 10FO4 clock at 100 nm which makes the
+ * hop delay between adjacent ALUs half a cycle; expressing all latencies in
+ * half-cycle ticks lets the network model that delay exactly instead of
+ * rounding it to a full cycle.
+ */
+
+#ifndef DLP_COMMON_TYPES_HH
+#define DLP_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace dlp {
+
+/** Simulation time in half-cycle ticks. */
+using Tick = uint64_t;
+
+/** Time expressed in full clock cycles. */
+using Cycles = uint64_t;
+
+/** Number of ticks per clock cycle. */
+constexpr Tick ticksPerCycle = 2;
+
+/** Convert a latency in cycles to ticks. */
+constexpr Tick
+cyclesToTicks(Cycles c)
+{
+    return c * ticksPerCycle;
+}
+
+/** Convert ticks to whole cycles, rounding up (a partial cycle counts). */
+constexpr Cycles
+ticksToCycles(Tick t)
+{
+    return (t + ticksPerCycle - 1) / ticksPerCycle;
+}
+
+/** Byte address in the simulated physical memory. */
+using Addr = uint64_t;
+
+/** The machine word: the paper characterizes records in 64-bit words. */
+using Word = uint64_t;
+
+/** Bytes per machine word. */
+constexpr Addr wordBytes = 8;
+
+/** A sentinel for "no tick scheduled". */
+constexpr Tick maxTick = ~Tick(0);
+
+} // namespace dlp
+
+#endif // DLP_COMMON_TYPES_HH

@@ -1,0 +1,453 @@
+#include "core/block_engine.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/bitutils.hh"
+#include "isa/disasm.hh"
+
+namespace dlp::core {
+
+using isa::MappedBlock;
+using isa::MappedInst;
+using isa::MemSpace;
+using isa::Op;
+
+BlockEngine::BlockEngine(const MachineParams &params,
+                         mem::MemorySystem &memory)
+    : m(params), mem(memory), mesh(params.rows, params.cols, params.hopTicks),
+      rf(params.numRegs, 0),
+      issuePorts(params.tiles(), sim::Resource(ticksPerCycle)),
+      divPorts(params.tiles(),
+               sim::Resource(cyclesToTicks(isa::opInfo(Op::Fdiv).latency))),
+      injectPorts(params.tiles(), sim::Resource(params.injectInterval)),
+      l0Ports(params.tiles(), sim::Resource(ticksPerCycle)),
+      regRead(params.regBanks, sim::Resource(ticksPerCycle)),
+      regWrite(params.regBanks, sim::Resource(ticksPerCycle))
+{
+    // The structural resources whose occupancy sets the activation
+    // initiation interval when iterations pipeline across frames.
+    auto trackSet = [this](std::vector<sim::Resource> &set,
+                           const char *name) {
+        for (auto &r : set) {
+            tracked.push_back(&r);
+            trackedName.push_back(name);
+        }
+    };
+    trackSet(issuePorts, "issue");
+    trackSet(divPorts, "div");
+    trackSet(injectPorts, "inject");
+    trackSet(l0Ports, "l0");
+    trackSet(regRead, "regRead");
+    trackSet(regWrite, "regWrite");
+    trackSet(mem.smc().bankPortResources(), "smcBank");
+    trackSet(mem.smc().storeBufResources(), "storeBuf");
+    trackSet(mem.l1().portResources(), "l1");
+    trackSet(mem.l2().portResources(), "l2");
+    trackSet(mem.smc().channelResources(), "channel");
+    mesh.forEachLink([this](sim::Resource &r) {
+        tracked.push_back(&r);
+        trackedName.push_back("link");
+    });
+    grantSnapshot.assign(tracked.size(), 0);
+}
+
+void
+BlockEngine::snapshotGrants()
+{
+    for (size_t i = 0; i < tracked.size(); ++i)
+        grantSnapshot[i] = tracked[i]->grants();
+}
+
+Tick
+BlockEngine::busySinceSnapshot() const
+{
+    Tick worst = 0;
+    size_t argmax = 0;
+    for (size_t i = 0; i < tracked.size(); ++i) {
+        Tick busy = (tracked[i]->grants() - grantSnapshot[i]) *
+                    tracked[i]->interval();
+        if (busy > worst) {
+            worst = busy;
+            argmax = i;
+        }
+    }
+    if (std::getenv("DLP_II_DEBUG") && worst > 0) {
+        std::fprintf(stderr, "II bottleneck: %s[%zu] busy=%llu ticks\n",
+                     trackedName[argmax], argmax,
+                     (unsigned long long)worst);
+    }
+    return worst;
+}
+
+void
+BlockEngine::setTables(const std::vector<kernels::Table> *kernelTables)
+{
+    tables = kernelTables;
+    tableByteBase.clear();
+    Addr base = tableRegionBase;
+    if (tables) {
+        for (const auto &t : *tables) {
+            tableByteBase.push_back(base);
+            base += t.data.size() * wordBytes;
+        }
+    }
+}
+
+RunStats
+BlockEngine::run(const sched::SimdPlan &plan, uint64_t numRecords)
+{
+    RunStats stats;
+    Tick t = curTick;
+
+    // Setup block: write the initial register values (constants,
+    // induction registers) through the register-file ports, and load the
+    // L0 data stores / table region.
+    for (const auto &init : plan.initialRegs)
+        rf.at(init.first) = init.second;
+    t += cyclesToTicks(
+        divCeil(std::max<size_t>(plan.initialRegs.size(), 1), m.regBanks) +
+        m.mapOverhead);
+    if (tables && !tables->empty()) {
+        uint64_t tableWords = 0;
+        for (const auto &tab : *tables)
+            tableWords += tab.data.size();
+        // Broadcast the tables into the L0 stores (or prime the cached
+        // region): bandwidth-limited copy.
+        t += cyclesToTicks(
+            divCeil(tableWords, m.memParams.smcWordsPerCycle));
+    }
+
+    uint64_t groups = divCeil(numRecords, plan.unroll);
+    stats.groups = groups;
+
+    // Successive activations pipeline: a new activation begins once the
+    // previous one's instructions have all *issued* (their reservation
+    // stations are free for revitalized re-use -- the S-morph maps
+    // iterations into spare frames) and its register writes have
+    // committed (the next iteration's Reads depend on them), plus the
+    // revitalize broadcast -- or a full re-map on machines without
+    // instruction revitalization. The run as a whole ends when the last
+    // activation fully drains.
+    Tick drain = t;
+    Tick nextStart = t;
+    actMaxWrite = t;
+
+    // Run one activation and compute when the next may begin: the
+    // initiation interval is the largest resource occupancy of this
+    // activation (frames double-buffer, so latency is hidden), floored
+    // by the revitalize broadcast -- or by the re-map time on machines
+    // without instruction revitalization -- and ordered after this
+    // activation's register-write commits (true dependences: loop
+    // carries, cross-block temporaries).
+    auto paceActivation = [&](const isa::MappedBlock &block, bool first,
+                              Tick gapTicks) {
+        snapshotGrants();
+        runActivation(block, nextStart, first, stats);
+        drain = std::max(drain, actMaxTick);
+        Tick ii = std::max(busySinceSnapshot(), gapTicks);
+        Tick prev = nextStart;
+        nextStart = std::max(nextStart + ii, actMaxWrite + gapTicks);
+        if (std::getenv("DLP_II_DEBUG")) {
+            std::fprintf(stderr,
+                         "pace: ii=%llu delta=%llu drainLen=%llu\n",
+                         (unsigned long long)ii,
+                         (unsigned long long)(nextStart - prev),
+                         (unsigned long long)(actMaxTick - prev));
+        }
+    };
+
+    if (plan.resident()) {
+        const auto &seg = plan.segments[0];
+        uint64_t totalActs = groups * seg.activations;
+        Tick mapTicks = cyclesToTicks(
+            divCeil(seg.block.insts.size(), m.mapBandwidth) + m.mapOverhead);
+        Tick gap = m.mech.instRevitalize
+                       ? cyclesToTicks(m.revitalizeDelay)
+                       : mapTicks;
+        nextStart += mapTicks;
+        stats.mappings++;
+        for (uint64_t a = 0; a < totalActs; ++a) {
+            bool first = a == 0;
+            if (!first && !m.mech.instRevitalize) {
+                stats.mappings++;
+                first = true; // a fresh mapping re-fires everything
+            }
+            // The sequencer owns the record-group pointer.
+            rf.at(plan.recBaseReg) = (a / seg.activations) * plan.unroll;
+            paceActivation(seg.block, first, gap);
+        }
+    } else {
+        for (uint64_t g = 0; g < groups; ++g) {
+            rf.at(plan.recBaseReg) = g * plan.unroll;
+            for (const auto &seg : plan.segments) {
+                Tick mapTicks =
+                    cyclesToTicks(divCeil(seg.block.insts.size(),
+                                          m.mapBandwidth) +
+                                  m.mapOverhead);
+                Tick gap = m.mech.instRevitalize
+                               ? cyclesToTicks(m.revitalizeDelay)
+                               : mapTicks;
+                // A different block must be fetched and mapped.
+                nextStart = std::max(nextStart, actMaxWrite) + mapTicks;
+                stats.mappings++;
+                for (uint64_t a = 0; a < seg.activations; ++a) {
+                    bool first = a == 0;
+                    if (!first && !m.mech.instRevitalize) {
+                        stats.mappings++;
+                        first = true;
+                    }
+                    paceActivation(seg.block, first, gap);
+                }
+            }
+        }
+    }
+
+    stats.cycles = ticksToCycles(drain - curTick);
+    curTick = drain;
+    return stats;
+}
+
+void
+BlockEngine::runActivation(const MappedBlock &block, Tick startTick,
+                           bool firstActivation, RunStats &stats)
+{
+    // (Re)initialize per-instruction state.
+    if (firstActivation) {
+        state.assign(block.insts.size(), InstState{});
+    } else {
+        for (size_t i = 0; i < block.insts.size(); ++i) {
+            auto &st = state[i];
+            st.fired = false;
+            const auto &mi = block.insts[i];
+            for (unsigned s = 0; s < isa::maxSrcs; ++s) {
+                if (!mi.persistent[s])
+                    st.present[s] = false;
+            }
+        }
+    }
+
+    firedCount = 0;
+    expectedCount = 0;
+    actMaxTick = startTick;
+    actMaxIssue = startTick;
+    actMaxWrite = startTick;
+
+    // Activations may start earlier than the previous activation's last
+    // event (frames pipeline); the queue is empty here, so rewinding its
+    // clock is safe.
+    eq.reset();
+
+    // Seed: every instruction that fires this activation and already has
+    // all its operands (zero-source ops, persistent-only operands).
+    for (size_t i = 0; i < block.insts.size(); ++i) {
+        const auto &mi = block.insts[i];
+        if (mi.onceOnly && !firstActivation)
+            continue;
+        ++expectedCount;
+        bool ready = true;
+        for (unsigned s = 0; s < mi.numSrcs; ++s)
+            ready &= state[i].present[s];
+        if (ready) {
+            uint32_t idx = static_cast<uint32_t>(i);
+            eq.schedule(startTick, [this, &block, idx, startTick, &stats] {
+                execute(block, idx, startTick, stats);
+            });
+        }
+    }
+
+    eq.run();
+
+    panic_if(firedCount != expectedCount,
+             "block %s deadlocked: fired %llu of %llu instructions",
+             block.name.c_str(), (unsigned long long)firedCount,
+             (unsigned long long)expectedCount);
+
+    // Commit: apply buffered register writes.
+    for (const auto &w : pendingWrites)
+        rf.at(w.first) = w.second;
+    pendingWrites.clear();
+
+    stats.activations++;
+}
+
+void
+BlockEngine::execute(const MappedBlock &block, uint32_t idx, Tick ready,
+                     RunStats &stats)
+{
+    const MappedInst &mi = block.insts[idx];
+    InstState &st = state[idx];
+    panic_if(st.fired, "instruction %u of %s fired twice", idx,
+             block.name.c_str());
+    st.fired = true;
+    ++firedCount;
+    ++stats.instsExecuted;
+    if (!mi.overhead)
+        ++stats.usefulOps;
+
+    Word a = st.operand[0];
+    Word b = mi.immB ? mi.imm : st.operand[1];
+    Word c = st.operand[2];
+
+    noc::Coord here = tileOf(mi);
+    unsigned row = mi.row;
+    Tick done;
+    st.result.assign(1, Word(0));
+
+    switch (mi.op) {
+      case Op::Read: {
+        unsigned bank = static_cast<unsigned>(mi.imm) % m.regBanks;
+        Tick grant = regRead[bank].acquire(ready);
+        actMaxIssue = std::max(actMaxIssue, grant);
+        done = grant + cyclesToTicks(m.regLatency) + m.hopTicks;
+        st.result[0] = rf.at(static_cast<size_t>(mi.imm));
+        break;
+      }
+      case Op::Write: {
+        unsigned bank = static_cast<unsigned>(mi.imm) % m.regBanks;
+        Tick grant = regWrite[bank].acquire(ready + m.hopTicks);
+        actMaxIssue = std::max(actMaxIssue, grant);
+        done = grant + cyclesToTicks(m.regLatency);
+        pendingWrites.emplace_back(static_cast<unsigned>(mi.imm), a);
+        actMaxTick = std::max(actMaxTick, done);
+        actMaxWrite = std::max(actMaxWrite, done);
+        return; // no targets
+      }
+      case Op::Ld: {
+        Tick issue = issuePort(mi.row, mi.col).acquire(ready);
+        actMaxIssue = std::max(actMaxIssue, issue);
+        Tick atEdge = mesh.routeToEdge(here, issue + ticksPerCycle);
+        Word value = 0;
+        Tick served;
+        if (mi.space == MemSpace::Smc) {
+            served = mem.streamRead(row, a, 1, atEdge, &value);
+            if (m.mech.smc) {
+                // The response rides the row's streaming channel.
+                done = channelDeliver(row, 0, here, served);
+                st.result[0] = value;
+                break;
+            }
+        } else {
+            served = mem.cachedRead(row, a, atEdge, value);
+        }
+        done = mesh.routeFromEdge(row, here, served);
+        st.result[0] = value;
+        break;
+      }
+      case Op::Lmw: {
+        Tick issue = issuePort(mi.row, mi.col).acquire(ready);
+        actMaxIssue = std::max(actMaxIssue, issue);
+        Tick atEdge = mesh.routeToEdge(here, issue + ticksPerCycle);
+        st.result.assign(mi.lmwCount, Word(0));
+        Tick served = mem.streamRead(row, a, mi.lmwCount, atEdge,
+                                     st.result.data(), mi.lmwStride);
+        // Words fan out over the row's dedicated streaming channel
+        // straight to the consumers.
+        for (const auto &t : mi.targets) {
+            const auto &dst = block.insts[t.inst];
+            Tick arrive =
+                channelDeliver(row, t.wordIdx, tileOf(dst), served);
+            deliver(block, idx, t, st.result.at(t.wordIdx), arrive, stats);
+        }
+        actMaxTick = std::max(actMaxTick, served);
+        return;
+      }
+      case Op::St: {
+        Tick issue = issuePort(mi.row, mi.col).acquire(ready);
+        actMaxIssue = std::max(actMaxIssue, issue);
+        Tick atEdge = mesh.routeToEdge(here, issue + ticksPerCycle);
+        if (mi.space == MemSpace::Smc)
+            done = mem.streamWrite(row, a, b, atEdge);
+        else
+            done = mem.cachedWrite(row, a, b, atEdge);
+        actMaxTick = std::max(actMaxTick, done);
+        return; // no targets
+      }
+      case Op::Tld: {
+        panic_if(!tables || mi.tableId >= tables->size(),
+                 "Tld without table %u", mi.tableId);
+        const auto &table = (*tables)[mi.tableId].data;
+        Word value = table[a & (table.size() - 1)];
+        if (m.mech.l0DataStore) {
+            Tick grant = l0Ports[mi.row * m.cols + mi.col].acquire(ready);
+            actMaxIssue = std::max(actMaxIssue, grant);
+            done = grant + cyclesToTicks(m.l0Latency);
+        } else {
+            // Table lives in cached memory; pay a full L1 round trip.
+            Tick issue = issuePort(mi.row, mi.col).acquire(ready);
+            actMaxIssue = std::max(actMaxIssue, issue);
+            Tick atEdge = mesh.routeToEdge(here, issue + ticksPerCycle);
+            Addr byteAddr = tableByteBase[mi.tableId] + a * wordBytes;
+            Tick served = mem.cachedTiming(row, byteAddr, atEdge, false);
+            done = mesh.routeFromEdge(row, here, served);
+        }
+        st.result[0] = value;
+        break;
+      }
+      default: {
+        // Ordinary computation on the tile's functional units.
+        const auto &info = isa::opInfo(mi.op);
+        Tick issue = issuePort(mi.row, mi.col).acquire(ready);
+        if (info.fu == isa::FuClass::FpDiv) {
+            issue = divPorts[mi.row * m.cols + mi.col].acquire(issue);
+        }
+        actMaxIssue = std::max(actMaxIssue, issue);
+        done = issue + cyclesToTicks(info.latency);
+        st.result[0] = isa::evalOp(mi.op, a, b, c, mi.imm);
+        break;
+      }
+    }
+
+    actMaxTick = std::max(actMaxTick, done);
+
+    // Serialize operand injection at the producer, then route each copy.
+    sim::Resource &inject = injectPorts[mi.row * m.cols + mi.col];
+    for (const auto &t : mi.targets) {
+        const auto &dst = block.insts[t.inst];
+        Tick injT = inject.acquire(done);
+        Tick arrive = mesh.route(here, tileOf(dst), injT);
+        if (mi.regTile)
+            arrive += m.hopTicks; // edge crossing from the register tile
+        deliver(block, idx, t, st.result[0], arrive, stats);
+    }
+}
+
+Tick
+BlockEngine::channelDeliver(unsigned row, uint8_t wordIdx, noc::Coord dst,
+                            Tick ready)
+{
+    Tick grant = mem.smc().channelLane(row, wordIdx).acquire(ready);
+    unsigned vdist = dst.row > row ? dst.row - row : row - dst.row;
+    return grant + 1 + (dst.col + vdist) * m.hopTicks;
+}
+
+void
+BlockEngine::deliver(const MappedBlock &block, uint32_t producer,
+                     const isa::Target &target, Word value, Tick when,
+                     RunStats &stats)
+{
+    (void)producer;
+    actMaxTick = std::max(actMaxTick, when);
+    uint32_t idx = target.inst;
+    uint8_t slot = target.srcSlot;
+
+    eq.schedule(when, [this, &block, idx, slot, value, when, &stats] {
+        const MappedInst &mi = block.insts[idx];
+        InstState &st = state[idx];
+        panic_if(slot >= mi.numSrcs,
+                 "operand delivered to bad slot %u of %s", slot,
+                 isa::disasm(mi).c_str());
+        st.operand[slot] = value;
+        st.present[slot] = true;
+        if (st.fired)
+            return;
+        if (mi.onceOnly && firedCount >= expectedCount)
+            return;
+        for (unsigned s = 0; s < mi.numSrcs; ++s)
+            if (!st.present[s])
+                return;
+        execute(block, idx, when, stats);
+    });
+}
+
+} // namespace dlp::core

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The block-dataflow execution engine: statically placed, dynamically
+ * issued execution of SimdPlans on the grid core.
+ *
+ * Each activation fires every mapped instruction exactly once when its
+ * operands arrive, routes results over the mesh with per-link contention,
+ * and touches the memory system through the row-edge ports. Between
+ * activations the engine models either a revitalize broadcast
+ * (instruction-revitalization machines) or a full block re-map (the
+ * baseline ILP machine). Operand revitalization keeps persistent operands
+ * across activations so constant reads fire only once per mapping.
+ *
+ * Register writes are buffered and commit with the block (TRIPS
+ * block-atomic semantics), so induction registers read the previous
+ * activation's value by construction.
+ */
+
+#ifndef DLP_CORE_BLOCK_ENGINE_HH
+#define DLP_CORE_BLOCK_ENGINE_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/machine.hh"
+#include "kernels/ir.hh"
+#include "mem/memory_system.hh"
+#include "noc/mesh.hh"
+#include "sched/plan.hh"
+#include "sim/eventq.hh"
+#include "sim/resource.hh"
+
+namespace dlp::core {
+
+/** Aggregate results of one plan execution. */
+struct RunStats
+{
+    Cycles cycles = 0;          ///< total execution time
+    uint64_t usefulOps = 0;     ///< non-overhead computation executed
+    uint64_t instsExecuted = 0; ///< all dynamic instructions
+    uint64_t activations = 0;
+    uint64_t mappings = 0;      ///< block map events
+    uint64_t groups = 0;
+
+    double
+    opsPerCycle() const
+    {
+        return cycles ? double(usefulOps) / double(cycles) : 0.0;
+    }
+};
+
+class BlockEngine
+{
+  public:
+    BlockEngine(const MachineParams &params, mem::MemorySystem &memory);
+
+    /**
+     * Point the engine at the kernel's lookup tables. Word addresses for
+     * the non-L0 (cached) fallback are assigned contiguously from a
+     * dedicated table region.
+     */
+    void setTables(const std::vector<kernels::Table> *tables);
+
+    /**
+     * Execute a plan over numRecords records (inputs already resident in
+     * the SMC at plan.layout). Continues from the engine's current
+     * simulated time, so successive batches accumulate.
+     */
+    RunStats run(const sched::SimdPlan &plan, uint64_t numRecords);
+
+    /** Current simulated tick (end of the last run). */
+    Tick now() const { return curTick; }
+
+    /**
+     * Advance simulated time (DMA transfers staging the next chunk of a
+     * dataset that does not fit the SMC -- the paper notes lu is the one
+     * benchmark whose data exceeds it).
+     */
+    void advanceTo(Tick t) { curTick = std::max(curTick, t); }
+
+    /** Direct register-file access (tests). */
+    Word reg(unsigned r) const { return rf.at(r); }
+
+  private:
+    struct InstState
+    {
+        Word operand[isa::maxSrcs] = {0, 0, 0};
+        bool present[isa::maxSrcs] = {false, false, false};
+        bool fired = false;
+        std::vector<Word> result; ///< result words (Lmw has several)
+    };
+
+    void runActivation(const isa::MappedBlock &block, Tick startTick,
+                       bool firstActivation, RunStats &stats);
+
+    /** Execute one instruction once its operands are ready. */
+    void execute(const isa::MappedBlock &block, uint32_t idx, Tick ready,
+                 RunStats &stats);
+
+    /** Completion tick of a word delivered over the row's streaming
+     *  channel to tile dst. */
+    Tick channelDeliver(unsigned row, uint8_t wordIdx, noc::Coord dst,
+                        Tick ready);
+
+    /** Deliver one result word to a consumer operand slot. */
+    void deliver(const isa::MappedBlock &block, uint32_t producer,
+                 const isa::Target &target, Word value, Tick when,
+                 RunStats &stats);
+
+    noc::Coord tileOf(const isa::MappedInst &mi) const
+    {
+        return noc::Coord{mi.row, mi.col};
+    }
+
+    sim::Resource &issuePort(unsigned row, unsigned col)
+    {
+        return issuePorts[row * m.cols + col];
+    }
+
+    const MachineParams m;
+    mem::MemorySystem &mem;
+    noc::MeshNetwork mesh;
+    sim::EventQueue eq;
+
+    std::vector<Word> rf;
+    std::vector<std::pair<unsigned, Word>> pendingWrites;
+
+    std::vector<sim::Resource> issuePorts;  ///< 1 issue per cycle per tile
+    std::vector<sim::Resource> divPorts;    ///< unpipelined divide/sqrt
+    std::vector<sim::Resource> injectPorts; ///< operand injection per tile
+    std::vector<sim::Resource> l0Ports;     ///< L0 data-store port per tile
+    std::vector<sim::Resource> regRead;     ///< RF bank read ports
+    std::vector<sim::Resource> regWrite;    ///< RF bank write ports
+
+    const std::vector<kernels::Table> *tables = nullptr;
+    std::vector<Addr> tableByteBase; ///< cached-space fallback addresses
+
+    /** Resources whose occupancy bounds the activation pipeline. */
+    std::vector<sim::Resource *> tracked;
+    std::vector<const char *> trackedName;
+    std::vector<uint64_t> grantSnapshot;
+
+    /** Snapshot grant counts of all tracked resources. */
+    void snapshotGrants();
+    /** Max busy time any tracked resource accumulated since snapshot. */
+    Tick busySinceSnapshot() const;
+
+    std::vector<InstState> state;
+    uint64_t firedCount = 0;
+    uint64_t expectedCount = 0;
+    Tick actMaxTick = 0;   ///< full drain (deliveries, stores)
+    Tick actMaxIssue = 0;  ///< last reservation-station issue
+    Tick actMaxWrite = 0;  ///< last register-write commit
+
+    Tick curTick = 0;
+
+    /// Byte address region where lookup tables live when the L0 data
+    /// store is disabled (they sit in cached memory).
+    static constexpr Addr tableRegionBase = Addr(1) << 41;
+};
+
+} // namespace dlp::core
+
+#endif // DLP_CORE_BLOCK_ENGINE_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Machine configuration: the baseline TRIPS-like grid processor of
+ * Section 5.2 plus the on/off switches for each of the paper's universal
+ * mechanisms (Table 3). A MachineParams value fully determines both how
+ * kernels are lowered (the scheduler reads the mechanism flags) and how
+ * the engines charge time.
+ */
+
+#ifndef DLP_CORE_MACHINE_HH
+#define DLP_CORE_MACHINE_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "mem/params.hh"
+
+namespace dlp::core {
+
+/** The six universal mechanisms (Table 3). */
+struct Mechanisms
+{
+    /// Software-managed streamed memory + LMW wide loads + store buffer.
+    bool smc = false;
+    /// Instruction revitalization (CTR + revitalize broadcast).
+    bool instRevitalize = false;
+    /// Operand revitalization (persistent reservation-station operands).
+    bool operandRevitalize = false;
+    /// Software-managed L0 data store at each ALU (2 KB).
+    bool l0DataStore = false;
+    /// Local program counters + L0 instruction store (MIMD execution).
+    bool localPC = false;
+};
+
+struct MachineParams
+{
+    std::string name = "baseline";
+
+    // --- Execution array --------------------------------------------------
+    unsigned rows = 8;
+    unsigned cols = 8;
+    /// Reservation-station slots (instruction storage) per ALU tile.
+    /// TRIPS provisions several frames of reservation stations per node;
+    /// 16 slots x 64 tiles give the 1024-instruction window the S-morph
+    /// unrolls into.
+    unsigned frameSlots = 16;
+    /// Operand-buffer entries per tile (the MIMD register file).
+    unsigned tileRegs = 64;
+    /// L0 instruction store entries per tile (MIMD mode).
+    unsigned l0InstEntries = 1024;
+    /// L0 data store per tile, bytes (Section 4.4: 2 KB sufficed).
+    uint64_t l0DataBytes = 2048;
+    /// L0 data store access latency, cycles.
+    Cycles l0Latency = 1;
+    /// Network hop delay in ticks (paper: half a cycle).
+    Tick hopTicks = 1;
+    /// Maximum in-flight loads per tile in MIMD mode.
+    unsigned mimdOutstandingLoads = 4;
+
+    // --- Global register file ---------------------------------------------
+    unsigned regBanks = 4;
+    unsigned numRegs = 128;
+    Cycles regLatency = 1;
+
+    // --- Block control -----------------------------------------------------
+    /// Instructions mapped (fetched + distributed) per cycle.
+    unsigned mapBandwidth = 16;
+    /// Pipeline refill after mapping a new block, cycles.
+    Cycles mapOverhead = 4;
+    /// Revitalize broadcast delay between activations, cycles.
+    Cycles revitalizeDelay = 4;
+    /**
+     * Frames of reservation-station storage the sequencer double-buffers
+     * across: the scheduler packs blocks into totalSlots()/pipelineFrames
+     * so the next activation can map/revitalize while the previous one
+     * drains. The initiation interval between activations is then bounded
+     * by resource occupancy, not by the activation's latency.
+     */
+    unsigned pipelineFrames = 2;
+    /// Per-target operand injection interval at a producer, ticks.
+    Tick injectInterval = 1;
+
+    // --- Mechanisms and memory ---------------------------------------------
+    Mechanisms mech;
+    mem::MemParams memParams;
+
+    unsigned tiles() const { return rows * cols; }
+    unsigned totalSlots() const { return tiles() * frameSlots; }
+    uint64_t l0DataWords() const { return l0DataBytes / wordBytes; }
+};
+
+} // namespace dlp::core
+
+#endif // DLP_CORE_MACHINE_HH

@@ -1,0 +1,247 @@
+#include "core/mimd_engine.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/bitutils.hh"
+#include "isa/disasm.hh"
+
+namespace dlp::core {
+
+using isa::MemSpace;
+using isa::Op;
+using isa::SeqInst;
+
+MimdEngine::MimdEngine(const MachineParams &params,
+                       mem::MemorySystem &memory)
+    : m(params), mem(memory),
+      mesh(params.rows, params.cols, params.hopTicks),
+      l0Ports(params.tiles(), sim::Resource(ticksPerCycle))
+{
+}
+
+void
+MimdEngine::setTables(const std::vector<kernels::Table> *kernelTables)
+{
+    tables = kernelTables;
+    tableByteBase.clear();
+    Addr base = tableRegionBase;
+    if (tables) {
+        for (const auto &t : *tables) {
+            tableByteBase.push_back(base);
+            base += t.data.size() * wordBytes;
+        }
+    }
+}
+
+RunStats
+MimdEngine::run(const sched::MimdPlan &plan, uint64_t numRecords)
+{
+    RunStats stats;
+    Tick start = curTick;
+
+    // Setup block (Section 4.3): broadcast the program into every L0
+    // instruction store, preload the per-tile registers and the L0 data
+    // stores, reset the PCs.
+    uint64_t setupWords = plan.program.code.size();
+    if (tables && m.mech.l0DataStore) {
+        for (const auto &t : *tables)
+            setupWords += t.data.size();
+    }
+    start += cyclesToTicks(
+        divCeil(std::max<uint64_t>(setupWords, 1),
+                m.memParams.smcWordsPerCycle) +
+        m.mapOverhead);
+    stats.mappings = 1;
+
+    std::vector<TileState> tiles(m.tiles());
+    for (unsigned t = 0; t < m.tiles(); ++t) {
+        TileState &ts = tiles[t];
+        ts.here = noc::Coord{static_cast<uint8_t>(t / m.cols),
+                             static_cast<uint8_t>(t % m.cols)};
+        ts.regs.assign(m.tileRegs, 0);
+        ts.ready.assign(m.tileRegs, start);
+        for (const auto &init : plan.initialRegs)
+            ts.regs.at(init.first) = init.second;
+        ts.regs.at(plan.recIdxReg) = t;
+        ts.regs.at(plan.strideReg) = m.tiles();
+        ts.regs.at(plan.recCountReg) = numRecords;
+        ts.cursor = start;
+        ts.lastEffect = start;
+    }
+
+    // Advance tiles one instruction at a time in global simulated-time
+    // order, so contention for shared resources (edge ports, banks,
+    // links) resolves first-come-first-served in machine time rather
+    // than in tile-scan order.
+    using HeapEntry = std::pair<Tick, unsigned>;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>>
+        heap;
+    for (unsigned t = 0; t < m.tiles(); ++t)
+        heap.emplace(start, t);
+
+    Tick end = start;
+    while (!heap.empty()) {
+        auto [when, tileIdx] = heap.top();
+        heap.pop();
+        (void)when;
+        TileState &ts = tiles[tileIdx];
+        if (ts.pc >= plan.program.code.size())
+            continue;
+
+        // If this tile is dependency-stalled past the next tile's turn,
+        // give way and come back at the stall-resolution time.
+        Tick t = issueTime(plan, ts);
+        if (!heap.empty() && t > heap.top().first) {
+            heap.emplace(t, tileIdx);
+            continue;
+        }
+
+        step(plan, ts, stats);
+
+        if (ts.pc >= plan.program.code.size()) {
+            Tick tileEnd = std::max(ts.cursor, ts.lastEffect);
+            for (Tick o : ts.outstanding)
+                tileEnd = std::max(tileEnd, o);
+            end = std::max(end, tileEnd);
+        } else {
+            heap.emplace(ts.cursor, tileIdx);
+        }
+    }
+
+    stats.cycles = ticksToCycles(end - curTick);
+    curTick = end;
+    return stats;
+}
+
+Tick
+MimdEngine::issueTime(const sched::MimdPlan &plan, const TileState &ts) const
+{
+    const SeqInst &si = plan.program.code[ts.pc];
+    const auto &info = isa::opInfo(si.op);
+    Tick t = ts.cursor;
+    for (unsigned s = 0; s < info.numSrcs; ++s) {
+        if (s == 1 && si.immB)
+            continue;
+        t = std::max(t, ts.ready[si.rs[s]]);
+    }
+    return t;
+}
+
+void
+MimdEngine::step(const sched::MimdPlan &plan, TileState &ts,
+                 RunStats &stats)
+{
+    const auto &code = plan.program.code;
+    const SeqInst &si = code[ts.pc];
+    const auto &info = isa::opInfo(si.op);
+    unsigned tile = ts.here.row * m.cols + ts.here.col;
+    unsigned row = ts.here.row;
+
+    fatal_if(++ts.executed > instLimit,
+             "MIMD tile %u exceeded the instruction limit "
+             "(runaway loop in %s?)",
+             tile, plan.name.c_str());
+
+    Tick t = issueTime(plan, ts);
+    ++stats.instsExecuted;
+    if (!si.overhead)
+        ++stats.usefulOps;
+
+    Word a = ts.regs[si.rs[0]];
+    Word b = si.immB ? si.imm : ts.regs[si.rs[1]];
+
+    switch (si.op) {
+      case Op::Ld: {
+        while (ts.outstanding.size() >= m.mimdOutstandingLoads) {
+            t = std::max(t, ts.outstanding.front());
+            ts.outstanding.pop_front();
+        }
+        Addr addr = a + si.imm;
+        Word value = 0;
+        Tick atEdge = mesh.routeToEdge(ts.here, t + ticksPerCycle);
+        Tick done;
+        if (si.space == MemSpace::Smc && m.mech.smc) {
+            Tick served = mem.streamRead(row, addr, 1, atEdge, &value);
+            // The response rides the row's streaming channel.
+            Tick grant = mem.smc().channelLane(row, 0).acquire(served);
+            done = grant + 1 + ts.here.col * m.hopTicks;
+        } else if (si.space == MemSpace::Smc) {
+            Tick served = mem.streamRead(row, addr, 1, atEdge, &value);
+            done = mesh.routeFromEdge(row, ts.here, served);
+        } else {
+            Tick served = mem.cachedRead(row, addr, atEdge, value);
+            done = mesh.routeFromEdge(row, ts.here, served);
+        }
+        ts.regs[si.rd] = value;
+        ts.ready[si.rd] = done;
+        ts.outstanding.push_back(done);
+        ts.lastEffect = std::max(ts.lastEffect, done);
+        break;
+      }
+      case Op::St: {
+        Addr addr = a + si.imm;
+        Tick atEdge = mesh.routeToEdge(ts.here, t + ticksPerCycle);
+        Tick done;
+        if (si.space == MemSpace::Smc)
+            done = mem.streamWrite(row, addr, ts.regs[si.rs[1]], atEdge);
+        else
+            done = mem.cachedWrite(row, addr, ts.regs[si.rs[1]], atEdge);
+        ts.lastEffect = std::max(ts.lastEffect, done);
+        break;
+      }
+      case Op::Tld: {
+        panic_if(!tables || si.tableId >= tables->size(),
+                 "Tld without table %u", si.tableId);
+        const auto &table = (*tables)[si.tableId].data;
+        Word value = table[a & (table.size() - 1)];
+        Tick done;
+        if (m.mech.l0DataStore) {
+            Tick grant = l0Ports[tile].acquire(t);
+            done = grant + cyclesToTicks(m.l0Latency);
+        } else {
+            // No L0 store: the table lives in cached memory.
+            while (ts.outstanding.size() >= m.mimdOutstandingLoads) {
+                t = std::max(t, ts.outstanding.front());
+                ts.outstanding.pop_front();
+            }
+            Tick atEdge = mesh.routeToEdge(ts.here, t + ticksPerCycle);
+            Addr byteAddr = tableByteBase[si.tableId] + a * wordBytes;
+            Tick served = mem.cachedTiming(row, byteAddr, atEdge, false);
+            done = mesh.routeFromEdge(row, ts.here, served);
+            ts.outstanding.push_back(done);
+        }
+        ts.regs[si.rd] = value;
+        ts.ready[si.rd] = done;
+        ts.lastEffect = std::max(ts.lastEffect, done);
+        break;
+      }
+      case Op::Br:
+        ts.cursor = t + ticksPerCycle;
+        ts.pc = si.branchTarget;
+        return;
+      case Op::Beqz:
+      case Op::Bnez: {
+        bool taken = (si.op == Op::Beqz) ? (a == 0) : (a != 0);
+        ts.cursor = t + ticksPerCycle;
+        ts.pc = taken ? si.branchTarget : ts.pc + 1;
+        return;
+      }
+      case Op::Halt:
+        ts.cursor = t + ticksPerCycle;
+        ts.pc = code.size();
+        return;
+      default: {
+        Word c = ts.regs[si.rs[2]];
+        ts.regs[si.rd] = isa::evalOp(si.op, a, b, c, si.imm);
+        ts.ready[si.rd] = t + cyclesToTicks(info.latency);
+        break;
+      }
+    }
+
+    ts.cursor = t + ticksPerCycle; // one issue per cycle
+    ++ts.pc;
+}
+
+} // namespace dlp::core

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The MIMD execution engine: each ALU tile independently runs the
+ * kernel's sequential program from its L0 instruction store with a local
+ * program counter (Section 4.3, Figure 4c).
+ *
+ * Tiles are simple in-order fetch / register-read / execute pipelines:
+ * one instruction per cycle, register scoreboarding for long-latency
+ * results, and a small window of outstanding loads. Every load and store
+ * is routed individually through the mesh to the row's edge port -- the
+ * routing traffic that makes the plain M configuration lose to the
+ * SIMD-style configurations on regular kernels (Section 5.3) -- while
+ * table lookups hit the tile-local L0 data store when that mechanism is
+ * enabled.
+ */
+
+#ifndef DLP_CORE_MIMD_ENGINE_HH
+#define DLP_CORE_MIMD_ENGINE_HH
+
+#include <deque>
+#include <vector>
+
+#include "core/block_engine.hh" // RunStats
+#include "core/machine.hh"
+#include "kernels/ir.hh"
+#include "mem/memory_system.hh"
+#include "noc/mesh.hh"
+#include "sched/plan.hh"
+
+namespace dlp::core {
+
+class MimdEngine
+{
+  public:
+    MimdEngine(const MachineParams &params, mem::MemorySystem &memory);
+
+    void setTables(const std::vector<kernels::Table> *tables);
+
+    /**
+     * Run the per-tile program over numRecords records. Tile t starts at
+     * record t and strides by the tile count. Continues from the current
+     * simulated time.
+     */
+    RunStats run(const sched::MimdPlan &plan, uint64_t numRecords);
+
+    Tick now() const { return curTick; }
+
+    /** Advance simulated time (inter-chunk DMA staging). */
+    void advanceTo(Tick t) { curTick = std::max(curTick, t); }
+
+  private:
+    /** Per-tile architectural and pipeline state. */
+    struct TileState
+    {
+        noc::Coord here{0, 0};
+        std::vector<Word> regs;
+        std::vector<Tick> ready;
+        std::deque<Tick> outstanding;
+        Tick cursor = 0;
+        Tick lastEffect = 0;
+        uint64_t pc = 0;
+        uint64_t executed = 0;
+    };
+
+    /** Dependency-stall-resolved issue time of the tile's next inst. */
+    Tick issueTime(const sched::MimdPlan &plan, const TileState &ts) const;
+
+    /** Execute one instruction on a tile. */
+    void step(const sched::MimdPlan &plan, TileState &ts, RunStats &stats);
+
+    const MachineParams m;
+    mem::MemorySystem &mem;
+    noc::MeshNetwork mesh;
+
+    const std::vector<kernels::Table> *tables = nullptr;
+    std::vector<Addr> tableByteBase;
+    std::vector<sim::Resource> l0Ports;
+
+    Tick curTick = 0;
+
+    static constexpr Addr tableRegionBase = Addr(1) << 41;
+    static constexpr uint64_t instLimit = 400'000'000;
+};
+
+} // namespace dlp::core
+
+#endif // DLP_CORE_MIMD_ENGINE_HH

@@ -1,0 +1,93 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+namespace dlp::isa {
+
+namespace {
+
+const char *
+spaceName(MemSpace s)
+{
+    switch (s) {
+      case MemSpace::None:   return "-";
+      case MemSpace::Smc:    return "smc";
+      case MemSpace::Cached: return "l1";
+      case MemSpace::Table:  return "tab";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+disasm(const MappedInst &mi)
+{
+    std::ostringstream os;
+    os << "[" << int(mi.row) << "," << int(mi.col) << ":" << int(mi.slot)
+       << "] " << opName(mi.op);
+    if (mi.op == Op::Movi || mi.op == Op::Read || mi.op == Op::Write)
+        os << " #" << mi.imm;
+    if (mi.space != MemSpace::None) {
+        os << " @" << spaceName(mi.space);
+        if (mi.op == Op::Lmw)
+            os << " x" << int(mi.lmwCount);
+        if (mi.op == Op::Tld)
+            os << " t" << mi.tableId;
+    }
+    if (!mi.targets.empty()) {
+        os << " ->";
+        for (const auto &t : mi.targets) {
+            os << " i" << t.inst << "." << int(t.srcSlot);
+            if (t.wordIdx)
+                os << "w" << int(t.wordIdx);
+        }
+    }
+    if (mi.overhead)
+        os << " ;ovh";
+    return os.str();
+}
+
+std::string
+disasm(const SeqInst &si)
+{
+    std::ostringstream os;
+    os << opName(si.op) << " r" << int(si.rd);
+    const auto &info = opInfo(si.op);
+    for (unsigned s = 0; s < info.numSrcs; ++s)
+        os << ", r" << int(si.rs[s]);
+    if (si.op == Op::Movi || si.op == Op::Ld || si.op == Op::St)
+        os << ", #" << si.imm;
+    if (isCtrlOp(si.op) && si.op != Op::Halt)
+        os << " -> " << si.branchTarget;
+    if (si.space != MemSpace::None)
+        os << " @" << spaceName(si.space);
+    if (si.overhead)
+        os << " ;ovh";
+    return os.str();
+}
+
+std::string
+disasm(const MappedBlock &block)
+{
+    std::ostringstream os;
+    os << "block " << block.name << " (" << block.insts.size()
+       << " insts on " << int(block.rows) << "x" << int(block.cols)
+       << " grid)\n";
+    for (size_t i = 0; i < block.insts.size(); ++i)
+        os << "  i" << i << ": " << disasm(block.insts[i]) << "\n";
+    return os.str();
+}
+
+std::string
+disasm(const SeqProgram &prog)
+{
+    std::ostringstream os;
+    os << "program " << prog.name << " (" << prog.code.size() << " insts, "
+       << prog.numRegs << " regs)\n";
+    for (size_t i = 0; i < prog.code.size(); ++i)
+        os << "  " << i << ": " << disasm(prog.code[i]) << "\n";
+    return os.str();
+}
+
+} // namespace dlp::isa

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Human-readable printing of mapped blocks and sequential programs.
+ */
+
+#ifndef DLP_ISA_DISASM_HH
+#define DLP_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/mapped.hh"
+#include "isa/seq.hh"
+
+namespace dlp::isa {
+
+/** One-line disassembly of a mapped instruction. */
+std::string disasm(const MappedInst &mi);
+
+/** One-line disassembly of a sequential instruction. */
+std::string disasm(const SeqInst &si);
+
+/** Full block listing (one instruction per line). */
+std::string disasm(const MappedBlock &block);
+
+/** Full program listing. */
+std::string disasm(const SeqProgram &prog);
+
+} // namespace dlp::isa
+
+#endif // DLP_ISA_DISASM_HH

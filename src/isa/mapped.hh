@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The statically-placed, dynamically-issued (SPDI) block format.
+ *
+ * A MappedBlock is the unit the grid core executes in dataflow mode: each
+ * instruction carries its placement (tile row/column and reservation-station
+ * slot) and an explicit list of consumer targets, exactly as in the TRIPS
+ * ISA where each instruction encodes its placement and its consumers. The
+ * core fires an instruction when all of its source operands have arrived,
+ * routes the result over the operand network to the targets, and commits
+ * the block when every instruction has executed.
+ *
+ * Every instruction in a block fires exactly once per activation;
+ * conditional execution is expressed with Sel (select) chains, which is the
+ * "predication or other techniques for nullifying unwanted instructions"
+ * cost model the paper assigns to SIMD-style execution of data-dependent
+ * control.
+ */
+
+#ifndef DLP_ISA_MAPPED_HH
+#define DLP_ISA_MAPPED_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace dlp::isa {
+
+/** Which part of the memory system a memory operation addresses. */
+enum class MemSpace : uint8_t
+{
+    None,    ///< not a memory operation
+    Smc,     ///< software-managed cache (regular, streamed accesses)
+    Cached,  ///< hardware-managed L1/L2 (irregular accesses)
+    Table    ///< indexed constants; L0 data store when enabled, else L1
+};
+
+/** Maximum source operands of any instruction. */
+constexpr unsigned maxSrcs = 3;
+
+/** A destination of an instruction's result. */
+struct Target
+{
+    uint32_t inst;    ///< index of the consumer within the block
+    uint8_t srcSlot;  ///< which source operand of the consumer
+    uint8_t wordIdx;  ///< which result word (Lmw produces several)
+};
+
+/** One placed dataflow instruction. */
+struct MappedInst
+{
+    Op op = Op::Nop;
+    Word imm = 0;
+
+    /// Placement on the grid.
+    uint8_t row = 0;
+    uint8_t col = 0;
+    uint8_t slot = 0;
+
+    /// Number of source operands that must arrive before firing.
+    uint8_t numSrcs = 0;
+
+    /**
+     * Operand-revitalization bits (one per source slot). A persistent
+     * operand survives a revitalize: it is not cleared between iterations,
+     * so constants delivered once keep feeding every iteration. Only
+     * meaningful on machines with the operand-revitalization mechanism.
+     */
+    bool persistent[maxSrcs] = {false, false, false};
+
+    /// Memory attributes (Ld/St/Lmw/Tld only).
+    MemSpace space = MemSpace::None;
+    uint8_t lmwCount = 0;   ///< words fetched by Lmw
+    uint8_t lmwStride = 1;  ///< word stride of the Lmw (vector fetch)
+    uint16_t tableId = 0;   ///< which lookup table Tld reads
+
+    /// Overhead instructions (address arithmetic, loads/stores, register
+    /// moves) are excluded from the paper's useful-ops/cycle metric.
+    bool overhead = false;
+
+    /// Binary op whose second operand is the immediate (no dataflow edge).
+    bool immB = false;
+
+    /**
+     * Fires only on the first activation of the block (operand
+     * revitalization): the values it delivers are marked persistent at
+     * the consumers and survive every revitalize. Set on constant
+     * register reads and immediate moves when the mechanism is enabled.
+     */
+    bool onceOnly = false;
+
+    /// Lives in a register tile on the array edge (Read/Write); exempt
+    /// from the reservation-station slot budget.
+    bool regTile = false;
+
+    std::vector<Target> targets;
+};
+
+/** A complete block mapped onto the grid. */
+struct MappedBlock
+{
+    std::string name;
+    uint8_t rows = 0;
+    uint8_t cols = 0;
+    uint8_t slotsPerTile = 0;
+
+    std::vector<MappedInst> insts;
+
+    /** Total instructions in the block. */
+    size_t size() const { return insts.size(); }
+
+    /** Count of non-overhead (useful) instructions. */
+    size_t
+    usefulCount() const
+    {
+        size_t n = 0;
+        for (const auto &mi : insts)
+            if (!mi.overhead)
+                ++n;
+        return n;
+    }
+
+    /** Validate placement bounds and target references; panics on error. */
+    void
+    validate() const
+    {
+        std::vector<uint32_t> occupancy(
+            static_cast<size_t>(rows) * cols, 0);
+        for (size_t i = 0; i < insts.size(); ++i) {
+            const auto &mi = insts[i];
+            panic_if(mi.row >= rows || mi.col >= cols,
+                     "inst %zu of %s placed off-grid (%u,%u)", i,
+                     name.c_str(), mi.row, mi.col);
+            if (!mi.regTile) {
+                panic_if(mi.slot >= slotsPerTile,
+                         "inst %zu of %s in slot %u >= %u", i, name.c_str(),
+                         mi.slot, slotsPerTile);
+                occupancy[static_cast<size_t>(mi.row) * cols + mi.col]++;
+            }
+            for (const auto &t : mi.targets) {
+                panic_if(t.inst >= insts.size(),
+                         "inst %zu of %s targets out-of-range inst %u", i,
+                         name.c_str(), t.inst);
+                panic_if(t.srcSlot >= maxSrcs,
+                         "inst %zu of %s targets bad slot %u", i,
+                         name.c_str(), t.srcSlot);
+            }
+        }
+        for (auto occ : occupancy)
+            panic_if(occ > slotsPerTile,
+                     "block %s overfills a tile (%u > %u slots)",
+                     name.c_str(), occ, slotsPerTile);
+    }
+};
+
+} // namespace dlp::isa
+
+#endif // DLP_ISA_MAPPED_HH

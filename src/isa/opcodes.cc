@@ -1,0 +1,187 @@
+#include "isa/opcodes.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace dlp::isa {
+
+namespace {
+
+/**
+ * Latency table. The paper configures functional-unit latencies to match
+ * an Alpha 21264 (Section 5.2): 1-cycle integer ops, 7-cycle integer
+ * multiply, 4-cycle FP add/multiply, long unpipelined divide and sqrt.
+ */
+constexpr OpInfo opTable[] = {
+    // name       fu                latency  srcs
+    {"nop",      FuClass::IntAlu,    1, 0},   // Nop
+    {"mov",      FuClass::IntAlu,    1, 1},   // Mov
+    {"movi",     FuClass::IntAlu,    1, 0},   // Movi
+    {"sel",      FuClass::IntAlu,    1, 3},   // Sel
+    {"add",      FuClass::IntAlu,    1, 2},   // Add
+    {"sub",      FuClass::IntAlu,    1, 2},   // Sub
+    {"mul",      FuClass::IntMul,    7, 2},   // Mul
+    {"udiv",     FuClass::FpDiv,    12, 2},   // Udiv
+    {"urem",     FuClass::FpDiv,    12, 2},   // Urem
+    {"and",      FuClass::IntAlu,    1, 2},   // And
+    {"or",       FuClass::IntAlu,    1, 2},   // Or
+    {"xor",      FuClass::IntAlu,    1, 2},   // Xor
+    {"not",      FuClass::IntAlu,    1, 1},   // Not
+    {"shl",      FuClass::IntAlu,    1, 2},   // Shl
+    {"shr",      FuClass::IntAlu,    1, 2},   // Shr
+    {"sar",      FuClass::IntAlu,    1, 2},   // Sar
+    {"add32",    FuClass::IntAlu,    1, 2},   // Add32
+    {"sub32",    FuClass::IntAlu,    1, 2},   // Sub32
+    {"mul32",    FuClass::IntMul,    7, 2},   // Mul32
+    {"not32",    FuClass::IntAlu,    1, 1},   // Not32
+    {"shl32",    FuClass::IntAlu,    1, 2},   // Shl32
+    {"shr32",    FuClass::IntAlu,    1, 2},   // Shr32
+    {"rotl32",   FuClass::IntAlu,    1, 2},   // Rotl32
+    {"rotr32",   FuClass::IntAlu,    1, 2},   // Rotr32
+    {"eq",       FuClass::IntAlu,    1, 2},   // Eq
+    {"ne",       FuClass::IntAlu,    1, 2},   // Ne
+    {"lt",       FuClass::IntAlu,    1, 2},   // Lt
+    {"le",       FuClass::IntAlu,    1, 2},   // Le
+    {"ltu",      FuClass::IntAlu,    1, 2},   // Ltu
+    {"leu",      FuClass::IntAlu,    1, 2},   // Leu
+    {"fadd",     FuClass::FpAdd,     4, 2},   // Fadd
+    {"fsub",     FuClass::FpAdd,     4, 2},   // Fsub
+    {"fmul",     FuClass::FpMul,     4, 2},   // Fmul
+    {"fdiv",     FuClass::FpDiv,    12, 2},   // Fdiv
+    {"fsqrt",    FuClass::FpDiv,    16, 1},   // Fsqrt
+    {"fmin",     FuClass::FpAdd,     4, 2},   // Fmin
+    {"fmax",     FuClass::FpAdd,     4, 2},   // Fmax
+    {"fabs",     FuClass::IntAlu,    1, 1},   // Fabs
+    {"fneg",     FuClass::IntAlu,    1, 1},   // Fneg
+    {"feq",      FuClass::FpAdd,     4, 2},   // Feq
+    {"flt",      FuClass::FpAdd,     4, 2},   // Flt
+    {"fle",      FuClass::FpAdd,     4, 2},   // Fle
+    {"itof",     FuClass::FpAdd,     4, 1},   // Itof
+    {"ftoi",     FuClass::FpAdd,     4, 1},   // Ftoi
+    {"actidx",   FuClass::Ctrl,      1, 0},   // ActIdx
+    {"ld",       FuClass::Mem,       1, 1},   // Ld (latency added by memory)
+    {"st",       FuClass::Mem,       1, 2},   // St
+    {"lmw",      FuClass::Mem,       1, 1},   // Lmw
+    {"tld",      FuClass::Mem,       1, 1},   // Tld
+    {"read",     FuClass::Ctrl,      1, 0},   // Read
+    {"write",    FuClass::Ctrl,      1, 1},   // Write
+    {"br",       FuClass::Ctrl,      1, 0},   // Br
+    {"beqz",     FuClass::Ctrl,      1, 1},   // Beqz
+    {"bnez",     FuClass::Ctrl,      1, 1},   // Bnez
+    {"halt",     FuClass::Ctrl,      1, 0},   // Halt
+};
+
+static_assert(sizeof(opTable) / sizeof(opTable[0]) ==
+                  static_cast<size_t>(Op::NumOps),
+              "opTable out of sync with Op enum");
+
+constexpr Word mask32 = 0xffffffffull;
+
+} // namespace
+
+const OpInfo &
+opInfo(Op op)
+{
+    auto idx = static_cast<size_t>(op);
+    panic_if(idx >= static_cast<size_t>(Op::NumOps), "bad opcode %zu", idx);
+    return opTable[idx];
+}
+
+bool
+isMemOp(Op op)
+{
+    return op == Op::Ld || op == Op::St || op == Op::Lmw || op == Op::Tld;
+}
+
+bool
+isCtrlOp(Op op)
+{
+    return op == Op::Br || op == Op::Beqz || op == Op::Bnez || op == Op::Halt;
+}
+
+Word
+fpToWord(double d)
+{
+    return std::bit_cast<Word>(d);
+}
+
+double
+wordToFp(Word w)
+{
+    return std::bit_cast<double>(w);
+}
+
+Word
+evalOp(Op op, Word a, Word b, Word c, Word imm)
+{
+    switch (op) {
+      case Op::Nop:    return 0;
+      case Op::Mov:    return a;
+      case Op::Movi:   return imm;
+      case Op::Sel:    return c ? a : b;
+
+      case Op::Add:    return a + b;
+      case Op::Sub:    return a - b;
+      case Op::Mul:    return a * b;
+      case Op::Udiv:
+        panic_if(b == 0, "udiv by zero");
+        return a / b;
+      case Op::Urem:
+        panic_if(b == 0, "urem by zero");
+        return a % b;
+      case Op::And:    return a & b;
+      case Op::Or:     return a | b;
+      case Op::Xor:    return a ^ b;
+      case Op::Not:    return ~a;
+      case Op::Shl:    return (b & 63) == 0 ? a : a << (b & 63);
+      case Op::Shr:    return (b & 63) == 0 ? a : a >> (b & 63);
+      case Op::Sar:
+        return static_cast<Word>(static_cast<int64_t>(a) >>
+                                 static_cast<int64_t>(b & 63));
+
+      case Op::Add32:  return (a + b) & mask32;
+      case Op::Sub32:  return (a - b) & mask32;
+      case Op::Mul32:  return (a * b) & mask32;
+      case Op::Not32:  return (~a) & mask32;
+      case Op::Shl32:  return (static_cast<uint32_t>(a) << (b & 31)) & mask32;
+      case Op::Shr32:  return (static_cast<uint32_t>(a) >> (b & 31));
+      case Op::Rotl32:
+        return rotl32(static_cast<uint32_t>(a), static_cast<unsigned>(b));
+      case Op::Rotr32:
+        return rotr32(static_cast<uint32_t>(a), static_cast<unsigned>(b));
+
+      case Op::Eq:     return a == b;
+      case Op::Ne:     return a != b;
+      case Op::Lt:
+        return static_cast<int64_t>(a) < static_cast<int64_t>(b);
+      case Op::Le:
+        return static_cast<int64_t>(a) <= static_cast<int64_t>(b);
+      case Op::Ltu:    return a < b;
+      case Op::Leu:    return a <= b;
+
+      case Op::Fadd:   return fpToWord(wordToFp(a) + wordToFp(b));
+      case Op::Fsub:   return fpToWord(wordToFp(a) - wordToFp(b));
+      case Op::Fmul:   return fpToWord(wordToFp(a) * wordToFp(b));
+      case Op::Fdiv:   return fpToWord(wordToFp(a) / wordToFp(b));
+      case Op::Fsqrt:  return fpToWord(std::sqrt(wordToFp(a)));
+      case Op::Fmin:   return fpToWord(std::fmin(wordToFp(a), wordToFp(b)));
+      case Op::Fmax:   return fpToWord(std::fmax(wordToFp(a), wordToFp(b)));
+      case Op::Fabs:   return fpToWord(std::fabs(wordToFp(a)));
+      case Op::Fneg:   return fpToWord(-wordToFp(a));
+      case Op::Feq:    return wordToFp(a) == wordToFp(b);
+      case Op::Flt:    return wordToFp(a) < wordToFp(b);
+      case Op::Fle:    return wordToFp(a) <= wordToFp(b);
+      case Op::Itof:
+        return fpToWord(static_cast<double>(static_cast<int64_t>(a)));
+      case Op::Ftoi:
+        return static_cast<Word>(static_cast<int64_t>(wordToFp(a)));
+
+      default:
+        panic("evalOp on non-functional opcode %s", opName(op));
+    }
+}
+
+} // namespace dlp::isa

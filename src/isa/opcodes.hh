@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The TRIPS-like operation set.
+ *
+ * Values are 64-bit machine words (common/types.hh). Floating-point
+ * operations interpret the word as an IEEE-754 double; the *32 integer
+ * variants mask their result to 32 bits (the crypto and hashing kernels
+ * are 32-bit codes). Operations are pure value->value functions here;
+ * placement, routing and memory behaviour live in isa/mapped.hh and the
+ * core model.
+ */
+
+#ifndef DLP_ISA_OPCODES_HH
+#define DLP_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace dlp::isa {
+
+/** Functional-unit class an operation executes on. */
+enum class FuClass : uint8_t
+{
+    IntAlu,   ///< single-cycle integer / logic
+    IntMul,   ///< pipelined integer multiplier
+    FpAdd,    ///< floating add/compare/convert
+    FpMul,    ///< floating multiplier
+    FpDiv,    ///< unpipelined divide / sqrt
+    Mem,      ///< load/store pipeline
+    Ctrl      ///< branches, register interface, block control
+};
+
+/** Every operation the simulator can execute. */
+enum class Op : uint8_t
+{
+    Nop,
+
+    // Data movement.
+    Mov,      ///< result = src0 (explicit fanout / copy)
+    Movi,     ///< result = imm
+    Sel,      ///< result = src2 ? src0 : src1 (predication support)
+
+    // 64-bit integer arithmetic and logic.
+    Add, Sub, Mul, Udiv, Urem,
+    And, Or, Xor, Not,
+    Shl, Shr, Sar,
+
+    // 32-bit variants (result masked to 32 bits).
+    Add32, Sub32, Mul32, Not32,
+    Shl32, Shr32, Rotl32, Rotr32,
+
+    // Integer comparisons (result 0/1). Signed unless noted.
+    Eq, Ne, Lt, Le, Ltu, Leu,
+
+    // Floating point (operands/results are double bit patterns).
+    Fadd, Fsub, Fmul, Fdiv, Fsqrt,
+    Fmin, Fmax, Fabs, Fneg,
+    Feq, Flt, Fle,
+    Itof,     ///< signed int64 -> double
+    Ftoi,     ///< double -> int64, truncating
+
+    // Special.
+    ActIdx,   ///< current block-activation index (free-running CTR value)
+
+    // Memory operations; address = src0 + imm unless noted.
+    Ld,       ///< scalar load (routed to L1 / SMC depending on space)
+    St,       ///< scalar store, data = src1
+    Lmw,      ///< load-multiple-word: fetch `count` words from the SMC
+    Tld,      ///< table lookup, index = src0, table id in imm
+
+    // Register interface (block inputs/outputs in dataflow mode).
+    Read,     ///< deliver register imm into the grid
+    Write,    ///< write src0 to register imm
+
+    // Sequential (MIMD) control.
+    Br,       ///< unconditional branch to imm
+    Beqz,     ///< branch to imm if src0 == 0
+    Bnez,     ///< branch to imm if src0 != 0
+    Halt,     ///< kernel instance complete
+
+    NumOps
+};
+
+/** Static properties of an operation. */
+struct OpInfo
+{
+    const char *name;
+    FuClass fu;
+    Cycles latency;   ///< execute latency in cycles
+    uint8_t numSrcs;  ///< architectural source operands
+};
+
+/** Look up the static properties of op. */
+const OpInfo &opInfo(Op op);
+
+/** Mnemonic for op. */
+inline const char *opName(Op op) { return opInfo(op).name; }
+
+/** True for Ld/St/Lmw/Tld. */
+bool isMemOp(Op op);
+
+/** True for Br/Beqz/Bnez/Halt. */
+bool isCtrlOp(Op op);
+
+/**
+ * Execute the pure-function part of an operation.
+ *
+ * Memory, register-interface and control ops must not be passed here;
+ * their semantics involve machine state and are handled by the core.
+ *
+ * @param op  operation
+ * @param a   src0 (or don't-care)
+ * @param b   src1
+ * @param c   src2 (Sel only)
+ * @param imm immediate field (Movi)
+ */
+Word evalOp(Op op, Word a, Word b, Word c, Word imm);
+
+/** Bit-pattern helpers for floating-point values. */
+Word fpToWord(double d);
+double wordToFp(Word w);
+
+} // namespace dlp::isa
+
+#endif // DLP_ISA_OPCODES_HH

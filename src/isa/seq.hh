@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The sequential sub-ISA executed in MIMD mode.
+ *
+ * When the local-program-counter mechanism is enabled, each ALU tile runs
+ * an ordinary in-order fetch / register-read / execute pipeline out of its
+ * L0 instruction store (Section 4.3, Figure 4c). The operand storage
+ * buffers act as a small register file. Programs are lists of SeqInst with
+ * PC-relative-free absolute branch targets; loops are real backward
+ * branches, so data-dependent trip counts execute only the work they need
+ * (the fundamental MIMD advantage the paper measures on vertex-skinning).
+ */
+
+#ifndef DLP_ISA_SEQ_HH
+#define DLP_ISA_SEQ_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/mapped.hh"
+#include "isa/opcodes.hh"
+
+namespace dlp::isa {
+
+/** One instruction of a per-tile sequential program. */
+struct SeqInst
+{
+    Op op = Op::Nop;
+    uint8_t rd = 0;               ///< destination register
+    uint8_t rs[maxSrcs] = {0, 0, 0};
+    Word imm = 0;
+    /// Second operand comes from the immediate field instead of rs[1].
+    bool immB = false;
+
+    /// Memory attributes (Ld/St/Tld).
+    MemSpace space = MemSpace::None;
+    uint16_t tableId = 0;
+
+    /// Branch target (absolute instruction index) for Br/Beqz/Bnez.
+    uint32_t branchTarget = 0;
+
+    /// Excluded from the useful-ops/cycle metric when set.
+    bool overhead = false;
+};
+
+/** A complete MIMD kernel program. */
+struct SeqProgram
+{
+    std::string name;
+    std::vector<SeqInst> code;
+    unsigned numRegs = 0;       ///< registers used (operand-buffer entries)
+
+    size_t size() const { return code.size(); }
+};
+
+} // namespace dlp::isa
+
+#endif // DLP_ISA_SEQ_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Small helpers shared by the kernel factories.
+ */
+
+#ifndef DLP_KERNELS_BUILD_UTIL_HH
+#define DLP_KERNELS_BUILD_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "kernels/ir.hh"
+
+namespace dlp::kernels {
+
+/** Balanced-tree floating-point reduction (maximizes ILP). */
+inline Value
+treeReduce(KernelBuilder &b, std::vector<Value> vs, isa::Op op)
+{
+    panic_if(vs.empty(), "empty reduction");
+    while (vs.size() > 1) {
+        std::vector<Value> next;
+        for (size_t i = 0; i + 1 < vs.size(); i += 2)
+            next.push_back(b.op(op, vs[i], vs[i + 1]));
+        if (vs.size() % 2)
+            next.push_back(vs.back());
+        vs = std::move(next);
+    }
+    return vs[0];
+}
+
+/** Declare an array of named floating-point constants c<base>0.. */
+inline std::vector<Value>
+constArrayF(KernelBuilder &b, const std::string &base, const double *vals,
+            size_t n)
+{
+    std::vector<Value> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(b.constantF(base + std::to_string(i), vals[i]));
+    return out;
+}
+
+/** clip = m (3x4 Values) * (p,1), mirroring ref::xform34's order. */
+inline void
+xform34(KernelBuilder &b, const std::vector<Value> &m, const Value p[3],
+        Value out[3])
+{
+    for (int r = 0; r < 3; ++r) {
+        Value t = b.fadd(b.fmul(m[4 * r], p[0]), b.fmul(m[4 * r + 1], p[1]));
+        t = b.fadd(t, b.fmul(m[4 * r + 2], p[2]));
+        out[r] = b.fadd(t, m[4 * r + 3]);
+    }
+}
+
+/** out = m (3x3 Values) * v, mirroring ref::xform33. */
+inline void
+xform33(KernelBuilder &b, const std::vector<Value> &m, const Value v[3],
+        Value out[3])
+{
+    for (int r = 0; r < 3; ++r) {
+        Value t = b.fadd(b.fmul(m[3 * r], v[0]), b.fmul(m[3 * r + 1], v[1]));
+        out[r] = b.fadd(t, b.fmul(m[3 * r + 2], v[2]));
+    }
+}
+
+/** dot(a, b) in ref order: a0 b0 + a1 b1 + a2 b2 left-to-right. */
+inline Value
+dot3(KernelBuilder &b, const Value a[3], const Value v[3])
+{
+    Value t = b.fadd(b.fmul(a[0], v[0]), b.fmul(a[1], v[1]));
+    return b.fadd(t, b.fmul(a[2], v[2]));
+}
+
+/** max(x, 0). */
+inline Value
+maxZero(KernelBuilder &b, Value x)
+{
+    return b.op(isa::Op::Fmax, x, b.immF(0.0));
+}
+
+/** x^8 by three squarings (mirrors ref::pow8). */
+inline Value
+pow8(KernelBuilder &b, Value x)
+{
+    Value x2 = b.fmul(x, x);
+    Value x4 = b.fmul(x2, x2);
+    return b.fmul(x4, x4);
+}
+
+} // namespace dlp::kernels
+
+#endif // DLP_KERNELS_BUILD_UTIL_HH

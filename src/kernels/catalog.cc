@@ -1,0 +1,86 @@
+#include "kernels/catalog.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace dlp::kernels {
+
+std::vector<Kernel>
+allKernels()
+{
+    std::vector<Kernel> v;
+    v.push_back(makeConvert());
+    v.push_back(makeDct());
+    v.push_back(makeHighpass());
+    v.push_back(makeFft());
+    v.push_back(makeLu());
+    v.push_back(makeMd5());
+    v.push_back(makeBlowfish());
+    v.push_back(makeRijndael());
+    v.push_back(makeVertexSimple());
+    v.push_back(makeFragmentSimple());
+    v.push_back(makeVertexReflection());
+    v.push_back(makeFragmentReflection());
+    v.push_back(makeVertexSkinning());
+    v.push_back(makeAnisotropic());
+    return v;
+}
+
+Kernel
+kernelByName(const std::string &name)
+{
+    if (name == "convert")
+        return makeConvert();
+    if (name == "dct")
+        return makeDct();
+    if (name == "highpassfilter")
+        return makeHighpass();
+    if (name == "fft")
+        return makeFft();
+    if (name == "lu")
+        return makeLu();
+    if (name == "md5")
+        return makeMd5();
+    if (name == "blowfish")
+        return makeBlowfish();
+    if (name == "rijndael")
+        return makeRijndael();
+    if (name == "vertex-simple")
+        return makeVertexSimple();
+    if (name == "fragment-simple")
+        return makeFragmentSimple();
+    if (name == "vertex-reflection")
+        return makeVertexReflection();
+    if (name == "fragment-reflection")
+        return makeFragmentReflection();
+    if (name == "vertex-skinning")
+        return makeVertexSkinning();
+    if (name == "anisotropic-filter")
+        return makeAnisotropic();
+    fatal("unknown kernel '%s'", name.c_str());
+}
+
+uint64_t
+kernelSeed(const std::string &name)
+{
+    // Stable per-kernel seeds: FNV-1a of the name mixed with a project
+    // constant, so adding kernels never reshuffles existing datasets.
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : name) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h ^ 0xd1f7a9e5cafe4242ull;
+}
+
+std::vector<uint8_t>
+kernelKeyBytes(const std::string &name, size_t n)
+{
+    Rng rng(kernelSeed(name));
+    std::vector<uint8_t> key(n);
+    for (auto &k : key)
+        k = static_cast<uint8_t>(rng.next());
+    return key;
+}
+
+} // namespace dlp::kernels

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Shared memory-layout conventions for the graphics kernels: where each
+ * kernel's texture lives in the cached (irregular) address space and how
+ * big it is. The workload generators must populate memory with exactly
+ * this layout.
+ */
+
+#ifndef DLP_KERNELS_GFX_LAYOUT_HH
+#define DLP_KERNELS_GFX_LAYOUT_HH
+
+#include "common/types.hh"
+
+namespace dlp::kernels::gfx {
+
+/// All textures live above this byte address.
+constexpr Addr textureBase = 0x10000000ull;
+
+/// fragment-simple: one 256x256 2-D texture.
+constexpr unsigned fragTexLog2 = 8;
+constexpr unsigned fragTexSize = 1u << fragTexLog2;
+
+/// fragment-reflection: a cube map with 128x128 faces.
+constexpr unsigned cubeFaceLog2 = 7;
+constexpr unsigned cubeFaceSize = 1u << cubeFaceLog2;
+
+/// anisotropic-filter: one 512x512 2-D texture.
+constexpr unsigned anisoTexLog2 = 9;
+constexpr unsigned anisoTexSize = 1u << anisoTexLog2;
+
+} // namespace dlp::kernels::gfx
+
+#endif // DLP_KERNELS_GFX_LAYOUT_HH

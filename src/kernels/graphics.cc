@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Real-time-graphics kernels (Table 1): the four lighting/reflection
+ * shaders, vertex skinning (data-dependent bone loop + 288-entry matrix
+ * palette) and anisotropic filtering (data-dependent sample loop + tap
+ * weight table). Each mirrors its golden model in src/ref/shading.cc.
+ */
+
+#include "kernels/build_util.hh"
+#include "kernels/catalog.hh"
+#include "kernels/gfx_layout.hh"
+#include "ref/shading.hh"
+
+namespace dlp::kernels {
+
+namespace {
+
+using isa::Op;
+
+/** Declare a Vec3 as three named constants. */
+std::vector<Value>
+vec3Const(KernelBuilder &b, const std::string &name, const ref::Vec3 &v)
+{
+    return {b.constantF(name + "x", v.x), b.constantF(name + "y", v.y),
+            b.constantF(name + "z", v.z)};
+}
+
+/** Unpack channel c of a packed texel, mirroring ref::unpackChannel. */
+Value
+unpackChan(KernelBuilder &b, Value texel, unsigned c, Value inv65535)
+{
+    Value bits = c == 0 ? b.opImm(Op::And, texel, 0xffff)
+                        : b.opImm(Op::And, b.opImm(Op::Shr, texel, 16 * c),
+                                  0xffff);
+    return b.fmul(b.op(Op::Itof, bits), inv65535);
+}
+
+/**
+ * Byte address of texel (xi, yi) -- already wrapped integer coords --
+ * in a texture whose byte base address is the Value `base`.
+ */
+Value
+texelAddr(KernelBuilder &b, Value base, Value xi, Value yi, unsigned log2w)
+{
+    Value off = b.markOverhead(
+        b.add(b.markOverhead(b.opImm(Op::Shl, yi, log2w)), xi));
+    return b.markOverhead(b.add(base, b.markOverhead(b.opImm(Op::Shl, off, 3))));
+}
+
+/**
+ * Bilinear texture sample mirroring ref::Texture2D::sampleBilinear.
+ * Coordinates must be non-negative (truncation == floor). Emits exactly
+ * four irregular loads.
+ */
+void
+buildBilinear(KernelBuilder &b, Value base, unsigned log2w, unsigned log2h,
+              Value u, Value v, Value inv65535, Value rgb[3])
+{
+    Word wMask = (Word(1) << log2w) - 1;
+    Word hMask = (Word(1) << log2h) - 1;
+
+    Value x0 = b.op(Op::Ftoi, u);
+    Value y0 = b.op(Op::Ftoi, v);
+    Value tu = b.fsub(u, b.op(Op::Itof, x0));
+    Value tv = b.fsub(v, b.op(Op::Itof, y0));
+
+    Value xi0 = b.markOverhead(b.opImm(Op::And, x0, wMask));
+    Value xi1 = b.markOverhead(
+        b.opImm(Op::And, b.markOverhead(b.opImm(Op::Add, x0, 1)), wMask));
+    Value yi0 = b.markOverhead(b.opImm(Op::And, y0, hMask));
+    Value yi1 = b.markOverhead(
+        b.opImm(Op::And, b.markOverhead(b.opImm(Op::Add, y0, 1)), hMask));
+
+    Value t00 = b.cachedLoad(texelAddr(b, base, xi0, yi0, log2w));
+    Value t10 = b.cachedLoad(texelAddr(b, base, xi1, yi0, log2w));
+    Value t01 = b.cachedLoad(texelAddr(b, base, xi0, yi1, log2w));
+    Value t11 = b.cachedLoad(texelAddr(b, base, xi1, yi1, log2w));
+
+    Value one = b.immF(1.0);
+    Value omtu = b.fsub(one, tu);
+    Value omtv = b.fsub(one, tv);
+    for (unsigned c = 0; c < 3; ++c) {
+        Value c00 = unpackChan(b, t00, c, inv65535);
+        Value c10 = unpackChan(b, t10, c, inv65535);
+        Value c01 = unpackChan(b, t01, c, inv65535);
+        Value c11 = unpackChan(b, t11, c, inv65535);
+        Value ia = b.fadd(b.fmul(c00, omtu), b.fmul(c10, tu));
+        Value ib = b.fadd(b.fmul(c01, omtu), b.fmul(c11, tu));
+        rgb[c] = b.fadd(b.fmul(ia, omtv), b.fmul(ib, tv));
+    }
+}
+
+} // namespace
+
+Kernel
+makeVertexSimple()
+{
+    KernelBuilder b("vertex-simple", Domain::Graphics);
+    b.setRecord(7, 6);
+    auto p = ref::makeVertexSimpleParams(kernelSeed("vertex-simple"));
+
+    std::vector<Value> mvp, nrm;
+    for (int i = 0; i < 12; ++i)
+        mvp.push_back(b.constantF("mvp" + std::to_string(i), p.mvp[i]));
+    for (int i = 0; i < 9; ++i)
+        nrm.push_back(b.constantF("nrm" + std::to_string(i), p.nrm[i]));
+    auto lightDir = vec3Const(b, "ld", p.lightDir);
+    auto halfVec = vec3Const(b, "hv", p.halfVec);
+    auto lightColor = vec3Const(b, "lc", p.lightColor);
+    auto ambient = vec3Const(b, "am", p.ambient);
+    auto specular = vec3Const(b, "sp", p.specular);
+    auto emissive = vec3Const(b, "em", p.emissive);
+
+    Value pos[3] = {b.inWord(0), b.inWord(1), b.inWord(2)};
+    Value nin[3] = {b.inWord(3), b.inWord(4), b.inWord(5)};
+    Value albedo = b.inWord(6);
+
+    Value clip[3];
+    xform34(b, mvp, pos, clip);
+    for (int r = 0; r < 3; ++r)
+        b.outWord(r, clip[r]);
+
+    Value n[3];
+    xform33(b, nrm, nin, n);
+
+    Value ld[3] = {lightDir[0], lightDir[1], lightDir[2]};
+    Value hv[3] = {halfVec[0], halfVec[1], halfVec[2]};
+    Value ndotl = maxZero(b, dot3(b, n, ld));
+    Value ndoth = maxZero(b, dot3(b, n, hv));
+    Value spec = pow8(b, ndoth);
+
+    for (int c = 0; c < 3; ++c) {
+        Value diffuse = b.fadd(ambient[c], b.fmul(lightColor[c], ndotl));
+        Value color = b.fadd(b.fadd(emissive[c], b.fmul(albedo, diffuse)),
+                             b.fmul(specular[c], spec));
+        b.outWord(3 + c, color);
+    }
+    return b.build();
+}
+
+Kernel
+makeFragmentSimple()
+{
+    KernelBuilder b("fragment-simple", Domain::Graphics);
+    b.setRecord(8, 4);
+    b.setIrregularBytes(uint64_t(gfx::fragTexSize) * gfx::fragTexSize *
+                        wordBytes);
+    auto p = ref::makeFragmentSimpleParams(kernelSeed("fragment-simple"));
+
+    auto halfVec = vec3Const(b, "hv", p.halfVec);
+    auto ambient = vec3Const(b, "am", p.ambient);
+    auto lightColor = vec3Const(b, "lc", p.lightColor);
+    auto specular = vec3Const(b, "sp", p.specular);
+    Value texBase = b.constant("texBase", gfx::textureBase);
+    Value inv65535 = b.constantF("inv65535", 1.0 / 65535.0);
+
+    Value n[3] = {b.inWord(0), b.inWord(1), b.inWord(2)};
+    Value u = b.inWord(3);
+    Value v = b.inWord(4);
+    Value l[3] = {b.inWord(5), b.inWord(6), b.inWord(7)};
+
+    Value rgb[3];
+    buildBilinear(b, texBase, gfx::fragTexLog2, gfx::fragTexLog2, u, v,
+                  inv65535, rgb);
+
+    Value hv[3] = {halfVec[0], halfVec[1], halfVec[2]};
+    Value ndotl = maxZero(b, dot3(b, n, l));
+    Value ndoth = maxZero(b, dot3(b, n, hv));
+    Value spec = pow8(b, ndoth);
+
+    for (int c = 0; c < 3; ++c) {
+        Value lit = b.fadd(ambient[c], b.fmul(lightColor[c], ndotl));
+        b.outWord(c, b.fadd(b.fmul(rgb[c], lit), b.fmul(specular[c], spec)));
+    }
+    b.outWord(3, b.immF(1.0));
+    return b.build();
+}
+
+Kernel
+makeVertexReflection()
+{
+    KernelBuilder b("vertex-reflection", Domain::Graphics);
+    b.setRecord(9, 6);
+    auto p = ref::makeVertexReflectionParams(kernelSeed("vertex-reflection"));
+
+    std::vector<Value> mvp, world, nrm;
+    for (int i = 0; i < 12; ++i)
+        mvp.push_back(b.constantF("mvp" + std::to_string(i), p.mvp[i]));
+    for (int i = 0; i < 12; ++i)
+        world.push_back(b.constantF("wld" + std::to_string(i), p.world[i]));
+    for (int i = 0; i < 9; ++i)
+        nrm.push_back(b.constantF("nrm" + std::to_string(i), p.nrm[i]));
+    auto eye = vec3Const(b, "eye", p.eye);
+
+    Value pos[3] = {b.inWord(0), b.inWord(1), b.inWord(2)};
+    Value nin[3] = {b.inWord(3), b.inWord(4), b.inWord(5)};
+
+    Value clip[3];
+    xform34(b, mvp, pos, clip);
+    for (int r = 0; r < 3; ++r)
+        b.outWord(r, clip[r]);
+
+    Value wpos[3];
+    xform34(b, world, pos, wpos);
+    Value n[3];
+    xform33(b, nrm, nin, n);
+
+    Value v[3] = {b.fsub(eye[0], wpos[0]), b.fsub(eye[1], wpos[1]),
+                  b.fsub(eye[2], wpos[2])};
+    Value len2 = b.fadd(b.fadd(b.fmul(v[0], v[0]), b.fmul(v[1], v[1])),
+                        b.fmul(v[2], v[2]));
+    Value invLen = b.fdiv(b.immF(1.0), b.op(Op::Fsqrt, len2));
+    Value vn[3] = {b.fmul(v[0], invLen), b.fmul(v[1], invLen),
+                   b.fmul(v[2], invLen)};
+
+    Value ndotv = dot3(b, n, vn);
+    Value two = b.fmul(b.immF(2.0), ndotv);
+    for (int r = 0; r < 3; ++r)
+        b.outWord(3 + r, b.fsub(b.fmul(two, n[r]), vn[r]));
+    return b.build();
+}
+
+Kernel
+makeFragmentReflection()
+{
+    KernelBuilder b("fragment-reflection", Domain::Graphics);
+    b.setRecord(5, 3);
+    b.setIrregularBytes(6ull * gfx::cubeFaceSize * gfx::cubeFaceSize *
+                        wordBytes);
+    auto p =
+        ref::makeFragmentReflectionParams(kernelSeed("fragment-reflection"));
+
+    auto tint = vec3Const(b, "tint", p.tint);
+    Value bias = b.constantF("bias", p.fresnelBias);
+    Value cubeBase = b.constant("cubeBase", gfx::textureBase);
+    Value inv65535 = b.constantF("inv65535", 1.0 / 65535.0);
+    Value half = b.constantF("half", gfx::cubeFaceSize / 2.0);
+
+    Value x = b.inWord(0);
+    Value y = b.inWord(1);
+    Value z = b.inWord(2);
+    Value intensity = b.inWord(3);
+
+    // Cube-face projection mirroring ref::CubeMap::project. The select
+    // chains are the predication cost SIMD execution pays for this
+    // control (Section 2.1.2).
+    Value ax = b.op(Op::Fabs, x);
+    Value ay = b.op(Op::Fabs, y);
+    Value az = b.op(Op::Fabs, z);
+    Value zero = b.immF(0.0);
+    Value isX = b.and_(b.op(Op::Fle, ay, ax), b.op(Op::Fle, az, ax));
+    Value isY = b.and_(b.op(Op::Fle, ax, ay), b.op(Op::Fle, az, ay));
+    Value xpos = b.op(Op::Fle, zero, x);
+    Value ypos = b.op(Op::Fle, zero, y);
+    Value zpos = b.op(Op::Fle, zero, z);
+
+    Value faceX = b.sel(xpos, b.imm(0), b.imm(1));
+    Value faceY = b.sel(ypos, b.imm(2), b.imm(3));
+    Value faceZ = b.sel(zpos, b.imm(4), b.imm(5));
+    Value face = b.sel(isX, faceX, b.sel(isY, faceY, faceZ));
+
+    Value scX = b.sel(xpos, b.op(Op::Fneg, z), z);
+    Value scY = x;
+    Value scZ = b.sel(zpos, x, b.op(Op::Fneg, x));
+    Value sc = b.sel(isX, scX, b.sel(isY, scY, scZ));
+
+    Value negY = b.op(Op::Fneg, y);
+    Value tcY = b.sel(ypos, z, b.op(Op::Fneg, z));
+    Value tc = b.sel(isX, negY, b.sel(isY, tcY, negY));
+
+    Value ma = b.sel(isX, ax, b.sel(isY, ay, az));
+
+    Value one = b.immF(1.0);
+    Value u = b.fmul(b.fadd(b.fdiv(sc, ma), one), half);
+    Value v = b.fmul(b.fadd(b.fdiv(tc, ma), one), half);
+
+    // Face f's data starts faceSize^2 words into the cube region.
+    Value faceByteOff = b.markOverhead(
+        b.opImm(Op::Shl, face, 2 * gfx::cubeFaceLog2 + 3));
+    Value base = b.markOverhead(b.add(cubeBase, faceByteOff));
+
+    Value rgb[3];
+    buildBilinear(b, base, gfx::cubeFaceLog2, gfx::cubeFaceLog2, u, v,
+                  inv65535, rgb);
+
+    Value scale = b.fadd(bias, intensity);
+    for (int c = 0; c < 3; ++c)
+        b.outWord(c, b.fmul(b.fmul(rgb[c], tint[c]), scale));
+    return b.build();
+}
+
+Kernel
+makeVertexSkinning()
+{
+    KernelBuilder b("vertex-skinning", Domain::Graphics);
+    // Record: pos[3], normal[3], boneCount, boneIdx[4], weight[4],
+    // albedo = 16 words in; clip[3], color[3], skinnedNormal[3] out.
+    b.setRecord(16, 9);
+    auto p = ref::makeSkinningParams(kernelSeed("vertex-skinning"));
+
+    // The 24x12 matrix palette: Table 2's 288 indexed constants.
+    std::vector<Word> palette;
+    palette.reserve(p.palette.size());
+    for (double d : p.palette)
+        palette.push_back(isa::fpToWord(d));
+    uint16_t palT = b.addTable("palette", std::move(palette));
+
+    std::vector<Value> mvp;
+    for (int i = 0; i < 12; ++i)
+        mvp.push_back(b.constantF("mvp" + std::to_string(i), p.mvp[i]));
+    auto lightDir = vec3Const(b, "ld", p.lightDir);
+    auto lightColor = vec3Const(b, "lc", p.lightColor);
+    auto ambient = vec3Const(b, "am", p.ambient);
+
+    Value pos[3] = {b.inWord(0), b.inWord(1), b.inWord(2)};
+    Value nin[3] = {b.inWord(3), b.inWord(4), b.inWord(5)};
+    Value count = b.inWord(6);
+    Value albedo = b.inWord(15);
+
+    Value zero = b.immF(0.0);
+    b.beginLoopVar(count, ref::SkinningParams::maxBonesPerVertex);
+    Value accP[3] = {b.carry(zero), b.carry(zero), b.carry(zero)};
+    Value accN[3] = {b.carry(zero), b.carry(zero), b.carry(zero)};
+    {
+        Value i = b.loopIdx();
+        Value bIdx = b.inWordAt(b.markOverhead(b.opImm(Op::Add, i, 7)));
+        Value w = b.inWordAt(b.markOverhead(b.opImm(Op::Add, i, 11)));
+        // palette base = bone * 12 = (bone << 3) + (bone << 2).
+        Value mBase = b.markOverhead(
+            b.add(b.markOverhead(b.opImm(Op::Shl, bIdx, 3)),
+                  b.markOverhead(b.opImm(Op::Shl, bIdx, 2))));
+        Value m[12];
+        for (int k = 0; k < 12; ++k) {
+            Value off = k == 0 ? mBase
+                               : b.markOverhead(
+                                     b.opImm(Op::Add, mBase, Word(k)));
+            m[k] = b.tableLoad(palT, off);
+        }
+        for (int r = 0; r < 3; ++r) {
+            Value tp = b.fadd(
+                b.fadd(b.fadd(b.fmul(m[4 * r], pos[0]),
+                              b.fmul(m[4 * r + 1], pos[1])),
+                       b.fmul(m[4 * r + 2], pos[2])),
+                m[4 * r + 3]);
+            Value tn = b.fadd(b.fadd(b.fmul(m[4 * r], nin[0]),
+                                     b.fmul(m[4 * r + 1], nin[1])),
+                              b.fmul(m[4 * r + 2], nin[2]));
+            b.setCarryNext(accP[r], b.fadd(accP[r], b.fmul(w, tp)));
+            b.setCarryNext(accN[r], b.fadd(accN[r], b.fmul(w, tn)));
+        }
+    }
+    b.endLoop();
+
+    Value sp[3] = {b.exitValue(accP[0]), b.exitValue(accP[1]),
+                   b.exitValue(accP[2])};
+    Value sn[3] = {b.exitValue(accN[0]), b.exitValue(accN[1]),
+                   b.exitValue(accN[2])};
+
+    Value clip[3];
+    xform34(b, mvp, sp, clip);
+    for (int r = 0; r < 3; ++r)
+        b.outWord(r, clip[r]);
+
+    Value ld[3] = {lightDir[0], lightDir[1], lightDir[2]};
+    Value ndotl = maxZero(b, dot3(b, sn, ld));
+    for (int c = 0; c < 3; ++c) {
+        Value lit = b.fadd(ambient[c], b.fmul(lightColor[c], ndotl));
+        b.outWord(3 + c, b.fmul(albedo, lit));
+    }
+    for (int c = 0; c < 3; ++c)
+        b.outWord(6 + c, sn[c]);
+    return b.build();
+}
+
+Kernel
+makeAnisotropic()
+{
+    KernelBuilder b("anisotropic-filter", Domain::Graphics);
+    // Record: u, v, axisU, axisV, sampleCount, pad[4] -> 1 packed texel.
+    b.setRecord(9, 1);
+    b.setIrregularBytes(uint64_t(gfx::anisoTexSize) * gfx::anisoTexSize *
+                        wordBytes);
+    auto p = ref::makeAnisoParams(kernelSeed("anisotropic-filter"));
+
+    std::vector<Word> weights;
+    weights.reserve(p.weights.size());
+    for (double w : p.weights)
+        weights.push_back(isa::fpToWord(w));
+    uint16_t wT = b.addTable("weights", std::move(weights));
+
+    Value texBase = b.constant("texBase", gfx::textureBase);
+    Value inv65535 = b.constantF("inv65535", 1.0 / 65535.0);
+    Value half = b.constantF("half", 0.5);
+    Value one = b.immF(1.0);
+    Value c65535 = b.constantF("c65535", 65535.0);
+    Value zero = b.immF(0.0);
+
+    Value u = b.inWord(0);
+    Value v = b.inWord(1);
+    Value au = b.inWord(2);
+    Value av = b.inWord(3);
+    Value n = b.inWord(4);
+
+    // center = 0.5 * (n - 1), mirroring the reference.
+    Value nf = b.op(Op::Itof, n);
+    Value center = b.fmul(half, b.fsub(nf, one));
+
+    b.beginLoopVar(n, ref::AnisoParams::maxSamples);
+    Value accR = b.carry(zero);
+    Value accG = b.carry(zero);
+    Value accB = b.carry(zero);
+    Value wsum = b.carry(zero);
+    {
+        Value i = b.loopIdx();
+        Value t = b.fsub(b.op(Op::Itof, i), center);
+        Value uu = b.fadd(u, b.fmul(t, au));
+        Value vv = b.fadd(v, b.fmul(t, av));
+
+        Value xi = b.markOverhead(
+            b.opImm(Op::And, b.op(Op::Ftoi, uu), gfx::anisoTexSize - 1));
+        Value yi = b.markOverhead(
+            b.opImm(Op::And, b.op(Op::Ftoi, vv), gfx::anisoTexSize - 1));
+        Value texel =
+            b.cachedLoad(texelAddr(b, texBase, xi, yi, gfx::anisoTexLog2));
+
+        // weight index (i*5) & 127.
+        Value i5 = b.markOverhead(
+            b.add(b.markOverhead(b.opImm(Op::Shl, i, 2)), i));
+        Value wIdx = b.markOverhead(b.opImm(Op::And, i5, 127));
+        Value w = b.tableLoad(wT, wIdx);
+
+        b.setCarryNext(accR,
+                       b.fadd(accR, b.fmul(w, unpackChan(b, texel, 0,
+                                                         inv65535))));
+        b.setCarryNext(accG,
+                       b.fadd(accG, b.fmul(w, unpackChan(b, texel, 1,
+                                                         inv65535))));
+        b.setCarryNext(accB,
+                       b.fadd(accB, b.fmul(w, unpackChan(b, texel, 2,
+                                                         inv65535))));
+        b.setCarryNext(wsum, b.fadd(wsum, w));
+    }
+    b.endLoop();
+
+    Value inv = b.fdiv(one, b.exitValue(wsum));
+    Value acc[3] = {b.exitValue(accR), b.exitValue(accG),
+                    b.exitValue(accB)};
+    Value packed = b.imm(0);
+    for (unsigned c = 0; c < 3; ++c) {
+        Value val = b.fmul(acc[c], inv);
+        // Mirror ref::packTexel: clamp, scale, round, pack.
+        Value clamped = b.op(Op::Fmin, b.op(Op::Fmax, val, zero), one);
+        Value q = b.op(Op::Ftoi,
+                       b.fadd(b.fmul(clamped, c65535), half));
+        Value shifted = c == 0 ? q : b.opImm(Op::Shl, q, 16 * c);
+        packed = c == 0 ? shifted : b.or_(packed, shifted);
+    }
+    b.outWord(0, packed);
+    return b.build();
+}
+
+} // namespace dlp::kernels

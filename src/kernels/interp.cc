@@ -1,0 +1,269 @@
+#include "kernels/interp.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace dlp::kernels {
+
+namespace {
+
+/** Inclusive node-index extent of each loop (nodes are built in order). */
+struct LoopExtent
+{
+    size_t first = ~size_t(0);
+    size_t last = 0;
+};
+
+/** Walks the node list interpreting structured loops recursively. */
+class Interp
+{
+  public:
+    Interp(const Kernel &kern, uint64_t rec, const Word *input, Word *output,
+           const IrregularMemory &irregular, InterpStats *st)
+        : k(kern), recIdx(rec), in(input), out(output), mem(irregular),
+          stats(st), vals(kern.nodes.size(), 0),
+          loopIdxVal(kern.loops.size(), 0),
+          carryVal(kern.carries.size(), 0),
+          scratch(kern.scratchWords, 0)
+    {
+        extents.resize(k.loops.size());
+        for (size_t i = 0; i < k.nodes.size(); ++i) {
+            LoopId l = k.nodes[i].loop;
+            // A node is within the extent of its loop and all ancestors.
+            while (l != topLevel) {
+                extents[l].first = std::min(extents[l].first, i);
+                extents[l].last = std::max(extents[l].last, i);
+                l = k.loops[l].parent;
+            }
+        }
+    }
+
+    void
+    run()
+    {
+        execRange(0, k.nodes.size(), topLevel);
+    }
+
+  private:
+    /** Execute nodes in [begin, end) that belong directly to `level`. */
+    void
+    execRange(size_t begin, size_t end, LoopId level)
+    {
+        size_t i = begin;
+        while (i < end) {
+            LoopId nl = k.nodes[i].loop;
+            if (nl == level) {
+                execNode(i);
+                ++i;
+                continue;
+            }
+            // Entering a nested loop: find its outermost ancestor whose
+            // parent is the current level, then run that whole loop.
+            LoopId child = nl;
+            while (k.loops[child].parent != level)
+                child = k.loops[child].parent;
+            execLoop(child);
+            i = extents[child].last + 1;
+        }
+    }
+
+    void
+    execLoop(LoopId l)
+    {
+        const LoopInfo &info = k.loops[l];
+        uint64_t trip = info.staticTrip
+                            ? info.staticTrip
+                            : vals[info.tripValue];
+        panic_if(info.staticTrip == 0 && trip > info.maxTrip,
+                 "kernel %s: runtime trip %llu exceeds bound %u",
+                 k.name.c_str(), (unsigned long long)trip, info.maxTrip);
+
+        // Initialize carries.
+        for (uint32_t c : info.carries)
+            carryVal[c] = vals[k.carries[c].init];
+
+        for (uint64_t iter = 0; iter < trip; ++iter) {
+            loopIdxVal[l] = iter;
+            execRange(extents[l].first, extents[l].last + 1, l);
+            for (uint32_t c : info.carries)
+                carryVal[c] = vals[k.carries[c].next];
+        }
+        // carryVal now holds the exit values (or inits when trip == 0);
+        // LoopExit nodes read them after the loop.
+    }
+
+    void
+    execNode(size_t i)
+    {
+        const Node &n = k.nodes[i];
+        if (stats) {
+            stats->executed++;
+            if (n.kind == NodeKind::Compute && !n.overhead)
+                stats->useful++;
+        }
+        auto s = [&](unsigned idx) { return vals[n.src[idx]]; };
+
+        switch (n.kind) {
+          case NodeKind::Compute: {
+            Word b = n.immB ? n.imm : (n.src[1] != noValue ? s(1) : 0);
+            vals[i] = isa::evalOp(n.op, n.src[0] != noValue ? s(0) : 0, b,
+                                  n.src[2] != noValue ? s(2) : 0, n.imm);
+            break;
+          }
+          case NodeKind::Const:
+            vals[i] = k.constants[static_cast<size_t>(n.imm)].value;
+            break;
+          case NodeKind::RecIdx:
+            vals[i] = recIdx;
+            break;
+          case NodeKind::LoopIdx:
+            vals[i] = loopIdxVal[static_cast<size_t>(n.imm)];
+            break;
+          case NodeKind::InWord:
+            if (stats)
+                stats->loads++;
+            vals[i] = in[n.imm];
+            break;
+          case NodeKind::InWordAt: {
+            Word off = s(0);
+            panic_if(off >= k.inWords,
+                     "kernel %s reads input word %llu of %u", k.name.c_str(),
+                     (unsigned long long)off, k.inWords);
+            if (stats)
+                stats->loads++;
+            vals[i] = in[off];
+            break;
+          }
+          case NodeKind::InWide:
+          case NodeKind::ScratchWide: {
+            unsigned count = KernelBuilder::wideCount(n.imm);
+            unsigned stride = KernelBuilder::wideStride(n.imm);
+            Word start = s(0);
+            bool fromScratch = n.kind == NodeKind::ScratchWide;
+            Word limit = fromScratch ? k.scratchWords : k.inWords;
+            panic_if(start + Word(count - 1) * stride >= limit,
+                     "kernel %s wide load out of range", k.name.c_str());
+            auto &words = wideVals[static_cast<uint32_t>(i)];
+            words.resize(count);
+            for (unsigned w = 0; w < count; ++w) {
+                words[w] = fromScratch ? scratch[start + Word(w) * stride]
+                                       : in[start + Word(w) * stride];
+            }
+            if (stats)
+                stats->loads += count;
+            break;
+          }
+          case NodeKind::WordOf:
+            vals[i] = wideVals.at(n.src[0]).at(static_cast<size_t>(n.imm));
+            break;
+          case NodeKind::OutWord:
+            if (stats)
+                stats->stores++;
+            out[n.imm] = s(0);
+            break;
+          case NodeKind::OutWordAt: {
+            Word off = s(0);
+            panic_if(off >= k.outWords,
+                     "kernel %s writes output word %llu of %u",
+                     k.name.c_str(), (unsigned long long)off, k.outWords);
+            if (stats)
+                stats->stores++;
+            out[off] = s(1);
+            break;
+          }
+          case NodeKind::ScratchLoad: {
+            Word off = s(0);
+            panic_if(off >= k.scratchWords, "kernel %s scratch read %llu/%u",
+                     k.name.c_str(), (unsigned long long)off,
+                     k.scratchWords);
+            if (stats)
+                stats->loads++;
+            vals[i] = scratch[off];
+            break;
+          }
+          case NodeKind::ScratchStore: {
+            Word off = s(0);
+            panic_if(off >= k.scratchWords,
+                     "kernel %s scratch write %llu/%u", k.name.c_str(),
+                     (unsigned long long)off, k.scratchWords);
+            if (stats)
+                stats->stores++;
+            scratch[off] = s(1);
+            break;
+          }
+          case NodeKind::CachedLoad:
+            panic_if(!mem.read, "kernel %s needs irregular memory",
+                     k.name.c_str());
+            if (stats)
+                stats->cachedAccesses++;
+            vals[i] = mem.read(s(0));
+            break;
+          case NodeKind::CachedStore:
+            panic_if(!mem.write, "kernel %s needs irregular memory",
+                     k.name.c_str());
+            if (stats)
+                stats->cachedAccesses++;
+            mem.write(s(0), s(1));
+            break;
+          case NodeKind::TableLoad: {
+            const auto &t = k.tables[static_cast<size_t>(n.imm)];
+            Word idx = s(0) & (t.data.size() - 1);
+            if (stats)
+                stats->tableLoads++;
+            vals[i] = t.data[idx];
+            break;
+          }
+          case NodeKind::Carry:
+            vals[i] = carryVal[static_cast<size_t>(n.imm)];
+            break;
+          case NodeKind::LoopExit: {
+            const Node &cn = k.nodes[n.src[0]];
+            vals[i] = carryVal[static_cast<size_t>(cn.imm)];
+            break;
+          }
+        }
+    }
+
+    const Kernel &k;
+    uint64_t recIdx;
+    const Word *in;
+    Word *out;
+    const IrregularMemory &mem;
+    InterpStats *stats;
+
+    std::vector<Word> vals;
+    std::vector<Word> loopIdxVal;
+    std::vector<Word> carryVal;
+    std::vector<Word> scratch;
+    std::map<uint32_t, std::vector<Word>> wideVals;
+    std::vector<LoopExtent> extents;
+};
+
+} // namespace
+
+void
+interpret(const Kernel &k, uint64_t recIdx, const Word *in, Word *out,
+          const IrregularMemory &mem, InterpStats *stats)
+{
+    Interp interp(k, recIdx, in, out, mem, stats);
+    interp.run();
+}
+
+void
+interpretBatch(const Kernel &k, const std::vector<Word> &in,
+               std::vector<Word> &out, uint64_t numRecords,
+               const IrregularMemory &mem, InterpStats *stats)
+{
+    panic_if(in.size() < numRecords * k.inWords,
+             "input batch too small for %llu records",
+             (unsigned long long)numRecords);
+    out.resize(numRecords * k.outWords);
+    for (uint64_t r = 0; r < numRecords; ++r) {
+        interpret(k, r, in.data() + r * k.inWords,
+                  out.data() + r * k.outWords, mem, stats);
+    }
+}
+
+} // namespace dlp::kernels

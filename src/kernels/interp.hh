@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A direct interpreter for the kernel IR.
+ *
+ * Executes one kernel instance on one record with real loop trip counts
+ * (no unrolling, no predication). This is the semantic reference for both
+ * scheduler lowerings: tests require that the SIMD (unrolled/placed) and
+ * MIMD (linearized) executions produce exactly the words this interpreter
+ * produces, and that the interpreter matches the golden models in
+ * src/ref.
+ */
+
+#ifndef DLP_KERNELS_INTERP_HH
+#define DLP_KERNELS_INTERP_HH
+
+#include <functional>
+#include <vector>
+
+#include "kernels/ir.hh"
+
+namespace dlp::kernels {
+
+/** External memory the kernel can touch irregularly. */
+struct IrregularMemory
+{
+    std::function<Word(Addr)> read;
+    std::function<void(Addr, Word)> write;
+};
+
+/** Dynamic execution counts gathered by the interpreter. */
+struct InterpStats
+{
+    uint64_t executed = 0;   ///< dynamic node executions
+    uint64_t useful = 0;     ///< executions of non-overhead compute nodes
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t tableLoads = 0;
+    uint64_t cachedAccesses = 0;
+};
+
+/**
+ * Execute one kernel instance.
+ *
+ * @param k      the kernel
+ * @param recIdx record index visible to RecIdx nodes
+ * @param in     input record (k.inWords words)
+ * @param out    output record (k.outWords words), filled on return
+ * @param mem    irregular-memory callbacks (may be empty if unused)
+ * @param stats  optional dynamic counts
+ */
+void interpret(const Kernel &k, uint64_t recIdx, const Word *in, Word *out,
+               const IrregularMemory &mem = {}, InterpStats *stats = nullptr);
+
+/**
+ * Convenience: run the kernel over a batch of records laid out
+ * back-to-back in `in` and `out`.
+ */
+void interpretBatch(const Kernel &k, const std::vector<Word> &in,
+                    std::vector<Word> &out, uint64_t numRecords,
+                    const IrregularMemory &mem = {},
+                    InterpStats *stats = nullptr);
+
+} // namespace dlp::kernels
+
+#endif // DLP_KERNELS_INTERP_HH

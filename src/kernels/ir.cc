@@ -1,0 +1,446 @@
+#include "kernels/ir.hh"
+
+#include "common/bitutils.hh"
+
+namespace dlp::kernels {
+
+namespace {
+
+/** How many sources a node kind consumes (Compute uses its op's count). */
+unsigned
+nodeSrcCount(const Node &n)
+{
+    switch (n.kind) {
+      case NodeKind::Compute:
+        return isa::opInfo(n.op).numSrcs;
+      case NodeKind::Const:
+      case NodeKind::RecIdx:
+      case NodeKind::LoopIdx:
+      case NodeKind::InWord:
+      case NodeKind::Carry:
+        return 0;
+      case NodeKind::InWordAt:
+      case NodeKind::InWide:
+      case NodeKind::ScratchWide:
+      case NodeKind::WordOf:
+      case NodeKind::ScratchLoad:
+      case NodeKind::CachedLoad:
+      case NodeKind::TableLoad:
+      case NodeKind::OutWord:
+      case NodeKind::LoopExit:
+        return 1;
+      case NodeKind::OutWordAt:
+      case NodeKind::ScratchStore:
+      case NodeKind::CachedStore:
+        return 2;
+    }
+    return 0;
+}
+
+} // namespace
+
+void
+Kernel::validate() const
+{
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const Node &n = nodes[i];
+        unsigned srcs = nodeSrcCount(n);
+        for (unsigned s = 0; s < srcs; ++s) {
+            if (s == 1 && n.immB)
+                continue;
+            panic_if(n.src[s] == noValue,
+                     "kernel %s node %zu missing src %u", name.c_str(), i, s);
+            panic_if(n.src[s] >= nodes.size(),
+                     "kernel %s node %zu src %u out of range", name.c_str(),
+                     i, s);
+        }
+        if (n.kind == NodeKind::Const)
+            panic_if(n.imm >= constants.size(),
+                     "kernel %s node %zu bad constant", name.c_str(), i);
+        if (n.kind == NodeKind::TableLoad)
+            panic_if(n.imm >= tables.size(),
+                     "kernel %s node %zu bad table", name.c_str(), i);
+        if (n.kind == NodeKind::InWord)
+            panic_if(n.imm >= inWords,
+                     "kernel %s node %zu reads input word %llu of %u",
+                     name.c_str(), i, (unsigned long long)n.imm, inWords);
+        if (n.kind == NodeKind::WordOf) {
+            const Node &w = nodes[n.src[0]];
+            panic_if(w.kind != NodeKind::InWide &&
+                         w.kind != NodeKind::ScratchWide,
+                     "kernel %s node %zu: WordOf of a non-wide node",
+                     name.c_str(), i);
+            panic_if(n.imm >= KernelBuilder::wideCount(w.imm),
+                     "kernel %s node %zu: WordOf index out of range",
+                     name.c_str(), i);
+        }
+        if (n.kind == NodeKind::OutWord)
+            panic_if(n.imm >= outWords,
+                     "kernel %s node %zu writes output word %llu of %u",
+                     name.c_str(), i, (unsigned long long)n.imm, outWords);
+        if (n.loop != topLevel)
+            panic_if(n.loop >= loops.size(),
+                     "kernel %s node %zu in unknown loop", name.c_str(), i);
+    }
+    for (const auto &c : carries) {
+        panic_if(c.next == noValue,
+                 "kernel %s has a carry without setCarryNext", name.c_str());
+        panic_if(c.init == noValue, "kernel %s carry without init",
+                 name.c_str());
+    }
+    for (const auto &t : tables)
+        panic_if(!isPowerOf2(t.data.size()),
+                 "kernel %s table %s size %zu not a power of two",
+                 name.c_str(), t.name.c_str(), t.data.size());
+}
+
+KernelBuilder::KernelBuilder(std::string name, Domain domain)
+{
+    k.name = std::move(name);
+    k.domain = domain;
+}
+
+void
+KernelBuilder::setRecord(unsigned inWords, unsigned outWords,
+                         unsigned scratchWords)
+{
+    k.inWords = inWords;
+    k.outWords = outWords;
+    k.scratchWords = scratchWords;
+}
+
+Value
+KernelBuilder::addNode(Node n)
+{
+    panic_if(built, "kernel %s already built", k.name.c_str());
+    n.loop = curLoop();
+    k.nodes.push_back(n);
+    return Value(static_cast<ValueId>(k.nodes.size() - 1));
+}
+
+Value
+KernelBuilder::constant(const std::string &name, Word v)
+{
+    k.constants.push_back({name, v});
+    Node n;
+    n.kind = NodeKind::Const;
+    n.imm = k.constants.size() - 1;
+    return addNode(n);
+}
+
+Value
+KernelBuilder::constantF(const std::string &name, double v)
+{
+    return constant(name, isa::fpToWord(v));
+}
+
+Value
+KernelBuilder::imm(Word v)
+{
+    Node n;
+    n.kind = NodeKind::Compute;
+    n.op = isa::Op::Movi;
+    n.imm = v;
+    return addNode(n);
+}
+
+Value
+KernelBuilder::immF(double v)
+{
+    return imm(isa::fpToWord(v));
+}
+
+Value
+KernelBuilder::recIdx()
+{
+    Node n;
+    n.kind = NodeKind::RecIdx;
+    return addNode(n);
+}
+
+Value
+KernelBuilder::inWord(unsigned i)
+{
+    Node n;
+    n.kind = NodeKind::InWord;
+    n.imm = i;
+    return addNode(n);
+}
+
+Value
+KernelBuilder::inWordAt(Value offset)
+{
+    Node n;
+    n.kind = NodeKind::InWordAt;
+    n.src[0] = offset;
+    return addNode(n);
+}
+
+Value
+KernelBuilder::inWide(Value start, unsigned count, unsigned stride)
+{
+    panic_if(count == 0 || count > 64, "wide load of %u words", count);
+    panic_if(stride == 0, "wide load with zero stride");
+    Node n;
+    n.kind = NodeKind::InWide;
+    n.src[0] = start;
+    n.imm = packWide(count, stride);
+    return addNode(n);
+}
+
+Value
+KernelBuilder::scratchWide(Value start, unsigned count, unsigned stride)
+{
+    panic_if(count == 0 || count > 64, "wide load of %u words", count);
+    panic_if(stride == 0, "wide load with zero stride");
+    Node n;
+    n.kind = NodeKind::ScratchWide;
+    n.src[0] = start;
+    n.imm = packWide(count, stride);
+    return addNode(n);
+}
+
+Value
+KernelBuilder::wordOf(Value wide, unsigned i)
+{
+    Node n;
+    n.kind = NodeKind::WordOf;
+    n.src[0] = wide;
+    n.imm = i;
+    return addNode(n);
+}
+
+Value
+KernelBuilder::op(isa::Op o, Value a)
+{
+    panic_if(isa::opInfo(o).numSrcs != 1, "op %s is not unary",
+             isa::opName(o));
+    Node n;
+    n.op = o;
+    n.src[0] = a;
+    return addNode(n);
+}
+
+Value
+KernelBuilder::op(isa::Op o, Value a, Value b)
+{
+    panic_if(isa::opInfo(o).numSrcs != 2, "op %s is not binary",
+             isa::opName(o));
+    Node n;
+    n.op = o;
+    n.src[0] = a;
+    n.src[1] = b;
+    return addNode(n);
+}
+
+Value
+KernelBuilder::opImm(isa::Op o, Value a, Word immVal)
+{
+    panic_if(isa::opInfo(o).numSrcs != 2, "opImm %s is not binary",
+             isa::opName(o));
+    Node n;
+    n.op = o;
+    n.src[0] = a;
+    n.imm = immVal;
+    n.immB = true;
+    return addNode(n);
+}
+
+Value
+KernelBuilder::sel(Value cond, Value ifTrue, Value ifFalse)
+{
+    Node n;
+    n.op = isa::Op::Sel;
+    n.src[0] = ifTrue;
+    n.src[1] = ifFalse;
+    n.src[2] = cond;
+    return addNode(n);
+}
+
+void
+KernelBuilder::outWord(unsigned i, Value v)
+{
+    Node n;
+    n.kind = NodeKind::OutWord;
+    n.imm = i;
+    n.src[0] = v;
+    addNode(n);
+}
+
+void
+KernelBuilder::outWordAt(Value offset, Value v)
+{
+    Node n;
+    n.kind = NodeKind::OutWordAt;
+    n.src[0] = offset;
+    n.src[1] = v;
+    addNode(n);
+}
+
+Value
+KernelBuilder::scratchLoad(Value offset)
+{
+    Node n;
+    n.kind = NodeKind::ScratchLoad;
+    n.src[0] = offset;
+    return addNode(n);
+}
+
+void
+KernelBuilder::scratchStore(Value offset, Value v)
+{
+    Node n;
+    n.kind = NodeKind::ScratchStore;
+    n.src[0] = offset;
+    n.src[1] = v;
+    addNode(n);
+}
+
+Value
+KernelBuilder::cachedLoad(Value byteAddr)
+{
+    Node n;
+    n.kind = NodeKind::CachedLoad;
+    n.src[0] = byteAddr;
+    return addNode(n);
+}
+
+void
+KernelBuilder::cachedStore(Value byteAddr, Value v)
+{
+    Node n;
+    n.kind = NodeKind::CachedStore;
+    n.src[0] = byteAddr;
+    n.src[1] = v;
+    addNode(n);
+}
+
+uint16_t
+KernelBuilder::addTable(const std::string &name, std::vector<Word> data)
+{
+    panic_if(data.empty(), "empty table %s", name.c_str());
+    size_t size = 1;
+    while (size < data.size())
+        size <<= 1;
+    data.resize(size, 0);
+    k.tables.push_back({name, std::move(data)});
+    return static_cast<uint16_t>(k.tables.size() - 1);
+}
+
+Value
+KernelBuilder::tableLoad(uint16_t table, Value index)
+{
+    panic_if(table >= k.tables.size(), "tableLoad of unknown table %u",
+             table);
+    Node n;
+    n.kind = NodeKind::TableLoad;
+    n.imm = table;
+    n.src[0] = index;
+    return addNode(n);
+}
+
+LoopId
+KernelBuilder::beginLoop(uint32_t trip)
+{
+    panic_if(trip == 0, "static loop with zero trip count");
+    LoopInfo l;
+    l.parent = curLoop();
+    l.staticTrip = trip;
+    l.maxTrip = trip;
+    k.loops.push_back(l);
+    LoopId id = static_cast<LoopId>(k.loops.size() - 1);
+    loopStack.push_back(id);
+    return id;
+}
+
+LoopId
+KernelBuilder::beginLoopVar(Value trip, uint32_t maxTrip)
+{
+    panic_if(maxTrip == 0, "variable loop needs a static bound");
+    LoopInfo l;
+    l.parent = curLoop();
+    l.staticTrip = 0;
+    l.tripValue = trip;
+    l.maxTrip = maxTrip;
+    k.loops.push_back(l);
+    LoopId id = static_cast<LoopId>(k.loops.size() - 1);
+    loopStack.push_back(id);
+    return id;
+}
+
+Value
+KernelBuilder::loopIdx()
+{
+    panic_if(loopStack.empty(), "loopIdx outside any loop");
+    Node n;
+    n.kind = NodeKind::LoopIdx;
+    n.imm = loopStack.back();
+    return addNode(n);
+}
+
+Value
+KernelBuilder::carry(Value init)
+{
+    panic_if(loopStack.empty(), "carry outside any loop");
+    CarryDef c;
+    c.init = init;
+    c.loop = loopStack.back();
+    Node n;
+    n.kind = NodeKind::Carry;
+    n.imm = k.carries.size();
+    Value v = addNode(n);
+    c.node = v;
+    k.carries.push_back(c);
+    k.loops[loopStack.back()].carries.push_back(
+        static_cast<uint32_t>(k.carries.size() - 1));
+    return v;
+}
+
+void
+KernelBuilder::setCarryNext(Value carryVal, Value next)
+{
+    const Node &n = k.nodes[carryVal];
+    panic_if(n.kind != NodeKind::Carry, "setCarryNext on a non-carry");
+    k.carries[static_cast<size_t>(n.imm)].next = next;
+}
+
+void
+KernelBuilder::endLoop()
+{
+    panic_if(loopStack.empty(), "endLoop without beginLoop");
+    loopStack.pop_back();
+}
+
+Value
+KernelBuilder::exitValue(Value carryVal)
+{
+    const Node &n = k.nodes[carryVal];
+    panic_if(n.kind != NodeKind::Carry, "exitValue of a non-carry");
+    LoopId carryLoop = k.carries[static_cast<size_t>(n.imm)].loop;
+    panic_if(!loopStack.empty() && loopStack.back() == carryLoop,
+             "exitValue taken inside the carry's own loop");
+    Node e;
+    e.kind = NodeKind::LoopExit;
+    e.imm = carryLoop;
+    e.src[0] = carryVal;
+    return addNode(e);
+}
+
+Value
+KernelBuilder::markOverhead(Value v)
+{
+    k.nodes[v].overhead = true;
+    return v;
+}
+
+Kernel
+KernelBuilder::build()
+{
+    panic_if(!loopStack.empty(), "kernel %s has an unclosed loop",
+             k.name.c_str());
+    built = true;
+    k.validate();
+    return std::move(k);
+}
+
+} // namespace dlp::kernels

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * The kernel intermediate representation.
+ *
+ * A Kernel describes one iteration of a data-parallel loop body (Section
+ * 2.1 of the paper) as a dataflow graph with structured loops. The IR
+ * captures exactly the attributes the paper characterizes in Table 2:
+ *
+ *  - record input/output words (regular memory accesses),
+ *  - irregular (cached) accesses,
+ *  - named scalar constants,
+ *  - indexed constants (lookup tables),
+ *  - static and data-dependent loop bounds.
+ *
+ * The same IR is lowered two ways by the scheduler: unrolled and placed
+ * onto the grid as SPDI blocks (SIMD-style configurations), or linearized
+ * into a per-tile sequential program with real branches (MIMD
+ * configurations). kernels/interp.hh executes the IR directly, giving a
+ * third, architecture-independent implementation used to cross-check both
+ * lowerings against the golden models in src/ref.
+ */
+
+#ifndef DLP_KERNELS_IR_HH
+#define DLP_KERNELS_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace dlp::kernels {
+
+/** Index of a value (node) within a kernel graph. */
+using ValueId = uint32_t;
+constexpr ValueId noValue = ~ValueId(0);
+
+/** Index of a loop within a kernel. */
+using LoopId = uint32_t;
+constexpr LoopId topLevel = ~LoopId(0);
+
+/** Application domain, for grouping in the paper's tables. */
+enum class Domain : uint8_t
+{
+    Multimedia,
+    Scientific,
+    Network,
+    Graphics
+};
+
+/** Kinds of dataflow nodes. */
+enum class NodeKind : uint8_t
+{
+    Compute,      ///< pure operation (node.op), up to 3 sources
+    Const,        ///< named scalar constant; imm = constant index
+    RecIdx,       ///< index of the record this kernel instance processes
+    LoopIdx,      ///< induction variable of loop imm (0-based)
+    InWord,       ///< input-record word imm (static index)
+    InWordAt,     ///< input-record word at dynamic offset src0
+    InWide,       ///< wide load: count words from offset src0 with stride
+                  ///< (imm packs count and stride); words via WordOf
+    ScratchWide,  ///< wide load from per-record scratch
+    WordOf,       ///< word imm of the wide load src0 (a wire, not an op)
+    OutWord,      ///< write src0 to output-record word imm
+    OutWordAt,    ///< write src1 to output-record word at offset src0
+    ScratchLoad,  ///< per-record scratch word at offset src0
+    ScratchStore, ///< write src1 to scratch word at offset src0
+    CachedLoad,   ///< irregular load at byte address src0
+    CachedStore,  ///< irregular store of src1 at byte address src0
+    TableLoad,    ///< lookup table imm at index src0
+    Carry,        ///< loop-carried value (phi); imm = index into carries
+    LoopExit      ///< value of carry src0 after its loop finishes
+};
+
+/** One dataflow node. */
+struct Node
+{
+    NodeKind kind = NodeKind::Compute;
+    isa::Op op = isa::Op::Nop;
+    ValueId src[3] = {noValue, noValue, noValue};
+    Word imm = 0;
+    LoopId loop = topLevel;   ///< innermost loop containing this node
+    bool overhead = false;    ///< address arithmetic etc.; excluded from
+                              ///< the useful-ops metric
+    /// Binary Compute node whose second operand is the immediate field
+    /// (shift amounts, masks); real ISAs encode these in the instruction,
+    /// so they cost no extra dataflow edge.
+    bool immB = false;
+};
+
+/** A loop-carried value: starts at init, becomes next each iteration. */
+struct CarryDef
+{
+    ValueId node = noValue;   ///< the Carry node
+    ValueId init = noValue;   ///< value before the first iteration
+    ValueId next = noValue;   ///< value computed by each iteration
+    LoopId loop = topLevel;
+};
+
+/** A structured loop. */
+struct LoopInfo
+{
+    LoopId parent = topLevel;
+    uint32_t staticTrip = 0;      ///< trip count; 0 means data-dependent
+    ValueId tripValue = noValue;  ///< runtime trip count (variable loops)
+    uint32_t maxTrip = 0;         ///< unroll bound for variable loops
+    std::vector<uint32_t> carries; ///< indices into Kernel::carries
+};
+
+/** A named lookup table of indexed constants. */
+struct Table
+{
+    std::string name;
+    std::vector<Word> data;   ///< size must be a power of two
+};
+
+/** A named scalar constant. */
+struct Constant
+{
+    std::string name;
+    Word value;
+};
+
+/** A complete kernel. */
+struct Kernel
+{
+    std::string name;
+    Domain domain = Domain::Multimedia;
+
+    unsigned inWords = 0;      ///< input record size (64-bit words)
+    unsigned outWords = 0;     ///< output record size
+    unsigned scratchWords = 0; ///< per-record stream scratch
+
+    std::vector<Constant> constants;
+    std::vector<Table> tables;
+    std::vector<Node> nodes;
+    std::vector<LoopInfo> loops;
+    std::vector<CarryDef> carries;
+
+    /// Bytes of irregular (cached) memory the kernel may touch; the
+    /// workload generator sizes textures etc. from this.
+    uint64_t irregularBytes = 0;
+
+    /** Total L0-table footprint in bytes (Table 2 "indexed constants"). */
+    uint64_t
+    tableBytes() const
+    {
+        uint64_t b = 0;
+        for (const auto &t : tables)
+            b += t.data.size() * wordBytes;
+        return b;
+    }
+
+    /** True if any loop has a data-dependent trip count. */
+    bool
+    hasVariableLoop() const
+    {
+        for (const auto &l : loops)
+            if (l.staticTrip == 0)
+                return true;
+        return false;
+    }
+
+    /** Structural sanity checks; panics on malformed graphs. */
+    void validate() const;
+};
+
+/**
+ * A typed handle to a node, returned by the builder. Implicitly
+ * convertible from/to ValueId; exists mainly for readability.
+ */
+struct Value
+{
+    ValueId id = noValue;
+    Value() = default;
+    Value(ValueId v) : id(v) {}
+    operator ValueId() const { return id; }
+    bool valid() const { return id != noValue; }
+};
+
+/** RAII-free structured builder for kernels. */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name, Domain domain);
+
+    /** Declare record shape. */
+    void setRecord(unsigned inWords, unsigned outWords,
+                   unsigned scratchWords = 0);
+
+    /** Declare how many bytes of irregular memory the kernel addresses. */
+    void setIrregularBytes(uint64_t bytes) { k.irregularBytes = bytes; }
+
+    // --- Leaf values ------------------------------------------------------
+    Value constant(const std::string &name, Word v);
+    Value constantF(const std::string &name, double v);
+    Value imm(Word v);                 ///< anonymous immediate (Movi)
+    Value immF(double v);
+    Value recIdx();
+    Value inWord(unsigned i);
+    Value inWordAt(Value offset);
+
+    /**
+     * Wide (vector-style) load of count words starting at dynamic record
+     * offset start, stride words apart. Extract words with wordOf().
+     * Strided fetches are conflict-free in the banked SMC, so one wide
+     * load costs what a contiguous line fetch of the same size costs.
+     */
+    Value inWide(Value start, unsigned count, unsigned stride = 1);
+    /** Wide load from the per-record scratch region. */
+    Value scratchWide(Value start, unsigned count, unsigned stride = 1);
+    /** Word i of a wide load. */
+    Value wordOf(Value wide, unsigned i);
+
+    /** Pack/unpack helpers for the wide-load imm field. */
+    static Word packWide(unsigned count, unsigned stride)
+    {
+        return Word(count) | (Word(stride) << 16);
+    }
+    static unsigned wideCount(Word imm) { return imm & 0xffff; }
+    static unsigned wideStride(Word imm)
+    {
+        return (imm >> 16) & 0xffff;
+    }
+
+    // --- Computation ------------------------------------------------------
+    Value op(isa::Op o, Value a);
+    Value op(isa::Op o, Value a, Value b);
+    /** Binary op with an immediate second operand (no extra node). */
+    Value opImm(isa::Op o, Value a, Word immB);
+    Value sel(Value cond, Value ifTrue, Value ifFalse);
+
+    // Convenience arithmetic wrappers.
+    Value add(Value a, Value b)   { return op(isa::Op::Add, a, b); }
+    Value sub(Value a, Value b)   { return op(isa::Op::Sub, a, b); }
+    Value mul(Value a, Value b)   { return op(isa::Op::Mul, a, b); }
+    Value and_(Value a, Value b)  { return op(isa::Op::And, a, b); }
+    Value or_(Value a, Value b)   { return op(isa::Op::Or, a, b); }
+    Value xor_(Value a, Value b)  { return op(isa::Op::Xor, a, b); }
+    Value shl(Value a, Value b)   { return op(isa::Op::Shl, a, b); }
+    Value shr(Value a, Value b)   { return op(isa::Op::Shr, a, b); }
+    Value fadd(Value a, Value b)  { return op(isa::Op::Fadd, a, b); }
+    Value fsub(Value a, Value b)  { return op(isa::Op::Fsub, a, b); }
+    Value fmul(Value a, Value b)  { return op(isa::Op::Fmul, a, b); }
+    Value fdiv(Value a, Value b)  { return op(isa::Op::Fdiv, a, b); }
+
+    // --- Memory -----------------------------------------------------------
+    void outWord(unsigned i, Value v);
+    void outWordAt(Value offset, Value v);
+    Value scratchLoad(Value offset);
+    void scratchStore(Value offset, Value v);
+    Value cachedLoad(Value byteAddr);
+    void cachedStore(Value byteAddr, Value v);
+
+    /** Register a lookup table; size is padded to a power of two. */
+    uint16_t addTable(const std::string &name, std::vector<Word> data);
+    Value tableLoad(uint16_t table, Value index);
+
+    // --- Loops ------------------------------------------------------------
+    /** Open a loop with a static trip count. */
+    LoopId beginLoop(uint32_t trip);
+    /** Open a loop with a data-dependent trip count, bounded by maxTrip. */
+    LoopId beginLoopVar(Value trip, uint32_t maxTrip);
+    /** Induction variable of the innermost open loop. */
+    Value loopIdx();
+    /** Declare a loop-carried value with its pre-loop initial value. */
+    Value carry(Value init);
+    /** Set the per-iteration update of a carry. */
+    void setCarryNext(Value carryVal, Value next);
+    /** Close the innermost loop. */
+    void endLoop();
+    /** Value of a carry after its loop completed (call after endLoop). */
+    Value exitValue(Value carryVal);
+
+    // --- Misc ---------------------------------------------------------------
+    /** Mark a value as overhead (address arithmetic). */
+    Value markOverhead(Value v);
+
+    /** Finish and validate. */
+    Kernel build();
+
+  private:
+    Value addNode(Node n);
+    LoopId curLoop() const
+    {
+        return loopStack.empty() ? topLevel : loopStack.back();
+    }
+
+    Kernel k;
+    std::vector<LoopId> loopStack;
+    bool built = false;
+};
+
+} // namespace dlp::kernels
+
+#endif // DLP_KERNELS_IR_HH

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Network/security kernels: MD5 chunk compression, Blowfish and Rijndael
+ * (AES-128) block encryption, mirroring src/ref bit-for-bit.
+ *
+ * Key material is derived deterministically from kernelSeed() so the
+ * kernels' embedded round keys / S-boxes always match the golden models
+ * used for validation. Packets are processed in parallel (the paper:
+ * "exploiting the extensive data level parallelism in network flows").
+ */
+
+#include "common/random.hh"
+#include "kernels/build_util.hh"
+#include "kernels/catalog.hh"
+#include "ref/blowfish.hh"
+#include "ref/md5.hh"
+#include "ref/rijndael.hh"
+
+namespace dlp::kernels {
+
+namespace {
+
+constexpr Word mask32 = 0xffffffffull;
+
+} // namespace
+
+Kernel
+makeMd5()
+{
+    KernelBuilder b("md5", Domain::Network);
+    // Record: 8 words of message chunk (two 32-bit block words each,
+    // little end first) + 2 words of chaining state -> 2 words of
+    // updated state. This is Table 2's 10-in/2-out record.
+    b.setRecord(10, 2);
+
+    const auto &T = ref::md5T();
+    const auto &S = ref::md5Shifts();
+
+    // Unpack the sixteen 32-bit message words.
+    Value m[16];
+    for (int i = 0; i < 8; ++i) {
+        Value w = b.inWord(i);
+        m[2 * i] = b.opImm(isa::Op::And, w, mask32);
+        m[2 * i + 1] = b.opImm(isa::Op::Shr, w, 32);
+    }
+    // Unpack chaining state (A|B<<32, C|D<<32).
+    Value w8 = b.inWord(8);
+    Value w9 = b.inWord(9);
+    Value a0 = b.opImm(isa::Op::And, w8, mask32);
+    Value b0 = b.opImm(isa::Op::Shr, w8, 32);
+    Value c0 = b.opImm(isa::Op::And, w9, mask32);
+    Value d0 = b.opImm(isa::Op::Shr, w9, 32);
+
+    Value tcon[64];
+    for (int i = 0; i < 64; ++i)
+        tcon[i] = b.constant("T" + std::to_string(i), T[i]);
+
+    Value a = a0, bb = b0, c = c0, d = d0;
+    for (int i = 0; i < 64; ++i) {
+        Value f;
+        int g;
+        if (i < 16) {
+            f = b.or_(b.and_(bb, c),
+                      b.and_(b.op(isa::Op::Not32, bb), d));
+            g = i;
+        } else if (i < 32) {
+            f = b.or_(b.and_(d, bb),
+                      b.and_(b.op(isa::Op::Not32, d), c));
+            g = (5 * i + 1) % 16;
+        } else if (i < 48) {
+            f = b.xor_(b.xor_(bb, c), d);
+            g = (3 * i + 5) % 16;
+        } else {
+            f = b.xor_(c, b.or_(bb, b.op(isa::Op::Not32, d)));
+            g = (7 * i) % 16;
+        }
+        Value sum = b.op(isa::Op::Add32, a, f);
+        sum = b.op(isa::Op::Add32, sum, tcon[i]);
+        sum = b.op(isa::Op::Add32, sum, m[g]);
+        Value rot = b.opImm(isa::Op::Rotl32, sum, S[i]);
+        Value bNew = b.op(isa::Op::Add32, bb, rot);
+        a = d;
+        d = c;
+        c = bb;
+        bb = bNew;
+    }
+
+    Value outA = b.op(isa::Op::Add32, a0, a);
+    Value outB = b.op(isa::Op::Add32, b0, bb);
+    Value outC = b.op(isa::Op::Add32, c0, c);
+    Value outD = b.op(isa::Op::Add32, d0, d);
+
+    b.outWord(0, b.or_(outA, b.opImm(isa::Op::Shl, outB, 32)));
+    b.outWord(1, b.or_(outC, b.opImm(isa::Op::Shl, outD, 32)));
+    return b.build();
+}
+
+Kernel
+makeBlowfish()
+{
+    KernelBuilder b("blowfish", Domain::Network);
+    // Record: one 64-bit block (left half in the high word).
+    b.setRecord(1, 1);
+
+    auto key = kernelKeyBytes("blowfish", 16);
+    ref::Blowfish bf(key.data(), key.size());
+
+    // The round subkeys P[0..15] are accessed by the loop index: an
+    // indexed constant, so they live in a (padded) table. The final
+    // whitening keys are the kernel's two scalar constants -- exactly
+    // Table 2's "2 constants + 256-entry table" shape.
+    std::vector<Word> ptab(bf.pArray().begin(), bf.pArray().begin() + 16);
+    uint16_t pT = b.addTable("p", ptab);
+    uint16_t sT[4];
+    for (int i = 0; i < 4; ++i) {
+        std::vector<Word> box(bf.sBoxes()[i].begin(), bf.sBoxes()[i].end());
+        sT[i] = b.addTable("s" + std::to_string(i), std::move(box));
+    }
+    Value p16 = b.constant("P16", bf.pArray()[16]);
+    Value p17 = b.constant("P17", bf.pArray()[17]);
+
+    Value in = b.inWord(0);
+    Value l0 = b.opImm(isa::Op::Shr, in, 32);
+    Value r0 = b.opImm(isa::Op::And, in, mask32);
+
+    b.beginLoop(16);
+    Value lc = b.carry(l0);
+    Value rc = b.carry(r0);
+    {
+        Value i = b.loopIdx();
+        Value pi = b.tableLoad(pT, i);
+        Value lx = b.xor_(lc, pi);
+        Value ia = b.opImm(isa::Op::Shr, lx, 24);
+        Value ib = b.opImm(isa::Op::And, b.opImm(isa::Op::Shr, lx, 16),
+                           0xff);
+        Value ic = b.opImm(isa::Op::And, b.opImm(isa::Op::Shr, lx, 8),
+                           0xff);
+        Value id = b.opImm(isa::Op::And, lx, 0xff);
+        Value f = b.op(isa::Op::Add32,
+                       b.xor_(b.op(isa::Op::Add32, b.tableLoad(sT[0], ia),
+                                   b.tableLoad(sT[1], ib)),
+                              b.tableLoad(sT[2], ic)),
+                       b.tableLoad(sT[3], id));
+        Value rx = b.xor_(rc, f);
+        b.setCarryNext(lc, rx);
+        b.setCarryNext(rc, lx);
+    }
+    b.endLoop();
+
+    Value le = b.exitValue(lc);
+    Value re = b.exitValue(rc);
+    // Undo the final swap and apply the output whitening (l' = re ^ P17,
+    // r' = le ^ P16), matching ref::Blowfish::encrypt.
+    Value outL = b.xor_(re, p17);
+    Value outR = b.xor_(le, p16);
+    b.outWord(0, b.or_(outR, b.opImm(isa::Op::Shl, outL, 32)));
+    return b.build();
+}
+
+Kernel
+makeRijndael()
+{
+    KernelBuilder b("rijndael", Domain::Network);
+    // Record: one 16-byte block as two words (big-endian 32-bit columns,
+    // first column in the high half of word 0).
+    b.setRecord(2, 2);
+
+    auto key = kernelKeyBytes("rijndael", 16);
+    ref::Aes128 aes(key.data());
+    const auto &rk = aes.roundKeys();
+    const auto &T = ref::aesTTables();
+    const auto &sbox = ref::aesSbox();
+
+    // Four 256-entry T-tables: the paper's 1024 indexed constants.
+    uint16_t tT[4];
+    for (int i = 0; i < 4; ++i) {
+        std::vector<Word> tab(T[i].begin(), T[i].end());
+        tT[i] = b.addTable("t" + std::to_string(i), std::move(tab));
+    }
+    std::vector<Word> sboxTab(sbox.begin(), sbox.end());
+    uint16_t sT = b.addTable("sbox", std::move(sboxTab));
+    // Round keys for rounds 1..9 are indexed by the round counter.
+    std::vector<Word> rkt(rk.begin() + 4, rk.begin() + 40);
+    uint16_t rkT = b.addTable("rk", std::move(rkt));
+
+    Value rk0[4], rkF[4];
+    for (int i = 0; i < 4; ++i) {
+        rk0[i] = b.constant("rk" + std::to_string(i), rk[i]);
+        rkF[i] = b.constant("rk" + std::to_string(40 + i), rk[40 + i]);
+    }
+
+    Value w0 = b.inWord(0);
+    Value w1 = b.inWord(1);
+    Value s0 = b.xor_(b.opImm(isa::Op::Shr, w0, 32), rk0[0]);
+    Value s1 = b.xor_(b.opImm(isa::Op::And, w0, mask32), rk0[1]);
+    Value s2 = b.xor_(b.opImm(isa::Op::Shr, w1, 32), rk0[2]);
+    Value s3 = b.xor_(b.opImm(isa::Op::And, w1, mask32), rk0[3]);
+
+    b.beginLoop(9);
+    Value c0 = b.carry(s0);
+    Value c1 = b.carry(s1);
+    Value c2 = b.carry(s2);
+    Value c3 = b.carry(s3);
+    {
+        Value idx = b.loopIdx();
+        Value rkOff = b.markOverhead(b.opImm(isa::Op::Shl, idx, 2));
+        Value s[4] = {c0, c1, c2, c3};
+        Value t[4];
+        for (int c = 0; c < 4; ++c) {
+            Value i0 = b.opImm(isa::Op::Shr, s[c], 24);
+            Value i1 = b.opImm(isa::Op::And,
+                               b.opImm(isa::Op::Shr, s[(c + 1) & 3], 16),
+                               0xff);
+            Value i2 = b.opImm(isa::Op::And,
+                               b.opImm(isa::Op::Shr, s[(c + 2) & 3], 8),
+                               0xff);
+            Value i3 = b.opImm(isa::Op::And, s[(c + 3) & 3], 0xff);
+            Value x = b.xor_(b.xor_(b.tableLoad(tT[0], i0),
+                                    b.tableLoad(tT[1], i1)),
+                             b.xor_(b.tableLoad(tT[2], i2),
+                                    b.tableLoad(tT[3], i3)));
+            Value rkOffC =
+                c == 0 ? rkOff
+                       : b.markOverhead(
+                             b.opImm(isa::Op::Add, rkOff, Word(c)));
+            t[c] = b.xor_(x, b.tableLoad(rkT, rkOffC));
+        }
+        b.setCarryNext(c0, t[0]);
+        b.setCarryNext(c1, t[1]);
+        b.setCarryNext(c2, t[2]);
+        b.setCarryNext(c3, t[3]);
+    }
+    b.endLoop();
+
+    Value e[4] = {b.exitValue(c0), b.exitValue(c1), b.exitValue(c2),
+                  b.exitValue(c3)};
+
+    // Final round: SubBytes + ShiftRows + AddRoundKey.
+    Value o[4];
+    for (int c = 0; c < 4; ++c) {
+        Value i0 = b.opImm(isa::Op::Shr, e[c], 24);
+        Value i1 = b.opImm(isa::Op::And,
+                           b.opImm(isa::Op::Shr, e[(c + 1) & 3], 16), 0xff);
+        Value i2 = b.opImm(isa::Op::And,
+                           b.opImm(isa::Op::Shr, e[(c + 2) & 3], 8), 0xff);
+        Value i3 = b.opImm(isa::Op::And, e[(c + 3) & 3], 0xff);
+        Value w = b.or_(
+            b.or_(b.opImm(isa::Op::Shl, b.tableLoad(sT, i0), 24),
+                  b.opImm(isa::Op::Shl, b.tableLoad(sT, i1), 16)),
+            b.or_(b.opImm(isa::Op::Shl, b.tableLoad(sT, i2), 8),
+                  b.tableLoad(sT, i3)));
+        o[c] = b.xor_(w, rkF[c]);
+    }
+
+    b.outWord(0, b.or_(o[1], b.opImm(isa::Op::Shl, o[0], 32)));
+    b.outWord(1, b.or_(o[3], b.opImm(isa::Op::Shl, o[2], 32)));
+    return b.build();
+}
+
+} // namespace dlp::kernels

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Scientific kernels: one radix-2 FFT butterfly and the LU rank-1 element
+ * update (Table 2: 10 and 2 instructions respectively, zero constants).
+ *
+ * Both are driven stage-by-stage by their workloads: the FFT workload
+ * emits one record stream per butterfly stage (twiddles travel in the
+ * record, as on a vector machine); the LU workload emits one stream per
+ * elimination step. The per-record kernels themselves are control-free.
+ */
+
+#include "kernels/build_util.hh"
+#include "kernels/catalog.hh"
+
+namespace dlp::kernels {
+
+Kernel
+makeFft()
+{
+    KernelBuilder b("fft", Domain::Scientific);
+    // Record: ar, ai, br, bi, wr, wi -> a'r, a'i, b'r, b'i.
+    b.setRecord(6, 4);
+
+    Value ar = b.inWord(0);
+    Value ai = b.inWord(1);
+    Value br = b.inWord(2);
+    Value bi = b.inWord(3);
+    Value wr = b.inWord(4);
+    Value wi = b.inWord(5);
+
+    // Mirrors ref::fftButterfly: 4 multiplies, 6 adds/subs.
+    Value tr = b.fsub(b.fmul(wr, br), b.fmul(wi, bi));
+    Value ti = b.fadd(b.fmul(wr, bi), b.fmul(wi, br));
+    b.outWord(0, b.fadd(ar, tr));
+    b.outWord(1, b.fadd(ai, ti));
+    b.outWord(2, b.fsub(ar, tr));
+    b.outWord(3, b.fsub(ai, ti));
+    return b.build();
+}
+
+Kernel
+makeLu()
+{
+    KernelBuilder b("lu", Domain::Scientific);
+    // Record: a[i][j], l[i][k], u[k][j] -> a'[i][j].
+    // (The paper's Table 2 lists a 2-word read record; we carry the
+    // multiplier in the record rather than re-launching per row --
+    // see EXPERIMENTS.md.)
+    b.setRecord(3, 1);
+
+    Value a = b.inWord(0);
+    Value l = b.inWord(1);
+    Value u = b.inWord(2);
+    b.outWord(0, b.fsub(a, b.fmul(l, u)));
+    return b.build();
+}
+
+} // namespace dlp::kernels

@@ -1,0 +1,730 @@
+#include "kernels/workload.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "isa/opcodes.hh"
+#include "kernels/catalog.hh"
+#include "kernels/gfx_layout.hh"
+#include "ref/blowfish.hh"
+#include "ref/dsp.hh"
+#include "ref/fft.hh"
+#include "ref/linalg.hh"
+#include "ref/md5.hh"
+#include "ref/rijndael.hh"
+#include "ref/shading.hh"
+#include "ref/texture.hh"
+
+namespace dlp::kernels {
+
+namespace {
+
+using isa::fpToWord;
+using isa::wordToFp;
+
+/** Texture seed convention shared with tests. */
+uint64_t
+textureSeed(const std::string &name)
+{
+    return kernelSeed(name) ^ 0x7e7e7e7eull;
+}
+
+ref::Vec3
+randomUnitVec(Rng &rng)
+{
+    double x, y, z, l2;
+    do {
+        x = rng.uniform(-1, 1);
+        y = rng.uniform(-1, 1);
+        z = rng.uniform(-1, 1);
+        l2 = x * x + y * y + z * z;
+    } while (l2 < 0.05);
+    double inv = 1.0 / std::sqrt(l2);
+    return {x * inv, y * inv, z * inv};
+}
+
+} // namespace
+
+bool
+Workload::wordsMatch(Word got, Word want, bool fp, double eps)
+{
+    if (!fp)
+        return got == want;
+    double g = wordToFp(got);
+    double w = wordToFp(want);
+    if (std::isnan(g) || std::isnan(w))
+        return false;
+    return std::fabs(g - w) <= eps * (1.0 + std::fabs(w));
+}
+
+namespace {
+
+/** A workload with one precomputed batch and golden expected outputs. */
+class BatchWorkload : public Workload
+{
+  public:
+    BatchWorkload(Kernel k, std::vector<Word> in, std::vector<Word> expect,
+                  std::vector<bool> fpOut, double tolerance,
+                  uint64_t records)
+        : Workload(std::move(k)), input(std::move(in)),
+          expected(std::move(expect)), fpWord(std::move(fpOut)),
+          eps(tolerance), numRecords(records)
+    {
+        panic_if(input.size() != numRecords * kern.inWords,
+                 "%s workload: bad input size", kern.name.c_str());
+        panic_if(expected.size() != numRecords * kern.outWords,
+                 "%s workload: bad expected size", kern.name.c_str());
+        panic_if(fpWord.size() != kern.outWords,
+                 "%s workload: fp mask size", kern.name.c_str());
+    }
+
+    bool
+    nextBatch(std::vector<Word> &in, uint64_t &records) override
+    {
+        if (delivered)
+            return false;
+        delivered = true;
+        in = input;
+        records = numRecords;
+        return true;
+    }
+
+    void
+    consumeOutput(const std::vector<Word> &output) override
+    {
+        got = output;
+    }
+
+    bool
+    verify(std::string &err) const override
+    {
+        if (got.size() != expected.size()) {
+            err = kern.name + ": output size " + std::to_string(got.size()) +
+                  " != " + std::to_string(expected.size());
+            return false;
+        }
+        for (size_t i = 0; i < got.size(); ++i) {
+            bool fp = fpWord[i % kern.outWords];
+            if (!wordsMatch(got[i], expected[i], fp, eps)) {
+                err = kern.name + ": record " +
+                      std::to_string(i / kern.outWords) + " word " +
+                      std::to_string(i % kern.outWords) + " mismatch";
+                return false;
+            }
+        }
+        return true;
+    }
+
+    uint64_t totalRecords() const override { return numRecords; }
+
+  private:
+    std::vector<Word> input;
+    std::vector<Word> expected;
+    std::vector<bool> fpWord;
+    double eps;
+    uint64_t numRecords;
+    bool delivered = false;
+    std::vector<Word> got;
+};
+
+/**
+ * The 1024-point FFT as ten butterfly record streams. The inter-stage
+ * gather/scatter is data reorganization done by the DMA engines /
+ * address generators; its cost is outside the kernel measurement (see
+ * EXPERIMENTS.md).
+ */
+class FftWorkload : public Workload
+{
+  public:
+    FftWorkload(Kernel k, uint64_t n, uint64_t seed)
+        : Workload(std::move(k)), size(n)
+    {
+        panic_if(!isPowerOf2(n) || n < 2, "fft size %llu",
+                 (unsigned long long)n);
+        Rng rng(seed);
+        original.resize(n);
+        for (auto &c : original)
+            c = ref::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+        cur = original;
+        ref::bitReverse(cur);
+        len = 2;
+    }
+
+    bool
+    nextBatch(std::vector<Word> &in, uint64_t &records) override
+    {
+        if (len > size)
+            return false;
+        half = len / 2;
+        records = size / 2;
+        in.clear();
+        in.reserve(records * 6);
+        pairs.clear();
+        for (size_t base = 0; base < size; base += len) {
+            for (size_t j = 0; j < half; ++j) {
+                double ang = -2.0 * M_PI * double(j) / double(len);
+                const auto &a = cur[base + j];
+                const auto &b = cur[base + j + half];
+                in.push_back(fpToWord(a.real()));
+                in.push_back(fpToWord(a.imag()));
+                in.push_back(fpToWord(b.real()));
+                in.push_back(fpToWord(b.imag()));
+                in.push_back(fpToWord(std::cos(ang)));
+                in.push_back(fpToWord(std::sin(ang)));
+                pairs.emplace_back(base + j, base + j + half);
+            }
+        }
+        return true;
+    }
+
+    void
+    consumeOutput(const std::vector<Word> &output) override
+    {
+        panic_if(output.size() != pairs.size() * 4, "fft stage output size");
+        for (size_t r = 0; r < pairs.size(); ++r) {
+            cur[pairs[r].first] = ref::Complex(wordToFp(output[4 * r]),
+                                               wordToFp(output[4 * r + 1]));
+            cur[pairs[r].second] = ref::Complex(
+                wordToFp(output[4 * r + 2]), wordToFp(output[4 * r + 3]));
+        }
+        len <<= 1;
+        totalRecs += pairs.size();
+    }
+
+    bool
+    verify(std::string &err) const override
+    {
+        auto expect = original;
+        ref::fft(expect);
+        for (size_t i = 0; i < size; ++i) {
+            if (std::fabs(cur[i].real() - expect[i].real()) >
+                    1e-9 * (1 + std::fabs(expect[i].real())) ||
+                std::fabs(cur[i].imag() - expect[i].imag()) >
+                    1e-9 * (1 + std::fabs(expect[i].imag()))) {
+                err = "fft: element " + std::to_string(i) + " mismatch";
+                return false;
+            }
+        }
+        return true;
+    }
+
+    uint64_t
+    totalRecords() const override
+    {
+        // log2(n) stages of n/2 butterflies each.
+        return (size / 2) * floorLog2(size);
+    }
+
+  private:
+    size_t size;
+    std::vector<ref::Complex> original;
+    std::vector<ref::Complex> cur;
+    size_t len;
+    size_t half = 0;
+    std::vector<std::pair<size_t, size_t>> pairs;
+    uint64_t totalRecs = 0;
+};
+
+/**
+ * Right-looking LU: one record stream of rank-1 updates per elimination
+ * step. The O(n) column scale (l = a/pivot) is the stream setup done by
+ * the scalar control processor (see EXPERIMENTS.md).
+ */
+class LuWorkload : public Workload
+{
+  public:
+    LuWorkload(Kernel kk, uint64_t n, uint64_t seed)
+        : Workload(std::move(kk)), dim(n),
+          original(ref::makeDominantMatrix(n, seed)), cur(original)
+    {
+    }
+
+    bool
+    nextBatch(std::vector<Word> &in, uint64_t &records) override
+    {
+        while (k + 1 < dim) {
+            // Scale the pivot column (harness-side O(n) step).
+            double pivot = cur.at(k, k);
+            for (size_t i = k + 1; i < dim; ++i)
+                cur.at(i, k) /= pivot;
+
+            size_t m = dim - k - 1;
+            if (m == 0) {
+                ++k;
+                continue;
+            }
+            records = m * m;
+            in.clear();
+            in.reserve(records * 3);
+            sites.clear();
+            for (size_t i = k + 1; i < dim; ++i) {
+                for (size_t j = k + 1; j < dim; ++j) {
+                    in.push_back(fpToWord(cur.at(i, j)));
+                    in.push_back(fpToWord(cur.at(i, k)));
+                    in.push_back(fpToWord(cur.at(k, j)));
+                    sites.emplace_back(i, j);
+                }
+            }
+            return true;
+        }
+        return false;
+    }
+
+    void
+    consumeOutput(const std::vector<Word> &output) override
+    {
+        panic_if(output.size() != sites.size(), "lu step output size");
+        for (size_t r = 0; r < sites.size(); ++r)
+            cur.at(sites[r].first, sites[r].second) = wordToFp(output[r]);
+        totalRecs += sites.size();
+        ++k;
+    }
+
+    bool
+    verify(std::string &err) const override
+    {
+        ref::Matrix expect = original;
+        ref::luDecompose(expect);
+        if (ref::maxAbsDiff(cur, expect) > 1e-8) {
+            err = "lu: decomposition mismatch";
+            return false;
+        }
+        return true;
+    }
+
+    uint64_t
+    totalRecords() const override
+    {
+        uint64_t total = 0;
+        for (uint64_t s = 1; s < dim; ++s)
+            total += s * s;
+        return total;
+    }
+
+  private:
+    size_t dim;
+    ref::Matrix original;
+    ref::Matrix cur;
+    size_t k = 0;
+    std::vector<std::pair<size_t, size_t>> sites;
+    uint64_t totalRecs = 0;
+};
+
+// ---------------------------------------------------------------------
+// Per-kernel batch generators
+// ---------------------------------------------------------------------
+
+std::unique_ptr<Workload>
+makeConvertWorkload(uint64_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Word> in, expect;
+    for (uint64_t r = 0; r < n; ++r) {
+        double rgb[3] = {rng.uniform(), rng.uniform(), rng.uniform()};
+        double yiq[3];
+        ref::rgbToYiq(rgb, yiq);
+        for (double v : rgb)
+            in.push_back(fpToWord(v));
+        for (double v : yiq)
+            expect.push_back(fpToWord(v));
+    }
+    return std::make_unique<BatchWorkload>(makeConvert(), std::move(in),
+                                           std::move(expect),
+                                           std::vector<bool>(3, true), 1e-9,
+                                           n);
+}
+
+std::unique_ptr<Workload>
+makeDctWorkload(uint64_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Word> in, expect;
+    for (uint64_t r = 0; r < n; ++r) {
+        double block[64], out[64];
+        for (auto &v : block)
+            v = rng.uniform(-128, 128);
+        ref::dct8x8(block, out);
+        for (double v : block)
+            in.push_back(fpToWord(v));
+        for (double v : out)
+            expect.push_back(fpToWord(v));
+    }
+    return std::make_unique<BatchWorkload>(makeDct(), std::move(in),
+                                           std::move(expect),
+                                           std::vector<bool>(64, true), 1e-9,
+                                           n);
+}
+
+std::unique_ptr<Workload>
+makeHighpassWorkload(uint64_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Word> in, expect;
+    for (uint64_t r = 0; r < n; ++r) {
+        double window[9];
+        for (auto &v : window)
+            v = rng.uniform();
+        for (double v : window)
+            in.push_back(fpToWord(v));
+        expect.push_back(fpToWord(ref::highpass3x3(window)));
+    }
+    return std::make_unique<BatchWorkload>(makeHighpass(), std::move(in),
+                                           std::move(expect), std::vector<bool>{true}, 1e-9,
+                                           n);
+}
+
+std::unique_ptr<Workload>
+makeMd5Workload(uint64_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Word> in, expect;
+    for (uint64_t r = 0; r < n; ++r) {
+        uint32_t block[16];
+        for (auto &w : block)
+            w = static_cast<uint32_t>(rng.next());
+        ref::Md5State st = {static_cast<uint32_t>(rng.next()),
+                            static_cast<uint32_t>(rng.next()),
+                            static_cast<uint32_t>(rng.next()),
+                            static_cast<uint32_t>(rng.next())};
+        for (int i = 0; i < 8; ++i)
+            in.push_back(Word(block[2 * i]) |
+                         (Word(block[2 * i + 1]) << 32));
+        in.push_back(Word(st[0]) | (Word(st[1]) << 32));
+        in.push_back(Word(st[2]) | (Word(st[3]) << 32));
+
+        ref::md5Compress(st, block);
+        expect.push_back(Word(st[0]) | (Word(st[1]) << 32));
+        expect.push_back(Word(st[2]) | (Word(st[3]) << 32));
+    }
+    return std::make_unique<BatchWorkload>(makeMd5(), std::move(in),
+                                           std::move(expect), std::vector<bool>{false, false},
+                                           0.0, n);
+}
+
+std::unique_ptr<Workload>
+makeBlowfishWorkload(uint64_t n, uint64_t seed)
+{
+    auto key = kernelKeyBytes("blowfish", 16);
+    ref::Blowfish bf(key.data(), key.size());
+    Rng rng(seed);
+    std::vector<Word> in, expect;
+    for (uint64_t r = 0; r < n; ++r) {
+        Word plain = rng.next();
+        in.push_back(plain);
+        uint32_t l = static_cast<uint32_t>(plain >> 32);
+        uint32_t rr = static_cast<uint32_t>(plain);
+        bf.encrypt(l, rr);
+        expect.push_back((Word(l) << 32) | rr);
+    }
+    return std::make_unique<BatchWorkload>(makeBlowfish(), std::move(in),
+                                           std::move(expect), std::vector<bool>{false}, 0.0,
+                                           n);
+}
+
+std::unique_ptr<Workload>
+makeRijndaelWorkload(uint64_t n, uint64_t seed)
+{
+    auto key = kernelKeyBytes("rijndael", 16);
+    ref::Aes128 aes(key.data());
+    Rng rng(seed);
+
+    auto packBlock = [](const uint8_t bytes[16], Word out[2]) {
+        uint32_t w[4];
+        for (int i = 0; i < 4; ++i)
+            w[i] = (uint32_t(bytes[4 * i]) << 24) |
+                   (uint32_t(bytes[4 * i + 1]) << 16) |
+                   (uint32_t(bytes[4 * i + 2]) << 8) | bytes[4 * i + 3];
+        out[0] = (Word(w[0]) << 32) | w[1];
+        out[1] = (Word(w[2]) << 32) | w[3];
+    };
+
+    std::vector<Word> in, expect;
+    for (uint64_t r = 0; r < n; ++r) {
+        uint8_t plain[16], cipher[16];
+        for (auto &p : plain)
+            p = static_cast<uint8_t>(rng.next());
+        aes.encrypt(plain, cipher);
+        Word w[2];
+        packBlock(plain, w);
+        in.push_back(w[0]);
+        in.push_back(w[1]);
+        packBlock(cipher, w);
+        expect.push_back(w[0]);
+        expect.push_back(w[1]);
+    }
+    return std::make_unique<BatchWorkload>(makeRijndael(), std::move(in),
+                                           std::move(expect),
+                                           std::vector<bool>{false, false}, 0.0, n);
+}
+
+std::unique_ptr<Workload>
+makeVertexSimpleWorkload(uint64_t n, uint64_t seed)
+{
+    auto p = ref::makeVertexSimpleParams(kernelSeed("vertex-simple"));
+    Rng rng(seed);
+    std::vector<Word> in, expect;
+    for (uint64_t r = 0; r < n; ++r) {
+        ref::Vec3 nrm = randomUnitVec(rng);
+        double rec[7] = {rng.uniform(-2, 2), rng.uniform(-2, 2),
+                         rng.uniform(-2, 2), nrm.x, nrm.y, nrm.z,
+                         rng.uniform()};
+        double out[6];
+        ref::vertexSimple(rec, out, p);
+        for (double v : rec)
+            in.push_back(fpToWord(v));
+        for (double v : out)
+            expect.push_back(fpToWord(v));
+    }
+    return std::make_unique<BatchWorkload>(makeVertexSimple(), std::move(in),
+                                           std::move(expect),
+                                           std::vector<bool>(6, true), 1e-9,
+                                           n);
+}
+
+std::unique_ptr<Workload>
+makeFragmentSimpleWorkload(uint64_t n, uint64_t seed)
+{
+    auto p = ref::makeFragmentSimpleParams(kernelSeed("fragment-simple"));
+    ref::Texture2D tex(gfx::fragTexSize, gfx::fragTexSize);
+    tex.fillNoise(textureSeed("fragment-simple"));
+
+    Rng rng(seed);
+    std::vector<Word> in, expect;
+    for (uint64_t r = 0; r < n; ++r) {
+        ref::Vec3 nrm = randomUnitVec(rng);
+        ref::Vec3 light = randomUnitVec(rng);
+        double rec[8] = {nrm.x,
+                         nrm.y,
+                         nrm.z,
+                         rng.uniform(4.0, gfx::fragTexSize - 4.0),
+                         rng.uniform(4.0, gfx::fragTexSize - 4.0),
+                         light.x,
+                         light.y,
+                         light.z};
+        double out[4];
+        ref::fragmentSimple(rec, out, tex, p);
+        for (double v : rec)
+            in.push_back(fpToWord(v));
+        for (double v : out)
+            expect.push_back(fpToWord(v));
+    }
+    auto wl = std::make_unique<BatchWorkload>(
+        makeFragmentSimple(), std::move(in), std::move(expect),
+        std::vector<bool>(4, true), 1e-9, n);
+    tex.blit([&wl](uint64_t off, Word w) {
+        wl->installIrregularWord(gfx::textureBase + off * wordBytes, w);
+    });
+    return wl;
+}
+
+std::unique_ptr<Workload>
+makeVertexReflectionWorkload(uint64_t n, uint64_t seed)
+{
+    auto p = ref::makeVertexReflectionParams(kernelSeed("vertex-reflection"));
+    Rng rng(seed);
+    std::vector<Word> in, expect;
+    for (uint64_t r = 0; r < n; ++r) {
+        ref::Vec3 nrm = randomUnitVec(rng);
+        double rec[9] = {rng.uniform(-2, 2),
+                         rng.uniform(-2, 2),
+                         rng.uniform(-2, 2),
+                         nrm.x,
+                         nrm.y,
+                         nrm.z,
+                         rng.uniform(),
+                         rng.uniform(),
+                         rng.uniform()};
+        double out[6];
+        ref::vertexReflection(rec, out, p);
+        for (double v : rec)
+            in.push_back(fpToWord(v));
+        for (double v : out)
+            expect.push_back(fpToWord(v));
+    }
+    return std::make_unique<BatchWorkload>(
+        makeVertexReflection(), std::move(in), std::move(expect),
+        std::vector<bool>(6, true), 1e-9, n);
+}
+
+std::unique_ptr<Workload>
+makeFragmentReflectionWorkload(uint64_t n, uint64_t seed)
+{
+    auto p = ref::makeFragmentReflectionParams(
+        kernelSeed("fragment-reflection"));
+    ref::CubeMap cube(gfx::cubeFaceSize);
+    cube.fillNoise(textureSeed("fragment-reflection"));
+
+    Rng rng(seed);
+    std::vector<Word> in, expect;
+    for (uint64_t r = 0; r < n; ++r) {
+        ref::Vec3 dir = randomUnitVec(rng);
+        double rec[5] = {dir.x, dir.y, dir.z, rng.uniform(), 0.0};
+        double out[3];
+        ref::fragmentReflection(rec, out, cube, p);
+        for (double v : rec)
+            in.push_back(fpToWord(v));
+        for (double v : out)
+            expect.push_back(fpToWord(v));
+    }
+    auto wl = std::make_unique<BatchWorkload>(
+        makeFragmentReflection(), std::move(in), std::move(expect),
+        std::vector<bool>(3, true), 1e-9, n);
+    for (unsigned f = 0; f < 6; ++f) {
+        Addr faceBase = gfx::textureBase +
+                        Addr(f) * gfx::cubeFaceSize * gfx::cubeFaceSize *
+                            wordBytes;
+        cube.face(f).blit([&wl, faceBase](uint64_t off, Word w) {
+            wl->installIrregularWord(faceBase + off * wordBytes, w);
+        });
+    }
+    return wl;
+}
+
+std::unique_ptr<Workload>
+makeSkinningWorkload(uint64_t n, uint64_t seed)
+{
+    auto p = ref::makeSkinningParams(kernelSeed("vertex-skinning"));
+    Rng rng(seed);
+    std::vector<Word> in, expect;
+    for (uint64_t r = 0; r < n; ++r) {
+        ref::Vec3 pos{rng.uniform(-2, 2), rng.uniform(-2, 2),
+                      rng.uniform(-2, 2)};
+        ref::Vec3 nrm = randomUnitVec(rng);
+        unsigned count = 1 + static_cast<unsigned>(rng.below(4));
+        unsigned idx[4] = {0, 0, 0, 0};
+        double w[4] = {0, 0, 0, 0};
+        double sum = 0;
+        for (unsigned i = 0; i < count; ++i) {
+            idx[i] = static_cast<unsigned>(
+                rng.below(ref::SkinningParams::maxBones));
+            w[i] = rng.uniform(0.1, 1.0);
+            sum += w[i];
+        }
+        for (unsigned i = 0; i < count; ++i)
+            w[i] /= sum;
+
+        double clip[3], color[3], outN[3];
+        ref::vertexSkinning(pos, nrm, count, idx, w, 0.9, clip, color, outN,
+                            p);
+
+        in.push_back(fpToWord(pos.x));
+        in.push_back(fpToWord(pos.y));
+        in.push_back(fpToWord(pos.z));
+        in.push_back(fpToWord(nrm.x));
+        in.push_back(fpToWord(nrm.y));
+        in.push_back(fpToWord(nrm.z));
+        in.push_back(count);
+        for (unsigned i = 0; i < 4; ++i)
+            in.push_back(idx[i]);
+        for (unsigned i = 0; i < 4; ++i)
+            in.push_back(fpToWord(w[i]));
+        in.push_back(fpToWord(0.9));
+
+        for (double v : clip)
+            expect.push_back(fpToWord(v));
+        for (double v : color)
+            expect.push_back(fpToWord(v));
+        for (double v : outN)
+            expect.push_back(fpToWord(v));
+    }
+    return std::make_unique<BatchWorkload>(
+        makeVertexSkinning(), std::move(in), std::move(expect),
+        std::vector<bool>(9, true), 1e-9, n);
+}
+
+std::unique_ptr<Workload>
+makeAnisoWorkload(uint64_t n, uint64_t seed)
+{
+    auto p = ref::makeAnisoParams(kernelSeed("anisotropic-filter"));
+    ref::Texture2D tex(gfx::anisoTexSize, gfx::anisoTexSize);
+    tex.fillNoise(textureSeed("anisotropic-filter"));
+
+    Rng rng(seed);
+    std::vector<Word> in, expect;
+    for (uint64_t r = 0; r < n; ++r) {
+        double u = rng.uniform(64.0, gfx::anisoTexSize - 64.0);
+        double v = rng.uniform(64.0, gfx::anisoTexSize - 64.0);
+        double au = rng.uniform(-1.5, 1.5);
+        double av = rng.uniform(-1.5, 1.5);
+        unsigned samples =
+            1 + static_cast<unsigned>(rng.below(ref::AnisoParams::maxSamples));
+        Word out = ref::anisotropicFilter(u, v, au, av, samples, tex, p);
+
+        in.push_back(fpToWord(u));
+        in.push_back(fpToWord(v));
+        in.push_back(fpToWord(au));
+        in.push_back(fpToWord(av));
+        in.push_back(samples);
+        for (int pad = 0; pad < 4; ++pad)
+            in.push_back(0);
+        expect.push_back(out);
+    }
+    auto wl = std::make_unique<BatchWorkload>(
+        makeAnisotropic(), std::move(in), std::move(expect), std::vector<bool>{false}, 0.0,
+        n);
+    tex.blit([&wl](uint64_t off, Word w) {
+        wl->installIrregularWord(gfx::textureBase + off * wordBytes, w);
+    });
+    return wl;
+}
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, uint64_t scale, uint64_t seed)
+{
+    std::unique_ptr<Workload> wl;
+    if (name == "convert") {
+        wl = makeConvertWorkload(scale, seed);
+    } else if (name == "dct") {
+        wl = makeDctWorkload(scale, seed);
+    } else if (name == "highpassfilter") {
+        wl = makeHighpassWorkload(scale, seed);
+    } else if (name == "fft") {
+        wl = std::make_unique<FftWorkload>(makeFft(), scale, seed);
+    } else if (name == "lu") {
+        wl = std::make_unique<LuWorkload>(makeLu(), scale, seed);
+    } else if (name == "md5") {
+        wl = makeMd5Workload(scale, seed);
+    } else if (name == "blowfish") {
+        wl = makeBlowfishWorkload(scale, seed);
+    } else if (name == "rijndael") {
+        wl = makeRijndaelWorkload(scale, seed);
+    } else if (name == "vertex-simple") {
+        wl = makeVertexSimpleWorkload(scale, seed);
+    } else if (name == "fragment-simple") {
+        wl = makeFragmentSimpleWorkload(scale, seed);
+    } else if (name == "vertex-reflection") {
+        wl = makeVertexReflectionWorkload(scale, seed);
+    } else if (name == "fragment-reflection") {
+        wl = makeFragmentReflectionWorkload(scale, seed);
+    } else if (name == "vertex-skinning") {
+        wl = makeSkinningWorkload(scale, seed);
+    } else if (name == "anisotropic-filter") {
+        wl = makeAnisoWorkload(scale, seed);
+    } else {
+        fatal("no workload for kernel '%s'", name.c_str());
+    }
+    return wl;
+}
+
+uint64_t
+defaultScale(const std::string &name)
+{
+    if (name == "fft")
+        return 1024; // transform length (Table 1: 1024-point FFT)
+    if (name == "lu")
+        return 48; // matrix dimension (scaled down from 1024; see docs)
+    if (name == "dct")
+        return 192;
+    if (name == "md5" || name == "rijndael")
+        return 768;
+    if (name == "anisotropic-filter")
+        return 512;
+    if (name == "vertex-skinning")
+        return 1536;
+    return 2048;
+}
+
+} // namespace dlp::kernels

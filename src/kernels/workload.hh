@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Workload generation for the benchmark kernels.
+ *
+ * A Workload owns everything one experiment consumes: the kernel, the
+ * input record stream (possibly staged: the FFT runs one record stream
+ * per butterfly stage, LU one per elimination step), the irregular-memory
+ * image (textures), and the expected outputs computed with the golden
+ * models in src/ref. The runner pulls batches, pushes back the machine's
+ * outputs, and finally asks the workload to verify.
+ */
+
+#ifndef DLP_KERNELS_WORKLOAD_HH
+#define DLP_KERNELS_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kernels/interp.hh"
+#include "kernels/ir.hh"
+
+namespace dlp::kernels {
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    const Kernel &kernel() const { return kern; }
+
+    /**
+     * Fetch the next batch of records. Returns false when the workload
+     * is exhausted. Batches beyond the first may depend on outputs of
+     * earlier batches (FFT stages, LU steps).
+     */
+    virtual bool nextBatch(std::vector<Word> &input,
+                           uint64_t &numRecords) = 0;
+
+    /** Hand the outputs of the batch from the last nextBatch() back. */
+    virtual void consumeOutput(const std::vector<Word> &output) = 0;
+
+    /** After all batches: did the machine compute the right answer? */
+    virtual bool verify(std::string &err) const = 0;
+
+    /** Total records across all batches (for ops/cycle accounting). */
+    virtual uint64_t totalRecords() const = 0;
+
+    /** Copy the irregular-memory image into the machine. */
+    void
+    populateIrregular(const std::function<void(Addr, Word)> &writeWord) const
+    {
+        for (const auto &kv : irregular)
+            writeWord(kv.first, kv.second);
+    }
+
+    /** Irregular-memory callbacks for the IR interpreter. */
+    IrregularMemory
+    irregularMemory()
+    {
+        IrregularMemory mem;
+        mem.read = [this](Addr a) {
+            auto it = irregular.find(a);
+            return it == irregular.end() ? Word(0) : it->second;
+        };
+        mem.write = [this](Addr a, Word w) { irregular[a] = w; };
+        return mem;
+    }
+
+    bool hasIrregular() const { return !irregular.empty(); }
+
+    /** Install one word of the irregular-memory image (textures). */
+    void installIrregularWord(Addr a, Word w) { irregular[a] = w; }
+
+  protected:
+    explicit Workload(Kernel k) : kern(std::move(k)) {}
+
+    /** Compare two output words; fp words within eps, others exactly. */
+    static bool wordsMatch(Word got, Word want, bool fp, double eps);
+
+    Kernel kern;
+    std::unordered_map<Addr, Word> irregular;
+};
+
+/**
+ * Create the standard workload for a kernel.
+ *
+ * @param name  Table 1 kernel name
+ * @param scale problem size: records for streaming kernels, matrix
+ *              dimension for lu, transform length for fft
+ * @param seed  dataset seed (kernel constants use kernelSeed() instead
+ *              and are not affected)
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       uint64_t scale, uint64_t seed);
+
+/** Default problem scale used by tests and benches for each kernel. */
+uint64_t defaultScale(const std::string &name);
+
+} // namespace dlp::kernels
+
+#endif // DLP_KERNELS_WORKLOAD_HH

@@ -1,0 +1,72 @@
+#include "mem/cache_model.hh"
+
+namespace dlp::mem {
+
+CacheModel::CacheModel(std::string cname, uint64_t totalBytes, unsigned assoc,
+                       unsigned lineBytes, unsigned banks, Cycles hitLat)
+    : name(std::move(cname)), line(lineBytes), numBanks(banks), ways(assoc),
+      hitTicks(cyclesToTicks(hitLat))
+{
+    panic_if(banks == 0 || assoc == 0 || lineBytes == 0,
+             "degenerate cache %s", name.c_str());
+    uint64_t linesTotal = totalBytes / lineBytes;
+    uint64_t setsTotal = linesTotal / assoc;
+    panic_if(setsTotal < banks, "cache %s too small for %u banks",
+             name.c_str(), banks);
+    setsPerBank = static_cast<unsigned>(setsTotal / banks);
+    sets.assign(static_cast<size_t>(setsPerBank) * banks,
+                std::vector<Line>(ways));
+    // One access per cycle per bank port.
+    ports.assign(banks, sim::Resource(ticksPerCycle));
+}
+
+bool
+CacheModel::probe(Addr addr, bool isWrite)
+{
+    Addr lineAddr = addr / line;
+    unsigned bank = bankOf(addr);
+    unsigned set = static_cast<unsigned>((lineAddr / numBanks) % setsPerBank);
+    auto &ways_ = sets[static_cast<size_t>(bank) * setsPerBank + set];
+    ++useClock;
+
+    for (auto &w : ways_) {
+        if (w.valid && w.tag == lineAddr) {
+            w.lastUse = useClock;
+            ++nHits;
+            return true;
+        }
+    }
+    ++nMisses;
+
+    if (!isWrite) {
+        // Read-allocate into the LRU way.
+        Line *victim = &ways_[0];
+        for (auto &w : ways_) {
+            if (!w.valid) {
+                victim = &w;
+                break;
+            }
+            if (w.lastUse < victim->lastUse)
+                victim = &w;
+        }
+        victim->valid = true;
+        victim->tag = lineAddr;
+        victim->lastUse = useClock;
+    }
+    return false;
+}
+
+void
+CacheModel::reset()
+{
+    for (auto &set : sets)
+        for (auto &w : set)
+            w = Line{};
+    for (auto &p : ports)
+        p.reset();
+    useClock = 0;
+    nHits = 0;
+    nMisses = 0;
+}
+
+} // namespace dlp::mem

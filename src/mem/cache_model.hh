@@ -1,0 +1,99 @@
+/**
+ * @file
+ * A timing-only, banked, set-associative cache model.
+ *
+ * Data always lives in MainMemory (the caches are write-through); this
+ * class tracks tags and LRU state to decide hits and charges port
+ * occupancy. Keeping the caches timing-only means functional correctness
+ * of a simulation can never depend on cache state, which makes the whole
+ * memory system trivially coherent.
+ */
+
+#ifndef DLP_MEM_CACHE_MODEL_HH
+#define DLP_MEM_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "sim/resource.hh"
+
+namespace dlp::mem {
+
+class CacheModel
+{
+  public:
+    /**
+     * @param name       stat prefix
+     * @param totalBytes capacity summed over all banks
+     * @param assoc      ways per set
+     * @param lineBytes  line size
+     * @param banks      line-interleaved banks, each with its own port
+     * @param hitLat     hit latency in cycles
+     */
+    CacheModel(std::string name, uint64_t totalBytes, unsigned assoc,
+               unsigned lineBytes, unsigned banks, Cycles hitLat);
+
+    /** Which bank services this address. */
+    unsigned bankOf(Addr addr) const
+    {
+        return static_cast<unsigned>((addr / line) % numBanks);
+    }
+
+    /**
+     * Probe the tags and update LRU/allocation state.
+     * Reads allocate on miss; writes are write-through no-allocate but
+     * update LRU on hit.
+     * @return true on hit.
+     */
+    bool probe(Addr addr, bool isWrite);
+
+    /** Acquire the bank port for one access starting no earlier than t. */
+    Tick
+    acquirePort(Addr addr, Tick t)
+    {
+        return ports[bankOf(addr)].acquire(t);
+    }
+
+    Tick hitLatencyTicks() const { return hitTicks; }
+
+    uint64_t hits() const { return nHits; }
+    uint64_t misses() const { return nMisses; }
+    const std::string &cacheName() const { return name; }
+
+    /** Invalidate all tags and clear occupancy and counters. */
+    void reset();
+
+    /** Port resources, exposed for occupancy accounting. */
+    std::vector<sim::Resource> &portResources() { return ports; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0;
+        uint64_t lastUse = 0;
+    };
+
+    std::string name;
+    unsigned line;
+    unsigned numBanks;
+    unsigned ways;
+    unsigned setsPerBank;
+    Tick hitTicks;
+
+    /// sets[bank * setsPerBank + set] -> ways.
+    std::vector<std::vector<Line>> sets;
+    std::vector<sim::Resource> ports;
+
+    uint64_t useClock = 0;
+    uint64_t nHits = 0;
+    uint64_t nMisses = 0;
+};
+
+} // namespace dlp::mem
+
+#endif // DLP_MEM_CACHE_MODEL_HH

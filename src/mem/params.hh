@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Memory-system configuration knobs.
+ *
+ * Defaults reproduce the baseline configuration of Section 5.2: an 8x8
+ * array with one 64 KB SMC bank per row (reconfigured L2 banks), 2 MB of
+ * L2, a partitioned 64 KB L1 data cache, and access latencies matched to
+ * an Alpha 21264.
+ */
+
+#ifndef DLP_MEM_PARAMS_HH
+#define DLP_MEM_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dlp::mem {
+
+struct MemParams
+{
+    /// Number of row-aligned banks (equals the array height).
+    unsigned rows = 8;
+
+    // --- Software-managed cache (streamed memory) -----------------------
+    /// Capacity of one SMC bank in bytes.
+    uint64_t smcBankBytes = 64 * 1024;
+    /// SRAM access latency of an SMC bank, cycles.
+    Cycles smcLatency = 4;
+    /// Words an SMC bank (and its row streaming channel) moves per cycle.
+    unsigned smcWordsPerCycle = 4;
+    /// Words the coalescing store buffer retires per cycle per row.
+    unsigned storeBufWordsPerCycle = 4;
+
+    // --- Hardware-managed caches ----------------------------------------
+    /// Total L1 data-cache capacity (partitioned across rows), bytes.
+    uint64_t l1Bytes = 64 * 1024;
+    unsigned l1Assoc = 4;
+    unsigned lineBytes = 32;
+    Cycles l1HitLatency = 2;
+    /// L2 capacity in bytes (the part not reconfigured as SMC).
+    uint64_t l2Bytes = 2 * 1024 * 1024;
+    unsigned l2Assoc = 8;
+    Cycles l2Latency = 8;
+
+    // --- Main memory -----------------------------------------------------
+    Cycles memLatency = 100;
+    /// Words per cycle of off-chip bandwidth (shared by DMA and misses).
+    unsigned memWordsPerCycle = 2;
+
+    /// Words one SMC bank holds.
+    uint64_t smcBankWords() const { return smcBankBytes / wordBytes; }
+};
+
+} // namespace dlp::mem
+
+#endif // DLP_MEM_PARAMS_HH

@@ -1,0 +1,125 @@
+#include "noc/mesh.hh"
+
+namespace dlp::noc {
+
+MeshNetwork::MeshNetwork(unsigned nrows, unsigned ncols, Tick hop)
+    : rows(nrows), cols(ncols), hopTicks(hop),
+      east(static_cast<size_t>(nrows) * ncols, sim::Resource(1)),
+      west(static_cast<size_t>(nrows) * ncols, sim::Resource(1)),
+      south(static_cast<size_t>(nrows) * ncols, sim::Resource(1)),
+      north(static_cast<size_t>(nrows) * ncols, sim::Resource(1)),
+      edgeOut(nrows, sim::Resource(1)),
+      edgeIn(nrows, sim::Resource(1))
+{
+    panic_if(rows == 0 || cols == 0, "degenerate mesh %ux%u", rows, cols);
+}
+
+sim::Resource &
+MeshNetwork::linkFor(Coord at, int drow, int dcol)
+{
+    size_t idx = static_cast<size_t>(at.row) * cols + at.col;
+    if (dcol > 0)
+        return east[idx];
+    if (dcol < 0)
+        return west[idx];
+    if (drow > 0)
+        return south[idx];
+    return north[idx];
+}
+
+Tick
+MeshNetwork::traverseLink(Coord at, int drow, int dcol, Tick ready)
+{
+    sim::Resource &link = linkFor(at, drow, dcol);
+    Tick grant = link.acquire(ready);
+    contention += grant - ready;
+    ++hops;
+    return grant + hopTicks;
+}
+
+Tick
+MeshNetwork::route(Coord src, Coord dst, Tick inject)
+{
+    panic_if(src.row >= rows || src.col >= cols, "route from off-grid");
+    panic_if(dst.row >= rows || dst.col >= cols, "route to off-grid");
+    ++routed;
+
+    // Local bypass: the ALU result feeds its own reservation stations for
+    // free on the same tick.
+    if (src == dst)
+        return inject;
+
+    Tick t = inject;
+    Coord cur = src;
+    // X first ...
+    while (cur.col != dst.col) {
+        int dcol = cur.col < dst.col ? 1 : -1;
+        t = traverseLink(cur, 0, dcol, t);
+        cur.col = static_cast<uint8_t>(cur.col + dcol);
+    }
+    // ... then Y.
+    while (cur.row != dst.row) {
+        int drow = cur.row < dst.row ? 1 : -1;
+        t = traverseLink(cur, drow, 0, t);
+        cur.row = static_cast<uint8_t>(cur.row + drow);
+    }
+    return t;
+}
+
+Tick
+MeshNetwork::routeToEdge(Coord src, Tick inject)
+{
+    panic_if(src.row >= rows || src.col >= cols, "edge route from off-grid");
+    ++routed;
+
+    Tick t = inject;
+    Coord cur = src;
+    while (cur.col != 0) {
+        t = traverseLink(cur, 0, -1, t);
+        cur.col--;
+    }
+    // Cross from column 0 into the row's memory port.
+    Tick grant = edgeOut[src.row].acquire(t);
+    contention += grant - t;
+    ++hops;
+    return grant + hopTicks;
+}
+
+Tick
+MeshNetwork::routeFromEdge(unsigned row, Coord dst, Tick inject)
+{
+    panic_if(row >= rows, "edge route from bad row %u", row);
+    panic_if(dst.row >= rows || dst.col >= cols, "edge route to off-grid");
+    ++routed;
+
+    // Cross from the memory port into column 0 of the row.
+    Tick grant = edgeIn[row].acquire(inject);
+    contention += grant - inject;
+    ++hops;
+    Tick t = grant + hopTicks;
+
+    Coord cur{static_cast<uint8_t>(row), 0};
+    while (cur.col != dst.col) {
+        t = traverseLink(cur, 0, 1, t);
+        cur.col++;
+    }
+    while (cur.row != dst.row) {
+        int drow = cur.row < dst.row ? 1 : -1;
+        t = traverseLink(cur, drow, 0, t);
+        cur.row = static_cast<uint8_t>(cur.row + drow);
+    }
+    return t;
+}
+
+void
+MeshNetwork::reset()
+{
+    for (auto *set : {&east, &west, &south, &north, &edgeOut, &edgeIn})
+        for (auto &link : *set)
+            link.reset();
+    routed = 0;
+    hops = 0;
+    contention = 0;
+}
+
+} // namespace dlp::noc

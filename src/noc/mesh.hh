@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The lightweight routed operand network connecting the ALU array.
+ *
+ * The TRIPS execution array forwards operands between ALUs over a 2-D mesh
+ * with dimension-order (X-then-Y) routing. With the paper's 10FO4 clock at
+ * 100 nm the hop delay between adjacent ALUs is half a cycle (one tick).
+ *
+ * The model is link-accurate for contention: every unidirectional link can
+ * accept one operand per tick, and operands queue FCFS at busy links. This
+ * captures the effect the paper leans on in Section 5.3 -- in MIMD mode
+ * every load request is routed tile-to-edge through the mesh and the extra
+ * traffic degrades the regular kernels relative to the SIMD configurations.
+ *
+ * Each row additionally has a memory port on its west edge (column 0 side)
+ * through which loads, stores and register traffic leave the array.
+ */
+
+#ifndef DLP_NOC_MESH_HH
+#define DLP_NOC_MESH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sim/resource.hh"
+
+namespace dlp::noc {
+
+/** Coordinates of a tile in the array. */
+struct Coord
+{
+    uint8_t row;
+    uint8_t col;
+
+    bool operator==(const Coord &o) const
+    {
+        return row == o.row && col == o.col;
+    }
+};
+
+/** A 2-D mesh with per-link FCFS contention. */
+class MeshNetwork
+{
+  public:
+    /**
+     * @param rows     array height
+     * @param cols     array width
+     * @param hopTicks ticks to traverse one link (default: half a cycle)
+     */
+    MeshNetwork(unsigned rows, unsigned cols, Tick hopTicks = 1);
+
+    /**
+     * Route one operand from src to dst, injected at tick inject.
+     * Same-tile forwarding is free (local bypass).
+     *
+     * @return the tick at which the operand arrives at dst.
+     */
+    Tick route(Coord src, Coord dst, Tick inject);
+
+    /**
+     * Route an operand from a tile to its row's west-edge memory port
+     * (or back). One extra hop crosses from column 0 into the port.
+     */
+    Tick routeToEdge(Coord src, Tick inject);
+    Tick routeFromEdge(unsigned row, Coord dst, Tick inject);
+
+    /** Manhattan distance in hops between two tiles. */
+    unsigned
+    distance(Coord a, Coord b) const
+    {
+        return static_cast<unsigned>(
+                   a.row > b.row ? a.row - b.row : b.row - a.row) +
+               static_cast<unsigned>(
+                   a.col > b.col ? a.col - b.col : b.col - a.col);
+    }
+
+    unsigned numRows() const { return rows; }
+    unsigned numCols() const { return cols; }
+    Tick hopDelay() const { return hopTicks; }
+
+    uint64_t operandsRouted() const { return routed; }
+    uint64_t totalHops() const { return hops; }
+    Tick contentionTicks() const { return contention; }
+
+    /** Clear all link occupancy and counters. */
+    void reset();
+
+    /** Visit every link resource (occupancy accounting). */
+    template <typename Fn>
+    void
+    forEachLink(Fn &&fn)
+    {
+        for (auto *set : {&east, &west, &south, &north, &edgeOut, &edgeIn})
+            for (auto &link : *set)
+                fn(link);
+    }
+
+  private:
+    /** Traverse one link in the given direction from tile at. */
+    Tick traverseLink(Coord at, int drow, int dcol, Tick ready);
+
+    sim::Resource &linkFor(Coord at, int drow, int dcol);
+
+    unsigned rows;
+    unsigned cols;
+    Tick hopTicks;
+
+    // Four unidirectional link sets indexed by source tile: E, W, S, N,
+    // plus the per-row edge links into/out of the memory ports.
+    std::vector<sim::Resource> east;
+    std::vector<sim::Resource> west;
+    std::vector<sim::Resource> south;
+    std::vector<sim::Resource> north;
+    std::vector<sim::Resource> edgeOut;
+    std::vector<sim::Resource> edgeIn;
+
+    uint64_t routed = 0;
+    uint64_t hops = 0;
+    Tick contention = 0;
+};
+
+} // namespace dlp::noc
+
+#endif // DLP_NOC_MESH_HH

@@ -1,0 +1,113 @@
+#include "ref/blowfish.hh"
+
+#include "common/logging.hh"
+#include "ref/pi_digits.hh"
+
+namespace dlp::ref {
+
+namespace {
+
+/** The pi-derived initial P-array and S-boxes, computed once. */
+struct InitBoxes
+{
+    std::array<uint32_t, 18> p;
+    std::array<std::array<uint32_t, 256>, 4> s;
+};
+
+const InitBoxes &
+initBoxes()
+{
+    static const InitBoxes boxes = [] {
+        InitBoxes b;
+        auto words = piFractionWords(18 + 4 * 256);
+        size_t w = 0;
+        for (auto &pi : b.p)
+            pi = words[w++];
+        for (auto &box : b.s)
+            for (auto &e : box)
+                e = words[w++];
+        return b;
+    }();
+    return boxes;
+}
+
+} // namespace
+
+Blowfish::Blowfish(const uint8_t *key, size_t keyLen)
+{
+    panic_if(keyLen == 0 || keyLen > 56, "blowfish key length %zu", keyLen);
+
+    const InitBoxes &init = initBoxes();
+    p = init.p;
+    s = init.s;
+
+    // XOR the key cyclically into the P-array.
+    size_t k = 0;
+    for (auto &pi : p) {
+        uint32_t data = 0;
+        for (int i = 0; i < 4; ++i) {
+            data = (data << 8) | key[k];
+            k = (k + 1) % keyLen;
+        }
+        pi ^= data;
+    }
+
+    // Replace P and S entries with successive encryptions of zero.
+    uint32_t l = 0, r = 0;
+    for (size_t i = 0; i < p.size(); i += 2) {
+        encrypt(l, r);
+        p[i] = l;
+        p[i + 1] = r;
+    }
+    for (auto &box : s) {
+        for (size_t i = 0; i < box.size(); i += 2) {
+            encrypt(l, r);
+            box[i] = l;
+            box[i + 1] = r;
+        }
+    }
+}
+
+uint32_t
+Blowfish::feistel(uint32_t x) const
+{
+    uint32_t a = (x >> 24) & 0xff;
+    uint32_t b = (x >> 16) & 0xff;
+    uint32_t c = (x >> 8) & 0xff;
+    uint32_t d = x & 0xff;
+    return ((s[0][a] + s[1][b]) ^ s[2][c]) + s[3][d];
+}
+
+void
+Blowfish::encrypt(uint32_t &left, uint32_t &right) const
+{
+    uint32_t l = left, r = right;
+    for (int i = 0; i < 16; ++i) {
+        l ^= p[i];
+        r ^= feistel(l);
+        std::swap(l, r);
+    }
+    std::swap(l, r);
+    r ^= p[16];
+    l ^= p[17];
+    left = l;
+    right = r;
+}
+
+void
+Blowfish::decrypt(uint32_t &left, uint32_t &right) const
+{
+    uint32_t l = left, r = right;
+    for (int i = 17; i > 1; --i) {
+        l ^= p[i];
+        r ^= feistel(l);
+        std::swap(l, r);
+    }
+    std::swap(l, r);
+    r ^= p[1];
+    l ^= p[0];
+    left = l;
+    right = r;
+}
+
+} // namespace dlp::ref

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reference Blowfish (Schneier, 1993).
+ *
+ * 16-round Feistel cipher on 64-bit blocks with a key-dependent P-array
+ * (18 x 32-bit) and four 256-entry S-boxes -- the "indexed constants" the
+ * paper's L0 data-store mechanism targets (Table 2 lists a 256-entry
+ * lookup table and a 16-iteration loop for this kernel).
+ */
+
+#ifndef DLP_REF_BLOWFISH_HH
+#define DLP_REF_BLOWFISH_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dlp::ref {
+
+class Blowfish
+{
+  public:
+    /** Expand a key (1..56 bytes). */
+    Blowfish(const uint8_t *key, size_t keyLen);
+
+    /** Encrypt one 64-bit block (two 32-bit halves). */
+    void encrypt(uint32_t &left, uint32_t &right) const;
+
+    /** Decrypt one 64-bit block. */
+    void decrypt(uint32_t &left, uint32_t &right) const;
+
+    const std::array<uint32_t, 18> &pArray() const { return p; }
+    const std::array<std::array<uint32_t, 256>, 4> &sBoxes() const
+    {
+        return s;
+    }
+
+  private:
+    uint32_t feistel(uint32_t x) const;
+
+    std::array<uint32_t, 18> p;
+    std::array<std::array<uint32_t, 256>, 4> s;
+};
+
+} // namespace dlp::ref
+
+#endif // DLP_REF_BLOWFISH_HH

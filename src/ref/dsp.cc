@@ -1,0 +1,123 @@
+#include "ref/dsp.hh"
+
+#include <cmath>
+
+namespace dlp::ref {
+
+const std::array<double, 9> &
+yiqMatrix()
+{
+    static const std::array<double, 9> m = {
+        0.299,  0.587,  0.114,
+        0.596, -0.274, -0.322,
+        0.211, -0.523,  0.312};
+    return m;
+}
+
+void
+rgbToYiq(const double rgb[3], double yiq[3])
+{
+    const auto &m = yiqMatrix();
+    for (int r = 0; r < 3; ++r) {
+        yiq[r] = m[3 * r] * rgb[0] + m[3 * r + 1] * rgb[1] +
+                 m[3 * r + 2] * rgb[2];
+    }
+}
+
+const std::array<double, 8> &
+dctCosines()
+{
+    static const std::array<double, 8> c = [] {
+        std::array<double, 8> v{};
+        for (int k = 0; k < 8; ++k)
+            v[k] = std::cos(k * M_PI / 16.0);
+        return v;
+    }();
+    return c;
+}
+
+void
+dct1d8(const double in[8], double out[8])
+{
+    const auto &c = dctCosines();
+
+    // Even/odd split.
+    double a0 = in[0] + in[7];
+    double a1 = in[1] + in[6];
+    double a2 = in[2] + in[5];
+    double a3 = in[3] + in[4];
+    double b0 = in[0] - in[7];
+    double b1 = in[1] - in[6];
+    double b2 = in[2] - in[5];
+    double b3 = in[3] - in[4];
+
+    // Even coefficients.
+    out[0] = (a0 + a1) + (a2 + a3);
+    out[4] = c[4] * ((a0 - a1) - (a2 - a3));
+    double e0 = a0 - a3;
+    double e1 = a1 - a2;
+    out[2] = c[2] * e0 + c[6] * e1;
+    out[6] = c[6] * e0 - c[2] * e1;
+
+    // Odd coefficients (direct 4x4).
+    out[1] = c[1] * b0 + c[3] * b1 + c[5] * b2 + c[7] * b3;
+    out[3] = c[3] * b0 - c[7] * b1 - c[1] * b2 - c[5] * b3;
+    out[5] = c[5] * b0 - c[1] * b1 + c[7] * b2 + c[3] * b3;
+    out[7] = c[7] * b0 - c[5] * b1 + c[3] * b2 - c[1] * b3;
+}
+
+void
+dct8x8(const double in[64], double out[64])
+{
+    double mid[64];
+    // Columns first.
+    for (int col = 0; col < 8; ++col) {
+        double v[8], d[8];
+        for (int j = 0; j < 8; ++j)
+            v[j] = in[8 * j + col];
+        dct1d8(v, d);
+        for (int j = 0; j < 8; ++j)
+            mid[8 * j + col] = d[j];
+    }
+    // Then rows.
+    for (int row = 0; row < 8; ++row)
+        dct1d8(mid + 8 * row, out + 8 * row);
+}
+
+void
+dct8x8Naive(const double in[64], double out[64])
+{
+    for (int u = 0; u < 8; ++u) {
+        for (int v = 0; v < 8; ++v) {
+            double sum = 0.0;
+            for (int y = 0; y < 8; ++y)
+                for (int x = 0; x < 8; ++x)
+                    sum += in[8 * y + x] *
+                           std::cos((2 * y + 1) * u * M_PI / 16.0) *
+                           std::cos((2 * x + 1) * v * M_PI / 16.0);
+            out[8 * u + v] = sum;
+        }
+    }
+}
+
+const std::array<double, 9> &
+highpassKernel()
+{
+    static const std::array<double, 9> k = {
+        -1.0 / 9, -1.0 / 9, -1.0 / 9,
+        -1.0 / 9,  8.0 / 9, -1.0 / 9,
+        -1.0 / 9, -1.0 / 9, -1.0 / 9};
+    return k;
+}
+
+double
+highpass3x3(const double window[9])
+{
+    const auto &k = highpassKernel();
+    double acc = 0.0;
+    for (int i = 0; i < 9; ++i)
+        acc += k[i] * window[i];
+    return acc;
+}
+
+} // namespace dlp::ref

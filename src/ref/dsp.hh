@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reference DSP/multimedia models: RGB->YIQ color conversion, the 8x8
+ * 2-D discrete cosine transform, and a 3x3 high-pass filter.
+ *
+ * dct1d8() is the Chen-style factorized 8-point DCT-II the simulated
+ * kernel mirrors operation-for-operation; dct8x8Naive() is the O(N^4)
+ * cosine-sum definition used to validate the factorization.
+ */
+
+#ifndef DLP_REF_DSP_HH
+#define DLP_REF_DSP_HH
+
+#include <array>
+
+namespace dlp::ref {
+
+/** NTSC RGB -> YIQ conversion matrix, row-major. */
+const std::array<double, 9> &yiqMatrix();
+
+/** Convert one RGB pixel to YIQ. */
+void rgbToYiq(const double rgb[3], double yiq[3]);
+
+/**
+ * Unnormalized 8-point DCT-II: X[k] = sum_n x[n] cos((2n+1) k pi / 16),
+ * computed with the Chen butterfly factorization (7 cosine constants).
+ */
+void dct1d8(const double in[8], double out[8]);
+
+/** The seven cosine constants c_k = cos(k pi / 16), k = 1..7. */
+const std::array<double, 8> &dctCosines();
+
+/** 2-D 8x8 DCT: dct1d8 over columns, then over rows (row-major blocks). */
+void dct8x8(const double in[64], double out[64]);
+
+/** Direct-definition 2-D DCT for validation. */
+void dct8x8Naive(const double in[64], double out[64]);
+
+/**
+ * 3x3 high-pass filter: out = sum_ij k[ij] * window[ij] with the classic
+ * sharpening kernel (8 center, -1 neighbours) scaled by 1/9.
+ */
+double highpass3x3(const double window[9]);
+
+/** The nine filter coefficients. */
+const std::array<double, 9> &highpassKernel();
+
+} // namespace dlp::ref
+
+#endif // DLP_REF_DSP_HH

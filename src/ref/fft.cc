@@ -1,0 +1,80 @@
+#include "ref/fft.hh"
+
+#include <cmath>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace dlp::ref {
+
+void
+fftButterfly(double ar, double ai, double br, double bi, double wr,
+             double wi, double out[4])
+{
+    // w*b with 4 multiplies and 2 adds, then 4 adds/subs.
+    double tr = wr * br - wi * bi;
+    double ti = wr * bi + wi * br;
+    out[0] = ar + tr;
+    out[1] = ai + ti;
+    out[2] = ar - tr;
+    out[3] = ai - ti;
+}
+
+void
+bitReverse(std::vector<Complex> &data)
+{
+    size_t n = data.size();
+    panic_if(!isPowerOf2(n), "FFT size %zu not a power of two", n);
+    unsigned bits = floorLog2(n);
+    for (size_t i = 0; i < n; ++i) {
+        size_t r = 0;
+        for (unsigned b = 0; b < bits; ++b)
+            if (i & (size_t(1) << b))
+                r |= size_t(1) << (bits - 1 - b);
+        if (r > i)
+            std::swap(data[i], data[r]);
+    }
+}
+
+void
+fft(std::vector<Complex> &data)
+{
+    size_t n = data.size();
+    panic_if(!isPowerOf2(n), "FFT size %zu not a power of two", n);
+    bitReverse(data);
+
+    for (size_t len = 2; len <= n; len <<= 1) {
+        size_t half = len / 2;
+        for (size_t base = 0; base < n; base += len) {
+            for (size_t j = 0; j < half; ++j) {
+                double ang = -2.0 * M_PI * double(j) / double(len);
+                Complex w(std::cos(ang), std::sin(ang));
+                Complex a = data[base + j];
+                Complex b = data[base + j + half];
+                double out[4];
+                fftButterfly(a.real(), a.imag(), b.real(), b.imag(),
+                             w.real(), w.imag(), out);
+                data[base + j] = Complex(out[0], out[1]);
+                data[base + j + half] = Complex(out[2], out[3]);
+            }
+        }
+    }
+}
+
+std::vector<Complex>
+dftNaive(const std::vector<Complex> &data)
+{
+    size_t n = data.size();
+    std::vector<Complex> out(n);
+    for (size_t k = 0; k < n; ++k) {
+        Complex acc(0, 0);
+        for (size_t j = 0; j < n; ++j) {
+            double ang = -2.0 * M_PI * double(k) * double(j) / double(n);
+            acc += data[j] * Complex(std::cos(ang), std::sin(ang));
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+} // namespace dlp::ref

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reference radix-2 complex FFT.
+ *
+ * The paper's fft kernel (Table 2: 10 instructions, 6-word records, 4-word
+ * output) is a single decimation-in-time butterfly with its twiddle factor
+ * delivered in the record; fftButterfly() is exactly that computation. The
+ * full transform is the standard iterative radix-2 driver used by tests
+ * and by the workload generator that produces per-stage record streams.
+ */
+
+#ifndef DLP_REF_FFT_HH
+#define DLP_REF_FFT_HH
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace dlp::ref {
+
+using Complex = std::complex<double>;
+
+/**
+ * One DIT butterfly: given a, b and twiddle w,
+ *   a' = a + w*b,  b' = a - w*b.
+ * The 10 scalar operations (4 multiplies, 6 adds/subs) match the paper's
+ * instruction count.
+ */
+void fftButterfly(double ar, double ai, double br, double bi, double wr,
+                  double wi, double out[4]);
+
+/** In-place iterative radix-2 FFT; n must be a power of two. */
+void fft(std::vector<Complex> &data);
+
+/** Direct O(n^2) DFT for validation. */
+std::vector<Complex> dftNaive(const std::vector<Complex> &data);
+
+/** Bit-reversal permutation used before the butterfly stages. */
+void bitReverse(std::vector<Complex> &data);
+
+} // namespace dlp::ref
+
+#endif // DLP_REF_FFT_HH

@@ -1,0 +1,74 @@
+#include "ref/linalg.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace dlp::ref {
+
+void
+luDecompose(Matrix &m)
+{
+    size_t n = m.n;
+    for (size_t k = 0; k < n; ++k) {
+        double pivot = m.at(k, k);
+        panic_if(std::fabs(pivot) < 1e-12, "singular pivot at %zu", k);
+        for (size_t i = k + 1; i < n; ++i)
+            m.at(i, k) /= pivot;
+        for (size_t i = k + 1; i < n; ++i) {
+            double lik = m.at(i, k);
+            for (size_t j = k + 1; j < n; ++j)
+                m.at(i, j) = luUpdate(m.at(i, j), lik, m.at(k, j));
+        }
+    }
+}
+
+Matrix
+luReconstruct(const Matrix &lu)
+{
+    size_t n = lu.n;
+    Matrix out(n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (size_t k = 0; k <= std::min(i, j); ++k) {
+                double l = (k == i) ? 1.0 : lu.at(i, k);
+                acc += l * lu.at(k, j);
+            }
+            out.at(i, j) = acc;
+        }
+    }
+    return out;
+}
+
+Matrix
+makeDominantMatrix(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(n);
+    for (size_t i = 0; i < n; ++i) {
+        double rowSum = 0.0;
+        for (size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            double v = rng.uniform(-1.0, 1.0);
+            m.at(i, j) = v;
+            rowSum += std::fabs(v);
+        }
+        m.at(i, i) = rowSum + 1.0 + rng.uniform();
+    }
+    return m;
+}
+
+double
+maxAbsDiff(const Matrix &a, const Matrix &b)
+{
+    panic_if(a.n != b.n, "matrix size mismatch");
+    double worst = 0.0;
+    for (size_t i = 0; i < a.a.size(); ++i)
+        worst = std::max(worst, std::fabs(a.a[i] - b.a[i]));
+    return worst;
+}
+
+} // namespace dlp::ref

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reference dense LU decomposition (no pivoting).
+ *
+ * The paper's lu kernel is the inner rank-1 update element
+ *   a'[i][j] = a[i][j] - l[i][k] * u[k][j]
+ * (2 instructions, ILP 1). luDecompose() is the full right-looking
+ * elimination built from that update; tests verify L*U reconstructs A.
+ * Workloads use diagonally-dominant matrices so pivoting is unnecessary,
+ * matching the kernel's control-free structure.
+ */
+
+#ifndef DLP_REF_LINALG_HH
+#define DLP_REF_LINALG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dlp::ref {
+
+/** Row-major dense matrix. */
+struct Matrix
+{
+    size_t n = 0;
+    std::vector<double> a;
+
+    explicit Matrix(size_t dim) : n(dim), a(dim * dim, 0.0) {}
+
+    double &at(size_t i, size_t j) { return a[i * n + j]; }
+    double at(size_t i, size_t j) const { return a[i * n + j]; }
+};
+
+/** The kernel's element update. */
+inline double
+luUpdate(double aij, double lik, double ukj)
+{
+    return aij - lik * ukj;
+}
+
+/**
+ * In-place LU without pivoting: on return the strict lower triangle
+ * holds L (unit diagonal implied) and the upper triangle holds U.
+ */
+void luDecompose(Matrix &m);
+
+/** Reconstruct L*U from a decomposed matrix. */
+Matrix luReconstruct(const Matrix &lu);
+
+/** Generate a diagonally dominant matrix from a seed. */
+Matrix makeDominantMatrix(size_t n, uint64_t seed);
+
+/** max |a-b| over all elements. */
+double maxAbsDiff(const Matrix &a, const Matrix &b);
+
+} // namespace dlp::ref
+
+#endif // DLP_REF_LINALG_HH

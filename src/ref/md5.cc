@@ -1,0 +1,123 @@
+#include "ref/md5.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/bitutils.hh"
+
+namespace dlp::ref {
+
+Md5State
+md5Init()
+{
+    return {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u};
+}
+
+const std::array<uint32_t, 64> &
+md5T()
+{
+    static const std::array<uint32_t, 64> t = [] {
+        std::array<uint32_t, 64> v{};
+        for (int i = 0; i < 64; ++i)
+            v[i] = static_cast<uint32_t>(
+                std::floor(std::fabs(std::sin(double(i + 1))) * 4294967296.0));
+        return v;
+    }();
+    return t;
+}
+
+const std::array<uint32_t, 64> &
+md5Shifts()
+{
+    static const std::array<uint32_t, 64> s = {
+        7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+        5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+        4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+        6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+    return s;
+}
+
+void
+md5Compress(Md5State &state, const uint32_t block[16])
+{
+    const auto &T = md5T();
+    const auto &S = md5Shifts();
+
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+
+    for (int i = 0; i < 64; ++i) {
+        uint32_t f;
+        int g;
+        if (i < 16) {
+            f = (b & c) | (~b & d);
+            g = i;
+        } else if (i < 32) {
+            f = (d & b) | (~d & c);
+            g = (5 * i + 1) % 16;
+        } else if (i < 48) {
+            f = b ^ c ^ d;
+            g = (3 * i + 5) % 16;
+        } else {
+            f = c ^ (b | ~d);
+            g = (7 * i) % 16;
+        }
+        uint32_t tmp = d;
+        d = c;
+        c = b;
+        b = b + rotl32(a + f + T[i] + block[g], S[i]);
+        a = tmp;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+}
+
+std::array<uint8_t, 16>
+md5Digest(const uint8_t *data, size_t len)
+{
+    Md5State state = md5Init();
+
+    // Full chunks.
+    size_t full = len / 64;
+    for (size_t c = 0; c < full; ++c) {
+        uint32_t block[16];
+        std::memcpy(block, data + c * 64, 64);
+        md5Compress(state, block);
+    }
+
+    // Padding: 0x80, zeros, 64-bit little-endian bit length.
+    uint8_t tail[128] = {};
+    size_t rem = len % 64;
+    std::memcpy(tail, data + full * 64, rem);
+    tail[rem] = 0x80;
+    size_t tailLen = rem + 1 <= 56 ? 64 : 128;
+    uint64_t bits = static_cast<uint64_t>(len) * 8;
+    std::memcpy(tail + tailLen - 8, &bits, 8);
+
+    for (size_t c = 0; c < tailLen / 64; ++c) {
+        uint32_t block[16];
+        std::memcpy(block, tail + c * 64, 64);
+        md5Compress(state, block);
+    }
+
+    std::array<uint8_t, 16> out;
+    std::memcpy(out.data(), state.data(), 16);
+    return out;
+}
+
+std::string
+md5Hex(const std::array<uint8_t, 16> &digest)
+{
+    static const char hex[] = "0123456789abcdef";
+    std::string s;
+    s.reserve(32);
+    for (uint8_t b : digest) {
+        s.push_back(hex[b >> 4]);
+        s.push_back(hex[b & 0xf]);
+    }
+    return s;
+}
+
+} // namespace dlp::ref

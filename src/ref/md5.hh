@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reference MD5 (RFC 1321).
+ *
+ * The paper's md5 kernel processes one 512-bit chunk per record (Table 2:
+ * a 10-word input record -- 8 words of message chunk plus 2 words of
+ * chaining state -- producing the 2-word updated state). compress() is
+ * that per-record function; digest() composes it with padding for the
+ * full hash used in tests and examples.
+ */
+
+#ifndef DLP_REF_MD5_HH
+#define DLP_REF_MD5_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlp::ref {
+
+/** MD5 chaining state (A, B, C, D). */
+using Md5State = std::array<uint32_t, 4>;
+
+/** Initial chaining values from RFC 1321. */
+Md5State md5Init();
+
+/** The 64 sine-derived constants T[i] = floor(2^32 * |sin(i+1)|). */
+const std::array<uint32_t, 64> &md5T();
+
+/** Per-round rotate amounts. */
+const std::array<uint32_t, 64> &md5Shifts();
+
+/**
+ * Compress one 64-byte chunk (16 little-endian 32-bit words) into the
+ * chaining state.
+ */
+void md5Compress(Md5State &state, const uint32_t block[16]);
+
+/** Full MD5 of a byte buffer. */
+std::array<uint8_t, 16> md5Digest(const uint8_t *data, size_t len);
+
+/** Hex string of a digest. */
+std::string md5Hex(const std::array<uint8_t, 16> &digest);
+
+} // namespace dlp::ref
+
+#endif // DLP_REF_MD5_HH

@@ -1,0 +1,85 @@
+#include "ref/pi_digits.hh"
+
+#include "common/logging.hh"
+
+namespace dlp::ref {
+
+namespace {
+
+/** 16^e mod m (m fits in 32 bits, so 64-bit products cannot overflow). */
+uint64_t
+powmod16(uint64_t e, uint64_t m)
+{
+    if (m == 1)
+        return 0;
+    uint64_t result = 1 % m;
+    uint64_t base = 16 % m;
+    while (e) {
+        if (e & 1)
+            result = (result * base) % m;
+        base = (base * base) % m;
+        e >>= 1;
+    }
+    return result;
+}
+
+/**
+ * Fractional part of sum_k 16^(n-k) / (8k + j), in 2^-64 fixed point.
+ *
+ * Head terms (k <= n) are computed exactly with 128-bit division of the
+ * modular numerator; tail terms (k > n) decay by 16x each and only the
+ * first few matter.
+ */
+uint64_t
+seriesFrac(uint64_t n, uint64_t j)
+{
+    uint64_t acc = 0; // wraps mod 2^64, which is exactly "mod 1"
+
+    for (uint64_t k = 0; k <= n; ++k) {
+        uint64_t m = 8 * k + j;
+        uint64_t num = powmod16(n - k, m);
+        // (num / m) in 2^-64 fixed point, truncated.
+        acc += static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(num) << 64) / m);
+    }
+
+    // Tail: 16^(n-k) = 16^-(k-n) for k > n.
+    long double tail = 0.0L;
+    for (uint64_t k = n + 1; k <= n + 18; ++k) {
+        long double term = 1.0L;
+        for (uint64_t p = 0; p < k - n; ++p)
+            term /= 16.0L;
+        tail += term / static_cast<long double>(8 * k + j);
+    }
+    acc += static_cast<uint64_t>(tail * 18446744073709551616.0L);
+    return acc;
+}
+
+} // namespace
+
+uint32_t
+piHexWordAt(uint64_t n)
+{
+    // frac(16^n * pi) = frac(4 S1 - 2 S4 - S5 - S6); all arithmetic is
+    // naturally mod 1 in 2^-64 fixed point.
+    uint64_t s1 = seriesFrac(n, 1);
+    uint64_t s4 = seriesFrac(n, 4);
+    uint64_t s5 = seriesFrac(n, 5);
+    uint64_t s6 = seriesFrac(n, 6);
+    uint64_t frac = 4 * s1 - 2 * s4 - s5 - s6;
+    return static_cast<uint32_t>(frac >> 32);
+}
+
+std::vector<uint32_t>
+piFractionWords(size_t count)
+{
+    std::vector<uint32_t> words(count);
+    for (size_t i = 0; i < count; ++i)
+        words[i] = piHexWordAt(i * 8);
+
+    panic_if(count > 0 && words[0] != 0x243F6A88u,
+             "BBP self-check failed: first pi word 0x%08x", words[0]);
+    return words;
+}
+
+} // namespace dlp::ref

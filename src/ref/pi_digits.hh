@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Hexadecimal digits of pi via the Bailey-Borwein-Plouffe formula.
+ *
+ * Blowfish initializes its P-array and S-boxes from the fractional hex
+ * digits of pi. Rather than embedding kilobytes of literal tables, we
+ * compute the digits with the BBP digit-extraction algorithm using exact
+ * 128-bit modular arithmetic, and validate the first digits against the
+ * well-known value 0x243F6A8885A308D3... (which is also Blowfish's P[0]).
+ */
+
+#ifndef DLP_REF_PI_DIGITS_HH
+#define DLP_REF_PI_DIGITS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dlp::ref {
+
+/**
+ * Return `count` 32-bit words of the fractional hex expansion of pi,
+ * most-significant digit first (word 0 is 0x243F6A88).
+ */
+std::vector<uint32_t> piFractionWords(size_t count);
+
+/** Eight hex digits (one 32-bit word) starting at hex-digit position n
+ *  (n = 0 is the first fractional digit, '2'). */
+uint32_t piHexWordAt(uint64_t n);
+
+} // namespace dlp::ref
+
+#endif // DLP_REF_PI_DIGITS_HH

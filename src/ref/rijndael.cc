@@ -1,0 +1,231 @@
+#include "ref/rijndael.hh"
+
+#include <cstring>
+
+namespace dlp::ref {
+
+namespace {
+
+/** Multiply in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1. */
+uint8_t
+gfMul(uint8_t a, uint8_t b)
+{
+    uint8_t r = 0;
+    while (b) {
+        if (b & 1)
+            r ^= a;
+        uint8_t hi = a & 0x80;
+        a <<= 1;
+        if (hi)
+            a ^= 0x1b;
+        b >>= 1;
+    }
+    return r;
+}
+
+uint8_t
+gfInv(uint8_t a)
+{
+    if (a == 0)
+        return 0;
+    // a^254 = a^-1 in GF(2^8).
+    uint8_t result = 1;
+    uint8_t base = a;
+    int e = 254;
+    while (e) {
+        if (e & 1)
+            result = gfMul(result, base);
+        base = gfMul(base, base);
+        e >>= 1;
+    }
+    return result;
+}
+
+uint32_t
+rotl8of32(uint32_t v)
+{
+    return (v << 8) | (v >> 24);
+}
+
+} // namespace
+
+const std::array<uint8_t, 256> &
+aesSbox()
+{
+    static const std::array<uint8_t, 256> sbox = [] {
+        std::array<uint8_t, 256> s{};
+        for (int i = 0; i < 256; ++i) {
+            uint8_t x = gfInv(static_cast<uint8_t>(i));
+            uint8_t y = x;
+            for (int b = 0; b < 4; ++b) {
+                y = static_cast<uint8_t>((y << 1) | (y >> 7));
+                x ^= y;
+            }
+            s[i] = x ^ 0x63;
+        }
+        return s;
+    }();
+    return sbox;
+}
+
+const std::array<std::array<uint32_t, 256>, 4> &
+aesTTables()
+{
+    static const std::array<std::array<uint32_t, 256>, 4> tables = [] {
+        std::array<std::array<uint32_t, 256>, 4> t{};
+        const auto &sbox = aesSbox();
+        for (int i = 0; i < 256; ++i) {
+            uint8_t s = sbox[i];
+            uint8_t s2 = gfMul(s, 2);
+            uint8_t s3 = gfMul(s, 3);
+            uint32_t w = (uint32_t(s2) << 24) | (uint32_t(s) << 16) |
+                         (uint32_t(s) << 8) | s3;
+            // T1..T3 are successive right-rotations of T0 by one byte.
+            t[0][i] = w;
+            t[1][i] = (w >> 8) | (w << 24);
+            t[2][i] = (w >> 16) | (w << 16);
+            t[3][i] = (w >> 24) | (w << 8);
+        }
+        return t;
+    }();
+    return tables;
+}
+
+Aes128::Aes128(const uint8_t key[16])
+{
+    const auto &sbox = aesSbox();
+    for (int i = 0; i < 4; ++i) {
+        rk[i] = (uint32_t(key[4 * i]) << 24) |
+                (uint32_t(key[4 * i + 1]) << 16) |
+                (uint32_t(key[4 * i + 2]) << 8) | key[4 * i + 3];
+    }
+    uint8_t rcon = 1;
+    for (int i = 4; i < 44; ++i) {
+        uint32_t t = rk[i - 1];
+        if (i % 4 == 0) {
+            t = rotl8of32(t);
+            t = (uint32_t(sbox[(t >> 24) & 0xff]) << 24) |
+                (uint32_t(sbox[(t >> 16) & 0xff]) << 16) |
+                (uint32_t(sbox[(t >> 8) & 0xff]) << 8) |
+                sbox[t & 0xff];
+            t ^= uint32_t(rcon) << 24;
+            rcon = gfMul(rcon, 2);
+        }
+        rk[i] = rk[i - 4] ^ t;
+    }
+}
+
+void
+Aes128::encrypt(const uint8_t in[16], uint8_t out[16]) const
+{
+    const auto &sbox = aesSbox();
+    uint8_t st[16];
+    std::memcpy(st, in, 16);
+
+    auto addRoundKey = [&](int round) {
+        for (int c = 0; c < 4; ++c) {
+            uint32_t w = rk[4 * round + c];
+            st[4 * c] ^= (w >> 24) & 0xff;
+            st[4 * c + 1] ^= (w >> 16) & 0xff;
+            st[4 * c + 2] ^= (w >> 8) & 0xff;
+            st[4 * c + 3] ^= w & 0xff;
+        }
+    };
+    auto subBytes = [&] {
+        for (auto &b : st)
+            b = sbox[b];
+    };
+    auto shiftRows = [&] {
+        // State is column-major: st[4c + r].
+        uint8_t tmp[16];
+        for (int r = 0; r < 4; ++r)
+            for (int c = 0; c < 4; ++c)
+                tmp[4 * c + r] = st[4 * ((c + r) % 4) + r];
+        std::memcpy(st, tmp, 16);
+    };
+    auto mixColumns = [&] {
+        for (int c = 0; c < 4; ++c) {
+            uint8_t *col = st + 4 * c;
+            uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+            col[0] = gfMul(a0, 2) ^ gfMul(a1, 3) ^ a2 ^ a3;
+            col[1] = a0 ^ gfMul(a1, 2) ^ gfMul(a2, 3) ^ a3;
+            col[2] = a0 ^ a1 ^ gfMul(a2, 2) ^ gfMul(a3, 3);
+            col[3] = gfMul(a0, 3) ^ a1 ^ a2 ^ gfMul(a3, 2);
+        }
+    };
+
+    addRoundKey(0);
+    for (int round = 1; round < 10; ++round) {
+        subBytes();
+        shiftRows();
+        mixColumns();
+        addRoundKey(round);
+    }
+    subBytes();
+    shiftRows();
+    addRoundKey(10);
+    std::memcpy(out, st, 16);
+}
+
+void
+Aes128::encryptTTable(const uint8_t in[16], uint8_t out[16]) const
+{
+    const auto &T = aesTTables();
+    const auto &sbox = aesSbox();
+
+    uint32_t s0, s1, s2, s3;
+    auto load = [&](const uint8_t *p) {
+        return (uint32_t(p[0]) << 24) | (uint32_t(p[1]) << 16) |
+               (uint32_t(p[2]) << 8) | p[3];
+    };
+    s0 = load(in) ^ rk[0];
+    s1 = load(in + 4) ^ rk[1];
+    s2 = load(in + 8) ^ rk[2];
+    s3 = load(in + 12) ^ rk[3];
+
+    for (int round = 1; round < 10; ++round) {
+        uint32_t t0 = T[0][(s0 >> 24)] ^ T[1][(s1 >> 16) & 0xff] ^
+                      T[2][(s2 >> 8) & 0xff] ^ T[3][s3 & 0xff] ^
+                      rk[4 * round];
+        uint32_t t1 = T[0][(s1 >> 24)] ^ T[1][(s2 >> 16) & 0xff] ^
+                      T[2][(s3 >> 8) & 0xff] ^ T[3][s0 & 0xff] ^
+                      rk[4 * round + 1];
+        uint32_t t2 = T[0][(s2 >> 24)] ^ T[1][(s3 >> 16) & 0xff] ^
+                      T[2][(s0 >> 8) & 0xff] ^ T[3][s1 & 0xff] ^
+                      rk[4 * round + 2];
+        uint32_t t3 = T[0][(s3 >> 24)] ^ T[1][(s0 >> 16) & 0xff] ^
+                      T[2][(s1 >> 8) & 0xff] ^ T[3][s2 & 0xff] ^
+                      rk[4 * round + 3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
+    }
+
+    // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+    auto finalWord = [&](uint32_t a, uint32_t b, uint32_t c, uint32_t d,
+                         uint32_t key) {
+        uint32_t w = (uint32_t(sbox[(a >> 24)]) << 24) |
+                     (uint32_t(sbox[(b >> 16) & 0xff]) << 16) |
+                     (uint32_t(sbox[(c >> 8) & 0xff]) << 8) |
+                     uint32_t(sbox[d & 0xff]);
+        return w ^ key;
+    };
+    uint32_t o0 = finalWord(s0, s1, s2, s3, rk[40]);
+    uint32_t o1 = finalWord(s1, s2, s3, s0, rk[41]);
+    uint32_t o2 = finalWord(s2, s3, s0, s1, rk[42]);
+    uint32_t o3 = finalWord(s3, s0, s1, s2, rk[43]);
+
+    auto store = [&](uint8_t *p, uint32_t w) {
+        p[0] = (w >> 24) & 0xff;
+        p[1] = (w >> 16) & 0xff;
+        p[2] = (w >> 8) & 0xff;
+        p[3] = w & 0xff;
+    };
+    store(out, o0);
+    store(out + 4, o1);
+    store(out + 8, o2);
+    store(out + 12, o3);
+}
+
+} // namespace dlp::ref

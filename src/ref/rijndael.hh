@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reference Rijndael / AES-128 (FIPS-197).
+ *
+ * Exposes both a byte-oriented encryption (the specification form used
+ * for validation) and the 32-bit T-table formulation -- four 256-entry
+ * tables, the paper's 1024-entry "indexed constants" for this kernel --
+ * which is the form the simulated kernel implements.
+ */
+
+#ifndef DLP_REF_RIJNDAEL_HH
+#define DLP_REF_RIJNDAEL_HH
+
+#include <array>
+#include <cstdint>
+
+namespace dlp::ref {
+
+/** The AES S-box, computed algebraically (GF(2^8) inverse + affine). */
+const std::array<uint8_t, 256> &aesSbox();
+
+/**
+ * The four encryption T-tables:
+ * T0[x] = (2*S[x], S[x], S[x], 3*S[x]) as a big-endian packed word and
+ * T1..T3 its byte rotations.
+ */
+const std::array<std::array<uint32_t, 256>, 4> &aesTTables();
+
+class Aes128
+{
+  public:
+    /** Expand a 16-byte key into 11 round keys. */
+    explicit Aes128(const uint8_t key[16]);
+
+    /** Encrypt one 16-byte block (specification form). */
+    void encrypt(const uint8_t in[16], uint8_t out[16]) const;
+
+    /** Encrypt using the T-table formulation (must match encrypt()). */
+    void encryptTTable(const uint8_t in[16], uint8_t out[16]) const;
+
+    /** Round keys as 44 big-endian words. */
+    const std::array<uint32_t, 44> &roundKeys() const { return rk; }
+
+  private:
+    std::array<uint32_t, 44> rk;
+};
+
+} // namespace dlp::ref
+
+#endif // DLP_REF_RIJNDAEL_HH

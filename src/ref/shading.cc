@@ -1,0 +1,337 @@
+#include "ref/shading.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace dlp::ref {
+
+namespace {
+
+/** clip = m (3x4, row-major) * (p, 1). */
+void
+xform34(const std::array<double, 12> &m, const double p[3], double out[3])
+{
+    for (int r = 0; r < 3; ++r) {
+        out[r] = m[4 * r] * p[0] + m[4 * r + 1] * p[1] +
+                 m[4 * r + 2] * p[2] + m[4 * r + 3];
+    }
+}
+
+/** out = m (3x3, row-major) * v. */
+void
+xform33(const std::array<double, 9> &m, const double v[3], double out[3])
+{
+    for (int r = 0; r < 3; ++r) {
+        out[r] = m[3 * r] * v[0] + m[3 * r + 1] * v[1] +
+                 m[3 * r + 2] * v[2];
+    }
+}
+
+/** x^8 by repeated squaring: the kernels use the same three multiplies. */
+double
+pow8(double x)
+{
+    double x2 = x * x;
+    double x4 = x2 * x2;
+    return x4 * x4;
+}
+
+double
+maxZero(double x)
+{
+    return std::fmax(x, 0.0);
+}
+
+/** A plausible-looking orthonormal-ish 3x4 transform from a seed. */
+std::array<double, 12>
+randomXform(Rng &rng)
+{
+    std::array<double, 12> m{};
+    for (auto &v : m)
+        v = rng.uniform(-1.0, 1.0);
+    // Keep it well-conditioned: bias the diagonal.
+    m[0] += 1.5;
+    m[5] += 1.5;
+    m[10] += 1.5;
+    return m;
+}
+
+std::array<double, 9>
+randomRotation(Rng &rng)
+{
+    // Gram-Schmidt a random basis to an orthonormal rotation so normals
+    // keep unit length without a normalize in the kernel.
+    Vec3 a{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    Vec3 b{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    a = normalize(a);
+    double d = dot(a, b);
+    b = normalize({b.x - d * a.x, b.y - d * a.y, b.z - d * a.z});
+    Vec3 c{a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+           a.x * b.y - a.y * b.x};
+    return {a.x, a.y, a.z, b.x, b.y, b.z, c.x, c.y, c.z};
+}
+
+Vec3
+randomUnit(Rng &rng)
+{
+    return normalize(
+        {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(0.1, 1)});
+}
+
+Vec3
+randomColor(Rng &rng, double lo, double hi)
+{
+    return {rng.uniform(lo, hi), rng.uniform(lo, hi), rng.uniform(lo, hi)};
+}
+
+} // namespace
+
+Vec3
+normalize(const Vec3 &v)
+{
+    double len = std::sqrt(dot(v, v));
+    panic_if(len == 0.0, "normalizing zero vector");
+    return {v.x / len, v.y / len, v.z / len};
+}
+
+void
+vertexSimple(const double in[7], double out[6], const VertexSimpleParams &p)
+{
+    const double *pos = in;
+    const double *nin = in + 3;
+    double albedo = in[6];
+
+    xform34(p.mvp, pos, out); // clip -> out[0..2]
+
+    double n[3];
+    xform33(p.nrm, nin, n);
+
+    double ndotl = maxZero(n[0] * p.lightDir.x + n[1] * p.lightDir.y +
+                           n[2] * p.lightDir.z);
+    double ndoth = maxZero(n[0] * p.halfVec.x + n[1] * p.halfVec.y +
+                           n[2] * p.halfVec.z);
+    double spec = pow8(ndoth);
+
+    const double light[3] = {p.lightColor.x, p.lightColor.y, p.lightColor.z};
+    const double amb[3] = {p.ambient.x, p.ambient.y, p.ambient.z};
+    const double specC[3] = {p.specular.x, p.specular.y, p.specular.z};
+    const double emis[3] = {p.emissive.x, p.emissive.y, p.emissive.z};
+    for (int c = 0; c < 3; ++c) {
+        out[3 + c] =
+            emis[c] + albedo * (amb[c] + light[c] * ndotl) +
+            specC[c] * spec;
+    }
+}
+
+void
+fragmentSimple(const double in[8], double out[4], const Texture2D &tex,
+               const FragmentSimpleParams &p)
+{
+    const double *n = in;
+    double u = in[3], v = in[4];
+    const double *l = in + 5;
+
+    double rgb[3];
+    tex.sampleBilinear(u, v, rgb);
+
+    double ndotl = maxZero(n[0] * l[0] + n[1] * l[1] + n[2] * l[2]);
+    double ndoth = maxZero(n[0] * p.halfVec.x + n[1] * p.halfVec.y +
+                           n[2] * p.halfVec.z);
+    double spec = pow8(ndoth);
+
+    const double amb[3] = {p.ambient.x, p.ambient.y, p.ambient.z};
+    const double light[3] = {p.lightColor.x, p.lightColor.y, p.lightColor.z};
+    const double specC[3] = {p.specular.x, p.specular.y, p.specular.z};
+    for (int c = 0; c < 3; ++c)
+        out[c] = rgb[c] * (amb[c] + light[c] * ndotl) + specC[c] * spec;
+    out[3] = 1.0;
+}
+
+void
+vertexReflection(const double in[9], double out[6],
+                 const VertexReflectionParams &p)
+{
+    const double *pos = in;
+    const double *nin = in + 3;
+
+    xform34(p.mvp, pos, out); // clip
+
+    double wpos[3];
+    xform34(p.world, pos, wpos);
+    double n[3];
+    xform33(p.nrm, nin, n);
+
+    double v[3] = {p.eye.x - wpos[0], p.eye.y - wpos[1], p.eye.z - wpos[2]};
+    double len2 = v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
+    double invLen = 1.0 / std::sqrt(len2);
+    double vn[3] = {v[0] * invLen, v[1] * invLen, v[2] * invLen};
+
+    double ndotv = n[0] * vn[0] + n[1] * vn[1] + n[2] * vn[2];
+    double two = 2.0 * ndotv;
+    out[3] = two * n[0] - vn[0];
+    out[4] = two * n[1] - vn[1];
+    out[5] = two * n[2] - vn[2];
+}
+
+void
+fragmentReflection(const double in[5], double out[3], const CubeMap &cube,
+                   const FragmentReflectionParams &p)
+{
+    double rgb[3];
+    cube.sample(in[0], in[1], in[2], rgb);
+    double intensity = in[3];
+    double scale = p.fresnelBias + intensity;
+    const double tint[3] = {p.tint.x, p.tint.y, p.tint.z};
+    for (int c = 0; c < 3; ++c)
+        out[c] = rgb[c] * tint[c] * scale;
+}
+
+void
+vertexSkinning(const Vec3 &pos, const Vec3 &normal, unsigned count,
+               const unsigned boneIdx[4], const double weight[4],
+               double albedo, double outClip[3], double outColor[3],
+               double outNormal[3], const SkinningParams &p)
+{
+    panic_if(count == 0 || count > 4, "skinning bone count %u", count);
+
+    double accP[3] = {0, 0, 0};
+    double accN[3] = {0, 0, 0};
+    double pin[3] = {pos.x, pos.y, pos.z};
+    double nin[3] = {normal.x, normal.y, normal.z};
+
+    for (unsigned i = 0; i < count; ++i) {
+        unsigned base = boneIdx[i] * 12;
+        panic_if(base + 12 > p.palette.size(), "bone index %u out of range",
+                 boneIdx[i]);
+        const double *m = p.palette.data() + base;
+        double w = weight[i];
+        for (int r = 0; r < 3; ++r) {
+            double tp = m[4 * r] * pin[0] + m[4 * r + 1] * pin[1] +
+                        m[4 * r + 2] * pin[2] + m[4 * r + 3];
+            double tn = m[4 * r] * nin[0] + m[4 * r + 1] * nin[1] +
+                        m[4 * r + 2] * nin[2];
+            accP[r] = accP[r] + w * tp;
+            accN[r] = accN[r] + w * tn;
+        }
+    }
+
+    xform34(p.mvp, accP, outClip);
+
+    double ndotl = maxZero(accN[0] * p.lightDir.x + accN[1] * p.lightDir.y +
+                           accN[2] * p.lightDir.z);
+    const double amb[3] = {p.ambient.x, p.ambient.y, p.ambient.z};
+    const double light[3] = {p.lightColor.x, p.lightColor.y, p.lightColor.z};
+    for (int c = 0; c < 3; ++c)
+        outColor[c] = albedo * (amb[c] + light[c] * ndotl);
+    for (int c = 0; c < 3; ++c)
+        outNormal[c] = accN[c];
+}
+
+Word
+anisotropicFilter(double u, double v, double axisU, double axisV,
+                  unsigned n, const Texture2D &tex, const AnisoParams &p)
+{
+    panic_if(n == 0 || n > AnisoParams::maxSamples,
+             "anisotropic sample count %u", n);
+
+    double acc[3] = {0, 0, 0};
+    double wsum = 0.0;
+    double center = 0.5 * double(n - 1);
+    for (unsigned i = 0; i < n; ++i) {
+        double t = double(i) - center;
+        double uu = u + t * axisU;
+        double vv = v + t * axisV;
+        double rgb[3];
+        tex.sampleNearest(uu, vv, rgb);
+        double w = p.weights[(i * 5) & 127];
+        acc[0] = acc[0] + w * rgb[0];
+        acc[1] = acc[1] + w * rgb[1];
+        acc[2] = acc[2] + w * rgb[2];
+        wsum = wsum + w;
+    }
+    double inv = 1.0 / wsum;
+    return packTexel(acc[0] * inv, acc[1] * inv, acc[2] * inv);
+}
+
+VertexSimpleParams
+makeVertexSimpleParams(uint64_t seed)
+{
+    Rng rng(seed);
+    VertexSimpleParams p;
+    p.mvp = randomXform(rng);
+    p.nrm = randomRotation(rng);
+    p.lightDir = randomUnit(rng);
+    p.halfVec = randomUnit(rng);
+    p.lightColor = randomColor(rng, 0.5, 1.0);
+    p.ambient = randomColor(rng, 0.05, 0.2);
+    p.specular = randomColor(rng, 0.2, 0.6);
+    p.emissive = randomColor(rng, 0.0, 0.1);
+    return p;
+}
+
+FragmentSimpleParams
+makeFragmentSimpleParams(uint64_t seed)
+{
+    Rng rng(seed);
+    FragmentSimpleParams p;
+    p.halfVec = randomUnit(rng);
+    p.ambient = randomColor(rng, 0.05, 0.2);
+    p.lightColor = randomColor(rng, 0.5, 1.0);
+    p.specular = randomColor(rng, 0.2, 0.6);
+    return p;
+}
+
+VertexReflectionParams
+makeVertexReflectionParams(uint64_t seed)
+{
+    Rng rng(seed);
+    VertexReflectionParams p;
+    p.mvp = randomXform(rng);
+    p.world = randomXform(rng);
+    p.nrm = randomRotation(rng);
+    p.eye = {rng.uniform(5, 10), rng.uniform(5, 10), rng.uniform(5, 10)};
+    return p;
+}
+
+FragmentReflectionParams
+makeFragmentReflectionParams(uint64_t seed)
+{
+    Rng rng(seed);
+    FragmentReflectionParams p;
+    p.tint = randomColor(rng, 0.6, 1.0);
+    p.fresnelBias = rng.uniform(0.1, 0.3);
+    return p;
+}
+
+SkinningParams
+makeSkinningParams(uint64_t seed)
+{
+    Rng rng(seed);
+    SkinningParams p;
+    p.palette.resize(SkinningParams::maxBones * 12);
+    for (unsigned b = 0; b < SkinningParams::maxBones; ++b) {
+        auto m = randomXform(rng);
+        for (int i = 0; i < 12; ++i)
+            p.palette[b * 12 + i] = m[i];
+    }
+    p.mvp = randomXform(rng);
+    p.lightDir = randomUnit(rng);
+    p.lightColor = randomColor(rng, 0.5, 1.0);
+    p.ambient = randomColor(rng, 0.05, 0.2);
+    return p;
+}
+
+AnisoParams
+makeAnisoParams(uint64_t seed)
+{
+    Rng rng(seed);
+    AnisoParams p;
+    p.weights.resize(128);
+    for (auto &w : p.weights)
+        w = rng.uniform(0.2, 1.0);
+    return p;
+}
+
+} // namespace dlp::ref

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Golden models of the six real-time-graphics kernels (Table 1), written
+ * to mirror the simulated kernels operation-for-operation.
+ *
+ * The record layouts match Table 2's record sizes as closely as the
+ * computations allow; EXPERIMENTS.md notes the deltas. All shader
+ * parameters come from makeSceneParams() so the reference, the IR
+ * interpreter and the cycle simulator all consume identical constants.
+ */
+
+#ifndef DLP_REF_SHADING_HH
+#define DLP_REF_SHADING_HH
+
+#include <array>
+#include <vector>
+
+#include "common/types.hh"
+#include "ref/texture.hh"
+
+namespace dlp::ref {
+
+struct Vec3
+{
+    double x = 0, y = 0, z = 0;
+};
+
+inline double
+dot(const Vec3 &a, const Vec3 &b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+Vec3 normalize(const Vec3 &v);
+
+/** Parameters for vertex-simple: basic four-term vertex lighting. */
+struct VertexSimpleParams
+{
+    std::array<double, 12> mvp;  ///< 3x4 row-major, clip = mvp * (p, 1)
+    std::array<double, 9> nrm;   ///< 3x3 normal matrix
+    Vec3 lightDir;               ///< unit, surface-to-light
+    Vec3 halfVec;                ///< unit half vector
+    Vec3 lightColor, ambient, specular, emissive;
+};
+
+/** in: pos[3], normal[3], albedo; out: clip[3], color[3]. */
+void vertexSimple(const double in[7], double out[6],
+                  const VertexSimpleParams &p);
+
+/** Parameters for fragment-simple: textured fragment lighting. */
+struct FragmentSimpleParams
+{
+    Vec3 halfVec;
+    Vec3 ambient, lightColor, specular;
+};
+
+/**
+ * in: normal[3], u, v (texel space), lightDir[3]; out: rgb[3], alpha.
+ * Performs one bilinear texture sample (4 irregular accesses).
+ */
+void fragmentSimple(const double in[8], double out[4], const Texture2D &tex,
+                    const FragmentSimpleParams &p);
+
+/** Parameters for vertex-reflection. */
+struct VertexReflectionParams
+{
+    std::array<double, 12> mvp;
+    std::array<double, 12> world;
+    std::array<double, 9> nrm;
+    Vec3 eye;
+};
+
+/** in: pos[3], normal[3], color[3] (passed through lighting-free);
+ *  out: clip[3], reflect[3]. */
+void vertexReflection(const double in[9], double out[6],
+                      const VertexReflectionParams &p);
+
+/** Parameters for fragment-reflection. */
+struct FragmentReflectionParams
+{
+    Vec3 tint;
+    double fresnelBias = 0.2;
+};
+
+/** in: reflect[3], intensity, unused; out: rgb[3].
+ *  One bilinear cube-map sample (4 irregular accesses). */
+void fragmentReflection(const double in[5], double out[3],
+                        const CubeMap &cube,
+                        const FragmentReflectionParams &p);
+
+/** Parameters for vertex-skinning. */
+struct SkinningParams
+{
+    static constexpr unsigned maxBones = 24;   ///< palette size
+    static constexpr unsigned maxBonesPerVertex = 4;
+
+    /// Bone palette: maxBones 3x4 matrices = 288 indexed constants,
+    /// matching Table 2 exactly.
+    std::vector<double> palette;
+    std::array<double, 12> mvp;
+    Vec3 lightDir, lightColor, ambient;
+};
+
+/**
+ * Skin a vertex with `count` (1..maxBonesPerVertex) weighted bone
+ * transforms, then light it. Record shape on the machine: pos[3],
+ * normal[3], count, boneIdx[4], weight[4], albedo = 16 input words;
+ * clip[3], color[3], skinnedNormal[3] = 9 output words -- matching
+ * Table 2. The bone loop trip count is per-vertex data: the paper's
+ * showcase of data-dependent branching.
+ */
+void vertexSkinning(const Vec3 &pos, const Vec3 &normal, unsigned count,
+                    const unsigned boneIdx[4], const double weight[4],
+                    double albedo, double outClip[3], double outColor[3],
+                    double outNormal[3], const SkinningParams &p);
+
+/** Parameters for anisotropic-filter. */
+struct AnisoParams
+{
+    static constexpr unsigned maxSamples = 24;
+    /// 128-entry filter weight table (Table 2's indexed constants).
+    std::vector<double> weights;
+};
+
+/**
+ * Take `n` (1..maxSamples) nearest-texel taps along the anisotropy axis
+ * (axisU, axisV) centred on (u, v), weighted from the 128-entry table,
+ * and return the packed filtered texel. Record shape on the machine:
+ * u, v, axisU, axisV, n, pad[4] = 9 input words, 1 packed output word,
+ * <= 50 irregular accesses, 150..1000 executed instructions depending on
+ * n -- matching Table 2.
+ */
+Word anisotropicFilter(double u, double v, double axisU, double axisV,
+                       unsigned n, const Texture2D &tex,
+                       const AnisoParams &p);
+
+/** Deterministic scene parameters shared by tests and workloads. */
+VertexSimpleParams makeVertexSimpleParams(uint64_t seed);
+FragmentSimpleParams makeFragmentSimpleParams(uint64_t seed);
+VertexReflectionParams makeVertexReflectionParams(uint64_t seed);
+FragmentReflectionParams makeFragmentReflectionParams(uint64_t seed);
+SkinningParams makeSkinningParams(uint64_t seed);
+AnisoParams makeAnisoParams(uint64_t seed);
+
+} // namespace dlp::ref
+
+#endif // DLP_REF_SHADING_HH

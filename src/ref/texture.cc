@@ -1,0 +1,156 @@
+#include "ref/texture.hh"
+
+#include <cmath>
+
+namespace dlp::ref {
+
+Word
+packTexel(double r, double g, double b)
+{
+    auto q = [](double v) {
+        v = v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v);
+        return static_cast<Word>(v * 65535.0 + 0.5);
+    };
+    return q(r) | (q(g) << 16) | (q(b) << 32);
+}
+
+double
+unpackChannel(Word texel, unsigned c)
+{
+    // Multiply by the reciprocal (not divide): the simulated kernels use
+    // the same single multiply, keeping both implementations bit-equal.
+    return static_cast<double>((texel >> (16 * c)) & 0xffff) *
+           (1.0 / 65535.0);
+}
+
+Texture2D::Texture2D(unsigned width, unsigned height)
+    : w(width), h(height), data(static_cast<size_t>(width) * height, 0)
+{
+    panic_if(!isPowerOf2(w) || !isPowerOf2(h),
+             "texture %ux%u must be power-of-two", w, h);
+}
+
+void
+Texture2D::fillNoise(uint64_t seed)
+{
+    Rng rng(seed);
+    // Low-frequency lattice noise: random values on a coarse grid,
+    // bilinearly interpolated, so bilinear sampling has visible structure.
+    unsigned gw = std::max(4u, w / 16);
+    unsigned gh = std::max(4u, h / 16);
+    std::vector<double> grid(static_cast<size_t>(gw) * gh * 3);
+    for (auto &v : grid)
+        v = rng.uniform();
+
+    auto g = [&](unsigned x, unsigned y, unsigned c) {
+        return grid[(static_cast<size_t>(y % gh) * gw + (x % gw)) * 3 + c];
+    };
+
+    for (unsigned y = 0; y < h; ++y) {
+        for (unsigned x = 0; x < w; ++x) {
+            double fx = static_cast<double>(x) * gw / w;
+            double fy = static_cast<double>(y) * gh / h;
+            unsigned x0 = static_cast<unsigned>(fx);
+            unsigned y0 = static_cast<unsigned>(fy);
+            double tx = fx - x0;
+            double ty = fy - y0;
+            double rgb[3];
+            for (unsigned c = 0; c < 3; ++c) {
+                double a = g(x0, y0, c) * (1 - tx) + g(x0 + 1, y0, c) * tx;
+                double b = g(x0, y0 + 1, c) * (1 - tx) +
+                           g(x0 + 1, y0 + 1, c) * tx;
+                rgb[c] = a * (1 - ty) + b * ty;
+            }
+            data[static_cast<size_t>(y) * w + x] =
+                packTexel(rgb[0], rgb[1], rgb[2]);
+        }
+    }
+}
+
+void
+Texture2D::sampleBilinear(double u, double v, double rgb[3]) const
+{
+    double uf = std::floor(u);
+    double vf = std::floor(v);
+    double tu = u - uf;
+    double tv = v - vf;
+    int64_t x0 = static_cast<int64_t>(uf);
+    int64_t y0 = static_cast<int64_t>(vf);
+
+    Word t00 = texel(x0, y0);
+    Word t10 = texel(x0 + 1, y0);
+    Word t01 = texel(x0, y0 + 1);
+    Word t11 = texel(x0 + 1, y0 + 1);
+
+    for (unsigned c = 0; c < 3; ++c) {
+        double a = unpackChannel(t00, c) * (1 - tu) +
+                   unpackChannel(t10, c) * tu;
+        double b = unpackChannel(t01, c) * (1 - tu) +
+                   unpackChannel(t11, c) * tu;
+        rgb[c] = a * (1 - tv) + b * tv;
+    }
+}
+
+void
+Texture2D::sampleNearest(double u, double v, double rgb[3]) const
+{
+    int64_t x = static_cast<int64_t>(std::floor(u));
+    int64_t y = static_cast<int64_t>(std::floor(v));
+    Word t = texel(x, y);
+    for (unsigned c = 0; c < 3; ++c)
+        rgb[c] = unpackChannel(t, c);
+}
+
+CubeMap::CubeMap(unsigned faceSize) : size(faceSize)
+{
+    faces.reserve(6);
+    for (unsigned f = 0; f < 6; ++f)
+        faces.emplace_back(size, size);
+}
+
+void
+CubeMap::fillNoise(uint64_t seed)
+{
+    for (unsigned f = 0; f < 6; ++f)
+        faces[f].fillNoise(seed * 6 + f);
+}
+
+unsigned
+CubeMap::project(double x, double y, double z, unsigned faceSize, double &u,
+                 double &v)
+{
+    double ax = std::fabs(x), ay = std::fabs(y), az = std::fabs(z);
+    unsigned face;
+    double sc, tc, ma;
+    if (ax >= ay && ax >= az) {
+        face = x >= 0 ? 0 : 1;
+        ma = ax;
+        sc = x >= 0 ? -z : z;
+        tc = -y;
+    } else if (ay >= ax && ay >= az) {
+        face = y >= 0 ? 2 : 3;
+        ma = ay;
+        sc = x;
+        tc = y >= 0 ? z : -z;
+    } else {
+        face = z >= 0 ? 4 : 5;
+        ma = az;
+        sc = z >= 0 ? x : -x;
+        tc = -y;
+    }
+    // Map [-1,1] to texel space.
+    double half = faceSize / 2.0;
+    u = (sc / ma + 1.0) * half;
+    v = (tc / ma + 1.0) * half;
+    return face;
+}
+
+void
+CubeMap::sample(double x, double y, double z, double rgb[3]) const
+{
+    double u, v;
+    unsigned f = project(x, y, z, size, u, v);
+    faces[f].sampleBilinear(u, v, rgb);
+}
+
+} // namespace dlp::ref

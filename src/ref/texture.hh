@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Texture storage shared by the golden shader models and the simulator.
+ *
+ * Texels are packed into one 64-bit word as three 16-bit unsigned
+ * channels (r | g<<16 | b<<32). A texture occupies a contiguous
+ * word-addressed region so the simulated kernels can compute texel
+ * addresses with shifts and masks; the same packing/addressing is used by
+ * the reference shaders, keeping both implementations bit-compatible on
+ * the integer side of sampling.
+ */
+
+#ifndef DLP_REF_TEXTURE_HH
+#define DLP_REF_TEXTURE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace dlp::ref {
+
+/** Pack three [0,1] channels into a texel word. */
+Word packTexel(double r, double g, double b);
+
+/** Unpack channel c (0=r,1=g,2=b) of a texel word to [0,1]. */
+double unpackChannel(Word texel, unsigned c);
+
+/** A power-of-two 2-D texture of packed texels. */
+class Texture2D
+{
+  public:
+    Texture2D(unsigned width, unsigned height);
+
+    /** Fill with smooth deterministic noise. */
+    void fillNoise(uint64_t seed);
+
+    unsigned width() const { return w; }
+    unsigned height() const { return h; }
+
+    /** Wrapped (repeat-mode) texel fetch. */
+    Word
+    texel(int64_t x, int64_t y) const
+    {
+        uint64_t xi = static_cast<uint64_t>(x) & (w - 1);
+        uint64_t yi = static_cast<uint64_t>(y) & (h - 1);
+        return data[yi * w + xi];
+    }
+
+    /** Word offset of texel (x, y) within the texture region. */
+    uint64_t
+    texelOffset(int64_t x, int64_t y) const
+    {
+        uint64_t xi = static_cast<uint64_t>(x) & (w - 1);
+        uint64_t yi = static_cast<uint64_t>(y) & (h - 1);
+        return yi * w + xi;
+    }
+
+    /**
+     * Bilinear sample at texel-space coordinates (u, v) measured in
+     * texels; the reference shaders and the kernels share this exact
+     * arithmetic (floor, fractional lerp on unpacked channels).
+     */
+    void sampleBilinear(double u, double v, double rgb[3]) const;
+
+    /** Nearest-texel sample. */
+    void sampleNearest(double u, double v, double rgb[3]) const;
+
+    const std::vector<Word> &words() const { return data; }
+
+    /** Copy the texture into a word-addressed memory region. */
+    void
+    blit(const std::function<void(uint64_t, Word)> &writeWord) const
+    {
+        for (uint64_t i = 0; i < data.size(); ++i)
+            writeWord(i, data[i]);
+    }
+
+  private:
+    unsigned w;
+    unsigned h;
+    std::vector<Word> data;
+};
+
+/** A six-face cube map. */
+class CubeMap
+{
+  public:
+    explicit CubeMap(unsigned faceSize);
+
+    void fillNoise(uint64_t seed);
+
+    unsigned faceSize() const { return size; }
+    const Texture2D &face(unsigned f) const { return faces[f]; }
+
+    /**
+     * Select the face and in-face texel coordinates for direction
+     * (x, y, z): the standard major-axis projection. Returns the face
+     * index and writes texel-space u, v.
+     */
+    static unsigned project(double x, double y, double z, unsigned faceSize,
+                            double &u, double &v);
+
+    /** Bilinear cube sample along a direction. */
+    void sample(double x, double y, double z, double rgb[3]) const;
+
+  private:
+    unsigned size;
+    std::vector<Texture2D> faces;
+};
+
+} // namespace dlp::ref
+
+#endif // DLP_REF_TEXTURE_HH

@@ -1,0 +1,609 @@
+#include "sched/linearize.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace dlp::sched {
+
+using kernels::Kernel;
+using kernels::KernelBuilder;
+using kernels::LoopId;
+using kernels::Node;
+using kernels::NodeKind;
+using kernels::topLevel;
+using isa::Op;
+using isa::SeqInst;
+
+namespace {
+
+struct LoopExtent
+{
+    size_t first = ~size_t(0);
+    size_t last = 0;
+};
+
+class Linearizer
+{
+  public:
+    Linearizer(const Kernel &kern, const core::MachineParams &mach,
+               const StreamLayout &lay)
+        : k(kern), m(mach), layout(lay)
+    {
+        extents.resize(k.loops.size());
+        for (size_t i = 0; i < k.nodes.size(); ++i) {
+            LoopId l = k.nodes[i].loop;
+            while (l != topLevel) {
+                extents[l].first = std::min(extents[l].first, i);
+                extents[l].last = std::max(extents[l].last, i);
+                l = k.loops[l].parent;
+            }
+        }
+        computeLastUse();
+    }
+
+    MimdPlan
+    lower()
+    {
+        plan.name = k.name;
+        plan.layout = layout;
+        plan.recIdxReg = 0;
+        plan.strideReg = 1;
+        plan.recCountReg = 2;
+        nextFixed = 3;
+
+        // Hoist constants into registers until only a working pool of
+        // temporaries remains; the rest become inline immediate moves.
+        unsigned hoistLimit =
+            m.tileRegs > workingPool ? m.tileRegs - workingPool : 0;
+        constReg.assign(k.constants.size(), 0xff);
+        for (size_t c = 0; c < k.constants.size() && nextFixed < hoistLimit;
+             ++c) {
+            constReg[c] = static_cast<uint8_t>(nextFixed);
+            plan.initialRegs.emplace_back(nextFixed, k.constants[c].value);
+            ++nextFixed;
+        }
+        for (unsigned r = nextFixed; r < m.tileRegs; ++r)
+            freeRegs.push_back(static_cast<uint8_t>(r));
+
+        // Record loop skeleton.
+        uint8_t t = allocTemp();
+        emitOp2(Op::Ltu, t, plan.recIdxReg, plan.recCountReg, true);
+        size_t preCheck = emitBranch(Op::Beqz, t, 0);
+        size_t top = code().size();
+
+        emitRange(0, k.nodes.size(), topLevel);
+        releaseBodyCaches();
+
+        emitOp2(Op::Add, static_cast<uint8_t>(plan.recIdxReg),
+                static_cast<uint8_t>(plan.recIdxReg),
+                static_cast<uint8_t>(plan.strideReg), true);
+        emitOp2(Op::Ltu, t, static_cast<uint8_t>(plan.recIdxReg),
+                static_cast<uint8_t>(plan.recCountReg), true);
+        size_t backEdge = emitBranch(Op::Bnez, t, top);
+        (void)backEdge;
+        size_t haltIdx = code().size();
+        SeqInst halt;
+        halt.op = Op::Halt;
+        halt.overhead = true;
+        code().push_back(halt);
+        code()[preCheck].branchTarget = static_cast<uint32_t>(haltIdx);
+        freeTemp(t);
+
+        plan.program.name = k.name;
+        plan.program.numRegs = m.tileRegs;
+        fatal_if(plan.program.code.size() > m.l0InstEntries,
+                 "kernel %s: MIMD program (%zu insts) exceeds the L0 "
+                 "instruction store (%u entries)",
+                 k.name.c_str(), plan.program.code.size(), m.l0InstEntries);
+        return std::move(plan);
+    }
+
+  private:
+    std::vector<SeqInst> &code() { return plan.program.code; }
+
+    // --- Register management -------------------------------------------
+
+    uint8_t
+    allocTemp()
+    {
+        fatal_if(freeRegs.empty(),
+                 "kernel %s: out of MIMD registers (%u per tile)",
+                 k.name.c_str(), m.tileRegs);
+        uint8_t r = freeRegs.back();
+        freeRegs.pop_back();
+        return r;
+    }
+
+    void freeTemp(uint8_t r) { freeRegs.push_back(r); }
+
+    /**
+     * Last static emission position after which a node's register can be
+     * recycled: the raw last consumer, widened to the end of any loop
+     * that contains a consumer but not the definition (the value is
+     * re-read on every iteration).
+     */
+    void
+    computeLastUse()
+    {
+        lastUse.assign(k.nodes.size(), 0);
+        auto use = [&](uint32_t def, size_t at) {
+            if (def == kernels::noValue)
+                return;
+            // Widen across loops that contain the use but not the def.
+            LoopId dl = k.nodes[def].loop;
+            LoopId ul = k.nodes[at].loop;
+            size_t pos = at;
+            for (LoopId l = ul; l != topLevel; l = k.loops[l].parent) {
+                bool containsDef = false;
+                for (LoopId x = dl; x != topLevel; x = k.loops[x].parent)
+                    if (x == l)
+                        containsDef = true;
+                if (!containsDef)
+                    pos = std::max(pos, extents[l].last);
+            }
+            lastUse[def] = std::max(lastUse[def], pos);
+        };
+
+        for (size_t i = 0; i < k.nodes.size(); ++i) {
+            const Node &n = k.nodes[i];
+            for (unsigned s = 0; s < 3; ++s)
+                if (!(s == 1 && n.immB))
+                    use(n.src[s], i);
+        }
+        for (const auto &c : k.carries) {
+            use(c.init, extents[c.loop].first);
+            use(c.next, extents[c.loop].last);
+        }
+        for (size_t l = 0; l < k.loops.size(); ++l) {
+            if (k.loops[l].tripValue != kernels::noValue)
+                use(k.loops[l].tripValue, extents[l].last);
+        }
+        // A WordOf aliases its wide load's registers: the wide load
+        // stays live as long as any of its words does.
+        for (size_t i = k.nodes.size(); i-- > 0;) {
+            const Node &n = k.nodes[i];
+            if (n.kind == NodeKind::WordOf)
+                lastUse[n.src[0]] =
+                    std::max(lastUse[n.src[0]], lastUse[i]);
+        }
+    }
+
+    void
+    releaseAfter(size_t nodeIdx)
+    {
+        // Free registers whose owning node's live range ends here.
+        for (auto it = owned.begin(); it != owned.end();) {
+            if (lastUse[it->first] <= nodeIdx && it->first <= nodeIdx) {
+                freeTemp(it->second);
+                it = owned.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        for (auto it = wideOwner.begin(); it != wideOwner.end();) {
+            if (lastUse[it->first] <= nodeIdx && it->first <= nodeIdx) {
+                for (uint8_t r : wideRegs.at(it->first))
+                    freeTemp(r);
+                wideRegs.erase(it->first);
+                it = wideOwner.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    /** Register holding node i's value. */
+    uint8_t
+    regOf(uint32_t i)
+    {
+        auto it = nodeReg.find(i);
+        if (it == nodeReg.end()) {
+            // Non-hoisted constants materialize lazily at first use so
+            // a kernel declaring dozens of constants up front (md5's 64
+            // T values) doesn't hold dozens of registers at once.
+            const Node &n = k.nodes[i];
+            if (n.kind == NodeKind::Const) {
+                uint8_t rd = allocTemp();
+                emitMovi(rd, k.constants[static_cast<size_t>(n.imm)].value,
+                         true);
+                define(i, rd, true);
+                return rd;
+            }
+            panic("kernel %s: node %u has no register", k.name.c_str(), i);
+        }
+        return it->second;
+    }
+
+    void
+    define(uint32_t node, uint8_t reg, bool owns)
+    {
+        nodeReg[node] = reg;
+        if (owns)
+            owned[node] = reg;
+    }
+
+    // --- Emission helpers -------------------------------------------------
+
+    void
+    emitOp2(Op op, uint8_t rd, uint8_t a, uint8_t b, bool overhead)
+    {
+        SeqInst si;
+        si.op = op;
+        si.rd = rd;
+        si.rs[0] = a;
+        si.rs[1] = b;
+        si.overhead = overhead;
+        code().push_back(si);
+    }
+
+    void
+    emitOpImm(Op op, uint8_t rd, uint8_t a, Word imm, bool overhead)
+    {
+        SeqInst si;
+        si.op = op;
+        si.rd = rd;
+        si.rs[0] = a;
+        si.imm = imm;
+        si.immB = true;
+        si.overhead = overhead;
+        code().push_back(si);
+    }
+
+    void
+    emitMovi(uint8_t rd, Word imm, bool overhead)
+    {
+        SeqInst si;
+        si.op = Op::Movi;
+        si.rd = rd;
+        si.imm = imm;
+        si.overhead = overhead;
+        code().push_back(si);
+    }
+
+    size_t
+    emitBranch(Op op, uint8_t cond, uint32_t target)
+    {
+        SeqInst si;
+        si.op = op;
+        si.rs[0] = cond;
+        si.branchTarget = target;
+        si.overhead = true;
+        code().push_back(si);
+        return code().size() - 1;
+    }
+
+    // --- Address synthesis -------------------------------------------------
+
+    /** Register with recIdx scaled by recWords plus base (cached). */
+    uint8_t
+    regionAddr(uint8_t &cache, unsigned recWords, Addr base)
+    {
+        if (cache != 0xff)
+            return cache;
+        uint8_t r = allocTemp();
+        if (recWords == 1) {
+            if (base == 0) {
+                emitOp2(Op::Mov, r, static_cast<uint8_t>(plan.recIdxReg), 0,
+                        true);
+            } else {
+                emitOpImm(Op::Add, r, static_cast<uint8_t>(plan.recIdxReg),
+                          base, true);
+            }
+        } else {
+            if (isPowerOf2(recWords))
+                emitOpImm(Op::Shl, r, static_cast<uint8_t>(plan.recIdxReg),
+                          floorLog2(recWords), true);
+            else
+                emitOpImm(Op::Mul, r, static_cast<uint8_t>(plan.recIdxReg),
+                          recWords, true);
+            if (base != 0)
+                emitOpImm(Op::Add, r, r, base, true);
+        }
+        cache = r;
+        return r;
+    }
+
+    uint8_t inAddr() { return regionAddr(inAddrReg, k.inWords, layout.inBase); }
+    uint8_t outAddr()
+    {
+        return regionAddr(outAddrReg, k.outWords, layout.outBase);
+    }
+    uint8_t scratchAddr()
+    {
+        return regionAddr(scratchAddrReg, k.scratchWords,
+                          layout.scratchBase);
+    }
+
+    void
+    releaseBodyCaches()
+    {
+        for (uint8_t *cache : {&inAddrReg, &outAddrReg, &scratchAddrReg}) {
+            if (*cache != 0xff) {
+                freeTemp(*cache);
+                *cache = 0xff;
+            }
+        }
+    }
+
+    // --- Structured walk ----------------------------------------------------
+
+    void
+    emitRange(size_t first, size_t last, LoopId level)
+    {
+        size_t i = first;
+        while (i < last) {
+            LoopId nl = k.nodes[i].loop;
+            if (nl == level) {
+                emitNode(static_cast<uint32_t>(i));
+                releaseAfter(i);
+                ++i;
+                continue;
+            }
+            LoopId child = nl;
+            while (k.loops[child].parent != level)
+                child = k.loops[child].parent;
+            emitLoop(child);
+            i = extents[child].last + 1;
+            releaseAfter(i - 1);
+        }
+    }
+
+    void
+    emitLoop(LoopId l)
+    {
+        const auto &li = k.loops[l];
+        bool variable = li.staticTrip == 0;
+
+        uint8_t idx = allocTemp();
+        emitMovi(idx, 0, true);
+        loopIdxReg[l] = idx;
+
+        for (uint32_t c : li.carries) {
+            uint8_t reg = allocTemp();
+            carryRegs[c] = reg;
+            emitOp2(Op::Mov, reg, regOf(k.carries[c].init), 0, true);
+            nodeReg[k.carries[c].node] = reg;
+        }
+
+        uint8_t t = allocTemp();
+        size_t preCheck = ~size_t(0);
+        if (variable) {
+            // The trip count is record data; guard against zero trips.
+            emitOp2(Op::Ltu, t, idx, regOf(li.tripValue), true);
+            preCheck = emitBranch(Op::Beqz, t, 0);
+        }
+
+        size_t top = code().size();
+        emitRange(extents[l].first, extents[l].last + 1, l);
+
+        for (uint32_t c : li.carries) {
+            emitOp2(Op::Mov, carryRegs[c], regOf(k.carries[c].next), 0,
+                    true);
+        }
+        emitOpImm(Op::Add, idx, idx, 1, true);
+        if (variable)
+            emitOp2(Op::Ltu, t, idx, regOf(li.tripValue), true);
+        else
+            emitOpImm(Op::Ltu, t, idx, li.staticTrip, true);
+        emitBranch(Op::Bnez, t, static_cast<uint32_t>(top));
+        if (preCheck != ~size_t(0))
+            code()[preCheck].branchTarget =
+                static_cast<uint32_t>(code().size());
+
+        freeTemp(t);
+        freeTemp(idx);
+        loopIdxReg.erase(l);
+        // Carry registers stay live: LoopExit nodes alias them.
+    }
+
+    void
+    emitNode(uint32_t i)
+    {
+        const Node &n = k.nodes[i];
+        switch (n.kind) {
+          case NodeKind::Compute: {
+            if (n.op == Op::Movi) {
+                uint8_t rd = allocTemp();
+                emitMovi(rd, n.imm, n.overhead);
+                define(i, rd, true);
+                return;
+            }
+            uint8_t rd = allocTemp();
+            SeqInst si;
+            si.op = n.op;
+            si.rd = rd;
+            si.imm = n.imm;
+            si.immB = n.immB;
+            si.overhead = n.overhead;
+            const auto &info = isa::opInfo(n.op);
+            for (unsigned s = 0; s < info.numSrcs; ++s) {
+                if (s == 1 && n.immB)
+                    continue;
+                si.rs[s] = regOf(n.src[s]);
+            }
+            code().push_back(si);
+            define(i, rd, true);
+            return;
+          }
+          case NodeKind::Const: {
+            size_t c = static_cast<size_t>(n.imm);
+            if (constReg[c] != 0xff)
+                define(i, constReg[c], false);
+            // Non-hoisted constants materialize lazily in regOf().
+            return;
+          }
+          case NodeKind::RecIdx:
+            define(i, static_cast<uint8_t>(plan.recIdxReg), false);
+            return;
+          case NodeKind::LoopIdx:
+            define(i, loopIdxReg.at(static_cast<LoopId>(n.imm)), false);
+            return;
+          case NodeKind::InWord: {
+            uint8_t rd = allocTemp();
+            emitMem(Op::Ld, rd, inAddr(), 0xff, n.imm, isa::MemSpace::Smc);
+            define(i, rd, true);
+            return;
+          }
+          case NodeKind::InWordAt: {
+            uint8_t addr = allocTemp();
+            emitOp2(Op::Add, addr, inAddr(), regOf(n.src[0]), true);
+            uint8_t rd = allocTemp();
+            emitMem(Op::Ld, rd, addr, 0xff, 0, isa::MemSpace::Smc);
+            freeTemp(addr);
+            define(i, rd, true);
+            return;
+          }
+          case NodeKind::InWide:
+          case NodeKind::ScratchWide: {
+            // No wide loads on the MIMD tiles: expand to scalar loads
+            // (Section 5.3: in the MIMD model a vector-style fetch
+            // schedule is not possible).
+            unsigned count = KernelBuilder::wideCount(n.imm);
+            unsigned stride = KernelBuilder::wideStride(n.imm);
+            uint8_t base = n.kind == NodeKind::InWide ? inAddr()
+                                                      : scratchAddr();
+            uint8_t addr = allocTemp();
+            emitOp2(Op::Add, addr, base, regOf(n.src[0]), true);
+            auto &regs = wideRegs[i];
+            regs.resize(count);
+            for (unsigned w = 0; w < count; ++w) {
+                regs[w] = allocTemp();
+                emitMem(Op::Ld, regs[w], addr, 0xff, Word(w) * stride,
+                        isa::MemSpace::Smc);
+            }
+            freeTemp(addr);
+            wideOwner[i] = true;
+            return;
+          }
+          case NodeKind::WordOf: {
+            const Node &w = k.nodes[n.src[0]];
+            (void)w;
+            define(i, wideRegs.at(n.src[0]).at(static_cast<size_t>(n.imm)),
+                   false);
+            return;
+          }
+          case NodeKind::OutWord:
+            emitMem(Op::St, 0, outAddr(), regOf(n.src[0]), n.imm,
+                    isa::MemSpace::Smc);
+            return;
+          case NodeKind::OutWordAt: {
+            uint8_t addr = allocTemp();
+            emitOp2(Op::Add, addr, outAddr(), regOf(n.src[0]), true);
+            emitMem(Op::St, 0, addr, regOf(n.src[1]), 0,
+                    isa::MemSpace::Smc);
+            freeTemp(addr);
+            return;
+          }
+          case NodeKind::ScratchLoad: {
+            uint8_t addr = allocTemp();
+            emitOp2(Op::Add, addr, scratchAddr(), regOf(n.src[0]), true);
+            uint8_t rd = allocTemp();
+            emitMem(Op::Ld, rd, addr, 0xff, 0, isa::MemSpace::Smc);
+            freeTemp(addr);
+            define(i, rd, true);
+            return;
+          }
+          case NodeKind::ScratchStore: {
+            uint8_t addr = allocTemp();
+            emitOp2(Op::Add, addr, scratchAddr(), regOf(n.src[0]), true);
+            emitMem(Op::St, 0, addr, regOf(n.src[1]), 0,
+                    isa::MemSpace::Smc);
+            freeTemp(addr);
+            return;
+          }
+          case NodeKind::CachedLoad: {
+            uint8_t rd = allocTemp();
+            emitMem(Op::Ld, rd, regOf(n.src[0]), 0xff, 0,
+                    isa::MemSpace::Cached);
+            define(i, rd, true);
+            return;
+          }
+          case NodeKind::CachedStore:
+            emitMem(Op::St, 0, regOf(n.src[0]), regOf(n.src[1]), 0,
+                    isa::MemSpace::Cached);
+            return;
+          case NodeKind::TableLoad: {
+            const auto &table = k.tables[static_cast<size_t>(n.imm)];
+            uint8_t masked = allocTemp();
+            emitOpImm(Op::And, masked, regOf(n.src[0]),
+                      table.data.size() - 1, true);
+            uint8_t rd = allocTemp();
+            SeqInst si;
+            si.op = Op::Tld;
+            si.rd = rd;
+            si.rs[0] = masked;
+            si.space = isa::MemSpace::Table;
+            si.tableId = static_cast<uint16_t>(n.imm);
+            si.overhead = true;
+            code().push_back(si);
+            freeTemp(masked);
+            define(i, rd, true);
+            return;
+          }
+          case NodeKind::Carry:
+            // Register assigned at loop entry.
+            return;
+          case NodeKind::LoopExit: {
+            const Node &cn = k.nodes[n.src[0]];
+            define(i, carryRegs.at(static_cast<uint32_t>(cn.imm)), false);
+            return;
+          }
+        }
+    }
+
+    void
+    emitMem(Op op, uint8_t rd, uint8_t addrReg, uint8_t dataReg, Word imm,
+            isa::MemSpace space)
+    {
+        SeqInst si;
+        si.op = op;
+        si.rd = rd;
+        si.rs[0] = addrReg;
+        if (op == Op::St)
+            si.rs[1] = dataReg;
+        si.imm = imm;
+        si.space = space;
+        si.overhead = true;
+        code().push_back(si);
+    }
+
+    // ----------------------------------------------------------------------
+
+    const Kernel &k;
+    const core::MachineParams &m;
+    StreamLayout layout;
+    MimdPlan plan;
+
+    static constexpr unsigned workingPool = 40;
+
+    std::vector<LoopExtent> extents;
+    std::vector<size_t> lastUse;
+    std::vector<uint8_t> constReg;
+    std::map<uint32_t, uint8_t> nodeReg;
+    std::map<uint32_t, uint8_t> owned;
+    std::map<uint32_t, std::vector<uint8_t>> wideRegs;
+    std::map<uint32_t, bool> wideOwner;
+    std::map<uint32_t, uint8_t> carryRegs;
+    std::map<LoopId, uint8_t> loopIdxReg;
+    std::vector<uint8_t> freeRegs;
+    unsigned nextFixed = 3;
+
+    uint8_t inAddrReg = 0xff;
+    uint8_t outAddrReg = 0xff;
+    uint8_t scratchAddrReg = 0xff;
+};
+
+} // namespace
+
+MimdPlan
+lowerMimd(const kernels::Kernel &k, const core::MachineParams &m,
+          const StreamLayout &layout)
+{
+    Linearizer lin(k, m, layout);
+    return lin.lower();
+}
+
+} // namespace dlp::sched

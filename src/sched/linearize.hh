@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Lowering of kernels onto the MIMD (local-PC) machine.
+ *
+ * Every tile runs the same sequential program out of its L0 instruction
+ * store: a record loop striding by the tile count, with the kernel's
+ * loops compiled to real backward branches. Data-dependent trip counts
+ * therefore execute only the iterations they need -- the mechanism the
+ * paper credits for vertex-skinning's M-D win -- and the whole kernel
+ * needs only one copy of its instructions per tile instead of an
+ * unrolled copy per concurrent record ("these programs require far less
+ * instruction storage and hence can be unrolled more aggressively",
+ * Section 5.3).
+ */
+
+#ifndef DLP_SCHED_LINEARIZE_HH
+#define DLP_SCHED_LINEARIZE_HH
+
+#include "core/machine.hh"
+#include "kernels/ir.hh"
+#include "sched/plan.hh"
+
+namespace dlp::sched {
+
+/** Compile a kernel to the per-tile MIMD program. */
+MimdPlan lowerMimd(const kernels::Kernel &k, const core::MachineParams &m,
+                   const StreamLayout &layout);
+
+} // namespace dlp::sched
+
+#endif // DLP_SCHED_LINEARIZE_HH

@@ -1,0 +1,125 @@
+#include "sched/placer.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace dlp::sched {
+
+void
+placeBlock(isa::MappedBlock &block, const core::MachineParams &m,
+           const std::vector<unsigned> &instanceHint)
+{
+    const unsigned rows = m.rows;
+    const unsigned cols = m.cols;
+    std::vector<unsigned> occupancy(static_cast<size_t>(rows) * cols, 0);
+
+    // Each kernel instance streams from one row's SMC bank; assign
+    // instances to the emptiest row at their first memory operation so
+    // bank and link traffic balances even when U is not a multiple of
+    // the row count.
+    std::vector<unsigned> memOpsPerRow(rows, 0);
+    std::map<unsigned, unsigned> instanceRow;
+
+    // Producer lists (inverted target edges).
+    std::vector<std::vector<uint32_t>> producers(block.insts.size());
+    for (size_t p = 0; p < block.insts.size(); ++p)
+        for (const auto &t : block.insts[p].targets)
+            producers[t.inst].push_back(static_cast<uint32_t>(p));
+
+    size_t placeable = 0;
+    for (const auto &mi : block.insts)
+        if (!mi.regTile)
+            ++placeable;
+    panic_if(placeable > static_cast<size_t>(rows) * cols * m.frameSlots,
+             "block %s (%zu insts) exceeds instruction storage",
+             block.name.c_str(), placeable);
+
+    std::vector<bool> placed(block.insts.size(), false);
+
+    for (size_t i = 0; i < block.insts.size(); ++i) {
+        auto &mi = block.insts[i];
+
+        if (mi.regTile) {
+            // Register tiles sit along the north edge, one per bank.
+            unsigned bank =
+                static_cast<unsigned>(mi.imm) % std::max(1u, m.regBanks);
+            unsigned col = bank * std::max(1u, cols / std::max(1u, m.regBanks));
+            mi.row = 0;
+            mi.col = static_cast<uint8_t>(std::min(col, cols - 1));
+            mi.slot = 0;
+            placed[i] = true;
+            continue;
+        }
+
+        // Preferred position: centroid of placed non-register producers.
+        // Register tiles all sit on the north edge and would drag every
+        // consumer to row 0, so they don't vote; instructions without a
+        // real producer are seeded onto their kernel instance's row,
+        // which spreads independent records across the per-row banks.
+        double sumR = 0, sumC = 0;
+        unsigned n = 0;
+        for (uint32_t p : producers[i]) {
+            if (!placed[p] || block.insts[p].regTile)
+                continue;
+            sumR += block.insts[p].row;
+            sumC += block.insts[p].col;
+            ++n;
+        }
+
+        bool memOp = isa::isMemOp(mi.op);
+        unsigned inst = i < instanceHint.size() ? instanceHint[i] : 0;
+        double prefR, prefC;
+        if (memOp) {
+            // Memory operations live near their row's edge port, on the
+            // instance's assigned (least-loaded) row.
+            auto it = instanceRow.find(inst);
+            if (it == instanceRow.end()) {
+                unsigned best = 0;
+                for (unsigned r = 1; r < rows; ++r)
+                    if (memOpsPerRow[r] < memOpsPerRow[best])
+                        best = r;
+                it = instanceRow.emplace(inst, best).first;
+            }
+            prefR = it->second;
+            prefC = 0.0;
+            memOpsPerRow[it->second]++;
+        } else if (n > 0) {
+            prefR = sumR / n;
+            prefC = sumC / n;
+        } else {
+            prefR = inst % rows;
+            prefC = cols / 2.0;
+        }
+
+        // Pick the cheapest tile: distance to preference plus a load
+        // balancing penalty, skipping full tiles.
+        double bestCost = 1e18;
+        unsigned bestTile = 0;
+        bool found = false;
+        for (unsigned r = 0; r < rows; ++r) {
+            for (unsigned c = 0; c < cols; ++c) {
+                unsigned occ = occupancy[r * cols + c];
+                if (occ >= m.frameSlots)
+                    continue;
+                double dist = std::abs(double(r) - prefR) +
+                              std::abs(double(c) - prefC);
+                double cost = dist + 0.45 * occ;
+                if (cost < bestCost) {
+                    bestCost = cost;
+                    bestTile = r * cols + c;
+                    found = true;
+                }
+            }
+        }
+        panic_if(!found, "placer ran out of slots in block %s",
+                 block.name.c_str());
+        mi.row = static_cast<uint8_t>(bestTile / cols);
+        mi.col = static_cast<uint8_t>(bestTile % cols);
+        mi.slot = static_cast<uint8_t>(occupancy[bestTile]++);
+        placed[i] = true;
+    }
+}
+
+} // namespace dlp::sched

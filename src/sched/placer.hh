@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Static placement of a dataflow block onto the ALU grid (the "statically
+ * placed" half of SPDI execution).
+ */
+
+#ifndef DLP_SCHED_PLACER_HH
+#define DLP_SCHED_PLACER_HH
+
+#include <vector>
+
+#include "core/machine.hh"
+#include "isa/mapped.hh"
+
+namespace dlp::sched {
+
+/**
+ * Assign a (row, col, slot) to every instruction of the block.
+ *
+ * Greedy communication-aware placement: instructions are placed in
+ * topological (emission) order at the free slot nearest the centroid of
+ * their already-placed producers; memory operations are biased toward
+ * the west edge where the bank interfaces live, and independent kernel
+ * instances are seeded onto different rows so record streams spread
+ * across the per-row SMC banks.
+ *
+ * Register reads/writes are placed in the register tiles along the north
+ * edge (bank = register % regBanks) and do not consume ALU slots.
+ *
+ * @param instanceHint per-instruction kernel-instance id used for row
+ *                     seeding (empty = no seeding).
+ */
+void placeBlock(isa::MappedBlock &block, const core::MachineParams &m,
+                const std::vector<unsigned> &instanceHint = {});
+
+} // namespace dlp::sched
+
+#endif // DLP_SCHED_PLACER_HH

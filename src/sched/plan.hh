@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The scheduler's output formats.
+ *
+ * A SimdPlan is what the block-dataflow engine executes on the SIMD-style
+ * configurations (baseline, S, S-O, S-O-D): one or more placed blocks
+ * per record group, with register-file plumbing for loop induction,
+ * loop-carried values and cross-block temporaries. A MimdPlan is the
+ * per-tile sequential program for the local-PC configurations (M, M-D).
+ */
+
+#ifndef DLP_SCHED_PLAN_HH
+#define DLP_SCHED_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/mapped.hh"
+#include "isa/seq.hh"
+
+namespace dlp::sched {
+
+/** Where the record streams live in SMC word-address space. */
+struct StreamLayout
+{
+    Addr inBase = 0;
+    Addr outBase = 0;
+    Addr scratchBase = 0;
+};
+
+/** One mapped block plus how many activations it runs per record group. */
+struct Segment
+{
+    isa::MappedBlock block;
+    /// Activations per record group: the loop trip count for a
+    /// revitalized loop segment, 1 otherwise.
+    uint64_t activations = 1;
+    bool isLoop = false;
+};
+
+struct SimdPlan
+{
+    std::string name;
+    /// Kernel instances per block set (the static unroll factor U).
+    unsigned unroll = 1;
+    std::vector<Segment> segments;
+
+    /// Register values the setup block writes before the first group
+    /// (constants, zeroed induction registers).
+    std::vector<std::pair<unsigned, Word>> initialRegs;
+    unsigned regsUsed = 0;
+
+    /// Register holding the record-group base index; the block control
+    /// logic advances it by `unroll` at every group boundary (the same
+    /// sequencer that owns the CTR register).
+    unsigned recBaseReg = 0;
+
+    StreamLayout layout;
+
+    /**
+     * Resident plans have a single block that stays mapped and is
+     * revitalized across all groups; multi-segment plans remap each
+     * block every group.
+     */
+    bool resident() const { return segments.size() == 1; }
+
+    size_t
+    totalInsts() const
+    {
+        size_t n = 0;
+        for (const auto &s : segments)
+            n += s.block.insts.size();
+        return n;
+    }
+};
+
+struct MimdPlan
+{
+    std::string name;
+    isa::SeqProgram program;
+    /// Registers the setup block preloads on every tile (constants,
+    /// stream bases); pair of (register, value).
+    std::vector<std::pair<unsigned, Word>> initialRegs;
+    /// Register that receives the tile's first record index at setup.
+    unsigned recIdxReg = 0;
+    /// Register holding the record stride (number of tiles).
+    unsigned strideReg = 0;
+    /// Register holding the total record count for the batch.
+    unsigned recCountReg = 0;
+    StreamLayout layout;
+};
+
+} // namespace dlp::sched
+
+#endif // DLP_SCHED_PLAN_HH

@@ -1,0 +1,1271 @@
+#include "sched/simd_lowering.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "sched/placer.hh"
+
+namespace dlp::sched {
+
+using kernels::Kernel;
+using kernels::LoopId;
+using kernels::Node;
+using kernels::NodeKind;
+using kernels::noValue;
+using kernels::topLevel;
+using isa::Op;
+
+namespace {
+
+/** Reference to a virtual-op result (word index matters for Lmw). */
+struct ValRef
+{
+    uint32_t vop = ~0u;
+    uint8_t word = 0;
+
+    bool valid() const { return vop != ~0u; }
+    bool operator<(const ValRef &o) const
+    {
+        return vop != o.vop ? vop < o.vop : word < o.word;
+    }
+};
+
+/** A virtual (pre-placement) instruction. */
+struct VOp
+{
+    Op op = Op::Nop;
+    Word imm = 0;
+    bool immB = false;
+    ValRef src[3];
+    uint8_t nsrc = 0;
+    isa::MemSpace space = isa::MemSpace::None;
+    uint8_t lmwCount = 0;
+    uint8_t lmwStride = 1;
+    uint16_t tableId = 0;
+    bool overhead = false;
+    bool regTile = false;
+    uint32_t seg = 0;
+    uint32_t instance = 0;
+};
+
+struct SegSpec
+{
+    bool isLoop = false;
+    LoopId loop = topLevel;
+    size_t first = 0; ///< node range (straight segments)
+    size_t last = 0;
+};
+
+struct LoopExtent
+{
+    size_t first = ~size_t(0);
+    size_t last = 0;
+};
+
+class Lowering
+{
+  public:
+    Lowering(const Kernel &kern, const core::MachineParams &mach,
+             const StreamLayout &lay)
+        : k(kern), m(mach), layout(lay)
+    {
+        extents.resize(k.loops.size());
+        for (size_t i = 0; i < k.nodes.size(); ++i) {
+            LoopId l = k.nodes[i].loop;
+            while (l != topLevel) {
+                extents[l].first = std::min(extents[l].first, i);
+                extents[l].last = std::max(extents[l].last, i);
+                l = k.loops[l].parent;
+            }
+        }
+    }
+
+    SimdPlan
+    lower()
+    {
+        // Decide between one fully-unrolled resident block and
+        // segmentation at the top-level loops. Full unroll wins when it
+        // still leaves room to replicate the kernel (more records in
+        // flight); otherwise keeping the loop as revitalized iterations
+        // packs far more independent records per block (the paper's
+        // trade-off between unrolling and instruction storage).
+        unsigned slots = m.totalSlots() / std::max(1u, m.pipelineFrames);
+        emit(false, 1);
+        size_t singleSize = maxSegSize();
+        bool canSingle = !regOverflow && singleSize <= slots;
+        size_t singleU = canSingle ? std::max<size_t>(
+                                         std::min<size_t>(
+                                             slots / singleSize, 64),
+                                         1)
+                                   : 0;
+
+        bool hasTopLoop = false;
+        for (const auto &l : k.loops)
+            if (l.parent == topLevel)
+                hasTopLoop = true;
+
+        bool segmented = !canSingle;
+        size_t segU = 0;
+        if (hasTopLoop) {
+            emit(true, 1);
+            if (!regOverflow) {
+                segU = std::max<size_t>(
+                    std::min<size_t>(slots / maxSegSize(), 64), 1);
+                // Keeping the loop resident pays a revitalize per
+                // iteration but multiplies the records in flight; prefer
+                // it when it at least doubles the replication.
+                if (!canSingle || segU >= 2 * singleU)
+                    segmented = true;
+            }
+        }
+
+        unsigned unroll = static_cast<unsigned>(
+            segmented ? std::max<size_t>(segU, 1) : singleU);
+
+        // Decrease U until everything fits (lowering overhead is not
+        // perfectly linear in U because shared ops amortize). Splitting
+        // an oversized straight-line block is a last resort reserved for
+        // kernels that cannot unroll at all (md5); at U > 1 we shrink U
+        // instead.
+        for (;; --unroll) {
+            emit(segmented, unroll);
+            splitOversized();
+            if (!regOverflow && allSegmentsFit() &&
+                (!anySplit || unroll == 1) &&
+                nextReg + countSpillRegs() <= m.numRegs)
+                break;
+            fatal_if(unroll == 1,
+                     "kernel %s does not fit the machine even at U=1",
+                     k.name.c_str());
+        }
+
+        return finalize(unroll);
+    }
+
+  private:
+    // ------------------------------------------------------------------
+    // Phase A: symbolic unroll into VOps
+    // ------------------------------------------------------------------
+
+    void
+    emit(bool segmented, unsigned unrollFactor)
+    {
+        vops.clear();
+        segMeta.clear();
+        specs.clear();
+        env.assign(unrollFactor,
+                   std::vector<ValRef>(k.nodes.size(), ValRef{}));
+        carryVal.assign(k.carries.size(), ValRef{});
+        carryIsReg.assign(k.carries.size(), false);
+        carryRegMap.clear();
+        wideScalar.clear();
+        loopIterImm.clear();
+        idxRegs.clear();
+        segIdxUpdated.clear();
+        finalSegOf.clear();
+        finalMeta.clear();
+        caches = Caches{};
+        nextReg = 0;
+        regOverflow = false;
+        initialRegs.clear();
+        constRegMap.assign(k.constants.size(), ~0u);
+        U = unrollFactor;
+
+        buildSpecs(segmented);
+        for (const auto &spec : specs) {
+            SegMetaInfo meta;
+            meta.isLoop = spec.isLoop;
+            if (spec.isLoop) {
+                const auto &li = k.loops[spec.loop];
+                meta.loop = spec.loop;
+                meta.activations = li.staticTrip ? li.staticTrip
+                                                 : li.maxTrip;
+            }
+            segMeta.push_back(meta);
+        }
+
+        recBaseReg = allocReg(0);
+
+        for (unsigned inst = 0; inst < U; ++inst)
+            walkInstance(inst);
+        // The block sequencer advances recBaseReg at group boundaries
+        // (see BlockEngine::run), so no in-block update is emitted.
+    }
+
+    void
+    buildSpecs(bool segmented)
+    {
+        if (!segmented) {
+            specs.push_back({false, topLevel, 0, k.nodes.size()});
+            return;
+        }
+        size_t i = 0;
+        size_t straightStart = 0;
+        bool inStraight = false;
+        while (i < k.nodes.size()) {
+            LoopId l = k.nodes[i].loop;
+            if (l == topLevel) {
+                if (!inStraight) {
+                    inStraight = true;
+                    straightStart = i;
+                }
+                ++i;
+                continue;
+            }
+            // Find the outermost loop.
+            while (k.loops[l].parent != topLevel)
+                l = k.loops[l].parent;
+            if (inStraight) {
+                specs.push_back({false, topLevel, straightStart, i});
+                inStraight = false;
+            }
+            specs.push_back(
+                {true, l, extents[l].first, extents[l].last + 1});
+            i = extents[l].last + 1;
+        }
+        if (inStraight)
+            specs.push_back({false, topLevel, straightStart, k.nodes.size()});
+        panic_if(specs.empty(), "kernel %s has no nodes", k.name.c_str());
+    }
+
+    void
+    walkInstance(unsigned inst)
+    {
+        curInst = inst;
+        for (size_t s = 0; s < specs.size(); ++s) {
+            curSeg = static_cast<uint32_t>(s);
+            const auto &spec = specs[s];
+            if (!spec.isLoop) {
+                walkRange(spec.first, spec.last, topLevel);
+            } else {
+                walkSegLoop(spec);
+            }
+        }
+    }
+
+    void
+    walkRange(size_t first, size_t last, LoopId level)
+    {
+        size_t i = first;
+        while (i < last) {
+            LoopId nl = k.nodes[i].loop;
+            if (nl == level) {
+                emitNode(i);
+                ++i;
+                continue;
+            }
+            LoopId child = nl;
+            while (k.loops[child].parent != level)
+                child = k.loops[child].parent;
+            unrollLoop(child);
+            i = extents[child].last + 1;
+        }
+    }
+
+    /** Fully unroll a nested (or single-segment top-level) loop. */
+    void
+    unrollLoop(LoopId l)
+    {
+        const auto &li = k.loops[l];
+        bool variable = li.staticTrip == 0;
+        uint32_t trips = variable ? li.maxTrip : li.staticTrip;
+        ValRef tripRef;
+        if (variable)
+            tripRef = val(li.tripValue);
+
+        for (uint32_t c : li.carries)
+            carryVal[c] = val(k.carries[c].init);
+
+        for (uint32_t iter = 0; iter < trips; ++iter) {
+            loopIterImm[l] = iter;
+            walkRange(extents[l].first, extents[l].last + 1, l);
+            ValRef inactive;
+            if (variable) {
+                // inactive <=> trip <= iter.
+                inactive = emitOp(Op::Leu, tripRef, iter, true);
+                vops[inactive.vop].overhead = true;
+            }
+            for (uint32_t c : li.carries) {
+                ValRef next = val(k.carries[c].next);
+                if (variable) {
+                    ValRef guarded = emitSel(inactive, carryVal[c], next);
+                    carryVal[c] = guarded;
+                } else {
+                    carryVal[c] = next;
+                }
+            }
+        }
+        // carryVal now holds exit values for LoopExit nodes.
+    }
+
+    /** Walk a top-level loop that becomes its own revitalized segment. */
+    void
+    walkSegLoop(const SegSpec &spec)
+    {
+        const auto &li = k.loops[spec.loop];
+        bool variable = li.staticTrip == 0;
+
+        // Carried values live in registers; write the initial values
+        // from wherever they were produced.
+        for (uint32_t c : li.carries) {
+            unsigned reg = carryReg(c, curInst);
+            ValRef init = val(k.carries[c].init);
+            uint32_t initSeg = vops[init.vop].seg;
+            emitWriteInSeg(reg, init, initSeg);
+            carryIsReg[c] = true;
+        }
+
+        segLoopId = spec.loop;
+        walkRange(extents[spec.loop].first, extents[spec.loop].last + 1,
+                  spec.loop);
+
+        ValRef idx = idxRead(curSeg);
+        ValRef inactive;
+        if (variable) {
+            ValRef tripRef = val(li.tripValue); // spilled by phase B
+            inactive = emitOp2(Op::Leu, tripRef, idx);
+            vops[inactive.vop].overhead = true;
+        }
+        for (uint32_t c : li.carries) {
+            unsigned reg = carryRegMap.at(carryKey(c, curInst));
+            ValRef next = val(k.carries[c].next);
+            if (variable) {
+                ValRef prev = readOf(curSeg, reg);
+                next = emitSel(inactive, prev, next);
+            }
+            emitWrite(reg, next);
+        }
+
+        // One induction update per segment (shared by all instances).
+        if (!segIdxUpdated.count(curSeg)) {
+            segIdxUpdated.insert(curSeg);
+            uint64_t trips = li.staticTrip ? li.staticTrip : li.maxTrip;
+            ValRef next = emitOp(Op::Add, idx, 1, true);
+            vops[next.vop].overhead = true;
+            ValRef wrap = emitOp(Op::Eq, next, trips, true);
+            vops[wrap.vop].overhead = true;
+            ValRef zero = moviOf(0);
+            ValRef wrapped = emitSel(wrap, zero, next);
+            vops[wrapped.vop].overhead = true;
+            emitWrite(idxRegOf(curSeg), wrapped);
+        }
+        segLoopId = topLevel;
+    }
+
+    // ------------------------------------------------------------------
+    // Node emission
+    // ------------------------------------------------------------------
+
+    ValRef &
+    envAt(uint32_t node)
+    {
+        return env[curInst][node];
+    }
+
+    ValRef
+    val(uint32_t node)
+    {
+        const Node &n = k.nodes[node];
+        // Carries resolve through the carry environment.
+        if (n.kind == NodeKind::Carry) {
+            uint32_t c = static_cast<uint32_t>(n.imm);
+            if (carryIsReg[c])
+                return readOf(curSeg, carryRegMap.at(carryKey(c, curInst)));
+            return carryVal[c];
+        }
+        ValRef r = envAt(node);
+        panic_if(!r.valid(), "kernel %s: node %u used before definition",
+                 k.name.c_str(), node);
+        return r;
+    }
+
+    void
+    emitNode(size_t i)
+    {
+        const Node &n = k.nodes[i];
+        switch (n.kind) {
+          case NodeKind::Compute:
+            if (n.op == Op::Movi) {
+                envAt(i) = moviOf(n.imm);
+                if (n.overhead)
+                    vops[envAt(i).vop].overhead = true;
+                return;
+            }
+            envAt(i) = emitCompute(n);
+            return;
+          case NodeKind::Const:
+            envAt(i) = constRead(static_cast<size_t>(n.imm));
+            return;
+          case NodeKind::RecIdx:
+            envAt(i) = recIdxVal();
+            return;
+          case NodeKind::LoopIdx: {
+            LoopId l = static_cast<LoopId>(n.imm);
+            if (l == segLoopId)
+                envAt(i) = idxRead(curSeg);
+            else
+                envAt(i) = moviOf(loopIterImm.at(l));
+            return;
+          }
+          case NodeKind::InWord: {
+            unsigned word = static_cast<unsigned>(n.imm);
+            if (m.mech.smc) {
+                envAt(i) = ValRef{lmwOf().vop, static_cast<uint8_t>(word)};
+            } else {
+                envAt(i) = scalarInWord(word);
+            }
+            return;
+          }
+          case NodeKind::InWordAt: {
+            ValRef addr = emitOp2(Op::Add, inAddr(), val(n.src[0]));
+            vops[addr.vop].overhead = true;
+            envAt(i) = emitLoad(isa::MemSpace::Smc, addr);
+            return;
+          }
+          case NodeKind::InWide:
+          case NodeKind::ScratchWide: {
+            ValRef base = n.kind == NodeKind::InWide ? inAddr()
+                                                     : scratchAddr();
+            ValRef addr = emitOp2(Op::Add, base, val(n.src[0]));
+            vops[addr.vop].overhead = true;
+            unsigned count = kernels::KernelBuilder::wideCount(n.imm);
+            unsigned stride = kernels::KernelBuilder::wideStride(n.imm);
+            if (!m.mech.smc) {
+                // No LMW hardware on the baseline: the vector fetch
+                // decomposes into scalar cached loads.
+                auto &words = wideScalar[wideKey(i)];
+                words.clear();
+                for (unsigned w = 0; w < count; ++w) {
+                    ValRef a = addImm(addr, Word(w) * stride);
+                    words.push_back(emitLoad(isa::MemSpace::Smc, a));
+                }
+                return;
+            }
+            VOp v;
+            v.op = Op::Lmw;
+            v.space = isa::MemSpace::Smc;
+            v.lmwCount = static_cast<uint8_t>(count);
+            v.lmwStride = static_cast<uint8_t>(stride);
+            v.src[0] = addr;
+            v.nsrc = 1;
+            v.overhead = true;
+            envAt(i) = push(v);
+            return;
+          }
+          case NodeKind::WordOf: {
+            auto it = wideScalar.find(wideKey(n.src[0]));
+            if (it != wideScalar.end()) {
+                envAt(i) = it->second.at(static_cast<size_t>(n.imm));
+            } else {
+                ValRef wide = val(n.src[0]);
+                envAt(i) = ValRef{wide.vop, static_cast<uint8_t>(n.imm)};
+            }
+            return;
+          }
+          case NodeKind::OutWord: {
+            ValRef addr = addImm(outAddr(), n.imm);
+            emitStore(isa::MemSpace::Smc, addr, val(n.src[0]));
+            return;
+          }
+          case NodeKind::OutWordAt: {
+            ValRef addr = emitOp2(Op::Add, outAddr(), val(n.src[0]));
+            vops[addr.vop].overhead = true;
+            emitStore(isa::MemSpace::Smc, addr, val(n.src[1]));
+            return;
+          }
+          case NodeKind::ScratchLoad: {
+            ValRef addr = emitOp2(Op::Add, scratchAddr(), val(n.src[0]));
+            vops[addr.vop].overhead = true;
+            envAt(i) = emitLoad(isa::MemSpace::Smc, addr);
+            return;
+          }
+          case NodeKind::ScratchStore: {
+            ValRef addr = emitOp2(Op::Add, scratchAddr(), val(n.src[0]));
+            vops[addr.vop].overhead = true;
+            emitStore(isa::MemSpace::Smc, addr, val(n.src[1]));
+            return;
+          }
+          case NodeKind::CachedLoad:
+            envAt(i) = emitLoad(isa::MemSpace::Cached, val(n.src[0]));
+            return;
+          case NodeKind::CachedStore:
+            emitStore(isa::MemSpace::Cached, val(n.src[0]), val(n.src[1]));
+            return;
+          case NodeKind::TableLoad: {
+            const auto &table = k.tables[static_cast<size_t>(n.imm)];
+            ValRef idx = emitOp(Op::And, val(n.src[0]),
+                                table.data.size() - 1, true);
+            vops[idx.vop].overhead = true;
+            VOp v;
+            v.op = Op::Tld;
+            v.space = isa::MemSpace::Table;
+            v.tableId = static_cast<uint16_t>(n.imm);
+            v.src[0] = idx;
+            v.nsrc = 1;
+            v.overhead = true;
+            envAt(i) = push(v);
+            return;
+          }
+          case NodeKind::Carry:
+            // Value produced on demand by val(); nothing to emit.
+            return;
+          case NodeKind::LoopExit: {
+            const Node &cn = k.nodes[n.src[0]];
+            uint32_t c = static_cast<uint32_t>(cn.imm);
+            if (carryIsReg[c])
+                envAt(i) =
+                    readOf(curSeg, carryRegMap.at(carryKey(c, curInst)));
+            else
+                envAt(i) = carryVal[c];
+            return;
+          }
+        }
+    }
+
+    ValRef
+    emitCompute(const Node &n)
+    {
+        VOp v;
+        v.op = n.op;
+        v.imm = n.imm;
+        v.immB = n.immB;
+        v.overhead = n.overhead;
+        const auto &info = isa::opInfo(n.op);
+        v.nsrc = info.numSrcs;
+        for (unsigned s = 0; s < info.numSrcs; ++s) {
+            if (s == 1 && n.immB)
+                continue;
+            v.src[s] = val(n.src[s]);
+        }
+        return push(v);
+    }
+
+    // --- Low-level emit helpers ----------------------------------------
+
+    ValRef
+    push(VOp v)
+    {
+        v.seg = curSeg;
+        v.instance = curInst;
+        vops.push_back(v);
+        return ValRef{static_cast<uint32_t>(vops.size() - 1), 0};
+    }
+
+    ValRef
+    emitOp(Op op, ValRef a, Word immVal, bool asImmB)
+    {
+        VOp v;
+        v.op = op;
+        v.src[0] = a;
+        v.nsrc = isa::opInfo(op).numSrcs;
+        v.imm = immVal;
+        v.immB = asImmB;
+        return push(v);
+    }
+
+    ValRef
+    emitOp2(Op op, ValRef a, ValRef b)
+    {
+        VOp v;
+        v.op = op;
+        v.src[0] = a;
+        v.src[1] = b;
+        v.nsrc = 2;
+        return push(v);
+    }
+
+    ValRef
+    emitSel(ValRef cond, ValRef ifTrue, ValRef ifFalse)
+    {
+        VOp v;
+        v.op = Op::Sel;
+        v.src[0] = ifTrue;
+        v.src[1] = ifFalse;
+        v.src[2] = cond;
+        v.nsrc = 3;
+        v.overhead = true;
+        return push(v);
+    }
+
+    /** addr + imm, skipping the add when imm is zero. */
+    ValRef
+    addImm(ValRef a, Word immVal)
+    {
+        if (immVal == 0)
+            return a;
+        ValRef r = emitOp(Op::Add, a, immVal, true);
+        vops[r.vop].overhead = true;
+        return r;
+    }
+
+    ValRef
+    emitLoad(isa::MemSpace space, ValRef addr)
+    {
+        VOp v;
+        v.op = Op::Ld;
+        v.space = space;
+        v.src[0] = addr;
+        v.nsrc = 1;
+        v.overhead = true;
+        return push(v);
+    }
+
+    void
+    emitStore(isa::MemSpace space, ValRef addr, ValRef data)
+    {
+        VOp v;
+        v.op = Op::St;
+        v.space = space;
+        v.src[0] = addr;
+        v.src[1] = data;
+        v.nsrc = 2;
+        v.overhead = true;
+        push(v);
+    }
+
+    ValRef
+    emitRead(unsigned reg)
+    {
+        VOp v;
+        v.op = Op::Read;
+        v.imm = reg;
+        v.regTile = true;
+        v.overhead = true;
+        return push(v);
+    }
+
+    void
+    emitWrite(unsigned reg, ValRef value)
+    {
+        VOp v;
+        v.op = Op::Write;
+        v.imm = reg;
+        v.src[0] = value;
+        v.nsrc = 1;
+        v.regTile = true;
+        v.overhead = true;
+        push(v);
+    }
+
+    void
+    emitWriteInSeg(unsigned reg, ValRef value, uint32_t seg)
+    {
+        uint32_t saved = curSeg;
+        curSeg = seg;
+        emitWrite(reg, value);
+        curSeg = saved;
+    }
+
+    // --- Cached shared values -------------------------------------------
+
+    ValRef
+    moviOf(Word immVal)
+    {
+        auto key = std::make_pair(curSeg, immVal);
+        auto it = caches.movi.find(key);
+        if (it != caches.movi.end())
+            return it->second;
+        VOp v;
+        v.op = Op::Movi;
+        v.imm = immVal;
+        v.overhead = true;
+        ValRef r = push(v);
+        caches.movi[key] = r;
+        return r;
+    }
+
+    ValRef
+    constRead(size_t constIdx)
+    {
+        auto key = std::make_pair(curSeg, static_cast<Word>(constIdx));
+        auto it = caches.constRd.find(key);
+        if (it != caches.constRd.end())
+            return it->second;
+        if (constRegMap[constIdx] == ~0u)
+            constRegMap[constIdx] = allocReg(k.constants[constIdx].value);
+        ValRef r = emitRead(constRegMap[constIdx]);
+        caches.constRd[key] = r;
+        return r;
+    }
+
+    ValRef
+    recBaseRead(uint32_t seg)
+    {
+        auto it = caches.recBase.find(seg);
+        if (it != caches.recBase.end())
+            return it->second;
+        ValRef r = emitRead(recBaseReg);
+        caches.recBase[seg] = r;
+        return r;
+    }
+
+    ValRef
+    recIdxVal()
+    {
+        auto key = std::make_pair(curSeg, curInst);
+        auto it = caches.recIdx.find(key);
+        if (it != caches.recIdx.end())
+            return it->second;
+        ValRef base = recBaseRead(curSeg);
+        ValRef r = base;
+        if (curInst != 0) {
+            r = emitOp(Op::Add, base, curInst, true);
+            vops[r.vop].overhead = true;
+        }
+        caches.recIdx[key] = r;
+        return r;
+    }
+
+    ValRef
+    regionAddr(std::map<std::pair<uint32_t, unsigned>, ValRef> &cache,
+               unsigned recWords, Addr base)
+    {
+        auto key = std::make_pair(curSeg, curInst);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+        ValRef rec = recIdxVal();
+        ValRef scaled = rec;
+        if (recWords > 1) {
+            if (isPowerOf2(recWords))
+                scaled = emitOp(Op::Shl, rec, floorLog2(recWords), true);
+            else
+                scaled = emitOp(Op::Mul, rec, recWords, true);
+            vops[scaled.vop].overhead = true;
+        }
+        ValRef addr = addImm(scaled, base);
+        cache[key] = addr;
+        return addr;
+    }
+
+    ValRef
+    inAddr()
+    {
+        return regionAddr(caches.inAddr, k.inWords, layout.inBase);
+    }
+
+    ValRef
+    outAddr()
+    {
+        return regionAddr(caches.outAddr, k.outWords, layout.outBase);
+    }
+
+    ValRef
+    scratchAddr()
+    {
+        panic_if(k.scratchWords == 0, "kernel %s has no scratch",
+                 k.name.c_str());
+        return regionAddr(caches.scratch, k.scratchWords,
+                          layout.scratchBase);
+    }
+
+    ValRef
+    lmwOf()
+    {
+        auto key = std::make_pair(curSeg, curInst);
+        auto it = caches.lmw.find(key);
+        if (it != caches.lmw.end())
+            return it->second;
+        VOp v;
+        v.op = Op::Lmw;
+        v.space = isa::MemSpace::Smc;
+        v.lmwCount = static_cast<uint8_t>(k.inWords);
+        v.src[0] = inAddr();
+        v.nsrc = 1;
+        v.overhead = true;
+        ValRef r = push(v);
+        caches.lmw[key] = r;
+        return r;
+    }
+
+    ValRef
+    scalarInWord(unsigned word)
+    {
+        auto key = std::make_tuple(curSeg, curInst, word);
+        auto it = caches.inWordLd.find(key);
+        if (it != caches.inWordLd.end())
+            return it->second;
+        ValRef addr = addImm(inAddr(), word);
+        ValRef r = emitLoad(isa::MemSpace::Smc, addr);
+        caches.inWordLd[key] = r;
+        return r;
+    }
+
+    ValRef
+    readOf(uint32_t seg, unsigned reg)
+    {
+        auto key = std::make_pair(seg, reg);
+        auto it = caches.regRd.find(key);
+        if (it != caches.regRd.end())
+            return it->second;
+        uint32_t saved = curSeg;
+        curSeg = seg;
+        ValRef r = emitRead(reg);
+        curSeg = saved;
+        caches.regRd[key] = r;
+        return r;
+    }
+
+    ValRef
+    idxRead(uint32_t seg)
+    {
+        return readOf(seg, idxRegOf(seg));
+    }
+
+    unsigned
+    idxRegOf(uint32_t seg)
+    {
+        auto it = idxRegs.find(seg);
+        if (it != idxRegs.end())
+            return it->second;
+        unsigned reg = allocReg(0);
+        idxRegs[seg] = reg;
+        return reg;
+    }
+
+    static uint64_t
+    carryKey(uint32_t c, unsigned inst)
+    {
+        return (uint64_t(c) << 32) | inst;
+    }
+
+    unsigned
+    carryReg(uint32_t c, unsigned inst)
+    {
+        uint64_t key = carryKey(c, inst);
+        auto it = carryRegMap.find(key);
+        if (it != carryRegMap.end())
+            return it->second;
+        unsigned reg = allocReg(0);
+        carryRegMap[key] = reg;
+        return reg;
+    }
+
+    unsigned
+    allocReg(Word initial)
+    {
+        if (nextReg >= m.numRegs) {
+            regOverflow = true;
+            return m.numRegs - 1;
+        }
+        initialRegs.emplace_back(nextReg, initial);
+        return nextReg++;
+    }
+
+    // ------------------------------------------------------------------
+    // Sizing / splitting
+    // ------------------------------------------------------------------
+
+    size_t
+    segSize(size_t seg) const
+    {
+        size_t n = 0;
+        for (const auto &v : vops)
+            if (v.seg == seg && !v.regTile)
+                ++n;
+        return n;
+    }
+
+    size_t
+    maxSegSize() const
+    {
+        size_t worst = 0;
+        for (size_t s = 0; s < segMeta.size(); ++s)
+            worst = std::max(worst, segSize(s));
+        return worst;
+    }
+
+    /**
+     * Split oversized straight segments into chunks of at most the slot
+     * budget; phase B's spill pass repairs the values cut in half.
+     */
+    void
+    splitOversized()
+    {
+        unsigned slots = m.totalSlots() / std::max(1u, m.pipelineFrames);
+        anySplit = false;
+        finalSegOf.assign(vops.size(), 0);
+        std::vector<uint32_t> segBase(segMeta.size());
+        finalMeta.clear();
+
+        // Determine chunk counts per original segment.
+        std::vector<size_t> sizes(segMeta.size(), 0);
+        for (const auto &v : vops)
+            if (!v.regTile)
+                sizes[v.seg]++;
+        for (size_t s = 0; s < segMeta.size(); ++s) {
+            segBase[s] = static_cast<uint32_t>(finalMeta.size());
+            size_t chunks = 1;
+            if (!segMeta[s].isLoop && sizes[s] > slots) {
+                chunks = divCeil(sizes[s], slots);
+                anySplit = true;
+            }
+            for (size_t c = 0; c < chunks; ++c)
+                finalMeta.push_back(segMeta[s]);
+        }
+
+        // Assign chunk ids in emission order.
+        std::vector<size_t> counted(segMeta.size(), 0);
+        for (size_t i = 0; i < vops.size(); ++i) {
+            size_t s = vops[i].seg;
+            size_t chunks =
+                (!segMeta[s].isLoop && sizes[s] > slots)
+                    ? divCeil(sizes[s], slots)
+                    : 1;
+            size_t per = divCeil(sizes[s], chunks);
+            size_t chunk =
+                per == 0 ? 0 : std::min(chunks - 1, counted[s] / per);
+            if (!vops[i].regTile)
+                counted[s]++;
+            finalSegOf[i] = segBase[s] + static_cast<uint32_t>(chunk);
+        }
+    }
+
+    /**
+     * The TRIPS target encoding fans a result out to only a few
+     * consumers; wider fanout goes through software move trees. Insert
+     * relay Movs for every value with more than maxFanout consumers so
+     * high-fanout operands (constants feeding every unrolled instance)
+     * pay distributed tree delivery instead of serializing one tile's
+     * injection port. Must run after the spill pass (all edges are then
+     * intra-segment).
+     */
+    void
+    addFanoutRelays()
+    {
+        constexpr size_t maxFanout = 4;
+
+        std::map<ValRef, std::vector<std::pair<uint32_t, unsigned>>> cons;
+        for (size_t i = 0; i < vops.size(); ++i) {
+            for (unsigned s = 0; s < vops[i].nsrc; ++s) {
+                if (s == 1 && vops[i].immB)
+                    continue;
+                ValRef src = vops[i].src[s];
+                if (src.valid())
+                    cons[src].push_back({static_cast<uint32_t>(i), s});
+            }
+        }
+
+        for (auto &kv : cons) {
+            const ValRef &val = kv.first;
+            auto current = kv.second;
+            while (current.size() > maxFanout) {
+                std::vector<std::pair<uint32_t, unsigned>> next;
+                for (size_t base = 0; base < current.size();
+                     base += maxFanout) {
+                    size_t count =
+                        std::min(maxFanout, current.size() - base);
+                    VOp mv;
+                    mv.op = Op::Mov;
+                    mv.nsrc = 1;
+                    mv.src[0] = val;
+                    mv.overhead = true;
+                    mv.seg = vops[val.vop].seg;
+                    mv.instance = vops[val.vop].instance;
+                    vops.push_back(mv);
+                    finalSegOf.push_back(finalSegOf[val.vop]);
+                    uint32_t mvIdx =
+                        static_cast<uint32_t>(vops.size() - 1);
+                    for (size_t c = 0; c < count; ++c) {
+                        auto [ci, cs] = current[base + c];
+                        vops[ci].src[cs] = ValRef{mvIdx, 0};
+                    }
+                    next.push_back({mvIdx, 0});
+                }
+                current = std::move(next);
+            }
+        }
+    }
+
+    /** Registers the cross-segment spill pass will need. */
+    size_t
+    countSpillRegs() const
+    {
+        std::set<std::pair<uint32_t, uint8_t>> spilled;
+        for (const auto &v : vops) {
+            for (unsigned s = 0; s < v.nsrc; ++s) {
+                if (s == 1 && v.immB)
+                    continue;
+                ValRef src = v.src[s];
+                if (!src.valid())
+                    continue;
+                uint32_t vIdx = static_cast<uint32_t>(&v - vops.data());
+                if (finalSegOf[src.vop] != finalSegOf[vIdx])
+                    spilled.emplace(src.vop, src.word);
+            }
+        }
+        return spilled.size();
+    }
+
+    bool
+    allSegmentsFit() const
+    {
+        unsigned slots = m.totalSlots() / std::max(1u, m.pipelineFrames);
+        std::vector<size_t> sizes(finalMeta.size(), 0);
+        for (size_t i = 0; i < vops.size(); ++i)
+            if (!vops[i].regTile)
+                sizes[finalSegOf[i]]++;
+        for (size_t s : sizes)
+            if (s > slots)
+                return false;
+        return true;
+    }
+
+    // ------------------------------------------------------------------
+    // Phase B: spills, onceOnly marking, block construction
+    // ------------------------------------------------------------------
+
+    SimdPlan
+    finalize(unsigned unroll)
+    {
+        if (finalSegOf.empty()) {
+            finalSegOf.resize(vops.size());
+            for (size_t i = 0; i < vops.size(); ++i)
+                finalSegOf[i] = vops[i].seg;
+            finalMeta = segMeta;
+        }
+
+        // Spill every cross-segment edge through a register. Wide-load
+        // words are spilled per word (the word index rides on the
+        // Write's source reference).
+        std::map<ValRef, unsigned> spillReg; // producer value -> reg
+        std::map<std::pair<uint32_t, unsigned>, ValRef> spillRead;
+        size_t originalCount = vops.size();
+        for (size_t i = 0; i < originalCount; ++i) {
+            for (unsigned s = 0; s < vops[i].nsrc; ++s) {
+                if (s == 1 && vops[i].immB)
+                    continue;
+                ValRef src = vops[i].src[s];
+                if (!src.valid())
+                    continue;
+                uint32_t pseg = finalSegOf[src.vop];
+                uint32_t cseg = finalSegOf[i];
+                if (pseg == cseg)
+                    continue;
+                unsigned reg;
+                auto it = spillReg.find(src);
+                if (it != spillReg.end()) {
+                    reg = it->second;
+                } else {
+                    reg = allocReg(0);
+                    spillReg[src] = reg;
+                    VOp w;
+                    w.op = Op::Write;
+                    w.imm = reg;
+                    w.src[0] = src;
+                    w.nsrc = 1;
+                    w.regTile = true;
+                    w.overhead = true;
+                    w.seg = vops[src.vop].seg;
+                    w.instance = vops[src.vop].instance;
+                    vops.push_back(w);
+                    finalSegOf.push_back(pseg);
+                }
+                auto rkey = std::make_pair(cseg, reg);
+                ValRef rd;
+                auto rit = spillRead.find(rkey);
+                if (rit != spillRead.end()) {
+                    rd = rit->second;
+                } else {
+                    VOp r;
+                    r.op = Op::Read;
+                    r.imm = reg;
+                    r.regTile = true;
+                    r.overhead = true;
+                    r.seg = vops[i].seg;
+                    r.instance = vops[i].instance;
+                    vops.push_back(r);
+                    finalSegOf.push_back(cseg);
+                    rd = ValRef{static_cast<uint32_t>(vops.size() - 1), 0};
+                    spillRead[rkey] = rd;
+                }
+                vops[i].src[s] = rd;
+            }
+        }
+        fatal_if(regOverflow,
+                 "kernel %s: register file too small for lowering",
+                 k.name.c_str());
+
+        addFanoutRelays();
+
+        // onceOnly: constant registers are those never written. The
+        // record base is sequencer-maintained, so it counts as written.
+        // Relay moves of a once-only value are themselves once-only.
+        std::set<Word> writtenRegs;
+        writtenRegs.insert(recBaseReg);
+        for (const auto &v : vops)
+            if (v.op == Op::Write)
+                writtenRegs.insert(v.imm);
+        std::vector<bool> onceOnly(vops.size(), false);
+        if (m.mech.operandRevitalize) {
+            for (size_t i = 0; i < vops.size(); ++i) {
+                if (vops[i].op == Op::Movi ||
+                    (vops[i].op == Op::Read && !writtenRegs.count(vops[i].imm)))
+                    onceOnly[i] = true;
+                else if (vops[i].op == Op::Mov && vops[i].src[0].valid() &&
+                         onceOnly[vops[i].src[0].vop])
+                    onceOnly[i] = true;
+            }
+        }
+
+        // Build per-segment MappedBlocks.
+        SimdPlan plan;
+        plan.name = k.name;
+        plan.unroll = unroll;
+        plan.layout = layout;
+        plan.initialRegs = initialRegs;
+        plan.regsUsed = nextReg;
+        plan.recBaseReg = recBaseReg;
+
+        std::vector<uint32_t> localIdx(vops.size(), ~0u);
+        std::vector<std::vector<unsigned>> hints(finalMeta.size());
+        for (size_t s = 0; s < finalMeta.size(); ++s) {
+            Segment seg;
+            seg.isLoop = finalMeta[s].isLoop;
+            seg.activations = finalMeta[s].activations;
+            auto &block = seg.block;
+            block.name = k.name + "#" + std::to_string(s);
+            block.rows = static_cast<uint8_t>(m.rows);
+            block.cols = static_cast<uint8_t>(m.cols);
+            block.slotsPerTile = static_cast<uint8_t>(m.frameSlots);
+
+            for (size_t i = 0; i < vops.size(); ++i) {
+                if (finalSegOf[i] != s)
+                    continue;
+                const VOp &v = vops[i];
+                isa::MappedInst mi;
+                mi.op = v.op;
+                mi.imm = v.imm;
+                mi.immB = v.immB;
+                mi.numSrcs = v.nsrc;
+                if (v.immB && mi.numSrcs >= 2)
+                    mi.numSrcs = 1; // imm operand needs no delivery
+                mi.space = v.space;
+                mi.lmwCount = v.lmwCount;
+                mi.lmwStride = v.lmwStride;
+                mi.tableId = v.tableId;
+                mi.overhead = v.overhead;
+                mi.regTile = v.regTile;
+                mi.onceOnly = onceOnly[i];
+                localIdx[i] = static_cast<uint32_t>(block.insts.size());
+                hints[s].push_back(v.instance);
+                block.insts.push_back(std::move(mi));
+            }
+            plan.segments.push_back(std::move(seg));
+        }
+
+        // Wire targets (producer -> consumer operand slots).
+        for (size_t i = 0; i < vops.size(); ++i) {
+            const VOp &v = vops[i];
+            uint32_t seg = finalSegOf[i];
+            auto &block = plan.segments[seg].block;
+            unsigned effSlot = 0;
+            for (unsigned s = 0; s < v.nsrc; ++s) {
+                if (s == 1 && v.immB)
+                    continue;
+                ValRef src = v.src[s];
+                if (!src.valid()) {
+                    ++effSlot;
+                    continue;
+                }
+                panic_if(finalSegOf[src.vop] != seg, "unspilled crossing");
+                auto &producer = block.insts[localIdx[src.vop]];
+                // Operand slot indices are compacted when immB absorbs
+                // slot 1: Sel(c ? a : b) keeps its three slots intact
+                // because Sel never uses immB.
+                uint8_t destSlot = static_cast<uint8_t>(effSlot);
+                producer.targets.push_back(
+                    isa::Target{localIdx[i], destSlot, src.word});
+                // Persistent operand if producer fires only once.
+                if (onceOnly[src.vop])
+                    block.insts[localIdx[i]].persistent[destSlot] = true;
+                ++effSlot;
+            }
+        }
+
+        // Place every block onto the grid.
+        for (size_t s = 0; s < plan.segments.size(); ++s) {
+            placeBlock(plan.segments[s].block, m, hints[s]);
+            plan.segments[s].block.validate();
+        }
+        return plan;
+    }
+
+    // ------------------------------------------------------------------
+
+    const Kernel &k;
+    const core::MachineParams &m;
+    StreamLayout layout;
+
+    std::vector<LoopExtent> extents;
+    std::vector<SegSpec> specs;
+
+    struct SegMetaInfo
+    {
+        bool isLoop = false;
+        LoopId loop = topLevel;
+        uint64_t activations = 1;
+    };
+    std::vector<SegMetaInfo> segMeta;
+    std::vector<SegMetaInfo> finalMeta;
+    std::vector<uint32_t> finalSegOf;
+    bool anySplit = false;
+
+    std::vector<VOp> vops;
+    std::vector<std::vector<ValRef>> env; // [instance][node]
+    std::vector<ValRef> carryVal;
+    std::vector<bool> carryIsReg;
+    std::map<uint64_t, unsigned> carryRegMap;
+    std::map<uint64_t, std::vector<ValRef>> wideScalar;
+    std::map<LoopId, uint32_t> loopIterImm;
+
+    uint64_t
+    wideKey(uint32_t node) const
+    {
+        return (uint64_t(node) << 8) | curInst;
+    }
+    std::map<uint32_t, unsigned> idxRegs;
+    std::set<uint32_t> segIdxUpdated;
+
+    struct Caches
+    {
+        std::map<std::pair<uint32_t, Word>, ValRef> movi;
+        std::map<std::pair<uint32_t, Word>, ValRef> constRd;
+        std::map<uint32_t, ValRef> recBase;
+        std::map<std::pair<uint32_t, unsigned>, ValRef> recIdx;
+        std::map<std::pair<uint32_t, unsigned>, ValRef> inAddr;
+        std::map<std::pair<uint32_t, unsigned>, ValRef> outAddr;
+        std::map<std::pair<uint32_t, unsigned>, ValRef> scratch;
+        std::map<std::pair<uint32_t, unsigned>, ValRef> lmw;
+        std::map<std::tuple<uint32_t, unsigned, unsigned>, ValRef> inWordLd;
+        std::map<std::pair<uint32_t, unsigned>, ValRef> regRd;
+    };
+    Caches caches;
+
+    std::vector<unsigned> constRegMap;
+    unsigned recBaseReg = 0;
+    unsigned nextReg = 0;
+    bool regOverflow = false;
+    std::vector<std::pair<unsigned, Word>> initialRegs;
+
+    unsigned U = 1;
+    uint32_t curSeg = 0;
+    unsigned curInst = 0;
+    LoopId segLoopId = topLevel;
+};
+
+} // namespace
+
+SimdPlan
+lowerSimd(const kernels::Kernel &k, const core::MachineParams &m,
+          const StreamLayout &layout)
+{
+    Lowering lowering(k, m, layout);
+    return lowering.lower();
+}
+
+} // namespace dlp::sched

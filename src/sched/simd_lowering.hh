@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Lowering of kernels onto the block-dataflow (SIMD-style) machine.
+ *
+ * Mirrors what the paper's authors did by hand in the TRIPS ISA
+ * (Section 5.1: "where possible we statically unrolled the kernels to
+ * fill up the instruction storage across the ALUs"):
+ *
+ *  - If the fully unrolled kernel fits the reservation-station budget it
+ *    becomes one resident block replicated U times (U kernel instances
+ *    per activation); instruction revitalization then re-fires it
+ *    ceil(N/U) times.
+ *  - Otherwise the kernel is segmented at its top-level loops: each loop
+ *    body becomes a revitalized block (loop induction and carried values
+ *    flow through the global register file), straight-line stretches
+ *    become their own blocks, and oversized straight-line code (md5) is
+ *    topologically split with register spills at the cuts.
+ *  - Data-dependent loops are executed worst-case: maxTrip iterations
+ *    with select-guarded carries -- the predication cost the paper
+ *    ascribes to SIMD execution of data-dependent control.
+ *
+ * The same lowering serves the baseline ILP machine: without the SMC
+ * mechanism, record accesses become individual cached loads; without
+ * revitalization the runner pays a full block re-map per activation;
+ * without operand revitalization constant register reads re-execute
+ * every activation and contend for register-file bandwidth.
+ */
+
+#ifndef DLP_SCHED_SIMD_LOWERING_HH
+#define DLP_SCHED_SIMD_LOWERING_HH
+
+#include "core/machine.hh"
+#include "kernels/ir.hh"
+#include "sched/plan.hh"
+
+namespace dlp::sched {
+
+/**
+ * Lower a kernel for the given machine.
+ *
+ * @param k      the kernel
+ * @param m      machine parameters (mechanism flags steer codegen)
+ * @param layout SMC word addresses of the record streams
+ */
+SimdPlan lowerSimd(const kernels::Kernel &k, const core::MachineParams &m,
+                   const StreamLayout &layout);
+
+} // namespace dlp::sched
+
+#endif // DLP_SCHED_SIMD_LOWERING_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * All timing in the simulator is driven by one EventQueue. Components
+ * schedule callbacks at absolute ticks; the queue executes them in tick
+ * order (FIFO within a tick). One tick is half a clock cycle (see
+ * common/types.hh).
+ */
+
+#ifndef DLP_SIM_EVENTQ_HH
+#define DLP_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace dlp::sim {
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/** A single time-ordered event queue. */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time in ticks. */
+    Tick curTick() const { return now; }
+
+    /** Current simulated time in whole cycles (rounded down). */
+    Cycles curCycle() const { return now / ticksPerCycle; }
+
+    /** Schedule fn at absolute tick when (must not be in the past). */
+    void
+    schedule(Tick when, EventFn fn)
+    {
+        panic_if(when < now, "scheduling event in the past (%llu < %llu)",
+                 (unsigned long long)when, (unsigned long long)now);
+        events.push(Event{when, nextSeq++, std::move(fn)});
+    }
+
+    /** Schedule fn delay ticks from now. */
+    void
+    scheduleIn(Tick delay, EventFn fn)
+    {
+        schedule(now + delay, std::move(fn));
+    }
+
+    /** Schedule fn a number of full cycles from now. */
+    void
+    scheduleInCycles(Cycles delay, EventFn fn)
+    {
+        schedule(now + cyclesToTicks(delay), std::move(fn));
+    }
+
+    bool empty() const { return events.empty(); }
+    size_t pending() const { return events.size(); }
+
+    /**
+     * Run events until the queue drains or limit ticks elapse.
+     *
+     * @param limit Absolute tick bound; exceeding it is a fatal error
+     *              because it almost always means the simulated machine
+     *              deadlocked (an operand never arrived, a block never
+     *              committed).
+     * @return The tick of the last executed event.
+     */
+    Tick
+    run(Tick limit = maxTick)
+    {
+        while (!events.empty()) {
+            // Pop-before-execute so an event can schedule at its own tick.
+            Event ev = std::move(const_cast<Event &>(events.top()));
+            events.pop();
+            fatal_if(ev.when > limit,
+                     "simulation exceeded tick limit %llu; "
+                     "the simulated machine probably deadlocked",
+                     (unsigned long long)limit);
+            now = ev.when;
+            ev.fn();
+        }
+        return now;
+    }
+
+    /** Discard all pending events and reset time to zero. */
+    void
+    reset()
+    {
+        while (!events.empty())
+            events.pop();
+        now = 0;
+        nextSeq = 0;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        uint64_t seq;
+        EventFn fn;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+    Tick now = 0;
+    uint64_t nextSeq = 0;
+};
+
+} // namespace dlp::sim
+
+#endif // DLP_SIM_EVENTQ_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Occupancy bookkeeping for contended hardware resources.
+ *
+ * Router ports, cache-bank ports, register-file ports, ALU issue slots
+ * and DMA engines are all "one grant every N ticks" resources. Each
+ * resource keeps a calendar of busy intervals: a request is granted the
+ * first idle window of the required length at or after its ready time.
+ * Unlike a simple next-free-tick watermark, the calendar serves requests
+ * that arrive out of simulation order correctly -- a late-simulated but
+ * early-in-machine-time request can claim an idle window before a
+ * previously granted later one, which is what a real FCFS queue would
+ * have done.
+ *
+ * Adjacent intervals are merged, so densely used resources keep O(1)
+ * state and acquisition stays O(log n) amortized.
+ */
+
+#ifndef DLP_SIM_RESOURCE_HH
+#define DLP_SIM_RESOURCE_HH
+
+#include <algorithm>
+#include <map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dlp::sim {
+
+/** A single-server FCFS resource with a fixed service interval. */
+class Resource
+{
+  public:
+    /**
+     * @param interval Ticks between successive grants (service time).
+     */
+    explicit Resource(Tick interval = 1) : serviceInterval(interval) {}
+
+    /**
+     * Acquire the resource no earlier than earliest.
+     * @return The tick at which the grant happens.
+     */
+    Tick
+    acquire(Tick earliest)
+    {
+        return acquireMany(earliest, 1);
+    }
+
+    /**
+     * Acquire the resource for a burst of units back-to-back service
+     * intervals (e.g. a wide load occupying a bank port for several
+     * ticks). @return the tick of the first grant.
+     */
+    Tick
+    acquireMany(Tick earliest, uint64_t units)
+    {
+        if (units == 0)
+            return earliest;
+        Tick len = serviceInterval * units;
+        Tick grant = findWindow(earliest, len);
+        insertBusy(grant, grant + len);
+        totalGrants += units;
+        totalWait += grant - earliest;
+        lastEnd = std::max(lastEnd, grant + len);
+        return grant;
+    }
+
+    /** Would a request at tick earliest be granted without waiting? */
+    bool
+    idleAt(Tick earliest) const
+    {
+        return findWindowConst(earliest, serviceInterval) == earliest;
+    }
+
+    /** End of the last scheduled busy interval. */
+    Tick nextFree() const { return lastEnd; }
+
+    Tick interval() const { return serviceInterval; }
+    void setInterval(Tick t) { serviceInterval = t; }
+
+    uint64_t grants() const { return totalGrants; }
+    Tick waitedTicks() const { return totalWait; }
+
+    void
+    reset()
+    {
+        busy.clear();
+        lastEnd = 0;
+        totalGrants = 0;
+        totalWait = 0;
+    }
+
+  private:
+    /** First start >= earliest of an idle window of length len. */
+    Tick
+    findWindowConst(Tick earliest, Tick len) const
+    {
+        Tick t = earliest;
+        auto it = busy.upper_bound(t);
+        if (it != busy.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second > t)
+                t = prev->second;
+        }
+        while (it != busy.end() && it->first < t + len) {
+            t = std::max(t, it->second);
+            ++it;
+        }
+        return t;
+    }
+
+    Tick
+    findWindow(Tick earliest, Tick len)
+    {
+        return findWindowConst(earliest, len);
+    }
+
+    /** Insert [start, end), merging with adjacent intervals. */
+    void
+    insertBusy(Tick start, Tick end)
+    {
+        // Merge with a predecessor that touches us.
+        auto it = busy.lower_bound(start);
+        if (it != busy.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second >= start) {
+                start = prev->first;
+                end = std::max(end, prev->second);
+                it = busy.erase(prev);
+            }
+        }
+        // Merge any successors we touch.
+        while (it != busy.end() && it->first <= end) {
+            end = std::max(end, it->second);
+            it = busy.erase(it);
+        }
+        busy.emplace(start, end);
+    }
+
+    Tick serviceInterval;
+    std::map<Tick, Tick> busy; ///< start -> end, disjoint, merged
+    Tick lastEnd = 0;
+    uint64_t totalGrants = 0;
+    Tick totalWait = 0;
+};
+
+} // namespace dlp::sim
+
+#endif // DLP_SIM_RESOURCE_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the analysis layer: Table 2 attribute extraction and the
+ * reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/attributes.hh"
+#include "analysis/report.hh"
+#include "common/logging.hh"
+#include "kernels/catalog.hh"
+
+using namespace dlp;
+using namespace dlp::analysis;
+
+TEST(Attributes, ConvertMatchesHandCount)
+{
+    auto a = extractAttributes(kernels::makeConvert());
+    // 9 multiplies + 6 adds = 15 compute + nothing else... our builder
+    // also counts the 3 loads and 3 stores as instructions (21 total).
+    EXPECT_EQ(a.numInsts, 21u);
+    EXPECT_EQ(a.recordRead, 3u);
+    EXPECT_EQ(a.recordWrite, 3u);
+    EXPECT_EQ(a.numConstants, 9u);
+    EXPECT_EQ(a.indexedConstants, 0u);
+    EXPECT_EQ(a.loopBounds, "-");
+    EXPECT_GT(a.ilp, 3.0);
+}
+
+TEST(Attributes, FftButterflyIsTiny)
+{
+    auto a = extractAttributes(kernels::makeFft());
+    // 10 flops + 6 loads + 4 stores.
+    EXPECT_EQ(a.numInsts, 20u);
+    EXPECT_EQ(a.numConstants, 0u);
+}
+
+TEST(Attributes, CryptoTablesCounted)
+{
+    auto bf = extractAttributes(kernels::makeBlowfish());
+    EXPECT_EQ(bf.indexedConstants, 16u + 4 * 256);
+    EXPECT_EQ(bf.numConstants, 2u);
+    EXPECT_EQ(bf.loopBounds, "16");
+
+    auto aes = extractAttributes(kernels::makeRijndael());
+    EXPECT_EQ(aes.indexedConstants, 4u * 256 + 256 + 64);
+    EXPECT_EQ(aes.loopBounds, "9");
+}
+
+TEST(Attributes, VariableLoopsReported)
+{
+    auto sk = extractAttributes(kernels::makeVertexSkinning());
+    EXPECT_EQ(sk.loopBounds, "variable");
+    auto an = extractAttributes(kernels::makeAnisotropic());
+    EXPECT_EQ(an.loopBounds, "variable");
+    EXPECT_GT(an.irregularAccesses, 0u);
+    EXPECT_LE(an.irregularAccesses, 50u); // Table 2: <= 50
+}
+
+TEST(Attributes, IrregularOnlyOnFragmentKernels)
+{
+    EXPECT_EQ(extractAttributes(kernels::makeFragmentSimple())
+                  .irregularAccesses,
+              4u);
+    EXPECT_EQ(extractAttributes(kernels::makeFragmentReflection())
+                  .irregularAccesses,
+              4u);
+    EXPECT_EQ(extractAttributes(kernels::makeMd5()).irregularAccesses, 0u);
+}
+
+TEST(Attributes, AllFourteenRows)
+{
+    auto rows = extractAllAttributes();
+    EXPECT_EQ(rows.size(), 14u);
+    for (const auto &r : rows) {
+        EXPECT_GT(r.numInsts, 0u);
+        EXPECT_GE(r.ilp, 1.0);
+    }
+}
+
+TEST(Report, HarmonicMean)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({2.0, 2.0}), 2.0);
+    EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+    EXPECT_THROW(harmonicMean({}), PanicError);
+    EXPECT_THROW(harmonicMean({1.0, 0.0}), PanicError);
+}
+
+TEST(Report, TextTableAligns)
+{
+    TextTable t;
+    t.header({"a", "bbbb"});
+    t.row({"xxxxx", "y"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("xxxxx"), std::string::npos);
+    EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Report, FmtPrecision)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+}

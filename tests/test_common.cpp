@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the common utilities: bit manipulation, the
+ * deterministic RNG, the statistics package and the logging helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+using namespace dlp;
+
+TEST(BitUtils, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(6));
+}
+
+TEST(BitUtils, Logs)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(BitUtils, Rounding)
+{
+    EXPECT_EQ(roundUp(13, 8), 16u);
+    EXPECT_EQ(roundUp(16, 8), 16u);
+    EXPECT_EQ(roundDown(13, 8), 8u);
+    EXPECT_EQ(divCeil(10, 3), 4u);
+    EXPECT_EQ(divCeil(9, 3), 3u);
+}
+
+TEST(BitUtils, BitsAndRotates)
+{
+    EXPECT_EQ(bits(0xabcd, 15, 8), 0xabu);
+    EXPECT_EQ(rotl32(0x80000000u, 1), 1u);
+    EXPECT_EQ(rotr32(1u, 1), 0x80000000u);
+    EXPECT_EQ(rotl32(0x12345678u, 0), 0x12345678u);
+    EXPECT_EQ(rotl32(rotr32(0xdeadbeefu, 13), 13), 0xdeadbeefu);
+}
+
+TEST(Ticks, CycleConversions)
+{
+    EXPECT_EQ(cyclesToTicks(3), 6u);
+    EXPECT_EQ(ticksToCycles(6), 3u);
+    EXPECT_EQ(ticksToCycles(7), 4u); // partial cycles round up
+}
+
+TEST(Random, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Random, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.uniform(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+        EXPECT_LT(r.below(17), 17u);
+        int64_t x = r.range(-5, 5);
+        EXPECT_GE(x, -5);
+        EXPECT_LE(x, 5);
+    }
+}
+
+TEST(Random, RoughlyUniform)
+{
+    Rng r(11);
+    int buckets[8] = {};
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        buckets[r.below(8)]++;
+    for (int b = 0; b < 8; ++b) {
+        EXPECT_GT(buckets[b], n / 8 - n / 40);
+        EXPECT_LT(buckets[b], n / 8 + n / 40);
+    }
+}
+
+TEST(Stats, ScalarAccumulates)
+{
+    StatGroup g("test");
+    Stat &s = g.scalar("counter");
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(g.lookup("counter").get(), 3.5);
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(g.lookup("counter").get(), 0.0);
+}
+
+TEST(Stats, LookupUnknownPanics)
+{
+    StatGroup g("test");
+    EXPECT_THROW(g.lookup("nope"), PanicError);
+}
+
+TEST(Stats, DumpContainsPrefix)
+{
+    StatGroup g("core.tile0");
+    g.scalar("issued") += 5;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("core.tile0.issued"), std::string::npos);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user error %d", 42), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug %s", "here"), PanicError);
+}
+
+TEST(Logging, PanicIfRespectsCondition)
+{
+    panic_if(false, "must not fire");
+    EXPECT_THROW(panic_if(1 == 1, "fires"), PanicError);
+}
+
+TEST(Logging, MessageFormatting)
+{
+    try {
+        fatal("value=%d name=%s", 7, "x");
+        FAIL();
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value=7 name=x");
+    }
+}

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Engine-level tests: hand-built blocks and sequential programs driven
+ * through the BlockEngine and MimdEngine, checking dataflow firing
+ * rules, revitalization semantics, register-commit ordering and the
+ * mechanism flags' timing effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/configs.hh"
+#include "core/block_engine.hh"
+#include "core/mimd_engine.hh"
+#include "sched/plan.hh"
+
+using namespace dlp;
+using namespace dlp::core;
+using isa::MappedBlock;
+using isa::MappedInst;
+using isa::Op;
+using isa::Target;
+
+namespace {
+
+MappedInst
+inst(Op op, unsigned row, unsigned col, unsigned slot)
+{
+    MappedInst mi;
+    mi.op = op;
+    mi.row = static_cast<uint8_t>(row);
+    mi.col = static_cast<uint8_t>(col);
+    mi.slot = static_cast<uint8_t>(slot);
+    mi.numSrcs = isa::opInfo(op).numSrcs;
+    return mi;
+}
+
+/** A plan with one block: r10 = (7 + 8), written via the RF. */
+sched::SimdPlan
+tinyPlan(const MachineParams &m)
+{
+    sched::SimdPlan plan;
+    plan.name = "tiny";
+    plan.unroll = 1;
+    plan.recBaseReg = 0;
+    plan.initialRegs = {{0, 0}};
+
+    sched::Segment seg;
+    auto &b = seg.block;
+    b.name = "tiny#0";
+    b.rows = static_cast<uint8_t>(m.rows);
+    b.cols = static_cast<uint8_t>(m.cols);
+    b.slotsPerTile = static_cast<uint8_t>(m.frameSlots);
+
+    MappedInst a = inst(Op::Movi, 1, 1, 0);
+    a.imm = 7;
+    a.overhead = true;
+    a.targets.push_back(Target{2, 0, 0});
+
+    MappedInst c = inst(Op::Movi, 2, 3, 0);
+    c.imm = 8;
+    c.overhead = true;
+    c.targets.push_back(Target{2, 1, 0});
+
+    MappedInst add = inst(Op::Add, 1, 2, 0);
+    add.targets.push_back(Target{3, 0, 0});
+
+    MappedInst wr = inst(Op::Write, 0, 0, 0);
+    wr.imm = 10;
+    wr.regTile = true;
+    wr.overhead = true;
+
+    b.insts = {a, c, add, wr};
+    b.validate();
+    plan.segments.push_back(std::move(seg));
+    return plan;
+}
+
+} // namespace
+
+TEST(BlockEngine, ExecutesADataflowChain)
+{
+    auto m = arch::configByName("S");
+    mem::MemorySystem memory(m.memParams, true);
+    BlockEngine engine(m, memory);
+    auto plan = tinyPlan(m);
+    auto stats = engine.run(plan, 1);
+    EXPECT_EQ(engine.reg(10), 15u);
+    EXPECT_EQ(stats.instsExecuted, 4u);
+    EXPECT_EQ(stats.usefulOps, 1u); // just the Add
+    EXPECT_GT(stats.cycles, 0u);
+}
+
+TEST(BlockEngine, RevitalizationReexecutesEveryActivation)
+{
+    auto m = arch::configByName("S");
+    mem::MemorySystem memory(m.memParams, true);
+    BlockEngine engine(m, memory);
+    auto plan = tinyPlan(m);
+    auto stats = engine.run(plan, 5); // unroll 1 -> 5 activations
+    EXPECT_EQ(stats.activations, 5u);
+    EXPECT_EQ(stats.instsExecuted, 20u);
+    EXPECT_EQ(stats.mappings, 1u); // resident: mapped once
+}
+
+TEST(BlockEngine, BaselineRemapsEveryActivation)
+{
+    auto m = arch::configByName("baseline");
+    mem::MemorySystem memory(m.memParams, false);
+    BlockEngine engine(m, memory);
+    auto plan = tinyPlan(m);
+    auto stats = engine.run(plan, 5);
+    EXPECT_EQ(stats.mappings, 5u);
+}
+
+TEST(BlockEngine, OnceOnlyFiresOnceWithOperandRevitalization)
+{
+    auto m = arch::configByName("S-O");
+    mem::MemorySystem memory(m.memParams, true);
+    BlockEngine engine(m, memory);
+    auto plan = tinyPlan(m);
+    // Mark the Movis once-only and the Add's operands persistent.
+    for (auto &mi : plan.segments[0].block.insts)
+        if (mi.op == Op::Movi)
+            mi.onceOnly = true;
+    plan.segments[0].block.insts[2].persistent[0] = true;
+    plan.segments[0].block.insts[2].persistent[1] = true;
+
+    auto stats = engine.run(plan, 4);
+    // Activation 0: 4 insts; activations 1-3: Add + Write only.
+    EXPECT_EQ(stats.instsExecuted, 4u + 3u * 2u);
+    EXPECT_EQ(engine.reg(10), 15u);
+}
+
+TEST(BlockEngine, DeadlockedBlockPanics)
+{
+    auto m = arch::configByName("S");
+    mem::MemorySystem memory(m.memParams, true);
+    BlockEngine engine(m, memory);
+    auto plan = tinyPlan(m);
+    // Remove the producer of the Add's second operand.
+    plan.segments[0].block.insts[1].targets.clear();
+    EXPECT_THROW(engine.run(plan, 1), PanicError);
+}
+
+TEST(BlockEngine, RecBaseAdvancesPerGroup)
+{
+    auto m = arch::configByName("S");
+    mem::MemorySystem memory(m.memParams, true);
+    BlockEngine engine(m, memory);
+
+    sched::SimdPlan plan;
+    plan.name = "rb";
+    plan.unroll = 4;
+    plan.recBaseReg = 0;
+    plan.initialRegs = {{0, 0}, {5, 0}};
+
+    sched::Segment seg;
+    auto &b = seg.block;
+    b.name = "rb#0";
+    b.rows = static_cast<uint8_t>(m.rows);
+    b.cols = static_cast<uint8_t>(m.cols);
+    b.slotsPerTile = static_cast<uint8_t>(m.frameSlots);
+    // Read recBase -> write it to r5.
+    MappedInst rd = inst(Op::Read, 0, 0, 0);
+    rd.imm = 0;
+    rd.regTile = true;
+    rd.overhead = true;
+    rd.targets.push_back(Target{1, 0, 0});
+    MappedInst wr = inst(Op::Write, 0, 0, 0);
+    wr.imm = 5;
+    wr.regTile = true;
+    wr.overhead = true;
+    b.insts = {rd, wr};
+    plan.segments.push_back(std::move(seg));
+
+    engine.run(plan, 12); // 3 groups of 4
+    EXPECT_EQ(engine.reg(5), 8u); // last group's base = 2 * 4
+}
+
+// ---------------------------------------------------------------------
+// MIMD engine
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Per-tile program: out[rec] = in[rec] + 100. */
+sched::MimdPlan
+mimdAddPlan()
+{
+    sched::MimdPlan plan;
+    plan.name = "mimd-add";
+    plan.recIdxReg = 0;
+    plan.strideReg = 1;
+    plan.recCountReg = 2;
+    plan.layout.inBase = 0;
+    plan.layout.outBase = 1000;
+
+    using isa::SeqInst;
+    auto &code = plan.program.code;
+    auto push = [&](SeqInst si) { code.push_back(si); };
+
+    SeqInst chk;
+    chk.op = Op::Ltu;
+    chk.rd = 10;
+    chk.rs[0] = 0;
+    chk.rs[1] = 2;
+    chk.overhead = true;
+    push(chk);
+    SeqInst br;
+    br.op = Op::Beqz;
+    br.rs[0] = 10;
+    br.branchTarget = 8;
+    br.overhead = true;
+    push(br);
+    SeqInst ld;
+    ld.op = Op::Ld;
+    ld.rd = 11;
+    ld.rs[0] = 0;
+    ld.space = isa::MemSpace::Smc;
+    ld.overhead = true;
+    push(ld);
+    SeqInst add;
+    add.op = Op::Add;
+    add.rd = 12;
+    add.rs[0] = 11;
+    add.imm = 100;
+    add.immB = true;
+    push(add);
+    SeqInst addr;
+    addr.op = Op::Add;
+    addr.rd = 13;
+    addr.rs[0] = 0;
+    addr.imm = 1000;
+    addr.immB = true;
+    addr.overhead = true;
+    push(addr);
+    SeqInst st;
+    st.op = Op::St;
+    st.rs[0] = 13;
+    st.rs[1] = 12;
+    st.space = isa::MemSpace::Smc;
+    st.overhead = true;
+    push(st);
+    SeqInst inc;
+    inc.op = Op::Add;
+    inc.rd = 0;
+    inc.rs[0] = 0;
+    inc.rs[1] = 1;
+    inc.overhead = true;
+    push(inc);
+    SeqInst back;
+    back.op = Op::Br;
+    back.branchTarget = 0;
+    back.overhead = true;
+    push(back);
+    SeqInst halt;
+    halt.op = Op::Halt;
+    halt.overhead = true;
+    push(halt);
+
+    plan.program.numRegs = 64;
+    return plan;
+}
+
+} // namespace
+
+TEST(MimdEngine, TilesStrideOverRecords)
+{
+    auto m = arch::configByName("M");
+    mem::MemorySystem memory(m.memParams, true);
+    MimdEngine engine(m, memory);
+
+    const uint64_t records = 200; // not a multiple of 64
+    for (uint64_t r = 0; r < records; ++r)
+        memory.smc().poke(r, r * 3);
+
+    auto plan = mimdAddPlan();
+    auto stats = engine.run(plan, records);
+
+    for (uint64_t r = 0; r < records; ++r)
+        EXPECT_EQ(memory.smc().peek(1000 + r), r * 3 + 100) << r;
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_EQ(stats.usefulOps, records); // one useful Add per record
+}
+
+TEST(MimdEngine, ZeroRecordsHaltImmediately)
+{
+    auto m = arch::configByName("M");
+    mem::MemorySystem memory(m.memParams, true);
+    MimdEngine engine(m, memory);
+    auto plan = mimdAddPlan();
+    auto stats = engine.run(plan, 0);
+    EXPECT_EQ(stats.usefulOps, 0u);
+}
+
+TEST(MimdEngine, MoreTilesMakeItFaster)
+{
+    auto runWith = [](unsigned rows, unsigned cols) {
+        auto m = arch::configByName("M");
+        m.rows = rows;
+        m.cols = cols;
+        m.memParams.rows = rows;
+        mem::MemorySystem memory(m.memParams, true);
+        MimdEngine engine(m, memory);
+        for (uint64_t r = 0; r < 256; ++r)
+            memory.smc().poke(r, r);
+        auto plan = mimdAddPlan();
+        return engine.run(plan, 256).cycles;
+    };
+    EXPECT_LT(runWith(8, 8), runWith(2, 2));
+}

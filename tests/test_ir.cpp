@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Kernel-IR and interpreter unit tests: builder validation, structured
+ * loops, carries, variable trip counts, wide/strided loads and the
+ * overhead/immediate annotations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/interp.hh"
+#include "kernels/ir.hh"
+
+using namespace dlp;
+using namespace dlp::kernels;
+using isa::Op;
+
+namespace {
+
+std::vector<Word>
+runOnce(const Kernel &k, std::vector<Word> in)
+{
+    std::vector<Word> out(k.outWords, 0);
+    in.resize(k.inWords, 0);
+    interpret(k, 0, in.data(), out.data());
+    return out;
+}
+
+} // namespace
+
+TEST(KernelIr, StraightLineArithmetic)
+{
+    KernelBuilder b("t", Domain::Scientific);
+    b.setRecord(2, 1);
+    b.outWord(0, b.add(b.inWord(0), b.inWord(1)));
+    Kernel k = b.build();
+    EXPECT_EQ(runOnce(k, {3, 4})[0], 7u);
+}
+
+TEST(KernelIr, ImmediateSecondOperand)
+{
+    KernelBuilder b("t", Domain::Scientific);
+    b.setRecord(1, 1);
+    b.outWord(0, b.opImm(Op::Shl, b.inWord(0), 4));
+    Kernel k = b.build();
+    EXPECT_EQ(runOnce(k, {3})[0], 48u);
+}
+
+TEST(KernelIr, StaticLoopWithCarry)
+{
+    // sum = 0; for i in 0..9: sum += in[0]  => 10 * in[0].
+    KernelBuilder b("t", Domain::Scientific);
+    b.setRecord(1, 1);
+    Value x = b.inWord(0);
+    b.beginLoop(10);
+    Value acc = b.carry(b.imm(0));
+    b.setCarryNext(acc, b.add(acc, x));
+    b.endLoop();
+    b.outWord(0, b.exitValue(acc));
+    Kernel k = b.build();
+    EXPECT_EQ(runOnce(k, {7})[0], 70u);
+}
+
+TEST(KernelIr, NestedLoops)
+{
+    // for i in 0..2 { for j in 0..3 { acc += 1 } } => 12.
+    KernelBuilder b("t", Domain::Scientific);
+    b.setRecord(1, 1);
+    b.beginLoop(3);
+    Value outer = b.carry(b.imm(0));
+    b.beginLoop(4);
+    Value inner = b.carry(outer);
+    b.setCarryNext(inner, b.opImm(Op::Add, inner, 1));
+    b.endLoop();
+    b.setCarryNext(outer, b.exitValue(inner));
+    b.endLoop();
+    b.outWord(0, b.exitValue(outer));
+    Kernel k = b.build();
+    EXPECT_EQ(runOnce(k, {0})[0], 12u);
+}
+
+TEST(KernelIr, VariableTripFromRecord)
+{
+    // acc = sum of loopIdx for idx in [0, in[0]).
+    KernelBuilder b("t", Domain::Scientific);
+    b.setRecord(1, 1);
+    Value n = b.inWord(0);
+    b.beginLoopVar(n, 16);
+    Value acc = b.carry(b.imm(0));
+    b.setCarryNext(acc, b.add(acc, b.loopIdx()));
+    b.endLoop();
+    b.outWord(0, b.exitValue(acc));
+    Kernel k = b.build();
+    EXPECT_TRUE(k.hasVariableLoop());
+    EXPECT_EQ(runOnce(k, {5})[0], 10u); // 0+1+2+3+4
+    EXPECT_EQ(runOnce(k, {1})[0], 0u);
+}
+
+TEST(KernelIr, WideStridedLoad)
+{
+    // Sum words 0, 2, 4 via a stride-2 wide load.
+    KernelBuilder b("t", Domain::Scientific);
+    b.setRecord(6, 1);
+    Value w = b.inWide(b.imm(0), 3, 2);
+    Value s =
+        b.add(b.add(b.wordOf(w, 0), b.wordOf(w, 1)), b.wordOf(w, 2));
+    b.outWord(0, s);
+    Kernel k = b.build();
+    EXPECT_EQ(runOnce(k, {1, 99, 2, 99, 3, 99})[0], 6u);
+}
+
+TEST(KernelIr, ScratchRoundTrip)
+{
+    KernelBuilder b("t", Domain::Scientific);
+    b.setRecord(1, 1, /*scratch=*/4);
+    b.scratchStore(b.imm(2), b.inWord(0));
+    b.outWord(0, b.scratchLoad(b.imm(2)));
+    Kernel k = b.build();
+    EXPECT_EQ(runOnce(k, {42})[0], 42u);
+}
+
+TEST(KernelIr, TableLookupMasksIndex)
+{
+    KernelBuilder b("t", Domain::Network);
+    b.setRecord(1, 1);
+    uint16_t t = b.addTable("sq", {10, 11, 12, 13});
+    b.outWord(0, b.tableLoad(t, b.inWord(0)));
+    Kernel k = b.build();
+    EXPECT_EQ(runOnce(k, {2})[0], 12u);
+    EXPECT_EQ(runOnce(k, {6})[0], 12u); // masked to size 4
+}
+
+TEST(KernelIr, TablePaddedToPowerOfTwo)
+{
+    KernelBuilder b("t", Domain::Network);
+    b.setRecord(1, 1);
+    uint16_t t = b.addTable("odd", {1, 2, 3});
+    Kernel k = [&] {
+        b.outWord(0, b.tableLoad(t, b.inWord(0)));
+        return b.build();
+    }();
+    EXPECT_EQ(k.tables[0].data.size(), 4u);
+}
+
+TEST(KernelIr, SelSemantics)
+{
+    KernelBuilder b("t", Domain::Scientific);
+    b.setRecord(3, 1);
+    b.outWord(0, b.sel(b.inWord(0), b.inWord(1), b.inWord(2)));
+    Kernel k = b.build();
+    EXPECT_EQ(runOnce(k, {1, 10, 20})[0], 10u);
+    EXPECT_EQ(runOnce(k, {0, 10, 20})[0], 20u);
+}
+
+TEST(KernelIr, RecIdxVisible)
+{
+    KernelBuilder b("t", Domain::Scientific);
+    b.setRecord(1, 1);
+    b.outWord(0, b.recIdx());
+    Kernel k = b.build();
+    Word in = 0, out = 0;
+    interpret(k, 17, &in, &out);
+    EXPECT_EQ(out, 17u);
+}
+
+// --- Builder misuse ----------------------------------------------------
+
+TEST(KernelIrErrors, UnclosedLoopPanics)
+{
+    KernelBuilder b("t", Domain::Scientific);
+    b.setRecord(1, 1);
+    b.beginLoop(2);
+    b.outWord(0, b.inWord(0));
+    EXPECT_THROW(b.build(), PanicError);
+}
+
+TEST(KernelIrErrors, CarryWithoutNextPanics)
+{
+    KernelBuilder b("t", Domain::Scientific);
+    b.setRecord(1, 1);
+    b.beginLoop(2);
+    Value c = b.carry(b.imm(0));
+    (void)c;
+    b.endLoop();
+    b.outWord(0, b.inWord(0));
+    EXPECT_THROW(b.build(), PanicError);
+}
+
+TEST(KernelIrErrors, LoopIdxOutsideLoopPanics)
+{
+    KernelBuilder b("t", Domain::Scientific);
+    EXPECT_THROW(b.loopIdx(), PanicError);
+}
+
+TEST(KernelIrErrors, OutOfRangeRecordWordPanics)
+{
+    KernelBuilder b("t", Domain::Scientific);
+    b.setRecord(2, 1);
+    b.outWord(0, b.inWord(5)); // validated at build()
+    EXPECT_THROW(b.build(), PanicError);
+}
+
+TEST(KernelIrErrors, WordOfNonWidePanics)
+{
+    KernelBuilder b("t", Domain::Scientific);
+    b.setRecord(2, 1);
+    Value x = b.inWord(0);
+    b.outWord(0, b.wordOf(x, 0));
+    EXPECT_THROW(b.build(), PanicError);
+}
+
+TEST(KernelIrErrors, InterpCatchesRuntimeTripOverBound)
+{
+    KernelBuilder b("t", Domain::Scientific);
+    b.setRecord(1, 1);
+    Value n = b.inWord(0);
+    b.beginLoopVar(n, 4);
+    Value acc = b.carry(b.imm(0));
+    b.setCarryNext(acc, b.opImm(Op::Add, acc, 1));
+    b.endLoop();
+    b.outWord(0, b.exitValue(acc));
+    Kernel k = b.build();
+    Word in = 9, out = 0;
+    EXPECT_THROW(interpret(k, 0, &in, &out), PanicError);
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The paper-shape tests: qualitative results of Section 5.3 / Figure 5
+ * that the reproduction must exhibit. These run the full grid at reduced
+ * problem scales (see EXPERIMENTS.md for the full-scale numbers and the
+ * known magnitude deviations).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiments.hh"
+#include "arch/configs.hh"
+#include "common/logging.hh"
+
+using namespace dlp;
+using namespace dlp::analysis;
+
+class PaperClaims : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setQuietLogging(true);
+        grid = new Grid(runGrid(/*scaleDiv=*/4));
+    }
+
+    static void TearDownTestSuite() { delete grid; }
+
+    static Grid *grid;
+};
+
+Grid *PaperClaims::grid = nullptr;
+
+TEST_F(PaperClaims, EveryExperimentVerified)
+{
+    for (const auto &kv : *grid)
+        for (const auto &cfg : kv.second)
+            EXPECT_TRUE(cfg.second.verified)
+                << kv.first << " on " << cfg.first;
+}
+
+TEST_F(PaperClaims, AllMechanismConfigsBeatBaseline)
+{
+    // Figure 5: every bar is above 1.0 for the SIMD-style configs.
+    for (const auto &kernel : perfKernels()) {
+        EXPECT_GT(speedup(*grid, kernel, "S"), 1.0) << kernel;
+        EXPECT_GT(speedup(*grid, kernel, "S-O"), 1.0) << kernel;
+        EXPECT_GT(speedup(*grid, kernel, "S-O-D"), 1.0) << kernel;
+    }
+}
+
+TEST_F(PaperClaims, ScientificCodesPreferSimdOverMimd)
+{
+    // Section 5.3 "SIMD execution (S)": fft and lu prefer S; the
+    // routing overhead of MIMD degrades them. Run at full problem
+    // scale -- the effect is about steady-state stream bandwidth.
+    for (const char *kernel : {"fft", "lu"}) {
+        auto s = runExperiment(kernel, "S", 1);
+        auto m = runExperiment(kernel, "M", 1);
+        EXPECT_LT(s.cycles, m.cycles) << kernel;
+    }
+    // And adding the other mechanisms does not help them further
+    // (no constants, no tables): S == S-O == S-O-D.
+    EXPECT_NEAR(speedup(*grid, "fft", "S"), speedup(*grid, "fft", "S-O-D"),
+                1e-9);
+    EXPECT_NEAR(speedup(*grid, "lu", "S"), speedup(*grid, "lu", "S-O-D"),
+                1e-9);
+}
+
+TEST_F(PaperClaims, OperandRevitalizationHelpsConstantHeavyKernels)
+{
+    // Section 5.3 "SIMD + scalar operand access (S-O)".
+    EXPECT_GT(speedup(*grid, "vertex-simple", "S-O") /
+                  speedup(*grid, "vertex-simple", "S"),
+              1.05);
+    EXPECT_GE(speedup(*grid, "highpassfilter", "S-O"),
+              speedup(*grid, "highpassfilter", "S"));
+    EXPECT_GE(speedup(*grid, "convert", "S-O"),
+              speedup(*grid, "convert", "S"));
+}
+
+TEST_F(PaperClaims, L0StoreHelpsTableKernels)
+{
+    // Section 5.3: blowfish and rijndael gain substantially from the
+    // L0 data store (paper: +27% and +80% over S-O).
+    EXPECT_GT(speedup(*grid, "blowfish", "S-O-D") /
+                  speedup(*grid, "blowfish", "S-O"),
+              1.15);
+    EXPECT_GT(speedup(*grid, "rijndael", "S-O-D") /
+                  speedup(*grid, "rijndael", "S-O"),
+              1.10);
+    // ... and it is what separates M-D from M on the same kernels.
+    EXPECT_GT(speedup(*grid, "blowfish", "M-D"),
+              speedup(*grid, "blowfish", "M"));
+    EXPECT_GT(speedup(*grid, "rijndael", "M-D"),
+              speedup(*grid, "rijndael", "M"));
+}
+
+TEST_F(PaperClaims, TableAndControlKernelsPreferMimdWithL0)
+{
+    // Section 5.3 "MIMD + lookup table access (M-D)": best for
+    // blowfish, rijndael and vertex-skinning. At reduced scales the
+    // one-time L0 table broadcast can mask M-D's edge over M, so run
+    // these at a fuller scale.
+    for (const char *kernel :
+         {"blowfish", "rijndael", "vertex-skinning"}) {
+        Cycles best = ~Cycles(0);
+        std::string bestCfg;
+        for (const auto &config : arch::allConfigNames()) {
+            auto res = runExperiment(kernel, config, 2);
+            if (res.cycles < best) {
+                best = res.cycles;
+                bestCfg = config;
+            }
+        }
+        EXPECT_EQ(bestCfg, "M-D") << kernel;
+    }
+}
+
+TEST_F(PaperClaims, DataDependentBranchingFavorsLocalPCs)
+{
+    // vertex-skinning executes only the bones each vertex has on the
+    // MIMD machine, but worst-case bones with selects on SIMD.
+    EXPECT_GT(speedup(*grid, "vertex-skinning", "M-D"),
+              speedup(*grid, "vertex-skinning", "S-O-D"));
+}
+
+TEST_F(PaperClaims, FragmentShadersUseTheCachedL1)
+{
+    // The irregular texture kernels get their best SIMD-side results
+    // with the full S-O(-D) stack and do not collapse on the baseline
+    // (the L1 mechanism serves them in all configs).
+    EXPECT_GT(speedup(*grid, "fragment-simple", "S-O"), 1.5);
+    EXPECT_GT(speedup(*grid, "fragment-reflection", "S-O"), 1.5);
+}
+
+TEST_F(PaperClaims, FlexibleBeatsEveryFixedConfiguration)
+{
+    // The headline: dynamic per-application configuration beats any
+    // fixed machine (paper: +55% over S, +20% over S-O, +5% over M-D).
+    double flexible = meanSpeedup(*grid, "flexible");
+    for (const char *config : {"S", "S-O", "S-O-D", "M", "M-D"})
+        EXPECT_GE(flexible, meanSpeedup(*grid, config) - 1e-9) << config;
+    EXPECT_GT(flexible / meanSpeedup(*grid, "S"), 1.2);
+}
+
+TEST_F(PaperClaims, StorageLimitedMd5GainsLittleFromS)
+{
+    // Section 5.2/5.3: md5's 680-instruction body cannot be unrolled,
+    // so the SIMD configurations barely beat the baseline while the
+    // MIMD machine (one copy of the code per tile) runs away.
+    EXPECT_LT(speedup(*grid, "md5", "S"), 2.0);
+    EXPECT_GT(speedup(*grid, "md5", "M-D"), speedup(*grid, "md5", "S"));
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Direct unit tests of the static placer: capacity, edge affinity of
+ * memory operations, register-tile placement and row spreading of
+ * independent kernel instances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/configs.hh"
+#include "sched/placer.hh"
+
+using namespace dlp;
+using namespace dlp::sched;
+using isa::MappedBlock;
+using isa::MappedInst;
+using isa::Op;
+
+namespace {
+
+MappedBlock
+emptyBlock(const core::MachineParams &m)
+{
+    MappedBlock b;
+    b.name = "unit";
+    b.rows = static_cast<uint8_t>(m.rows);
+    b.cols = static_cast<uint8_t>(m.cols);
+    b.slotsPerTile = static_cast<uint8_t>(m.frameSlots);
+    return b;
+}
+
+MappedInst
+mk(Op op)
+{
+    MappedInst mi;
+    mi.op = op;
+    mi.numSrcs = isa::opInfo(op).numSrcs;
+    return mi;
+}
+
+} // namespace
+
+TEST(Placer, FillsToCapacityWithoutOverflow)
+{
+    auto m = arch::configByName("S");
+    auto b = emptyBlock(m);
+    for (unsigned i = 0; i < m.totalSlots(); ++i)
+        b.insts.push_back(mk(Op::Movi));
+    placeBlock(b, m);
+    b.validate(); // panics on any overfilled tile
+}
+
+TEST(Placer, OverCapacityPanics)
+{
+    auto m = arch::configByName("S");
+    auto b = emptyBlock(m);
+    for (unsigned i = 0; i < m.totalSlots() + 1; ++i)
+        b.insts.push_back(mk(Op::Movi));
+    EXPECT_THROW(placeBlock(b, m), PanicError);
+}
+
+TEST(Placer, MemoryOpsHugTheWestEdge)
+{
+    auto m = arch::configByName("S");
+    auto b = emptyBlock(m);
+    std::vector<unsigned> hints;
+    for (unsigned i = 0; i < 16; ++i) {
+        auto ld = mk(Op::Ld);
+        ld.space = isa::MemSpace::Smc;
+        b.insts.push_back(ld);
+        hints.push_back(i);
+    }
+    placeBlock(b, m, hints);
+    for (const auto &mi : b.insts)
+        EXPECT_LE(mi.col, 1) << "load placed far from the edge";
+}
+
+TEST(Placer, InstancesSpreadAcrossRows)
+{
+    auto m = arch::configByName("S");
+    auto b = emptyBlock(m);
+    std::vector<unsigned> hints;
+    for (unsigned inst = 0; inst < 8; ++inst) {
+        auto ld = mk(Op::Ld);
+        ld.space = isa::MemSpace::Smc;
+        b.insts.push_back(ld);
+        hints.push_back(inst);
+    }
+    placeBlock(b, m, hints);
+    std::set<unsigned> rows;
+    for (const auto &mi : b.insts)
+        rows.insert(mi.row);
+    EXPECT_EQ(rows.size(), 8u); // one per row
+}
+
+TEST(Placer, RegisterTilesOnNorthEdge)
+{
+    auto m = arch::configByName("S");
+    auto b = emptyBlock(m);
+    for (unsigned r = 0; r < 8; ++r) {
+        auto rd = mk(Op::Read);
+        rd.imm = r;
+        rd.regTile = true;
+        b.insts.push_back(rd);
+    }
+    placeBlock(b, m);
+    for (const auto &mi : b.insts)
+        EXPECT_EQ(mi.row, 0u);
+}
+
+TEST(Placer, ConsumersLandNearProducers)
+{
+    auto m = arch::configByName("S");
+    auto b = emptyBlock(m);
+    auto producer = mk(Op::Movi);
+    producer.targets.push_back(isa::Target{1, 0, 0});
+    auto consumer = mk(Op::Mov);
+    b.insts.push_back(producer);
+    b.insts.push_back(consumer);
+    placeBlock(b, m, {3, 3});
+    unsigned dist =
+        std::abs(int(b.insts[0].row) - int(b.insts[1].row)) +
+        std::abs(int(b.insts[0].col) - int(b.insts[1].col));
+    EXPECT_LE(dist, 2u);
+}

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Property tests on the scheduler: every lowering must respect the
+ * machine's structural limits and produce well-formed artifacts for
+ * every benchmark kernel on every configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "arch/configs.hh"
+#include "kernels/catalog.hh"
+#include "sched/linearize.hh"
+#include "sched/simd_lowering.hh"
+
+using namespace dlp;
+using namespace dlp::sched;
+
+namespace {
+
+StreamLayout
+layoutFor(const kernels::Kernel &k)
+{
+    StreamLayout l;
+    l.inBase = 0;
+    l.outBase = 20000;
+    l.scratchBase = 40000;
+    (void)k;
+    return l;
+}
+
+} // namespace
+
+class SimdLoweringProps : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(SimdLoweringProps, WellFormedOnEveryConfig)
+{
+    kernels::Kernel k = kernels::kernelByName(GetParam());
+    for (const char *config : {"baseline", "S", "S-O", "S-O-D"}) {
+        auto m = arch::configByName(config);
+        SimdPlan plan = lowerSimd(k, m, layoutFor(k));
+
+        EXPECT_GE(plan.unroll, 1u);
+        EXPECT_FALSE(plan.segments.empty());
+        EXPECT_LE(plan.regsUsed, m.numRegs);
+
+        std::set<unsigned> initRegs;
+        for (const auto &init : plan.initialRegs)
+            initRegs.insert(init.first);
+        EXPECT_TRUE(initRegs.count(plan.recBaseReg));
+
+        for (const auto &seg : plan.segments) {
+            seg.block.validate(); // placement + target sanity
+            EXPECT_GE(seg.activations, 1u);
+
+            size_t placeable = 0;
+            for (const auto &mi : seg.block.insts) {
+                if (!mi.regTile)
+                    ++placeable;
+                // Fanout trees cap direct targets (wide loads fan
+                // out per word over the streaming channel).
+                size_t cap = mi.op == isa::Op::Lmw
+                                 ? 4u * std::max<size_t>(mi.lmwCount, 1)
+                                 : 8u;
+                EXPECT_LE(mi.targets.size(), cap);
+                // Persistent operands only exist with the mechanism.
+                if (!m.mech.operandRevitalize) {
+                    EXPECT_FALSE(mi.persistent[0] || mi.persistent[1] ||
+                                 mi.persistent[2]);
+                    EXPECT_FALSE(mi.onceOnly);
+                }
+                // Wide loads only when the SMC mechanism exists.
+                if (!m.mech.smc)
+                    EXPECT_NE(mi.op, isa::Op::Lmw);
+            }
+            EXPECT_LE(placeable,
+                      static_cast<size_t>(m.totalSlots()));
+        }
+    }
+}
+
+TEST_P(SimdLoweringProps, EveryOperandHasAProducerOrIsSeed)
+{
+    kernels::Kernel k = kernels::kernelByName(GetParam());
+    auto m = arch::configByName("S-O");
+    SimdPlan plan = lowerSimd(k, m, layoutFor(k));
+    for (const auto &seg : plan.segments) {
+        // Count incoming operands per (inst, slot).
+        std::map<std::pair<uint32_t, unsigned>, int> fed;
+        for (const auto &mi : seg.block.insts)
+            for (const auto &t : mi.targets)
+                fed[{t.inst, t.srcSlot}]++;
+        for (size_t i = 0; i < seg.block.insts.size(); ++i) {
+            const auto &mi = seg.block.insts[i];
+            for (unsigned s = 0; s < mi.numSrcs; ++s) {
+                auto key = std::make_pair(static_cast<uint32_t>(i), s);
+                EXPECT_EQ(fed[key], 1)
+                    << seg.block.name << " inst " << i << " slot " << s;
+            }
+        }
+    }
+}
+
+class MimdLoweringProps : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(MimdLoweringProps, WellFormed)
+{
+    kernels::Kernel k = kernels::kernelByName(GetParam());
+    auto m = arch::configByName("M-D");
+    MimdPlan plan = lowerMimd(k, m, layoutFor(k));
+
+    EXPECT_FALSE(plan.program.code.empty());
+    EXPECT_LE(plan.program.code.size(), m.l0InstEntries);
+    EXPECT_EQ(plan.program.code.back().op, isa::Op::Halt);
+
+    for (const auto &si : plan.program.code) {
+        EXPECT_LT(si.rd, m.tileRegs);
+        for (unsigned s = 0; s < isa::opInfo(si.op).numSrcs; ++s)
+            EXPECT_LT(si.rs[s], m.tileRegs);
+        if (isa::isCtrlOp(si.op) && si.op != isa::Op::Halt)
+            EXPECT_LT(si.branchTarget, plan.program.code.size());
+    }
+}
+
+static const char *kAllKernels[] = {
+    "convert",          "dct",
+    "highpassfilter",   "fft",
+    "lu",               "md5",
+    "blowfish",         "rijndael",
+    "vertex-simple",    "fragment-simple",
+    "vertex-reflection","fragment-reflection",
+    "vertex-skinning",  "anisotropic-filter"};
+
+static std::string
+nameOf(const ::testing::TestParamInfo<const char *> &info)
+{
+    std::string n = info.param;
+    for (auto &c : n)
+        if (c == '-')
+            c = '_';
+    return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, SimdLoweringProps,
+                         ::testing::ValuesIn(kAllKernels), nameOf);
+INSTANTIATE_TEST_SUITE_P(AllKernels, MimdLoweringProps,
+                         ::testing::ValuesIn(kAllKernels), nameOf);
+
+TEST(LoweringShape, StorageLimitedKernelsSegmentOrSplit)
+{
+    auto m = arch::configByName("S");
+    // md5 cannot unroll (680+ instructions, no loop): it must split.
+    auto md5 = lowerSimd(kernels::makeMd5(), m, StreamLayout{0, 20000, 0});
+    EXPECT_EQ(md5.unroll, 1u);
+    EXPECT_GT(md5.segments.size(), 1u);
+
+    // blowfish keeps its 16-round loop resident with many records.
+    auto bf = lowerSimd(kernels::makeBlowfish(), m,
+                        StreamLayout{0, 20000, 0});
+    bool hasLoopSeg = false;
+    for (const auto &seg : bf.segments)
+        hasLoopSeg |= seg.isLoop && seg.activations == 16;
+    EXPECT_TRUE(hasLoopSeg);
+    EXPECT_GT(bf.unroll, 4u);
+
+    // convert unrolls into one resident block.
+    auto cv = lowerSimd(kernels::makeConvert(), m,
+                        StreamLayout{0, 20000, 0});
+    EXPECT_TRUE(cv.resident());
+    EXPECT_GT(cv.unroll, 8u);
+}
+
+TEST(LoweringShape, OperandRevitalizationMarksConstants)
+{
+    auto so = arch::configByName("S-O");
+    auto plan = lowerSimd(kernels::makeConvert(), so,
+                          StreamLayout{0, 20000, 0});
+    unsigned onceOnly = 0, persistent = 0;
+    for (const auto &seg : plan.segments) {
+        for (const auto &mi : seg.block.insts) {
+            onceOnly += mi.onceOnly;
+            persistent +=
+                mi.persistent[0] + mi.persistent[1] + mi.persistent[2];
+        }
+    }
+    EXPECT_GT(onceOnly, 0u);    // the 9 YIQ coefficients at least
+    EXPECT_GT(persistent, 0u);  // their consumers
+}

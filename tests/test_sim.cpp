@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event-queue ordering and the
+ * calendar-based resource model (idle-window grants are what keep the
+ * engines' out-of-order acquisitions honest).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/eventq.hh"
+#include "sim/resource.hh"
+
+using namespace dlp;
+using namespace dlp::sim;
+
+TEST(EventQueue, ExecutesInTickOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoWithinATick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(5, [&] { order.push_back(2); });
+    eq.schedule(5, [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EventsMayScheduleAtOwnTick)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(7, [&] {
+        eq.schedule(7, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.curTick(), 7u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(5, [] {}), PanicError);
+}
+
+TEST(EventQueue, ResetRewindsClock)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    eq.reset();
+    EXPECT_EQ(eq.curTick(), 0u);
+    eq.schedule(1, [] {}); // would panic without the reset
+    eq.run();
+}
+
+TEST(EventQueue, RunHonorsTickLimit)
+{
+    EventQueue eq;
+    eq.schedule(1000, [] {});
+    EXPECT_THROW(eq.run(/*limit=*/100), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Calendar resources
+// ---------------------------------------------------------------------
+
+TEST(Resource, BackToBackGrantsQueue)
+{
+    Resource r(2);
+    EXPECT_EQ(r.acquire(10), 10u);
+    EXPECT_EQ(r.acquire(10), 12u);
+    EXPECT_EQ(r.acquire(10), 14u);
+}
+
+TEST(Resource, LateRequestClaimsIdleWindow)
+{
+    Resource r(1);
+    // A grant far in the future must not block an earlier idle window.
+    EXPECT_EQ(r.acquire(1000), 1000u);
+    EXPECT_EQ(r.acquire(10), 10u);
+    EXPECT_EQ(r.acquire(10), 11u);
+}
+
+TEST(Resource, WindowBetweenGrantsIsUsed)
+{
+    Resource r(1);
+    EXPECT_EQ(r.acquire(5), 5u);
+    EXPECT_EQ(r.acquire(8), 8u);
+    // The gap [6, 8) is free.
+    EXPECT_EQ(r.acquire(6), 6u);
+    EXPECT_EQ(r.acquire(6), 7u);
+    // Now everything up to 9 is busy.
+    EXPECT_EQ(r.acquire(5), 9u);
+}
+
+TEST(Resource, BurstNeedsContiguousWindow)
+{
+    Resource r(1);
+    r.acquire(4); // busy [4,5)
+    // A 3-tick burst at 2 would overlap tick 4; first fit is 5.
+    EXPECT_EQ(r.acquireMany(2, 3), 5u);
+    // A 2-tick burst fits exactly in [2,4).
+    EXPECT_EQ(r.acquireMany(2, 2), 2u);
+}
+
+TEST(Resource, GrantAndWaitAccounting)
+{
+    Resource r(1);
+    r.acquire(0);
+    r.acquire(0);
+    r.acquireMany(0, 3);
+    EXPECT_EQ(r.grants(), 5u);
+    EXPECT_GT(r.waitedTicks(), 0u);
+}
+
+TEST(Resource, ResetClearsCalendar)
+{
+    Resource r(1);
+    r.acquire(3);
+    r.reset();
+    EXPECT_EQ(r.acquire(3), 3u);
+    EXPECT_EQ(r.grants(), 1u);
+}
+
+TEST(Resource, MergedIntervalsStaySmall)
+{
+    // Dense in-order usage must not blow up the interval map: after N
+    // adjacent grants the calendar is a single interval, so another
+    // grant at the front must queue to the very end.
+    Resource r(1);
+    for (int i = 0; i < 1000; ++i)
+        r.acquire(static_cast<Tick>(i));
+    EXPECT_EQ(r.acquire(0), 1000u);
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Workload-generator tests: batch shapes, staged workloads (FFT stages,
+ * LU elimination steps), irregular-memory images and self-verification
+ * against the golden models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/gfx_layout.hh"
+#include "kernels/interp.hh"
+#include "kernels/workload.hh"
+
+using namespace dlp;
+using namespace dlp::kernels;
+
+TEST(Workloads, SingleBatchShape)
+{
+    auto wl = makeWorkload("convert", 32, 1);
+    std::vector<Word> in;
+    uint64_t n;
+    ASSERT_TRUE(wl->nextBatch(in, n));
+    EXPECT_EQ(n, 32u);
+    EXPECT_EQ(in.size(), 32u * 3);
+    EXPECT_FALSE(wl->nextBatch(in, n)); // exhausted
+}
+
+TEST(Workloads, FftHasLog2NStages)
+{
+    auto wl = makeWorkload("fft", 64, 1);
+    std::vector<Word> in;
+    uint64_t n;
+    int stages = 0;
+    while (wl->nextBatch(in, n)) {
+        EXPECT_EQ(n, 32u); // n/2 butterflies per stage
+        EXPECT_EQ(in.size(), n * 6);
+        // Feed identity outputs so staging can proceed: run through the
+        // interpreter for real results.
+        std::vector<Word> out;
+        interpretBatch(wl->kernel(), in, out, n);
+        wl->consumeOutput(out);
+        ++stages;
+    }
+    EXPECT_EQ(stages, 6); // log2(64)
+    std::string err;
+    EXPECT_TRUE(wl->verify(err)) << err;
+}
+
+TEST(Workloads, LuStagesShrink)
+{
+    auto wl = makeWorkload("lu", 8, 1);
+    std::vector<Word> in;
+    uint64_t n;
+    std::vector<uint64_t> sizes;
+    while (wl->nextBatch(in, n)) {
+        sizes.push_back(n);
+        std::vector<Word> out;
+        interpretBatch(wl->kernel(), in, out, n);
+        wl->consumeOutput(out);
+    }
+    // Steps k = 0..6 update (7-k)^2 elements.
+    ASSERT_EQ(sizes.size(), 7u);
+    EXPECT_EQ(sizes.front(), 49u);
+    EXPECT_EQ(sizes.back(), 1u);
+    std::string err;
+    EXPECT_TRUE(wl->verify(err)) << err;
+}
+
+TEST(Workloads, VerifyCatchesCorruption)
+{
+    auto wl = makeWorkload("md5", 8, 1);
+    std::vector<Word> in;
+    uint64_t n;
+    ASSERT_TRUE(wl->nextBatch(in, n));
+    std::vector<Word> out;
+    interpretBatch(wl->kernel(), in, out, n);
+    out[3] ^= 1; // flip one bit of one digest
+    wl->consumeOutput(out);
+    std::string err;
+    EXPECT_FALSE(wl->verify(err));
+    EXPECT_NE(err.find("md5"), std::string::npos);
+}
+
+TEST(Workloads, FragmentTextureImageInstalled)
+{
+    auto wl = makeWorkload("fragment-simple", 8, 1);
+    EXPECT_TRUE(wl->hasIrregular());
+    // The image must cover the texture region densely.
+    auto mem = wl->irregularMemory();
+    uint64_t nonZero = 0;
+    for (int i = 0; i < 64; ++i)
+        nonZero += mem.read(gfx::textureBase + i * wordBytes) != 0;
+    EXPECT_GT(nonZero, 32u);
+}
+
+TEST(Workloads, PureArithmeticKernelsHaveNoImage)
+{
+    EXPECT_FALSE(makeWorkload("convert", 4, 1)->hasIrregular());
+    EXPECT_FALSE(makeWorkload("blowfish", 4, 1)->hasIrregular());
+}
+
+TEST(Workloads, TotalRecordsAccounting)
+{
+    EXPECT_EQ(makeWorkload("convert", 100, 1)->totalRecords(), 100u);
+    // fft: (n/2) log2(n) butterflies.
+    EXPECT_EQ(makeWorkload("fft", 64, 1)->totalRecords(), 32u * 6);
+    // lu: sum of squares.
+    EXPECT_EQ(makeWorkload("lu", 4, 1)->totalRecords(), 9u + 4 + 1);
+}
+
+TEST(Workloads, SeedsChangeData)
+{
+    auto a = makeWorkload("rijndael", 4, 1);
+    auto b = makeWorkload("rijndael", 4, 2);
+    std::vector<Word> ia, ib;
+    uint64_t n;
+    a->nextBatch(ia, n);
+    b->nextBatch(ib, n);
+    EXPECT_NE(ia, ib);
+}
+
+TEST(Workloads, UnknownKernelIsFatal)
+{
+    EXPECT_THROW(makeWorkload("nonesuch", 4, 1), FatalError);
+}
