@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypt_stream.dir/encrypt_stream.cpp.o"
+  "CMakeFiles/encrypt_stream.dir/encrypt_stream.cpp.o.d"
+  "encrypt_stream"
+  "encrypt_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypt_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

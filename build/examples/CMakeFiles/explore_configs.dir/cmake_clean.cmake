@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_configs.dir/explore_configs.cpp.o"
+  "CMakeFiles/explore_configs.dir/explore_configs.cpp.o.d"
+  "explore_configs"
+  "explore_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

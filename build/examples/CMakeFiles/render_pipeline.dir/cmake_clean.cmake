@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_pipeline.dir/render_pipeline.cpp.o"
+  "CMakeFiles/render_pipeline.dir/render_pipeline.cpp.o.d"
+  "render_pipeline"
+  "render_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_analysis.dir/attributes.cc.o"
+  "CMakeFiles/dlp_analysis.dir/attributes.cc.o.d"
+  "CMakeFiles/dlp_analysis.dir/experiments.cc.o"
+  "CMakeFiles/dlp_analysis.dir/experiments.cc.o.d"
+  "CMakeFiles/dlp_analysis.dir/report.cc.o"
+  "CMakeFiles/dlp_analysis.dir/report.cc.o.d"
+  "libdlp_analysis.a"
+  "libdlp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

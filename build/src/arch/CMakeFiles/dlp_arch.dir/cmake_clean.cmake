@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_arch.dir/configs.cc.o"
+  "CMakeFiles/dlp_arch.dir/configs.cc.o.d"
+  "CMakeFiles/dlp_arch.dir/processor.cc.o"
+  "CMakeFiles/dlp_arch.dir/processor.cc.o.d"
+  "libdlp_arch.a"
+  "libdlp_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_common.dir/logging.cc.o"
+  "CMakeFiles/dlp_common.dir/logging.cc.o.d"
+  "CMakeFiles/dlp_common.dir/stats.cc.o"
+  "CMakeFiles/dlp_common.dir/stats.cc.o.d"
+  "libdlp_common.a"
+  "libdlp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

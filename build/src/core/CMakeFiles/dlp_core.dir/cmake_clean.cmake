@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_core.dir/block_engine.cc.o"
+  "CMakeFiles/dlp_core.dir/block_engine.cc.o.d"
+  "CMakeFiles/dlp_core.dir/mimd_engine.cc.o"
+  "CMakeFiles/dlp_core.dir/mimd_engine.cc.o.d"
+  "libdlp_core.a"
+  "libdlp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_isa.dir/disasm.cc.o"
+  "CMakeFiles/dlp_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/dlp_isa.dir/opcodes.cc.o"
+  "CMakeFiles/dlp_isa.dir/opcodes.cc.o.d"
+  "libdlp_isa.a"
+  "libdlp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

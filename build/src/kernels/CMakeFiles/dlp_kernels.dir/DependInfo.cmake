@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/catalog.cc" "src/kernels/CMakeFiles/dlp_kernels.dir/catalog.cc.o" "gcc" "src/kernels/CMakeFiles/dlp_kernels.dir/catalog.cc.o.d"
+  "/root/repo/src/kernels/graphics.cc" "src/kernels/CMakeFiles/dlp_kernels.dir/graphics.cc.o" "gcc" "src/kernels/CMakeFiles/dlp_kernels.dir/graphics.cc.o.d"
+  "/root/repo/src/kernels/interp.cc" "src/kernels/CMakeFiles/dlp_kernels.dir/interp.cc.o" "gcc" "src/kernels/CMakeFiles/dlp_kernels.dir/interp.cc.o.d"
+  "/root/repo/src/kernels/ir.cc" "src/kernels/CMakeFiles/dlp_kernels.dir/ir.cc.o" "gcc" "src/kernels/CMakeFiles/dlp_kernels.dir/ir.cc.o.d"
+  "/root/repo/src/kernels/multimedia.cc" "src/kernels/CMakeFiles/dlp_kernels.dir/multimedia.cc.o" "gcc" "src/kernels/CMakeFiles/dlp_kernels.dir/multimedia.cc.o.d"
+  "/root/repo/src/kernels/network.cc" "src/kernels/CMakeFiles/dlp_kernels.dir/network.cc.o" "gcc" "src/kernels/CMakeFiles/dlp_kernels.dir/network.cc.o.d"
+  "/root/repo/src/kernels/scientific.cc" "src/kernels/CMakeFiles/dlp_kernels.dir/scientific.cc.o" "gcc" "src/kernels/CMakeFiles/dlp_kernels.dir/scientific.cc.o.d"
+  "/root/repo/src/kernels/workload.cc" "src/kernels/CMakeFiles/dlp_kernels.dir/workload.cc.o" "gcc" "src/kernels/CMakeFiles/dlp_kernels.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dlp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/dlp_ref.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

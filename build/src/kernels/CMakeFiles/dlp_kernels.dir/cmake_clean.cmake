@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_kernels.dir/catalog.cc.o"
+  "CMakeFiles/dlp_kernels.dir/catalog.cc.o.d"
+  "CMakeFiles/dlp_kernels.dir/graphics.cc.o"
+  "CMakeFiles/dlp_kernels.dir/graphics.cc.o.d"
+  "CMakeFiles/dlp_kernels.dir/interp.cc.o"
+  "CMakeFiles/dlp_kernels.dir/interp.cc.o.d"
+  "CMakeFiles/dlp_kernels.dir/ir.cc.o"
+  "CMakeFiles/dlp_kernels.dir/ir.cc.o.d"
+  "CMakeFiles/dlp_kernels.dir/multimedia.cc.o"
+  "CMakeFiles/dlp_kernels.dir/multimedia.cc.o.d"
+  "CMakeFiles/dlp_kernels.dir/network.cc.o"
+  "CMakeFiles/dlp_kernels.dir/network.cc.o.d"
+  "CMakeFiles/dlp_kernels.dir/scientific.cc.o"
+  "CMakeFiles/dlp_kernels.dir/scientific.cc.o.d"
+  "CMakeFiles/dlp_kernels.dir/workload.cc.o"
+  "CMakeFiles/dlp_kernels.dir/workload.cc.o.d"
+  "libdlp_kernels.a"
+  "libdlp_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

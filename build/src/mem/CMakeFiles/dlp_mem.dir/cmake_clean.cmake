@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_mem.dir/cache_model.cc.o"
+  "CMakeFiles/dlp_mem.dir/cache_model.cc.o.d"
+  "CMakeFiles/dlp_mem.dir/memory_system.cc.o"
+  "CMakeFiles/dlp_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/dlp_mem.dir/smc.cc.o"
+  "CMakeFiles/dlp_mem.dir/smc.cc.o.d"
+  "libdlp_mem.a"
+  "libdlp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

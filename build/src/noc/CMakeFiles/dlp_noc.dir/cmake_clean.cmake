@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_noc.dir/mesh.cc.o"
+  "CMakeFiles/dlp_noc.dir/mesh.cc.o.d"
+  "libdlp_noc.a"
+  "libdlp_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

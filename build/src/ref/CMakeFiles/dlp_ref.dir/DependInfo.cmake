@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ref/blowfish.cc" "src/ref/CMakeFiles/dlp_ref.dir/blowfish.cc.o" "gcc" "src/ref/CMakeFiles/dlp_ref.dir/blowfish.cc.o.d"
+  "/root/repo/src/ref/dsp.cc" "src/ref/CMakeFiles/dlp_ref.dir/dsp.cc.o" "gcc" "src/ref/CMakeFiles/dlp_ref.dir/dsp.cc.o.d"
+  "/root/repo/src/ref/fft.cc" "src/ref/CMakeFiles/dlp_ref.dir/fft.cc.o" "gcc" "src/ref/CMakeFiles/dlp_ref.dir/fft.cc.o.d"
+  "/root/repo/src/ref/linalg.cc" "src/ref/CMakeFiles/dlp_ref.dir/linalg.cc.o" "gcc" "src/ref/CMakeFiles/dlp_ref.dir/linalg.cc.o.d"
+  "/root/repo/src/ref/md5.cc" "src/ref/CMakeFiles/dlp_ref.dir/md5.cc.o" "gcc" "src/ref/CMakeFiles/dlp_ref.dir/md5.cc.o.d"
+  "/root/repo/src/ref/pi_digits.cc" "src/ref/CMakeFiles/dlp_ref.dir/pi_digits.cc.o" "gcc" "src/ref/CMakeFiles/dlp_ref.dir/pi_digits.cc.o.d"
+  "/root/repo/src/ref/rijndael.cc" "src/ref/CMakeFiles/dlp_ref.dir/rijndael.cc.o" "gcc" "src/ref/CMakeFiles/dlp_ref.dir/rijndael.cc.o.d"
+  "/root/repo/src/ref/shading.cc" "src/ref/CMakeFiles/dlp_ref.dir/shading.cc.o" "gcc" "src/ref/CMakeFiles/dlp_ref.dir/shading.cc.o.d"
+  "/root/repo/src/ref/texture.cc" "src/ref/CMakeFiles/dlp_ref.dir/texture.cc.o" "gcc" "src/ref/CMakeFiles/dlp_ref.dir/texture.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

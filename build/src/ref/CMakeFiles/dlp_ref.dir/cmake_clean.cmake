@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_ref.dir/blowfish.cc.o"
+  "CMakeFiles/dlp_ref.dir/blowfish.cc.o.d"
+  "CMakeFiles/dlp_ref.dir/dsp.cc.o"
+  "CMakeFiles/dlp_ref.dir/dsp.cc.o.d"
+  "CMakeFiles/dlp_ref.dir/fft.cc.o"
+  "CMakeFiles/dlp_ref.dir/fft.cc.o.d"
+  "CMakeFiles/dlp_ref.dir/linalg.cc.o"
+  "CMakeFiles/dlp_ref.dir/linalg.cc.o.d"
+  "CMakeFiles/dlp_ref.dir/md5.cc.o"
+  "CMakeFiles/dlp_ref.dir/md5.cc.o.d"
+  "CMakeFiles/dlp_ref.dir/pi_digits.cc.o"
+  "CMakeFiles/dlp_ref.dir/pi_digits.cc.o.d"
+  "CMakeFiles/dlp_ref.dir/rijndael.cc.o"
+  "CMakeFiles/dlp_ref.dir/rijndael.cc.o.d"
+  "CMakeFiles/dlp_ref.dir/shading.cc.o"
+  "CMakeFiles/dlp_ref.dir/shading.cc.o.d"
+  "CMakeFiles/dlp_ref.dir/texture.cc.o"
+  "CMakeFiles/dlp_ref.dir/texture.cc.o.d"
+  "libdlp_ref.a"
+  "libdlp_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

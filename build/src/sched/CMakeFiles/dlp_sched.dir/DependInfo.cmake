@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/linearize.cc" "src/sched/CMakeFiles/dlp_sched.dir/linearize.cc.o" "gcc" "src/sched/CMakeFiles/dlp_sched.dir/linearize.cc.o.d"
+  "/root/repo/src/sched/placer.cc" "src/sched/CMakeFiles/dlp_sched.dir/placer.cc.o" "gcc" "src/sched/CMakeFiles/dlp_sched.dir/placer.cc.o.d"
+  "/root/repo/src/sched/simd_lowering.cc" "src/sched/CMakeFiles/dlp_sched.dir/simd_lowering.cc.o" "gcc" "src/sched/CMakeFiles/dlp_sched.dir/simd_lowering.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dlp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/dlp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dlp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/dlp_ref.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_sched.dir/linearize.cc.o"
+  "CMakeFiles/dlp_sched.dir/linearize.cc.o.d"
+  "CMakeFiles/dlp_sched.dir/placer.cc.o"
+  "CMakeFiles/dlp_sched.dir/placer.cc.o.d"
+  "CMakeFiles/dlp_sched.dir/simd_lowering.cc.o"
+  "CMakeFiles/dlp_sched.dir/simd_lowering.cc.o.d"
+  "libdlp_sched.a"
+  "libdlp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

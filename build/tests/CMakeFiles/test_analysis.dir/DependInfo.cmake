@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/test_analysis.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/test_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/dlp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/dlp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dlp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dlp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/dlp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/dlp_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dlp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/dlp_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dlp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dlp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_interp.dir/test_kernels_interp.cpp.o"
+  "CMakeFiles/test_kernels_interp.dir/test_kernels_interp.cpp.o.d"
+  "test_kernels_interp"
+  "test_kernels_interp.pdb"
+  "test_kernels_interp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ref.dir/test_ref.cpp.o"
+  "CMakeFiles/test_ref.dir/test_ref.cpp.o.d"
+  "test_ref"
+  "test_ref.pdb"
+  "test_ref[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
