@@ -19,6 +19,7 @@
 #include <iostream>
 
 #include "analysis/experiments.hh"
+#include "analysis/export.hh"
 #include "analysis/report.hh"
 #include "arch/configs.hh"
 #include "common/logging.hh"
@@ -81,5 +82,15 @@ main(int argc, char **argv)
 
     std::cout << "\nPaper reference: Flexible is +55% over fixed S, +20% "
                  "over fixed S-O, +5% over fixed M-D.\n";
+
+    json::Value doc = toJson(grid);
+    doc.set("figure", "figure5");
+    doc.set("scaleDiv", scaleDiv);
+    json::Value means = json::Value::object();
+    for (const auto &config : {"S", "S-O", "S-O-D", "M", "M-D", "flexible"})
+        means.set(config, meanSpeedup(grid, config));
+    doc.set("meanSpeedups", std::move(means));
+    writeJsonFile("BENCH_figure5.json", doc);
+    std::cout << "\nWrote BENCH_figure5.json\n";
     return 0;
 }

@@ -11,8 +11,10 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <vector>
 
 #include "analysis/experiments.hh"
+#include "analysis/export.hh"
 #include "analysis/report.hh"
 #include "common/logging.hh"
 
@@ -42,6 +44,7 @@ main(int argc, char **argv)
     t.header({"Benchmark", "ops/cycle", "paper", "cycles", "records"});
     double dspOurs = 0, otherOurs = 0;
     int dspN = 0, otherN = 0;
+    std::vector<arch::ExperimentResult> results;
     for (const auto &kernel : perfKernels()) {
         auto res = runExperiment(kernel, "baseline", scaleDiv);
         double oc = res.opsPerCycle();
@@ -51,10 +54,21 @@ main(int argc, char **argv)
                    kernel == "highpassfilter";
         (dsp ? dspOurs : otherOurs) += oc;
         (dsp ? dspN : otherN)++;
+        results.push_back(std::move(res));
     }
     t.print(std::cout);
     std::cout << "\nDSP mean " << fmt(dspOurs / dspN)
               << " ops/cycle (paper ~11); non-DSP mean "
               << fmt(otherOurs / otherN) << " (paper ~4).\n";
+
+    json::Value doc = toJson(results);
+    doc.set("table", "table4");
+    doc.set("scaleDiv", scaleDiv);
+    json::Value ref = json::Value::object();
+    for (const auto &[kernel, oc] : paper)
+        ref.set(kernel, oc);
+    doc.set("paperOpsPerCycle", std::move(ref));
+    writeJsonFile("BENCH_table4.json", doc);
+    std::cout << "\nWrote BENCH_table4.json\n";
     return 0;
 }

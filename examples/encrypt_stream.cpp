@@ -10,6 +10,7 @@
  * local-PC MIMD machine with L0 tables (M-D) is the best home for it.
  */
 
+#include <cinttypes>
 #include <cstdio>
 
 #include "arch/configs.hh"
@@ -25,8 +26,8 @@ main()
     setQuietLogging(true);
     const uint64_t packets = 1024; // 16-byte blocks
 
-    std::printf("AES-128 packet encryption, %llu blocks\n\n",
-                (unsigned long long)packets);
+    std::printf("AES-128 packet encryption, %" PRIu64 " blocks\n\n",
+                packets);
     std::printf("  %-9s %12s %14s %12s\n", "config", "cycles",
                 "cycles/block", "verified");
 
@@ -38,8 +39,8 @@ main()
         double perBlock = double(res.cycles) / double(res.records);
         if (config == "baseline")
             base = double(res.cycles);
-        std::printf("  %-9s %12llu %14.1f %12s   (%.2fx)\n", config.c_str(),
-                    (unsigned long long)res.cycles, perBlock,
+        std::printf("  %-9s %12" PRIu64 " %14.1f %12s   (%.2fx)\n", config.c_str(),
+                    res.cycles, perBlock,
                     res.verified ? "yes" : "NO", base / double(res.cycles));
     }
 

@@ -7,12 +7,17 @@
  *
  *   ./build/examples/explore_configs blowfish
  *   ./build/examples/explore_configs vertex-skinning 4096
+ *   ./build/examples/explore_configs md5 --json md5.json
  */
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "analysis/export.hh"
 #include "arch/configs.hh"
 #include "arch/processor.hh"
 #include "common/logging.hh"
@@ -24,18 +29,34 @@ int
 main(int argc, char **argv)
 {
     setQuietLogging(true);
-    std::string kernel = argc > 1 ? argv[1] : "blowfish";
-    uint64_t scale = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
-                              : kernels::defaultScale(kernel);
+    std::string kernel = "blowfish";
+    std::string jsonPath;
+    uint64_t scale = 0;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            fatal_if(i + 1 >= argc, "--json needs a file argument");
+            jsonPath = argv[++i];
+        } else {
+            positional.push_back(argv[i]);
+        }
+    }
+    if (!positional.empty())
+        kernel = positional[0];
+    scale = positional.size() > 1
+                ? std::strtoull(positional[1].c_str(), nullptr, 10)
+                : kernels::defaultScale(kernel);
 
-    std::printf("exploring machine configurations for '%s' (scale %llu)\n\n",
-                kernel.c_str(), (unsigned long long)scale);
+    std::printf("exploring machine configurations for '%s' "
+                "(scale %" PRIu64 ")\n\n",
+                kernel.c_str(), scale);
     std::printf("  %-9s %12s %10s %12s %10s\n", "config", "cycles",
                 "ops/cyc", "activations", "speedup");
 
     Cycles base = 0;
     std::string best;
     Cycles bestCycles = ~Cycles(0);
+    std::vector<arch::ExperimentResult> results;
     for (const auto &config : arch::allConfigNames()) {
         auto wl = kernels::makeWorkload(kernel, scale, 11);
         arch::TripsProcessor cpu(arch::configByName(config));
@@ -48,12 +69,21 @@ main(int argc, char **argv)
             bestCycles = res.cycles;
             best = config;
         }
-        std::printf("  %-9s %12llu %10.2f %12llu %9.2fx\n", config.c_str(),
-                    (unsigned long long)res.cycles, res.opsPerCycle(),
-                    (unsigned long long)res.activations,
-                    double(base) / double(res.cycles));
+        std::printf("  %-9s %12" PRIu64 " %10.2f %12" PRIu64 " %9.2fx\n",
+                    config.c_str(), res.cycles, res.opsPerCycle(),
+                    res.activations, double(base) / double(res.cycles));
+        results.push_back(std::move(res));
     }
     std::printf("\n  -> best configuration for %s: %s\n", kernel.c_str(),
                 best.c_str());
+
+    if (!jsonPath.empty()) {
+        analysis::json::Value doc = analysis::toJson(results);
+        doc.set("kernel", kernel);
+        doc.set("scale", scale);
+        doc.set("bestConfig", best);
+        analysis::writeJsonFile(jsonPath, doc);
+        std::printf("  wrote %s\n", jsonPath.c_str());
+    }
     return 0;
 }

@@ -10,6 +10,7 @@
  * Build & run:   ./build/examples/quickstart
  */
 
+#include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -110,8 +111,8 @@ main()
         SaxpyWorkload wl(makeSaxpy(a), 4096, a);
         arch::TripsProcessor cpu(arch::configByName(config));
         auto res = cpu.run(wl);
-        std::printf("  %-9s %8llu cycles   %5.2f useful ops/cycle   %s\n",
-                    config.c_str(), (unsigned long long)res.cycles,
+        std::printf("  %-9s %8" PRIu64 " cycles   %5.2f useful ops/cycle   %s\n",
+                    config.c_str(), res.cycles,
                     res.opsPerCycle(),
                     res.verified ? "verified" : res.error.c_str());
     }

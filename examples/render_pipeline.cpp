@@ -11,6 +11,7 @@
  * attributes".
  */
 
+#include <cinttypes>
 #include <cstdio>
 
 #include "arch/configs.hh"
@@ -32,9 +33,9 @@ runStage(const char *stage, const char *kernel, const char *config,
     fatal_if(!res.verified, "%s failed verification: %s", kernel,
              res.error.c_str());
     totalCycles += res.cycles;
-    std::printf("  %-10s %-20s on %-6s: %8llu cycles, %5.2f ops/cycle, "
+    std::printf("  %-10s %-20s on %-6s: %8" PRIu64 " cycles, %5.2f ops/cycle, "
                 "verified\n",
-                stage, kernel, config, (unsigned long long)res.cycles,
+                stage, kernel, config, res.cycles,
                 res.opsPerCycle());
 }
 
@@ -47,18 +48,18 @@ main()
     const uint64_t vertices = 2048;
     const uint64_t fragments = 4096;
 
-    std::printf("Two-stage rendering pipeline (%llu vertices, %llu "
+    std::printf("Two-stage rendering pipeline (%" PRIu64 " vertices, %" PRIu64 " "
                 "fragments)\n\n",
-                (unsigned long long)vertices,
-                (unsigned long long)fragments);
+                vertices,
+                fragments);
 
     Cycles total = 0;
     // Vertex stage: constant-heavy, regular records -> S-O.
     runStage("vertex", "vertex-simple", "S-O", vertices, total);
     // Fragment stage: irregular texture fetches through the cached L1.
     runStage("fragment", "fragment-simple", "S-O", fragments, total);
-    std::printf("\n  frame total: %llu cycles\n\n",
-                (unsigned long long)total);
+    std::printf("\n  frame total: %" PRIu64 " cycles\n\n",
+                total);
 
     std::printf("With skinned characters the vertex stage has "
                 "data-dependent bone loops;\nthe flexible machine "
@@ -66,7 +67,7 @@ main()
     Cycles total2 = 0;
     runStage("vertex", "vertex-skinning", "M-D", vertices, total2);
     runStage("fragment", "fragment-reflection", "S-O", fragments, total2);
-    std::printf("\n  frame total: %llu cycles\n",
-                (unsigned long long)total2);
+    std::printf("\n  frame total: %" PRIu64 " cycles\n",
+                total2);
     return 0;
 }

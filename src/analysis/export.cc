@@ -1,0 +1,143 @@
+#include "analysis/export.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace dlp::analysis {
+
+namespace {
+
+json::Value
+toJson(const Distribution &d)
+{
+    json::Value obj = json::Value::object();
+    obj.set("samples", d.samples());
+    obj.set("mean", d.mean());
+    obj.set("stdev", d.stdev());
+    obj.set("min", d.minValue());
+    obj.set("max", d.maxValue());
+    obj.set("low", d.low());
+    obj.set("high", d.high());
+    obj.set("underflow", d.underflow());
+    obj.set("overflow", d.overflow());
+    json::Value buckets = json::Value::array();
+    for (size_t i = 0; i < d.numBuckets(); ++i)
+        buckets.push(d.bucket(i));
+    obj.set("buckets", std::move(buckets));
+    return obj;
+}
+
+json::Value
+toJson(const VectorStat &v)
+{
+    json::Value arr = json::Value::array();
+    for (double x : v.all())
+        arr.push(x);
+    return arr;
+}
+
+} // namespace
+
+json::Value
+toJson(const GroupSnapshot &group)
+{
+    json::Value obj = json::Value::object();
+    obj.set("name", group.name);
+
+    json::Value scalars = json::Value::object();
+    for (const auto &[n, v] : group.scalars)
+        scalars.set(n, v);
+    obj.set("scalars", std::move(scalars));
+
+    json::Value formulas = json::Value::object();
+    for (const auto &[n, v] : group.formulas)
+        formulas.set(n, v);
+    obj.set("formulas", std::move(formulas));
+
+    json::Value dists = json::Value::object();
+    for (const auto &[n, d] : group.distributions)
+        dists.set(n, toJson(d));
+    obj.set("distributions", std::move(dists));
+
+    json::Value vectors = json::Value::object();
+    for (const auto &[n, v] : group.vectors)
+        vectors.set(n, toJson(v));
+    obj.set("vectors", std::move(vectors));
+
+    return obj;
+}
+
+json::Value
+toJson(const arch::ExperimentResult &result)
+{
+    json::Value obj = json::Value::object();
+    obj.set("kernel", result.kernel);
+    obj.set("config", result.config);
+    obj.set("verified", result.verified);
+    if (!result.error.empty())
+        obj.set("error", result.error);
+    obj.set("cycles", result.cycles);
+    obj.set("usefulOps", result.usefulOps);
+    obj.set("instsExecuted", result.instsExecuted);
+    obj.set("records", result.records);
+    obj.set("activations", result.activations);
+    obj.set("mappings", result.mappings);
+    obj.set("opsPerCycle", result.opsPerCycle());
+
+    json::Value groups = json::Value::array();
+    for (const auto &g : result.statGroups)
+        groups.push(toJson(g));
+    obj.set("statGroups", std::move(groups));
+    return obj;
+}
+
+namespace {
+
+json::Value
+document()
+{
+    json::Value doc = json::Value::object();
+    doc.set("generator", "dlp-sim");
+    doc.set("paper",
+            "Universal Mechanisms for Data-Parallel Architectures "
+            "(MICRO 2003)");
+    return doc;
+}
+
+} // namespace
+
+json::Value
+toJson(const std::vector<arch::ExperimentResult> &results)
+{
+    json::Value doc = document();
+    json::Value experiments = json::Value::array();
+    for (const auto &r : results)
+        experiments.push(toJson(r));
+    doc.set("experiments", std::move(experiments));
+    return doc;
+}
+
+json::Value
+toJson(const Grid &grid)
+{
+    json::Value doc = document();
+    json::Value experiments = json::Value::array();
+    for (const auto &[kernel, byConfig] : grid)
+        for (const auto &[config, result] : byConfig)
+            experiments.push(toJson(result));
+    doc.set("experiments", std::move(experiments));
+    return doc;
+}
+
+void
+writeJsonFile(const std::string &path, const json::Value &doc)
+{
+    std::ofstream out(path, std::ios::binary);
+    fatal_if(!out, "cannot open '%s' for writing", path.c_str());
+    out << json::write(doc);
+    out.close();
+    fatal_if(!out, "failed writing '%s'", path.c_str());
+}
+
+} // namespace dlp::analysis

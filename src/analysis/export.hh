@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Machine-readable experiment output: serialize stat-group snapshots,
+ * individual experiment results and the full experiment grid as JSON
+ * documents with deterministic key ordering, so the benches' numbers
+ * (Figure 5, Table 4) can be consumed by plotting and regression
+ * tooling without scraping the text tables.
+ *
+ * Document shapes:
+ *
+ *   GroupSnapshot  -> { "name", "scalars": {..}, "formulas": {..},
+ *                       "distributions": { n: { samples, mean, stdev,
+ *                       min, max, low, high, underflow, overflow,
+ *                       buckets: [..] } }, "vectors": { n: [..] } }
+ *   ExperimentResult -> { kernel, config, verified, cycles, usefulOps,
+ *                       instsExecuted, records, activations, mappings,
+ *                       opsPerCycle, statGroups: [..] }
+ *   Grid           -> { "experiments": [ result.. ] } plus metadata
+ */
+
+#ifndef DLP_ANALYSIS_EXPORT_HH
+#define DLP_ANALYSIS_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiments.hh"
+#include "analysis/json.hh"
+#include "arch/processor.hh"
+#include "common/stats.hh"
+
+namespace dlp::analysis {
+
+/** One stat-group snapshot as a JSON object. */
+json::Value toJson(const GroupSnapshot &group);
+
+/** One experiment result, including its stat-group snapshots. */
+json::Value toJson(const arch::ExperimentResult &result);
+
+/**
+ * A flat list of results (Table 4 style) as a complete document:
+ * { "generator", "paper", "experiments": [..] }.
+ */
+json::Value toJson(const std::vector<arch::ExperimentResult> &results);
+
+/** The full grid (Figure 5 style), one entry per kernel x config. */
+json::Value toJson(const Grid &grid);
+
+/** Serialize and write a document; fatal on I/O failure. */
+void writeJsonFile(const std::string &path, const json::Value &doc);
+
+} // namespace dlp::analysis
+
+#endif // DLP_ANALYSIS_EXPORT_HH

@@ -1,0 +1,406 @@
+#include "analysis/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace dlp::analysis::json {
+
+const char *
+Value::kindName(Kind k)
+{
+    switch (k) {
+      case Kind::Null: return "null";
+      case Kind::Bool: return "bool";
+      case Kind::Number: return "number";
+      case Kind::String: return "string";
+      case Kind::Array: return "array";
+      case Kind::Object: return "object";
+    }
+    return "?";
+}
+
+const Value &
+Value::at(size_t i) const
+{
+    check(Kind::Array);
+    panic_if(i >= arr_.size(), "json: index %zu out of range (size %zu)",
+             i, arr_.size());
+    return arr_[i];
+}
+
+void
+Value::set(const std::string &key, Value v)
+{
+    check(Kind::Object);
+    for (auto &m : obj_) {
+        if (m.first == key) {
+            m.second = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    check(Kind::Object);
+    for (const auto &m : obj_)
+        if (m.first == key)
+            return &m.second;
+    return nullptr;
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    const Value *v = find(key);
+    panic_if(!v, "json: object has no member '%s'", key.c_str());
+    return *v;
+}
+
+size_t
+Value::size() const
+{
+    switch (kind_) {
+      case Kind::Array: return arr_.size();
+      case Kind::Object: return obj_.size();
+      default: panic("json: value has no size");
+    }
+}
+
+namespace {
+
+void
+writeEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+writeNumber(std::string &out, double d)
+{
+    // JSON has no NaN/Inf; null is the conventional stand-in.
+    if (!std::isfinite(d)) {
+        out += "null";
+        return;
+    }
+    // Exact integral values print without a decimal point so counters
+    // read as the integers they are (2^53 bounds exact representation).
+    double rounded = std::nearbyint(d);
+    if (rounded == d && std::fabs(d) < 9.0e15) {
+        char buf[32];
+        auto res = std::to_chars(buf, buf + sizeof(buf), int64_t(rounded));
+        out.append(buf, res.ptr);
+        return;
+    }
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), d);
+    out.append(buf, res.ptr);
+}
+
+void
+writeValue(std::string &out, const Value &v, unsigned indent, unsigned depth)
+{
+    auto newline = [&](unsigned level) {
+        if (indent) {
+            out += '\n';
+            out.append(size_t(indent) * level, ' ');
+        }
+    };
+
+    switch (v.kind()) {
+      case Value::Kind::Null:
+        out += "null";
+        break;
+      case Value::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        break;
+      case Value::Kind::Number:
+        writeNumber(out, v.asNumber());
+        break;
+      case Value::Kind::String:
+        writeEscaped(out, v.asString());
+        break;
+      case Value::Kind::Array: {
+        const auto &items = v.items();
+        if (items.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (size_t i = 0; i < items.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            writeValue(out, items[i], indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      }
+      case Value::Kind::Object: {
+        const auto &members = v.members();
+        if (members.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (size_t i = 0; i < members.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            writeEscaped(out, members[i].first);
+            out += indent ? ": " : ":";
+            writeValue(out, members[i].second, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+/** Recursive-descent parser over a complete in-memory document. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s(text) {}
+
+    Value
+    document()
+    {
+        Value v = value();
+        skipWs();
+        fail_if(pos != s.size(), "trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        fatal("json: parse error at offset %zu: %s", pos, what);
+    }
+
+    void
+    fail_if(bool cond, const char *what)
+    {
+        if (cond)
+            fail(what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' ||
+                                  s[pos] == '\n' || s[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        fail_if(pos >= s.size(), "unexpected end of input");
+        return s[pos];
+    }
+
+    void
+    expect(char c, const char *what)
+    {
+        fail_if(pos >= s.size() || s[pos] != c, what);
+        ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p)
+            fail_if(pos >= s.size() || s[pos++] != *p, "invalid literal");
+    }
+
+    Value
+    value()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return Value(string());
+          case 't': literal("true"); return Value(true);
+          case 'f': literal("false"); return Value(false);
+          case 'n': literal("null"); return Value(nullptr);
+          default: return number();
+        }
+    }
+
+    Value
+    object()
+    {
+        expect('{', "expected '{'");
+        Value obj = Value::object();
+        skipWs();
+        if (consume('}'))
+            return obj;
+        while (true) {
+            skipWs();
+            fail_if(peek() != '"', "expected object key");
+            std::string key = string();
+            skipWs();
+            expect(':', "expected ':' after key");
+            obj.set(key, value());
+            skipWs();
+            if (consume(','))
+                continue;
+            expect('}', "expected ',' or '}' in object");
+            return obj;
+        }
+    }
+
+    Value
+    array()
+    {
+        expect('[', "expected '['");
+        Value arr = Value::array();
+        skipWs();
+        if (consume(']'))
+            return arr;
+        while (true) {
+            arr.push(value());
+            skipWs();
+            if (consume(','))
+                continue;
+            expect(']', "expected ',' or ']' in array");
+            return arr;
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"', "expected '\"'");
+        std::string out;
+        while (true) {
+            fail_if(pos >= s.size(), "unterminated string");
+            char c = s[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            fail_if(pos >= s.size(), "unterminated escape");
+            char e = s[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                fail_if(pos + 4 > s.size(), "truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        fail("invalid \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs are
+                // not needed for the simulator's own output).
+                if (code < 0x80) {
+                    out += char(code);
+                } else if (code < 0x800) {
+                    out += char(0xc0 | (code >> 6));
+                    out += char(0x80 | (code & 0x3f));
+                } else {
+                    out += char(0xe0 | (code >> 12));
+                    out += char(0x80 | ((code >> 6) & 0x3f));
+                    out += char(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default: fail("invalid escape character");
+            }
+        }
+    }
+
+    Value
+    number()
+    {
+        size_t start = pos;
+        consume('-');
+        while (pos < s.size() &&
+               ((s[pos] >= '0' && s[pos] <= '9') || s[pos] == '.' ||
+                s[pos] == 'e' || s[pos] == 'E' || s[pos] == '+' ||
+                s[pos] == '-'))
+            ++pos;
+        fail_if(pos == start, "expected a value");
+        double d = 0;
+        auto res = std::from_chars(s.data() + start, s.data() + pos, d);
+        fail_if(res.ec != std::errc() || res.ptr != s.data() + pos,
+                "malformed number");
+        return Value(d);
+    }
+
+    const std::string &s;
+    size_t pos = 0;
+};
+
+} // namespace
+
+std::string
+write(const Value &v, unsigned indent)
+{
+    std::string out;
+    writeValue(out, v, indent, 0);
+    if (indent)
+        out += '\n';
+    return out;
+}
+
+Value
+parse(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+} // namespace dlp::analysis::json

@@ -1,6 +1,7 @@
 #include "arch/processor.hh"
 
 #include <algorithm>
+#include <cinttypes>
 
 #include "common/bitutils.hh"
 #include "common/logging.hh"
@@ -27,8 +28,8 @@ TripsProcessor::makeLayout(const Kernel &k, uint64_t &chunkRecords) const
     uint64_t span = uint64_t(k.inWords) + k.outWords + k.scratchWords;
     uint64_t alloc = capacity / span;
     fatal_if(alloc < 96,
-             "kernel %s: record span %llu words too large for the SMC",
-             k.name.c_str(), (unsigned long long)span);
+             "kernel %s: record span %" PRIu64 " words too large for the SMC",
+             k.name.c_str(), span);
     chunkRecords = alloc - 80;
 
     sched::StreamLayout layout;
@@ -135,6 +136,11 @@ TripsProcessor::runSimd(Workload &workload)
         res.records += records;
     }
 
+    res.statGroups.push_back(engine.statsGroup().snapshot());
+    res.statGroups.push_back(engine.network().statsGroup().snapshot());
+    res.statGroups.push_back(memory.smc().statsGroup().snapshot());
+    res.statGroups.push_back(memory.statsGroup().snapshot());
+
     std::string err;
     res.verified = workload.verify(err);
     res.error = err;
@@ -187,6 +193,11 @@ TripsProcessor::runMimd(Workload &workload)
         workload.consumeOutput(output);
         res.records += records;
     }
+
+    res.statGroups.push_back(engine.statsGroup().snapshot());
+    res.statGroups.push_back(engine.network().statsGroup().snapshot());
+    res.statGroups.push_back(memory.smc().statsGroup().snapshot());
+    res.statGroups.push_back(memory.statsGroup().snapshot());
 
     std::string err;
     res.verified = workload.verify(err);

@@ -18,7 +18,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/stats.hh"
 #include "core/block_engine.hh"
 #include "core/machine.hh"
 #include "core/mimd_engine.hh"
@@ -42,10 +44,28 @@ struct ExperimentResult
     uint64_t activations = 0;
     uint64_t mappings = 0;
 
+    /**
+     * End-of-run snapshots of every per-structure statistics group
+     * (engine, mesh, SMC, memory system). Value-semantic: they outlive
+     * the processor and ride into the JSON exporter.
+     */
+    std::vector<GroupSnapshot> statGroups;
+
     double
     opsPerCycle() const
     {
         return cycles ? double(usefulOps) / double(cycles) : 0.0;
+    }
+
+    /** The snapshot with the given group name; panics if absent. */
+    const GroupSnapshot &
+    group(const std::string &name) const
+    {
+        for (const auto &g : statGroups)
+            if (g.name == name)
+                return g;
+        panic("no stat group '%s' in result for %s/%s", name.c_str(),
+              kernel.c_str(), config.c_str());
     }
 };
 

@@ -1,12 +1,21 @@
 #include "common/logging.hh"
 
 #include <cstdarg>
+#include <unordered_map>
 #include <vector>
 
 namespace dlp {
 
 namespace {
+
 bool quietFlag = false;
+
+/// Occurrence counts of distinct warn() messages, for rate limiting.
+/// Bounded: a pathological stream of unique messages clears the table
+/// rather than growing it without limit.
+std::unordered_map<std::string, uint64_t> warnCounts;
+constexpr size_t warnTableLimit = 4096;
+
 } // namespace
 
 namespace logging_detail {
@@ -49,8 +58,25 @@ fatalMsg(const char *file, int line, const std::string &msg)
 void
 warnMsg(const std::string &msg)
 {
-    if (!quietFlag)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (quietFlag)
+        return;
+    if (warnCounts.size() >= warnTableLimit)
+        warnCounts.clear();
+    uint64_t n = ++warnCounts[msg];
+    if (n > warnRepeatLimit)
+        return;
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (n == warnRepeatLimit) {
+        std::fprintf(stderr,
+                     "warn: (message repeated %u times; further identical "
+                     "warnings suppressed)\n", warnRepeatLimit);
+    }
+}
+
+void
+resetWarnDeduplication()
+{
+    warnCounts.clear();
 }
 
 void

@@ -49,8 +49,18 @@ std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Report an unrecoverable user error and throw FatalError. */
 [[noreturn]] void fatalMsg(const char *file, int line, const std::string &msg);
 
-/** Emit a warning to stderr. */
+/**
+ * Emit a warning to stderr. Identical messages are rate-limited: after
+ * warnRepeatLimit occurrences of the same text, further repeats are
+ * suppressed (with a one-time note) so traced runs stay readable.
+ */
 void warnMsg(const std::string &msg);
+
+/** Repeats of one identical warn() message before suppression. */
+constexpr unsigned warnRepeatLimit = 5;
+
+/** Forget which warnings were already seen (tests / new experiments). */
+void resetWarnDeduplication();
 
 /** Emit an informational message to stderr. */
 void informMsg(const std::string &msg);

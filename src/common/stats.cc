@@ -1,16 +1,75 @@
 #include "common/stats.hh"
 
 #include <iomanip>
+#include <sstream>
 
 namespace dlp {
 
+namespace {
+
 void
-StatGroup::dump(std::ostream &os) const
+printLine(std::ostream &os, const std::string &key, double value)
 {
-    for (const auto &kv : stats) {
-        os << std::left << std::setw(48) << (name + "." + kv.first)
-           << std::right << std::setw(16) << kv.second.get() << "\n";
+    os << std::left << std::setw(48) << key << std::right << std::setw(16)
+       << value << "\n";
+}
+
+} // namespace
+
+void
+StatGroup::dump(std::ostream &os)
+{
+    if (preDump)
+        preDump();
+
+    for (const auto &kv : stats)
+        printLine(os, name + "." + kv.first, kv.second.get());
+
+    for (const auto &kv : formulas)
+        printLine(os, name + "." + kv.first, kv.second.value());
+
+    for (const auto &kv : vecs) {
+        const VectorStat &v = kv.second;
+        std::string base = name + "." + kv.first;
+        for (size_t i = 0; i < v.size(); ++i)
+            printLine(os, base + "::" + std::to_string(i), v.at(i));
+        printLine(os, base + "::total", v.total());
     }
+
+    for (const auto &kv : dists) {
+        const Distribution &d = kv.second;
+        std::string base = name + "." + kv.first;
+        printLine(os, base + "::samples", double(d.samples()));
+        printLine(os, base + "::mean", d.mean());
+        printLine(os, base + "::stdev", d.stdev());
+        printLine(os, base + "::min", d.minValue());
+        printLine(os, base + "::max", d.maxValue());
+        printLine(os, base + "::underflow", double(d.underflow()));
+        for (size_t b = 0; b < d.numBuckets(); ++b) {
+            std::ostringstream key;
+            key << base << "::[" << d.bucketLow(b) << ","
+                << d.bucketLow(b) + d.bucketWidth() << ")";
+            printLine(os, key.str(), double(d.bucket(b)));
+        }
+        printLine(os, base + "::overflow", double(d.overflow()));
+    }
+}
+
+GroupSnapshot
+StatGroup::snapshot()
+{
+    if (preDump)
+        preDump();
+
+    GroupSnapshot snap;
+    snap.name = name;
+    for (const auto &kv : stats)
+        snap.scalars.emplace(kv.first, kv.second.get());
+    for (const auto &kv : formulas)
+        snap.formulas.emplace(kv.first, kv.second.value());
+    snap.distributions = dists;
+    snap.vectors = vecs;
+    return snap;
 }
 
 } // namespace dlp

@@ -1,18 +1,32 @@
 /**
  * @file
- * A tiny statistics package in the spirit of gem5's Stats.
+ * A statistics package in the spirit of gem5's Stats.
  *
- * Components register named scalar counters and distributions with a
- * StatGroup. The experiment runner dumps all groups after a simulation and
- * the benchmark harness pulls individual values to build the paper's
- * tables. Stats are plain doubles; the goal is uniform naming and dumping,
- * not fancy formulas.
+ * Components register named statistics with a StatGroup:
+ *
+ *  - Stat          a scalar counter,
+ *  - Distribution  a bucketed histogram with min/max/mean/stdev,
+ *  - VectorStat    a fixed-size vector of counters (per-lane, per-link),
+ *  - Formula       a derived value evaluated lazily at dump time.
+ *
+ * A group may install a preDump hook that refreshes derived statistics
+ * (e.g. fill a utilization vector from resource calendars) right before
+ * dump() or snapshot() reads them. snapshot() produces a value-semantic
+ * GroupSnapshot that outlives the component, which is how experiment
+ * results carry per-structure statistics to the JSON exporter.
+ *
+ * Naming convention: "group.stat" (e.g. "noc.mesh.contentionTicks"),
+ * with vector elements "group.stat::i" and distribution metadata
+ * "group.stat::mean" etc. in the text dump.
  */
 
 #ifndef DLP_COMMON_STATS_HH
 #define DLP_COMMON_STATS_HH
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -43,6 +57,193 @@ class Stat
 };
 
 /**
+ * A bucketed histogram over [lo, hi) with equal-width buckets plus
+ * underflow/overflow bins, tracking min/max/mean/stdev of all samples.
+ * Value-semantic so snapshots can carry copies.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+    Distribution(std::string statName, double lo, double hi,
+                 unsigned numBuckets)
+        : name(std::move(statName))
+    {
+        init(lo, hi, numBuckets);
+    }
+
+    /** (Re)configure the bucket range; clears all samples. */
+    void
+    init(double lo, double hi, unsigned numBuckets)
+    {
+        panic_if(numBuckets == 0, "distribution %s with no buckets",
+                 name.c_str());
+        panic_if(hi <= lo, "distribution %s with empty range [%f, %f)",
+                 name.c_str(), lo, hi);
+        rangeLo = lo;
+        rangeHi = hi;
+        counts.assign(numBuckets, 0);
+        reset();
+    }
+
+    void
+    sample(double v, uint64_t n = 1)
+    {
+        if (n == 0)
+            return;
+        if (v < rangeLo) {
+            under += n;
+        } else if (v >= rangeHi) {
+            over += n;
+        } else {
+            auto b = static_cast<size_t>((v - rangeLo) /
+                                         (rangeHi - rangeLo) *
+                                         double(counts.size()));
+            counts[b < counts.size() ? b : counts.size() - 1] += n;
+        }
+        if (nSamples == 0 || v < minSeen)
+            minSeen = v;
+        if (nSamples == 0 || v > maxSeen)
+            maxSeen = v;
+        nSamples += n;
+        total += v * double(n);
+        totalSq += v * v * double(n);
+    }
+
+    void
+    reset()
+    {
+        std::fill(counts.begin(), counts.end(), 0);
+        under = over = nSamples = 0;
+        total = totalSq = 0.0;
+        minSeen = maxSeen = 0.0;
+    }
+
+    uint64_t samples() const { return nSamples; }
+    double sum() const { return total; }
+    double minValue() const { return minSeen; }
+    double maxValue() const { return maxSeen; }
+    double mean() const { return nSamples ? total / double(nSamples) : 0.0; }
+
+    double
+    stdev() const
+    {
+        if (nSamples < 2)
+            return 0.0;
+        double n = double(nSamples);
+        double var = (totalSq - total * total / n) / (n - 1.0);
+        return var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+
+    size_t numBuckets() const { return counts.size(); }
+    uint64_t bucket(size_t i) const { return counts.at(i); }
+    uint64_t underflow() const { return under; }
+    uint64_t overflow() const { return over; }
+    double bucketLow(size_t i) const
+    {
+        return rangeLo + (rangeHi - rangeLo) * double(i) /
+               double(counts.size());
+    }
+    double bucketWidth() const
+    {
+        return (rangeHi - rangeLo) / double(counts.size());
+    }
+    double low() const { return rangeLo; }
+    double high() const { return rangeHi; }
+
+    const std::string &statName() const { return name; }
+
+  private:
+    std::string name;
+    double rangeLo = 0.0;
+    double rangeHi = 1.0;
+    std::vector<uint64_t> counts;
+    uint64_t under = 0;
+    uint64_t over = 0;
+    uint64_t nSamples = 0;
+    double total = 0.0;
+    double totalSq = 0.0;
+    double minSeen = 0.0;
+    double maxSeen = 0.0;
+};
+
+/** A fixed-size vector of counters (per-lane / per-link / per-bank). */
+class VectorStat
+{
+  public:
+    VectorStat() = default;
+    VectorStat(std::string statName, size_t n)
+        : name(std::move(statName)), values(n, 0.0)
+    {
+    }
+
+    double &operator[](size_t i) { return values.at(i); }
+    double at(size_t i) const { return values.at(i); }
+    void inc(size_t i, double v = 1.0) { values.at(i) += v; }
+    void set(size_t i, double v) { values.at(i) = v; }
+
+    size_t size() const { return values.size(); }
+
+    double
+    total() const
+    {
+        double t = 0.0;
+        for (double v : values)
+            t += v;
+        return t;
+    }
+
+    double
+    maxValue() const
+    {
+        double m = 0.0;
+        for (double v : values)
+            m = std::max(m, v);
+        return m;
+    }
+
+    void reset() { std::fill(values.begin(), values.end(), 0.0); }
+
+    const std::string &statName() const { return name; }
+    const std::vector<double> &all() const { return values; }
+
+  private:
+    std::string name;
+    std::vector<double> values;
+};
+
+/** A derived statistic evaluated when the group is dumped. */
+class Formula
+{
+  public:
+    Formula() = default;
+    Formula(std::string statName, std::function<double()> fn)
+        : name(std::move(statName)), eval(std::move(fn))
+    {
+    }
+
+    double value() const { return eval ? eval() : 0.0; }
+    const std::string &statName() const { return name; }
+
+  private:
+    std::string name;
+    std::function<double()> eval;
+};
+
+/**
+ * Value-semantic copy of one group's statistics at a point in time.
+ * Formulas are evaluated into the formulas map.
+ */
+struct GroupSnapshot
+{
+    std::string name;
+    std::map<std::string, double> scalars;
+    std::map<std::string, double> formulas;
+    std::map<std::string, Distribution> distributions;
+    std::map<std::string, VectorStat> vectors;
+};
+
+/**
  * A group of related statistics with a hierarchical name prefix
  * (e.g. "core.tile3_4" or "mem.smc0").
  */
@@ -64,6 +265,43 @@ class StatGroup
         return it->second;
     }
 
+    /** Create (or fetch) a histogram over [lo, hi) with n buckets. */
+    Distribution &
+    distribution(const std::string &statName, double lo, double hi,
+                 unsigned numBuckets)
+    {
+        auto it = dists.find(statName);
+        if (it == dists.end()) {
+            it = dists.emplace(statName,
+                               Distribution(statName, lo, hi, numBuckets))
+                     .first;
+        }
+        return it->second;
+    }
+
+    /** Create (or fetch) a vector of n counters. */
+    VectorStat &
+    vector(const std::string &statName, size_t n)
+    {
+        auto it = vecs.find(statName);
+        if (it == vecs.end())
+            it = vecs.emplace(statName, VectorStat(statName, n)).first;
+        return it->second;
+    }
+
+    /** Register a derived value evaluated at dump time. */
+    void
+    formula(const std::string &statName, std::function<double()> fn)
+    {
+        formulas[statName] = Formula(statName, std::move(fn));
+    }
+
+    /**
+     * Install a hook run before dump()/snapshot() to refresh derived
+     * statistics (occupancy vectors, utilization histograms).
+     */
+    void setPreDump(std::function<void()> fn) { preDump = std::move(fn); }
+
     /** Look up a counter; panics if absent (tests use this). */
     const Stat &
     lookup(const std::string &statName) const
@@ -79,23 +317,42 @@ class StatGroup
         return stats.count(statName) != 0;
     }
 
-    /** Zero every counter in the group. */
+    /** Zero every statistic in the group. */
     void
     resetAll()
     {
         for (auto &kv : stats)
             kv.second.reset();
+        for (auto &kv : dists)
+            kv.second.reset();
+        for (auto &kv : vecs)
+            kv.second.reset();
     }
 
-    /** Pretty-print all counters, one per line, prefixed with the group. */
-    void dump(std::ostream &os) const;
+    /** Pretty-print all statistics, one line each, prefixed by group. */
+    void dump(std::ostream &os);
+
+    /** Capture a value-semantic copy (runs preDump, evals formulas). */
+    GroupSnapshot snapshot();
 
     const std::string &groupName() const { return name; }
     const std::map<std::string, Stat> &all() const { return stats; }
+    const std::map<std::string, Distribution> &allDistributions() const
+    {
+        return dists;
+    }
+    const std::map<std::string, VectorStat> &allVectors() const
+    {
+        return vecs;
+    }
 
   private:
     std::string name;
     std::map<std::string, Stat> stats;
+    std::map<std::string, Distribution> dists;
+    std::map<std::string, VectorStat> vecs;
+    std::map<std::string, Formula> formulas;
+    std::function<void()> preDump;
 };
 
 } // namespace dlp

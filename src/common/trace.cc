@@ -1,0 +1,143 @@
+#include "common/trace.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace dlp::trace {
+
+namespace detail {
+
+bool flags[numFlags] = {};
+Tick now = 0;
+
+} // namespace detail
+
+namespace {
+
+std::ostream *sinkStream = nullptr;
+
+const char *const names[numFlags] = {
+    "EventQ", "Mesh", "SMC", "Cache", "Mem", "Engine", "Revit", "Exec",
+};
+
+} // namespace
+
+const char *
+flagName(Flag f)
+{
+    return names[static_cast<unsigned>(f)];
+}
+
+std::vector<std::string>
+flagNames()
+{
+    return std::vector<std::string>(names, names + numFlags);
+}
+
+void
+enable(Flag f)
+{
+    detail::flags[static_cast<unsigned>(f)] = true;
+}
+
+void
+disable(Flag f)
+{
+    detail::flags[static_cast<unsigned>(f)] = false;
+}
+
+void
+disableAll()
+{
+    for (unsigned i = 0; i < numFlags; ++i)
+        detail::flags[i] = false;
+}
+
+bool
+anyEnabled()
+{
+    for (unsigned i = 0; i < numFlags; ++i)
+        if (detail::flags[i])
+            return true;
+    return false;
+}
+
+bool
+setByName(const std::string &spec)
+{
+    bool on = true;
+    std::string name = spec;
+    if (!name.empty() && name[0] == '-') {
+        on = false;
+        name = name.substr(1);
+    }
+    if (name == "All") {
+        for (unsigned i = 0; i < numFlags; ++i)
+            detail::flags[i] = on;
+        return true;
+    }
+    for (unsigned i = 0; i < numFlags; ++i) {
+        if (name == names[i]) {
+            detail::flags[i] = on;
+            return true;
+        }
+    }
+    warn("unknown trace flag '%s' (known: EventQ, Mesh, SMC, Cache, Mem, "
+         "Engine, Revit, Exec, All)", spec.c_str());
+    return false;
+}
+
+void
+parseFlagList(const std::string &list)
+{
+    std::string token;
+    std::istringstream in(list);
+    while (std::getline(in, token, ',')) {
+        // Trim surrounding spaces so "Mesh, SMC" works too.
+        size_t b = token.find_first_not_of(" \t");
+        size_t e = token.find_last_not_of(" \t");
+        if (b == std::string::npos)
+            continue;
+        setByName(token.substr(b, e - b + 1));
+    }
+}
+
+void
+initFromEnv()
+{
+    if (const char *env = std::getenv("DLP_TRACE"))
+        parseFlagList(env);
+}
+
+namespace {
+
+/** Parses DLP_TRACE before main() so env-var tracing just works. */
+struct EnvInit
+{
+    EnvInit() { initFromEnv(); }
+} envInit;
+
+} // namespace
+
+void
+setSink(std::ostream *os)
+{
+    sinkStream = os;
+}
+
+std::ostream &
+sink()
+{
+    return sinkStream ? *sinkStream : std::cout;
+}
+
+void
+output(Flag f, const char *component, const std::string &msg)
+{
+    (void)f;
+    std::ostream &os = sink();
+    os << detail::now << ": " << component << ": " << msg << "\n";
+}
+
+} // namespace dlp::trace

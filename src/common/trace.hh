@@ -1,0 +1,145 @@
+/**
+ * @file
+ * A DPRINTF-style trace framework in the gem5 tradition.
+ *
+ * Components emit tick-stamped trace lines gated by *named flags*:
+ *
+ *     DPRINTF(Mesh, "routed (%u,%u)->(%u,%u) arrive=%" PRIu64,
+ *             src.row, src.col, dst.row, dst.col, arrive);
+ *
+ * prints, when the Mesh flag is on,
+ *
+ *     1234: mesh: routed (0,0)->(3,4) arrive=1240
+ *
+ * Flags are settable programmatically (trace::enable / trace::disable /
+ * trace::parseFlagList) and from the DLP_TRACE environment variable, a
+ * comma-separated list parsed once at startup:
+ *
+ *     DLP_TRACE=Mesh,SMC ./build/bench/bench_figure5
+ *     DLP_TRACE=All,-EventQ ...      # everything except the event queue
+ *
+ * All lines flow through one stream sink (std::cout by default), so the
+ * interleaving of trace output is deterministic for a deterministic
+ * simulation. The tick stamp comes from trace::curTick(), which the
+ * execution engines keep current as simulated time advances.
+ *
+ * When a flag is disabled the macro costs one array load and a branch;
+ * defining DLP_TRACE_DISABLED at compile time removes even that.
+ */
+
+#ifndef DLP_COMMON_TRACE_HH
+#define DLP_COMMON_TRACE_HH
+
+#include <cinttypes>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace dlp {
+
+/**
+ * Default trace component name. A class that traces shadows this with a
+ * member returning its own name (the DPRINTF macro resolves the call at
+ * the use site, so member functions pick up the member automatically).
+ */
+inline const char *dlpTraceName() { return "global"; }
+
+namespace trace {
+
+/** The named trace flags. Keep flagName() in trace.cc in sync. */
+enum class Flag : unsigned
+{
+    EventQ,  ///< event queue scheduling and execution
+    Mesh,    ///< operand-network routing and contention
+    SMC,     ///< software-managed cache banks, channels, DMA
+    Cache,   ///< L1/L2 probes, hits and misses
+    Mem,     ///< memory-system facade (stream/cached accesses)
+    Engine,  ///< engine activations, pacing, instruction issue
+    Revit,   ///< instruction/operand revitalization events
+    Exec,    ///< per-instruction execution (very verbose)
+    NumFlags
+};
+
+constexpr unsigned numFlags = static_cast<unsigned>(Flag::NumFlags);
+
+namespace detail {
+
+/** Per-flag enable bits, indexed by Flag. */
+extern bool flags[numFlags];
+
+/** Current simulated tick used for the line stamp. */
+extern Tick now;
+
+} // namespace detail
+
+/** Is this flag currently enabled? The hot-path check. */
+inline bool
+enabled(Flag f)
+{
+    return detail::flags[static_cast<unsigned>(f)];
+}
+
+/** Engines call this as simulated time advances. */
+inline void setCurTick(Tick t) { detail::now = t; }
+inline Tick curTick() { return detail::now; }
+
+/** The canonical name of one flag. */
+const char *flagName(Flag f);
+
+/** All flag names, in enum order (for help text and tests). */
+std::vector<std::string> flagNames();
+
+void enable(Flag f);
+void disable(Flag f);
+void disableAll();
+
+/** Is at least one flag enabled? */
+bool anyEnabled();
+
+/**
+ * Enable ("Mesh") or disable ("-Mesh") one flag by name; "All" matches
+ * every flag. Names are case-sensitive.
+ * @return false (with a warn()) if the name is unknown.
+ */
+bool setByName(const std::string &spec);
+
+/** Parse a comma-separated flag list ("Mesh,SMC" or "All,-EventQ"). */
+void parseFlagList(const std::string &list);
+
+/**
+ * Parse the DLP_TRACE environment variable. Called automatically before
+ * main() (harmless to call again, e.g. after setenv in tests).
+ */
+void initFromEnv();
+
+/** Redirect trace output (nullptr restores the default, std::cout). */
+void setSink(std::ostream *os);
+std::ostream &sink();
+
+/** Emit one "tick: component: message" line. Not called directly. */
+void output(Flag f, const char *component, const std::string &msg);
+
+} // namespace trace
+} // namespace dlp
+
+#ifdef DLP_TRACE_DISABLED
+#define DPRINTF(flag, ...) do {} while (0)
+#else
+/**
+ * Emit a trace line gated by a named flag. The component name is the
+ * nearest-scope dlpTraceName() (a class member, or the "global" default).
+ */
+#define DPRINTF(flag, ...)                                                    \
+    do {                                                                      \
+        if (::dlp::trace::enabled(::dlp::trace::Flag::flag)) {                \
+            ::dlp::trace::output(                                             \
+                ::dlp::trace::Flag::flag, dlpTraceName(),                     \
+                ::dlp::logging_detail::format(__VA_ARGS__));                  \
+        }                                                                     \
+    } while (0)
+#endif
+
+#endif // DLP_COMMON_TRACE_HH

@@ -1,9 +1,10 @@
 #include "core/block_engine.hh"
 
 #include <algorithm>
-#include <cstdlib>
+#include <cinttypes>
 
 #include "common/bitutils.hh"
+#include "common/trace.hh"
 #include "isa/disasm.hh"
 
 namespace dlp::core {
@@ -50,6 +51,15 @@ BlockEngine::BlockEngine(const MachineParams &params,
         trackedName.push_back("link");
     });
     grantSnapshot.assign(tracked.size(), 0);
+
+    // Issue width is bounded by the tile count; operand waits beyond a
+    // couple hundred ticks all mean "starved" and land in overflow.
+    issueWidth = &engStats.distribution("issueWidth", 0.0,
+                                        double(m.tiles()), 16);
+    operandWait = &engStats.distribution("operandWaitTicks", 0.0, 128.0,
+                                         16);
+    activationsStat = &engStats.scalar("activations");
+    revitalizesStat = &engStats.scalar("revitalizes");
 }
 
 void
@@ -72,10 +82,9 @@ BlockEngine::busySinceSnapshot() const
             argmax = i;
         }
     }
-    if (std::getenv("DLP_II_DEBUG") && worst > 0) {
-        std::fprintf(stderr, "II bottleneck: %s[%zu] busy=%llu ticks\n",
-                     trackedName[argmax], argmax,
-                     (unsigned long long)worst);
+    if (worst > 0) {
+        DPRINTF(Engine, "II bottleneck: %s[%zu] busy=%" PRIu64 " ticks",
+                trackedName[argmax], argmax, worst);
     }
     return worst;
 }
@@ -148,13 +157,15 @@ BlockEngine::run(const sched::SimdPlan &plan, uint64_t numRecords)
         Tick ii = std::max(busySinceSnapshot(), gapTicks);
         Tick prev = nextStart;
         nextStart = std::max(nextStart + ii, actMaxWrite + gapTicks);
-        if (std::getenv("DLP_II_DEBUG")) {
-            std::fprintf(stderr,
-                         "pace: ii=%llu delta=%llu drainLen=%llu\n",
-                         (unsigned long long)ii,
-                         (unsigned long long)(nextStart - prev),
-                         (unsigned long long)(actMaxTick - prev));
+        if (!first) {
+            ++*revitalizesStat;
+            DPRINTF(Revit,
+                    "revitalize %s gap=%" PRIu64 " next at %" PRIu64,
+                    block.name.c_str(), gapTicks, nextStart);
         }
+        DPRINTF(Engine,
+                "pace: ii=%" PRIu64 " delta=%" PRIu64 " drainLen=%" PRIu64,
+                ii, nextStart - prev, actMaxTick - prev);
     };
 
     if (plan.resident()) {
@@ -219,6 +230,7 @@ BlockEngine::runActivation(const MappedBlock &block, Tick startTick,
         for (size_t i = 0; i < block.insts.size(); ++i) {
             auto &st = state[i];
             st.fired = false;
+            st.sawOperand = false;
             const auto &mi = block.insts[i];
             for (unsigned s = 0; s < isa::maxSrcs; ++s) {
                 if (!mi.persistent[s])
@@ -226,6 +238,9 @@ BlockEngine::runActivation(const MappedBlock &block, Tick startTick,
             }
         }
     }
+    DPRINTF(Engine, "activation of %s starts at %" PRIu64 "%s",
+            block.name.c_str(), startTick,
+            firstActivation ? " (fresh mapping)" : "");
 
     firedCount = 0;
     expectedCount = 0;
@@ -259,14 +274,20 @@ BlockEngine::runActivation(const MappedBlock &block, Tick startTick,
     eq.run();
 
     panic_if(firedCount != expectedCount,
-             "block %s deadlocked: fired %llu of %llu instructions",
-             block.name.c_str(), (unsigned long long)firedCount,
-             (unsigned long long)expectedCount);
+             "block %s deadlocked: fired %" PRIu64 " of %" PRIu64
+             " instructions",
+             block.name.c_str(), firedCount, expectedCount);
 
     // Commit: apply buffered register writes.
     for (const auto &w : pendingWrites)
         rf.at(w.first) = w.second;
     pendingWrites.clear();
+
+    // Sustained issue width of this activation: instructions fired over
+    // the issue span (drain excluded -- it overlaps the next activation).
+    Cycles span = ticksToCycles(actMaxIssue - startTick) + 1;
+    issueWidth->sample(double(firedCount) / double(span));
+    ++*activationsStat;
 
     stats.activations++;
 }
@@ -284,6 +305,12 @@ BlockEngine::execute(const MappedBlock &block, uint32_t idx, Tick ready,
     ++stats.instsExecuted;
     if (!mi.overhead)
         ++stats.usefulOps;
+
+    // Operand-wait skew: how long the first-arriving operand sat in the
+    // reservation station before the last one enabled the fire.
+    if (st.sawOperand && ready > st.firstOperand)
+        operandWait->sample(double(ready - st.firstOperand));
+    DPRINTF(Exec, "fire %s at %" PRIu64, isa::disasm(mi).c_str(), ready);
 
     Word a = st.operand[0];
     Word b = mi.immB ? mi.imm : st.operand[1];
@@ -439,6 +466,10 @@ BlockEngine::deliver(const MappedBlock &block, uint32_t producer,
                  isa::disasm(mi).c_str());
         st.operand[slot] = value;
         st.present[slot] = true;
+        if (!st.fired && !st.sawOperand) {
+            st.sawOperand = true;
+            st.firstOperand = when;
+        }
         if (st.fired)
             return;
         if (mi.onceOnly && firedCount >= expectedCount)

@@ -81,12 +81,26 @@ class BlockEngine
     /** Direct register-file access (tests). */
     Word reg(unsigned r) const { return rf.at(r); }
 
+    /**
+     * The engine statistics group ("core.simd"): per-activation
+     * issue-width and operand-wait distributions, activation and
+     * revitalization counters.
+     */
+    StatGroup &statsGroup() { return engStats; }
+
+    /** The operand network (per-link statistics live on it). */
+    noc::MeshNetwork &network() { return mesh; }
+
   private:
+    const char *dlpTraceName() const { return "block"; }
+
     struct InstState
     {
         Word operand[isa::maxSrcs] = {0, 0, 0};
         bool present[isa::maxSrcs] = {false, false, false};
         bool fired = false;
+        Tick firstOperand = 0;    ///< arrival tick of the first operand
+        bool sawOperand = false;  ///< firstOperand is valid
         std::vector<Word> result; ///< result words (Lmw has several)
     };
 
@@ -144,6 +158,12 @@ class BlockEngine
     void snapshotGrants();
     /** Max busy time any tracked resource accumulated since snapshot. */
     Tick busySinceSnapshot() const;
+
+    StatGroup engStats{"core.simd"};
+    Distribution *operandWait = nullptr; ///< first-operand-to-fire ticks
+    Distribution *issueWidth = nullptr;  ///< insts/cycle per activation
+    Stat *activationsStat = nullptr;
+    Stat *revitalizesStat = nullptr;
 
     std::vector<InstState> state;
     uint64_t firedCount = 0;

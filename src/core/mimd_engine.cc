@@ -1,9 +1,11 @@
 #include "core/mimd_engine.hh"
 
 #include <algorithm>
+#include <cinttypes>
 #include <queue>
 
 #include "common/bitutils.hh"
+#include "common/trace.hh"
 #include "isa/disasm.hh"
 
 namespace dlp::core {
@@ -18,6 +20,10 @@ MimdEngine::MimdEngine(const MachineParams &params,
       mesh(params.rows, params.cols, params.hopTicks),
       l0Ports(params.tiles(), sim::Resource(ticksPerCycle))
 {
+    // Each MIMD tile issues at most one instruction per cycle.
+    issueWidth = &engStats.distribution("issueWidth", 0.0, 1.0, 20);
+    operandWait = &engStats.distribution("operandWaitTicks", 0.0, 128.0,
+                                         16);
 }
 
 void
@@ -105,10 +111,18 @@ MimdEngine::run(const sched::MimdPlan &plan, uint64_t numRecords)
             for (Tick o : ts.outstanding)
                 tileEnd = std::max(tileEnd, o);
             end = std::max(end, tileEnd);
+            DPRINTF(Engine, "tile %u finished at %" PRIu64, tileIdx,
+                    tileEnd);
         } else {
             heap.emplace(ts.cursor, tileIdx);
         }
     }
+
+    // Sustained per-tile issue width for this run segment.
+    Cycles span = ticksToCycles(end - start) + 1;
+    for (const auto &ts : tiles)
+        issueWidth->sample(double(ts.executed) / double(span));
+    engStats.scalar("instsExecuted") += double(stats.instsExecuted);
 
     stats.cycles = ticksToCycles(end - curTick);
     curTick = end;
@@ -145,9 +159,14 @@ MimdEngine::step(const sched::MimdPlan &plan, TileState &ts,
              tile, plan.name.c_str());
 
     Tick t = issueTime(plan, ts);
+    trace::setCurTick(t);
+    if (t > ts.cursor)
+        operandWait->sample(double(t - ts.cursor));
     ++stats.instsExecuted;
     if (!si.overhead)
         ++stats.usefulOps;
+    DPRINTF(Exec, "tile %u pc=%" PRIu64 " %s", tile, ts.pc,
+            isa::disasm(si).c_str());
 
     Word a = ts.regs[si.rs[0]];
     Word b = si.immB ? si.imm : ts.regs[si.rs[1]];

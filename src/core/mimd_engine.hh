@@ -48,7 +48,17 @@ class MimdEngine
     /** Advance simulated time (inter-chunk DMA staging). */
     void advanceTo(Tick t) { curTick = std::max(curTick, t); }
 
+    /**
+     * The engine statistics group ("core.mimd"): per-tile issue-width
+     * and operand/scoreboard-wait distributions.
+     */
+    StatGroup &statsGroup() { return engStats; }
+
+    /** The operand network (per-link statistics live on it). */
+    noc::MeshNetwork &network() { return mesh; }
+
   private:
+    const char *dlpTraceName() const { return "mimd"; }
     /** Per-tile architectural and pipeline state. */
     struct TileState
     {
@@ -75,6 +85,10 @@ class MimdEngine
     const std::vector<kernels::Table> *tables = nullptr;
     std::vector<Addr> tableByteBase;
     std::vector<sim::Resource> l0Ports;
+
+    StatGroup engStats{"core.mimd"};
+    Distribution *operandWait = nullptr; ///< scoreboard stall per inst
+    Distribution *issueWidth = nullptr;  ///< insts/cycle per tile per run
 
     Tick curTick = 0;
 

@@ -1,6 +1,7 @@
 #include "kernels/interp.hh"
 
 #include <algorithm>
+#include <cinttypes>
 #include <map>
 
 #include "common/logging.hh"
@@ -77,8 +78,8 @@ class Interp
                             ? info.staticTrip
                             : vals[info.tripValue];
         panic_if(info.staticTrip == 0 && trip > info.maxTrip,
-                 "kernel %s: runtime trip %llu exceeds bound %u",
-                 k.name.c_str(), (unsigned long long)trip, info.maxTrip);
+                 "kernel %s: runtime trip %" PRIu64 " exceeds bound %u",
+                 k.name.c_str(), trip, info.maxTrip);
 
         // Initialize carries.
         for (uint32_t c : info.carries)
@@ -129,8 +130,8 @@ class Interp
           case NodeKind::InWordAt: {
             Word off = s(0);
             panic_if(off >= k.inWords,
-                     "kernel %s reads input word %llu of %u", k.name.c_str(),
-                     (unsigned long long)off, k.inWords);
+                     "kernel %s reads input word %" PRIu64 " of %u", k.name.c_str(),
+                     off, k.inWords);
             if (stats)
                 stats->loads++;
             vals[i] = in[off];
@@ -166,8 +167,8 @@ class Interp
           case NodeKind::OutWordAt: {
             Word off = s(0);
             panic_if(off >= k.outWords,
-                     "kernel %s writes output word %llu of %u",
-                     k.name.c_str(), (unsigned long long)off, k.outWords);
+                     "kernel %s writes output word %" PRIu64 " of %u",
+                     k.name.c_str(), off, k.outWords);
             if (stats)
                 stats->stores++;
             out[off] = s(1);
@@ -175,8 +176,8 @@ class Interp
           }
           case NodeKind::ScratchLoad: {
             Word off = s(0);
-            panic_if(off >= k.scratchWords, "kernel %s scratch read %llu/%u",
-                     k.name.c_str(), (unsigned long long)off,
+            panic_if(off >= k.scratchWords, "kernel %s scratch read %" PRIu64 "/%u",
+                     k.name.c_str(), off,
                      k.scratchWords);
             if (stats)
                 stats->loads++;
@@ -186,8 +187,8 @@ class Interp
           case NodeKind::ScratchStore: {
             Word off = s(0);
             panic_if(off >= k.scratchWords,
-                     "kernel %s scratch write %llu/%u", k.name.c_str(),
-                     (unsigned long long)off, k.scratchWords);
+                     "kernel %s scratch write %" PRIu64 "/%u", k.name.c_str(),
+                     off, k.scratchWords);
             if (stats)
                 stats->stores++;
             scratch[off] = s(1);
@@ -257,8 +258,8 @@ interpretBatch(const Kernel &k, const std::vector<Word> &in,
                const IrregularMemory &mem, InterpStats *stats)
 {
     panic_if(in.size() < numRecords * k.inWords,
-             "input batch too small for %llu records",
-             (unsigned long long)numRecords);
+             "input batch too small for %" PRIu64 " records",
+             numRecords);
     out.resize(numRecords * k.outWords);
     for (uint64_t r = 0; r < numRecords; ++r) {
         interpret(k, r, in.data() + r * k.inWords,

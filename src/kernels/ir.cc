@@ -1,5 +1,7 @@
 #include "kernels/ir.hh"
 
+#include <cinttypes>
+
 #include "common/bitutils.hh"
 
 namespace dlp::kernels {
@@ -62,8 +64,8 @@ Kernel::validate() const
                      "kernel %s node %zu bad table", name.c_str(), i);
         if (n.kind == NodeKind::InWord)
             panic_if(n.imm >= inWords,
-                     "kernel %s node %zu reads input word %llu of %u",
-                     name.c_str(), i, (unsigned long long)n.imm, inWords);
+                     "kernel %s node %zu reads input word %" PRIu64 " of %u",
+                     name.c_str(), i, n.imm, inWords);
         if (n.kind == NodeKind::WordOf) {
             const Node &w = nodes[n.src[0]];
             panic_if(w.kind != NodeKind::InWide &&
@@ -76,8 +78,8 @@ Kernel::validate() const
         }
         if (n.kind == NodeKind::OutWord)
             panic_if(n.imm >= outWords,
-                     "kernel %s node %zu writes output word %llu of %u",
-                     name.c_str(), i, (unsigned long long)n.imm, outWords);
+                     "kernel %s node %zu writes output word %" PRIu64 " of %u",
+                     name.c_str(), i, n.imm, outWords);
         if (n.loop != topLevel)
             panic_if(n.loop >= loops.size(),
                      "kernel %s node %zu in unknown loop", name.c_str(), i);

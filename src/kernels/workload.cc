@@ -1,5 +1,6 @@
 #include "kernels/workload.hh"
 
+#include <cinttypes>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -140,8 +141,8 @@ class FftWorkload : public Workload
     FftWorkload(Kernel k, uint64_t n, uint64_t seed)
         : Workload(std::move(k)), size(n)
     {
-        panic_if(!isPowerOf2(n) || n < 2, "fft size %llu",
-                 (unsigned long long)n);
+        panic_if(!isPowerOf2(n) || n < 2, "fft size %" PRIu64,
+                 n);
         Rng rng(seed);
         original.resize(n);
         for (auto &c : original)

@@ -9,6 +9,7 @@
 #ifndef DLP_MEM_MAIN_MEMORY_HH
 #define DLP_MEM_MAIN_MEMORY_HH
 
+#include <cinttypes>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
@@ -35,8 +36,8 @@ class MainMemory
     Word
     readWord(Addr addr) const
     {
-        panic_if(addr % wordBytes != 0, "unaligned word read 0x%llx",
-                 (unsigned long long)addr);
+        panic_if(addr % wordBytes != 0, "unaligned word read 0x%" PRIx64,
+                 addr);
         const Frame *f = findFrame(addr);
         if (!f)
             return 0;
@@ -49,8 +50,8 @@ class MainMemory
     void
     writeWord(Addr addr, Word value)
     {
-        panic_if(addr % wordBytes != 0, "unaligned word write 0x%llx",
-                 (unsigned long long)addr);
+        panic_if(addr % wordBytes != 0, "unaligned word write 0x%" PRIx64,
+                 addr);
         Frame &f = frame(addr);
         std::memcpy(f.data() + frameOffset(addr), &value, wordBytes);
     }

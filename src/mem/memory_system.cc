@@ -1,5 +1,6 @@
 #include "mem/memory_system.hh"
 
+#include <cinttypes>
 #include <cstdlib>
 
 namespace dlp::mem {
@@ -16,6 +17,33 @@ MemorySystem::MemorySystem(const MemParams &params, bool smcOn, Tick hop)
                                            params.l2Assoc, params.lineBytes,
                                            params.rows, params.l2Latency))
 {
+    initStats();
+}
+
+void
+MemorySystem::initStats()
+{
+    cachedLatency =
+        &statGroup.distribution("cachedLatencyTicks", 0.0, 256.0, 32);
+    cachedAccesses = &statGroup.scalar("cachedAccesses");
+    streamReadsStat = &statGroup.scalar("streamReads");
+    streamWritesStat = &statGroup.scalar("streamWrites");
+    statGroup.formula("l1HitRate", [this] {
+        uint64_t total = l1Cache->hits() + l1Cache->misses();
+        return total ? double(l1Cache->hits()) / double(total) : 0.0;
+    });
+    statGroup.formula("l2HitRate", [this] {
+        uint64_t total = l2Cache->hits() + l2Cache->misses();
+        return total ? double(l2Cache->hits()) / double(total) : 0.0;
+    });
+    statGroup.setPreDump([this] {
+        statGroup.scalar("l1Hits").set(double(l1Cache->hits()));
+        statGroup.scalar("l1Misses").set(double(l1Cache->misses()));
+        statGroup.scalar("l2Hits").set(double(l2Cache->hits()));
+        statGroup.scalar("l2Misses").set(double(l2Cache->misses()));
+        statGroup.scalar("mainMemAccesses")
+            .set(double(mainMem->accesses()));
+    });
 }
 
 Tick
@@ -37,15 +65,24 @@ MemorySystem::cachedTiming(unsigned row, Addr byteAddr, Tick start,
         t += l2Cache->hitLatencyTicks();
         if (!l2Hit)
             t = mainMem->access(t, cfg.lineBytes / wordBytes);
+        DPRINTF(Cache, "%s 0x%" PRIx64 " L1 miss, L2 %s", write ? "st" : "ld",
+                byteAddr, l2Hit ? "hit" : "miss");
     }
     // Response travels back across the same edge distance.
-    return t + dist * hopTicks;
+    Tick done = t + dist * hopTicks;
+    ++*cachedAccesses;
+    cachedLatency->sample(double(done - start));
+    DPRINTF(Mem,
+            "cached %s row %u 0x%" PRIx64 " start=%" PRIu64 " done=%" PRIu64,
+            write ? "write" : "read", row, byteAddr, start, done);
+    return done;
 }
 
 Tick
 MemorySystem::streamRead(unsigned row, Addr wordAddr, unsigned nwords,
                          Tick start, Word *out, unsigned stride)
 {
+    ++*streamReadsStat;
     if (useSmc)
         return smcSub->read(row, wordAddr, nwords, start, out, stride);
 
@@ -68,6 +105,7 @@ Tick
 MemorySystem::streamWrite(unsigned row, Addr wordAddr, Word value,
                           Tick start)
 {
+    ++*streamWritesStat;
     if (useSmc)
         return smcSub->write(row, wordAddr, value, start);
 
@@ -103,6 +141,7 @@ MemorySystem::resetTiming()
     smcSub->resetTiming();
     l1Cache->reset();
     l2Cache->reset();
+    statGroup.resetAll();
 }
 
 } // namespace dlp::mem

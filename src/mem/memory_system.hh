@@ -24,6 +24,8 @@
 
 #include <memory>
 
+#include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "mem/cache_model.hh"
 #include "mem/main_memory.hh"
@@ -70,9 +72,21 @@ class MemorySystem
 
     const MemParams &params() const { return cfg; }
 
+    /**
+     * The memory-system statistics group ("mem.sys"): stream/cached
+     * access counters, a cached-access latency histogram and L1/L2
+     * hit-rate formulas.
+     */
+    StatGroup &statsGroup() { return statGroup; }
+
     void resetTiming();
 
   private:
+    const char *dlpTraceName() const { return "memsys"; }
+
+    /** Register statistics and the L1/L2 hit-rate formulas. */
+    void initStats();
+
     /** Byte address the stream region occupies when the SMC is disabled. */
     Addr
     streamByteAddr(Addr wordAddr) const
@@ -88,6 +102,12 @@ class MemorySystem
     std::unique_ptr<SmcSubsystem> smcSub;
     std::unique_ptr<CacheModel> l1Cache;
     std::unique_ptr<CacheModel> l2Cache;
+
+    StatGroup statGroup{"mem.sys"};
+    Distribution *cachedLatency = nullptr; ///< cached round-trip ticks
+    Stat *cachedAccesses = nullptr;
+    Stat *streamReadsStat = nullptr;
+    Stat *streamWritesStat = nullptr;
 
     /// Streams live in a dedicated region of the physical address space
     /// so baseline cached accesses don't alias workload textures.

@@ -15,10 +15,13 @@
 #ifndef DLP_MEM_SMC_HH
 #define DLP_MEM_SMC_HH
 
+#include <cinttypes>
 #include <cstdint>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "mem/main_memory.hh"
 #include "mem/params.hh"
@@ -39,9 +42,8 @@ class SmcSubsystem
     peek(Addr wordAddr) const
     {
         panic_if(wordAddr >= storage.size(),
-                 "SMC peek past capacity (%llu >= %llu)",
-                 (unsigned long long)wordAddr,
-                 (unsigned long long)storage.size());
+                 "SMC peek past capacity (%" PRIu64 " >= %zu)", wordAddr,
+                 storage.size());
         return storage[wordAddr];
     }
 
@@ -49,9 +51,8 @@ class SmcSubsystem
     poke(Addr wordAddr, Word value)
     {
         panic_if(wordAddr >= storage.size(),
-                 "SMC poke past capacity (%llu >= %llu)",
-                 (unsigned long long)wordAddr,
-                 (unsigned long long)storage.size());
+                 "SMC poke past capacity (%" PRIu64 " >= %zu)", wordAddr,
+                 storage.size());
         storage[wordAddr] = value;
     }
 
@@ -86,6 +87,13 @@ class SmcSubsystem
     uint64_t writes() const { return nWrites; }
     uint64_t wordsRead() const { return nWordsRead; }
 
+    /**
+     * The SMC statistics group ("mem.smc"): a per-row bank-conflict
+     * counter vector, read-burst and row-streaming-occupancy
+     * distributions, and derived bandwidth formulas.
+     */
+    StatGroup &statsGroup() { return statGroup; }
+
     /** Port resources, exposed for occupancy accounting. */
     std::vector<sim::Resource> &bankPortResources() { return bankPorts; }
     std::vector<sim::Resource> &storeBufResources()
@@ -110,6 +118,11 @@ class SmcSubsystem
     void resetTiming();
 
   private:
+    const char *dlpTraceName() const { return "smc"; }
+
+    /** Register statistics and the pre-dump occupancy refresh. */
+    void initStats();
+
     sim::Resource &
     bankPort(unsigned row)
     {
@@ -127,6 +140,11 @@ class SmcSubsystem
     uint64_t nReads = 0;
     uint64_t nWrites = 0;
     uint64_t nWordsRead = 0;
+    Tick lastActivity = 0; ///< latest bank-port grant end
+
+    StatGroup statGroup{"mem.smc"};
+    VectorStat *bankConflicts = nullptr; ///< per-row waited accesses
+    Distribution *burstDist = nullptr;   ///< words per stream read
 };
 
 } // namespace dlp::mem

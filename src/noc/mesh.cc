@@ -1,5 +1,7 @@
 #include "noc/mesh.hh"
 
+#include <cinttypes>
+
 namespace dlp::noc {
 
 MeshNetwork::MeshNetwork(unsigned nrows, unsigned ncols, Tick hop)
@@ -12,6 +14,50 @@ MeshNetwork::MeshNetwork(unsigned nrows, unsigned ncols, Tick hop)
       edgeIn(nrows, sim::Resource(1))
 {
     panic_if(rows == 0 || cols == 0, "degenerate mesh %ux%u", rows, cols);
+    initStats();
+}
+
+void
+MeshNetwork::initStats()
+{
+    // Stalls longer than ~2 activations of a saturated link land in the
+    // overflow bin; the interesting shape is the low end.
+    stallDist = &statGroup.distribution("contentionStallTicks", 0.0, 32.0,
+                                        16);
+    statGroup.formula("avgHopsPerOperand", [this] {
+        return routed ? double(hops) / double(routed) : 0.0;
+    });
+    statGroup.formula("avgStallPerHop", [this] {
+        return hops ? double(contention) / double(hops) : 0.0;
+    });
+
+    // Derived at dump time: busy fraction of every unidirectional link
+    // over the interval the mesh was active, plus per-direction totals.
+    statGroup.setPreDump([this] {
+        statGroup.scalar("operandsRouted").set(double(routed));
+        statGroup.scalar("totalHops").set(double(hops));
+        statGroup.scalar("contentionTicks").set(double(contention));
+
+        Distribution &util =
+            statGroup.distribution("linkUtilization", 0.0, 1.0, 20);
+        util.reset();
+        // Direction order: east, west, south, north, edgeOut, edgeIn.
+        VectorStat &byDir = statGroup.vector("grantsByDirection", 6);
+        byDir.reset();
+        const std::vector<sim::Resource> *sets[6] = {&east,    &west,
+                                                     &south,   &north,
+                                                     &edgeOut, &edgeIn};
+        for (unsigned d = 0; d < 6; ++d) {
+            for (const auto &link : *sets[d]) {
+                byDir.inc(d, double(link.grants()));
+                if (lastActivity > 0) {
+                    double busy = double(link.grants()) *
+                                  double(link.interval());
+                    util.sample(busy / double(lastActivity));
+                }
+            }
+        }
+    });
 }
 
 sim::Resource &
@@ -33,8 +79,11 @@ MeshNetwork::traverseLink(Coord at, int drow, int dcol, Tick ready)
     sim::Resource &link = linkFor(at, drow, dcol);
     Tick grant = link.acquire(ready);
     contention += grant - ready;
+    stallDist->sample(double(grant - ready));
     ++hops;
-    return grant + hopTicks;
+    Tick depart = grant + hopTicks;
+    lastActivity = std::max(lastActivity, depart);
+    return depart;
 }
 
 Tick
@@ -63,6 +112,11 @@ MeshNetwork::route(Coord src, Coord dst, Tick inject)
         t = traverseLink(cur, drow, 0, t);
         cur.row = static_cast<uint8_t>(cur.row + drow);
     }
+    DPRINTF(Mesh,
+            "route (%u,%u)->(%u,%u) inject=%" PRIu64 " arrive=%" PRIu64
+            " stall=%" PRIu64,
+            src.row, src.col, dst.row, dst.col, inject, t,
+            t - inject - Tick(distance(src, dst)) * hopTicks);
     return t;
 }
 
@@ -81,8 +135,14 @@ MeshNetwork::routeToEdge(Coord src, Tick inject)
     // Cross from column 0 into the row's memory port.
     Tick grant = edgeOut[src.row].acquire(t);
     contention += grant - t;
+    stallDist->sample(double(grant - t));
     ++hops;
-    return grant + hopTicks;
+    Tick arrive = grant + hopTicks;
+    lastActivity = std::max(lastActivity, arrive);
+    DPRINTF(Mesh,
+            "toEdge (%u,%u) inject=%" PRIu64 " at-port=%" PRIu64,
+            src.row, src.col, inject, arrive);
+    return arrive;
 }
 
 Tick
@@ -95,8 +155,10 @@ MeshNetwork::routeFromEdge(unsigned row, Coord dst, Tick inject)
     // Cross from the memory port into column 0 of the row.
     Tick grant = edgeIn[row].acquire(inject);
     contention += grant - inject;
+    stallDist->sample(double(grant - inject));
     ++hops;
     Tick t = grant + hopTicks;
+    lastActivity = std::max(lastActivity, t);
 
     Coord cur{static_cast<uint8_t>(row), 0};
     while (cur.col != dst.col) {
@@ -108,6 +170,9 @@ MeshNetwork::routeFromEdge(unsigned row, Coord dst, Tick inject)
         t = traverseLink(cur, drow, 0, t);
         cur.row = static_cast<uint8_t>(cur.row + drow);
     }
+    DPRINTF(Mesh,
+            "fromEdge row %u ->(%u,%u) inject=%" PRIu64 " arrive=%" PRIu64,
+            row, dst.row, dst.col, inject, t);
     return t;
 }
 
@@ -120,6 +185,8 @@ MeshNetwork::reset()
     routed = 0;
     hops = 0;
     contention = 0;
+    lastActivity = 0;
+    statGroup.resetAll();
 }
 
 } // namespace dlp::noc

@@ -24,6 +24,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "sim/resource.hh"
 
@@ -85,6 +86,14 @@ class MeshNetwork
     uint64_t totalHops() const { return hops; }
     Tick contentionTicks() const { return contention; }
 
+    /**
+     * The mesh statistics group ("noc.mesh"): routing counters, a
+     * per-hop contention-stall histogram, and — refreshed at dump time —
+     * a per-link utilization distribution and per-direction grant
+     * vector over the observed simulated interval.
+     */
+    StatGroup &statsGroup() { return statGroup; }
+
     /** Clear all link occupancy and counters. */
     void reset();
 
@@ -99,6 +108,11 @@ class MeshNetwork
     }
 
   private:
+    const char *dlpTraceName() const { return "mesh"; }
+
+    /** Register statistics and the pre-dump utilization refresh. */
+    void initStats();
+
     /** Traverse one link in the given direction from tile at. */
     Tick traverseLink(Coord at, int drow, int dcol, Tick ready);
 
@@ -120,6 +134,10 @@ class MeshNetwork
     uint64_t routed = 0;
     uint64_t hops = 0;
     Tick contention = 0;
+    Tick lastActivity = 0; ///< latest link grant end (for utilization)
+
+    StatGroup statGroup{"noc.mesh"};
+    Distribution *stallDist = nullptr; ///< per-hop contention stalls
 };
 
 } // namespace dlp::noc

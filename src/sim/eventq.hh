@@ -11,12 +11,14 @@
 #ifndef DLP_SIM_EVENTQ_HH
 #define DLP_SIM_EVENTQ_HH
 
+#include <cinttypes>
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 
 namespace dlp::sim {
@@ -42,8 +44,11 @@ class EventQueue
     void
     schedule(Tick when, EventFn fn)
     {
-        panic_if(when < now, "scheduling event in the past (%llu < %llu)",
-                 (unsigned long long)when, (unsigned long long)now);
+        panic_if(when < now,
+                 "scheduling event in the past (%" PRIu64 " < %" PRIu64 ")",
+                 when, now);
+        DPRINTF(EventQ, "schedule event at %" PRIu64 " (%zu pending)", when,
+                events.size());
         events.push(Event{when, nextSeq++, std::move(fn)});
     }
 
@@ -81,10 +86,11 @@ class EventQueue
             Event ev = std::move(const_cast<Event &>(events.top()));
             events.pop();
             fatal_if(ev.when > limit,
-                     "simulation exceeded tick limit %llu; "
-                     "the simulated machine probably deadlocked",
-                     (unsigned long long)limit);
+                     "simulation exceeded tick limit %" PRIu64 "; "
+                     "the simulated machine probably deadlocked", limit);
             now = ev.when;
+            trace::setCurTick(now);
+            DPRINTF(EventQ, "event fires (%zu pending)", events.size());
             ev.fn();
         }
         return now;
@@ -101,6 +107,9 @@ class EventQueue
     }
 
   private:
+    /** Component name used by DPRINTF lines from this class. */
+    static const char *dlpTraceName() { return "eventq"; }
+
     struct Event
     {
         Tick when;

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Tests for the observability layer: trace flags and the DPRINTF sink,
+ * the non-scalar statistics (distributions, vectors, formulas) and their
+ * snapshots, warn() rate limiting, the JSON writer/parser round trip,
+ * and the experiment-result exporter's document shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "analysis/experiments.hh"
+#include "analysis/export.hh"
+#include "analysis/json.hh"
+#include "analysis/report.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/trace.hh"
+
+using namespace dlp;
+namespace json = dlp::analysis::json;
+
+namespace {
+
+/** RAII: leave the global trace state clean for the next test. */
+struct TraceReset
+{
+    TraceReset() { trace::disableAll(); }
+
+    ~TraceReset()
+    {
+        trace::disableAll();
+        trace::setSink(nullptr);
+        trace::setCurTick(0);
+    }
+};
+
+/** A component the way the engines declare one. */
+class Widget
+{
+  public:
+    void
+    poke(uint64_t when)
+    {
+        trace::setCurTick(when);
+        DPRINTF(Mesh, "poked with %" PRIu64, when);
+    }
+
+  private:
+    const char *dlpTraceName() const { return "widget"; }
+};
+
+} // namespace
+
+TEST(TraceFlags, NamesAndProgrammaticControl)
+{
+    TraceReset guard;
+    EXPECT_FALSE(trace::anyEnabled());
+    EXPECT_STREQ(trace::flagName(trace::Flag::Mesh), "Mesh");
+    EXPECT_STREQ(trace::flagName(trace::Flag::SMC), "SMC");
+    EXPECT_EQ(trace::flagNames().size(), trace::numFlags);
+
+    trace::enable(trace::Flag::Mesh);
+    EXPECT_TRUE(trace::enabled(trace::Flag::Mesh));
+    EXPECT_FALSE(trace::enabled(trace::Flag::SMC));
+    EXPECT_TRUE(trace::anyEnabled());
+
+    trace::disable(trace::Flag::Mesh);
+    EXPECT_FALSE(trace::anyEnabled());
+}
+
+TEST(TraceFlags, SetByName)
+{
+    TraceReset guard;
+    EXPECT_TRUE(trace::setByName("SMC"));
+    EXPECT_TRUE(trace::enabled(trace::Flag::SMC));
+    EXPECT_TRUE(trace::setByName("-SMC"));
+    EXPECT_FALSE(trace::enabled(trace::Flag::SMC));
+
+    EXPECT_TRUE(trace::setByName("All"));
+    for (unsigned i = 0; i < trace::numFlags; ++i)
+        EXPECT_TRUE(trace::enabled(static_cast<trace::Flag>(i)));
+    EXPECT_TRUE(trace::setByName("-All"));
+    EXPECT_FALSE(trace::anyEnabled());
+
+    setQuietLogging(true);
+    EXPECT_FALSE(trace::setByName("NoSuchFlag"));
+    setQuietLogging(false);
+    EXPECT_FALSE(trace::anyEnabled());
+}
+
+TEST(TraceFlags, ParseFlagList)
+{
+    TraceReset guard;
+    trace::parseFlagList("Mesh, SMC");
+    EXPECT_TRUE(trace::enabled(trace::Flag::Mesh));
+    EXPECT_TRUE(trace::enabled(trace::Flag::SMC));
+    EXPECT_FALSE(trace::enabled(trace::Flag::EventQ));
+
+    trace::disableAll();
+    trace::parseFlagList("All,-Exec");
+    EXPECT_TRUE(trace::enabled(trace::Flag::Mesh));
+    EXPECT_FALSE(trace::enabled(trace::Flag::Exec));
+}
+
+TEST(TraceFlags, InitFromEnv)
+{
+    TraceReset guard;
+    ::setenv("DLP_TRACE", "Mesh,SMC", 1);
+    trace::initFromEnv();
+    ::unsetenv("DLP_TRACE");
+    EXPECT_TRUE(trace::enabled(trace::Flag::Mesh));
+    EXPECT_TRUE(trace::enabled(trace::Flag::SMC));
+    EXPECT_FALSE(trace::enabled(trace::Flag::Engine));
+}
+
+TEST(TraceOutput, TickComponentMessageFormat)
+{
+    TraceReset guard;
+    std::ostringstream lines;
+    trace::setSink(&lines);
+    trace::enable(trace::Flag::Mesh);
+
+    Widget w;
+    w.poke(42);
+    DPRINTF(Mesh, "from free scope");
+    trace::disable(trace::Flag::Mesh);
+    w.poke(99); // flag off: must not print
+
+    EXPECT_EQ(lines.str(),
+              "42: widget: poked with 42\n"
+              "42: global: from free scope\n");
+}
+
+TEST(WarnDeduplication, SuppressesAfterLimit)
+{
+    resetWarnDeduplication();
+    testing::internal::CaptureStderr();
+    for (int i = 0; i < 20; ++i)
+        warn("repeated observability test message");
+    warn("distinct observability test message");
+    std::string err = testing::internal::GetCapturedStderr();
+    resetWarnDeduplication();
+
+    size_t count = 0;
+    for (size_t pos = 0;
+         (pos = err.find("repeated observability", pos)) != std::string::npos;
+         ++pos)
+        ++count;
+    EXPECT_EQ(count, warnRepeatLimit);
+    EXPECT_NE(err.find("repeated 5 times"), std::string::npos);
+    EXPECT_NE(err.find("distinct observability"), std::string::npos);
+}
+
+TEST(Distribution, BucketsAndMoments)
+{
+    Distribution d("lat", 0.0, 10.0, 5);
+    for (double v : {1.0, 3.0, 3.0, 9.0})
+        d.sample(v);
+    d.sample(-1.0); // underflow
+    d.sample(10.0); // hi is exclusive: overflow
+    d.sample(25.0);
+
+    EXPECT_EQ(d.samples(), 7u);
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 2u);
+    EXPECT_EQ(d.bucket(0), 1u); // [0,2): 1.0
+    EXPECT_EQ(d.bucket(1), 2u); // [2,4): 3.0 x2
+    EXPECT_EQ(d.bucket(4), 1u); // [8,10): 9.0
+    EXPECT_DOUBLE_EQ(d.minValue(), -1.0);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 25.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 50.0 / 7.0);
+    EXPECT_DOUBLE_EQ(d.bucketWidth(), 2.0);
+
+    // Unbiased sample stdev of {1,3,3,9,-1,10,25}.
+    double m = 50.0 / 7.0;
+    double ss = 0;
+    for (double v : {1.0, 3.0, 3.0, 9.0, -1.0, 10.0, 25.0})
+        ss += (v - m) * (v - m);
+    EXPECT_NEAR(d.stdev(), std::sqrt(ss / 6.0), 1e-9);
+
+    d.reset();
+    EXPECT_EQ(d.samples(), 0u);
+    EXPECT_EQ(d.bucket(1), 0u);
+}
+
+TEST(VectorStatTest, LanesAndTotal)
+{
+    VectorStat v("lanes", 4);
+    v.inc(0);
+    v.inc(0);
+    v.inc(3, 5.0);
+    v.set(1, 2.0);
+    EXPECT_DOUBLE_EQ(v.at(0), 2.0);
+    EXPECT_DOUBLE_EQ(v.at(1), 2.0);
+    EXPECT_DOUBLE_EQ(v.at(2), 0.0);
+    EXPECT_DOUBLE_EQ(v.total(), 9.0);
+    EXPECT_DOUBLE_EQ(v.maxValue(), 5.0);
+    EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(Formula, EvaluatesAtReadTime)
+{
+    StatGroup g("test.group");
+    Stat &hits = g.scalar("hits");
+    Stat &misses = g.scalar("misses");
+    g.formula("hitRate", [&] {
+        double total = hits.get() + misses.get();
+        return total ? hits.get() / total : 0.0;
+    });
+
+    hits += 3;
+    misses += 1;
+    GroupSnapshot snap = g.snapshot();
+    EXPECT_DOUBLE_EQ(snap.formulas.at("hitRate"), 0.75);
+
+    // Formulas track later updates (evaluated per snapshot/dump).
+    misses += 2;
+    EXPECT_DOUBLE_EQ(g.snapshot().formulas.at("hitRate"), 0.5);
+}
+
+TEST(StatGroupSnapshot, CarriesAllStatKinds)
+{
+    StatGroup g("snap.group");
+    g.scalar("count") += 7;
+    Distribution &d = g.distribution("dist", 0.0, 4.0, 4);
+    d.sample(1.0);
+    d.sample(3.0);
+    g.vector("vec", 3).inc(2, 4.0);
+    g.formula("twice", [&] { return g.scalar("count").get() * 2.0; });
+
+    GroupSnapshot snap = g.snapshot();
+    EXPECT_EQ(snap.name, "snap.group");
+    EXPECT_DOUBLE_EQ(snap.scalars.at("count"), 7.0);
+    EXPECT_DOUBLE_EQ(snap.formulas.at("twice"), 14.0);
+    EXPECT_EQ(snap.distributions.at("dist").samples(), 2u);
+    EXPECT_DOUBLE_EQ(snap.vectors.at("vec").at(2), 4.0);
+
+    // Snapshots are value copies: later samples don't leak in.
+    d.sample(2.0);
+    EXPECT_EQ(snap.distributions.at("dist").samples(), 2u);
+}
+
+TEST(Json, WriteParseRoundTrip)
+{
+    json::Value doc = json::Value::object();
+    doc.set("name", "mesh \"east\" link\n");
+    doc.set("count", uint64_t(123456789012345ull));
+    doc.set("ratio", 0.3333333333333333);
+    doc.set("ok", true);
+    doc.set("missing", nullptr);
+    json::Value arr = json::Value::array();
+    for (int i = 0; i < 4; ++i)
+        arr.push(i * 1.5);
+    doc.set("buckets", std::move(arr));
+
+    for (unsigned indent : {0u, 2u}) {
+        std::string text = json::write(doc, indent);
+        json::Value back = json::parse(text);
+        EXPECT_EQ(back.at("name").asString(), "mesh \"east\" link\n");
+        EXPECT_DOUBLE_EQ(back.at("count").asNumber(), 123456789012345.0);
+        EXPECT_DOUBLE_EQ(back.at("ratio").asNumber(), 0.3333333333333333);
+        EXPECT_TRUE(back.at("ok").asBool());
+        EXPECT_TRUE(back.at("missing").isNull());
+        EXPECT_EQ(back.at("buckets").size(), 4u);
+        EXPECT_DOUBLE_EQ(back.at("buckets").at(3).asNumber(), 4.5);
+    }
+
+    // Integral numbers serialize without a decimal point.
+    EXPECT_NE(json::write(doc, 0).find("\"count\":123456789012345"),
+              std::string::npos);
+}
+
+TEST(Json, StableKeyOrder)
+{
+    json::Value doc = json::Value::object();
+    doc.set("zebra", 1);
+    doc.set("alpha", 2);
+    doc.set("zebra", 3); // overwrite keeps first-set position
+    std::string text = json::write(doc, 0);
+    EXPECT_EQ(text, "{\"zebra\":3,\"alpha\":2}");
+}
+
+TEST(Json, ParseErrors)
+{
+    EXPECT_THROW(json::parse("{"), FatalError);
+    EXPECT_THROW(json::parse("[1,]"), FatalError);
+    EXPECT_THROW(json::parse("{\"a\" 1}"), FatalError);
+    EXPECT_THROW(json::parse("nul"), FatalError);
+    EXPECT_THROW(json::parse("12 34"), FatalError);
+    EXPECT_THROW(json::parse("\"unterminated"), FatalError);
+    EXPECT_THROW(json::Value::object().at("nope"), PanicError);
+}
+
+TEST(Exporter, ExperimentResultDocumentShape)
+{
+    setQuietLogging(true);
+    auto res = analysis::runExperiment("convert", "baseline", 64);
+    ASSERT_TRUE(res.verified);
+
+    json::Value doc = analysis::toJson(res);
+    EXPECT_EQ(doc.at("kernel").asString(), "convert");
+    EXPECT_EQ(doc.at("config").asString(), "baseline");
+    EXPECT_GT(doc.at("cycles").asNumber(), 0.0);
+    EXPECT_GT(doc.at("opsPerCycle").asNumber(), 0.0);
+
+    // The required non-scalar stats ride along in the snapshots.
+    const json::Value &groups = doc.at("statGroups");
+    ASSERT_EQ(groups.size(), 4u);
+    bool meshUtil = false, smcConflicts = false, operandWait = false;
+    for (const auto &g : groups.items()) {
+        const std::string &name = g.at("name").asString();
+        if (name == "noc.mesh")
+            meshUtil = g.at("distributions").has("linkUtilization");
+        if (name == "mem.smc")
+            smcConflicts = g.at("vectors").has("bankConflicts");
+        if (name == "core.simd")
+            operandWait = g.at("distributions").has("operandWaitTicks");
+    }
+    EXPECT_TRUE(meshUtil);
+    EXPECT_TRUE(smcConflicts);
+    EXPECT_TRUE(operandWait);
+
+    // Round-trips through the parser.
+    json::Value back = json::parse(json::write(doc));
+    EXPECT_DOUBLE_EQ(back.at("cycles").asNumber(),
+                     doc.at("cycles").asNumber());
+}
+
+// The report helpers' documented edge cases (kept alongside the exporter
+// tests because the JSON means reuse them).
+TEST(ReportGaps, HarmonicMeanRejectsDegenerateInput)
+{
+    EXPECT_THROW(analysis::harmonicMean({}), PanicError);
+    EXPECT_THROW(analysis::harmonicMean({1.0, 0.0}), PanicError);
+    EXPECT_DOUBLE_EQ(analysis::harmonicMean({4.0, 4.0}), 4.0);
+}
