@@ -14,7 +14,9 @@
  *  - Flexible beats fixed S by ~55%, fixed S-O by ~20%, fixed M-D by ~5%.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
@@ -23,6 +25,7 @@
 #include "analysis/report.hh"
 #include "arch/configs.hh"
 #include "common/logging.hh"
+#include "driver/job_pool.hh"
 
 using namespace dlp;
 using namespace dlp::analysis;
@@ -32,8 +35,14 @@ main(int argc, char **argv)
 {
     setQuietLogging(true);
     uint64_t scaleDiv = 1;
-    if (argc > 1 && std::strcmp(argv[1], "--quick") == 0)
-        scaleDiv = 8;
+    unsigned jobs = 0; // 0 = DLP_JOBS environment default
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            scaleDiv = 8;
+        else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
+    }
+    unsigned effectiveJobs = jobs ? jobs : driver::JobPool::defaultWorkers();
 
     std::cout << "Table 5: machine configurations\n";
     TextTable t5;
@@ -46,10 +55,16 @@ main(int argc, char **argv)
     t5.row({"M", "Y", "N", "N", "N", "MIMD"});
     t5.row({"M-D", "Y", "Y", "N", "N", "MIMD + lookup table"});
     t5.print(std::cout);
-    std::cout << "\nRunning the experiment grid (13 kernels x 6 configs)"
+    std::cout << "\nRunning the experiment grid (13 kernels x 6 configs, "
+              << effectiveJobs
+              << (effectiveJobs == 1 ? " worker)" : " workers)")
               << (scaleDiv > 1 ? " [quick mode]" : "") << "...\n\n";
 
-    Grid grid = runGrid(scaleDiv);
+    auto t0 = std::chrono::steady_clock::now();
+    Grid grid = runGrid(scaleDiv, 1234, effectiveJobs);
+    double wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
 
     std::cout << "Figure 5: speedup over baseline (grouped by best "
                  "config)\n";
@@ -83,9 +98,15 @@ main(int argc, char **argv)
     std::cout << "\nPaper reference: Flexible is +55% over fixed S, +20% "
                  "over fixed S-O, +5% over fixed M-D.\n";
 
+    std::cout << "\nGrid wall clock: " << fmt(wallSeconds, 2) << " s with "
+              << effectiveJobs
+              << (effectiveJobs == 1 ? " worker\n" : " workers\n");
+
     json::Value doc = toJson(grid);
     doc.set("figure", "figure5");
     doc.set("scaleDiv", scaleDiv);
+    doc.set("wallSeconds", wallSeconds);
+    doc.set("jobs", uint64_t(effectiveJobs));
     json::Value means = json::Value::object();
     for (const auto &config : {"S", "S-O", "S-O-D", "M", "M-D", "flexible"})
         means.set(config, meanSpeedup(grid, config));

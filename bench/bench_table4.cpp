@@ -6,8 +6,14 @@
  * The paper's trend -- DSP kernels sustain the highest throughput and
  * the irregular/control-heavy kernels the lowest -- is the claim under
  * test; absolute values depend on the authors' simulator internals.
+ *
+ * Usage: bench_table4 [--quick] [--jobs N]
+ * The 13 baseline simulations are independent; --jobs (or DLP_JOBS)
+ * runs them concurrently on the sweep driver.
  */
 
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -17,6 +23,7 @@
 #include "analysis/export.hh"
 #include "analysis/report.hh"
 #include "common/logging.hh"
+#include "driver/sweep.hh"
 
 using namespace dlp;
 using namespace dlp::analysis;
@@ -25,8 +32,14 @@ int
 main(int argc, char **argv)
 {
     setQuietLogging(true);
-    uint64_t scaleDiv =
-        (argc > 1 && std::strcmp(argv[1], "--quick") == 0) ? 8 : 1;
+    uint64_t scaleDiv = 1;
+    driver::SweepOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            scaleDiv = 8;
+        else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            opts.jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
+    }
 
     static const std::map<std::string, double> paper = {
         {"convert", 14.1},          {"dct", 10.4},
@@ -38,15 +51,24 @@ main(int argc, char **argv)
         {"vertex-skinning", 5.6},
     };
 
+    driver::SweepPlan plan;
+    for (const auto &kernel : perfKernels())
+        plan.add(kernel, "baseline", scaleDiv);
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto results = driver::runSweep(plan, opts);
+    double wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
     std::cout << "Table 4: baseline TRIPS useful ops/cycle "
                  "(ours vs. paper)\n\n";
     TextTable t;
     t.header({"Benchmark", "ops/cycle", "paper", "cycles", "records"});
     double dspOurs = 0, otherOurs = 0;
     int dspN = 0, otherN = 0;
-    std::vector<arch::ExperimentResult> results;
-    for (const auto &kernel : perfKernels()) {
-        auto res = runExperiment(kernel, "baseline", scaleDiv);
+    for (const auto &res : results) {
+        const std::string &kernel = res.kernel;
         double oc = res.opsPerCycle();
         t.row({kernel, fmt(oc), fmt(paper.at(kernel), 1),
                std::to_string(res.cycles), std::to_string(res.records)});
@@ -54,16 +76,22 @@ main(int argc, char **argv)
                    kernel == "highpassfilter";
         (dsp ? dspOurs : otherOurs) += oc;
         (dsp ? dspN : otherN)++;
-        results.push_back(std::move(res));
     }
     t.print(std::cout);
     std::cout << "\nDSP mean " << fmt(dspOurs / dspN)
               << " ops/cycle (paper ~11); non-DSP mean "
               << fmt(otherOurs / otherN) << " (paper ~4).\n";
 
+    unsigned jobs = driver::effectiveJobs(opts);
+    std::cout << "\nSweep: " << results.size() << " simulations in "
+              << fmt(wallSeconds, 2) << " s with " << jobs
+              << (jobs == 1 ? " worker\n" : " workers\n");
+
     json::Value doc = toJson(results);
     doc.set("table", "table4");
     doc.set("scaleDiv", scaleDiv);
+    doc.set("wallSeconds", wallSeconds);
+    doc.set("jobs", uint64_t(jobs));
     json::Value ref = json::Value::object();
     for (const auto &[kernel, oc] : paper)
         ref.set(kernel, oc);

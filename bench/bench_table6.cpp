@@ -14,6 +14,7 @@
  * its cycle-time model).
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
@@ -28,8 +29,14 @@ int
 main(int argc, char **argv)
 {
     setQuietLogging(true);
-    uint64_t scaleDiv =
-        (argc > 1 && std::strcmp(argv[1], "--quick") == 0) ? 8 : 1;
+    uint64_t scaleDiv = 1;
+    unsigned jobs = 0; // 0 = DLP_JOBS environment default
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            scaleDiv = 8;
+        else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
+    }
 
     struct Row
     {
@@ -67,7 +74,7 @@ main(int argc, char **argv)
     };
 
     std::cout << "Running best-configuration experiments...\n\n";
-    Grid grid = runGrid(scaleDiv);
+    Grid grid = runGrid(scaleDiv, 1234, jobs);
 
     std::cout << "Table 6: configurable TRIPS vs. specialized hardware\n\n";
     TextTable t;

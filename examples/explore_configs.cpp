@@ -5,8 +5,14 @@
  * report which mechanisms pay off -- the "dynamically tailor the
  * architecture to the application" workflow the paper proposes.
  *
+ * The per-configuration simulations run on the sweep driver: they
+ * share one immutable workload fixture, run concurrently with --jobs N
+ * (or DLP_JOBS), and land in the process-wide result cache, so a
+ * refinement pass over an overlapping configuration set skips the
+ * configurations already measured.
+ *
  *   ./build/examples/explore_configs blowfish
- *   ./build/examples/explore_configs vertex-skinning 4096
+ *   ./build/examples/explore_configs vertex-skinning 4096 --jobs 4
  *   ./build/examples/explore_configs md5 --json md5.json
  */
 
@@ -21,6 +27,7 @@
 #include "arch/configs.hh"
 #include "arch/processor.hh"
 #include "common/logging.hh"
+#include "driver/sweep.hh"
 #include "kernels/workload.hh"
 
 using namespace dlp;
@@ -32,11 +39,15 @@ main(int argc, char **argv)
     std::string kernel = "blowfish";
     std::string jsonPath;
     uint64_t scale = 0;
+    driver::SweepOptions opts;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
             fatal_if(i + 1 >= argc, "--json needs a file argument");
             jsonPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            fatal_if(i + 1 >= argc, "--jobs needs a worker count");
+            opts.jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
         } else {
             positional.push_back(argv[i]);
         }
@@ -48,31 +59,29 @@ main(int argc, char **argv)
                 : kernels::defaultScale(kernel);
 
     std::printf("exploring machine configurations for '%s' "
-                "(scale %" PRIu64 ")\n\n",
-                kernel.c_str(), scale);
+                "(scale %" PRIu64 ", %u workers)\n\n",
+                kernel.c_str(), scale, driver::effectiveJobs(opts));
+
+    driver::SweepPlan plan;
+    for (const auto &config : arch::allConfigNames())
+        plan.tasks.push_back({kernel, config, 1, 11, scale});
+    auto results = driver::runSweep(plan, opts);
+
     std::printf("  %-9s %12s %10s %12s %10s\n", "config", "cycles",
                 "ops/cyc", "activations", "speedup");
-
     Cycles base = 0;
     std::string best;
     Cycles bestCycles = ~Cycles(0);
-    std::vector<arch::ExperimentResult> results;
-    for (const auto &config : arch::allConfigNames()) {
-        auto wl = kernels::makeWorkload(kernel, scale, 11);
-        arch::TripsProcessor cpu(arch::configByName(config));
-        auto res = cpu.run(*wl);
-        fatal_if(!res.verified, "%s on %s: %s", kernel.c_str(),
-                 config.c_str(), res.error.c_str());
-        if (config == "baseline")
+    for (const auto &res : results) {
+        if (res.config == "baseline")
             base = res.cycles;
         if (res.cycles < bestCycles) {
             bestCycles = res.cycles;
-            best = config;
+            best = res.config;
         }
         std::printf("  %-9s %12" PRIu64 " %10.2f %12" PRIu64 " %9.2fx\n",
-                    config.c_str(), res.cycles, res.opsPerCycle(),
+                    res.config.c_str(), res.cycles, res.opsPerCycle(),
                     res.activations, double(base) / double(res.cycles));
-        results.push_back(std::move(res));
     }
     std::printf("\n  -> best configuration for %s: %s\n", kernel.c_str(),
                 best.c_str());

@@ -5,6 +5,7 @@
 #include "analysis/report.hh"
 #include "arch/configs.hh"
 #include "common/logging.hh"
+#include "driver/sweep.hh"
 #include "kernels/workload.hh"
 
 namespace dlp::analysis {
@@ -43,35 +44,44 @@ arch::ExperimentResult
 runExperiment(const std::string &kernel, const std::string &config,
               uint64_t scaleDiv, uint64_t seed)
 {
-    uint64_t scale = kernels::defaultScale(kernel);
-    if (scaleDiv > 1) {
-        if (kernel == "fft") {
-            // Transform length must stay a power of two.
-            while (scaleDiv > 1 && scale > 32) {
-                scale /= 2;
-                scaleDiv /= 2;
-            }
-        } else {
-            scale = std::max<uint64_t>(scale / scaleDiv, 16);
-        }
-    }
-    auto wl = kernels::makeWorkload(kernel, scale, seed);
-    arch::TripsProcessor cpu(arch::configByName(config));
-    auto res = cpu.run(*wl);
-    fatal_if(!res.verified, "%s on %s failed verification: %s",
-             kernel.c_str(), config.c_str(), res.error.c_str());
-    return res;
+    return driver::runTask({kernel, config, scaleDiv, seed});
+}
+
+namespace {
+
+Grid
+runGridSweep(uint64_t scaleDiv, uint64_t seed, unsigned jobs)
+{
+    driver::SweepPlan plan;
+    plan.addGrid(perfKernels(), arch::allConfigNames(), scaleDiv, seed);
+    driver::SweepOptions opts;
+    opts.jobs = jobs;
+    auto results = driver::runSweep(plan, opts);
+
+    Grid grid;
+    for (size_t i = 0; i < plan.tasks.size(); ++i)
+        grid[plan.tasks[i].kernel][plan.tasks[i].config] =
+            std::move(results[i]);
+    return grid;
+}
+
+} // namespace
+
+Grid
+runGrid(uint64_t scaleDiv, uint64_t seed, unsigned jobs)
+{
+    unsigned effective =
+        jobs ? jobs : driver::effectiveJobs(driver::SweepOptions{});
+    if (effective > 1)
+        return runGridParallel(scaleDiv, seed, effective);
+    return runGridSweep(scaleDiv, seed, 1);
 }
 
 Grid
-runGrid(uint64_t scaleDiv, uint64_t seed)
+runGridParallel(uint64_t scaleDiv, uint64_t seed, unsigned jobs)
 {
-    Grid grid;
-    for (const auto &kernel : perfKernels())
-        for (const auto &config : arch::allConfigNames())
-            grid[kernel][config] =
-                runExperiment(kernel, config, scaleDiv, seed);
-    return grid;
+    panic_if(jobs == 0, "runGridParallel with zero jobs");
+    return runGridSweep(scaleDiv, seed, jobs);
 }
 
 double

@@ -33,11 +33,22 @@ using Grid = std::map<std::string, std::map<std::string, arch::ExperimentResult>
 /**
  * Run the full grid.
  *
+ * The experiments are independent; with more than one job they run
+ * concurrently on the sweep driver's thread pool and the returned Grid
+ * is bit-identical to a serial run (each job gets an isolated
+ * workload + processor and a fixed output slot).
+ *
  * @param scaleDiv divide each kernel's default problem scale by this
  *                 (tests use larger divisors for speed; benches use 1)
  * @param seed     dataset seed
+ * @param jobs     worker threads; 0 defers to the DLP_JOBS environment
+ *                 variable (default 1 = serial on the calling thread)
  */
-Grid runGrid(uint64_t scaleDiv = 1, uint64_t seed = 1234);
+Grid runGrid(uint64_t scaleDiv = 1, uint64_t seed = 1234,
+             unsigned jobs = 0);
+
+/** The parallel grid path; jobs must be >= 1 (1 degenerates to serial). */
+Grid runGridParallel(uint64_t scaleDiv, uint64_t seed, unsigned jobs);
 
 /** Run one kernel on one configuration at default/scaled size. */
 arch::ExperimentResult runExperiment(const std::string &kernel,

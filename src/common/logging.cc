@@ -1,6 +1,8 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -8,11 +10,13 @@ namespace dlp {
 
 namespace {
 
-bool quietFlag = false;
+std::atomic<bool> quietFlag{false};
 
 /// Occurrence counts of distinct warn() messages, for rate limiting.
 /// Bounded: a pathological stream of unique messages clears the table
-/// rather than growing it without limit.
+/// rather than growing it without limit. Guarded by warnMutex: warn()
+/// is called from the sweep driver's worker threads.
+std::mutex warnMutex;
 std::unordered_map<std::string, uint64_t> warnCounts;
 constexpr size_t warnTableLimit = 4096;
 
@@ -58,8 +62,9 @@ fatalMsg(const char *file, int line, const std::string &msg)
 void
 warnMsg(const std::string &msg)
 {
-    if (quietFlag)
+    if (quietFlag.load(std::memory_order_relaxed))
         return;
+    std::lock_guard<std::mutex> lock(warnMutex);
     if (warnCounts.size() >= warnTableLimit)
         warnCounts.clear();
     uint64_t n = ++warnCounts[msg];
@@ -76,26 +81,27 @@ warnMsg(const std::string &msg)
 void
 resetWarnDeduplication()
 {
+    std::lock_guard<std::mutex> lock(warnMutex);
     warnCounts.clear();
 }
 
 void
 informMsg(const std::string &msg)
 {
-    if (!quietFlag)
+    if (!quietFlag.load(std::memory_order_relaxed))
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 void
 setQuietLogging(bool quiet)
 {
-    quietFlag = quiet;
+    quietFlag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 quietLogging()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 } // namespace dlp

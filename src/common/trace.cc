@@ -2,19 +2,23 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 
 namespace dlp::trace {
 
 namespace detail {
 
-bool flags[numFlags] = {};
-Tick now = 0;
+std::atomic<bool> flags[numFlags] = {};
+thread_local Tick now = 0;
 
 } // namespace detail
 
 namespace {
 
+/// Guards the sink registry and serializes line emission so concurrent
+/// simulations (the sweep driver's worker threads) never shear a line.
+std::mutex sinkMutex;
 std::ostream *sinkStream = nullptr;
 
 const char *const names[numFlags] = {
@@ -38,27 +42,29 @@ flagNames()
 void
 enable(Flag f)
 {
-    detail::flags[static_cast<unsigned>(f)] = true;
+    detail::flags[static_cast<unsigned>(f)].store(true,
+                                                  std::memory_order_relaxed);
 }
 
 void
 disable(Flag f)
 {
-    detail::flags[static_cast<unsigned>(f)] = false;
+    detail::flags[static_cast<unsigned>(f)].store(false,
+                                                   std::memory_order_relaxed);
 }
 
 void
 disableAll()
 {
     for (unsigned i = 0; i < numFlags; ++i)
-        detail::flags[i] = false;
+        detail::flags[i].store(false, std::memory_order_relaxed);
 }
 
 bool
 anyEnabled()
 {
     for (unsigned i = 0; i < numFlags; ++i)
-        if (detail::flags[i])
+        if (detail::flags[i].load(std::memory_order_relaxed))
             return true;
     return false;
 }
@@ -74,12 +80,12 @@ setByName(const std::string &spec)
     }
     if (name == "All") {
         for (unsigned i = 0; i < numFlags; ++i)
-            detail::flags[i] = on;
+            detail::flags[i].store(on, std::memory_order_relaxed);
         return true;
     }
     for (unsigned i = 0; i < numFlags; ++i) {
         if (name == names[i]) {
-            detail::flags[i] = on;
+            detail::flags[i].store(on, std::memory_order_relaxed);
             return true;
         }
     }
@@ -123,12 +129,14 @@ struct EnvInit
 void
 setSink(std::ostream *os)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex);
     sinkStream = os;
 }
 
 std::ostream &
 sink()
 {
+    std::lock_guard<std::mutex> lock(sinkMutex);
     return sinkStream ? *sinkStream : std::cout;
 }
 
@@ -136,8 +144,12 @@ void
 output(Flag f, const char *component, const std::string &msg)
 {
     (void)f;
-    std::ostream &os = sink();
-    os << detail::now << ": " << component << ": " << msg << "\n";
+    // Format off-lock, emit under the lock: one atomic line per call.
+    std::ostringstream line;
+    line << detail::now << ": " << component << ": " << msg << "\n";
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    std::ostream &os = sinkStream ? *sinkStream : std::cout;
+    os << line.str();
 }
 
 } // namespace dlp::trace

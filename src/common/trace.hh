@@ -21,7 +21,11 @@
  * All lines flow through one stream sink (std::cout by default), so the
  * interleaving of trace output is deterministic for a deterministic
  * simulation. The tick stamp comes from trace::curTick(), which the
- * execution engines keep current as simulated time advances.
+ * execution engines keep current as simulated time advances. The tick is
+ * thread-local: when the sweep driver runs independent simulations on
+ * worker threads, each worker stamps lines with its own simulated time.
+ * Flag bits are atomic and the sink is mutex-guarded, so concurrent
+ * simulations never shear a trace line (though their lines interleave).
  *
  * When a flag is disabled the macro costs one array load and a branch;
  * defining DLP_TRACE_DISABLED at compile time removes even that.
@@ -30,6 +34,7 @@
 #ifndef DLP_COMMON_TRACE_HH
 #define DLP_COMMON_TRACE_HH
 
+#include <atomic>
 #include <cinttypes>
 #include <iosfwd>
 #include <string>
@@ -67,11 +72,15 @@ constexpr unsigned numFlags = static_cast<unsigned>(Flag::NumFlags);
 
 namespace detail {
 
-/** Per-flag enable bits, indexed by Flag. */
-extern bool flags[numFlags];
+/**
+ * Per-flag enable bits, indexed by Flag. Atomic so one thread can flip
+ * flags while worker threads run simulations; relaxed loads keep the
+ * disabled-flag hot path to a single uncontended byte load.
+ */
+extern std::atomic<bool> flags[numFlags];
 
-/** Current simulated tick used for the line stamp. */
-extern Tick now;
+/** Current simulated tick used for the line stamp, per thread. */
+extern thread_local Tick now;
 
 } // namespace detail
 
@@ -79,7 +88,8 @@ extern Tick now;
 inline bool
 enabled(Flag f)
 {
-    return detail::flags[static_cast<unsigned>(f)];
+    return detail::flags[static_cast<unsigned>(f)].load(
+        std::memory_order_relaxed);
 }
 
 /** Engines call this as simulated time advances. */

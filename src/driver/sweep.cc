@@ -1,0 +1,237 @@
+#include "driver/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "arch/configs.hh"
+#include "common/logging.hh"
+#include "driver/job_pool.hh"
+#include "kernels/workload.hh"
+
+namespace dlp::driver {
+
+namespace {
+
+using ResultKey = std::tuple<std::string, std::string, uint64_t, uint64_t>;
+using FixtureKey = std::tuple<std::string, uint64_t, uint64_t>;
+
+/// Process-wide result cache. Guarded by cacheMutex; values are copied
+/// in and out so callers never hold references into the table.
+std::mutex cacheMutex;
+std::map<ResultKey, arch::ExperimentResult> resultCacheTable;
+std::atomic<uint64_t> cacheHitCount{0};
+std::atomic<uint64_t> cacheMissCount{0};
+
+ResultKey
+keyOf(const SweepTask &t)
+{
+    return {t.kernel, t.config, resolvedScale(t), t.seed};
+}
+
+bool
+cacheLookup(const SweepTask &t, arch::ExperimentResult &out)
+{
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    auto it = resultCacheTable.find(keyOf(t));
+    if (it == resultCacheTable.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+void
+cacheStore(const SweepTask &t, const arch::ExperimentResult &result)
+{
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    resultCacheTable.emplace(keyOf(t), result);
+}
+
+/** Run one instantiation of a fixture on one machine configuration. */
+arch::ExperimentResult
+runOnFixture(const kernels::WorkloadFixture &fixture, const SweepTask &t)
+{
+    auto wl = fixture.instantiate();
+    arch::TripsProcessor cpu(arch::configByName(t.config));
+    auto res = cpu.run(*wl);
+    fatal_if(!res.verified, "%s on %s failed verification: %s",
+             t.kernel.c_str(), t.config.c_str(), res.error.c_str());
+    return res;
+}
+
+} // namespace
+
+void
+SweepPlan::addGrid(const std::vector<std::string> &kernels,
+                   const std::vector<std::string> &configs,
+                   uint64_t scaleDiv, uint64_t seed)
+{
+    for (const auto &kernel : kernels)
+        for (const auto &config : configs)
+            add(kernel, config, scaleDiv, seed);
+}
+
+unsigned
+effectiveJobs(const SweepOptions &opts)
+{
+    return opts.jobs ? opts.jobs : JobPool::defaultWorkers();
+}
+
+uint64_t
+scaleFor(const std::string &kernel, uint64_t scaleDiv)
+{
+    uint64_t scale = kernels::defaultScale(kernel);
+    if (scaleDiv > 1) {
+        if (kernel == "fft") {
+            // Transform length must stay a power of two.
+            while (scaleDiv > 1 && scale > 32) {
+                scale /= 2;
+                scaleDiv /= 2;
+            }
+        } else {
+            scale = std::max<uint64_t>(scale / scaleDiv, 16);
+        }
+    }
+    return scale;
+}
+
+uint64_t
+resolvedScale(const SweepTask &task)
+{
+    return task.scale ? task.scale : scaleFor(task.kernel, task.scaleDiv);
+}
+
+arch::ExperimentResult
+runTask(const SweepTask &task)
+{
+    auto fixture = kernels::makeFixture(task.kernel, resolvedScale(task),
+                                        task.seed);
+    return runOnFixture(*fixture, task);
+}
+
+std::vector<arch::ExperimentResult>
+runSweep(const SweepPlan &plan, const SweepOptions &opts)
+{
+    const size_t total = plan.size();
+    std::vector<arch::ExperimentResult> results(total);
+
+    std::mutex progressMutex;
+    size_t done = 0;
+    auto report = [&](const SweepTask &task, bool cached) {
+        std::lock_guard<std::mutex> lock(progressMutex);
+        ++done;
+        if (opts.progress) {
+            SweepProgress p;
+            p.task = &task;
+            p.done = done;
+            p.total = total;
+            p.cached = cached;
+            opts.progress(p);
+        }
+    };
+
+    // Satisfy what we can from the result cache up front, so fixtures
+    // are only built for kernels that still have live simulations.
+    std::vector<size_t> pending;
+    pending.reserve(total);
+    for (size_t i = 0; i < total; ++i) {
+        const SweepTask &task = plan.tasks[i];
+        if (opts.useCache && cacheLookup(task, results[i])) {
+            cacheHitCount.fetch_add(1, std::memory_order_relaxed);
+            report(task, true);
+        } else {
+            pending.push_back(i);
+        }
+    }
+    if (pending.empty())
+        return results;
+
+    // One immutable fixture per distinct (kernel, scale, seed): the
+    // dataset and golden model are generated once, then shared
+    // read-only by every configuration's job.
+    std::map<FixtureKey, std::shared_ptr<const kernels::WorkloadFixture>>
+        fixtures;
+    for (size_t i : pending) {
+        const SweepTask &task = plan.tasks[i];
+        fixtures.try_emplace({task.kernel, resolvedScale(task), task.seed});
+    }
+
+    auto runOne = [&](size_t i) {
+        const SweepTask &task = plan.tasks[i];
+        const auto &fixture =
+            fixtures.at({task.kernel, resolvedScale(task), task.seed});
+        results[i] = runOnFixture(*fixture, task);
+        cacheMissCount.fetch_add(1, std::memory_order_relaxed);
+        if (opts.useCache)
+            cacheStore(task, results[i]);
+        report(task, false);
+    };
+
+    unsigned jobs = effectiveJobs(opts);
+    if (jobs <= 1) {
+        // The strictly serial reference path: everything on the
+        // calling thread, in plan order.
+        for (auto &[key, fixture] : fixtures)
+            fixture = kernels::makeFixture(std::get<0>(key),
+                                           std::get<1>(key),
+                                           std::get<2>(key));
+        for (size_t i : pending)
+            runOne(i);
+        return results;
+    }
+
+    JobPool pool(jobs);
+
+    // Phase 1: build the distinct fixtures in parallel. Each job
+    // assigns one pre-inserted map slot, so the map never rehashes or
+    // rebalances while jobs run.
+    std::vector<std::pair<const FixtureKey *,
+                          std::shared_ptr<const kernels::WorkloadFixture> *>>
+        slots;
+    slots.reserve(fixtures.size());
+    for (auto &[key, fixture] : fixtures)
+        slots.emplace_back(&key, &fixture);
+    parallelFor(pool, slots.size(), [&](size_t s) {
+        const FixtureKey &key = *slots[s].first;
+        *slots[s].second = kernels::makeFixture(
+            std::get<0>(key), std::get<1>(key), std::get<2>(key));
+    });
+
+    // Phase 2: the simulations, one job per pending task, each writing
+    // its own output slot.
+    parallelFor(pool, pending.size(),
+                [&](size_t p) { runOne(pending[p]); });
+    return results;
+}
+
+size_t
+resultCacheSize()
+{
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    return resultCacheTable.size();
+}
+
+uint64_t
+resultCacheHits()
+{
+    return cacheHitCount.load(std::memory_order_relaxed);
+}
+
+uint64_t
+resultCacheMisses()
+{
+    return cacheMissCount.load(std::memory_order_relaxed);
+}
+
+void
+clearResultCache()
+{
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    resultCacheTable.clear();
+    cacheHitCount.store(0, std::memory_order_relaxed);
+    cacheMissCount.store(0, std::memory_order_relaxed);
+}
+
+} // namespace dlp::driver

@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/random.hh"
@@ -61,23 +62,32 @@ Workload::wordsMatch(Word got, Word want, bool fp, double eps)
 
 namespace {
 
-/** A workload with one precomputed batch and golden expected outputs. */
+/**
+ * The immutable payload of a single-batch fixture: one precomputed
+ * input batch, its golden expected outputs, and the irregular-memory
+ * image. Shared read-only between all workload instances stamped from
+ * the fixture.
+ */
+struct BatchData
+{
+    Kernel kern;
+    std::vector<Word> input;
+    std::vector<Word> expected;
+    std::vector<bool> fpWord;
+    double eps = 0.0;
+    uint64_t records = 0;
+    std::vector<std::pair<Addr, Word>> irregularImage;
+};
+
+/** A workload reading one shared precomputed batch. */
 class BatchWorkload : public Workload
 {
   public:
-    BatchWorkload(Kernel k, std::vector<Word> in, std::vector<Word> expect,
-                  std::vector<bool> fpOut, double tolerance,
-                  uint64_t records)
-        : Workload(std::move(k)), input(std::move(in)),
-          expected(std::move(expect)), fpWord(std::move(fpOut)),
-          eps(tolerance), numRecords(records)
+    explicit BatchWorkload(std::shared_ptr<const BatchData> data)
+        : Workload(data->kern), d(std::move(data))
     {
-        panic_if(input.size() != numRecords * kern.inWords,
-                 "%s workload: bad input size", kern.name.c_str());
-        panic_if(expected.size() != numRecords * kern.outWords,
-                 "%s workload: bad expected size", kern.name.c_str());
-        panic_if(fpWord.size() != kern.outWords,
-                 "%s workload: fp mask size", kern.name.c_str());
+        for (const auto &[addr, word] : d->irregularImage)
+            installIrregularWord(addr, word);
     }
 
     bool
@@ -86,8 +96,8 @@ class BatchWorkload : public Workload
         if (delivered)
             return false;
         delivered = true;
-        in = input;
-        records = numRecords;
+        in = d->input;
+        records = d->records;
         return true;
     }
 
@@ -100,14 +110,14 @@ class BatchWorkload : public Workload
     bool
     verify(std::string &err) const override
     {
-        if (got.size() != expected.size()) {
+        if (got.size() != d->expected.size()) {
             err = kern.name + ": output size " + std::to_string(got.size()) +
-                  " != " + std::to_string(expected.size());
+                  " != " + std::to_string(d->expected.size());
             return false;
         }
         for (size_t i = 0; i < got.size(); ++i) {
-            bool fp = fpWord[i % kern.outWords];
-            if (!wordsMatch(got[i], expected[i], fp, eps)) {
+            bool fp = d->fpWord[i % kern.outWords];
+            if (!wordsMatch(got[i], d->expected[i], fp, d->eps)) {
                 err = kern.name + ": record " +
                       std::to_string(i / kern.outWords) + " word " +
                       std::to_string(i % kern.outWords) + " mismatch";
@@ -117,16 +127,51 @@ class BatchWorkload : public Workload
         return true;
     }
 
-    uint64_t totalRecords() const override { return numRecords; }
+    uint64_t totalRecords() const override { return d->records; }
 
   private:
-    std::vector<Word> input;
-    std::vector<Word> expected;
-    std::vector<bool> fpWord;
-    double eps;
-    uint64_t numRecords;
+    std::shared_ptr<const BatchData> d;
     bool delivered = false;
     std::vector<Word> got;
+};
+
+/** Fixture wrapping one shared BatchData. */
+class BatchFixture : public WorkloadFixture
+{
+  public:
+    BatchFixture(const std::string &name, uint64_t scale, uint64_t seed,
+                 BatchData data)
+        : WorkloadFixture(name, scale, seed),
+          d(std::make_shared<const BatchData>(std::move(data)))
+    {
+        panic_if(d->input.size() != d->records * d->kern.inWords,
+                 "%s workload: bad input size", d->kern.name.c_str());
+        panic_if(d->expected.size() != d->records * d->kern.outWords,
+                 "%s workload: bad expected size", d->kern.name.c_str());
+        panic_if(d->fpWord.size() != d->kern.outWords,
+                 "%s workload: fp mask size", d->kern.name.c_str());
+    }
+
+    std::unique_ptr<Workload>
+    instantiate() const override
+    {
+        return std::make_unique<BatchWorkload>(d);
+    }
+
+  private:
+    std::shared_ptr<const BatchData> d;
+};
+
+/**
+ * Immutable payload of the FFT fixture: the random input signal and
+ * the golden transform (computed once, not per verify()).
+ */
+struct FftData
+{
+    Kernel kern;
+    size_t size = 0;
+    std::vector<ref::Complex> original;
+    std::vector<ref::Complex> expected;
 };
 
 /**
@@ -138,16 +183,10 @@ class BatchWorkload : public Workload
 class FftWorkload : public Workload
 {
   public:
-    FftWorkload(Kernel k, uint64_t n, uint64_t seed)
-        : Workload(std::move(k)), size(n)
+    explicit FftWorkload(std::shared_ptr<const FftData> data)
+        : Workload(data->kern), d(std::move(data)), size(d->size),
+          cur(d->original)
     {
-        panic_if(!isPowerOf2(n) || n < 2, "fft size %" PRIu64,
-                 n);
-        Rng rng(seed);
-        original.resize(n);
-        for (auto &c : original)
-            c = ref::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
-        cur = original;
         ref::bitReverse(cur);
         len = 2;
     }
@@ -196,8 +235,7 @@ class FftWorkload : public Workload
     bool
     verify(std::string &err) const override
     {
-        auto expect = original;
-        ref::fft(expect);
+        const auto &expect = d->expected;
         for (size_t i = 0; i < size; ++i) {
             if (std::fabs(cur[i].real() - expect[i].real()) >
                     1e-9 * (1 + std::fabs(expect[i].real())) ||
@@ -218,13 +256,61 @@ class FftWorkload : public Workload
     }
 
   private:
+    std::shared_ptr<const FftData> d;
     size_t size;
-    std::vector<ref::Complex> original;
     std::vector<ref::Complex> cur;
-    size_t len;
+    size_t len = 2;
     size_t half = 0;
     std::vector<std::pair<size_t, size_t>> pairs;
     uint64_t totalRecs = 0;
+};
+
+class FftFixture : public WorkloadFixture
+{
+  public:
+    FftFixture(uint64_t n, uint64_t seed)
+        : WorkloadFixture("fft", n, seed)
+    {
+        panic_if(!isPowerOf2(n) || n < 2, "fft size %" PRIu64, n);
+        FftData data;
+        data.kern = makeFft();
+        data.size = n;
+        Rng rng(seed);
+        data.original.resize(n);
+        for (auto &c : data.original)
+            c = ref::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+        data.expected = data.original;
+        ref::fft(data.expected);
+        d = std::make_shared<const FftData>(std::move(data));
+    }
+
+    std::unique_ptr<Workload>
+    instantiate() const override
+    {
+        return std::make_unique<FftWorkload>(d);
+    }
+
+  private:
+    std::shared_ptr<const FftData> d;
+};
+
+/**
+ * Immutable payload of the LU fixture: the diagonally dominant input
+ * matrix and its golden decomposition (computed once).
+ */
+struct LuData
+{
+    Kernel kern;
+    size_t dim;
+    ref::Matrix original;
+    ref::Matrix expected;
+
+    LuData(Kernel k, size_t n, uint64_t seed)
+        : kern(std::move(k)), dim(n),
+          original(ref::makeDominantMatrix(n, seed)), expected(original)
+    {
+        ref::luDecompose(expected);
+    }
 };
 
 /**
@@ -235,9 +321,9 @@ class FftWorkload : public Workload
 class LuWorkload : public Workload
 {
   public:
-    LuWorkload(Kernel kk, uint64_t n, uint64_t seed)
-        : Workload(std::move(kk)), dim(n),
-          original(ref::makeDominantMatrix(n, seed)), cur(original)
+    explicit LuWorkload(std::shared_ptr<const LuData> data)
+        : Workload(data->kern), d(std::move(data)), dim(d->dim),
+          cur(d->original)
     {
     }
 
@@ -285,9 +371,7 @@ class LuWorkload : public Workload
     bool
     verify(std::string &err) const override
     {
-        ref::Matrix expect = original;
-        ref::luDecompose(expect);
-        if (ref::maxAbsDiff(cur, expect) > 1e-8) {
+        if (ref::maxAbsDiff(cur, d->expected) > 1e-8) {
             err = "lu: decomposition mismatch";
             return false;
         }
@@ -304,82 +388,105 @@ class LuWorkload : public Workload
     }
 
   private:
+    std::shared_ptr<const LuData> d;
     size_t dim;
-    ref::Matrix original;
     ref::Matrix cur;
     size_t k = 0;
     std::vector<std::pair<size_t, size_t>> sites;
     uint64_t totalRecs = 0;
 };
 
+class LuFixture : public WorkloadFixture
+{
+  public:
+    LuFixture(uint64_t n, uint64_t seed)
+        : WorkloadFixture("lu", n, seed),
+          d(std::make_shared<const LuData>(makeLu(), n, seed))
+    {
+    }
+
+    std::unique_ptr<Workload>
+    instantiate() const override
+    {
+        return std::make_unique<LuWorkload>(d);
+    }
+
+  private:
+    std::shared_ptr<const LuData> d;
+};
+
 // ---------------------------------------------------------------------
-// Per-kernel batch generators
+// Per-kernel dataset + golden-model generators
 // ---------------------------------------------------------------------
 
-std::unique_ptr<Workload>
-makeConvertWorkload(uint64_t n, uint64_t seed)
+BatchData
+makeConvertData(uint64_t n, uint64_t seed)
 {
     Rng rng(seed);
-    std::vector<Word> in, expect;
+    BatchData d;
     for (uint64_t r = 0; r < n; ++r) {
         double rgb[3] = {rng.uniform(), rng.uniform(), rng.uniform()};
         double yiq[3];
         ref::rgbToYiq(rgb, yiq);
         for (double v : rgb)
-            in.push_back(fpToWord(v));
+            d.input.push_back(fpToWord(v));
         for (double v : yiq)
-            expect.push_back(fpToWord(v));
+            d.expected.push_back(fpToWord(v));
     }
-    return std::make_unique<BatchWorkload>(makeConvert(), std::move(in),
-                                           std::move(expect),
-                                           std::vector<bool>(3, true), 1e-9,
-                                           n);
+    d.kern = makeConvert();
+    d.fpWord = std::vector<bool>(3, true);
+    d.eps = 1e-9;
+    d.records = n;
+    return d;
 }
 
-std::unique_ptr<Workload>
-makeDctWorkload(uint64_t n, uint64_t seed)
+BatchData
+makeDctData(uint64_t n, uint64_t seed)
 {
     Rng rng(seed);
-    std::vector<Word> in, expect;
+    BatchData d;
     for (uint64_t r = 0; r < n; ++r) {
         double block[64], out[64];
         for (auto &v : block)
             v = rng.uniform(-128, 128);
         ref::dct8x8(block, out);
         for (double v : block)
-            in.push_back(fpToWord(v));
+            d.input.push_back(fpToWord(v));
         for (double v : out)
-            expect.push_back(fpToWord(v));
+            d.expected.push_back(fpToWord(v));
     }
-    return std::make_unique<BatchWorkload>(makeDct(), std::move(in),
-                                           std::move(expect),
-                                           std::vector<bool>(64, true), 1e-9,
-                                           n);
+    d.kern = makeDct();
+    d.fpWord = std::vector<bool>(64, true);
+    d.eps = 1e-9;
+    d.records = n;
+    return d;
 }
 
-std::unique_ptr<Workload>
-makeHighpassWorkload(uint64_t n, uint64_t seed)
+BatchData
+makeHighpassData(uint64_t n, uint64_t seed)
 {
     Rng rng(seed);
-    std::vector<Word> in, expect;
+    BatchData d;
     for (uint64_t r = 0; r < n; ++r) {
         double window[9];
         for (auto &v : window)
             v = rng.uniform();
         for (double v : window)
-            in.push_back(fpToWord(v));
-        expect.push_back(fpToWord(ref::highpass3x3(window)));
+            d.input.push_back(fpToWord(v));
+        d.expected.push_back(fpToWord(ref::highpass3x3(window)));
     }
-    return std::make_unique<BatchWorkload>(makeHighpass(), std::move(in),
-                                           std::move(expect), std::vector<bool>{true}, 1e-9,
-                                           n);
+    d.kern = makeHighpass();
+    d.fpWord = {true};
+    d.eps = 1e-9;
+    d.records = n;
+    return d;
 }
 
-std::unique_ptr<Workload>
-makeMd5Workload(uint64_t n, uint64_t seed)
+BatchData
+makeMd5Data(uint64_t n, uint64_t seed)
 {
     Rng rng(seed);
-    std::vector<Word> in, expect;
+    BatchData d;
     for (uint64_t r = 0; r < n; ++r) {
         uint32_t block[16];
         for (auto &w : block)
@@ -389,42 +496,46 @@ makeMd5Workload(uint64_t n, uint64_t seed)
                             static_cast<uint32_t>(rng.next()),
                             static_cast<uint32_t>(rng.next())};
         for (int i = 0; i < 8; ++i)
-            in.push_back(Word(block[2 * i]) |
-                         (Word(block[2 * i + 1]) << 32));
-        in.push_back(Word(st[0]) | (Word(st[1]) << 32));
-        in.push_back(Word(st[2]) | (Word(st[3]) << 32));
+            d.input.push_back(Word(block[2 * i]) |
+                              (Word(block[2 * i + 1]) << 32));
+        d.input.push_back(Word(st[0]) | (Word(st[1]) << 32));
+        d.input.push_back(Word(st[2]) | (Word(st[3]) << 32));
 
         ref::md5Compress(st, block);
-        expect.push_back(Word(st[0]) | (Word(st[1]) << 32));
-        expect.push_back(Word(st[2]) | (Word(st[3]) << 32));
+        d.expected.push_back(Word(st[0]) | (Word(st[1]) << 32));
+        d.expected.push_back(Word(st[2]) | (Word(st[3]) << 32));
     }
-    return std::make_unique<BatchWorkload>(makeMd5(), std::move(in),
-                                           std::move(expect), std::vector<bool>{false, false},
-                                           0.0, n);
+    d.kern = makeMd5();
+    d.fpWord = {false, false};
+    d.eps = 0.0;
+    d.records = n;
+    return d;
 }
 
-std::unique_ptr<Workload>
-makeBlowfishWorkload(uint64_t n, uint64_t seed)
+BatchData
+makeBlowfishData(uint64_t n, uint64_t seed)
 {
     auto key = kernelKeyBytes("blowfish", 16);
     ref::Blowfish bf(key.data(), key.size());
     Rng rng(seed);
-    std::vector<Word> in, expect;
+    BatchData d;
     for (uint64_t r = 0; r < n; ++r) {
         Word plain = rng.next();
-        in.push_back(plain);
+        d.input.push_back(plain);
         uint32_t l = static_cast<uint32_t>(plain >> 32);
         uint32_t rr = static_cast<uint32_t>(plain);
         bf.encrypt(l, rr);
-        expect.push_back((Word(l) << 32) | rr);
+        d.expected.push_back((Word(l) << 32) | rr);
     }
-    return std::make_unique<BatchWorkload>(makeBlowfish(), std::move(in),
-                                           std::move(expect), std::vector<bool>{false}, 0.0,
-                                           n);
+    d.kern = makeBlowfish();
+    d.fpWord = {false};
+    d.eps = 0.0;
+    d.records = n;
+    return d;
 }
 
-std::unique_ptr<Workload>
-makeRijndaelWorkload(uint64_t n, uint64_t seed)
+BatchData
+makeRijndaelData(uint64_t n, uint64_t seed)
 {
     auto key = kernelKeyBytes("rijndael", 16);
     ref::Aes128 aes(key.data());
@@ -440,7 +551,7 @@ makeRijndaelWorkload(uint64_t n, uint64_t seed)
         out[1] = (Word(w[2]) << 32) | w[3];
     };
 
-    std::vector<Word> in, expect;
+    BatchData d;
     for (uint64_t r = 0; r < n; ++r) {
         uint8_t plain[16], cipher[16];
         for (auto &p : plain)
@@ -448,23 +559,25 @@ makeRijndaelWorkload(uint64_t n, uint64_t seed)
         aes.encrypt(plain, cipher);
         Word w[2];
         packBlock(plain, w);
-        in.push_back(w[0]);
-        in.push_back(w[1]);
+        d.input.push_back(w[0]);
+        d.input.push_back(w[1]);
         packBlock(cipher, w);
-        expect.push_back(w[0]);
-        expect.push_back(w[1]);
+        d.expected.push_back(w[0]);
+        d.expected.push_back(w[1]);
     }
-    return std::make_unique<BatchWorkload>(makeRijndael(), std::move(in),
-                                           std::move(expect),
-                                           std::vector<bool>{false, false}, 0.0, n);
+    d.kern = makeRijndael();
+    d.fpWord = {false, false};
+    d.eps = 0.0;
+    d.records = n;
+    return d;
 }
 
-std::unique_ptr<Workload>
-makeVertexSimpleWorkload(uint64_t n, uint64_t seed)
+BatchData
+makeVertexSimpleData(uint64_t n, uint64_t seed)
 {
     auto p = ref::makeVertexSimpleParams(kernelSeed("vertex-simple"));
     Rng rng(seed);
-    std::vector<Word> in, expect;
+    BatchData d;
     for (uint64_t r = 0; r < n; ++r) {
         ref::Vec3 nrm = randomUnitVec(rng);
         double rec[7] = {rng.uniform(-2, 2), rng.uniform(-2, 2),
@@ -473,25 +586,26 @@ makeVertexSimpleWorkload(uint64_t n, uint64_t seed)
         double out[6];
         ref::vertexSimple(rec, out, p);
         for (double v : rec)
-            in.push_back(fpToWord(v));
+            d.input.push_back(fpToWord(v));
         for (double v : out)
-            expect.push_back(fpToWord(v));
+            d.expected.push_back(fpToWord(v));
     }
-    return std::make_unique<BatchWorkload>(makeVertexSimple(), std::move(in),
-                                           std::move(expect),
-                                           std::vector<bool>(6, true), 1e-9,
-                                           n);
+    d.kern = makeVertexSimple();
+    d.fpWord = std::vector<bool>(6, true);
+    d.eps = 1e-9;
+    d.records = n;
+    return d;
 }
 
-std::unique_ptr<Workload>
-makeFragmentSimpleWorkload(uint64_t n, uint64_t seed)
+BatchData
+makeFragmentSimpleData(uint64_t n, uint64_t seed)
 {
     auto p = ref::makeFragmentSimpleParams(kernelSeed("fragment-simple"));
     ref::Texture2D tex(gfx::fragTexSize, gfx::fragTexSize);
     tex.fillNoise(textureSeed("fragment-simple"));
 
     Rng rng(seed);
-    std::vector<Word> in, expect;
+    BatchData d;
     for (uint64_t r = 0; r < n; ++r) {
         ref::Vec3 nrm = randomUnitVec(rng);
         ref::Vec3 light = randomUnitVec(rng);
@@ -506,25 +620,26 @@ makeFragmentSimpleWorkload(uint64_t n, uint64_t seed)
         double out[4];
         ref::fragmentSimple(rec, out, tex, p);
         for (double v : rec)
-            in.push_back(fpToWord(v));
+            d.input.push_back(fpToWord(v));
         for (double v : out)
-            expect.push_back(fpToWord(v));
+            d.expected.push_back(fpToWord(v));
     }
-    auto wl = std::make_unique<BatchWorkload>(
-        makeFragmentSimple(), std::move(in), std::move(expect),
-        std::vector<bool>(4, true), 1e-9, n);
-    tex.blit([&wl](uint64_t off, Word w) {
-        wl->installIrregularWord(gfx::textureBase + off * wordBytes, w);
+    d.kern = makeFragmentSimple();
+    d.fpWord = std::vector<bool>(4, true);
+    d.eps = 1e-9;
+    d.records = n;
+    tex.blit([&d](uint64_t off, Word w) {
+        d.irregularImage.emplace_back(gfx::textureBase + off * wordBytes, w);
     });
-    return wl;
+    return d;
 }
 
-std::unique_ptr<Workload>
-makeVertexReflectionWorkload(uint64_t n, uint64_t seed)
+BatchData
+makeVertexReflectionData(uint64_t n, uint64_t seed)
 {
     auto p = ref::makeVertexReflectionParams(kernelSeed("vertex-reflection"));
     Rng rng(seed);
-    std::vector<Word> in, expect;
+    BatchData d;
     for (uint64_t r = 0; r < n; ++r) {
         ref::Vec3 nrm = randomUnitVec(rng);
         double rec[9] = {rng.uniform(-2, 2),
@@ -539,17 +654,19 @@ makeVertexReflectionWorkload(uint64_t n, uint64_t seed)
         double out[6];
         ref::vertexReflection(rec, out, p);
         for (double v : rec)
-            in.push_back(fpToWord(v));
+            d.input.push_back(fpToWord(v));
         for (double v : out)
-            expect.push_back(fpToWord(v));
+            d.expected.push_back(fpToWord(v));
     }
-    return std::make_unique<BatchWorkload>(
-        makeVertexReflection(), std::move(in), std::move(expect),
-        std::vector<bool>(6, true), 1e-9, n);
+    d.kern = makeVertexReflection();
+    d.fpWord = std::vector<bool>(6, true);
+    d.eps = 1e-9;
+    d.records = n;
+    return d;
 }
 
-std::unique_ptr<Workload>
-makeFragmentReflectionWorkload(uint64_t n, uint64_t seed)
+BatchData
+makeFragmentReflectionData(uint64_t n, uint64_t seed)
 {
     auto p = ref::makeFragmentReflectionParams(
         kernelSeed("fragment-reflection"));
@@ -557,37 +674,38 @@ makeFragmentReflectionWorkload(uint64_t n, uint64_t seed)
     cube.fillNoise(textureSeed("fragment-reflection"));
 
     Rng rng(seed);
-    std::vector<Word> in, expect;
+    BatchData d;
     for (uint64_t r = 0; r < n; ++r) {
         ref::Vec3 dir = randomUnitVec(rng);
         double rec[5] = {dir.x, dir.y, dir.z, rng.uniform(), 0.0};
         double out[3];
         ref::fragmentReflection(rec, out, cube, p);
         for (double v : rec)
-            in.push_back(fpToWord(v));
+            d.input.push_back(fpToWord(v));
         for (double v : out)
-            expect.push_back(fpToWord(v));
+            d.expected.push_back(fpToWord(v));
     }
-    auto wl = std::make_unique<BatchWorkload>(
-        makeFragmentReflection(), std::move(in), std::move(expect),
-        std::vector<bool>(3, true), 1e-9, n);
+    d.kern = makeFragmentReflection();
+    d.fpWord = std::vector<bool>(3, true);
+    d.eps = 1e-9;
+    d.records = n;
     for (unsigned f = 0; f < 6; ++f) {
         Addr faceBase = gfx::textureBase +
                         Addr(f) * gfx::cubeFaceSize * gfx::cubeFaceSize *
                             wordBytes;
-        cube.face(f).blit([&wl, faceBase](uint64_t off, Word w) {
-            wl->installIrregularWord(faceBase + off * wordBytes, w);
+        cube.face(f).blit([&d, faceBase](uint64_t off, Word w) {
+            d.irregularImage.emplace_back(faceBase + off * wordBytes, w);
         });
     }
-    return wl;
+    return d;
 }
 
-std::unique_ptr<Workload>
-makeSkinningWorkload(uint64_t n, uint64_t seed)
+BatchData
+makeSkinningData(uint64_t n, uint64_t seed)
 {
     auto p = ref::makeSkinningParams(kernelSeed("vertex-skinning"));
     Rng rng(seed);
-    std::vector<Word> in, expect;
+    BatchData d;
     for (uint64_t r = 0; r < n; ++r) {
         ref::Vec3 pos{rng.uniform(-2, 2), rng.uniform(-2, 2),
                       rng.uniform(-2, 2)};
@@ -609,40 +727,42 @@ makeSkinningWorkload(uint64_t n, uint64_t seed)
         ref::vertexSkinning(pos, nrm, count, idx, w, 0.9, clip, color, outN,
                             p);
 
-        in.push_back(fpToWord(pos.x));
-        in.push_back(fpToWord(pos.y));
-        in.push_back(fpToWord(pos.z));
-        in.push_back(fpToWord(nrm.x));
-        in.push_back(fpToWord(nrm.y));
-        in.push_back(fpToWord(nrm.z));
-        in.push_back(count);
+        d.input.push_back(fpToWord(pos.x));
+        d.input.push_back(fpToWord(pos.y));
+        d.input.push_back(fpToWord(pos.z));
+        d.input.push_back(fpToWord(nrm.x));
+        d.input.push_back(fpToWord(nrm.y));
+        d.input.push_back(fpToWord(nrm.z));
+        d.input.push_back(count);
         for (unsigned i = 0; i < 4; ++i)
-            in.push_back(idx[i]);
+            d.input.push_back(idx[i]);
         for (unsigned i = 0; i < 4; ++i)
-            in.push_back(fpToWord(w[i]));
-        in.push_back(fpToWord(0.9));
+            d.input.push_back(fpToWord(w[i]));
+        d.input.push_back(fpToWord(0.9));
 
         for (double v : clip)
-            expect.push_back(fpToWord(v));
+            d.expected.push_back(fpToWord(v));
         for (double v : color)
-            expect.push_back(fpToWord(v));
+            d.expected.push_back(fpToWord(v));
         for (double v : outN)
-            expect.push_back(fpToWord(v));
+            d.expected.push_back(fpToWord(v));
     }
-    return std::make_unique<BatchWorkload>(
-        makeVertexSkinning(), std::move(in), std::move(expect),
-        std::vector<bool>(9, true), 1e-9, n);
+    d.kern = makeVertexSkinning();
+    d.fpWord = std::vector<bool>(9, true);
+    d.eps = 1e-9;
+    d.records = n;
+    return d;
 }
 
-std::unique_ptr<Workload>
-makeAnisoWorkload(uint64_t n, uint64_t seed)
+BatchData
+makeAnisoData(uint64_t n, uint64_t seed)
 {
     auto p = ref::makeAnisoParams(kernelSeed("anisotropic-filter"));
     ref::Texture2D tex(gfx::anisoTexSize, gfx::anisoTexSize);
     tex.fillNoise(textureSeed("anisotropic-filter"));
 
     Rng rng(seed);
-    std::vector<Word> in, expect;
+    BatchData d;
     for (uint64_t r = 0; r < n; ++r) {
         double u = rng.uniform(64.0, gfx::anisoTexSize - 64.0);
         double v = rng.uniform(64.0, gfx::anisoTexSize - 64.0);
@@ -652,62 +772,70 @@ makeAnisoWorkload(uint64_t n, uint64_t seed)
             1 + static_cast<unsigned>(rng.below(ref::AnisoParams::maxSamples));
         Word out = ref::anisotropicFilter(u, v, au, av, samples, tex, p);
 
-        in.push_back(fpToWord(u));
-        in.push_back(fpToWord(v));
-        in.push_back(fpToWord(au));
-        in.push_back(fpToWord(av));
-        in.push_back(samples);
+        d.input.push_back(fpToWord(u));
+        d.input.push_back(fpToWord(v));
+        d.input.push_back(fpToWord(au));
+        d.input.push_back(fpToWord(av));
+        d.input.push_back(samples);
         for (int pad = 0; pad < 4; ++pad)
-            in.push_back(0);
-        expect.push_back(out);
+            d.input.push_back(0);
+        d.expected.push_back(out);
     }
-    auto wl = std::make_unique<BatchWorkload>(
-        makeAnisotropic(), std::move(in), std::move(expect), std::vector<bool>{false}, 0.0,
-        n);
-    tex.blit([&wl](uint64_t off, Word w) {
-        wl->installIrregularWord(gfx::textureBase + off * wordBytes, w);
+    d.kern = makeAnisotropic();
+    d.fpWord = {false};
+    d.eps = 0.0;
+    d.records = n;
+    tex.blit([&d](uint64_t off, Word w) {
+        d.irregularImage.emplace_back(gfx::textureBase + off * wordBytes, w);
     });
-    return wl;
+    return d;
 }
 
 } // namespace
 
-std::unique_ptr<Workload>
-makeWorkload(const std::string &name, uint64_t scale, uint64_t seed)
+std::shared_ptr<const WorkloadFixture>
+makeFixture(const std::string &name, uint64_t scale, uint64_t seed)
 {
-    std::unique_ptr<Workload> wl;
+    if (name == "fft")
+        return std::make_shared<FftFixture>(scale, seed);
+    if (name == "lu")
+        return std::make_shared<LuFixture>(scale, seed);
+
+    BatchData d;
     if (name == "convert") {
-        wl = makeConvertWorkload(scale, seed);
+        d = makeConvertData(scale, seed);
     } else if (name == "dct") {
-        wl = makeDctWorkload(scale, seed);
+        d = makeDctData(scale, seed);
     } else if (name == "highpassfilter") {
-        wl = makeHighpassWorkload(scale, seed);
-    } else if (name == "fft") {
-        wl = std::make_unique<FftWorkload>(makeFft(), scale, seed);
-    } else if (name == "lu") {
-        wl = std::make_unique<LuWorkload>(makeLu(), scale, seed);
+        d = makeHighpassData(scale, seed);
     } else if (name == "md5") {
-        wl = makeMd5Workload(scale, seed);
+        d = makeMd5Data(scale, seed);
     } else if (name == "blowfish") {
-        wl = makeBlowfishWorkload(scale, seed);
+        d = makeBlowfishData(scale, seed);
     } else if (name == "rijndael") {
-        wl = makeRijndaelWorkload(scale, seed);
+        d = makeRijndaelData(scale, seed);
     } else if (name == "vertex-simple") {
-        wl = makeVertexSimpleWorkload(scale, seed);
+        d = makeVertexSimpleData(scale, seed);
     } else if (name == "fragment-simple") {
-        wl = makeFragmentSimpleWorkload(scale, seed);
+        d = makeFragmentSimpleData(scale, seed);
     } else if (name == "vertex-reflection") {
-        wl = makeVertexReflectionWorkload(scale, seed);
+        d = makeVertexReflectionData(scale, seed);
     } else if (name == "fragment-reflection") {
-        wl = makeFragmentReflectionWorkload(scale, seed);
+        d = makeFragmentReflectionData(scale, seed);
     } else if (name == "vertex-skinning") {
-        wl = makeSkinningWorkload(scale, seed);
+        d = makeSkinningData(scale, seed);
     } else if (name == "anisotropic-filter") {
-        wl = makeAnisoWorkload(scale, seed);
+        d = makeAnisoData(scale, seed);
     } else {
         fatal("no workload for kernel '%s'", name.c_str());
     }
-    return wl;
+    return std::make_shared<BatchFixture>(name, scale, seed, std::move(d));
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, uint64_t scale, uint64_t seed)
+{
+    return makeFixture(name, scale, seed)->instantiate();
 }
 
 uint64_t

@@ -85,7 +85,49 @@ class Workload
 };
 
 /**
- * Create the standard workload for a kernel.
+ * An immutable, shareable dataset for one (kernel, scale, seed): the
+ * generated input records, the golden-model expected outputs, and the
+ * irregular-memory image (textures). Building a fixture is the
+ * expensive part of workload creation — it runs every golden model —
+ * so the sweep driver builds one fixture per kernel and stamps out a
+ * fresh Workload per machine configuration with instantiate().
+ *
+ * Fixtures are deeply immutable after construction: instantiate() is
+ * const and safe to call concurrently from many worker threads, and
+ * every instance carries its own mutable run state.
+ */
+class WorkloadFixture
+{
+  public:
+    WorkloadFixture(std::string name, uint64_t scale, uint64_t seed)
+        : kernName(std::move(name)), problemScale(scale), dataSeed(seed)
+    {
+    }
+    virtual ~WorkloadFixture() = default;
+
+    /** Stamp out a fresh workload instance reading this fixture. */
+    virtual std::unique_ptr<Workload> instantiate() const = 0;
+
+    const std::string &kernelName() const { return kernName; }
+    uint64_t scale() const { return problemScale; }
+    uint64_t seed() const { return dataSeed; }
+
+  private:
+    std::string kernName;
+    uint64_t problemScale;
+    uint64_t dataSeed;
+};
+
+/**
+ * Build the shared fixture for a kernel: generate the dataset and run
+ * the golden models once. Parameters as makeWorkload().
+ */
+std::shared_ptr<const WorkloadFixture>
+makeFixture(const std::string &name, uint64_t scale, uint64_t seed);
+
+/**
+ * Create the standard workload for a kernel (builds a single-use
+ * fixture; sweeps should build one fixture and instantiate() per run).
  *
  * @param name  Table 1 kernel name
  * @param scale problem size: records for streaming kernels, matrix

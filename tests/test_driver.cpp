@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Tests for the parallel sweep driver: JobPool lifecycle, work
+ * distribution and exception propagation; the result cache; and the
+ * headline guarantee — a parallel grid is field-for-field identical
+ * to the serial grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/experiments.hh"
+#include "common/logging.hh"
+#include "driver/job_pool.hh"
+#include "driver/sweep.hh"
+
+using namespace dlp;
+using namespace dlp::driver;
+
+// ---------------------------------------------------------------------
+// JobPool
+// ---------------------------------------------------------------------
+
+TEST(JobPool, StartsAndStopsIdle)
+{
+    JobPool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+    EXPECT_EQ(pool.pending(), 0u);
+    // Destructor joins an idle pool without deadlock.
+}
+
+TEST(JobPool, RunsEveryJobExactlyOnce)
+{
+    constexpr size_t n = 500;
+    std::vector<std::atomic<int>> runs(n);
+    {
+        JobPool pool(8);
+        for (size_t i = 0; i < n; ++i)
+            pool.submit([&runs, i] { runs[i].fetch_add(1); });
+        pool.wait();
+    }
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(runs[i].load(), 1) << "job " << i;
+}
+
+TEST(JobPool, WaitIsReusableAcrossBatches)
+{
+    JobPool pool(3);
+    std::atomic<int> count{0};
+    for (int batch = 0; batch < 4; ++batch) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&count] { count.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(count.load(), (batch + 1) * 10);
+        EXPECT_EQ(pool.pending(), 0u);
+    }
+}
+
+TEST(JobPool, ParallelForCoversRange)
+{
+    JobPool pool(4);
+    std::vector<std::atomic<int>> hits(100);
+    parallelFor(pool, hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(JobPool, FirstExceptionPropagatesFromWait)
+{
+    JobPool pool(4);
+    std::atomic<int> survivors{0};
+    for (int i = 0; i < 20; ++i) {
+        pool.submit([&survivors, i] {
+            if (i == 7)
+                throw std::runtime_error("job seven failed");
+            survivors.fetch_add(1);
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error is consumed: the pool remains usable and a clean batch
+    // waits without throwing.
+    EXPECT_EQ(survivors.load(), 19);
+    pool.submit([&survivors] { survivors.fetch_add(1); });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(survivors.load(), 20);
+}
+
+TEST(JobPool, SingleWorkerStillCompletes)
+{
+    JobPool pool(1);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 25; ++i)
+        pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 25);
+}
+
+TEST(JobPool, DefaultWorkersReadsEnvironment)
+{
+    const char *saved = std::getenv("DLP_JOBS");
+    std::string savedCopy = saved ? saved : "";
+
+    unsetenv("DLP_JOBS");
+    EXPECT_EQ(JobPool::defaultWorkers(), 1u);
+    setenv("DLP_JOBS", "6", 1);
+    EXPECT_EQ(JobPool::defaultWorkers(), 6u);
+    setenv("DLP_JOBS", "0", 1); // one per hardware thread
+    EXPECT_GE(JobPool::defaultWorkers(), 1u);
+    setenv("DLP_JOBS", "banana", 1);
+    EXPECT_EQ(JobPool::defaultWorkers(), 1u);
+
+    if (saved)
+        setenv("DLP_JOBS", savedCopy.c_str(), 1);
+    else
+        unsetenv("DLP_JOBS");
+}
+
+// ---------------------------------------------------------------------
+// Sweep planning and the result cache
+// ---------------------------------------------------------------------
+
+TEST(Sweep, PlanGridIsCrossProductInOrder)
+{
+    SweepPlan plan;
+    plan.addGrid({"fft", "lu"}, {"baseline", "S"}, 4, 9);
+    ASSERT_EQ(plan.size(), 4u);
+    EXPECT_EQ(plan.tasks[0].kernel, "fft");
+    EXPECT_EQ(plan.tasks[0].config, "baseline");
+    EXPECT_EQ(plan.tasks[1].kernel, "fft");
+    EXPECT_EQ(plan.tasks[1].config, "S");
+    EXPECT_EQ(plan.tasks[3].kernel, "lu");
+    EXPECT_EQ(plan.tasks[3].config, "S");
+    EXPECT_EQ(plan.tasks[2].scaleDiv, 4u);
+    EXPECT_EQ(plan.tasks[2].seed, 9u);
+}
+
+TEST(Sweep, ScaleForKeepsFftPowerOfTwo)
+{
+    EXPECT_EQ(scaleFor("fft", 1), 1024u);
+    EXPECT_EQ(scaleFor("fft", 8), 128u);
+    // Non-power-of-two-sensitive kernels floor at 16.
+    EXPECT_EQ(scaleFor("lu", 1000), 16u);
+}
+
+TEST(Sweep, CacheHitsOnRepeatAndMissesWhenCold)
+{
+    clearResultCache();
+    SweepPlan plan;
+    plan.add("convert", "baseline", 64, 7);
+    plan.add("convert", "S", 64, 7);
+
+    SweepOptions opts;
+    opts.jobs = 1;
+    auto first = runSweep(plan, opts);
+    EXPECT_EQ(resultCacheMisses(), 2u);
+    EXPECT_EQ(resultCacheHits(), 0u);
+    EXPECT_EQ(resultCacheSize(), 2u);
+
+    auto second = runSweep(plan, opts);
+    EXPECT_EQ(resultCacheMisses(), 2u);
+    EXPECT_EQ(resultCacheHits(), 2u);
+    ASSERT_EQ(second.size(), first.size());
+    for (size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(second[i].cycles, first[i].cycles);
+
+    // A different seed is a different key: miss.
+    SweepPlan other;
+    other.add("convert", "baseline", 64, 8);
+    runSweep(other, opts);
+    EXPECT_EQ(resultCacheMisses(), 3u);
+    EXPECT_EQ(resultCacheSize(), 3u);
+
+    // useCache = false bypasses lookup and store entirely.
+    clearResultCache();
+    SweepOptions noCache;
+    noCache.jobs = 1;
+    noCache.useCache = false;
+    runSweep(plan, noCache);
+    EXPECT_EQ(resultCacheSize(), 0u);
+    EXPECT_EQ(resultCacheHits(), 0u);
+    clearResultCache();
+}
+
+TEST(Sweep, ProgressReportsEveryTaskAndCachedFlag)
+{
+    clearResultCache();
+    SweepPlan plan;
+    plan.add("md5", "baseline", 64, 3);
+    plan.add("md5", "M", 64, 3);
+
+    size_t calls = 0, cachedCalls = 0, lastDone = 0;
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.progress = [&](const SweepProgress &p) {
+        ++calls;
+        if (p.cached)
+            ++cachedCalls;
+        EXPECT_EQ(p.total, 2u);
+        EXPECT_GT(p.done, lastDone);
+        lastDone = p.done;
+    };
+    runSweep(plan, opts);
+    EXPECT_EQ(calls, 2u);
+    EXPECT_EQ(cachedCalls, 0u);
+
+    calls = cachedCalls = lastDone = 0;
+    runSweep(plan, opts);
+    EXPECT_EQ(calls, 2u);
+    EXPECT_EQ(cachedCalls, 2u);
+    clearResultCache();
+}
+
+TEST(Sweep, VerificationFailurePropagatesFromWorkers)
+{
+    clearResultCache();
+    SweepPlan plan;
+    plan.add("no-such-kernel", "baseline", 64, 1);
+    SweepOptions opts;
+    opts.jobs = 4;
+    EXPECT_THROW(runSweep(plan, opts), FatalError);
+    clearResultCache();
+}
+
+// ---------------------------------------------------------------------
+// Determinism: serial grid == parallel grid, field for field
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+expectSameSnapshot(const GroupSnapshot &a, const GroupSnapshot &b,
+                   const std::string &ctx)
+{
+    EXPECT_EQ(a.name, b.name) << ctx;
+    EXPECT_EQ(a.scalars, b.scalars) << ctx << " " << a.name;
+    EXPECT_EQ(a.formulas, b.formulas) << ctx << " " << a.name;
+
+    ASSERT_EQ(a.vectors.size(), b.vectors.size()) << ctx << " " << a.name;
+    for (const auto &[name, va] : a.vectors) {
+        auto it = b.vectors.find(name);
+        ASSERT_NE(it, b.vectors.end()) << ctx << " vector " << name;
+        EXPECT_EQ(va.all(), it->second.all()) << ctx << " vector " << name;
+    }
+
+    ASSERT_EQ(a.distributions.size(), b.distributions.size())
+        << ctx << " " << a.name;
+    for (const auto &[name, da] : a.distributions) {
+        auto it = b.distributions.find(name);
+        ASSERT_NE(it, b.distributions.end()) << ctx << " dist " << name;
+        const auto &db = it->second;
+        EXPECT_EQ(da.samples(), db.samples()) << ctx << " dist " << name;
+        EXPECT_EQ(da.sum(), db.sum()) << ctx << " dist " << name;
+        EXPECT_EQ(da.minValue(), db.minValue()) << ctx << " dist " << name;
+        EXPECT_EQ(da.maxValue(), db.maxValue()) << ctx << " dist " << name;
+        EXPECT_EQ(da.underflow(), db.underflow()) << ctx << " dist " << name;
+        EXPECT_EQ(da.overflow(), db.overflow()) << ctx << " dist " << name;
+        ASSERT_EQ(da.numBuckets(), db.numBuckets()) << ctx << " " << name;
+        for (size_t i = 0; i < da.numBuckets(); ++i)
+            EXPECT_EQ(da.bucket(i), db.bucket(i))
+                << ctx << " dist " << name << " bucket " << i;
+    }
+}
+
+void
+expectSameResult(const arch::ExperimentResult &a,
+                 const arch::ExperimentResult &b)
+{
+    std::string ctx = a.kernel + "/" + a.config;
+    EXPECT_EQ(a.kernel, b.kernel);
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.verified, b.verified) << ctx;
+    EXPECT_EQ(a.error, b.error) << ctx;
+    EXPECT_EQ(a.cycles, b.cycles) << ctx;
+    EXPECT_EQ(a.usefulOps, b.usefulOps) << ctx;
+    EXPECT_EQ(a.instsExecuted, b.instsExecuted) << ctx;
+    EXPECT_EQ(a.records, b.records) << ctx;
+    EXPECT_EQ(a.activations, b.activations) << ctx;
+    EXPECT_EQ(a.mappings, b.mappings) << ctx;
+    ASSERT_EQ(a.statGroups.size(), b.statGroups.size()) << ctx;
+    for (size_t g = 0; g < a.statGroups.size(); ++g)
+        expectSameSnapshot(a.statGroups[g], b.statGroups[g], ctx);
+}
+
+} // namespace
+
+TEST(Determinism, ParallelGridMatchesSerialFieldForField)
+{
+    constexpr uint64_t scaleDiv = 16;
+
+    clearResultCache();
+    analysis::Grid serial = analysis::runGrid(scaleDiv);
+
+    // Flush the cache so the parallel run actually simulates instead
+    // of copying the serial results back out.
+    clearResultCache();
+    analysis::Grid parallel =
+        analysis::runGridParallel(scaleDiv, 1234, 8);
+    clearResultCache();
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (const auto &[kernel, byConfig] : serial) {
+        auto pk = parallel.find(kernel);
+        ASSERT_NE(pk, parallel.end()) << kernel;
+        ASSERT_EQ(byConfig.size(), pk->second.size()) << kernel;
+        for (const auto &[config, result] : byConfig) {
+            auto pc = pk->second.find(config);
+            ASSERT_NE(pc, pk->second.end()) << kernel << "/" << config;
+            expectSameResult(result, pc->second);
+        }
+    }
+}
