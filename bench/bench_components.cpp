@@ -82,6 +82,74 @@ BM_EventQueue(benchmark::State &state)
 BENCHMARK(BM_EventQueue);
 
 static void
+BM_EventQueueScheduleFire(benchmark::State &state)
+{
+    // The engines' dominant traffic: events landing a few ticks out,
+    // inside the calendar ring. One batch = 64 schedules + 64 fires.
+    sim::EventQueue eq;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            eq.scheduleIn(static_cast<Tick>(1 + i % 7), [] {});
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+static void
+BM_EventQueueBucketRollover(benchmark::State &state)
+{
+    // Chains hopping further than the ring covers: every hop slides the
+    // window, exercising the occupancy bit-scan and overflow migration.
+    sim::EventQueue eq;
+    for (auto _ : state) {
+        struct Chain
+        {
+            sim::EventQueue &q;
+            int left;
+            void
+            operator()()
+            {
+                if (left-- > 0)
+                    q.scheduleIn(300, *this);
+            }
+        };
+        eq.schedule(eq.curTick(), Chain{eq, 64});
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueBucketRollover);
+
+static void
+BM_EventQueueFarFuture(benchmark::State &state)
+{
+    // Worst case for the two-tier split: everything lands in the
+    // overflow heap first and migrates into the ring on the way out.
+    sim::EventQueue eq;
+    Rng rng(7);
+    for (auto _ : state) {
+        Tick base = eq.curTick();
+        for (int i = 0; i < 64; ++i)
+            eq.schedule(base + 10000 + rng.below(100000), [] {});
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueFarFuture);
+
+static void
+BM_ResourceAcquireMany(benchmark::State &state)
+{
+    // Multi-unit grants (memory banks, DMA bursts) on the flat calendar.
+    sim::Resource res(2);
+    Tick t = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(res.acquireMany(t += 3, 4));
+}
+BENCHMARK(BM_ResourceAcquireMany);
+
+static void
 BM_InterpretRijndael(benchmark::State &state)
 {
     auto k = kernels::makeRijndael();

@@ -85,6 +85,16 @@ toJson(const arch::ExperimentResult &result)
     obj.set("mappings", result.mappings);
     obj.set("opsPerCycle", result.opsPerCycle());
 
+    // Host (simulator) performance of this run. Kept in its own object
+    // because it is measurement noise, not simulated state: regression
+    // tooling diffing simulated output drops the "host" key and
+    // compares everything else bit for bit.
+    json::Value host = json::Value::object();
+    host.set("events", result.hostEvents);
+    host.set("eventsPerSec", result.hostEventsPerSec());
+    host.set("seconds", result.hostSeconds);
+    obj.set("host", std::move(host));
+
     json::Value groups = json::Value::array();
     for (const auto &g : result.statGroups)
         groups.push(toJson(g));

@@ -14,7 +14,12 @@
  *                       buckets: [..] } }, "vectors": { n: [..] } }
  *   ExperimentResult -> { kernel, config, verified, cycles, usefulOps,
  *                       instsExecuted, records, activations, mappings,
- *                       opsPerCycle, statGroups: [..] }
+ *                       opsPerCycle,
+ *                       host: { events, eventsPerSec, seconds },
+ *                       statGroups: [..] }
+ *
+ * The "host" object is simulator (wall-clock) performance, not
+ * simulated state; bit-identical regression diffs strip it.
  *   Grid           -> { "experiments": [ result.. ] } plus metadata
  */
 

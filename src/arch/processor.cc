@@ -1,6 +1,7 @@
 #include "arch/processor.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 
 #include "common/bitutils.hh"
@@ -80,6 +81,24 @@ fill(ExperimentResult &res, const core::RunStats &stats)
     res.mappings += stats.mappings;
 }
 
+/** Wall-clock timer for the host-performance stats of one run. */
+class HostTimer
+{
+  public:
+    HostTimer() : start(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
+
 } // namespace
 
 ExperimentResult
@@ -90,6 +109,7 @@ TripsProcessor::runSimd(Workload &workload)
     res.kernel = k.name;
     res.config = m.name;
 
+    HostTimer timer;
     uint64_t chunkRecords = 0;
     sched::StreamLayout layout = makeLayout(k, chunkRecords);
     sched::SimdPlan plan = sched::lowerSimd(k, m, layout);
@@ -141,6 +161,9 @@ TripsProcessor::runSimd(Workload &workload)
     res.statGroups.push_back(memory.smc().statsGroup().snapshot());
     res.statGroups.push_back(memory.statsGroup().snapshot());
 
+    res.hostEvents = engine.hostEvents();
+    res.hostSeconds = timer.seconds();
+
     std::string err;
     res.verified = workload.verify(err);
     res.error = err;
@@ -155,6 +178,7 @@ TripsProcessor::runMimd(Workload &workload)
     res.kernel = k.name;
     res.config = m.name;
 
+    HostTimer timer;
     uint64_t chunkRecords = 0;
     sched::StreamLayout layout = makeLayout(k, chunkRecords);
     sched::MimdPlan plan = sched::lowerMimd(k, m, layout);
@@ -198,6 +222,9 @@ TripsProcessor::runMimd(Workload &workload)
     res.statGroups.push_back(engine.network().statsGroup().snapshot());
     res.statGroups.push_back(memory.smc().statsGroup().snapshot());
     res.statGroups.push_back(memory.statsGroup().snapshot());
+
+    res.hostEvents = engine.hostEvents();
+    res.hostSeconds = timer.seconds();
 
     std::string err;
     res.verified = workload.verify(err);

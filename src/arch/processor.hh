@@ -44,6 +44,22 @@ struct ExperimentResult
     uint64_t activations = 0;
     uint64_t mappings = 0;
 
+    /// @name Host (simulator) performance of this run -- wall-clock
+    /// seconds, simulation-kernel events executed, and their ratio.
+    /// Measurement noise, not simulated state: the CI bit-identical
+    /// diff strips these, and the JSON exporter groups them under a
+    /// separate "host" object so tooling can do the same.
+    /// @{
+    double hostSeconds = 0.0;
+    uint64_t hostEvents = 0;
+
+    double
+    hostEventsPerSec() const
+    {
+        return hostSeconds > 0.0 ? double(hostEvents) / hostSeconds : 0.0;
+    }
+    /// @}
+
     /**
      * End-of-run snapshots of every per-structure statistics group
      * (engine, mesh, SMC, memory system). Value-semantic: they outlive

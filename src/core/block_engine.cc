@@ -52,6 +52,10 @@ BlockEngine::BlockEngine(const MachineParams &params,
     });
     grantSnapshot.assign(tracked.size(), 0);
 
+    // One reusable event seeds every activation (bound once here; the
+    // per-activation context travels through members, not captures).
+    seedEvent.bind(eq, [this] { seedActivation(); });
+
     // Issue width is bounded by the tile count; operand waits beyond a
     // couple hundred ticks all mean "starved" and land in overflow.
     issueWidth = &engStats.distribution("issueWidth", 0.0,
@@ -253,23 +257,17 @@ BlockEngine::runActivation(const MappedBlock &block, Tick startTick,
     // clock is safe.
     eq.reset();
 
-    // Seed: every instruction that fires this activation and already has
-    // all its operands (zero-source ops, persistent-only operands).
-    for (size_t i = 0; i < block.insts.size(); ++i) {
-        const auto &mi = block.insts[i];
-        if (mi.onceOnly && !firstActivation)
-            continue;
-        ++expectedCount;
-        bool ready = true;
-        for (unsigned s = 0; s < mi.numSrcs; ++s)
-            ready &= state[i].present[s];
-        if (ready) {
-            uint32_t idx = static_cast<uint32_t>(i);
-            eq.schedule(startTick, [this, &block, idx, startTick, &stats] {
-                execute(block, idx, startTick, stats);
-            });
-        }
-    }
+    curBlock = &block;
+    curStats = &stats;
+    seedTick = startTick;
+    seedFresh = firstActivation;
+
+    // One event seeds the whole activation. The seeds are the first
+    // thing the queue executes, so running them back to back inside one
+    // callback is order-identical to scheduling one event per seed:
+    // either way every seed fires before any same-tick delivery (those
+    // carry later sequence numbers by construction).
+    seedEvent.schedule(startTick);
 
     eq.run();
 
@@ -290,6 +288,23 @@ BlockEngine::runActivation(const MappedBlock &block, Tick startTick,
     ++*activationsStat;
 
     stats.activations++;
+}
+
+void
+BlockEngine::seedActivation()
+{
+    const MappedBlock &block = *curBlock;
+    for (size_t i = 0; i < block.insts.size(); ++i) {
+        const auto &mi = block.insts[i];
+        if (mi.onceOnly && !seedFresh)
+            continue;
+        ++expectedCount;
+        bool ready = true;
+        for (unsigned s = 0; s < mi.numSrcs; ++s)
+            ready &= state[i].present[s];
+        if (ready)
+            execute(block, static_cast<uint32_t>(i), seedTick, *curStats);
+    }
 }
 
 void
@@ -454,12 +469,16 @@ BlockEngine::deliver(const MappedBlock &block, uint32_t producer,
                      RunStats &stats)
 {
     (void)producer;
+    (void)block;
+    (void)stats;
     actMaxTick = std::max(actMaxTick, when);
     uint32_t idx = target.inst;
     uint8_t slot = target.srcSlot;
 
-    eq.schedule(when, [this, &block, idx, slot, value, when, &stats] {
-        const MappedInst &mi = block.insts[idx];
+    // The capture must fit an InlineFn: this + payload words only. The
+    // activation context (block, stats) is reached through members.
+    eq.schedule(when, [this, idx, slot, value, when] {
+        const MappedInst &mi = curBlock->insts[idx];
         InstState &st = state[idx];
         panic_if(slot >= mi.numSrcs,
                  "operand delivered to bad slot %u of %s", slot,
@@ -477,7 +496,7 @@ BlockEngine::deliver(const MappedBlock &block, uint32_t producer,
         for (unsigned s = 0; s < mi.numSrcs; ++s)
             if (!st.present[s])
                 return;
-        execute(block, idx, when, stats);
+        execute(*curBlock, idx, when, *curStats);
     });
 }
 

@@ -91,6 +91,9 @@ class BlockEngine
     /** The operand network (per-link statistics live on it). */
     noc::MeshNetwork &network() { return mesh; }
 
+    /** Host-side count of discrete events executed across all runs. */
+    uint64_t hostEvents() const { return eq.executedEvents(); }
+
   private:
     const char *dlpTraceName() const { return "block"; }
 
@@ -106,6 +109,14 @@ class BlockEngine
 
     void runActivation(const isa::MappedBlock &block, Tick startTick,
                        bool firstActivation, RunStats &stats);
+
+    /**
+     * Fired by the reusable seed event at an activation's start tick:
+     * count the instructions expected to fire and execute every one
+     * whose operands are already present (zero-source ops,
+     * persistent-only operands), in index order.
+     */
+    void seedActivation();
 
     /** Execute one instruction once its operands are ready. */
     void execute(const isa::MappedBlock &block, uint32_t idx, Tick ready,
@@ -166,6 +177,19 @@ class BlockEngine
     Stat *revitalizesStat = nullptr;
 
     std::vector<InstState> state;
+
+    /**
+     * Activation context for event callbacks. Events capture only
+     * `this` plus a few payload words (they must fit an InlineFn), so
+     * the per-activation invariants -- which block is running, where
+     * run stats accumulate -- live here instead of in every capture.
+     */
+    const isa::MappedBlock *curBlock = nullptr;
+    RunStats *curStats = nullptr;
+    Tick seedTick = 0;          ///< start tick of the current activation
+    bool seedFresh = false;     ///< current activation is a fresh mapping
+    sim::MemberEvent seedEvent; ///< bound once; rescheduled per activation
+
     uint64_t firedCount = 0;
     uint64_t expectedCount = 0;
     Tick actMaxTick = 0;   ///< full drain (deliveries, stores)

@@ -157,6 +157,7 @@ MimdEngine::step(const sched::MimdPlan &plan, TileState &ts,
              "MIMD tile %u exceeded the instruction limit "
              "(runaway loop in %s?)",
              tile, plan.name.c_str());
+    ++hostSteps;
 
     Tick t = issueTime(plan, ts);
     trace::setCurTick(t);

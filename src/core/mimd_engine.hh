@@ -57,6 +57,14 @@ class MimdEngine
     /** The operand network (per-link statistics live on it). */
     noc::MeshNetwork &network() { return mesh; }
 
+    /**
+     * Host-side count of simulation-kernel events across all runs. The
+     * MIMD engine is a static-scheduled stepper rather than a
+     * discrete-event client, so its unit of kernel work -- one tile
+     * instruction step -- is what gets counted.
+     */
+    uint64_t hostEvents() const { return hostSteps; }
+
   private:
     const char *dlpTraceName() const { return "mimd"; }
     /** Per-tile architectural and pipeline state. */
@@ -91,6 +99,7 @@ class MimdEngine
     Distribution *issueWidth = nullptr;  ///< insts/cycle per tile per run
 
     Tick curTick = 0;
+    uint64_t hostSteps = 0; ///< instruction steps executed (host metric)
 
     static constexpr Addr tableRegionBase = Addr(1) << 41;
     static constexpr uint64_t instLimit = 400'000'000;

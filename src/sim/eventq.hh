@@ -6,25 +6,52 @@
  * schedule callbacks at absolute ticks; the queue executes them in tick
  * order (FIFO within a tick). One tick is half a clock cycle (see
  * common/types.hh).
+ *
+ * The queue is a two-tier calendar (bucket) queue in the gem5/NS-2
+ * tradition, tuned for the engines' traffic pattern -- almost every
+ * event lands within a few ticks of the current time:
+ *
+ *  - a ring of `numBuckets` one-tick buckets covers the near-future
+ *    window [bucketBase, bucketBase + numBuckets). Insertion is an O(1)
+ *    append; FIFO order inside a bucket is exactly FIFO order within a
+ *    tick, so the historical (when, seq) total order is preserved by
+ *    construction. A bitmap of non-empty buckets makes the advance to
+ *    the next populated tick a couple of bit scans, never a tick-by-tick
+ *    crawl;
+ *
+ *  - events beyond the window go to an overflow min-heap ordered by
+ *    (when, seq) and migrate into the ring as the window slides over
+ *    them. Migration pops in (when, seq) order, so same-tick overflow
+ *    events enter their bucket already in seq order and anything
+ *    scheduled at that tick afterwards appends behind them.
+ *
+ * Events are allocation-free: the callback is an InlineFn (small-buffer
+ * only, no heap fallback -- see inline_fn.hh) and event nodes live by
+ * value inside bucket vectors and the overflow heap, which retain their
+ * capacity across activations and reset(). After warm-up the
+ * schedule/fire path performs zero heap allocations (asserted by the
+ * counting-allocator test in tests/test_sim.cpp).
  */
 
 #ifndef DLP_SIM_EVENTQ_HH
 #define DLP_SIM_EVENTQ_HH
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <cinttypes>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
+#include "sim/inline_fn.hh"
 
 namespace dlp::sim {
 
 /** Callback type executed when an event fires. */
-using EventFn = std::function<void()>;
+using EventFn = InlineFn;
 
 /** A single time-ordered event queue. */
 class EventQueue
@@ -48,26 +75,49 @@ class EventQueue
                  "scheduling event in the past (%" PRIu64 " < %" PRIu64 ")",
                  when, now);
         DPRINTF(EventQ, "schedule event at %" PRIu64 " (%zu pending)", when,
-                events.size());
-        events.push(Event{when, nextSeq++, std::move(fn)});
+                pendingCount);
+        if (pendingCount == 0) {
+            // Empty queue: re-anchor the window at the present so the
+            // ring covers the ticks about to be scheduled.
+            bucketBase = now;
+        }
+        Event ev{when, nextSeq++, fn};
+        if (when < bucketBase + numBuckets) {
+            auto idx = static_cast<size_t>(when & bucketMask);
+            if (buckets[idx].empty())
+                markOccupied(idx);
+            buckets[idx].push_back(ev);
+            ++ringCount;
+        } else {
+            overflow.push_back(ev);
+            std::push_heap(overflow.begin(), overflow.end(), EventLater{});
+        }
+        ++pendingCount;
     }
 
     /** Schedule fn delay ticks from now. */
     void
     scheduleIn(Tick delay, EventFn fn)
     {
-        schedule(now + delay, std::move(fn));
+        schedule(now + delay, fn);
     }
 
     /** Schedule fn a number of full cycles from now. */
     void
     scheduleInCycles(Cycles delay, EventFn fn)
     {
-        schedule(now + cyclesToTicks(delay), std::move(fn));
+        schedule(now + cyclesToTicks(delay), fn);
     }
 
-    bool empty() const { return events.empty(); }
-    size_t pending() const { return events.size(); }
+    bool empty() const { return pendingCount == 0; }
+    size_t pending() const { return pendingCount; }
+
+    /**
+     * Host-side count of events executed over the queue's lifetime.
+     * Survives reset() (which rewinds *simulated* time) so a whole
+     * multi-activation run can report its event throughput.
+     */
+    uint64_t executedEvents() const { return executedCount; }
 
     /**
      * Run events until the queue drains or limit ticks elapse.
@@ -81,17 +131,49 @@ class EventQueue
     Tick
     run(Tick limit = maxTick)
     {
-        while (!events.empty()) {
-            // Pop-before-execute so an event can schedule at its own tick.
-            Event ev = std::move(const_cast<Event &>(events.top()));
-            events.pop();
-            fatal_if(ev.when > limit,
+        while (pendingCount > 0) {
+            if (ringCount == 0) {
+                // Ring empty: jump the window straight to the earliest
+                // overflow event and pull the newly covered ticks in.
+                bucketBase = overflow.front().when;
+                migrateOverflow();
+            }
+            // Advance to the next populated tick inside the window.
+            Tick t = nextPopulatedTick();
+            fatal_if(t > limit,
                      "simulation exceeded tick limit %" PRIu64 "; "
                      "the simulated machine probably deadlocked", limit);
-            now = ev.when;
-            trace::setCurTick(now);
-            DPRINTF(EventQ, "event fires (%zu pending)", events.size());
-            ev.fn();
+            bucketBase = t;
+            // The window just widened to [t, t + numBuckets): admit the
+            // overflow events it now covers *before* running callbacks,
+            // or a callback scheduling at the same tick would slot in
+            // ahead of an earlier-scheduled (smaller-seq) overflow event.
+            migrateOverflow();
+            now = t;
+            trace::setCurTick(t);
+            // Sample the trace flag once per tick, not per event.
+            const bool traceFires = trace::enabled(trace::Flag::EventQ);
+            auto &bucket = buckets[static_cast<size_t>(t & bucketMask)];
+            // Index-based walk: an event may append to this very bucket
+            // by scheduling at its own tick.
+            for (size_t i = 0; i < bucket.size(); ++i) {
+                // Copy out: the append above may reallocate the bucket.
+                EventFn fn = bucket[i].fn;
+                if (traceFires) {
+                    DPRINTF(EventQ, "event fires (%zu pending)",
+                            pendingCount - 1);
+                }
+                --pendingCount;
+                ++executedCount;
+                fn();
+            }
+            ringCount -= bucket.size();
+            bucket.clear();
+            clearOccupied(static_cast<size_t>(t & bucketMask));
+            // Slide the window past the finished tick and admit any
+            // overflow events it now covers.
+            bucketBase = t + 1;
+            migrateOverflow();
         }
         return now;
     }
@@ -100,9 +182,16 @@ class EventQueue
     void
     reset()
     {
-        while (!events.empty())
-            events.pop();
+        if (ringCount > 0) {
+            for (auto &bucket : buckets)
+                bucket.clear(); // keeps capacity
+        }
+        occupied.fill(0);
+        overflow.clear(); // keeps capacity
+        ringCount = 0;
+        pendingCount = 0;
         now = 0;
+        bucketBase = 0;
         nextSeq = 0;
     }
 
@@ -115,17 +204,146 @@ class EventQueue
         Tick when;
         uint64_t seq;
         EventFn fn;
+    };
+    static_assert(std::is_trivially_copyable_v<Event>,
+                  "event nodes must relocate with memcpy");
 
+    /** Min-heap comparator over (when, seq). */
+    struct EventLater
+    {
         bool
-        operator>(const Event &o) const
+        operator()(const Event &a, const Event &b) const
         {
-            return when != o.when ? when > o.when : seq > o.seq;
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+    /// Ring size in ticks (one bucket per tick). Must be a power of two.
+    static constexpr size_t numBuckets = 256;
+    static constexpr Tick bucketMask = numBuckets - 1;
+    static constexpr size_t numWords = numBuckets / 64;
+
+    void
+    markOccupied(size_t idx)
+    {
+        occupied[idx >> 6] |= uint64_t(1) << (idx & 63);
+    }
+
+    void
+    clearOccupied(size_t idx)
+    {
+        occupied[idx >> 6] &= ~(uint64_t(1) << (idx & 63));
+    }
+
+    /**
+     * Earliest tick >= bucketBase with a non-empty bucket. Every
+     * populated bucket maps to exactly one tick inside the window, so a
+     * wrapped bit scan starting at bucketBase's slot finds it.
+     * Precondition: ringCount > 0.
+     */
+    Tick
+    nextPopulatedTick() const
+    {
+        auto start = static_cast<unsigned>(bucketBase & bucketMask);
+        unsigned from = start;
+        for (int pass = 0; pass < 2; ++pass) {
+            unsigned w = from >> 6;
+            uint64_t word = occupied[w] & (~uint64_t(0) << (from & 63));
+            while (true) {
+                if (word) {
+                    auto idx = (w << 6) +
+                               unsigned(std::countr_zero(word));
+                    // Ring distance from the window base to this slot;
+                    // the window spans exactly numBuckets ticks, so the
+                    // wrapped distance is unambiguous.
+                    Tick delta = (Tick(idx) + numBuckets - Tick(start)) &
+                                 bucketMask;
+                    return bucketBase + delta;
+                }
+                if (++w == numWords)
+                    break;
+                word = occupied[w];
+            }
+            from = 0;
+        }
+        panic("event ring marked populated but no occupied bucket");
+    }
+
+    /** Pull overflow events now covered by the window into the ring. */
+    void
+    migrateOverflow()
+    {
+        while (!overflow.empty() &&
+               overflow.front().when < bucketBase + numBuckets) {
+            std::pop_heap(overflow.begin(), overflow.end(), EventLater{});
+            const Event &ev = overflow.back();
+            auto idx = static_cast<size_t>(ev.when & bucketMask);
+            if (buckets[idx].empty())
+                markOccupied(idx);
+            buckets[idx].push_back(ev);
+            ++ringCount;
+            overflow.pop_back();
+        }
+    }
+
+    std::array<std::vector<Event>, numBuckets> buckets;
+    std::array<uint64_t, numWords> occupied{};
+    std::vector<Event> overflow; ///< min-heap by (when, seq)
+
+    size_t ringCount = 0;     ///< events currently in the ring
+    size_t pendingCount = 0;  ///< ring + overflow
+    uint64_t executedCount = 0;
     Tick now = 0;
+    Tick bucketBase = 0;      ///< first tick the ring covers
     uint64_t nextSeq = 0;
+};
+
+/**
+ * A ClockedObject-style reusable member event: bound once to a queue
+ * and a callback (typically capturing just `this`), then (re)scheduled
+ * arbitrarily often with no per-schedule binding work. The
+ * highest-frequency callers keep one of these per recurring action.
+ */
+class MemberEvent
+{
+  public:
+    MemberEvent() = default;
+
+    template <typename F>
+    MemberEvent(EventQueue &q, F &&f)
+    {
+        bind(q, std::forward<F>(f));
+    }
+
+    template <typename F>
+    void
+    bind(EventQueue &q, F &&f)
+    {
+        queue = &q;
+        fn.bind(std::forward<F>(f));
+    }
+
+    bool bound() const { return queue != nullptr; }
+
+    /** Enqueue one firing at absolute tick when. */
+    void
+    schedule(Tick when)
+    {
+        panic_if(!queue, "scheduling an unbound MemberEvent");
+        queue->schedule(when, fn);
+    }
+
+    /** Enqueue one firing delay ticks from now. */
+    void
+    scheduleIn(Tick delay)
+    {
+        panic_if(!queue, "scheduling an unbound MemberEvent");
+        queue->scheduleIn(delay, fn);
+    }
+
+  private:
+    EventQueue *queue = nullptr;
+    InlineFn fn;
 };
 
 } // namespace dlp::sim

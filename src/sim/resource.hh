@@ -12,20 +12,180 @@
  * previously granted later one, which is what a real FCFS queue would
  * have done.
  *
- * Adjacent intervals are merged, so densely used resources keep O(1)
- * state and acquisition stays O(log n) amortized.
+ * The calendar is a flat sorted small-vector of disjoint merged
+ * intervals rather than a node-based map: adjacent intervals merge, so
+ * densely used resources keep one or two intervals resident, which fit
+ * the inline buffer and never touch the heap. The common case --
+ * acquire at or after the end of the last interval -- is recognized in
+ * O(1) and either extends the tail interval in place or appends, with
+ * zero allocations. Sparse out-of-order histories fall back to a
+ * binary search over the (tiny) flat array; memmove-style inserts beat
+ * map node churn at these sizes by a wide margin.
  */
 
 #ifndef DLP_SIM_RESOURCE_HH
 #define DLP_SIM_RESOURCE_HH
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <type_traits>
 
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
 namespace dlp::sim {
+
+/**
+ * A minimal small-buffer vector for trivially copyable elements:
+ * `Inline` slots live inside the object; longer sequences spill to a
+ * geometrically grown heap block. Exactly the operations the interval
+ * calendar needs -- indexed access, push_back, insert, erase, clear.
+ */
+template <typename T, size_t Inline>
+class SmallVec
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SmallVec relocates with memcpy");
+
+  public:
+    SmallVec() = default;
+
+    SmallVec(const SmallVec &o) { assignFrom(o); }
+
+    SmallVec &
+    operator=(const SmallVec &o)
+    {
+        if (this != &o) {
+            releaseHeap();
+            assignFrom(o);
+        }
+        return *this;
+    }
+
+    SmallVec(SmallVec &&o) noexcept { stealFrom(o); }
+
+    SmallVec &
+    operator=(SmallVec &&o) noexcept
+    {
+        if (this != &o) {
+            releaseHeap();
+            stealFrom(o);
+        }
+        return *this;
+    }
+
+    ~SmallVec() { releaseHeap(); }
+
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    T &operator[](size_t i) { return data_[i]; }
+    const T &operator[](size_t i) const { return data_[i]; }
+
+    T &back() { return data_[count - 1]; }
+    const T &back() const { return data_[count - 1]; }
+
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + count; }
+
+    void
+    push_back(const T &v)
+    {
+        if (count == cap)
+            grow();
+        data_[count++] = v;
+    }
+
+    /** Insert v before index at. */
+    void
+    insert(size_t at, const T &v)
+    {
+        if (count == cap)
+            grow();
+        std::memmove(data_ + at + 1, data_ + at,
+                     (count - at) * sizeof(T));
+        data_[at] = v;
+        ++count;
+    }
+
+    /** Erase the element at index at. */
+    void
+    erase(size_t at)
+    {
+        std::memmove(data_ + at, data_ + at + 1,
+                     (count - at - 1) * sizeof(T));
+        --count;
+    }
+
+    /** Drop all elements; keeps the heap block, if any. */
+    void clear() { count = 0; }
+
+  private:
+    void
+    grow()
+    {
+        size_t newCap = cap * 2;
+        T *block = static_cast<T *>(std::malloc(newCap * sizeof(T)));
+        panic_if(!block, "SmallVec allocation failure");
+        std::memcpy(block, data_, count * sizeof(T));
+        if (data_ != inline_)
+            std::free(data_);
+        data_ = block;
+        cap = newCap;
+    }
+
+    void
+    assignFrom(const SmallVec &o)
+    {
+        if (o.count <= Inline) {
+            data_ = inline_;
+            cap = Inline;
+        } else {
+            data_ = static_cast<T *>(std::malloc(o.count * sizeof(T)));
+            panic_if(!data_, "SmallVec allocation failure");
+            cap = o.count;
+        }
+        count = o.count;
+        std::memcpy(data_, o.data_, count * sizeof(T));
+    }
+
+    void
+    stealFrom(SmallVec &o)
+    {
+        if (o.data_ != o.inline_) {
+            data_ = o.data_;
+            cap = o.cap;
+            count = o.count;
+            o.data_ = o.inline_;
+            o.cap = Inline;
+            o.count = 0;
+        } else {
+            data_ = inline_;
+            cap = Inline;
+            count = o.count;
+            std::memcpy(data_, o.data_, count * sizeof(T));
+        }
+    }
+
+    void
+    releaseHeap()
+    {
+        if (data_ != inline_) {
+            std::free(data_);
+            data_ = inline_;
+            cap = Inline;
+        }
+        count = 0;
+    }
+
+    T inline_[Inline];
+    T *data_ = inline_;
+    size_t count = 0;
+    size_t cap = Inline;
+};
 
 /** A single-server FCFS resource with a fixed service interval. */
 class Resource
@@ -57,8 +217,22 @@ class Resource
         if (units == 0)
             return earliest;
         Tick len = serviceInterval * units;
-        Tick grant = findWindow(earliest, len);
-        insertBusy(grant, grant + len);
+        Tick grant;
+        // Fast path (the last-insert hint): the request lands at or
+        // after the calendar's tail, which is where in-order traffic
+        // always lands. Extend the tail interval in place (touching)
+        // or append -- O(1), no search, no allocation.
+        if (busy.empty() || earliest >= busy.back().end) {
+            grant = earliest;
+            if (!busy.empty() && busy.back().end == earliest)
+                busy.back().end = earliest + len;
+            else
+                busy.push_back({earliest, earliest + len});
+        } else {
+            size_t pos;
+            grant = findWindow(earliest, len, pos);
+            insertBusy(pos, grant, grant + len);
+        }
         totalGrants += units;
         totalWait += grant - earliest;
         lastEnd = std::max(lastEnd, grant + len);
@@ -69,7 +243,12 @@ class Resource
     bool
     idleAt(Tick earliest) const
     {
-        return findWindowConst(earliest, serviceInterval) == earliest;
+        // O(1) answer for the common case: nothing is scheduled at or
+        // after earliest, so the window trivially starts there.
+        if (busy.empty() || earliest >= busy.back().end)
+            return true;
+        size_t pos;
+        return findWindow(earliest, serviceInterval, pos) == earliest;
     }
 
     /** End of the last scheduled busy interval. */
@@ -91,54 +270,75 @@ class Resource
     }
 
   private:
-    /** First start >= earliest of an idle window of length len. */
+    struct Interval
+    {
+        Tick start;
+        Tick end;
+    };
+
+    /**
+     * First start >= earliest of an idle window of length len; pos
+     * receives the index of the first interval starting at or after the
+     * window (the insertion point).
+     */
     Tick
-    findWindowConst(Tick earliest, Tick len) const
+    findWindow(Tick earliest, Tick len, size_t &pos) const
     {
         Tick t = earliest;
-        auto it = busy.upper_bound(t);
-        if (it != busy.begin()) {
-            auto prev = std::prev(it);
-            if (prev->second > t)
-                t = prev->second;
+        // First interval with start > t.
+        size_t idx = upperBound(t);
+        if (idx > 0 && busy[idx - 1].end > t)
+            t = busy[idx - 1].end;
+        while (idx < busy.size() && busy[idx].start < t + len) {
+            t = std::max(t, busy[idx].end);
+            ++idx;
         }
-        while (it != busy.end() && it->first < t + len) {
-            t = std::max(t, it->second);
-            ++it;
-        }
+        pos = idx;
         return t;
     }
 
-    Tick
-    findWindow(Tick earliest, Tick len)
+    /** Index of the first interval with start > t. */
+    size_t
+    upperBound(Tick t) const
     {
-        return findWindowConst(earliest, len);
+        size_t lo = 0, hi = busy.size();
+        while (lo < hi) {
+            size_t mid = (lo + hi) / 2;
+            if (busy[mid].start > t)
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        return lo;
     }
 
-    /** Insert [start, end), merging with adjacent intervals. */
+    /**
+     * Insert [start, end) before index pos, merging with a touching
+     * predecessor and/or successor. The window search guarantees the
+     * new interval overlaps no existing interior, so at most one merge
+     * on each side.
+     */
     void
-    insertBusy(Tick start, Tick end)
+    insertBusy(size_t pos, Tick start, Tick end)
     {
-        // Merge with a predecessor that touches us.
-        auto it = busy.lower_bound(start);
-        if (it != busy.begin()) {
-            auto prev = std::prev(it);
-            if (prev->second >= start) {
-                start = prev->first;
-                end = std::max(end, prev->second);
-                it = busy.erase(prev);
-            }
+        bool mergePrev = pos > 0 && busy[pos - 1].end >= start;
+        bool mergeNext = pos < busy.size() && busy[pos].start <= end;
+        if (mergePrev && mergeNext) {
+            busy[pos - 1].end = busy[pos].end;
+            busy.erase(pos);
+        } else if (mergePrev) {
+            busy[pos - 1].end = end;
+        } else if (mergeNext) {
+            busy[pos].start = start;
+        } else {
+            busy.insert(pos, {start, end});
         }
-        // Merge any successors we touch.
-        while (it != busy.end() && it->first <= end) {
-            end = std::max(end, it->second);
-            it = busy.erase(it);
-        }
-        busy.emplace(start, end);
     }
 
     Tick serviceInterval;
-    std::map<Tick, Tick> busy; ///< start -> end, disjoint, merged
+    /// Disjoint merged busy intervals, sorted by start. Merging keeps
+    /// dense resources at one or two entries, inside the inline buffer.
+    SmallVec<Interval, 4> busy;
     Tick lastEnd = 0;
     uint64_t totalGrants = 0;
     Tick totalWait = 0;

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <map>
+#include <new>
 #include <vector>
 
 #include "sim/eventq.hh"
@@ -147,3 +150,351 @@ TEST(Resource, MergedIntervalsStaySmall)
         r.acquire(static_cast<Tick>(i));
     EXPECT_EQ(r.acquire(0), 1000u);
 }
+
+// ---------------------------------------------------------------------
+// Calendar queue mechanics (ring buckets + overflow heap)
+// ---------------------------------------------------------------------
+
+TEST(CalendarQueue, SameTickFifoAcrossManyEvents)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i)
+        eq.schedule(42, [&order, i] { order.push_back(i); });
+    eq.run();
+    ASSERT_EQ(order.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(CalendarQueue, BucketRolloverAtRingBoundaries)
+{
+    // Ticks straddling multiples of the ring size (256) land in the
+    // same bucket slots across windows; order must stay by tick.
+    EventQueue eq;
+    std::vector<Tick> fired;
+    const std::vector<Tick> ticks = {0,   1,   255, 256, 257, 511,
+                                     512, 513, 767, 768, 1023, 1024};
+    // Schedule in reverse so insertion order disagrees with tick order.
+    for (auto it = ticks.rbegin(); it != ticks.rend(); ++it) {
+        Tick t = *it;
+        eq.schedule(t, [&fired, &eq] { fired.push_back(eq.curTick()); });
+    }
+    eq.run();
+    EXPECT_EQ(fired, ticks);
+}
+
+TEST(CalendarQueue, FarFutureOverflowPreservesOrder)
+{
+    // Events far beyond the ring window route through the overflow
+    // heap and must interleave correctly with near-future events,
+    // including FIFO among same-tick overflow events.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(1'000'000, [&] { order.push_back(10); });
+    eq.schedule(1'000'000, [&] { order.push_back(11); });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(500'000, [&] { order.push_back(5); });
+    eq.schedule(6, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 5, 10, 11}));
+}
+
+TEST(CalendarQueue, EventChainsAcrossTheWindow)
+{
+    // An event that keeps rescheduling itself far beyond the current
+    // window exercises window jumps with an otherwise empty ring.
+    EventQueue eq;
+    int hops = 0;
+    std::function<void()> hop; // test-side recursion helper
+    hop = [&] {
+        if (++hops < 10)
+            eq.scheduleIn(10'000, [&] { hop(); });
+    };
+    eq.schedule(0, [&] { hop(); });
+    eq.run();
+    EXPECT_EQ(hops, 10);
+    EXPECT_EQ(eq.curTick(), 90'000u);
+}
+
+TEST(CalendarQueue, ResetReusesRetainedStorage)
+{
+    EventQueue eq;
+    for (int round = 0; round < 3; ++round) {
+        int fired = 0;
+        for (Tick t = 0; t < 600; t += 3)
+            eq.schedule(t, [&fired] { ++fired; });
+        eq.schedule(100'000, [&fired] { ++fired; });
+        eq.run();
+        EXPECT_EQ(fired, 201);
+        EXPECT_EQ(eq.curTick(), 100'000u);
+        eq.reset();
+        EXPECT_EQ(eq.curTick(), 0u);
+        EXPECT_TRUE(eq.empty());
+    }
+}
+
+TEST(CalendarQueue, ResetDiscardsPendingEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&fired] { ++fired; });
+    eq.schedule(10'000'000, [&fired] { ++fired; }); // overflow tier
+    eq.reset();
+    eq.run();
+    EXPECT_EQ(fired, 0);
+    eq.schedule(1, [&fired] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(CalendarQueue, CountsExecutedEventsAcrossResets)
+{
+    EventQueue eq;
+    eq.schedule(1, [] {});
+    eq.schedule(2, [] {});
+    eq.run();
+    eq.reset();
+    eq.schedule(1, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executedEvents(), 3u);
+}
+
+TEST(MemberEvent, ReschedulesWithoutRebinding)
+{
+    EventQueue eq;
+    int fired = 0;
+    MemberEvent ev(eq, [&fired] { ++fired; });
+    ev.schedule(5);
+    eq.run();
+    eq.reset();
+    ev.schedule(7);
+    ev.schedule(9);
+    eq.run();
+    EXPECT_EQ(fired, 3);
+}
+
+// ---------------------------------------------------------------------
+// Flat-calendar Resource vs the node-based std::map oracle
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * The original std::map<Tick, Tick> interval calendar, kept verbatim as
+ * a behavioral oracle: the flat small-vector calendar must produce the
+ * exact same grant sequence for any acquire history.
+ */
+class MapOracleResource
+{
+  public:
+    explicit MapOracleResource(Tick interval = 1) : serviceInterval(interval)
+    {
+    }
+
+    Tick acquire(Tick earliest) { return acquireMany(earliest, 1); }
+
+    Tick
+    acquireMany(Tick earliest, uint64_t units)
+    {
+        if (units == 0)
+            return earliest;
+        Tick len = serviceInterval * units;
+        Tick grant = findWindow(earliest, len);
+        insertBusy(grant, grant + len);
+        totalGrants += units;
+        totalWait += grant - earliest;
+        lastEnd = std::max(lastEnd, grant + len);
+        return grant;
+    }
+
+    bool
+    idleAt(Tick earliest) const
+    {
+        return findWindow(earliest, serviceInterval) == earliest;
+    }
+
+    Tick nextFree() const { return lastEnd; }
+    uint64_t grants() const { return totalGrants; }
+    Tick waitedTicks() const { return totalWait; }
+
+  private:
+    Tick
+    findWindow(Tick earliest, Tick len) const
+    {
+        Tick t = earliest;
+        auto it = busy.upper_bound(t);
+        if (it != busy.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second > t)
+                t = prev->second;
+        }
+        while (it != busy.end() && it->first < t + len) {
+            t = std::max(t, it->second);
+            ++it;
+        }
+        return t;
+    }
+
+    void
+    insertBusy(Tick start, Tick end)
+    {
+        auto it = busy.lower_bound(start);
+        if (it != busy.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second >= start) {
+                start = prev->first;
+                end = std::max(end, prev->second);
+                it = busy.erase(prev);
+            }
+        }
+        while (it != busy.end() && it->first <= end) {
+            end = std::max(end, it->second);
+            it = busy.erase(it);
+        }
+        busy.emplace(start, end);
+    }
+
+    Tick serviceInterval;
+    std::map<Tick, Tick> busy;
+    Tick lastEnd = 0;
+    uint64_t totalGrants = 0;
+    Tick totalWait = 0;
+};
+
+} // namespace
+
+TEST(ResourceOracle, OutOfOrderAcquiresMatchMapCalendar)
+{
+    for (Tick interval : {Tick(1), Tick(2), Tick(7)}) {
+        Resource flat(interval);
+        MapOracleResource oracle(interval);
+        uint64_t s = 12345;
+        for (int i = 0; i < 20000; ++i) {
+            s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+            Tick earliest = (s >> 33) % 4096;
+            EXPECT_EQ(flat.acquire(earliest), oracle.acquire(earliest))
+                << "interval " << interval << " step " << i;
+        }
+        EXPECT_EQ(flat.waitedTicks(), oracle.waitedTicks());
+        EXPECT_EQ(flat.nextFree(), oracle.nextFree());
+    }
+}
+
+TEST(ResourceOracle, AdjacentIntervalMergeMatches)
+{
+    Resource flat(1);
+    MapOracleResource oracle(1);
+    // Touching grants left-to-right and right-to-left, then probe the
+    // fully merged calendar from the front.
+    for (Tick t : {Tick(10), Tick(11), Tick(9), Tick(13), Tick(12)})
+        EXPECT_EQ(flat.acquire(t), oracle.acquire(t));
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(flat.acquire(0), oracle.acquire(0));
+    EXPECT_EQ(flat.idleAt(0), oracle.idleAt(0));
+    EXPECT_EQ(flat.nextFree(), oracle.nextFree());
+}
+
+TEST(ResourceOracle, BurstAcquiresSpanningMergesMatch)
+{
+    Resource flat(2);
+    MapOracleResource oracle(2);
+    uint64_t s = 999;
+    for (int i = 0; i < 20000; ++i) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        Tick earliest = (s >> 33) % 2048;
+        uint64_t units = 1 + ((s >> 20) % 5);
+        EXPECT_EQ(flat.acquireMany(earliest, units),
+                  oracle.acquireMany(earliest, units))
+            << "step " << i;
+        if (i % 7 == 0) {
+            Tick probe = (s >> 40) % 2048;
+            EXPECT_EQ(flat.idleAt(probe), oracle.idleAt(probe))
+                << "probe step " << i;
+        }
+    }
+    EXPECT_EQ(flat.grants(), oracle.grants());
+    EXPECT_EQ(flat.waitedTicks(), oracle.waitedTicks());
+}
+
+// ---------------------------------------------------------------------
+// Steady-state allocation behaviour. Each test binary is its own
+// executable (see tests/CMakeLists.txt), so overriding the global
+// allocator here observes only this file's activity.
+// ---------------------------------------------------------------------
+
+namespace {
+
+uint64_t gAllocs = 0;
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    ++gAllocs;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void *
+operator new[](std::size_t size)
+{
+    ++gAllocs;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+TEST(EventQueueAllocation, SteadyStateScheduleAndFireIsAllocationFree)
+{
+    EventQueue q;
+    uint64_t fired = 0;
+    // Warm-up: populate bucket and overflow capacity with the same
+    // traffic shape the measurement loop uses, across a reset() to
+    // prove storage survives it.
+    auto churn = [&] {
+        for (int rep = 0; rep < 4; ++rep) {
+            for (Tick t = 0; t < 64; ++t) {
+                q.schedule(q.curTick() + t, [&fired] { ++fired; });
+                q.schedule(q.curTick() + t + 1000, [&fired] { ++fired; });
+            }
+            q.run();
+        }
+    };
+    churn();
+    q.reset();
+    churn();
+
+    uint64_t before = gAllocs;
+    q.reset();
+    churn();
+    EXPECT_EQ(gAllocs, before)
+        << "schedule/fire steady state must not touch the heap";
+    EXPECT_GT(fired, 0u);
+}
+
+TEST(ResourceAllocation, InlineCalendarAcquiresAreAllocationFree)
+{
+    Resource port(1);
+    // The serial acquire pattern every issue port sees: each grant
+    // extends the trailing interval in place, so the calendar stays at
+    // one interval and never leaves inline storage.
+    uint64_t before = gAllocs;
+    Tick t = 0;
+    for (int i = 0; i < 10000; ++i)
+        t = port.acquire(t);
+    EXPECT_EQ(gAllocs, before)
+        << "in-order acquires must stay in inline interval storage";
+    EXPECT_EQ(port.grants(), 10000u);
+}
+
+} // namespace
