@@ -26,6 +26,7 @@
 #include "arch/configs.hh"
 #include "common/logging.hh"
 #include "driver/job_pool.hh"
+#include "verify/audit.hh"
 
 using namespace dlp;
 using namespace dlp::analysis;
@@ -41,6 +42,8 @@ main(int argc, char **argv)
             scaleDiv = 8;
         else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
             jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
+        else if (std::strcmp(argv[i], "--audit") == 0)
+            verify::setAuditEnabled(true);
     }
     unsigned effectiveJobs = jobs ? jobs : driver::JobPool::defaultWorkers();
 
@@ -102,6 +105,27 @@ main(int argc, char **argv)
               << effectiveJobs
               << (effectiveJobs == 1 ? " worker\n" : " workers\n");
 
+    // With --audit (or DLP_AUDIT=1) every run in the grid was checked
+    // against the conservation invariants; a violation fails the bench.
+    size_t auditViolations = 0;
+    bool audited = false;
+    for (const auto &[kernel, byConfig] : grid) {
+        for (const auto &[config, res] : byConfig) {
+            if (!res.audited)
+                continue;
+            audited = true;
+            for (const auto &f : res.auditViolations) {
+                std::cout << "AUDIT VIOLATION " << kernel << "/" << config
+                          << ": " << f.invariant << ": " << f.detail
+                          << "\n";
+                ++auditViolations;
+            }
+        }
+    }
+    if (audited)
+        std::cout << "\nAudit: " << auditViolations
+                  << " invariant violation(s) across the grid\n";
+
     json::Value doc = toJson(grid);
     doc.set("figure", "figure5");
     doc.set("scaleDiv", scaleDiv);
@@ -113,5 +137,5 @@ main(int argc, char **argv)
     doc.set("meanSpeedups", std::move(means));
     writeJsonFile("BENCH_figure5.json", doc);
     std::cout << "\nWrote BENCH_figure5.json\n";
-    return 0;
+    return auditViolations ? 1 : 0;
 }

@@ -7,9 +7,11 @@
  * the irregular/control-heavy kernels the lowest -- is the claim under
  * test; absolute values depend on the authors' simulator internals.
  *
- * Usage: bench_table4 [--quick] [--jobs N]
+ * Usage: bench_table4 [--quick] [--jobs N] [--audit]
  * The 13 baseline simulations are independent; --jobs (or DLP_JOBS)
- * runs them concurrently on the sweep driver.
+ * runs them concurrently on the sweep driver. --audit (or DLP_AUDIT=1)
+ * checks every run against the conservation invariants and fails the
+ * bench on any violation.
  */
 
 #include <chrono>
@@ -24,6 +26,7 @@
 #include "analysis/report.hh"
 #include "common/logging.hh"
 #include "driver/sweep.hh"
+#include "verify/audit.hh"
 
 using namespace dlp;
 using namespace dlp::analysis;
@@ -39,6 +42,8 @@ main(int argc, char **argv)
             scaleDiv = 8;
         else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
             opts.jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
+        else if (std::strcmp(argv[i], "--audit") == 0)
+            verify::setAuditEnabled(true);
     }
 
     static const std::map<std::string, double> paper = {
@@ -82,6 +87,23 @@ main(int argc, char **argv)
               << " ops/cycle (paper ~11); non-DSP mean "
               << fmt(otherOurs / otherN) << " (paper ~4).\n";
 
+    size_t auditViolations = 0;
+    bool audited = false;
+    for (const auto &res : results) {
+        if (!res.audited)
+            continue;
+        audited = true;
+        for (const auto &f : res.auditViolations) {
+            std::cout << "AUDIT VIOLATION " << res.kernel << "/"
+                      << res.config << ": " << f.invariant << ": "
+                      << f.detail << "\n";
+            ++auditViolations;
+        }
+    }
+    if (audited)
+        std::cout << "\nAudit: " << auditViolations
+                  << " invariant violation(s) across the sweep\n";
+
     unsigned jobs = driver::effectiveJobs(opts);
     std::cout << "\nSweep: " << results.size() << " simulations in "
               << fmt(wallSeconds, 2) << " s with " << jobs
@@ -98,5 +120,5 @@ main(int argc, char **argv)
     doc.set("paperOpsPerCycle", std::move(ref));
     writeJsonFile("BENCH_table4.json", doc);
     std::cout << "\nWrote BENCH_table4.json\n";
-    return 0;
+    return auditViolations ? 1 : 0;
 }

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The differential IR fuzzer CLI: generate seeded random kernels, run
+ * them through the interpreter oracle and every requested Table 5
+ * machine configuration, diff the outputs element for element, and
+ * evaluate the invariant auditor on every run. On a failure the fuzzer
+ * greedily shrinks the generator knobs and prints a one-line replay
+ * command; with --json it also writes the minimized counterexamples as
+ * a machine-readable document (the CI fuzz-smoke step uploads it).
+ *
+ *   ./build/examples/fuzz_ir                      # seeds 1..20, all configs
+ *   ./build/examples/fuzz_ir --seeds 1..200
+ *   ./build/examples/fuzz_ir --seed 42 --configs S-O-D,M-D
+ *
+ * Options:
+ *   --seed N / --seeds a..b  seed or seed list/range (default 1..20)
+ *   --configs a,b,...        Table 5 config names (default: all)
+ *   --records N              records per generated batch (default 24)
+ *   --nodes N                random compute-node budget (default 24)
+ *   --loops N                loop constructs to attempt (default 2)
+ *   --no-tables / --no-wide / --no-cached / --no-scratch
+ *                            disable a generator feature (shrinker flags)
+ *   --no-audit               skip the invariant auditor
+ *   --json FILE              write counterexamples as JSON
+ *
+ * Exit status: 0 when every (seed, config) run matches the oracle and
+ * audits clean, 1 otherwise.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/export.hh"
+#include "analysis/json.hh"
+#include "arch/configs.hh"
+#include "common/logging.hh"
+#include "verify/fuzz.hh"
+
+using namespace dlp;
+
+namespace {
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= arg.size()) {
+        size_t comma = arg.find(',', start);
+        if (comma == std::string::npos)
+            comma = arg.size();
+        if (comma > start)
+            out.push_back(arg.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+/** Parse "7" or "3..9" (inclusive) into a list of integers. */
+std::vector<uint64_t>
+parseNumbers(const std::string &arg)
+{
+    std::vector<uint64_t> out;
+    for (const auto &tok : splitList(arg)) {
+        size_t dots = tok.find("..");
+        if (dots == std::string::npos) {
+            out.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+            continue;
+        }
+        uint64_t lo = std::strtoull(tok.substr(0, dots).c_str(), nullptr, 10);
+        uint64_t hi =
+            std::strtoull(tok.substr(dots + 2).c_str(), nullptr, 10);
+        fatal_if(hi < lo || hi - lo > 100000, "bad range '%s'", tok.c_str());
+        for (uint64_t v = lo; v <= hi; ++v)
+            out.push_back(v);
+    }
+    return out;
+}
+
+analysis::json::Value
+toJson(const verify::FuzzFailure &f)
+{
+    using analysis::json::Value;
+    Value obj = Value::object();
+    obj.set("seed", f.seed);
+    obj.set("config", f.config);
+    obj.set("kind", f.kind);
+    obj.set("detail", f.detail);
+    obj.set("replay", f.replay);
+    Value shrunk = Value::object();
+    shrunk.set("records", uint64_t(f.shrunk.records));
+    shrunk.set("nodes", uint64_t(f.shrunk.nodeBudget));
+    shrunk.set("loops", uint64_t(f.shrunk.loops));
+    shrunk.set("tables", f.shrunk.tables);
+    shrunk.set("wideLoads", f.shrunk.wideLoads);
+    shrunk.set("cachedLoads", f.shrunk.cachedLoads);
+    shrunk.set("scratch", f.shrunk.scratch);
+    obj.set("shrunk", std::move(shrunk));
+    return obj;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuietLogging(true);
+    std::vector<uint64_t> seeds;
+    verify::FuzzOptions base;
+    std::string jsonPath;
+    bool dump = false;
+
+    auto value = [&](int &i) -> const char * {
+        fatal_if(i + 1 >= argc, "%s needs an argument", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--seed") == 0 ||
+            std::strcmp(argv[i], "--seeds") == 0) {
+            auto more = parseNumbers(value(i));
+            seeds.insert(seeds.end(), more.begin(), more.end());
+        } else if (std::strcmp(argv[i], "--configs") == 0) {
+            std::string v = value(i);
+            if (v != "all")
+                base.configs = splitList(v);
+        } else if (std::strcmp(argv[i], "--records") == 0) {
+            base.records = unsigned(std::strtoul(value(i), nullptr, 10));
+        } else if (std::strcmp(argv[i], "--nodes") == 0) {
+            base.nodeBudget = unsigned(std::strtoul(value(i), nullptr, 10));
+        } else if (std::strcmp(argv[i], "--loops") == 0) {
+            base.loops = unsigned(std::strtoul(value(i), nullptr, 10));
+        } else if (std::strcmp(argv[i], "--no-tables") == 0) {
+            base.tables = false;
+        } else if (std::strcmp(argv[i], "--no-wide") == 0) {
+            base.wideLoads = false;
+        } else if (std::strcmp(argv[i], "--no-cached") == 0) {
+            base.cachedLoads = false;
+        } else if (std::strcmp(argv[i], "--no-scratch") == 0) {
+            base.scratch = false;
+        } else if (std::strcmp(argv[i], "--no-audit") == 0) {
+            base.audit = false;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            jsonPath = value(i);
+        } else if (std::strcmp(argv[i], "--dump") == 0) {
+            dump = true;
+        } else {
+            fatal("unknown option '%s' (see the header of "
+                  "examples/fuzz_ir.cpp)", argv[i]);
+        }
+    }
+    if (seeds.empty())
+        seeds = parseNumbers("1..20");
+    for (const auto &c : base.configs)
+        (void)arch::configByName(c);
+
+    if (dump) {
+        for (uint64_t seed : seeds) {
+            verify::FuzzOptions o = base;
+            o.seed = seed;
+            std::fputs(verify::describeKernel(
+                           verify::buildFuzzKernel(o)).c_str(), stdout);
+        }
+        return 0;
+    }
+
+    size_t nConfigs =
+        base.configs.empty() ? arch::allConfigNames().size()
+                             : base.configs.size();
+    std::printf("fuzz_ir: %zu seed%s x %zu config%s, oracle-diff%s\n",
+                seeds.size(), seeds.size() == 1 ? "" : "s", nConfigs,
+                nConfigs == 1 ? "" : "s",
+                base.audit ? " + invariant audit" : "");
+
+    verify::FuzzReport rep = verify::fuzzSeeds(seeds, base);
+
+    for (const auto &f : rep.failures) {
+        std::printf("FAIL seed %" PRIu64 " on %s [%s]: %s\n", f.seed,
+                    f.config.c_str(), f.kind.c_str(), f.detail.c_str());
+        std::printf("  replay: %s\n", f.replay.c_str());
+    }
+    std::printf("fuzz_ir: %" PRIu64 " runs, %zu failure%s\n", rep.runs,
+                rep.failures.size(),
+                rep.failures.size() == 1 ? "" : "s");
+
+    if (!jsonPath.empty() && !rep.failures.empty()) {
+        using analysis::json::Value;
+        Value doc = Value::object();
+        doc.set("generator", "dlp-sim fuzz_ir");
+        doc.set("runs", rep.runs);
+        Value cases = Value::array();
+        for (const auto &f : rep.failures)
+            cases.push(toJson(f));
+        doc.set("failures", std::move(cases));
+        analysis::writeJsonFile(jsonPath, doc);
+        std::printf("wrote %s\n", jsonPath.c_str());
+    }
+    return rep.clean() ? 0 : 1;
+}

@@ -22,6 +22,9 @@
  *   --json FILE          output path (default: SWEEP.json)
  *   --no-cache           bypass the process-wide result cache
  *   --quiet              suppress per-task progress lines
+ *   --audit              check every run against the conservation
+ *                        invariants (also: DLP_AUDIT=1); violations are
+ *                        listed, exported in the JSON, and exit nonzero
  */
 
 #include <chrono>
@@ -40,6 +43,7 @@
 #include "driver/sweep.hh"
 #include "kernels/catalog.hh"
 #include "kernels/workload.hh"
+#include "verify/audit.hh"
 
 using namespace dlp;
 
@@ -126,6 +130,8 @@ main(int argc, char **argv)
             opts.useCache = false;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             quiet = true;
+        } else if (std::strcmp(argv[i], "--audit") == 0) {
+            verify::setAuditEnabled(true);
         } else {
             fatal("unknown option '%s' (see the header of "
                   "examples/sweep.cpp)", argv[i]);
@@ -173,11 +179,29 @@ main(int argc, char **argv)
                 wallSeconds, results.size(), driver::resultCacheHits(),
                 driver::resultCacheMisses());
 
+    size_t auditViolations = 0;
+    bool audited = false;
+    for (const auto &res : results) {
+        if (!res.audited)
+            continue;
+        audited = true;
+        for (const auto &f : res.auditViolations) {
+            std::printf("AUDIT VIOLATION %s/%s: %s: %s\n",
+                        res.kernel.c_str(), res.config.c_str(),
+                        f.invariant.c_str(), f.detail.c_str());
+            ++auditViolations;
+        }
+    }
+    if (audited)
+        std::printf("audit: %zu invariant violation(s) across %zu "
+                    "audited runs\n",
+                    auditViolations, results.size());
+
     analysis::json::Value doc = analysis::toJson(results);
     doc.set("sweep", "custom");
     doc.set("jobs", uint64_t(jobs));
     doc.set("wallSeconds", wallSeconds);
     analysis::writeJsonFile(jsonPath, doc);
     std::printf("wrote %s\n", jsonPath.c_str());
-    return 0;
+    return auditViolations ? 1 : 0;
 }

@@ -13,10 +13,14 @@ toJson(const Distribution &d)
 {
     json::Value obj = json::Value::object();
     obj.set("samples", d.samples());
-    obj.set("mean", d.mean());
-    obj.set("stdev", d.stdev());
-    obj.set("min", d.minValue());
-    obj.set("max", d.maxValue());
+    // Zero-sample distributions omit their moments and extrema, in
+    // lockstep with StatGroup::dump.
+    if (d.samples() > 0) {
+        obj.set("mean", d.mean());
+        obj.set("stdev", d.stdev());
+        obj.set("min", d.minValue());
+        obj.set("max", d.maxValue());
+    }
     obj.set("low", d.low());
     obj.set("high", d.high());
     obj.set("underflow", d.underflow());
@@ -94,6 +98,22 @@ toJson(const arch::ExperimentResult &result)
     host.set("eventsPerSec", result.hostEventsPerSec());
     host.set("seconds", result.hostSeconds);
     obj.set("host", std::move(host));
+
+    // Post-run invariant audit, present only when auditing ran so
+    // unaudited documents (and their golden diffs) keep their shape.
+    if (result.audited) {
+        json::Value audit = json::Value::object();
+        audit.set("violations", result.auditViolations.size());
+        json::Value findings = json::Value::array();
+        for (const auto &f : result.auditViolations) {
+            json::Value entry = json::Value::object();
+            entry.set("invariant", f.invariant);
+            entry.set("detail", f.detail);
+            findings.push(std::move(entry));
+        }
+        audit.set("findings", std::move(findings));
+        obj.set("audit", std::move(audit));
+    }
 
     json::Value groups = json::Value::array();
     for (const auto &g : result.statGroups)

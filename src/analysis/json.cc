@@ -209,6 +209,9 @@ class Parser
             fail(what);
     }
 
+    /// Maximum container nesting before the parser bails out.
+    static constexpr size_t maxDepth = 256;
+
     void
     skipWs()
     {
@@ -251,16 +254,25 @@ class Parser
     Value
     value()
     {
+        // Containers recurse back into value(); a hostile or corrupt
+        // document of the form [[[[... would otherwise ride the call
+        // stack to a segfault instead of a clean parse error.
+        fail_if(depth >= maxDepth, "nesting deeper than 256 levels");
+        ++depth;
         skipWs();
-        switch (peek()) {
-          case '{': return object();
-          case '[': return array();
-          case '"': return Value(string());
-          case 't': literal("true"); return Value(true);
-          case 'f': literal("false"); return Value(false);
-          case 'n': literal("null"); return Value(nullptr);
-          default: return number();
-        }
+        Value v = [&] {
+            switch (peek()) {
+              case '{': return object();
+              case '[': return array();
+              case '"': return Value(string());
+              case 't': literal("true"); return Value(true);
+              case 'f': literal("false"); return Value(false);
+              case 'n': literal("null"); return Value(nullptr);
+              default: return number();
+            }
+        }();
+        --depth;
+        return v;
     }
 
     Value
@@ -383,6 +395,7 @@ class Parser
 
     const std::string &s;
     size_t pos = 0;
+    size_t depth = 0; ///< current container nesting inside value()
 };
 
 } // namespace

@@ -29,6 +29,17 @@
 
 namespace dlp::arch {
 
+/**
+ * One violated post-run invariant, as recorded by the verify-layer
+ * auditor (src/verify/audit.hh). Lives here, not in verify, so results
+ * can carry findings without arch depending on the verify library.
+ */
+struct AuditFinding
+{
+    std::string invariant; ///< short stable identifier of the check
+    std::string detail;    ///< human-readable expected-vs-actual text
+};
+
 /** Outcome of running one workload on one configuration. */
 struct ExperimentResult
 {
@@ -66,6 +77,14 @@ struct ExperimentResult
      * the processor and ride into the JSON exporter.
      */
     std::vector<GroupSnapshot> statGroups;
+
+    /// @name Post-run invariant audit (populated only when auditing is
+    /// enabled; see verify::auditAndRecord). audited distinguishes "not
+    /// checked" from "checked clean".
+    /// @{
+    bool audited = false;
+    std::vector<AuditFinding> auditViolations;
+    /// @}
 
     double
     opsPerCycle() const

@@ -49,18 +49,48 @@ class Rng
         return result;
     }
 
-    /** Uniform integer in [0, bound). bound must be non-zero. */
+    /**
+     * Uniform integer in [0, bound). bound must be non-zero.
+     *
+     * Lemire multiply-shift with rejection: a plain `next() % bound`
+     * over-selects the low residues whenever 2^64 is not a multiple of
+     * bound, which measurably skews small-bound draws (dataset shapes,
+     * fuzzer op picks). The 128-bit product maps the raw draw to
+     * [0, bound) and the threshold test rejects exactly the draws that
+     * would land in the short final stripe, so every residue is equally
+     * likely. Rejection probability is bound / 2^64 -- negligible for
+     * every bound this simulator uses.
+     */
     uint64_t
     below(uint64_t bound)
     {
-        return next() % bound;
+        uint64_t x = next();
+        unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+        auto low = static_cast<uint64_t>(m);
+        if (low < bound) {
+            // 2^64 mod bound, computed without 128-bit division.
+            uint64_t threshold = (0 - bound) % bound;
+            while (low < threshold) {
+                x = next();
+                m = static_cast<unsigned __int128>(x) * bound;
+                low = static_cast<uint64_t>(m);
+            }
+        }
+        return static_cast<uint64_t>(m >> 64);
     }
 
     /** Uniform integer in [lo, hi] inclusive. */
     int64_t
     range(int64_t lo, int64_t hi)
     {
-        return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+        // Span in unsigned space: hi - lo + 1 overflows int64_t (UB)
+        // whenever the range covers more than half the domain, and
+        // wraps to 0 for the full [INT64_MIN, INT64_MAX] span.
+        uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+        if (span == ~uint64_t{0})
+            return static_cast<int64_t>(next());
+        return static_cast<int64_t>(static_cast<uint64_t>(lo) +
+                                    below(span + 1));
     }
 
     /** Uniform double in [0, 1). */

@@ -40,10 +40,16 @@ StatGroup::dump(std::ostream &os)
         const Distribution &d = kv.second;
         std::string base = name + "." + kv.first;
         printLine(os, base + "::samples", double(d.samples()));
-        printLine(os, base + "::mean", d.mean());
-        printLine(os, base + "::stdev", d.stdev());
-        printLine(os, base + "::min", d.minValue());
-        printLine(os, base + "::max", d.maxValue());
+        // A zero-sample distribution has no meaningful moments or
+        // extrema; omit those lines entirely rather than printing a
+        // placeholder. The JSON exporter omits the same four keys, and
+        // tests assert the parity.
+        if (d.samples() > 0) {
+            printLine(os, base + "::mean", d.mean());
+            printLine(os, base + "::stdev", d.stdev());
+            printLine(os, base + "::min", d.minValue());
+            printLine(os, base + "::max", d.maxValue());
+        }
         printLine(os, base + "::underflow", double(d.underflow()));
         for (size_t b = 0; b < d.numBuckets(); ++b) {
             std::ostringstream key;

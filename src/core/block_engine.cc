@@ -64,6 +64,18 @@ BlockEngine::BlockEngine(const MachineParams &params,
                                          16);
     activationsStat = &engStats.scalar("activations");
     revitalizesStat = &engStats.scalar("revitalizes");
+
+    // Lifetime event-queue counters, surfaced so the post-run auditor
+    // can check the conservation law scheduled == executed + pending +
+    // discarded (and that a completed run drains the queue).
+    engStats.formula("eventsScheduled",
+                     [this] { return double(eq.scheduledEvents()); });
+    engStats.formula("eventsExecuted",
+                     [this] { return double(eq.executedEvents()); });
+    engStats.formula("eventsPending",
+                     [this] { return double(eq.pending()); });
+    engStats.formula("eventsDiscarded",
+                     [this] { return double(eq.discardedEvents()); });
 }
 
 void
@@ -402,8 +414,10 @@ BlockEngine::execute(const MappedBlock &block, uint32_t idx, Tick ready,
             done = mem.streamWrite(row, a, b, atEdge);
         else
             done = mem.cachedWrite(row, a, b, atEdge);
-        actMaxTick = std::max(actMaxTick, done);
-        return; // no targets
+        // Completion token: the lowering hangs memory-ordering edges off
+        // stores whose region is also read within the block.
+        st.result[0] = b;
+        break;
       }
       case Op::Tld: {
         panic_if(!tables || mi.tableId >= tables->size(),

@@ -10,6 +10,7 @@
 #include "common/logging.hh"
 #include "driver/job_pool.hh"
 #include "kernels/workload.hh"
+#include "verify/audit.hh"
 
 namespace dlp::driver {
 
@@ -58,6 +59,12 @@ runOnFixture(const kernels::WorkloadFixture &fixture, const SweepTask &t)
     auto res = cpu.run(*wl);
     fatal_if(!res.verified, "%s on %s failed verification: %s",
              t.kernel.c_str(), t.config.c_str(), res.error.c_str());
+    // Under --audit / DLP_AUDIT=1, evaluate the conservation-law
+    // registry on every completed run. Violations ride in the result
+    // (and its JSON form) rather than aborting the sweep: a full grid's
+    // worth of findings beats dying on the first one.
+    if (verify::auditEnabled())
+        verify::auditAndRecord(res);
     return res;
 }
 

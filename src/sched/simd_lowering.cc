@@ -428,8 +428,8 @@ class Lowering
           }
           case NodeKind::InWide:
           case NodeKind::ScratchWide: {
-            ValRef base = n.kind == NodeKind::InWide ? inAddr()
-                                                     : scratchAddr();
+            bool fromScratch = n.kind == NodeKind::ScratchWide;
+            ValRef base = fromScratch ? scratchAddr() : inAddr();
             ValRef addr = emitOp2(Op::Add, base, val(n.src[0]));
             vops[addr.vop].overhead = true;
             unsigned count = kernels::KernelBuilder::wideCount(n.imm);
@@ -441,7 +441,11 @@ class Lowering
                 words.clear();
                 for (unsigned w = 0; w < count; ++w) {
                     ValRef a = addImm(addr, Word(w) * stride);
-                    words.push_back(emitLoad(isa::MemSpace::Smc, a));
+                    words.push_back(
+                        fromScratch
+                            ? orderedLoad(scratchChain(),
+                                          isa::MemSpace::Smc, a)
+                            : emitLoad(isa::MemSpace::Smc, a));
                 }
                 return;
             }
@@ -452,8 +456,13 @@ class Lowering
             v.lmwStride = static_cast<uint8_t>(stride);
             v.src[0] = addr;
             v.nsrc = 1;
-            v.overhead = true;
+            if (fromScratch && scratchChain().lastStore.valid()) {
+                v.src[1] = scratchChain().lastStore;
+                v.nsrc = 2;
+            }
             envAt(i) = push(v);
+            if (fromScratch)
+                scratchChain().loads.push_back(envAt(i));
             return;
           }
           case NodeKind::WordOf: {
@@ -480,20 +489,23 @@ class Lowering
           case NodeKind::ScratchLoad: {
             ValRef addr = emitOp2(Op::Add, scratchAddr(), val(n.src[0]));
             vops[addr.vop].overhead = true;
-            envAt(i) = emitLoad(isa::MemSpace::Smc, addr);
+            envAt(i) = orderedLoad(scratchChain(), isa::MemSpace::Smc, addr);
             return;
           }
           case NodeKind::ScratchStore: {
             ValRef addr = emitOp2(Op::Add, scratchAddr(), val(n.src[0]));
             vops[addr.vop].overhead = true;
-            emitStore(isa::MemSpace::Smc, addr, val(n.src[1]));
+            orderedStore(scratchChain(), isa::MemSpace::Smc, addr,
+                         val(n.src[1]));
             return;
           }
           case NodeKind::CachedLoad:
-            envAt(i) = emitLoad(isa::MemSpace::Cached, val(n.src[0]));
+            envAt(i) = orderedLoad(cachedChain(), isa::MemSpace::Cached,
+                                   val(n.src[0]));
             return;
           case NodeKind::CachedStore:
-            emitStore(isa::MemSpace::Cached, val(n.src[0]), val(n.src[1]));
+            orderedStore(cachedChain(), isa::MemSpace::Cached,
+                         val(n.src[0]), val(n.src[1]));
             return;
           case NodeKind::TableLoad: {
             const auto &table = k.tables[static_cast<size_t>(n.imm)];
@@ -614,8 +626,9 @@ class Lowering
         return push(v);
     }
 
-    void
-    emitStore(isa::MemSpace space, ValRef addr, ValRef data)
+    ValRef
+    emitStore(isa::MemSpace space, ValRef addr, ValRef data,
+              ValRef orderTok = ValRef{})
     {
         VOp v;
         v.op = Op::St;
@@ -623,8 +636,79 @@ class Lowering
         v.src[0] = addr;
         v.src[1] = data;
         v.nsrc = 2;
+        if (orderTok.valid()) {
+            v.src[2] = orderTok;
+            v.nsrc = 3;
+        }
         v.overhead = true;
-        push(v);
+        return push(v);
+    }
+
+    // --- Memory-dependence tokens ---------------------------------------
+    //
+    // A dataflow block has no program order: a load fires as soon as its
+    // address arrives, which may be before a store it must observe. The
+    // lowering therefore threads explicit ordering edges through the
+    // accesses of each may-alias region that is both read and written
+    // inside one segment (the per-record scratch area, the shared cached
+    // space). A load waits for the completion token of the last preceding
+    // store; a store waits for the previous store and for every load
+    // issued since it (joined pairwise), covering RAW, WAW and WAR.
+    // Accesses in different segments need no tokens because activations
+    // execute back to back, and chains only begin at the first store, so
+    // read-only traffic (streamed inputs, textures) keeps its full memory
+    // parallelism.
+
+    struct MemChain
+    {
+        ValRef lastStore;          ///< completion token of the last store
+        std::vector<ValRef> loads; ///< loads issued since that store
+    };
+
+    MemChain &
+    scratchChain()
+    {
+        return caches.scratchChain[std::make_pair(curSeg, curInst)];
+    }
+
+    /// Cached space is shared across record instances, so its chain is
+    /// per segment, not per (segment, instance).
+    MemChain &
+    cachedChain()
+    {
+        return caches.cachedChain[curSeg];
+    }
+
+    /** Pairwise token join: an op that fires when both inputs have. */
+    ValRef
+    joinTokens(ValRef a, ValRef b)
+    {
+        ValRef r = emitOp2(Op::Or, a, b);
+        vops[r.vop].overhead = true;
+        return r;
+    }
+
+    ValRef
+    orderedLoad(MemChain &chain, isa::MemSpace space, ValRef addr)
+    {
+        ValRef r = emitLoad(space, addr);
+        if (chain.lastStore.valid()) {
+            vops[r.vop].src[1] = chain.lastStore;
+            vops[r.vop].nsrc = 2;
+        }
+        chain.loads.push_back(r);
+        return r;
+    }
+
+    void
+    orderedStore(MemChain &chain, isa::MemSpace space, ValRef addr,
+                 ValRef data)
+    {
+        ValRef after = chain.lastStore;
+        for (ValRef ld : chain.loads)
+            after = after.valid() ? joinTokens(after, ld) : ld;
+        chain.lastStore = emitStore(space, addr, data, after);
+        chain.loads.clear();
     }
 
     ValRef
@@ -1243,6 +1327,8 @@ class Lowering
         std::map<std::pair<uint32_t, unsigned>, ValRef> lmw;
         std::map<std::tuple<uint32_t, unsigned, unsigned>, ValRef> inWordLd;
         std::map<std::pair<uint32_t, unsigned>, ValRef> regRd;
+        std::map<std::pair<uint32_t, unsigned>, MemChain> scratchChain;
+        std::map<uint32_t, MemChain> cachedChain;
     };
     Caches caches;
 

@@ -82,6 +82,7 @@ class EventQueue
             bucketBase = now;
         }
         Event ev{when, nextSeq++, fn};
+        ++scheduledCount;
         if (when < bucketBase + numBuckets) {
             auto idx = static_cast<size_t>(when & bucketMask);
             if (buckets[idx].empty())
@@ -118,6 +119,14 @@ class EventQueue
      * multi-activation run can report its event throughput.
      */
     uint64_t executedEvents() const { return executedCount; }
+
+    /**
+     * Host-side count of events ever scheduled, the dual of
+     * executedEvents(). Also survives reset(): the auditor checks the
+     * conservation law scheduled == executed + pending over a whole
+     * run, which only holds if both counters age at the same rate.
+     */
+    uint64_t scheduledEvents() const { return scheduledCount; }
 
     /**
      * Run events until the queue drains or limit ticks elapse.
@@ -178,10 +187,19 @@ class EventQueue
         return now;
     }
 
+    /**
+     * Events dropped unexecuted by reset(). Together the three lifetime
+     * counters obey scheduled == executed + pending + discarded; the
+     * auditor checks that law and, for engine runs (which only reset a
+     * drained queue), that discarded stays zero.
+     */
+    uint64_t discardedEvents() const { return discardedCount; }
+
     /** Discard all pending events and reset time to zero. */
     void
     reset()
     {
+        discardedCount += pendingCount;
         if (ringCount > 0) {
             for (auto &bucket : buckets)
                 bucket.clear(); // keeps capacity
@@ -293,6 +311,8 @@ class EventQueue
     size_t ringCount = 0;     ///< events currently in the ring
     size_t pendingCount = 0;  ///< ring + overflow
     uint64_t executedCount = 0;
+    uint64_t scheduledCount = 0;
+    uint64_t discardedCount = 0;
     Tick now = 0;
     Tick bucketBase = 0;      ///< first tick the ring covers
     uint64_t nextSeq = 0;

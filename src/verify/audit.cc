@@ -1,0 +1,391 @@
+#include "verify/audit.hh"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace dlp::verify {
+
+namespace {
+
+using arch::AuditFinding;
+using arch::ExperimentResult;
+
+/**
+ * Equality for counter-valued doubles. Every audited quantity is an
+ * integer counter (or a sum of them) carried in a double; they are
+ * exact up to 2^53, far beyond any simulated count, so a tiny absolute
+ * slack only forgives representation noise, never a real off-by-one.
+ */
+bool
+near(double a, double b)
+{
+    return std::fabs(a - b) < 0.5;
+}
+
+const GroupSnapshot *
+findGroup(const ExperimentResult &res, const std::string &name)
+{
+    for (const auto &g : res.statGroups)
+        if (g.name == name)
+            return &g;
+    return nullptr;
+}
+
+double
+scalarOr(const GroupSnapshot &g, const std::string &name, double dflt = 0.0)
+{
+    auto it = g.scalars.find(name);
+    return it == g.scalars.end() ? dflt : it->second;
+}
+
+const double *
+formulaOf(const GroupSnapshot &g, const std::string &name)
+{
+    auto it = g.formulas.find(name);
+    return it == g.formulas.end() ? nullptr : &it->second;
+}
+
+const Distribution *
+distOf(const GroupSnapshot &g, const std::string &name)
+{
+    auto it = g.distributions.find(name);
+    return it == g.distributions.end() ? nullptr : &it->second;
+}
+
+uint64_t
+bucketMass(const Distribution &d)
+{
+    uint64_t mass = d.underflow() + d.overflow();
+    for (size_t i = 0; i < d.numBuckets(); ++i)
+        mass += d.bucket(i);
+    return mass;
+}
+
+void
+report(std::vector<AuditFinding> &out, const char *invariant,
+       const std::string &detail)
+{
+    out.push_back({invariant, detail});
+}
+
+std::string
+fmt2(const char *what, double expected, double actual)
+{
+    std::ostringstream os;
+    os << what << ": expected " << expected << ", got " << actual;
+    return os.str();
+}
+
+// --- Individual laws --------------------------------------------------------
+
+void
+checkVerified(const ExperimentResult &res, std::vector<AuditFinding> &out)
+{
+    if (!res.verified)
+        report(out, "output-verified",
+               "outputs failed golden-model verification: " + res.error);
+}
+
+void
+checkUsefulOps(const ExperimentResult &res, std::vector<AuditFinding> &out)
+{
+    if (res.usefulOps > res.instsExecuted) {
+        std::ostringstream os;
+        os << "usefulOps " << res.usefulOps << " > instsExecuted "
+           << res.instsExecuted;
+        report(out, "useful-le-executed", os.str());
+    }
+}
+
+void
+checkProgress(const ExperimentResult &res, std::vector<AuditFinding> &out)
+{
+    if (res.records > 0 && res.cycles == 0)
+        report(out, "progress",
+               "processed records but simulated zero cycles");
+}
+
+/** Histogram mass: underflow + buckets + overflow == samples. */
+void
+checkDistMass(const ExperimentResult &res, std::vector<AuditFinding> &out)
+{
+    for (const auto &g : res.statGroups) {
+        for (const auto &[name, d] : g.distributions) {
+            uint64_t mass = bucketMass(d);
+            if (mass != d.samples()) {
+                std::ostringstream os;
+                os << g.name << "." << name << ": bucket mass " << mass
+                   << " != samples " << d.samples();
+                report(out, "dist-mass", os.str());
+            }
+        }
+    }
+}
+
+/** Moments of a non-empty histogram: min <= mean <= max, stdev >= 0. */
+void
+checkDistMoments(const ExperimentResult &res, std::vector<AuditFinding> &out)
+{
+    for (const auto &g : res.statGroups) {
+        for (const auto &[name, d] : g.distributions) {
+            if (d.samples() == 0)
+                continue;
+            const std::string id = g.name + "." + name;
+            // Mean is a sum of samples divided by their count; a strict
+            // comparison would trip on the last-ulp of that division.
+            double slack =
+                1e-9 * std::max(std::fabs(d.minValue()),
+                                std::fabs(d.maxValue())) + 1e-12;
+            if (d.mean() < d.minValue() - slack ||
+                d.mean() > d.maxValue() + slack) {
+                std::ostringstream os;
+                os << id << ": mean " << d.mean() << " outside ["
+                   << d.minValue() << ", " << d.maxValue() << "]";
+                report(out, "dist-moments", os.str());
+            }
+            if (std::isnan(d.stdev()) || d.stdev() < 0.0)
+                report(out, "dist-moments", id + ": negative or NaN stdev");
+        }
+    }
+}
+
+/** Every mesh hop samples the stall histogram exactly once. */
+void
+checkMeshHops(const ExperimentResult &res, std::vector<AuditFinding> &out)
+{
+    const GroupSnapshot *g = findGroup(res, "noc.mesh");
+    if (!g)
+        return;
+    const Distribution *stall = distOf(*g, "contentionStallTicks");
+    if (!stall)
+        return;
+    double hops = scalarOr(*g, "totalHops");
+    double contention = scalarOr(*g, "contentionTicks");
+    if (!near(double(stall->samples()), hops))
+        report(out, "mesh-hop-conservation",
+               fmt2("stall samples vs totalHops", hops,
+                    double(stall->samples())));
+    if (!near(stall->sum(), contention))
+        report(out, "mesh-stall-sum",
+               fmt2("stall sum vs contentionTicks", contention,
+                    stall->sum()));
+}
+
+/** A link cannot be busy more than 100% of the active interval. */
+void
+checkLinkUtilization(const ExperimentResult &res,
+                     std::vector<AuditFinding> &out)
+{
+    const GroupSnapshot *g = findGroup(res, "noc.mesh");
+    if (!g)
+        return;
+    const Distribution *util = distOf(*g, "linkUtilization");
+    if (!util || util->samples() == 0)
+        return;
+    if (util->underflow() > 0 || util->minValue() < 0.0)
+        report(out, "link-utilization-bounds",
+               "negative link utilization sampled");
+    if (util->maxValue() > 1.0 + 1e-9) {
+        std::ostringstream os;
+        os << "link utilization " << util->maxValue() << " > 1";
+        report(out, "link-utilization-bounds", os.str());
+    }
+}
+
+/** Every SMC read samples the burst histogram once, with its width. */
+void
+checkSmcBursts(const ExperimentResult &res, std::vector<AuditFinding> &out)
+{
+    const GroupSnapshot *g = findGroup(res, "mem.smc");
+    if (!g)
+        return;
+    const Distribution *burst = distOf(*g, "readBurstWords");
+    if (!burst)
+        return;
+    double reads = scalarOr(*g, "reads");
+    double words = scalarOr(*g, "wordsRead");
+    if (!near(double(burst->samples()), reads))
+        report(out, "smc-burst-conservation",
+               fmt2("burst samples vs reads", reads,
+                    double(burst->samples())));
+    if (!near(burst->sum(), words))
+        report(out, "smc-burst-sum",
+               fmt2("burst sum vs wordsRead", words, burst->sum()));
+}
+
+/** Row-streaming occupancy is a fraction of the active interval. */
+void
+checkSmcOccupancy(const ExperimentResult &res, std::vector<AuditFinding> &out)
+{
+    const GroupSnapshot *g = findGroup(res, "mem.smc");
+    if (!g)
+        return;
+    const Distribution *occ = distOf(*g, "rowStreamOccupancy");
+    if (!occ || occ->samples() == 0)
+        return;
+    if (occ->underflow() > 0 || occ->minValue() < 0.0)
+        report(out, "smc-occupancy-bounds",
+               "negative row-streaming occupancy sampled");
+    if (occ->maxValue() > 1.0 + 1e-9) {
+        std::ostringstream os;
+        os << "row-streaming occupancy " << occ->maxValue() << " > 1";
+        report(out, "smc-occupancy-bounds", os.str());
+    }
+}
+
+/** Every cached access probes the L1; every L1 miss probes the L2. */
+void
+checkCacheHierarchy(const ExperimentResult &res,
+                    std::vector<AuditFinding> &out)
+{
+    const GroupSnapshot *g = findGroup(res, "mem.sys");
+    if (!g)
+        return;
+    double accesses = scalarOr(*g, "cachedAccesses");
+    double l1h = scalarOr(*g, "l1Hits");
+    double l1m = scalarOr(*g, "l1Misses");
+    double l2h = scalarOr(*g, "l2Hits");
+    double l2m = scalarOr(*g, "l2Misses");
+    if (!near(l1h + l1m, accesses))
+        report(out, "l1-conservation",
+               fmt2("l1Hits + l1Misses vs cachedAccesses", accesses,
+                    l1h + l1m));
+    if (!near(l2h + l2m, l1m))
+        report(out, "l2-conservation",
+               fmt2("l2Hits + l2Misses vs l1Misses", l1m, l2h + l2m));
+}
+
+/**
+ * Simulation-kernel event conservation: every event ever scheduled was
+ * executed, discarded by a reset, or is still pending -- and a
+ * completed engine run leaves nothing pending and discards nothing
+ * (the engine only resets a drained queue).
+ */
+void
+checkEventConservation(const ExperimentResult &res,
+                       std::vector<AuditFinding> &out)
+{
+    const GroupSnapshot *g = findGroup(res, "core.simd");
+    if (!g)
+        return;
+    const double *sched = formulaOf(*g, "eventsScheduled");
+    const double *exec = formulaOf(*g, "eventsExecuted");
+    const double *pend = formulaOf(*g, "eventsPending");
+    const double *disc = formulaOf(*g, "eventsDiscarded");
+    if (!sched || !exec || !pend || !disc)
+        return;
+    if (!near(*sched, *exec + *pend + *disc))
+        report(out, "event-conservation",
+               fmt2("scheduled vs executed + pending + discarded",
+                    *exec + *pend + *disc, *sched));
+    if (*pend != 0.0)
+        report(out, "event-drained",
+               fmt2("pending events after run", 0.0, *pend));
+    if (*disc != 0.0)
+        report(out, "event-drained",
+               fmt2("events discarded by mid-run reset", 0.0, *disc));
+}
+
+/**
+ * The engine's own activation counter and the result's must agree (they
+ * are incremented independently), and each activation samples the issue
+ * width exactly once.
+ */
+void
+checkActivations(const ExperimentResult &res, std::vector<AuditFinding> &out)
+{
+    const GroupSnapshot *g = findGroup(res, "core.simd");
+    if (!g)
+        return;
+    double acts = scalarOr(*g, "activations");
+    if (!near(acts, double(res.activations)))
+        report(out, "activation-agreement",
+               fmt2("engine activations vs result activations",
+                    double(res.activations), acts));
+    const Distribution *iw = distOf(*g, "issueWidth");
+    if (iw && !near(double(iw->samples()), acts))
+        report(out, "activation-agreement",
+               fmt2("issueWidth samples vs activations", acts,
+                    double(iw->samples())));
+}
+
+const std::vector<Invariant> registry = {
+    {"output-verified", "machine outputs match the golden model",
+     checkVerified},
+    {"useful-le-executed", "usefulOps <= instsExecuted", checkUsefulOps},
+    {"progress", "records > 0 implies cycles > 0", checkProgress},
+    {"dist-mass", "underflow + buckets + overflow == samples",
+     checkDistMass},
+    {"dist-moments", "min <= mean <= max and stdev >= 0 when sampled",
+     checkDistMoments},
+    {"mesh-hop-conservation",
+     "every mesh hop samples the stall histogram once", checkMeshHops},
+    {"link-utilization-bounds", "link utilization lies in [0, 1]",
+     checkLinkUtilization},
+    {"smc-burst-conservation",
+     "SMC burst histogram counts reads and sums words read",
+     checkSmcBursts},
+    {"smc-occupancy-bounds", "row-streaming occupancy lies in [0, 1]",
+     checkSmcOccupancy},
+    {"l1-conservation", "l1Hits + l1Misses == cachedAccesses; "
+     "l2Hits + l2Misses == l1Misses", checkCacheHierarchy},
+    {"event-conservation",
+     "events scheduled == executed + pending + discarded, queue drained",
+     checkEventConservation},
+    {"activation-agreement",
+     "engine and result activation counters agree", checkActivations},
+};
+
+std::atomic<int> auditOverride{-1};
+
+bool
+envAudit()
+{
+    static const bool on = [] {
+        const char *e = std::getenv("DLP_AUDIT");
+        return e && *e && std::string(e) != "0";
+    }();
+    return on;
+}
+
+} // namespace
+
+const std::vector<Invariant> &
+invariants()
+{
+    return registry;
+}
+
+std::vector<arch::AuditFinding>
+auditResult(const arch::ExperimentResult &res)
+{
+    std::vector<arch::AuditFinding> findings;
+    for (const auto &inv : registry)
+        inv.check(res, findings);
+    return findings;
+}
+
+size_t
+auditAndRecord(arch::ExperimentResult &res)
+{
+    res.auditViolations = auditResult(res);
+    res.audited = true;
+    return res.auditViolations.size();
+}
+
+bool
+auditEnabled()
+{
+    int s = auditOverride.load(std::memory_order_relaxed);
+    return s >= 0 ? s != 0 : envAudit();
+}
+
+void
+setAuditEnabled(bool on)
+{
+    auditOverride.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+} // namespace dlp::verify

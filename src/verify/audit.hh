@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The post-run invariant auditor.
+ *
+ * The simulator's statistics are not independent numbers: the machine's
+ * conservation laws tie them together (every scheduled event is
+ * executed, dropped at reset or still pending; every mesh hop samples
+ * the stall histogram exactly once; every cached access hits or misses
+ * the L1). The auditor evaluates a registry of such laws against the
+ * stat snapshots carried by an ExperimentResult, so any perf refactor
+ * that silently breaks the books -- a lost event, a double-counted hop,
+ * an unsampled burst -- turns into a structured violation instead of a
+ * quietly wrong histogram.
+ *
+ * Auditing is opt-in: pass `--audit` to the benches/examples or set
+ * DLP_AUDIT=1 in the environment. The sweep driver then audits every
+ * completed run and the JSON exporter emits the findings under an
+ * "audit" object. The differential fuzzer (verify/fuzz.hh) audits
+ * unconditionally.
+ */
+
+#ifndef DLP_VERIFY_AUDIT_HH
+#define DLP_VERIFY_AUDIT_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/processor.hh"
+
+namespace dlp::verify {
+
+/** One registered conservation law. */
+struct Invariant
+{
+    const char *name; ///< stable identifier, reported in findings
+    const char *law;  ///< human-readable statement of the law
+    void (*check)(const arch::ExperimentResult &,
+                  std::vector<arch::AuditFinding> &);
+};
+
+/** The full registry, in evaluation order. */
+const std::vector<Invariant> &invariants();
+
+/** Evaluate every registered invariant against a completed result. */
+std::vector<arch::AuditFinding> auditResult(const arch::ExperimentResult &res);
+
+/**
+ * Audit res and record the outcome into it (sets res.audited and fills
+ * res.auditViolations). @return the number of violations found.
+ */
+size_t auditAndRecord(arch::ExperimentResult &res);
+
+/// @name Process-wide audit switch.
+/// Explicit setAuditEnabled() wins; otherwise the DLP_AUDIT environment
+/// variable decides (any value except "" and "0" enables).
+/// @{
+bool auditEnabled();
+void setAuditEnabled(bool on);
+/// @}
+
+} // namespace dlp::verify
+
+#endif // DLP_VERIFY_AUDIT_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The differential IR fuzzer.
+ *
+ * Generates small random-but-seeded kernels from the same IR vocabulary
+ * the real benchmarks use (static and data-dependent loops, carries,
+ * wide loads, scratch staging, lookup tables, irregular loads), computes
+ * the expected outputs with the IR interpreter -- the semantic reference
+ * both scheduler lowerings must match -- and runs the kernel through
+ * every requested Table 5 machine configuration, diffing the outputs
+ * element for element and evaluating the invariant auditor on every run.
+ *
+ * On a failure the fuzzer greedily shrinks the generator parameters
+ * (fewer records, fewer nodes, no loops/tables/wide/cached/scratch)
+ * while the failure reproduces, and reports a one-line replay command
+ * with the seed, so a CI counterexample is a single copy-paste away
+ * from a local debugger.
+ */
+
+#ifndef DLP_VERIFY_FUZZ_HH
+#define DLP_VERIFY_FUZZ_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/ir.hh"
+
+namespace dlp::verify {
+
+/**
+ * Generator parameters. The generated program is a pure function of
+ * (seed, these knobs), which is what makes greedy shrinking and replay
+ * commands possible.
+ */
+struct FuzzOptions
+{
+    uint64_t seed = 1;
+    unsigned records = 24;    ///< records in the generated batch
+    unsigned nodeBudget = 24; ///< random compute nodes to mix in
+    unsigned loops = 2;       ///< loop constructs to attempt
+    bool tables = true;       ///< allow lookup-table loads
+    bool wideLoads = true;    ///< allow wide (LMW-style) input fetches
+    bool cachedLoads = true;  ///< allow irregular (cached) loads
+    bool scratch = true;      ///< allow scratch store/reload staging
+    bool audit = true;        ///< evaluate the invariant auditor per run
+
+    /** Configurations to run; empty means all of Table 5. */
+    std::vector<std::string> configs;
+};
+
+/** One minimized counterexample. */
+struct FuzzFailure
+{
+    uint64_t seed = 0;
+    std::string config;
+    std::string kind;   ///< "mismatch", "exception" or "audit"
+    std::string detail; ///< first differing word / what() / violation
+    FuzzOptions shrunk; ///< smallest options still reproducing it
+    std::string replay; ///< one-line fuzz_ir command reproducing it
+};
+
+/** Outcome of a fuzzing session. */
+struct FuzzReport
+{
+    uint64_t runs = 0; ///< (seed, config) simulations executed
+    std::vector<FuzzFailure> failures; ///< already minimized
+
+    bool clean() const { return failures.empty(); }
+};
+
+/** Deterministically build the kernel for (opts.seed, opts). */
+kernels::Kernel buildFuzzKernel(const FuzzOptions &opts);
+
+/** Fuzz one seed across opts.configs; failures come back minimized. */
+FuzzReport fuzzOne(const FuzzOptions &opts);
+
+/** Fuzz a list of seeds with shared knobs; aggregates all failures. */
+FuzzReport fuzzSeeds(const std::vector<uint64_t> &seeds,
+                     const FuzzOptions &base);
+
+/** The replay command line for a set of options on one config. */
+std::string replayCommand(const FuzzOptions &opts,
+                          const std::string &config);
+
+/**
+ * Human-readable listing of a kernel's dataflow graph (one node per
+ * line), for inspecting a minimized counterexample (`fuzz_ir --dump`).
+ */
+std::string describeKernel(const kernels::Kernel &k);
+
+} // namespace dlp::verify
+
+#endif // DLP_VERIFY_FUZZ_HH

@@ -9,8 +9,11 @@
 #include <sstream>
 
 #include "analysis/attributes.hh"
+#include "analysis/export.hh"
+#include "analysis/json.hh"
 #include "analysis/report.hh"
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "kernels/catalog.hh"
 
 using namespace dlp;
@@ -105,4 +108,65 @@ TEST(Report, FmtPrecision)
 {
     EXPECT_EQ(fmt(3.14159, 2), "3.14");
     EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Json, ParsesModestNesting)
+{
+    std::string text = "[[[[[[[[[[[1]]]]]]]]]]]";
+    analysis::json::Value v = analysis::json::parse(text);
+    const analysis::json::Value *inner = &v;
+    for (int depth = 0; depth < 11; ++depth)
+        inner = &inner->at(size_t(0));
+    EXPECT_EQ(inner->asNumber(), 1.0);
+}
+
+TEST(Json, DepthCapRejectsPathologicalNesting)
+{
+    // A parser recursing once per '[' would overflow the stack on a
+    // hostile document; the cap turns that into a clean fatal().
+    std::string bomb(100000, '[');
+    try {
+        analysis::json::parse(bomb);
+        FAIL() << "expected fatal()";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("nesting"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Json, DepthCapAppliesToObjectsToo)
+{
+    std::string bomb;
+    for (int i = 0; i < 5000; ++i)
+        bomb += "{\"a\":";
+    EXPECT_THROW(analysis::json::parse(bomb), FatalError);
+}
+
+TEST(Export, ZeroSampleDistributionOmitsMoments)
+{
+    // StatGroup::dump and the JSON exporter must agree on the shape of
+    // an unsampled histogram: a sample count, never fabricated moments.
+    StatGroup g("zs");
+    g.distribution("touched", 0.0, 10.0, 4).sample(3.0);
+    g.distribution("untouched", 0.0, 10.0, 4);
+    GroupSnapshot snap = g.snapshot();
+
+    analysis::json::Value v = analysis::toJson(snap);
+    const auto &dists = v.at("distributions");
+    const auto &touched = dists.at("touched");
+    const auto &untouched = dists.at("untouched");
+    EXPECT_TRUE(touched.has("mean"));
+    EXPECT_TRUE(touched.has("min"));
+    EXPECT_FALSE(untouched.has("mean"));
+    EXPECT_FALSE(untouched.has("stdev"));
+    EXPECT_FALSE(untouched.has("min"));
+    EXPECT_FALSE(untouched.has("max"));
+    EXPECT_EQ(untouched.at("samples").asNumber(), 0.0);
+
+    std::ostringstream os;
+    g.dump(os);
+    std::string text = os.str();
+    EXPECT_EQ(text.find("untouched::mean") == std::string::npos,
+              !untouched.has("mean"));
 }

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "common/bitutils.hh"
@@ -153,4 +154,76 @@ TEST(Logging, MessageFormatting)
     } catch (const FatalError &e) {
         EXPECT_STREQ(e.what(), "value=7 name=x");
     }
+}
+
+TEST(Random, BelowIsExactlyUniformOverSmallBound)
+{
+    // Lemire rejection sampling: over a full 64-bit draw space every
+    // residue of a small bound must be reachable; sanity-check that a
+    // bound that does not divide 2^64 shows no modulo bias between its
+    // lowest and highest residues over a large sample.
+    Rng r(1234);
+    const uint64_t bound = 3;
+    uint64_t counts[bound] = {};
+    const int n = 300000;
+    for (int i = 0; i < n; ++i)
+        counts[r.below(bound)]++;
+    for (uint64_t c : counts) {
+        EXPECT_GT(c, uint64_t(n) / bound - n / 100);
+        EXPECT_LT(c, uint64_t(n) / bound + n / 100);
+    }
+}
+
+TEST(Random, BelowOneAlwaysZero)
+{
+    Rng r(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Random, RangeSurvivesFullInt64Span)
+{
+    // lo = INT64_MIN, hi = INT64_MAX spans 2^64 values: the span + 1
+    // computation would overflow a naive below(hi - lo + 1).
+    Rng r(99);
+    bool sawNegative = false, sawPositive = false;
+    for (int i = 0; i < 200; ++i) {
+        int64_t v = r.range(std::numeric_limits<int64_t>::min(),
+                            std::numeric_limits<int64_t>::max());
+        sawNegative |= v < 0;
+        sawPositive |= v > 0;
+    }
+    EXPECT_TRUE(sawNegative);
+    EXPECT_TRUE(sawPositive);
+}
+
+TEST(Random, RangeHitsBothEndpoints)
+{
+    Rng r(3);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 2000 && !(lo && hi); ++i) {
+        int64_t v = r.range(-1, 1);
+        lo |= v == -1;
+        hi |= v == 1;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Stats, ZeroSampleDistributionDumpsOnlySampleCount)
+{
+    StatGroup g("zs");
+    g.distribution("touched", 0.0, 10.0, 4).sample(3.0);
+    g.distribution("untouched", 0.0, 10.0, 4);
+    std::ostringstream os;
+    g.dump(os);
+    std::string text = os.str();
+    // The sampled histogram reports moments; the empty one reports its
+    // zero sample count and nothing else (no fabricated mean/min/max).
+    EXPECT_NE(text.find("touched::mean"), std::string::npos) << text;
+    EXPECT_NE(text.find("untouched::samples"), std::string::npos) << text;
+    EXPECT_EQ(text.find("untouched::mean"), std::string::npos) << text;
+    EXPECT_EQ(text.find("untouched::min"), std::string::npos) << text;
+    EXPECT_EQ(text.find("untouched::max"), std::string::npos) << text;
+    EXPECT_EQ(text.find("untouched::stdev"), std::string::npos) << text;
 }

@@ -498,3 +498,125 @@ TEST(ResourceAllocation, InlineCalendarAcquiresAreAllocationFree)
 }
 
 } // namespace
+
+// ---------------------------------------------------------------------
+// Event conservation counters
+// ---------------------------------------------------------------------
+
+TEST(EventQueue, ConservesEventsAcrossLifetime)
+{
+    EventQueue eq;
+    eq.schedule(1, [] {});
+    eq.schedule(2, [] {});
+    eq.schedule(3, [] {});
+    eq.run();
+    EXPECT_EQ(eq.scheduledEvents(), 3u);
+    EXPECT_EQ(eq.executedEvents(), 3u);
+    EXPECT_EQ(eq.discardedEvents(), 0u);
+    EXPECT_EQ(eq.scheduledEvents(),
+              eq.executedEvents() + eq.pending() + eq.discardedEvents());
+}
+
+TEST(EventQueue, ResetAccountsDroppedEventsAsDiscarded)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&fired] { ++fired; });
+    eq.run();
+    // Two near events and one far beyond the calendar window (the
+    // overflow heap) are dropped together by the reset.
+    eq.schedule(10, [&fired] { ++fired; });
+    eq.schedule(20, [&fired] { ++fired; });
+    eq.schedule(50'000'000, [&fired] { ++fired; });
+    eq.reset();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.discardedEvents(), 3u);
+
+    // The queue stays fully usable after the discard, and the books
+    // keep balancing: scheduled == executed + pending + discarded.
+    eq.schedule(1, [&fired] { ++fired; });
+    eq.schedule(30'000'000, [&fired] { ++fired; }); // overflow tier again
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.scheduledEvents(), 6u);
+    EXPECT_EQ(eq.executedEvents(), 3u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.scheduledEvents(),
+              eq.executedEvents() + eq.pending() + eq.discardedEvents());
+}
+
+// ---------------------------------------------------------------------
+// SmallVec vs std::vector differential
+// ---------------------------------------------------------------------
+
+TEST(SmallVec, MatchesStdVectorThroughMixedOperations)
+{
+    // Deterministic operation tape crossing the inline->heap boundary
+    // (Inline = 4) in both directions, mirrored against std::vector.
+    SmallVec<int, 4> sv;
+    std::vector<int> ref;
+    uint64_t x = 0x9e3779b97f4a7c15ull;
+    auto next = [&x] {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+    };
+    for (int step = 0; step < 2000; ++step) {
+        uint64_t roll = next() % 100;
+        int v = static_cast<int>(next() % 1000);
+        if (roll < 50 || ref.empty()) {
+            sv.push_back(v);
+            ref.push_back(v);
+        } else if (roll < 75) {
+            size_t at = next() % (ref.size() + 1);
+            sv.insert(at, v);
+            ref.insert(ref.begin() + at, v);
+        } else if (roll < 95) {
+            size_t at = next() % ref.size();
+            sv.erase(at);
+            ref.erase(ref.begin() + at);
+        } else {
+            sv.clear();
+            ref.clear();
+        }
+        ASSERT_EQ(sv.size(), ref.size()) << "step " << step;
+        for (size_t i = 0; i < ref.size(); ++i)
+            ASSERT_EQ(sv[i], ref[i]) << "step " << step << " index " << i;
+        if (!ref.empty())
+            ASSERT_EQ(sv.back(), ref.back());
+    }
+}
+
+TEST(SmallVec, CopyAndMovePreserveContents)
+{
+    SmallVec<int, 4> small;
+    for (int i = 0; i < 3; ++i)
+        small.push_back(i); // stays inline
+    SmallVec<int, 4> big;
+    for (int i = 0; i < 64; ++i)
+        big.push_back(i); // spills to the heap
+
+    SmallVec<int, 4> copy(big);
+    ASSERT_EQ(copy.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(copy[i], i);
+
+    copy = small; // shrink heap -> inline source
+    ASSERT_EQ(copy.size(), 3u);
+    EXPECT_EQ(copy[2], 2);
+
+    SmallVec<int, 4> moved(std::move(big));
+    ASSERT_EQ(moved.size(), 64u);
+    EXPECT_EQ(moved[63], 63);
+
+    moved = std::move(small);
+    ASSERT_EQ(moved.size(), 3u);
+    EXPECT_EQ(moved[0], 0);
+
+    // Self-assignment must be a no-op, not a double free.
+    SmallVec<int, 4> &alias = moved;
+    moved = alias;
+    ASSERT_EQ(moved.size(), 3u);
+    EXPECT_EQ(moved[1], 1);
+}
