@@ -12,6 +12,10 @@
  *    still beaten by M-D,
  *  - md5/blowfish/rijndael/vertex-skinning prefer M-D,
  *  - Flexible beats fixed S by ~55%, fixed S-O by ~20%, fixed M-D by ~5%.
+ *
+ * --audit (or DLP_AUDIT=1) evaluates the conservation invariants on
+ * every run; --check (or DLP_CHECK=1) statically verifies every
+ * scheduled program before it runs and aborts on Error findings.
  */
 
 #include <chrono>
@@ -25,6 +29,7 @@
 #include "analysis/report.hh"
 #include "arch/configs.hh"
 #include "common/logging.hh"
+#include "check/verify.hh"
 #include "driver/job_pool.hh"
 #include "verify/audit.hh"
 
@@ -44,6 +49,8 @@ main(int argc, char **argv)
             jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
         else if (std::strcmp(argv[i], "--audit") == 0)
             verify::setAuditEnabled(true);
+        else if (std::strcmp(argv[i], "--check") == 0)
+            check::setCheckEnabled(true);
     }
     unsigned effectiveJobs = jobs ? jobs : driver::JobPool::defaultWorkers();
 

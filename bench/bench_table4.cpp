@@ -7,11 +7,12 @@
  * the irregular/control-heavy kernels the lowest -- is the claim under
  * test; absolute values depend on the authors' simulator internals.
  *
- * Usage: bench_table4 [--quick] [--jobs N] [--audit]
+ * Usage: bench_table4 [--quick] [--jobs N] [--audit] [--check]
  * The 13 baseline simulations are independent; --jobs (or DLP_JOBS)
  * runs them concurrently on the sweep driver. --audit (or DLP_AUDIT=1)
  * checks every run against the conservation invariants and fails the
- * bench on any violation.
+ * bench on any violation. --check (or DLP_CHECK=1) statically verifies
+ * every scheduled program before it runs; Error findings abort.
  */
 
 #include <chrono>
@@ -24,6 +25,7 @@
 #include "analysis/experiments.hh"
 #include "analysis/export.hh"
 #include "analysis/report.hh"
+#include "check/verify.hh"
 #include "common/logging.hh"
 #include "driver/sweep.hh"
 #include "verify/audit.hh"
@@ -44,6 +46,8 @@ main(int argc, char **argv)
             opts.jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
         else if (std::strcmp(argv[i], "--audit") == 0)
             verify::setAuditEnabled(true);
+        else if (std::strcmp(argv[i], "--check") == 0)
+            check::setCheckEnabled(true);
     }
 
     static const std::map<std::string, double> paper = {

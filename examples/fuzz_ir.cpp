@@ -21,6 +21,11 @@
  *   --no-tables / --no-wide / --no-cached / --no-scratch
  *                            disable a generator feature (shrinker flags)
  *   --no-audit               skip the invariant auditor
+ *   --static-check           cross-validate the static verifier: every
+ *                            dynamically diverging case must trip a
+ *                            static rule or is logged as a coverage
+ *                            gap; static errors on dynamically clean
+ *                            cases are failures (kind "static")
  *   --json FILE              write counterexamples as JSON
  *
  * Exit status: 0 when every (seed, config) run matches the oracle and
@@ -90,6 +95,9 @@ toJson(const verify::FuzzFailure &f)
     obj.set("kind", f.kind);
     obj.set("detail", f.detail);
     obj.set("replay", f.replay);
+    obj.set("staticallyCaught", f.staticallyCaught);
+    if (!f.staticRule.empty())
+        obj.set("staticRule", f.staticRule);
     Value shrunk = Value::object();
     shrunk.set("records", uint64_t(f.shrunk.records));
     shrunk.set("nodes", uint64_t(f.shrunk.nodeBudget));
@@ -142,6 +150,8 @@ main(int argc, char **argv)
             base.scratch = false;
         } else if (std::strcmp(argv[i], "--no-audit") == 0) {
             base.audit = false;
+        } else if (std::strcmp(argv[i], "--static-check") == 0) {
+            base.staticCheck = true;
         } else if (std::strcmp(argv[i], "--json") == 0) {
             jsonPath = value(i);
         } else if (std::strcmp(argv[i], "--dump") == 0) {
@@ -179,17 +189,33 @@ main(int argc, char **argv)
     for (const auto &f : rep.failures) {
         std::printf("FAIL seed %" PRIu64 " on %s [%s]: %s\n", f.seed,
                     f.config.c_str(), f.kind.c_str(), f.detail.c_str());
+        if (base.staticCheck && f.kind != "static")
+            std::printf("  static: %s\n",
+                        f.staticallyCaught
+                            ? f.staticRule.c_str()
+                            : "COVERAGE GAP (no rule fires)");
         std::printf("  replay: %s\n", f.replay.c_str());
     }
     std::printf("fuzz_ir: %" PRIu64 " runs, %zu failure%s\n", rep.runs,
                 rep.failures.size(),
                 rep.failures.size() == 1 ? "" : "s");
+    if (base.staticCheck)
+        std::printf("fuzz_ir: static cross-check: %" PRIu64
+                    " dynamic failure%s also caught statically, %" PRIu64
+                    " coverage gap%s\n",
+                    rep.staticallyCaught,
+                    rep.staticallyCaught == 1 ? "" : "s", rep.staticGaps,
+                    rep.staticGaps == 1 ? "" : "s");
 
     if (!jsonPath.empty() && !rep.failures.empty()) {
         using analysis::json::Value;
         Value doc = Value::object();
         doc.set("generator", "dlp-sim fuzz_ir");
         doc.set("runs", rep.runs);
+        if (base.staticCheck) {
+            doc.set("staticallyCaught", rep.staticallyCaught);
+            doc.set("staticGaps", rep.staticGaps);
+        }
         Value cases = Value::array();
         for (const auto &f : rep.failures)
             cases.push(toJson(f));

@@ -25,6 +25,9 @@
  *   --audit              check every run against the conservation
  *                        invariants (also: DLP_AUDIT=1); violations are
  *                        listed, exported in the JSON, and exit nonzero
+ *   --check              statically verify every scheduled program
+ *                        before it runs (also: DLP_CHECK=1); a plan
+ *                        with Error findings aborts the sweep
  */
 
 #include <chrono>
@@ -43,6 +46,7 @@
 #include "driver/sweep.hh"
 #include "kernels/catalog.hh"
 #include "kernels/workload.hh"
+#include "check/verify.hh"
 #include "verify/audit.hh"
 
 using namespace dlp;
@@ -132,6 +136,8 @@ main(int argc, char **argv)
             quiet = true;
         } else if (std::strcmp(argv[i], "--audit") == 0) {
             verify::setAuditEnabled(true);
+        } else if (std::strcmp(argv[i], "--check") == 0) {
+            check::setCheckEnabled(true);
         } else {
             fatal("unknown option '%s' (see the header of "
                   "examples/sweep.cpp)", argv[i]);

@@ -115,6 +115,25 @@ toJson(const arch::ExperimentResult &result)
         obj.set("audit", std::move(audit));
     }
 
+    // Pre-run static verification, present only when checking ran (the
+    // same shape-stability contract as "audit" above).
+    if (result.checked) {
+        json::Value chk = json::Value::object();
+        chk.set("errors", result.checkErrors);
+        chk.set("warnings", result.checkWarnings);
+        json::Value findings = json::Value::array();
+        for (const auto &f : result.checkFindings) {
+            json::Value entry = json::Value::object();
+            entry.set("rule", f.rule);
+            entry.set("severity", f.severity);
+            entry.set("location", f.location);
+            entry.set("detail", f.detail);
+            findings.push(std::move(entry));
+        }
+        chk.set("findings", std::move(findings));
+        obj.set("check", std::move(chk));
+    }
+
     json::Value groups = json::Value::array();
     for (const auto &g : result.statGroups)
         groups.push(toJson(g));

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cinttypes>
 
+#include "check/verify.hh"
 #include "common/bitutils.hh"
 #include "common/logging.hh"
 #include "sched/linearize.hh"
@@ -20,7 +21,8 @@ TripsProcessor::TripsProcessor(const core::MachineParams &params)
 }
 
 sched::StreamLayout
-TripsProcessor::makeLayout(const Kernel &k, uint64_t &chunkRecords) const
+makeStreamLayout(const Kernel &k, const core::MachineParams &m,
+                 uint64_t &chunkRecords)
 {
     // Partition the SMC between input, output and scratch streams; keep
     // slack for the unroll padding (at most 64 instances) so speculative
@@ -81,6 +83,28 @@ fill(ExperimentResult &res, const core::RunStats &stats)
     res.mappings += stats.mappings;
 }
 
+/**
+ * Run the static verifier over the plan the engine is about to execute,
+ * record the findings, and refuse to run a plan with Error findings: a
+ * malformed block would deadlock or silently compute garbage thousands
+ * of cycles in.
+ */
+void
+gateOnCheck(ExperimentResult &res, const check::Report &rep)
+{
+    res.checked = true;
+    res.checkErrors = rep.errors();
+    res.checkWarnings = rep.warnings();
+    for (const auto &d : rep.diags)
+        res.checkFindings.push_back({d.rule,
+                                     check::severityName(d.severity),
+                                     d.location(), d.message});
+    fatal_if(rep.errors() > 0,
+             "static check rejected %s on %s (%zu error%s):\n%s",
+             res.kernel.c_str(), res.config.c_str(), rep.errors(),
+             rep.errors() == 1 ? "" : "s", rep.describe().c_str());
+}
+
 /** Wall-clock timer for the host-performance stats of one run. */
 class HostTimer
 {
@@ -111,8 +135,10 @@ TripsProcessor::runSimd(Workload &workload)
 
     HostTimer timer;
     uint64_t chunkRecords = 0;
-    sched::StreamLayout layout = makeLayout(k, chunkRecords);
+    sched::StreamLayout layout = makeStreamLayout(k, m, chunkRecords);
     sched::SimdPlan plan = sched::lowerSimd(k, m, layout);
+    if (check::checkEnabled())
+        gateOnCheck(res, check::verify({&plan, nullptr, &k}, m));
 
     mem::MemorySystem memory(m.memParams, m.mech.smc, m.hopTicks);
     workload.populateIrregular([&memory](Addr a, Word w) {
@@ -180,8 +206,10 @@ TripsProcessor::runMimd(Workload &workload)
 
     HostTimer timer;
     uint64_t chunkRecords = 0;
-    sched::StreamLayout layout = makeLayout(k, chunkRecords);
+    sched::StreamLayout layout = makeStreamLayout(k, m, chunkRecords);
     sched::MimdPlan plan = sched::lowerMimd(k, m, layout);
+    if (check::checkEnabled())
+        gateOnCheck(res, check::verify({nullptr, &plan, &k}, m));
 
     mem::MemorySystem memory(m.memParams, m.mech.smc, m.hopTicks);
     workload.populateIrregular([&memory](Addr a, Word w) {

@@ -40,6 +40,19 @@ struct AuditFinding
     std::string detail;    ///< human-readable expected-vs-actual text
 };
 
+/**
+ * One diagnostic from the static SPDI verifier (src/check), flattened
+ * the same way AuditFinding is so results can carry findings without
+ * arch's interface depending on the check library.
+ */
+struct CheckFinding
+{
+    std::string rule;     ///< registry identifier, e.g. "MEM-ORDER"
+    std::string severity; ///< "error", "warning" or "info"
+    std::string location; ///< block:iN.sM anchor
+    std::string detail;   ///< human-readable specifics
+};
+
 /** Outcome of running one workload on one configuration. */
 struct ExperimentResult
 {
@@ -86,6 +99,17 @@ struct ExperimentResult
     std::vector<AuditFinding> auditViolations;
     /// @}
 
+    /// @name Pre-run static verification (populated only when checking
+    /// is enabled; see check::verify). checked distinguishes "not
+    /// checked" from "checked clean". A plan with Error findings never
+    /// runs: the processor raises a fatal error instead.
+    /// @{
+    bool checked = false;
+    uint64_t checkErrors = 0;
+    uint64_t checkWarnings = 0;
+    std::vector<CheckFinding> checkFindings;
+    /// @}
+
     double
     opsPerCycle() const
     {
@@ -118,12 +142,19 @@ class TripsProcessor
     ExperimentResult runSimd(kernels::Workload &workload);
     ExperimentResult runMimd(kernels::Workload &workload);
 
-    /** Records per SMC-resident chunk for a kernel, and its layout. */
-    sched::StreamLayout makeLayout(const kernels::Kernel &k,
-                                   uint64_t &chunkRecords) const;
-
     core::MachineParams m;
 };
+
+/**
+ * Partition the SMC between a kernel's input, output and scratch
+ * streams. @return the layout; chunkRecords receives the records per
+ * SMC-resident chunk. Shared by the processor, the lint_ir linter and
+ * the fuzzer's static-check mode, so every consumer sees the plan the
+ * machine would really execute.
+ */
+sched::StreamLayout makeStreamLayout(const kernels::Kernel &k,
+                                     const core::MachineParams &m,
+                                     uint64_t &chunkRecords);
 
 } // namespace dlp::arch
 

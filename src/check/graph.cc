@@ -1,0 +1,319 @@
+#include "check/graph.hh"
+
+#include <algorithm>
+
+namespace dlp::check {
+
+using isa::MappedBlock;
+using isa::MappedInst;
+using isa::Op;
+
+std::optional<ProducerRef>
+BlockGraph::producerOf(uint32_t inst, unsigned slot) const
+{
+    if (inst >= producers.size() || slot >= producers[inst].size())
+        return std::nullopt;
+    const auto &list = producers[inst][slot];
+    if (list.size() != 1)
+        return std::nullopt;
+    return list.front();
+}
+
+BlockGraph
+buildGraph(const MappedBlock &block)
+{
+    BlockGraph g;
+    g.block = &block;
+    const size_t n = block.insts.size();
+    g.producers.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        g.producers[i].resize(isa::maxSrcs);
+    g.succ.resize(n);
+
+    for (size_t i = 0; i < n; ++i) {
+        for (const auto &t : block.insts[i].targets) {
+            if (t.inst >= n || t.srcSlot >= isa::maxSrcs ||
+                t.srcSlot >= block.insts[t.inst].numSrcs) {
+                g.sound = false;
+                continue;
+            }
+            g.producers[t.inst][t.srcSlot].push_back(
+                {uint32_t(i), t.wordIdx});
+            g.succ[i].push_back(t.inst);
+        }
+        auto &s = g.succ[i];
+        std::sort(s.begin(), s.end());
+        s.erase(std::unique(s.begin(), s.end()), s.end());
+    }
+
+    // Iterative Tarjan SCC; components in reverse topological order.
+    struct NodeState
+    {
+        uint32_t index = 0;
+        uint32_t lowlink = 0;
+        bool visited = false;
+        bool onStack = false;
+    };
+    std::vector<NodeState> st(n);
+    std::vector<uint32_t> stack;
+    std::vector<std::vector<uint32_t>> components;
+    uint32_t next = 0;
+
+    struct Frame
+    {
+        uint32_t node;
+        size_t edge;
+    };
+    std::vector<Frame> dfs;
+    for (uint32_t root = 0; root < n; ++root) {
+        if (st[root].visited)
+            continue;
+        dfs.push_back({root, 0});
+        while (!dfs.empty()) {
+            Frame &f = dfs.back();
+            NodeState &ns = st[f.node];
+            if (f.edge == 0) {
+                ns.visited = true;
+                ns.index = ns.lowlink = next++;
+                ns.onStack = true;
+                stack.push_back(f.node);
+            }
+            bool descended = false;
+            while (f.edge < g.succ[f.node].size()) {
+                uint32_t w = g.succ[f.node][f.edge++];
+                if (!st[w].visited) {
+                    dfs.push_back({w, 0});
+                    descended = true;
+                    break;
+                }
+                if (st[w].onStack)
+                    ns.lowlink = std::min(ns.lowlink, st[w].index);
+            }
+            if (descended)
+                continue;
+            if (ns.lowlink == ns.index) {
+                std::vector<uint32_t> comp;
+                uint32_t w;
+                do {
+                    w = stack.back();
+                    stack.pop_back();
+                    st[w].onStack = false;
+                    comp.push_back(w);
+                } while (w != f.node);
+                std::sort(comp.begin(), comp.end());
+                components.push_back(std::move(comp));
+            }
+            uint32_t done = f.node;
+            dfs.pop_back();
+            if (!dfs.empty()) {
+                NodeState &parent = st[dfs.back().node];
+                parent.lowlink =
+                    std::min(parent.lowlink, st[done].lowlink);
+            }
+        }
+    }
+
+    for (auto &comp : components) {
+        bool selfLoop = false;
+        if (comp.size() == 1) {
+            const auto &s = g.succ[comp.front()];
+            selfLoop =
+                std::binary_search(s.begin(), s.end(), comp.front());
+        }
+        if (comp.size() > 1 || selfLoop)
+            g.cycles.push_back(std::move(comp));
+    }
+
+    if (g.cycles.empty()) {
+        // Tarjan emits components in reverse topological order; with
+        // every component a single node, reversing them is a topo sort.
+        g.topo.reserve(n);
+        for (auto it = components.rbegin(); it != components.rend(); ++it)
+            g.topo.push_back(it->front());
+    }
+    return g;
+}
+
+Reachability::Reachability(const BlockGraph &g)
+{
+    const size_t n = g.succ.size();
+    const size_t words = (n + 63) / 64;
+    bits.assign(n, std::vector<uint64_t>(words, 0));
+    // Sweep in reverse topological order: a node reaches its successors
+    // and everything they reach.
+    for (auto it = g.topo.rbegin(); it != g.topo.rend(); ++it) {
+        uint32_t i = *it;
+        for (uint32_t s : g.succ[i]) {
+            bits[i][s >> 6] |= uint64_t(1) << (s & 63);
+            for (size_t w = 0; w < words; ++w)
+                bits[i][w] |= bits[s][w];
+        }
+    }
+}
+
+namespace {
+
+LinForm
+linConst(int64_t v)
+{
+    LinForm f;
+    f.known = true;
+    f.c = v;
+    return f;
+}
+
+LinForm
+linAtom(uint64_t atom)
+{
+    LinForm f;
+    f.known = true;
+    f.terms = {{atom, 1}};
+    return f;
+}
+
+LinForm
+linCombine(const LinForm &a, const LinForm &b, int64_t sign)
+{
+    if (!a.known || !b.known)
+        return {};
+    LinForm out;
+    out.known = true;
+    out.c = a.c + sign * b.c;
+    size_t i = 0, j = 0;
+    while (i < a.terms.size() || j < b.terms.size()) {
+        if (j == b.terms.size() ||
+            (i < a.terms.size() && a.terms[i].first < b.terms[j].first)) {
+            out.terms.push_back(a.terms[i++]);
+        } else if (i == a.terms.size() ||
+                   b.terms[j].first < a.terms[i].first) {
+            out.terms.emplace_back(b.terms[j].first,
+                                   sign * b.terms[j].second);
+            ++j;
+        } else {
+            int64_t coeff = a.terms[i].second + sign * b.terms[j].second;
+            if (coeff != 0)
+                out.terms.emplace_back(a.terms[i].first, coeff);
+            ++i;
+            ++j;
+        }
+    }
+    return out;
+}
+
+LinForm
+linScale(const LinForm &a, int64_t k)
+{
+    if (!a.known)
+        return {};
+    if (k == 0)
+        return linConst(0);
+    LinForm out = a;
+    out.c *= k;
+    for (auto &t : out.terms)
+        t.second *= k;
+    return out;
+}
+
+/** Ops safe to hand to evalOp for constant folding. */
+bool
+foldable(Op op)
+{
+    switch (op) {
+      case Op::Mov: case Op::Movi: case Op::Sel:
+      case Op::Add: case Op::Sub: case Op::Mul:
+      case Op::And: case Op::Or: case Op::Xor: case Op::Not:
+      case Op::Shl: case Op::Shr: case Op::Sar:
+      case Op::Add32: case Op::Sub32: case Op::Mul32: case Op::Not32:
+      case Op::Shl32: case Op::Shr32: case Op::Rotl32: case Op::Rotr32:
+      case Op::Eq: case Op::Ne: case Op::Lt: case Op::Le:
+      case Op::Ltu: case Op::Leu:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+std::vector<LinForm>
+linearValues(const BlockGraph &g)
+{
+    const MappedBlock &b = *g.block;
+    std::vector<LinForm> val(b.insts.size());
+
+    auto atomOf = [](const ProducerRef &p) {
+        return uint64_t(p.inst) * 256 + p.wordIdx;
+    };
+
+    for (uint32_t i : g.topo) {
+        const MappedInst &mi = b.insts[i];
+
+        // Dataflow operand s as a linear form; a multi-word (Lmw)
+        // result is opaque per word.
+        auto operand = [&](unsigned s) -> LinForm {
+            auto p = g.producerOf(i, s);
+            if (!p)
+                return {};
+            if (b.insts[p->inst].op == Op::Lmw || p->wordIdx != 0)
+                return linAtom(atomOf(*p));
+            return val[p->inst];
+        };
+
+        LinForm self = linAtom(uint64_t(i) * 256);
+        unsigned arity = isa::opInfo(mi.op).numSrcs;
+
+        if (!foldable(mi.op) ||
+            arity > unsigned(mi.numSrcs) + (mi.immB ? 1u : 0u)) {
+            val[i] = self;
+            continue;
+        }
+
+        LinForm a = arity >= 1 ? operand(0) : linConst(0);
+        LinForm bb = mi.immB
+                         ? linConst(int64_t(mi.imm))
+                         : (arity >= 2 ? operand(1) : linConst(0));
+        LinForm cc = arity >= 3 ? operand(2) : linConst(0);
+
+        bool allConst = a.isConst() && bb.isConst() && cc.isConst();
+        if (mi.op == Op::Movi) {
+            val[i] = linConst(int64_t(mi.imm));
+        } else if (allConst) {
+            val[i] = linConst(int64_t(
+                isa::evalOp(mi.op, Word(a.c), Word(bb.c), Word(cc.c),
+                            mi.imm)));
+        } else {
+            switch (mi.op) {
+              case Op::Mov:
+                val[i] = a;
+                break;
+              case Op::Add:
+                val[i] = linCombine(a, bb, 1);
+                break;
+              case Op::Sub:
+                val[i] = linCombine(a, bb, -1);
+                break;
+              case Op::Shl:
+                val[i] = bb.isConst() && bb.c >= 0 && bb.c < 63
+                             ? linScale(a, int64_t(1) << bb.c)
+                             : self;
+                break;
+              case Op::Mul:
+                if (bb.isConst())
+                    val[i] = linScale(a, bb.c);
+                else if (a.isConst())
+                    val[i] = linScale(bb, a.c);
+                else
+                    val[i] = self;
+                break;
+              default:
+                val[i] = self;
+                break;
+            }
+            if (!val[i].known)
+                val[i] = self;
+        }
+    }
+    return val;
+}
+
+} // namespace dlp::check

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Analysis substrate for the static SPDI verifier: the intra-block
+ * operand graph (producers per reservation-station slot, successor
+ * adjacency, strongly connected components, topological order,
+ * reachability) and a linear abstract domain for the address arithmetic
+ * mapped blocks compute in dataflow.
+ *
+ * The abstract value of an instruction is a linear form
+ *
+ *     sum(coeff_k * atom_k) + constant
+ *
+ * where an atom is any operand the analysis cannot see through (a
+ * register Read, a load result, the activation counter). Mov copies,
+ * Add/Sub combine, Shl/Mul by a constant scale, and fully constant
+ * subtrees fold through the real evalOp. Two addresses with equal atom
+ * vectors differ by a known constant, which is exactly the precision the
+ * memory-ordering audit needs: the lowering builds every stream address
+ * as base + record-index * record-words + offset over shared subtrees.
+ */
+
+#ifndef DLP_CHECK_GRAPH_HH
+#define DLP_CHECK_GRAPH_HH
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "isa/mapped.hh"
+
+namespace dlp::check {
+
+/** One delivery into an operand slot. */
+struct ProducerRef
+{
+    uint32_t inst;    ///< producing instruction
+    uint8_t wordIdx;  ///< which result word it delivers
+};
+
+/** The operand graph of one mapped block. */
+struct BlockGraph
+{
+    const isa::MappedBlock *block = nullptr;
+
+    /// producers[i][s]: deliveries into instruction i's source slot s.
+    std::vector<std::vector<std::vector<ProducerRef>>> producers;
+
+    /// succ[i]: consumers of instruction i (deduplicated).
+    std::vector<std::vector<uint32_t>> succ;
+
+    /// False when a target is out of range or names a slot the consumer
+    /// does not wait on; producer/successor edges then omit it.
+    bool sound = true;
+
+    /// Strongly connected components with more than one member, plus
+    /// single nodes with a self-edge: the deadlocked cycles.
+    std::vector<std::vector<uint32_t>> cycles;
+
+    /// Topological order over the acyclic part (valid iff cycles empty).
+    std::vector<uint32_t> topo;
+
+    bool cyclic() const { return !cycles.empty(); }
+
+    /**
+     * The unique producer of (inst, slot); nullopt when the slot has no
+     * producer or several (both already diagnosed elsewhere).
+     */
+    std::optional<ProducerRef> producerOf(uint32_t inst,
+                                          unsigned slot) const;
+};
+
+/** Build the operand graph (always succeeds; see BlockGraph::sound). */
+BlockGraph buildGraph(const isa::MappedBlock &block);
+
+/**
+ * Reachability bitsets over the operand graph: bit j of reach[i] is set
+ * when a (non-empty) directed path i -> j exists. Requires an acyclic
+ * graph.
+ */
+class Reachability
+{
+  public:
+    explicit Reachability(const BlockGraph &g);
+
+    bool reaches(uint32_t from, uint32_t to) const
+    {
+        return (bits[from][to >> 6] >> (to & 63)) & 1;
+    }
+
+    /** Ordered in either direction. */
+    bool ordered(uint32_t a, uint32_t b) const
+    {
+        return reaches(a, b) || reaches(b, a);
+    }
+
+  private:
+    std::vector<std::vector<uint64_t>> bits;
+};
+
+/** A value in the linear abstract domain. */
+struct LinForm
+{
+    bool known = false;
+    /// Sorted (atom, coefficient) pairs; an atom identifies a result
+    /// word of an opaque instruction (inst * 256 + wordIdx).
+    std::vector<std::pair<uint64_t, int64_t>> terms;
+    int64_t c = 0;
+
+    bool isConst() const { return known && terms.empty(); }
+
+    /** Equal atom vectors: the difference of the two values is known. */
+    bool sameTerms(const LinForm &o) const
+    {
+        return known && o.known && terms == o.terms;
+    }
+};
+
+/**
+ * Abstract value of every instruction, in instruction order. Requires
+ * an acyclic, sound graph (evaluated in topological order).
+ */
+std::vector<LinForm> linearValues(const BlockGraph &g);
+
+} // namespace dlp::check
+
+#endif // DLP_CHECK_GRAPH_HH

@@ -1,0 +1,166 @@
+#include "check/report.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dlp::check {
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Info:    return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error:   return "error";
+    }
+    return "?";
+}
+
+const std::vector<RuleInfo> &
+rules()
+{
+    static const std::vector<RuleInfo> registry = {
+        // --- Graph well-formedness --------------------------------------
+        {"DF-DANGLE", Severity::Error,
+         "every Target::inst names an instruction inside the block"},
+        {"DF-SLOT", Severity::Error,
+         "every Target::srcSlot is below the consumer's numSrcs"},
+        {"DF-WORD", Severity::Error,
+         "every Target::wordIdx is below the producer's result width "
+         "(lmwCount for Lmw, 1 otherwise)"},
+        {"DF-ARITY", Severity::Error,
+         "numSrcs matches the opcode's architectural arity (immB consumes "
+         "one source; memory ops may carry one ordering-token source)"},
+        {"DF-NOPROD", Severity::Error,
+         "every live source slot has a producer; an unfed slot never "
+         "fires (deadlock at the first activation)"},
+        {"DF-RACE", Severity::Error,
+         "at most one operand is delivered to each (inst, srcSlot) per "
+         "activation; two producers race for one reservation-station word"},
+        {"DF-CYCLE", Severity::Error,
+         "the intra-block operand graph is acyclic; a dataflow cycle "
+         "can never fire"},
+        // --- Memory ordering --------------------------------------------
+        {"MEM-ORDER", Severity::Error,
+         "accesses proven to overlap, at least one a store, are connected "
+         "by a dataflow (token) path; unordered they race within an "
+         "activation"},
+        {"MEM-MAY", Severity::Warning,
+         "accesses that may alias (address arithmetic not statically "
+         "comparable), at least one a store, are connected by a dataflow "
+         "path"},
+        // --- Revitalization ---------------------------------------------
+        {"REV-PERSIST", Severity::Error,
+         "persistent operand bits and once-only instructions appear only "
+         "on machines with the operand-revitalization mechanism"},
+        {"REV-FEED", Severity::Error,
+         "once-only producers feed persistent slots and re-firing "
+         "producers feed non-persistent slots; any mismatch deadlocks or "
+         "reads stale operands after a revitalize"},
+        // --- Configuration legality -------------------------------------
+        {"CFG-OPCODE", Severity::Error,
+         "sequential control opcodes stay out of mapped blocks, memory "
+         "ops carry a memory space, and regTile marks only Read/Write"},
+        {"CFG-REG", Severity::Error,
+         "register indices (Read/Write imm, plan register plumbing) are "
+         "below the machine's register count"},
+        {"CFG-TABLE", Severity::Error,
+         "every Tld names a table the kernel defines"},
+        {"CFG-TBL-BUDGET", Severity::Warning,
+         "with the L0 data store enabled, each lookup table fits one "
+         "tile's store and all tables fit the grid's aggregate capacity"},
+        // --- Capacity ---------------------------------------------------
+        {"CAP-GRID", Severity::Error,
+         "block dimensions fit the machine and every instruction is "
+         "placed inside the block's grid"},
+        {"CAP-SLOT", Severity::Error,
+         "no two instructions of a block share a reservation-station "
+         "(row, col, slot)"},
+        {"CAP-TILE", Severity::Error,
+         "per-tile instruction count stays within the block's slot "
+         "capacity"},
+        // --- Sequential (MIMD) programs ---------------------------------
+        {"SEQ-OP", Severity::Error,
+         "sequential programs use only opcodes the MIMD pipeline "
+         "implements (no Lmw/Read/Write/ActIdx; memory ops carry a space)"},
+        {"SEQ-BR", Severity::Error,
+         "every branch target is an instruction index inside the program"},
+        {"SEQ-REG", Severity::Error,
+         "register operands are below the program's register count, "
+         "which fits the tile's operand buffers"},
+        {"SEQ-HALT", Severity::Error,
+         "the program contains a Halt (kernel instances must terminate)"},
+    };
+    return registry;
+}
+
+const RuleInfo *
+ruleByName(const std::string &id)
+{
+    for (const auto &r : rules())
+        if (id == r.id)
+            return &r;
+    return nullptr;
+}
+
+std::string
+Diag::location() const
+{
+    std::ostringstream os;
+    os << block;
+    if (inst >= 0)
+        os << (block.empty() ? "i" : ":i") << inst;
+    if (slot >= 0)
+        os << ".s" << slot;
+    return os.str();
+}
+
+void
+Report::add(const std::string &rule, std::string block, int inst, int slot,
+            std::string message)
+{
+    const RuleInfo *info = ruleByName(rule);
+    panic_if(!info, "static-check finding names unknown rule '%s'",
+             rule.c_str());
+    Diag d;
+    d.rule = rule;
+    d.severity = info->severity;
+    d.block = std::move(block);
+    d.inst = inst;
+    d.slot = slot;
+    d.message = std::move(message);
+    diags.push_back(std::move(d));
+}
+
+size_t
+Report::count(Severity s) const
+{
+    size_t n = 0;
+    for (const auto &d : diags)
+        if (d.severity == s)
+            ++n;
+    return n;
+}
+
+size_t
+Report::countRule(const std::string &rule) const
+{
+    size_t n = 0;
+    for (const auto &d : diags)
+        if (d.rule == rule)
+            ++n;
+    return n;
+}
+
+std::string
+Report::describe() const
+{
+    std::ostringstream os;
+    for (const auto &d : diags)
+        os << d.rule << " " << severityName(d.severity) << " "
+           << d.location() << ": " << d.message << "\n";
+    return os.str();
+}
+
+} // namespace dlp::check

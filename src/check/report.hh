@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Diagnostics produced by the static SPDI verifier.
+ *
+ * Every finding names a rule from a fixed registry (stable identifier,
+ * severity, and the machine invariant it encodes), plus the location --
+ * block, instruction index, operand slot -- it anchors to. Reports are
+ * plain values: they ride into ExperimentResult, the JSON exporter and
+ * the lint_ir summary table without dragging the verifier along.
+ */
+
+#ifndef DLP_CHECK_REPORT_HH
+#define DLP_CHECK_REPORT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlp::check {
+
+enum class Severity : uint8_t
+{
+    Info,     ///< observation; never fails a run
+    Warning,  ///< suspicious but possibly intended; lint-visible only
+    Error     ///< the program violates an execution invariant
+};
+
+const char *severityName(Severity s);
+
+/** One rule of the registry. */
+struct RuleInfo
+{
+    const char *id;        ///< stable identifier, e.g. "DF-NOPROD"
+    Severity severity;     ///< severity every finding of this rule carries
+    const char *invariant; ///< one-line statement of the invariant
+};
+
+/** The full rule registry, in documentation order. */
+const std::vector<RuleInfo> &rules();
+
+/** Registry entry for id; null when unknown. */
+const RuleInfo *ruleByName(const std::string &id);
+
+/** One diagnostic. */
+struct Diag
+{
+    std::string rule;    ///< registry identifier
+    Severity severity = Severity::Error;
+    std::string block;   ///< block or program name ("" = plan level)
+    int inst = -1;       ///< instruction index within the block, or -1
+    int slot = -1;       ///< operand slot the finding concerns, or -1
+    std::string message; ///< human-readable specifics
+
+    /** "block:iN.sM" location prefix (pieces omitted when absent). */
+    std::string location() const;
+};
+
+/** Outcome of verifying one mapped program against one machine. */
+struct Report
+{
+    std::string program; ///< plan (kernel) name
+    std::string config;  ///< machine configuration name
+    size_t blocks = 0;   ///< blocks (or MIMD programs) examined
+    size_t insts = 0;    ///< instructions examined
+
+    std::vector<Diag> diags;
+
+    /** Record a finding; rule must name a registry entry. */
+    void add(const std::string &rule, std::string block, int inst, int slot,
+             std::string message);
+
+    size_t errors() const { return count(Severity::Error); }
+    size_t warnings() const { return count(Severity::Warning); }
+
+    /** No Error or Warning findings (Info is allowed). */
+    bool clean() const { return errors() == 0 && warnings() == 0; }
+
+    size_t count(Severity s) const;
+
+    /** Findings of one rule. */
+    size_t countRule(const std::string &rule) const;
+
+    /** True when at least one finding names rule. */
+    bool has(const std::string &rule) const { return countRule(rule) > 0; }
+
+    /** Multi-line listing of every finding ("rule sev loc: message"). */
+    std::string describe() const;
+};
+
+} // namespace dlp::check
+
+#endif // DLP_CHECK_REPORT_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Internal interfaces between the verifier's rule passes. Public entry
+ * points live in check/verify.hh.
+ */
+
+#ifndef DLP_CHECK_RULES_HH
+#define DLP_CHECK_RULES_HH
+
+#include "check/graph.hh"
+#include "check/report.hh"
+#include "core/machine.hh"
+#include "isa/seq.hh"
+#include "kernels/ir.hh"
+#include "sched/plan.hh"
+
+namespace dlp::check {
+
+/** Everything a block is verified against besides its own encoding. */
+struct BlockCtx
+{
+    const core::MachineParams &m;
+    const kernels::Kernel *kernel = nullptr;      ///< tables, if known
+    const sched::StreamLayout *layout = nullptr;  ///< SMC regions, if known
+    /// The block re-fires by revitalization (resident plan or a loop
+    /// segment), so operand persistence across activations matters.
+    bool revitalized = false;
+};
+
+/** All block-level passes: well-formedness, cycles, capacity, config,
+ * revitalization, and (on sound acyclic blocks) memory ordering. */
+void checkBlock(const isa::MappedBlock &block, const BlockCtx &ctx,
+                Report &rep);
+
+/** The memory-ordering audit over one sound, acyclic block. */
+void checkMemOrder(const isa::MappedBlock &block, const BlockGraph &g,
+                   const BlockCtx &ctx, Report &rep);
+
+/** The sequential-program (MIMD) passes. */
+void checkSeq(const isa::SeqProgram &prog, const core::MachineParams &m,
+              const kernels::Kernel *kernel, Report &rep);
+
+/** L0 lookup-table budget (per program, both execution styles). */
+void checkTableBudget(const kernels::Kernel &k,
+                      const core::MachineParams &m, Report &rep);
+
+} // namespace dlp::check
+
+#endif // DLP_CHECK_RULES_HH

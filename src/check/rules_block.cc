@@ -1,0 +1,320 @@
+#include <map>
+#include <sstream>
+
+#include "check/rules.hh"
+#include "isa/disasm.hh"
+
+namespace dlp::check {
+
+using isa::MappedBlock;
+using isa::MappedInst;
+using isa::Op;
+
+namespace {
+
+/** Result words an instruction can deliver (Target::wordIdx bound). */
+unsigned
+resultWords(const MappedInst &mi)
+{
+    return mi.op == Op::Lmw ? mi.lmwCount : 1;
+}
+
+void
+checkOpcode(const MappedBlock &b, size_t i, const BlockCtx &ctx,
+            Report &rep)
+{
+    const MappedInst &mi = b.insts[i];
+    const std::string &name = b.name;
+    if (mi.op >= Op::NumOps) {
+        rep.add("CFG-OPCODE", name, int(i), -1, "invalid opcode value");
+        return;
+    }
+    if (isa::isCtrlOp(mi.op)) {
+        std::ostringstream os;
+        os << "sequential control op " << isa::opName(mi.op)
+           << " in a mapped block (MIMD-only opcode)";
+        rep.add("CFG-OPCODE", name, int(i), -1, os.str());
+    }
+    if (isa::isMemOp(mi.op) && mi.space == isa::MemSpace::None)
+        rep.add("CFG-OPCODE", name, int(i), -1,
+                std::string(isa::opName(mi.op)) +
+                    " without a memory space");
+    if (mi.regTile && mi.op != Op::Read && mi.op != Op::Write)
+        rep.add("CFG-OPCODE", name, int(i), -1,
+                std::string("regTile on ") + isa::opName(mi.op) +
+                    " (register tiles hold only Read/Write)");
+    if ((mi.op == Op::Read || mi.op == Op::Write) &&
+        mi.imm >= ctx.m.numRegs) {
+        std::ostringstream os;
+        os << isa::opName(mi.op) << " register " << mi.imm << " >= "
+           << ctx.m.numRegs;
+        rep.add("CFG-REG", name, int(i), -1, os.str());
+    }
+    if (mi.op == Op::Tld && ctx.kernel &&
+        mi.tableId >= ctx.kernel->tables.size()) {
+        std::ostringstream os;
+        os << "Tld table " << mi.tableId << " but kernel defines "
+           << ctx.kernel->tables.size();
+        rep.add("CFG-TABLE", name, int(i), -1, os.str());
+    }
+}
+
+void
+checkArity(const MappedBlock &b, size_t i, Report &rep)
+{
+    const MappedInst &mi = b.insts[i];
+    if (mi.op >= Op::NumOps)
+        return;
+    const auto &info = isa::opInfo(mi.op);
+    if (mi.numSrcs > isa::maxSrcs) {
+        std::ostringstream os;
+        os << "numSrcs " << int(mi.numSrcs) << " > max " << isa::maxSrcs;
+        rep.add("DF-ARITY", b.name, int(i), -1, os.str());
+        return;
+    }
+    unsigned expect = info.numSrcs;
+    if (mi.immB) {
+        if (info.numSrcs < 2) {
+            rep.add("DF-ARITY", b.name, int(i), -1,
+                    std::string("immB on ") + isa::opName(mi.op) +
+                        ", which has no second source");
+            return;
+        }
+        --expect;
+    }
+    // Memory ops may carry one extra source: the ordering token the
+    // lowering threads between aliasing accesses.
+    unsigned most = isa::isMemOp(mi.op)
+                        ? std::min<unsigned>(expect + 1, isa::maxSrcs)
+                        : expect;
+    if (mi.numSrcs < expect || mi.numSrcs > most) {
+        std::ostringstream os;
+        os << isa::opName(mi.op) << " has numSrcs " << int(mi.numSrcs)
+           << ", expected " << expect;
+        if (most != expect)
+            os << ".." << most;
+        rep.add("DF-ARITY", b.name, int(i), -1, os.str());
+    }
+}
+
+void
+checkTargets(const MappedBlock &b, size_t i, Report &rep)
+{
+    const MappedInst &mi = b.insts[i];
+    for (const auto &t : mi.targets) {
+        if (t.inst >= b.insts.size()) {
+            std::ostringstream os;
+            os << "target i" << t.inst << " outside block of "
+               << b.insts.size();
+            rep.add("DF-DANGLE", b.name, int(i), -1, os.str());
+            continue;
+        }
+        const MappedInst &dst = b.insts[t.inst];
+        if (t.srcSlot >= isa::maxSrcs) {
+            std::ostringstream os;
+            os << "target slot " << int(t.srcSlot) << " >= max "
+               << int(isa::maxSrcs);
+            rep.add("DF-SLOT", b.name, int(i), -1, os.str());
+        } else if (t.srcSlot >= dst.numSrcs) {
+            std::ostringstream os;
+            os << "delivers to i" << t.inst << ".s" << int(t.srcSlot)
+               << " but the consumer waits on " << int(dst.numSrcs)
+               << " source(s)";
+            rep.add("DF-SLOT", b.name, int(i), -1, os.str());
+        }
+        if (t.wordIdx >= resultWords(mi)) {
+            std::ostringstream os;
+            os << "target wants result word " << int(t.wordIdx)
+               << " of " << isa::opName(mi.op) << " producing "
+               << resultWords(mi);
+            rep.add("DF-WORD", b.name, int(i), -1, os.str());
+        }
+    }
+}
+
+void
+checkProducers(const MappedBlock &b, const BlockGraph &g, Report &rep)
+{
+    for (size_t i = 0; i < b.insts.size(); ++i) {
+        const MappedInst &mi = b.insts[i];
+        for (unsigned s = 0; s < mi.numSrcs && s < isa::maxSrcs; ++s) {
+            size_t n = g.producers[i][s].size();
+            if (n == 0) {
+                std::ostringstream os;
+                os << "no producer targets s" << s << " of "
+                   << isa::opName(mi.op)
+                   << "; the instruction can never fire";
+                rep.add("DF-NOPROD", b.name, int(i), int(s), os.str());
+            } else if (n > 1) {
+                std::ostringstream os;
+                os << n << " producers race for s" << s << " (i";
+                for (size_t p = 0; p < n; ++p)
+                    os << (p ? ", i" : "") << g.producers[i][s][p].inst;
+                os << ")";
+                rep.add("DF-RACE", b.name, int(i), int(s), os.str());
+            }
+        }
+    }
+}
+
+void
+checkCycles(const MappedBlock &b, const BlockGraph &g, Report &rep)
+{
+    for (const auto &comp : g.cycles) {
+        std::ostringstream os;
+        os << "dataflow cycle of " << comp.size() << ": ";
+        for (size_t k = 0; k < comp.size() && k < 8; ++k)
+            os << (k ? " -> i" : "i") << comp[k];
+        if (comp.size() > 8)
+            os << " -> ...";
+        os << "; no member can ever fire";
+        rep.add("DF-CYCLE", b.name, int(comp.front()), -1, os.str());
+    }
+}
+
+void
+checkCapacity(const MappedBlock &b, const BlockCtx &ctx, Report &rep)
+{
+    const auto &m = ctx.m;
+    if (b.rows > m.rows || b.cols > m.cols ||
+        b.slotsPerTile > m.frameSlots) {
+        std::ostringstream os;
+        os << "block grid " << int(b.rows) << "x" << int(b.cols) << "x"
+           << int(b.slotsPerTile) << " exceeds machine " << m.rows << "x"
+           << m.cols << "x" << m.frameSlots;
+        rep.add("CAP-GRID", b.name, -1, -1, os.str());
+    }
+
+    std::map<std::tuple<unsigned, unsigned, unsigned>, size_t> station;
+    std::map<std::pair<unsigned, unsigned>, unsigned> tileCount;
+    for (size_t i = 0; i < b.insts.size(); ++i) {
+        const MappedInst &mi = b.insts[i];
+        if (mi.row >= b.rows || mi.col >= b.cols) {
+            std::ostringstream os;
+            os << "placed at (" << int(mi.row) << "," << int(mi.col)
+               << ") outside the " << int(b.rows) << "x" << int(b.cols)
+               << " block";
+            rep.add("CAP-GRID", b.name, int(i), -1, os.str());
+            continue;
+        }
+        if (mi.regTile)
+            continue;
+        if (mi.slot >= b.slotsPerTile) {
+            std::ostringstream os;
+            os << "slot " << int(mi.slot) << " >= " << int(b.slotsPerTile)
+               << " slots per tile";
+            rep.add("CAP-GRID", b.name, int(i), -1, os.str());
+            continue;
+        }
+        auto key = std::make_tuple(mi.row, mi.col, mi.slot);
+        auto [it, fresh] = station.emplace(key, i);
+        if (!fresh) {
+            std::ostringstream os;
+            os << "shares reservation station (" << int(mi.row) << ","
+               << int(mi.col) << ":" << int(mi.slot) << ") with i"
+               << it->second;
+            rep.add("CAP-SLOT", b.name, int(i), -1, os.str());
+        }
+        ++tileCount[{mi.row, mi.col}];
+    }
+    for (const auto &[tile, count] : tileCount) {
+        if (count > b.slotsPerTile) {
+            std::ostringstream os;
+            os << count << " instructions on tile (" << tile.first << ","
+               << tile.second << ") > " << int(b.slotsPerTile)
+               << " slots";
+            rep.add("CAP-TILE", b.name, -1, -1, os.str());
+        }
+    }
+}
+
+void
+checkRevitalization(const MappedBlock &b, const BlockGraph &g,
+                    const BlockCtx &ctx, Report &rep)
+{
+    for (size_t i = 0; i < b.insts.size(); ++i) {
+        const MappedInst &mi = b.insts[i];
+        bool anyPersistent = false;
+        for (unsigned s = 0; s < mi.numSrcs && s < isa::maxSrcs; ++s)
+            anyPersistent |= mi.persistent[s];
+        if (!ctx.m.mech.operandRevitalize && (anyPersistent || mi.onceOnly))
+            rep.add("REV-PERSIST", b.name, int(i), -1,
+                    std::string(mi.onceOnly ? "once-only instruction"
+                                            : "persistent operand") +
+                        " on a machine without operand revitalization");
+    }
+    if (!ctx.revitalized || !g.sound)
+        return;
+    // Across a revitalize, a persistent slot keeps its operand and a
+    // normal slot is cleared: the producer's firing discipline must
+    // match, in both directions.
+    for (size_t i = 0; i < b.insts.size(); ++i) {
+        const MappedInst &mi = b.insts[i];
+        for (unsigned s = 0; s < mi.numSrcs && s < isa::maxSrcs; ++s) {
+            for (const auto &p : g.producers[i][s]) {
+                bool once = b.insts[p.inst].onceOnly;
+                if (once && !mi.persistent[s]) {
+                    std::ostringstream os;
+                    os << "once-only i" << p.inst
+                       << " feeds a non-persistent slot; empty after the "
+                          "first revitalize (deadlock)";
+                    rep.add("REV-FEED", b.name, int(i), int(s), os.str());
+                } else if (!once && mi.persistent[s]) {
+                    std::ostringstream os;
+                    os << "persistent slot fed by re-firing i" << p.inst
+                       << "; the consumer can fire on the stale operand";
+                    rep.add("REV-FEED", b.name, int(i), int(s), os.str());
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+checkBlock(const MappedBlock &b, const BlockCtx &ctx, Report &rep)
+{
+    BlockGraph g = buildGraph(b);
+    for (size_t i = 0; i < b.insts.size(); ++i) {
+        checkOpcode(b, i, ctx, rep);
+        checkArity(b, i, rep);
+        checkTargets(b, i, rep);
+    }
+    checkProducers(b, g, rep);
+    checkCycles(b, g, rep);
+    checkCapacity(b, ctx, rep);
+    checkRevitalization(b, g, ctx, rep);
+    // Address analysis needs a well-formed acyclic graph; the structural
+    // findings above already make the block fatal otherwise.
+    if (g.sound && !g.cyclic())
+        checkMemOrder(b, g, ctx, rep);
+}
+
+void
+checkTableBudget(const kernels::Kernel &k, const core::MachineParams &m,
+                 Report &rep)
+{
+    if (!m.mech.l0DataStore)
+        return;
+    for (size_t t = 0; t < k.tables.size(); ++t) {
+        uint64_t bytes = k.tables[t].data.size() * wordBytes;
+        if (bytes > m.l0DataBytes) {
+            std::ostringstream os;
+            os << "table '" << k.tables[t].name << "' (" << bytes
+               << " B) exceeds one tile's " << m.l0DataBytes
+               << " B L0 data store";
+            rep.add("CFG-TBL-BUDGET", k.name, -1, -1, os.str());
+        }
+    }
+    uint64_t total = k.tableBytes();
+    uint64_t aggregate = uint64_t(m.tiles()) * m.l0DataBytes;
+    if (total > aggregate) {
+        std::ostringstream os;
+        os << "tables total " << total << " B > the grid's " << aggregate
+           << " B aggregate L0 capacity";
+        rep.add("CFG-TBL-BUDGET", k.name, -1, -1, os.str());
+    }
+}
+
+} // namespace dlp::check

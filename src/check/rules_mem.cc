@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The static memory-ordering audit: PR 4's fuzzer-found defect class --
+ * a scratch reload racing the store that feeds it -- decided from the
+ * block encoding alone.
+ *
+ * Within one activation, two accesses to the same address with at least
+ * one store are ordered only by the dataflow graph: the lowering threads
+ * an ordering token (the store's completion value) into the dependent
+ * access's spare source slot. This pass recomputes every access's
+ * address in the linear abstract domain (check/graph.hh) and demands a
+ * directed dataflow path between every overlapping pair.
+ *
+ * Precision notes:
+ *  - Addresses with equal atom vectors differ by a known constant, so
+ *    overlap is decided exactly (MEM-ORDER on a missing path).
+ *  - Addresses with different atom vectors are compared by their
+ *    constant parts against the plan's stream layout: the lowering
+ *    always folds the region base into the constant, so different
+ *    regions prove disjointness. (A hand-built address held entirely in
+ *    a register defeats this and classifies as the input region.)
+ *  - Anything else is a may-alias pair and reports MEM-MAY (warning).
+ *  - The hardware-cached space is one alias class: cached addresses are
+ *    data-dependent (that is why they are cached), so any unordered
+ *    cached store pair is an error unless both addresses are constants.
+ */
+
+#include <sstream>
+
+#include "check/rules.hh"
+#include "isa/disasm.hh"
+
+namespace dlp::check {
+
+using isa::MappedBlock;
+using isa::MappedInst;
+using isa::MemSpace;
+using isa::Op;
+
+namespace {
+
+struct Access
+{
+    uint32_t inst;
+    bool store;
+    MemSpace space;
+    LinForm addr;
+    int64_t width;  ///< words (SMC) or bytes (cached)
+};
+
+/** Three-valued alias verdict for one pair. */
+enum class Alias
+{
+    Disjoint,
+    Overlap,  ///< proven to touch a common word
+    May
+};
+
+/** Region index of an SMC address by its constant part, or -1. */
+int
+regionOf(const LinForm &a, const sched::StreamLayout &layout)
+{
+    if (!a.known)
+        return -1;
+    if (a.c < 0)
+        return -1;
+    auto c = uint64_t(a.c);
+    if (c < layout.outBase)
+        return 0;
+    if (c < layout.scratchBase)
+        return 1;
+    return 2;
+}
+
+Alias
+aliasSmc(const Access &x, const Access &y,
+         const sched::StreamLayout *layout)
+{
+    if (x.addr.sameTerms(y.addr)) {
+        int64_t d = y.addr.c - x.addr.c;
+        bool overlap = d < x.width && -d < y.width;
+        return overlap ? Alias::Overlap : Alias::Disjoint;
+    }
+    if (layout) {
+        int rx = regionOf(x.addr, *layout);
+        int ry = regionOf(y.addr, *layout);
+        if (rx >= 0 && ry >= 0 && rx != ry)
+            return Alias::Disjoint;
+    }
+    return Alias::May;
+}
+
+Alias
+aliasCached(const Access &x, const Access &y)
+{
+    if (x.addr.isConst() && y.addr.isConst()) {
+        int64_t d = y.addr.c - x.addr.c;
+        return (d < x.width && -d < y.width) ? Alias::Overlap
+                                             : Alias::Disjoint;
+    }
+    // One alias class: unordered data-dependent accesses always race.
+    return Alias::Overlap;
+}
+
+} // namespace
+
+void
+checkMemOrder(const MappedBlock &b, const BlockGraph &g,
+              const BlockCtx &ctx, Report &rep)
+{
+    std::vector<LinForm> val = linearValues(g);
+
+    std::vector<Access> accesses;
+    for (size_t i = 0; i < b.insts.size(); ++i) {
+        const MappedInst &mi = b.insts[i];
+        bool mem = mi.op == Op::Ld || mi.op == Op::St || mi.op == Op::Lmw;
+        if (!mem ||
+            (mi.space != MemSpace::Smc && mi.space != MemSpace::Cached))
+            continue;
+        Access a;
+        a.inst = uint32_t(i);
+        a.store = mi.op == Op::St;
+        a.space = mi.space;
+        auto p = g.producerOf(uint32_t(i), 0);
+        if (p && p->wordIdx == 0 && b.insts[p->inst].op != Op::Lmw)
+            a.addr = val[p->inst];
+        a.width = 1;
+        if (mi.op == Op::Lmw && mi.lmwCount > 0)
+            a.width = int64_t(mi.lmwCount - 1) * std::max<int64_t>(
+                          1, mi.lmwStride) + 1;
+        if (a.space == MemSpace::Cached)
+            a.width *= int64_t(wordBytes);
+        accesses.push_back(std::move(a));
+    }
+
+    bool anyStore = false;
+    for (const auto &a : accesses)
+        anyStore |= a.store;
+    if (!anyStore)
+        return;
+
+    Reachability reach(g);
+    for (size_t i = 0; i < accesses.size(); ++i) {
+        for (size_t j = i + 1; j < accesses.size(); ++j) {
+            const Access &x = accesses[i];
+            const Access &y = accesses[j];
+            if (!(x.store || y.store) || x.space != y.space)
+                continue;
+            Alias a = x.space == MemSpace::Smc
+                          ? aliasSmc(x, y, ctx.layout)
+                          : aliasCached(x, y);
+            if (a == Alias::Disjoint)
+                continue;
+            if (reach.ordered(x.inst, y.inst))
+                continue;
+            std::ostringstream os;
+            os << (a == Alias::Overlap ? "overlapping "
+                                       : "possibly aliasing ")
+               << (x.store ? "store" : "load") << " i" << x.inst << " and "
+               << (y.store ? "store" : "load") << " i" << y.inst
+               << " have no ordering path; they race within an "
+                  "activation\n    i"
+               << x.inst << ": " << isa::disasm(b.insts[x.inst])
+               << "\n    i" << y.inst << ": "
+               << isa::disasm(b.insts[y.inst]);
+            rep.add(a == Alias::Overlap ? "MEM-ORDER" : "MEM-MAY", b.name,
+                    int(x.inst), -1, os.str());
+        }
+    }
+}
+
+} // namespace dlp::check

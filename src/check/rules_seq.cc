@@ -1,0 +1,85 @@
+#include <sstream>
+
+#include "check/rules.hh"
+#include "isa/disasm.hh"
+
+namespace dlp::check {
+
+using isa::Op;
+using isa::SeqInst;
+using isa::SeqProgram;
+
+void
+checkSeq(const SeqProgram &prog, const core::MachineParams &m,
+         const kernels::Kernel *kernel, Report &rep)
+{
+    const std::string &name = prog.name;
+    if (prog.numRegs > m.tileRegs) {
+        std::ostringstream os;
+        os << "program uses " << prog.numRegs << " registers > "
+           << m.tileRegs << " operand-buffer entries per tile";
+        rep.add("SEQ-REG", name, -1, -1, os.str());
+    }
+
+    bool halts = false;
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        const SeqInst &si = prog.code[i];
+        if (si.op >= Op::NumOps) {
+            rep.add("SEQ-OP", name, int(i), -1, "invalid opcode value");
+            continue;
+        }
+        // Dataflow-only opcodes the MIMD pipeline does not implement.
+        if (si.op == Op::Lmw || si.op == Op::Read || si.op == Op::Write ||
+            si.op == Op::ActIdx) {
+            rep.add("SEQ-OP", name, int(i), -1,
+                    std::string(isa::opName(si.op)) +
+                        " in a sequential program (dataflow-only opcode)");
+            continue;
+        }
+        if (isa::isMemOp(si.op) && si.space == isa::MemSpace::None)
+            rep.add("SEQ-OP", name, int(i), -1,
+                    std::string(isa::opName(si.op)) +
+                        " without a memory space");
+        if (si.op == Op::Tld && kernel &&
+            si.tableId >= kernel->tables.size()) {
+            std::ostringstream os;
+            os << "Tld table " << si.tableId << " but kernel defines "
+               << kernel->tables.size();
+            rep.add("CFG-TABLE", name, int(i), -1, os.str());
+        }
+        if (isa::isCtrlOp(si.op)) {
+            halts |= si.op == Op::Halt;
+            if (si.op != Op::Halt &&
+                si.branchTarget >= prog.code.size()) {
+                std::ostringstream os;
+                os << isa::opName(si.op) << " to " << si.branchTarget
+                   << " outside the " << prog.code.size()
+                   << "-instruction program";
+                rep.add("SEQ-BR", name, int(i), -1, os.str());
+            }
+        }
+
+        const auto &info = isa::opInfo(si.op);
+        auto checkReg = [&](unsigned reg, const char *what) {
+            if (reg >= prog.numRegs) {
+                std::ostringstream os;
+                os << what << " r" << reg << " >= " << prog.numRegs
+                   << " program registers";
+                rep.add("SEQ-REG", name, int(i), -1, os.str());
+            }
+        };
+        for (unsigned s = 0; s < info.numSrcs && s < isa::maxSrcs; ++s) {
+            if (s == 1 && si.immB)
+                continue;
+            checkReg(si.rs[s], "source");
+        }
+        bool writes = !isa::isCtrlOp(si.op) && si.op != Op::St;
+        if (writes)
+            checkReg(si.rd, "destination");
+    }
+    if (!halts)
+        rep.add("SEQ-HALT", name, -1, -1,
+                "no Halt instruction; kernel instances cannot terminate");
+}
+
+} // namespace dlp::check

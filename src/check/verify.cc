@@ -1,0 +1,133 @@
+#include "check/verify.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+
+#include "check/rules.hh"
+#include "common/logging.hh"
+
+namespace dlp::check {
+
+namespace {
+
+void
+checkPlanReg(const std::string &program, unsigned reg, unsigned limit,
+             const char *what, Report &rep)
+{
+    if (reg >= limit) {
+        std::ostringstream os;
+        os << what << " r" << reg << " >= " << limit
+           << " machine registers";
+        rep.add("CFG-REG", program, -1, -1, os.str());
+    }
+}
+
+} // namespace
+
+Report
+verify(const MappedProgram &prog, const core::MachineParams &m)
+{
+    panic_if(!!prog.simd == !!prog.mimd,
+             "check::verify needs exactly one of simd/mimd");
+    Report rep;
+    rep.config = m.name;
+
+    if (prog.simd) {
+        const sched::SimdPlan &plan = *prog.simd;
+        rep.program = plan.name;
+        checkPlanReg(plan.name, plan.recBaseReg, m.numRegs,
+                     "record-base register", rep);
+        for (const auto &[reg, value] : plan.initialRegs) {
+            (void)value;
+            checkPlanReg(plan.name, reg, m.numRegs, "initial register",
+                         rep);
+        }
+        for (const auto &seg : plan.segments) {
+            BlockCtx ctx{m, prog.kernel, &plan.layout,
+                         plan.resident() || seg.activations > 1};
+            checkBlock(seg.block, ctx, rep);
+            ++rep.blocks;
+            rep.insts += seg.block.insts.size();
+        }
+    } else {
+        const sched::MimdPlan &plan = *prog.mimd;
+        rep.program = plan.name;
+        checkSeq(plan.program, m, prog.kernel, rep);
+        checkPlanReg(plan.name, plan.recIdxReg, m.tileRegs,
+                     "record-index register", rep);
+        checkPlanReg(plan.name, plan.strideReg, m.tileRegs,
+                     "stride register", rep);
+        checkPlanReg(plan.name, plan.recCountReg, m.tileRegs,
+                     "record-count register", rep);
+        for (const auto &[reg, value] : plan.initialRegs) {
+            (void)value;
+            checkPlanReg(plan.name, reg, m.tileRegs, "initial register",
+                         rep);
+        }
+        ++rep.blocks;
+        rep.insts += plan.program.code.size();
+    }
+
+    if (prog.kernel)
+        checkTableBudget(*prog.kernel, m, rep);
+    return rep;
+}
+
+Report
+verifyBlock(const isa::MappedBlock &block, const core::MachineParams &m,
+            const BlockOptions &opts)
+{
+    Report rep;
+    rep.program = block.name;
+    rep.config = m.name;
+    BlockCtx ctx{m, opts.kernel, opts.layout, opts.revitalized};
+    checkBlock(block, ctx, rep);
+    rep.blocks = 1;
+    rep.insts = block.insts.size();
+    return rep;
+}
+
+Report
+verifySeq(const isa::SeqProgram &prog, const core::MachineParams &m,
+          const kernels::Kernel *kernel)
+{
+    Report rep;
+    rep.program = prog.name;
+    rep.config = m.name;
+    checkSeq(prog, m, kernel, rep);
+    rep.blocks = 1;
+    rep.insts = prog.code.size();
+    return rep;
+}
+
+namespace {
+
+std::atomic<int> checkOverride{-1};
+
+bool
+envCheck()
+{
+    static const bool on = [] {
+        const char *e = std::getenv("DLP_CHECK");
+        return e && *e && std::string(e) != "0";
+    }();
+    return on;
+}
+
+} // namespace
+
+bool
+checkEnabled()
+{
+    int s = checkOverride.load(std::memory_order_relaxed);
+    return s >= 0 ? s != 0 : envCheck();
+}
+
+void
+setCheckEnabled(bool on)
+{
+    checkOverride.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+} // namespace dlp::check

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The static SPDI verifier: pre-execution linting of scheduled programs.
+ *
+ * The scheduler's output -- placed dataflow blocks (SimdPlan) or
+ * per-tile sequential programs (MimdPlan) -- is supposed to uphold the
+ * structural invariants the TRIPS-style block format demands: every
+ * operand slot fed by exactly one producer, every target in range, an
+ * acyclic operand graph, placements inside the grid, aliasing memory
+ * accesses ordered by a token edge, persistence bits consistent with the
+ * machine's revitalization mechanisms. verify() decides all of them
+ * statically and returns a Report of structured diagnostics, so a
+ * lowering bug is rejected at mapping time with a rule ID and location
+ * instead of surfacing as a wrong word thousands of simulated cycles
+ * later (or never).
+ *
+ * Checking is opt-in at run time: pass `--check` to the benches and
+ * examples or set DLP_CHECK=1; the processor then verifies every plan it
+ * is about to execute and refuses to run one with Error findings. The
+ * `lint_ir` example lints the whole kernel catalog across every Table 5
+ * configuration without simulating anything.
+ */
+
+#ifndef DLP_CHECK_VERIFY_HH
+#define DLP_CHECK_VERIFY_HH
+
+#include "check/report.hh"
+#include "core/machine.hh"
+#include "isa/mapped.hh"
+#include "isa/seq.hh"
+#include "kernels/ir.hh"
+#include "sched/plan.hh"
+
+namespace dlp::check {
+
+/** A scheduled program: exactly one of the two plan pointers is set. */
+struct MappedProgram
+{
+    const sched::SimdPlan *simd = nullptr;
+    const sched::MimdPlan *mimd = nullptr;
+    /// The kernel the plan was lowered from; enables the lookup-table
+    /// rules when present.
+    const kernels::Kernel *kernel = nullptr;
+};
+
+/** Verify a scheduled program against a machine configuration. */
+Report verify(const MappedProgram &prog, const core::MachineParams &m);
+
+/** Context knobs for single-block verification (unit tests). */
+struct BlockOptions
+{
+    /// Treat the block as re-fired by revitalization (operand
+    /// persistence across activations matters).
+    bool revitalized = true;
+    /// Stream layout for the memory-ordering region analysis.
+    const sched::StreamLayout *layout = nullptr;
+    const kernels::Kernel *kernel = nullptr;
+};
+
+/** Verify one hand-built mapped block. */
+Report verifyBlock(const isa::MappedBlock &block,
+                   const core::MachineParams &m,
+                   const BlockOptions &opts = {});
+
+/** Verify one sequential (MIMD) program. */
+Report verifySeq(const isa::SeqProgram &prog,
+                 const core::MachineParams &m,
+                 const kernels::Kernel *kernel = nullptr);
+
+/// @name Process-wide check switch.
+/// Explicit setCheckEnabled() wins; otherwise the DLP_CHECK environment
+/// variable decides (any value except "" and "0" enables).
+/// @{
+bool checkEnabled();
+void setCheckEnabled(bool on);
+/// @}
+
+} // namespace dlp::check
+
+#endif // DLP_CHECK_VERIFY_HH

@@ -24,17 +24,37 @@ std::string
 disasm(const MappedInst &mi)
 {
     std::ostringstream os;
-    os << "[" << int(mi.row) << "," << int(mi.col) << ":" << int(mi.slot)
-       << "] " << opName(mi.op);
+    os << "[" << int(mi.row) << "," << int(mi.col) << ":" << int(mi.slot);
+    if (mi.regTile)
+        os << "r";
+    os << "] " << opName(mi.op);
     if (mi.op == Op::Movi || mi.op == Op::Read || mi.op == Op::Write)
         os << " #" << mi.imm;
+    else if (mi.immB)
+        os << " b=#" << mi.imm; // second operand from the immediate field
     if (mi.space != MemSpace::None) {
         os << " @" << spaceName(mi.space);
-        if (mi.op == Op::Lmw)
+        if (mi.op == Op::Lmw) {
             os << " x" << int(mi.lmwCount);
+            if (mi.lmwStride != 1)
+                os << "*" << int(mi.lmwStride);
+        }
         if (mi.op == Op::Tld)
             os << " t" << mi.tableId;
     }
+    // Operand-revitalization state: which waiting slots survive a
+    // revitalize, and whether the instruction fires only once.
+    bool anyPersistent = false;
+    for (unsigned s = 0; s < mi.numSrcs && s < maxSrcs; ++s)
+        anyPersistent |= mi.persistent[s];
+    if (anyPersistent) {
+        os << " ^p";
+        for (unsigned s = 0; s < mi.numSrcs && s < maxSrcs; ++s)
+            if (mi.persistent[s])
+                os << s;
+    }
+    if (mi.onceOnly)
+        os << " !once";
     if (!mi.targets.empty()) {
         os << " ->";
         for (const auto &t : mi.targets) {

@@ -52,8 +52,11 @@ makeMd5()
     Value d0 = b.opImm(isa::Op::Shr, w9, 32);
 
     Value tcon[64];
-    for (int i = 0; i < 64; ++i)
-        tcon[i] = b.constant("T" + std::to_string(i), T[i]);
+    for (int i = 0; i < 64; ++i) {
+        std::string cname = "T";
+        cname += std::to_string(i);
+        tcon[i] = b.constant(cname, T[i]);
+    }
 
     Value a = a0, bb = b0, c = c0, d = d0;
     for (int i = 0; i < 64; ++i) {
@@ -114,7 +117,9 @@ makeBlowfish()
     uint16_t sT[4];
     for (int i = 0; i < 4; ++i) {
         std::vector<Word> box(bf.sBoxes()[i].begin(), bf.sBoxes()[i].end());
-        sT[i] = b.addTable("s" + std::to_string(i), std::move(box));
+        std::string tname = "s";
+        tname += std::to_string(i);
+        sT[i] = b.addTable(tname, std::move(box));
     }
     Value p16 = b.constant("P16", bf.pArray()[16]);
     Value p17 = b.constant("P17", bf.pArray()[17]);
@@ -175,7 +180,9 @@ makeRijndael()
     uint16_t tT[4];
     for (int i = 0; i < 4; ++i) {
         std::vector<Word> tab(T[i].begin(), T[i].end());
-        tT[i] = b.addTable("t" + std::to_string(i), std::move(tab));
+        std::string tname = "t";
+        tname += std::to_string(i);
+        tT[i] = b.addTable(tname, std::move(tab));
     }
     std::vector<Word> sboxTab(sbox.begin(), sbox.end());
     uint16_t sT = b.addTable("sbox", std::move(sboxTab));

@@ -419,7 +419,8 @@ class Linearizer
             si.immB = n.immB;
             si.overhead = n.overhead;
             const auto &info = isa::opInfo(n.op);
-            for (unsigned s = 0; s < info.numSrcs; ++s) {
+            for (unsigned s = 0; s < info.numSrcs && s < isa::maxSrcs;
+                 ++s) {
                 if (s == 1 && n.immB)
                     continue;
                 si.rs[s] = regOf(n.src[s]);

@@ -6,10 +6,13 @@
 
 #include "arch/configs.hh"
 #include "arch/processor.hh"
+#include "check/verify.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "kernels/interp.hh"
 #include "kernels/workload.hh"
+#include "sched/linearize.hh"
+#include "sched/simd_lowering.hh"
 #include "verify/audit.hh"
 
 namespace dlp::verify {
@@ -335,6 +338,41 @@ runCase(const FuzzCase &fc, const std::string &config, bool audit)
     }
 }
 
+/**
+ * Run the static verifier over the plan (kern, config) would execute:
+ * the same layout and lowering the processor uses.
+ */
+check::Report
+staticReport(const Kernel &kern, const std::string &config)
+{
+    core::MachineParams m = arch::configByName(config);
+    uint64_t chunkRecords = 0;
+    sched::StreamLayout layout =
+        arch::makeStreamLayout(kern, m, chunkRecords);
+    check::MappedProgram prog;
+    prog.kernel = &kern;
+    sched::SimdPlan simd;
+    sched::MimdPlan mimd;
+    if (m.mech.localPC) {
+        mimd = sched::lowerMimd(kern, m, layout);
+        prog.mimd = &mimd;
+    } else {
+        simd = sched::lowerSimd(kern, m, layout);
+        prog.simd = &simd;
+    }
+    return check::verify(prog, m);
+}
+
+/** First Error-severity rule of a report, or "". */
+std::string
+firstErrorRule(const check::Report &rep)
+{
+    for (const auto &d : rep.diags)
+        if (d.severity == check::Severity::Error)
+            return d.rule;
+    return "";
+}
+
 /** Does (opts, config) still fail? Generator crashes count as failures. */
 bool
 stillFails(const FuzzOptions &opts, const std::string &config,
@@ -459,6 +497,8 @@ replayCommand(const FuzzOptions &opts, const std::string &config)
         os << " --no-cached";
     if (!opts.scratch)
         os << " --no-scratch";
+    if (opts.staticCheck)
+        os << " --static-check";
     os << " --configs " << config;
     return os.str();
 }
@@ -492,8 +532,33 @@ fuzzOne(const FuzzOptions &opts)
     for (const auto &config : o.configs) {
         ++rep.runs;
         RunOutcome out = runCase(fc, config, o.audit);
-        if (!out.failed)
+        if (!out.failed) {
+            // Dynamically clean: a static Error here is a verifier
+            // false positive, which is itself a counterexample.
+            if (o.staticCheck) {
+                check::Report sr;
+                try {
+                    sr = staticReport(fc.kern, config);
+                } catch (const std::exception &) {
+                    continue; // the processor's lowering succeeded
+                }
+                if (sr.errors() > 0) {
+                    FuzzFailure f;
+                    f.seed = o.seed;
+                    f.config = config;
+                    f.kind = "static";
+                    f.detail = "static verifier rejects a dynamically "
+                               "clean program: " +
+                               sr.describe();
+                    f.shrunk = o;
+                    f.replay = replayCommand(o, config);
+                    f.staticallyCaught = true;
+                    f.staticRule = firstErrorRule(sr);
+                    rep.failures.push_back(std::move(f));
+                }
+            }
             continue;
+        }
         FuzzFailure f;
         f.seed = o.seed;
         f.config = config;
@@ -501,6 +566,24 @@ fuzzOne(const FuzzOptions &opts)
         f.detail = out.detail;
         f.shrunk = shrinkOptions(o, config, rep.runs);
         f.replay = replayCommand(f.shrunk, config);
+        if (o.staticCheck) {
+            // The coverage assertion: a dynamically diverging program
+            // must trip a static rule or be logged as a gap.
+            try {
+                std::string rule = firstErrorRule(
+                    staticReport(fc.kern, config));
+                f.staticallyCaught = !rule.empty();
+                f.staticRule = rule;
+            } catch (const std::exception &e) {
+                f.staticallyCaught = true;
+                f.staticRule = std::string("(lowering: ") + e.what() +
+                               ")";
+            }
+            if (f.staticallyCaught)
+                ++rep.staticallyCaught;
+            else
+                ++rep.staticGaps;
+        }
         rep.failures.push_back(std::move(f));
     }
     return rep;
@@ -515,6 +598,8 @@ fuzzSeeds(const std::vector<uint64_t> &seeds, const FuzzOptions &base)
         o.seed = seed;
         FuzzReport one = fuzzOne(o);
         rep.runs += one.runs;
+        rep.staticallyCaught += one.staticallyCaught;
+        rep.staticGaps += one.staticGaps;
         for (auto &f : one.failures)
             rep.failures.push_back(std::move(f));
     }

@@ -44,6 +44,15 @@ struct FuzzOptions
     bool cachedLoads = true;  ///< allow irregular (cached) loads
     bool scratch = true;      ///< allow scratch store/reload staging
     bool audit = true;        ///< evaluate the invariant auditor per run
+    /**
+     * Cross-validate the static verifier (src/check) against the
+     * dynamic differential: every dynamically diverging case is also
+     * run through check::verify -- it must either trip a static rule
+     * (counted in FuzzReport::staticallyCaught) or be logged as a
+     * static-coverage gap; a case that passes dynamically but has
+     * static Error findings is itself a failure (kind "static").
+     */
+    bool staticCheck = false;
 
     /** Configurations to run; empty means all of Table 5. */
     std::vector<std::string> configs;
@@ -54,10 +63,16 @@ struct FuzzFailure
 {
     uint64_t seed = 0;
     std::string config;
-    std::string kind;   ///< "mismatch", "exception" or "audit"
+    std::string kind;   ///< "mismatch", "exception", "audit" or "static"
     std::string detail; ///< first differing word / what() / violation
     FuzzOptions shrunk; ///< smallest options still reproducing it
     std::string replay; ///< one-line fuzz_ir command reproducing it
+
+    /// @name Static cross-validation (staticCheck mode only).
+    /// @{
+    bool staticallyCaught = false; ///< check::verify also rejects it
+    std::string staticRule;        ///< first Error rule it trips
+    /// @}
 };
 
 /** Outcome of a fuzzing session. */
@@ -65,6 +80,12 @@ struct FuzzReport
 {
     uint64_t runs = 0; ///< (seed, config) simulations executed
     std::vector<FuzzFailure> failures; ///< already minimized
+
+    /// @name Static cross-validation tallies (staticCheck mode only).
+    /// @{
+    uint64_t staticallyCaught = 0; ///< dynamic failures check also rejects
+    uint64_t staticGaps = 0;       ///< dynamic failures check misses
+    /// @}
 
     bool clean() const { return failures.empty(); }
 };

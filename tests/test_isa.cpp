@@ -150,3 +150,77 @@ TEST(Disasm, MentionsOpcodeAndTargets)
     EXPECT_NE(s.find("add"), std::string::npos);
     EXPECT_NE(s.find("i7"), std::string::npos);
 }
+
+TEST(Disasm, GoldenMappedInstructions)
+{
+    // Placement, operands, memory attributes, revitalization state and
+    // targets all print; these strings are what the trace logs and the
+    // static verifier's diagnostics embed.
+    MappedInst add;
+    add.op = Op::Add;
+    add.row = 1;
+    add.col = 2;
+    add.slot = 5;
+    add.numSrcs = 2;
+    add.immB = true;
+    add.imm = 10;
+    add.persistent[1] = true;
+    add.targets.push_back(Target{7, 1, 0});
+    add.overhead = true;
+    EXPECT_EQ(disasm(add), "[1,2:5] add b=#10 ^p1 -> i7.1 ;ovh");
+
+    MappedInst lmw;
+    lmw.op = Op::Lmw;
+    lmw.numSrcs = 1;
+    lmw.space = MemSpace::Smc;
+    lmw.lmwCount = 4;
+    lmw.lmwStride = 2;
+    lmw.targets.push_back(Target{3, 0, 0});
+    lmw.targets.push_back(Target{4, 0, 3});
+    EXPECT_EQ(disasm(lmw), "[0,0:0] lmw @smc x4*2 -> i3.0 i4.0w3");
+
+    MappedInst rd;
+    rd.op = Op::Read;
+    rd.imm = 19;
+    rd.regTile = true;
+    rd.onceOnly = true;
+    rd.targets.push_back(Target{1, 0, 0});
+    EXPECT_EQ(disasm(rd), "[0,0:0r] read #19 !once -> i1.0");
+
+    MappedInst tld;
+    tld.op = Op::Tld;
+    tld.numSrcs = 1;
+    tld.space = MemSpace::Table;
+    tld.tableId = 2;
+    EXPECT_EQ(disasm(tld), "[0,0:0] tld @tab t2");
+}
+
+TEST(Disasm, GoldenSeqInstruction)
+{
+    SeqInst si;
+    si.op = Op::St;
+    si.rs[0] = 3;
+    si.rs[1] = 4;
+    si.imm = 8;
+    si.space = MemSpace::Smc;
+    EXPECT_EQ(disasm(si), "st r0, r3, r4, #8 @smc");
+}
+
+TEST(Disasm, BlockListingCarriesPlacementPerLine)
+{
+    MappedBlock b;
+    b.name = "demo";
+    b.rows = 2;
+    b.cols = 2;
+    b.slotsPerTile = 2;
+    MappedInst mi;
+    mi.op = Op::Movi;
+    mi.imm = 42;
+    mi.row = 1;
+    mi.col = 1;
+    mi.slot = 1;
+    b.insts.push_back(mi);
+    std::string s = disasm(b);
+    EXPECT_NE(s.find("block demo"), std::string::npos);
+    EXPECT_NE(s.find("i0: [1,1:1] movi #42"), std::string::npos);
+}

@@ -64,8 +64,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "fragment-simple", "vertex-reflection",
                       "fragment-reflection", "vertex-skinning",
                       "anisotropic-filter"),
-    [](const ::testing::TestParamInfo<const char *> &info) {
-        std::string n = info.param;
+    [](const ::testing::TestParamInfo<const char *> &param) {
+        std::string n = param.param;
         for (auto &c : n)
             if (c == '-')
                 c = '_';

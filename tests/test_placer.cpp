@@ -8,9 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <tuple>
 
 #include "arch/configs.hh"
+#include "arch/processor.hh"
+#include "kernels/catalog.hh"
 #include "sched/placer.hh"
+#include "sched/simd_lowering.hh"
 
 using namespace dlp;
 using namespace dlp::sched;
@@ -124,4 +128,33 @@ TEST(Placer, ConsumersLandNearProducers)
         std::abs(int(b.insts[0].row) - int(b.insts[1].row)) +
         std::abs(int(b.insts[0].col) - int(b.insts[1].col));
     EXPECT_LE(dist, 2u);
+}
+
+TEST(Placer, NoSharedStationsAcrossTheCatalog)
+{
+    // Every placed block of every kernel x SIMD-configuration pair:
+    // no two instructions may occupy the same reservation station
+    // (row, col, slot); register-tile Read/Write are slot-exempt.
+    for (const char *configName : {"baseline", "S", "S-O", "S-O-D"}) {
+        core::MachineParams m = arch::configByName(configName);
+        for (const auto &k : kernels::allKernels()) {
+            uint64_t chunkRecords = 0;
+            sched::StreamLayout layout =
+                arch::makeStreamLayout(k, m, chunkRecords);
+            sched::SimdPlan plan = sched::lowerSimd(k, m, layout);
+            for (const auto &seg : plan.segments) {
+                std::set<std::tuple<unsigned, unsigned, unsigned>> used;
+                for (const auto &mi : seg.block.insts) {
+                    if (mi.regTile)
+                        continue;
+                    EXPECT_TRUE(used.insert(
+                        {mi.row, mi.col, mi.slot}).second)
+                        << k.name << " on " << configName << ", block "
+                        << seg.block.name << ": station ("
+                        << int(mi.row) << "," << int(mi.col) << ":"
+                        << int(mi.slot) << ") used twice";
+                }
+            }
+        }
+    }
 }

@@ -85,9 +85,9 @@ allCases()
 INSTANTIATE_TEST_SUITE_P(
     AllKernelsAllConfigs, ProcessorCorrectness,
     ::testing::ValuesIn(allCases()),
-    [](const ::testing::TestParamInfo<Case> &info) {
-        std::string n = std::string(info.param.kernel) + "_" +
-                        info.param.config;
+    [](const ::testing::TestParamInfo<Case> &param) {
+        std::string n = std::string(param.param.kernel) + "_" +
+                        param.param.config;
         for (auto &ch : n)
             if (ch == '-')
                 ch = '_';

@@ -74,8 +74,9 @@ TEST_P(SimdLoweringProps, WellFormedOnEveryConfig)
                     EXPECT_FALSE(mi.onceOnly);
                 }
                 // Wide loads only when the SMC mechanism exists.
-                if (!m.mech.smc)
+                if (!m.mech.smc) {
                     EXPECT_NE(mi.op, isa::Op::Lmw);
+                }
             }
             EXPECT_LE(placeable,
                       static_cast<size_t>(m.totalSlots()));
@@ -123,8 +124,9 @@ TEST_P(MimdLoweringProps, WellFormed)
         EXPECT_LT(si.rd, m.tileRegs);
         for (unsigned s = 0; s < isa::opInfo(si.op).numSrcs; ++s)
             EXPECT_LT(si.rs[s], m.tileRegs);
-        if (isa::isCtrlOp(si.op) && si.op != isa::Op::Halt)
+        if (isa::isCtrlOp(si.op) && si.op != isa::Op::Halt) {
             EXPECT_LT(si.branchTarget, plan.program.code.size());
+        }
     }
 }
 

@@ -447,10 +447,16 @@ operator new[](std::size_t size)
     throw std::bad_alloc{};
 }
 
+// The replaced operator new above allocates with malloc, so free() is
+// the matching deallocator; GCC cannot see the pairing across the
+// replaced operators and warns.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void operator delete(void *p) noexcept { std::free(p); }
 void operator delete[](void *p) noexcept { std::free(p); }
 void operator delete(void *p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -583,8 +589,9 @@ TEST(SmallVec, MatchesStdVectorThroughMixedOperations)
         ASSERT_EQ(sv.size(), ref.size()) << "step " << step;
         for (size_t i = 0; i < ref.size(); ++i)
             ASSERT_EQ(sv[i], ref[i]) << "step " << step << " index " << i;
-        if (!ref.empty())
+        if (!ref.empty()) {
             ASSERT_EQ(sv.back(), ref.back());
+        }
     }
 }
 

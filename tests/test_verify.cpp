@@ -296,9 +296,9 @@ TEST(FuzzerRegression, ScratchStoreThenReloadOrdersCorrectly)
         uint64_t n;
         bool done = false;
         std::string mismatch;
-        Batch(kernels::Kernel kern, std::vector<Word> i,
+        Batch(kernels::Kernel kn, std::vector<Word> i,
               std::vector<Word> e, uint64_t rec)
-            : Workload(std::move(kern)), in(std::move(i)),
+            : Workload(std::move(kn)), in(std::move(i)),
               exp(std::move(e)), n(rec)
         {}
         bool nextBatch(std::vector<Word> &input,
