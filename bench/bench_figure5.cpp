@@ -16,6 +16,10 @@
  * --audit (or DLP_AUDIT=1) evaluates the conservation invariants on
  * every run; --check (or DLP_CHECK=1) statically verifies every
  * scheduled program before it runs and aborts on Error findings.
+ * --trace-out=FILE captures a Chrome-trace/Perfetto timeline of the
+ * grid; --timeseries=N samples every stat each N simulated ticks into
+ * the per-experiment "timeseries" JSON object (also DLP_TIMELINE /
+ * DLP_TIMESERIES).
  */
 
 #include <chrono>
@@ -31,6 +35,7 @@
 #include "common/logging.hh"
 #include "check/verify.hh"
 #include "driver/job_pool.hh"
+#include "obs/timeline.hh"
 #include "verify/audit.hh"
 
 using namespace dlp;
@@ -51,6 +56,21 @@ main(int argc, char **argv)
             verify::setAuditEnabled(true);
         else if (std::strcmp(argv[i], "--check") == 0)
             check::setCheckEnabled(true);
+        else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+            obs::setOutputPath(argv[i] + 12);
+            obs::setRecording(true);
+        } else if (std::strcmp(argv[i], "--trace-out") == 0 &&
+                   i + 1 < argc) {
+            obs::setOutputPath(argv[++i]);
+            obs::setRecording(true);
+        } else if (std::strncmp(argv[i], "--timeseries=", 13) == 0) {
+            obs::setTimeseriesInterval(
+                std::strtoull(argv[i] + 13, nullptr, 10));
+        } else if (std::strcmp(argv[i], "--timeseries") == 0 &&
+                   i + 1 < argc) {
+            obs::setTimeseriesInterval(
+                std::strtoull(argv[++i], nullptr, 10));
+        }
     }
     unsigned effectiveJobs = jobs ? jobs : driver::JobPool::defaultWorkers();
 
@@ -144,5 +164,10 @@ main(int argc, char **argv)
     doc.set("meanSpeedups", std::move(means));
     writeJsonFile("BENCH_figure5.json", doc);
     std::cout << "\nWrote BENCH_figure5.json\n";
+
+    std::string tracePath = obs::finish();
+    if (!tracePath.empty())
+        std::cout << "Wrote timeline " << tracePath
+                  << " (open in Perfetto or chrome://tracing)\n";
     return auditViolations ? 1 : 0;
 }

@@ -8,11 +8,15 @@
  * test; absolute values depend on the authors' simulator internals.
  *
  * Usage: bench_table4 [--quick] [--jobs N] [--audit] [--check]
+ *                     [--trace-out=FILE] [--timeseries=N]
  * The 13 baseline simulations are independent; --jobs (or DLP_JOBS)
  * runs them concurrently on the sweep driver. --audit (or DLP_AUDIT=1)
  * checks every run against the conservation invariants and fails the
  * bench on any violation. --check (or DLP_CHECK=1) statically verifies
  * every scheduled program before it runs; Error findings abort.
+ * --trace-out=FILE captures a Chrome-trace/Perfetto timeline;
+ * --timeseries=N samples every stat each N simulated ticks (also
+ * DLP_TIMELINE / DLP_TIMESERIES).
  */
 
 #include <chrono>
@@ -28,6 +32,7 @@
 #include "check/verify.hh"
 #include "common/logging.hh"
 #include "driver/sweep.hh"
+#include "obs/timeline.hh"
 #include "verify/audit.hh"
 
 using namespace dlp;
@@ -48,6 +53,21 @@ main(int argc, char **argv)
             verify::setAuditEnabled(true);
         else if (std::strcmp(argv[i], "--check") == 0)
             check::setCheckEnabled(true);
+        else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+            obs::setOutputPath(argv[i] + 12);
+            obs::setRecording(true);
+        } else if (std::strcmp(argv[i], "--trace-out") == 0 &&
+                   i + 1 < argc) {
+            obs::setOutputPath(argv[++i]);
+            obs::setRecording(true);
+        } else if (std::strncmp(argv[i], "--timeseries=", 13) == 0) {
+            obs::setTimeseriesInterval(
+                std::strtoull(argv[i] + 13, nullptr, 10));
+        } else if (std::strcmp(argv[i], "--timeseries") == 0 &&
+                   i + 1 < argc) {
+            obs::setTimeseriesInterval(
+                std::strtoull(argv[++i], nullptr, 10));
+        }
     }
 
     static const std::map<std::string, double> paper = {
@@ -124,5 +144,10 @@ main(int argc, char **argv)
     doc.set("paperOpsPerCycle", std::move(ref));
     writeJsonFile("BENCH_table4.json", doc);
     std::cout << "\nWrote BENCH_table4.json\n";
+
+    std::string tracePath = obs::finish();
+    if (!tracePath.empty())
+        std::cout << "Wrote timeline " << tracePath
+                  << " (open in Perfetto or chrome://tracing)\n";
     return auditViolations ? 1 : 0;
 }

@@ -28,6 +28,13 @@
  *   --check              statically verify every scheduled program
  *                        before it runs (also: DLP_CHECK=1); a plan
  *                        with Error findings aborts the sweep
+ *   --trace-out FILE     capture a timeline of the sweep (simulated
+ *                        spans + host-side cells/fixtures/jobs) as
+ *                        Chrome trace JSON, loadable in Perfetto
+ *                        (also: DLP_TIMELINE=FILE)
+ *   --timeseries N       sample every registered stat each N simulated
+ *                        ticks into the per-experiment "timeseries"
+ *                        JSON object (also: DLP_TIMESERIES=N)
  */
 
 #include <chrono>
@@ -47,6 +54,7 @@
 #include "kernels/catalog.hh"
 #include "kernels/workload.hh"
 #include "check/verify.hh"
+#include "obs/timeline.hh"
 #include "verify/audit.hh"
 
 using namespace dlp;
@@ -138,6 +146,18 @@ main(int argc, char **argv)
             verify::setAuditEnabled(true);
         } else if (std::strcmp(argv[i], "--check") == 0) {
             check::setCheckEnabled(true);
+        } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+            obs::setOutputPath(argv[i] + 12);
+            obs::setRecording(true);
+        } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+            obs::setOutputPath(value(i));
+            obs::setRecording(true);
+        } else if (std::strncmp(argv[i], "--timeseries=", 13) == 0) {
+            obs::setTimeseriesInterval(
+                std::strtoull(argv[i] + 13, nullptr, 10));
+        } else if (std::strcmp(argv[i], "--timeseries") == 0) {
+            obs::setTimeseriesInterval(
+                std::strtoull(value(i), nullptr, 10));
         } else {
             fatal("unknown option '%s' (see the header of "
                   "examples/sweep.cpp)", argv[i]);
@@ -209,5 +229,10 @@ main(int argc, char **argv)
     doc.set("wallSeconds", wallSeconds);
     analysis::writeJsonFile(jsonPath, doc);
     std::printf("wrote %s\n", jsonPath.c_str());
+
+    std::string tracePath = obs::finish();
+    if (!tracePath.empty())
+        std::printf("wrote timeline %s (open in Perfetto or "
+                    "chrome://tracing)\n", tracePath.c_str());
     return auditViolations ? 1 : 0;
 }

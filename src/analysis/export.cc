@@ -134,6 +134,38 @@ toJson(const arch::ExperimentResult &result)
         obj.set("check", std::move(chk));
     }
 
+    // Periodic stat samples over simulated time, present only when a
+    // sampling interval was configured (same shape-stability contract
+    // as "audit"/"check"). Delta columns (isLevel false) sum to the
+    // corresponding final aggregates in "statGroups"; level columns are
+    // instantaneous formula values.
+    if (result.timeseries.present()) {
+        const obs::TimeSeries &ts = result.timeseries;
+        json::Value series = json::Value::object();
+        series.set("intervalTicks", ts.intervalTicks);
+        json::Value names = json::Value::array();
+        for (const auto &n : ts.statNames)
+            names.push(n);
+        series.set("stats", std::move(names));
+        json::Value levels = json::Value::array();
+        for (bool level : ts.isLevel)
+            levels.push(level);
+        series.set("isLevel", std::move(levels));
+        json::Value ticks = json::Value::array();
+        for (uint64_t t : ts.ticks)
+            ticks.push(t);
+        series.set("ticks", std::move(ticks));
+        json::Value rows = json::Value::array();
+        for (const auto &row : ts.samples) {
+            json::Value vals = json::Value::array();
+            for (double v : row)
+                vals.push(v);
+            rows.push(std::move(vals));
+        }
+        series.set("samples", std::move(rows));
+        obj.set("timeseries", std::move(series));
+    }
+
     json::Value groups = json::Value::array();
     for (const auto &g : result.statGroups)
         groups.push(toJson(g));

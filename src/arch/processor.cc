@@ -7,6 +7,7 @@
 #include "check/verify.hh"
 #include "common/bitutils.hh"
 #include "common/logging.hh"
+#include "obs/timeline.hh"
 #include "sched/linearize.hh"
 #include "sched/simd_lowering.hh"
 
@@ -133,12 +134,17 @@ TripsProcessor::runSimd(Workload &workload)
     res.kernel = k.name;
     res.config = m.name;
 
+    obs::HostSpan expSpan(obs::Cat::Driver, "experiment",
+                          k.name + "/" + m.name);
     HostTimer timer;
     uint64_t chunkRecords = 0;
     sched::StreamLayout layout = makeStreamLayout(k, m, chunkRecords);
     sched::SimdPlan plan = sched::lowerSimd(k, m, layout);
-    if (check::checkEnabled())
+    if (check::checkEnabled()) {
+        obs::HostSpan checkSpan(obs::Cat::Check, "staticCheck",
+                                k.name + "/" + m.name);
         gateOnCheck(res, check::verify({&plan, nullptr, &k}, m));
+    }
 
     mem::MemorySystem memory(m.memParams, m.mech.smc, m.hopTicks);
     workload.populateIrregular([&memory](Addr a, Word w) {
@@ -147,6 +153,17 @@ TripsProcessor::runSimd(Workload &workload)
 
     core::BlockEngine engine(m, memory);
     engine.setTables(&k.tables);
+
+    // Periodic stat sampling (off when the interval is zero): the
+    // engine polls the sampler at activation boundaries, and the
+    // closing row at the final tick makes the delta columns sum to the
+    // end-of-run aggregates exactly.
+    obs::StatSampler sampler(obs::timeseriesInterval(),
+                             {&engine.statsGroup(),
+                              &engine.network().statsGroup(),
+                              &memory.smc().statsGroup(),
+                              &memory.statsGroup()});
+    engine.setSampler(&sampler);
 
     std::vector<Word> input;
     uint64_t records;
@@ -173,7 +190,10 @@ TripsProcessor::runSimd(Workload &workload)
                                        engine.now());
                 engine.advanceTo(done);
             }
+            Tick chunkStart = engine.now();
             core::RunStats stats = engine.run(plan, count);
+            OBS_SIM_SPAN(Engine, "chunk", chunkStart,
+                         engine.now() - chunkStart, count);
             fill(res, stats);
             readChunk(memory, layout, k, output, count);
             ++chunks;
@@ -181,6 +201,9 @@ TripsProcessor::runSimd(Workload &workload)
         workload.consumeOutput(output);
         res.records += records;
     }
+
+    engine.setSampler(nullptr);
+    res.timeseries = sampler.finalize(engine.now());
 
     res.statGroups.push_back(engine.statsGroup().snapshot());
     res.statGroups.push_back(engine.network().statsGroup().snapshot());
@@ -204,12 +227,17 @@ TripsProcessor::runMimd(Workload &workload)
     res.kernel = k.name;
     res.config = m.name;
 
+    obs::HostSpan expSpan(obs::Cat::Driver, "experiment",
+                          k.name + "/" + m.name);
     HostTimer timer;
     uint64_t chunkRecords = 0;
     sched::StreamLayout layout = makeStreamLayout(k, m, chunkRecords);
     sched::MimdPlan plan = sched::lowerMimd(k, m, layout);
-    if (check::checkEnabled())
+    if (check::checkEnabled()) {
+        obs::HostSpan checkSpan(obs::Cat::Check, "staticCheck",
+                                k.name + "/" + m.name);
         gateOnCheck(res, check::verify({nullptr, &plan, &k}, m));
+    }
 
     mem::MemorySystem memory(m.memParams, m.mech.smc, m.hopTicks);
     workload.populateIrregular([&memory](Addr a, Word w) {
@@ -218,6 +246,13 @@ TripsProcessor::runMimd(Workload &workload)
 
     core::MimdEngine engine(m, memory);
     engine.setTables(&k.tables);
+
+    obs::StatSampler sampler(obs::timeseriesInterval(),
+                             {&engine.statsGroup(),
+                              &engine.network().statsGroup(),
+                              &memory.smc().statsGroup(),
+                              &memory.statsGroup()});
+    engine.setSampler(&sampler);
 
     std::vector<Word> input;
     uint64_t records;
@@ -238,13 +273,19 @@ TripsProcessor::runMimd(Workload &workload)
                                        engine.now());
                 engine.advanceTo(done);
             }
+            Tick chunkStart = engine.now();
             core::RunStats stats = engine.run(plan, count);
+            OBS_SIM_SPAN(Engine, "chunk", chunkStart,
+                         engine.now() - chunkStart, count);
             fill(res, stats);
             readChunk(memory, layout, k, output, count);
         }
         workload.consumeOutput(output);
         res.records += records;
     }
+
+    engine.setSampler(nullptr);
+    res.timeseries = sampler.finalize(engine.now());
 
     res.statGroups.push_back(engine.statsGroup().snapshot());
     res.statGroups.push_back(engine.network().statsGroup().snapshot());

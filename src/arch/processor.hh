@@ -25,6 +25,7 @@
 #include "core/machine.hh"
 #include "core/mimd_engine.hh"
 #include "kernels/workload.hh"
+#include "obs/sampler.hh"
 #include "sched/plan.hh"
 
 namespace dlp::arch {
@@ -90,6 +91,14 @@ struct ExperimentResult
      * the processor and ride into the JSON exporter.
      */
     std::vector<GroupSnapshot> statGroups;
+
+    /**
+     * Periodic stat samples over simulated time (empty unless a
+     * sampling interval was configured -- DLP_TIMESERIES or the
+     * --timeseries flag). Delta columns sum to the final aggregates;
+     * the exporter emits this as the "timeseries" JSON object.
+     */
+    obs::TimeSeries timeseries;
 
     /// @name Post-run invariant audit (populated only when auditing is
     /// enabled; see verify::auditAndRecord). audited distinguishes "not

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdarg>
+#include <list>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -12,13 +13,24 @@ namespace {
 
 std::atomic<bool> quietFlag{false};
 
-/// Occurrence counts of distinct warn() messages, for rate limiting.
-/// Bounded: a pathological stream of unique messages clears the table
-/// rather than growing it without limit. Guarded by warnMutex: warn()
-/// is called from the sweep driver's worker threads.
+/**
+ * Occurrence counts of distinct warn() messages, for rate limiting.
+ * Bounded by LRU eviction at warnTableLimit entries: a pathological
+ * stream of unique messages (long fuzz runs) evicts the
+ * least-recently-warned message instead of growing without limit or
+ * dropping the whole table (which would reset suppression for every
+ * live message at once). An evicted message that recurs is treated as
+ * new and warns again -- the acceptable failure mode. Guarded by
+ * warnMutex: warn() is called from the sweep driver's worker threads.
+ */
 std::mutex warnMutex;
-std::unordered_map<std::string, uint64_t> warnCounts;
-constexpr size_t warnTableLimit = 4096;
+struct WarnEntry
+{
+    std::string msg;
+    uint64_t count;
+};
+std::list<WarnEntry> warnLru; ///< most recently warned at the front
+std::unordered_map<std::string, std::list<WarnEntry>::iterator> warnIndex;
 
 } // namespace
 
@@ -65,9 +77,21 @@ warnMsg(const std::string &msg)
     if (quietFlag.load(std::memory_order_relaxed))
         return;
     std::lock_guard<std::mutex> lock(warnMutex);
-    if (warnCounts.size() >= warnTableLimit)
-        warnCounts.clear();
-    uint64_t n = ++warnCounts[msg];
+    uint64_t n;
+    auto it = warnIndex.find(msg);
+    if (it != warnIndex.end()) {
+        // Refresh recency and bump the count.
+        warnLru.splice(warnLru.begin(), warnLru, it->second);
+        n = ++warnLru.front().count;
+    } else {
+        if (warnIndex.size() >= warnTableLimit) {
+            warnIndex.erase(warnLru.back().msg);
+            warnLru.pop_back();
+        }
+        warnLru.push_front(WarnEntry{msg, 1});
+        warnIndex[msg] = warnLru.begin();
+        n = 1;
+    }
     if (n > warnRepeatLimit)
         return;
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
@@ -82,7 +106,23 @@ void
 resetWarnDeduplication()
 {
     std::lock_guard<std::mutex> lock(warnMutex);
-    warnCounts.clear();
+    warnLru.clear();
+    warnIndex.clear();
+}
+
+size_t
+warnTableSize()
+{
+    std::lock_guard<std::mutex> lock(warnMutex);
+    return warnIndex.size();
+}
+
+uint64_t
+warnOccurrences(const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(warnMutex);
+    auto it = warnIndex.find(msg);
+    return it != warnIndex.end() ? it->second->count : 0;
 }
 
 void

@@ -15,6 +15,8 @@
 #define DLP_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -59,8 +61,22 @@ void warnMsg(const std::string &msg);
 /** Repeats of one identical warn() message before suppression. */
 constexpr unsigned warnRepeatLimit = 5;
 
+/**
+ * Maximum distinct warn() messages tracked for rate limiting. Beyond
+ * this the least-recently-warned message is evicted (LRU), so the table
+ * stays bounded on long fuzz runs while suppression state for messages
+ * still firing is preserved.
+ */
+constexpr size_t warnTableLimit = 4096;
+
 /** Forget which warnings were already seen (tests / new experiments). */
 void resetWarnDeduplication();
+
+/** Distinct messages currently tracked by the dedup table (tests). */
+size_t warnTableSize();
+
+/** Occurrences recorded for one exact message, 0 if untracked (tests). */
+uint64_t warnOccurrences(const std::string &msg);
 
 /** Emit an informational message to stderr. */
 void informMsg(const std::string &msg);

@@ -345,6 +345,10 @@ class StatGroup
     {
         return vecs;
     }
+    const std::map<std::string, Formula> &allFormulas() const
+    {
+        return formulas;
+    }
 
   private:
     std::string name;

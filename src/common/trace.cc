@@ -4,6 +4,7 @@
 #include <iostream>
 #include <mutex>
 #include <sstream>
+#include <unordered_set>
 
 namespace dlp::trace {
 
@@ -89,8 +90,18 @@ setByName(const std::string &spec)
             return true;
         }
     }
-    warn("unknown trace flag '%s' (known: EventQ, Mesh, SMC, Cache, Mem, "
-         "Engine, Revit, Exec, All)", spec.c_str());
+    // Warn once per distinct unknown name: DLP_TRACE typos should be
+    // loud exactly once, not once per parseFlagList call (tools re-parse
+    // the list when building sub-configurations).
+    {
+        static std::mutex warnedMutex;
+        static std::unordered_set<std::string> warnedNames;
+        std::lock_guard<std::mutex> lock(warnedMutex);
+        if (warnedNames.insert(name).second) {
+            warn("unknown trace flag '%s' (known: EventQ, Mesh, SMC, Cache, "
+                 "Mem, Engine, Revit, Exec, All)", spec.c_str());
+        }
+    }
     return false;
 }
 

@@ -64,6 +64,7 @@ BlockEngine::BlockEngine(const MachineParams &params,
                                          16);
     activationsStat = &engStats.scalar("activations");
     revitalizesStat = &engStats.scalar("revitalizes");
+    signatureRepeatsStat = &engStats.scalar("signatureRepeats");
 
     // Lifetime event-queue counters, surfaced so the post-run auditor
     // can check the conservation law scheduled == executed + pending +
@@ -178,10 +179,14 @@ BlockEngine::run(const sched::SimdPlan &plan, uint64_t numRecords)
             DPRINTF(Revit,
                     "revitalize %s gap=%" PRIu64 " next at %" PRIu64,
                     block.name.c_str(), gapTicks, nextStart);
+            OBS_SIM_SPAN(Revit, "revitalize", prev, gapTicks,
+                         signatureStreak);
         }
         DPRINTF(Engine,
                 "pace: ii=%" PRIu64 " delta=%" PRIu64 " drainLen=%" PRIu64,
                 ii, nextStart - prev, actMaxTick - prev);
+        if (sampler)
+            sampler->maybeSample(drain);
     };
 
     if (plan.resident()) {
@@ -194,6 +199,8 @@ BlockEngine::run(const sched::SimdPlan &plan, uint64_t numRecords)
                        : mapTicks;
         nextStart += mapTicks;
         stats.mappings++;
+        OBS_SIM_SPAN(Engine, "map", nextStart - mapTicks, mapTicks,
+                     seg.block.insts.size());
         for (uint64_t a = 0; a < totalActs; ++a) {
             bool first = a == 0;
             if (!first && !m.mech.instRevitalize) {
@@ -218,6 +225,8 @@ BlockEngine::run(const sched::SimdPlan &plan, uint64_t numRecords)
                 // A different block must be fetched and mapped.
                 nextStart = std::max(nextStart, actMaxWrite) + mapTicks;
                 stats.mappings++;
+                OBS_SIM_SPAN(Engine, "map", nextStart - mapTicks, mapTicks,
+                             seg.block.insts.size());
                 for (uint64_t a = 0; a < seg.activations; ++a) {
                     bool first = a == 0;
                     if (!first && !m.mech.instRevitalize) {
@@ -263,6 +272,7 @@ BlockEngine::runActivation(const MappedBlock &block, Tick startTick,
     actMaxTick = startTick;
     actMaxIssue = startTick;
     actMaxWrite = startTick;
+    sigHash.reset();
 
     // Activations may start earlier than the previous activation's last
     // event (frames pipeline); the queue is empty here, so rewinding its
@@ -298,6 +308,27 @@ BlockEngine::runActivation(const MappedBlock &block, Tick startTick,
     Cycles span = ticksToCycles(actMaxIssue - startTick) + 1;
     issueWidth->sample(double(firedCount) / double(span));
     ++*activationsStat;
+
+    // Close the occupancy signature with the activation's envelope: two
+    // iterations with identical fire schedules but different drain or
+    // commit shapes are not the same steady state.
+    sigHash.add(actMaxTick - startTick);
+    sigHash.add(actMaxIssue - startTick);
+    sigHash.add(actMaxWrite - startTick);
+    sigHash.add(firedCount);
+    uint64_t digest = sigHash.digest();
+    if (!firstActivation && digest == lastSignature) {
+        ++signatureStreak;
+        ++*signatureRepeatsStat;
+    } else {
+        signatureStreak = 0;
+    }
+    lastSignature = digest;
+
+    OBS_SIM_SPAN(Engine, "activation", startTick, actMaxTick - startTick,
+                 firedCount);
+    OBS_SIM_COUNTER(EventQ, "eventsExecuted", actMaxTick,
+                    eq.executedEvents());
 
     stats.activations++;
 }
@@ -338,6 +369,12 @@ BlockEngine::execute(const MappedBlock &block, uint32_t idx, Tick ready,
     if (st.sawOperand && ready > st.firstOperand)
         operandWait->sample(double(ready - st.firstOperand));
     DPRINTF(Exec, "fire %s at %" PRIu64, isa::disasm(mi).c_str(), ready);
+    OBS_SIM_INSTANT(Exec, "fire", ready, idx);
+
+    // Feed the occupancy signature: which instruction fired, how far
+    // into the activation. Identical sequences => identical iterations.
+    sigHash.add(idx);
+    sigHash.add(ready - seedTick);
 
     Word a = st.operand[0];
     Word b = mi.immB ? mi.imm : st.operand[1];

@@ -26,6 +26,8 @@
 #include "kernels/ir.hh"
 #include "mem/memory_system.hh"
 #include "noc/mesh.hh"
+#include "obs/sampler.hh"
+#include "obs/timeline.hh"
 #include "sched/plan.hh"
 #include "sim/eventq.hh"
 #include "sim/resource.hh"
@@ -93,6 +95,28 @@ class BlockEngine
 
     /** Host-side count of discrete events executed across all runs. */
     uint64_t hostEvents() const { return eq.executedEvents(); }
+
+    /**
+     * Attach (or detach, with nullptr) a periodic stat sampler. The
+     * engine polls it at activation boundaries, so sampling never
+     * perturbs the event queue. The sampler must outlive the run.
+     */
+    void setSampler(obs::StatSampler *s) { sampler = s; }
+
+    /// @name Occupancy signature (the epoch fast-forwarding hook).
+    /// Every activation folds its fired instructions' (index, tick
+    /// offset) pairs and its occupancy envelope into a 64-bit digest;
+    /// equal digests mean the iteration replayed the same schedule.
+    /// ROADMAP item 1 consumes this to detect steady state.
+    /// @{
+
+    /** Digest of the most recently completed activation. */
+    uint64_t activationSignature() const { return lastSignature; }
+
+    /** Consecutive activations (so far) with identical signatures. */
+    uint64_t steadySignatureStreak() const { return signatureStreak; }
+
+    /// @}
 
   private:
     const char *dlpTraceName() const { return "block"; }
@@ -175,6 +199,12 @@ class BlockEngine
     Distribution *issueWidth = nullptr;  ///< insts/cycle per activation
     Stat *activationsStat = nullptr;
     Stat *revitalizesStat = nullptr;
+    Stat *signatureRepeatsStat = nullptr; ///< steady-state activations
+
+    obs::StatSampler *sampler = nullptr;
+    obs::SignatureHash sigHash;   ///< running digest of this activation
+    uint64_t lastSignature = 0;   ///< digest of the previous activation
+    uint64_t signatureStreak = 0; ///< consecutive identical digests
 
     std::vector<InstState> state;
 

@@ -88,6 +88,7 @@ MimdEngine::run(const sched::MimdPlan &plan, uint64_t numRecords)
         heap.emplace(start, t);
 
     Tick end = start;
+    Tick hiTick = start; ///< high-water mark for monotonic sampling
     while (!heap.empty()) {
         auto [when, tileIdx] = heap.top();
         heap.pop();
@@ -105,6 +106,9 @@ MimdEngine::run(const sched::MimdPlan &plan, uint64_t numRecords)
         }
 
         step(plan, ts, stats);
+        hiTick = std::max(hiTick, ts.cursor);
+        if (sampler)
+            sampler->maybeSample(hiTick);
 
         if (ts.pc >= plan.program.code.size()) {
             Tick tileEnd = std::max(ts.cursor, ts.lastEffect);
@@ -123,6 +127,11 @@ MimdEngine::run(const sched::MimdPlan &plan, uint64_t numRecords)
     for (const auto &ts : tiles)
         issueWidth->sample(double(ts.executed) / double(span));
     engStats.scalar("instsExecuted") += double(stats.instsExecuted);
+
+    OBS_SIM_SPAN(Engine, "mimd.setup", curTick, start - curTick,
+                 setupWords);
+    OBS_SIM_SPAN(Engine, "mimd.run", start, end - start,
+                 stats.instsExecuted);
 
     stats.cycles = ticksToCycles(end - curTick);
     curTick = end;
@@ -168,6 +177,7 @@ MimdEngine::step(const sched::MimdPlan &plan, TileState &ts,
         ++stats.usefulOps;
     DPRINTF(Exec, "tile %u pc=%" PRIu64 " %s", tile, ts.pc,
             isa::disasm(si).c_str());
+    OBS_SIM_INSTANT(Exec, "step", t, (uint64_t(tile) << 32) | ts.pc);
 
     Word a = ts.regs[si.rs[0]];
     Word b = si.immB ? si.imm : ts.regs[si.rs[1]];

@@ -25,6 +25,8 @@
 #include "kernels/ir.hh"
 #include "mem/memory_system.hh"
 #include "noc/mesh.hh"
+#include "obs/sampler.hh"
+#include "obs/timeline.hh"
 #include "sched/plan.hh"
 
 namespace dlp::core {
@@ -65,6 +67,13 @@ class MimdEngine
      */
     uint64_t hostEvents() const { return hostSteps; }
 
+    /**
+     * Attach (or detach, with nullptr) a periodic stat sampler, polled
+     * as tiles step forward in global simulated-time order. The sampler
+     * must outlive the run.
+     */
+    void setSampler(obs::StatSampler *s) { sampler = s; }
+
   private:
     const char *dlpTraceName() const { return "mimd"; }
     /** Per-tile architectural and pipeline state. */
@@ -100,6 +109,7 @@ class MimdEngine
 
     Tick curTick = 0;
     uint64_t hostSteps = 0; ///< instruction steps executed (host metric)
+    obs::StatSampler *sampler = nullptr;
 
     static constexpr Addr tableRegionBase = Addr(1) << 41;
     static constexpr uint64_t instLimit = 400'000'000;

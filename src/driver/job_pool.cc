@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "obs/timeline.hh"
 
 namespace dlp::driver {
 
@@ -135,6 +136,7 @@ JobPool::workerLoop(unsigned self)
                 --queuedJobs;
             }
             try {
+                obs::HostSpan jobSpan(obs::Cat::Driver, "job");
                 job();
             } catch (...) {
                 std::lock_guard<std::mutex> lock(poolMutex);

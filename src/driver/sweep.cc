@@ -10,6 +10,7 @@
 #include "common/logging.hh"
 #include "driver/job_pool.hh"
 #include "kernels/workload.hh"
+#include "obs/timeline.hh"
 #include "verify/audit.hh"
 
 namespace dlp::driver {
@@ -54,6 +55,8 @@ cacheStore(const SweepTask &t, const arch::ExperimentResult &result)
 arch::ExperimentResult
 runOnFixture(const kernels::WorkloadFixture &fixture, const SweepTask &t)
 {
+    obs::HostSpan cellSpan(obs::Cat::Driver, "cell",
+                           t.kernel + "/" + t.config);
     auto wl = fixture.instantiate();
     arch::TripsProcessor cpu(arch::configByName(t.config));
     auto res = cpu.run(*wl);
@@ -63,8 +66,11 @@ runOnFixture(const kernels::WorkloadFixture &fixture, const SweepTask &t)
     // registry on every completed run. Violations ride in the result
     // (and its JSON form) rather than aborting the sweep: a full grid's
     // worth of findings beats dying on the first one.
-    if (verify::auditEnabled())
+    if (verify::auditEnabled()) {
+        obs::HostSpan auditSpan(obs::Cat::Audit, "audit",
+                                t.kernel + "/" + t.config);
         verify::auditAndRecord(res);
+    }
     return res;
 }
 
@@ -124,6 +130,8 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
     const size_t total = plan.size();
     std::vector<arch::ExperimentResult> results(total);
 
+    obs::HostSpan sweepSpan(obs::Cat::Driver, "sweep", "", total);
+
     std::mutex progressMutex;
     size_t done = 0;
     auto report = [&](const SweepTask &task, bool cached) {
@@ -147,6 +155,8 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
         const SweepTask &task = plan.tasks[i];
         if (opts.useCache && cacheLookup(task, results[i])) {
             cacheHitCount.fetch_add(1, std::memory_order_relaxed);
+            obs::hostInstant(obs::Cat::Driver, "cacheHit",
+                             task.kernel + "/" + task.config);
             report(task, true);
         } else {
             pending.push_back(i);
@@ -180,10 +190,13 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
     if (jobs <= 1) {
         // The strictly serial reference path: everything on the
         // calling thread, in plan order.
-        for (auto &[key, fixture] : fixtures)
+        for (auto &[key, fixture] : fixtures) {
+            obs::HostSpan fixSpan(obs::Cat::Driver, "fixture",
+                                  std::get<0>(key));
             fixture = kernels::makeFixture(std::get<0>(key),
                                            std::get<1>(key),
                                            std::get<2>(key));
+        }
         for (size_t i : pending)
             runOne(i);
         return results;
@@ -202,6 +215,8 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
         slots.emplace_back(&key, &fixture);
     parallelFor(pool, slots.size(), [&](size_t s) {
         const FixtureKey &key = *slots[s].first;
+        obs::HostSpan fixSpan(obs::Cat::Driver, "fixture",
+                              std::get<0>(key));
         *slots[s].second = kernels::makeFixture(
             std::get<0>(key), std::get<1>(key), std::get<2>(key));
     });

@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdlib>
 
+#include "obs/timeline.hh"
+
 namespace dlp::mem {
 
 MemorySystem::MemorySystem(const MemParams &params, bool smcOn, Tick hop)
@@ -67,6 +69,13 @@ MemorySystem::cachedTiming(unsigned row, Addr byteAddr, Tick start,
             t = mainMem->access(t, cfg.lineBytes / wordBytes);
         DPRINTF(Cache, "%s 0x%" PRIx64 " L1 miss, L2 %s", write ? "st" : "ld",
                 byteAddr, l2Hit ? "hit" : "miss");
+        // Two distinct call sites: the interned-name static in the
+        // macro is per-site, so a ternary name would stick on whichever
+        // branch ran first.
+        if (l2Hit)
+            OBS_SIM_SPAN(Cache, "l1Miss", start, t - start, byteAddr);
+        else
+            OBS_SIM_SPAN(Cache, "l2Miss", start, t - start, byteAddr);
     }
     // Response travels back across the same edge distance.
     Tick done = t + dist * hopTicks;
@@ -75,6 +84,10 @@ MemorySystem::cachedTiming(unsigned row, Addr byteAddr, Tick start,
     DPRINTF(Mem,
             "cached %s row %u 0x%" PRIx64 " start=%" PRIu64 " done=%" PRIu64,
             write ? "write" : "read", row, byteAddr, start, done);
+    if (write)
+        OBS_SIM_SPAN(Mem, "cachedWrite", start, done - start, byteAddr);
+    else
+        OBS_SIM_SPAN(Mem, "cachedRead", start, done - start, byteAddr);
     return done;
 }
 

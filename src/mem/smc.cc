@@ -1,6 +1,7 @@
 #include "mem/smc.hh"
 
 #include "common/bitutils.hh"
+#include "obs/timeline.hh"
 
 namespace dlp::mem {
 
@@ -94,6 +95,7 @@ SmcSubsystem::read(unsigned row, Addr wordAddr, unsigned nwords, Tick start,
             "read row %u addr=%" PRIu64 " words=%u stride=%u start=%" PRIu64
             " grant=%" PRIu64 " done=%" PRIu64,
             row, wordAddr, nwords, stride, start, grant, done);
+    OBS_SIM_SPAN(SMC, "burst", start, done - start, nwords);
     return done;
 }
 
@@ -119,6 +121,7 @@ SmcSubsystem::write(unsigned row, Addr wordAddr, Word value, Tick start)
             row, wordAddr, start, grant + 1);
     // Amortized drain cost: the buffer coalesces, so draining keeps up
     // with acceptance at the same width; no extra charge here.
+    OBS_SIM_SPAN(SMC, "storeAccept", start, grant + 1 - start, row);
     return grant + 1;
 }
 
@@ -139,6 +142,7 @@ SmcSubsystem::dmaTransfer(unsigned row, unsigned nwords, Tick start,
     lastActivity = std::max(lastActivity, done);
     DPRINTF(SMC, "dma row %u words=%u start=%" PRIu64 " done=%" PRIu64, row,
             nwords, start, done);
+    OBS_SIM_SPAN(SMC, "dma", start, done - start, nwords);
     return done;
 }
 

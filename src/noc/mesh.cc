@@ -2,6 +2,8 @@
 
 #include <cinttypes>
 
+#include "obs/timeline.hh"
+
 namespace dlp::noc {
 
 MeshNetwork::MeshNetwork(unsigned nrows, unsigned ncols, Tick hop)
@@ -117,6 +119,8 @@ MeshNetwork::route(Coord src, Coord dst, Tick inject)
             " stall=%" PRIu64,
             src.row, src.col, dst.row, dst.col, inject, t,
             t - inject - Tick(distance(src, dst)) * hopTicks);
+    OBS_SIM_SPAN(Mesh, "flit", inject, t - inject,
+                 distance(src, dst));
     return t;
 }
 
@@ -142,6 +146,7 @@ MeshNetwork::routeToEdge(Coord src, Tick inject)
     DPRINTF(Mesh,
             "toEdge (%u,%u) inject=%" PRIu64 " at-port=%" PRIu64,
             src.row, src.col, inject, arrive);
+    OBS_SIM_SPAN(Mesh, "toEdge", inject, arrive - inject, src.col + 1);
     return arrive;
 }
 
@@ -173,6 +178,7 @@ MeshNetwork::routeFromEdge(unsigned row, Coord dst, Tick inject)
     DPRINTF(Mesh,
             "fromEdge row %u ->(%u,%u) inject=%" PRIu64 " arrive=%" PRIu64,
             row, dst.row, dst.col, inject, t);
+    OBS_SIM_SPAN(Mesh, "fromEdge", inject, t - inject, dst.col + 1);
     return t;
 }
 

@@ -1,0 +1,123 @@
+#include "obs/sampler.hh"
+
+#include <cinttypes>
+
+#include "common/logging.hh"
+
+namespace dlp::obs {
+
+StatSampler::StatSampler(uint64_t intervalTicks,
+                         std::vector<StatGroup *> groups)
+    : watched(std::move(groups)), interval(intervalTicks)
+{
+    if (interval == 0)
+        return;
+    series.intervalTicks = interval;
+    nextTick = interval;
+
+    // The initial snapshot runs each group's preDump hook, so scalars
+    // those hooks register lazily (l1Hits and friends) exist before the
+    // column list is fixed.
+    for (size_t g = 0; g < watched.size(); ++g) {
+        GroupSnapshot snap = watched[g]->snapshot();
+        const std::string prefix = snap.name + ".";
+        for (const auto &kv : snap.scalars) {
+            columns.push_back({g, kv.first, Kind::Scalar});
+            series.statNames.push_back(prefix + kv.first);
+            series.isLevel.push_back(false);
+        }
+        for (const auto &kv : snap.distributions) {
+            columns.push_back({g, kv.first, Kind::DistSamples});
+            series.statNames.push_back(prefix + kv.first + "::samples");
+            series.isLevel.push_back(false);
+            columns.push_back({g, kv.first, Kind::DistSum});
+            series.statNames.push_back(prefix + kv.first + "::sum");
+            series.isLevel.push_back(false);
+        }
+        for (const auto &kv : snap.formulas) {
+            columns.push_back({g, kv.first, Kind::Formula});
+            series.statNames.push_back(prefix + kv.first);
+            series.isLevel.push_back(true);
+        }
+    }
+    prev = readAll();
+}
+
+std::vector<double>
+StatSampler::readAll()
+{
+    std::vector<GroupSnapshot> snaps;
+    snaps.reserve(watched.size());
+    for (StatGroup *g : watched)
+        snaps.push_back(g->snapshot());
+
+    std::vector<double> values;
+    values.reserve(columns.size());
+    for (size_t c = 0; c < columns.size(); ++c) {
+        const Column &col = columns[c];
+        const GroupSnapshot &snap = snaps[col.group];
+        double v = c < prev.size() ? prev[c] : 0.0;
+        switch (col.kind) {
+          case Kind::Scalar: {
+            auto it = snap.scalars.find(col.key);
+            if (it != snap.scalars.end())
+                v = it->second;
+            break;
+          }
+          case Kind::DistSamples: {
+            auto it = snap.distributions.find(col.key);
+            if (it != snap.distributions.end())
+                v = double(it->second.samples());
+            break;
+          }
+          case Kind::DistSum: {
+            auto it = snap.distributions.find(col.key);
+            if (it != snap.distributions.end())
+                v = it->second.sum();
+            break;
+          }
+          case Kind::Formula: {
+            auto it = snap.formulas.find(col.key);
+            if (it != snap.formulas.end())
+                v = it->second;
+            break;
+          }
+        }
+        values.push_back(v);
+    }
+    return values;
+}
+
+void
+StatSampler::sample(Tick t)
+{
+    if (interval == 0)
+        return;
+    panic_if(t < lastTick,
+             "stat sampler asked to sample at %" PRIu64
+             " after already sampling at %" PRIu64, t, lastTick);
+    std::vector<double> cur = readAll();
+    std::vector<double> row(columns.size(), 0.0);
+    for (size_t c = 0; c < columns.size(); ++c)
+        row[c] = series.isLevel[c] ? cur[c] : cur[c] - prev[c];
+    series.ticks.push_back(t);
+    series.samples.push_back(std::move(row));
+    prev = std::move(cur);
+    lastTick = t;
+    // Catch up past t: a long activation may cross several boundaries;
+    // they collapse into this one row (the deltas already cover them).
+    nextTick = (t / interval + 1) * interval;
+}
+
+TimeSeries
+StatSampler::finalize(Tick finalTick)
+{
+    if (interval != 0) {
+        // The closing row makes the conservation law exact: column sums
+        // of the delta rows equal the final aggregate counters.
+        sample(std::max(finalTick, lastTick));
+    }
+    return std::move(series);
+}
+
+} // namespace dlp::obs

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Periodic stat sampling: utilization over time, not just end-of-run.
+ *
+ * A StatSampler watches a set of StatGroups and, at a configurable
+ * simulated-tick interval, records one row of *deltas* — how much each
+ * scalar counter (and each Distribution's sample count and sum)
+ * advanced since the previous row — plus the instantaneous value of
+ * every Formula (rates and ratios are levels, not flows; a delta of a
+ * hit rate means nothing). Vector stats are omitted: per-lane columns
+ * would dwarf the rest of the table and their totals are already
+ * scalars.
+ *
+ * Because every watched stat starts from zero when the engine is
+ * constructed, the columns obey a conservation law the tests (and the
+ * auditor-minded reader) can check: the column sums of the delta rows
+ * equal the final aggregate counters. finalize() appends a closing row
+ * capturing the tail interval precisely so that law holds exactly.
+ *
+ * Sampling is polled, not scheduled: the engines call maybeSample() at
+ * activation (SIMD) or step (MIMD) boundaries, so rows land on natural
+ * quiescent points and the sampler never perturbs the event queue —
+ * tracing a run cannot change its timing. Consequently row ticks are
+ * the boundary ticks that first crossed each interval, not exact
+ * multiples of it.
+ *
+ * The result is a value-semantic TimeSeries carried on the
+ * ExperimentResult and exported as the "timeseries" object in
+ * experiment JSON.
+ */
+
+#ifndef DLP_OBS_SAMPLER_HH
+#define DLP_OBS_SAMPLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dlp::obs {
+
+/** One experiment's sampled stat table (empty when sampling is off). */
+struct TimeSeries
+{
+    uint64_t intervalTicks = 0;
+
+    /** Column names ("core.simd.activations", "mem.sys.l1HitRate"). */
+    std::vector<std::string> statNames;
+
+    /** Per column: true = instantaneous level (formulas), false = delta. */
+    std::vector<bool> isLevel;
+
+    /** Simulated tick of each row (the boundary that crossed the
+     *  interval, monotonically increasing). */
+    std::vector<uint64_t> ticks;
+
+    /** One row per tick, parallel to statNames. */
+    std::vector<std::vector<double>> samples;
+
+    bool present() const { return intervalTicks != 0 && !statNames.empty(); }
+};
+
+/**
+ * Watches StatGroups and accumulates a TimeSeries. Construct after the
+ * groups exist (the constructor snapshots them once, which also runs
+ * their preDump hooks so lazily-registered scalars get columns).
+ */
+class StatSampler
+{
+  public:
+    StatSampler(uint64_t intervalTicks, std::vector<StatGroup *> groups);
+
+    /** Cheap hot-path check: has simulated time crossed the next
+     *  sampling boundary? */
+    bool due(Tick t) const { return interval != 0 && t >= nextTick; }
+
+    /** Record a row if due; advances the boundary past t. */
+    void
+    maybeSample(Tick t)
+    {
+        if (due(t))
+            sample(t);
+    }
+
+    /** Unconditionally record a row at tick t (t must not decrease). */
+    void sample(Tick t);
+
+    /**
+     * Append the closing row at finalTick (so column sums equal the
+     * final aggregates) and move the accumulated series out. The
+     * sampler is spent afterwards.
+     */
+    TimeSeries finalize(Tick finalTick);
+
+    uint64_t intervalTicks() const { return interval; }
+    size_t rows() const { return series.ticks.size(); }
+
+  private:
+    /** What one column reads out of a GroupSnapshot. */
+    enum class Kind : uint8_t { Scalar, DistSamples, DistSum, Formula };
+
+    struct Column
+    {
+        size_t group;    ///< index into watched
+        std::string key; ///< stat name within the group
+        Kind kind;
+    };
+
+    /** Current absolute value of every column, in column order. */
+    std::vector<double> readAll();
+
+    std::vector<StatGroup *> watched;
+    std::vector<Column> columns;
+    std::vector<double> prev; ///< absolute values at the previous row
+    TimeSeries series;
+    uint64_t interval = 0;
+    Tick nextTick = 0;
+    Tick lastTick = 0;
+};
+
+} // namespace dlp::obs
+
+#endif // DLP_OBS_SAMPLER_HH

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Timeline tracing: a low-overhead, ring-buffered span/instant/counter
+ * recorder with two clock domains, exported as Chrome trace-event JSON
+ * loadable in Perfetto or chrome://tracing.
+ *
+ * Where DPRINTF prints *lines*, the timeline records *intervals*: engine
+ * activations, mesh flit journeys, SMC bursts, cache-miss episodes on
+ * the simulated-tick clock, and JobPool tasks, sweep cells, fixture
+ * builds and audit/check gates on the host wall clock. Every event
+ * carries a category mirroring the DPRINTF flag registry (Mesh, SMC,
+ * Engine, ...) plus host-side categories (Driver, Audit, Check), so the
+ * same mental model — and the same filter lists — work for both.
+ *
+ * Recording is opt-in and cheap:
+ *
+ *  - off (the default): every instrumentation site is one relaxed
+ *    atomic load and a branch, exactly the DPRINTF discipline;
+ *  - compiled out: defining DLP_TRACE_DISABLED removes even that;
+ *  - on: events go to a fixed-capacity per-thread ring buffer (no
+ *    locks, no allocation after the ring fills); when the ring wraps,
+ *    the oldest events are overwritten and counted as dropped.
+ *
+ * Enable with DLP_TIMELINE=FILE (export at exit) or programmatically:
+ *
+ *     obs::setOutputPath("trace.json");
+ *     obs::setRecording(true);
+ *     ... run ...
+ *     obs::finish();   // writes the Chrome trace JSON
+ *
+ * DLP_TIMELINE_CATS=Mesh,SMC restricts recording to listed categories;
+ * DLP_TIMELINE_CAP=N sets the per-thread ring capacity in events.
+ *
+ * Clock domains map to Chrome trace *processes*: pid 1 is simulated
+ * time (one "microsecond" per tick), pid 2 is host wall time; each
+ * recording thread is a Chrome trace *thread* within both, so parallel
+ * sweep workers render as parallel tracks.
+ *
+ * The recorder also hosts the per-iteration occupancy-signature hash
+ * (SignatureHash below): the execution engines fold every instruction
+ * fire (index, tick offset) plus the activation's occupancy envelope
+ * into one 64-bit digest per activation. Identical digests mean the
+ * iteration replayed the same schedule — the steady-state detection
+ * hook ROADMAP item 1 (epoch fast-forwarding) consumes.
+ */
+
+#ifndef DLP_OBS_TIMELINE_HH
+#define DLP_OBS_TIMELINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/trace.hh"
+#include "common/types.hh"
+
+namespace dlp::obs {
+
+/**
+ * Span/event categories. The first numFlags entries mirror trace::Flag
+ * one to one (same names, same order), so every DPRINTF flag is also a
+ * span category; the rest are host-side categories with no DPRINTF
+ * counterpart.
+ */
+enum class Cat : uint8_t
+{
+    EventQ,  ///< event-kernel visibility (queue occupancy counters)
+    Mesh,    ///< operand-network flit journeys
+    SMC,     ///< SMC bursts, store-buffer accepts, DMA transfers
+    Cache,   ///< L1/L2 miss episodes
+    Mem,     ///< memory-system facade accesses
+    Engine,  ///< activations, mappings, chunk runs
+    Revit,   ///< revitalization broadcasts
+    Exec,    ///< per-instruction fires (very verbose)
+    Driver,  ///< host: sweep cells, fixtures, JobPool jobs, experiments
+    Audit,   ///< host: post-run invariant audit gate
+    Check,   ///< host: pre-run static verification gate
+    NumCats
+};
+
+constexpr unsigned numCats = static_cast<unsigned>(Cat::NumCats);
+static_assert(static_cast<unsigned>(Cat::Exec) + 1 == trace::numFlags,
+              "the first obs categories must mirror trace::Flag");
+
+/** The category a DPRINTF flag maps to (identity on the shared prefix). */
+constexpr Cat
+catOf(trace::Flag f)
+{
+    return static_cast<Cat>(static_cast<unsigned>(f));
+}
+
+/** Canonical category name ("Mesh", "Driver", ...). */
+const char *catName(Cat c);
+
+/** Which clock a timestamp belongs to. */
+enum class Domain : uint8_t
+{
+    Sim,  ///< simulated half-cycle ticks (trace::curTick)
+    Host  ///< wall-clock nanoseconds since process start
+};
+
+namespace detail {
+
+extern std::atomic<bool> recording;
+extern std::atomic<bool> catBits[numCats];
+
+} // namespace detail
+
+#ifdef DLP_TRACE_DISABLED
+inline bool enabled(Cat) { return false; }
+inline bool recordingEnabled() { return false; }
+#else
+/** Hot-path gate: is this category being recorded right now? */
+inline bool
+enabled(Cat c)
+{
+    return detail::recording.load(std::memory_order_relaxed) &&
+           detail::catBits[static_cast<unsigned>(c)].load(
+               std::memory_order_relaxed);
+}
+
+inline bool
+recordingEnabled()
+{
+    return detail::recording.load(std::memory_order_relaxed);
+}
+#endif
+
+/** Master recording switch (categories keep their filter settings). */
+void setRecording(bool on);
+
+/**
+ * Restrict recording to a comma-separated category list ("Mesh,SMC",
+ * "All,-Exec"); unknown names warn once each. Empty string = all.
+ */
+void parseCatList(const std::string &list);
+
+/** Enable every category (the default). */
+void enableAllCats();
+
+/**
+ * Per-thread ring capacity in events for buffers created (or cleared)
+ * from now on. Power of two not required. Minimum 16.
+ */
+void setRingCapacity(size_t events);
+size_t ringCapacity();
+
+/**
+ * Export destination used by finish() and the at-exit backstop; setting
+ * a non-empty path the first time arms the backstop so DLP_TIMELINE
+ * works on any binary without explicit cooperation.
+ */
+void setOutputPath(const std::string &path);
+std::string outputPath();
+
+/** Wall time in nanoseconds since the process epoch (steady clock). */
+uint64_t hostNowNs();
+
+/**
+ * Intern a name string, returning a stable id. Interning is
+ * mutex-guarded: hot sites cache the id in a function-local static
+ * (the OBS_* macros below do this automatically).
+ */
+uint32_t internName(const std::string &name);
+
+/** Record one complete span ('X'). Caller has checked enabled(). */
+void recordSpan(Cat c, uint32_t nameId, Domain d, uint64_t ts,
+                uint64_t dur, uint64_t arg = 0, uint32_t labelId = 0);
+
+/** Record one instant ('i'). Caller has checked enabled(). */
+void recordInstant(Cat c, uint32_t nameId, Domain d, uint64_t ts,
+                   uint64_t arg = 0, uint32_t labelId = 0);
+
+/** Record one counter sample ('C'). Caller has checked enabled(). */
+void recordCounter(Cat c, uint32_t nameId, Domain d, uint64_t ts,
+                   double value);
+
+/** Convenience: host-domain instant, name/label interned if enabled. */
+void hostInstant(Cat c, const char *name, const std::string &label = {});
+
+/**
+ * RAII host-wall-clock span. Does nothing when the category is off;
+ * the label string (kernel/config names and the like) is interned only
+ * when recording.
+ */
+class HostSpan
+{
+  public:
+    HostSpan(Cat c, const char *name, const std::string &label = {},
+             uint64_t arg = 0);
+    ~HostSpan();
+
+    HostSpan(const HostSpan &) = delete;
+    HostSpan &operator=(const HostSpan &) = delete;
+
+  private:
+    Cat cat = Cat::Driver;
+    uint32_t nameId = 0;
+    uint32_t labelId = 0;
+    uint64_t argValue = 0;
+    uint64_t startNs = 0;
+    bool active = false;
+};
+
+/// @name Export and lifecycle.
+/// @{
+
+/** Serialize everything recorded so far as a Chrome trace JSON text. */
+std::string exportChromeJson();
+
+/** Write exportChromeJson() to a file; fatal on I/O failure. */
+void writeChromeTrace(const std::string &path);
+
+/**
+ * If an output path is set: write the trace there, clear the path (so
+ * the at-exit backstop does not write twice) and return the path;
+ * otherwise return "".
+ */
+std::string finish();
+
+/** Drop all recorded events and re-apply the ring capacity. */
+void clearTimeline();
+
+/** Parse DLP_TIMELINE / DLP_TIMELINE_CATS / DLP_TIMELINE_CAP /
+ *  DLP_TIMESERIES. Called automatically before main(). */
+void initFromEnv();
+
+/**
+ * Default stat time-series sampling interval in simulated ticks
+ * (0 = sampling off). Set by DLP_TIMESERIES or the --timeseries CLI
+ * flag; the engines consult it when an experiment starts.
+ */
+void setTimeseriesInterval(uint64_t ticks);
+uint64_t timeseriesInterval();
+
+struct TimelineCounts
+{
+    uint64_t recorded = 0; ///< events currently held in the rings
+    uint64_t dropped = 0;  ///< overwritten by ring wrap
+    size_t threads = 0;    ///< thread buffers ever registered
+};
+
+TimelineCounts timelineCounts();
+
+/// @}
+
+/**
+ * FNV-1a-style running hash over an iteration's event schedule. The
+ * block engine feeds (instruction index, issue-tick offset) for every
+ * fire plus the activation's occupancy envelope; equal digests across
+ * activations identify steady state (ROADMAP item 1's trigger).
+ * Always-on: two multiplies per instruction, no atomics, deterministic.
+ */
+class SignatureHash
+{
+  public:
+    void reset() { h = 1469598103934665603ULL; }
+
+    void
+    add(uint64_t v)
+    {
+        h ^= v;
+        h *= 1099511628211ULL;
+    }
+
+    uint64_t digest() const { return h; }
+
+  private:
+    uint64_t h = 1469598103934665603ULL;
+};
+
+} // namespace dlp::obs
+
+#ifdef DLP_TRACE_DISABLED
+#define OBS_SIM_SPAN(cat, name, ts, dur, arg) do {} while (0)
+#define OBS_SIM_INSTANT(cat, name, ts, arg) do {} while (0)
+#define OBS_SIM_COUNTER(cat, name, ts, value) do {} while (0)
+#else
+/**
+ * The site-static interning idiom: the lambda gives every expansion its
+ * own static, so the name is interned once per call site, not per event.
+ */
+#define OBS_NAME_ID_(name)                                                    \
+    ([]() -> uint32_t {                                                       \
+        static const uint32_t obsId = ::dlp::obs::internName(name);           \
+        return obsId;                                                         \
+    }())
+
+/** Record a simulated-tick span if its category is being recorded. */
+#define OBS_SIM_SPAN(cat, name, ts, dur, arg)                                 \
+    do {                                                                      \
+        if (::dlp::obs::enabled(::dlp::obs::Cat::cat)) {                      \
+            ::dlp::obs::recordSpan(::dlp::obs::Cat::cat,                      \
+                                   OBS_NAME_ID_(name),                        \
+                                   ::dlp::obs::Domain::Sim,                   \
+                                   uint64_t(ts), uint64_t(dur),               \
+                                   uint64_t(arg));                            \
+        }                                                                     \
+    } while (0)
+
+/** Record a simulated-tick instant if its category is being recorded. */
+#define OBS_SIM_INSTANT(cat, name, ts, arg)                                   \
+    do {                                                                      \
+        if (::dlp::obs::enabled(::dlp::obs::Cat::cat)) {                      \
+            ::dlp::obs::recordInstant(::dlp::obs::Cat::cat,                   \
+                                      OBS_NAME_ID_(name),                     \
+                                      ::dlp::obs::Domain::Sim,                \
+                                      uint64_t(ts), uint64_t(arg));           \
+        }                                                                     \
+    } while (0)
+
+/** Record a simulated-tick counter sample if its category is on. */
+#define OBS_SIM_COUNTER(cat, name, ts, value)                                 \
+    do {                                                                      \
+        if (::dlp::obs::enabled(::dlp::obs::Cat::cat)) {                      \
+            ::dlp::obs::recordCounter(::dlp::obs::Cat::cat,                   \
+                                      OBS_NAME_ID_(name),                     \
+                                      ::dlp::obs::Domain::Sim,                \
+                                      uint64_t(ts), double(value));           \
+        }                                                                     \
+    } while (0)
+#endif
+
+#endif // DLP_OBS_TIMELINE_HH

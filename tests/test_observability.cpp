@@ -154,6 +154,68 @@ TEST(WarnDeduplication, SuppressesAfterLimit)
     EXPECT_NE(err.find("distinct observability"), std::string::npos);
 }
 
+TEST(WarnDeduplication, LruBoundsTableAndPreservesHotMessages)
+{
+    resetWarnDeduplication();
+    // Quiet logging would skip dedup tracking entirely; swallow the
+    // output through the capture instead.
+    testing::internal::CaptureStderr();
+
+    // Fill the table exactly: the victim first, then warnTableLimit - 1
+    // distinct fillers.
+    warn("lru eviction victim message");
+    for (size_t i = 0; i + 1 < warnTableLimit; ++i)
+        warn("lru filler message %zu", i);
+    EXPECT_EQ(warnTableSize(), warnTableLimit);
+    EXPECT_EQ(warnOccurrences("lru eviction victim message"), 1u);
+
+    // Re-warning the victim refreshes its recency, so the next overflow
+    // evicts the least-recently-warned filler instead.
+    warn("lru eviction victim message");
+    warn("lru filler message overflow");
+    EXPECT_EQ(warnTableSize(), warnTableLimit);
+    EXPECT_EQ(warnOccurrences("lru eviction victim message"), 2u);
+    EXPECT_EQ(warnOccurrences("lru filler message 0"), 0u); // evicted
+    EXPECT_EQ(warnOccurrences("lru filler message overflow"), 1u);
+
+    // Push the victim out (it is now the oldest after the fillers run
+    // again) and verify an evicted message starts over as new.
+    for (size_t i = 0; i < warnTableLimit; ++i)
+        warn("lru second wave %zu", i);
+    EXPECT_EQ(warnOccurrences("lru eviction victim message"), 0u);
+    warn("lru eviction victim message");
+    EXPECT_EQ(warnOccurrences("lru eviction victim message"), 1u);
+
+    testing::internal::GetCapturedStderr();
+    resetWarnDeduplication();
+}
+
+TEST(TraceFlags, UnknownFlagWarnsOncePerName)
+{
+    TraceReset guard;
+    resetWarnDeduplication();
+    testing::internal::CaptureStderr();
+
+    // Same unknown name three ways: direct, inside a list, direct again.
+    // The return-value contract is unchanged (false every time) but the
+    // warning must fire exactly once for the name.
+    EXPECT_FALSE(trace::setByName("BogusWarnOnceFlag"));
+    trace::parseFlagList("BogusWarnOnceFlag, Mesh");
+    EXPECT_FALSE(trace::setByName("BogusWarnOnceFlag"));
+    EXPECT_TRUE(trace::enabled(trace::Flag::Mesh)); // rest of list applies
+
+    std::string err = testing::internal::GetCapturedStderr();
+    resetWarnDeduplication();
+
+    size_t count = 0;
+    for (size_t pos = 0;
+         (pos = err.find("unknown trace flag 'BogusWarnOnceFlag'", pos)) !=
+         std::string::npos;
+         ++pos)
+        ++count;
+    EXPECT_EQ(count, 1u);
+}
+
 TEST(Distribution, BucketsAndMoments)
 {
     Distribution d("lat", 0.0, 10.0, 5);
