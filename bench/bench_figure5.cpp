@@ -16,6 +16,9 @@
  * --audit (or DLP_AUDIT=1) evaluates the conservation invariants on
  * every run; --check (or DLP_CHECK=1) statically verifies every
  * scheduled program before it runs and aborts on Error findings.
+ * --store=DIR (or DLP_STORE=DIR) serves warm grid cells from the
+ * persistent result store and writes cold ones back, so a second run
+ * is near-instant and bit-identical.
  * --trace-out=FILE captures a Chrome-trace/Perfetto timeline of the
  * grid; --timeseries=N samples every stat each N simulated ticks into
  * the per-experiment "timeseries" JSON object (also DLP_TIMELINE /
@@ -35,6 +38,7 @@
 #include "common/logging.hh"
 #include "check/verify.hh"
 #include "driver/job_pool.hh"
+#include "driver/sweep.hh"
 #include "obs/timeline.hh"
 #include "verify/audit.hh"
 
@@ -56,6 +60,10 @@ main(int argc, char **argv)
             verify::setAuditEnabled(true);
         else if (std::strcmp(argv[i], "--check") == 0)
             check::setCheckEnabled(true);
+        else if (std::strncmp(argv[i], "--store=", 8) == 0)
+            driver::setDefaultStoreDir(argv[i] + 8);
+        else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc)
+            driver::setDefaultStoreDir(argv[++i]);
         else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
             obs::setOutputPath(argv[i] + 12);
             obs::setRecording(true);
@@ -158,6 +166,7 @@ main(int argc, char **argv)
     doc.set("scaleDiv", scaleDiv);
     doc.set("wallSeconds", wallSeconds);
     doc.set("jobs", uint64_t(effectiveJobs));
+    doc.set("store", driver::storeStatsJson());
     json::Value means = json::Value::object();
     for (const auto &config : {"S", "S-O", "S-O-D", "M", "M-D", "flexible"})
         means.set(config, meanSpeedup(grid, config));

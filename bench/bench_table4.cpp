@@ -8,12 +8,14 @@
  * test; absolute values depend on the authors' simulator internals.
  *
  * Usage: bench_table4 [--quick] [--jobs N] [--audit] [--check]
- *                     [--trace-out=FILE] [--timeseries=N]
+ *                     [--store=DIR] [--trace-out=FILE] [--timeseries=N]
  * The 13 baseline simulations are independent; --jobs (or DLP_JOBS)
  * runs them concurrently on the sweep driver. --audit (or DLP_AUDIT=1)
  * checks every run against the conservation invariants and fails the
  * bench on any violation. --check (or DLP_CHECK=1) statically verifies
  * every scheduled program before it runs; Error findings abort.
+ * --store=DIR (or DLP_STORE=DIR) serves warm cells from the persistent
+ * result store and writes cold ones back.
  * --trace-out=FILE captures a Chrome-trace/Perfetto timeline;
  * --timeseries=N samples every stat each N simulated ticks (also
  * DLP_TIMELINE / DLP_TIMESERIES).
@@ -53,6 +55,10 @@ main(int argc, char **argv)
             verify::setAuditEnabled(true);
         else if (std::strcmp(argv[i], "--check") == 0)
             check::setCheckEnabled(true);
+        else if (std::strncmp(argv[i], "--store=", 8) == 0)
+            opts.storeDir = argv[i] + 8;
+        else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc)
+            opts.storeDir = argv[++i];
         else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
             obs::setOutputPath(argv[i] + 12);
             obs::setRecording(true);
@@ -138,6 +144,7 @@ main(int argc, char **argv)
     doc.set("scaleDiv", scaleDiv);
     doc.set("wallSeconds", wallSeconds);
     doc.set("jobs", uint64_t(jobs));
+    doc.set("store", driver::storeStatsJson());
     json::Value ref = json::Value::object();
     for (const auto &[kernel, oc] : paper)
         ref.set(kernel, oc);

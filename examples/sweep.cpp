@@ -21,6 +21,11 @@
  *                        0 = one per hardware thread)
  *   --json FILE          output path (default: SWEEP.json)
  *   --no-cache           bypass the process-wide result cache
+ *   --store DIR          persistent content-addressed result store:
+ *                        warm cells load from DIR, cold cells simulate
+ *                        and are written back, so a rerun is
+ *                        near-instant and bit-identical (also:
+ *                        DLP_STORE=DIR)
  *   --quiet              suppress per-task progress lines
  *   --audit              check every run against the conservation
  *                        invariants (also: DLP_AUDIT=1); violations are
@@ -138,6 +143,10 @@ main(int argc, char **argv)
             }
         } else if (std::strcmp(argv[i], "--json") == 0) {
             jsonPath = value(i);
+        } else if (std::strncmp(argv[i], "--store=", 8) == 0) {
+            opts.storeDir = argv[i] + 8;
+        } else if (std::strcmp(argv[i], "--store") == 0) {
+            opts.storeDir = value(i);
         } else if (std::strcmp(argv[i], "--no-cache") == 0) {
             opts.useCache = false;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -204,6 +213,15 @@ main(int argc, char **argv)
                 " hits, %" PRIu64 " misses)\n",
                 wallSeconds, results.size(), driver::resultCacheHits(),
                 driver::resultCacheMisses());
+    {
+        auto st = driver::storeTraffic();
+        if (st.hits || st.misses || st.inserts)
+            std::printf("store: %" PRIu64 " hits, %" PRIu64 " misses, %"
+                        PRIu64 " inserts (%" PRIu64 " entries, %" PRIu64
+                        " bytes on disk)\n",
+                        st.hits, st.misses, st.inserts, st.entries,
+                        st.bytes);
+    }
 
     size_t auditViolations = 0;
     bool audited = false;
@@ -227,6 +245,7 @@ main(int argc, char **argv)
     doc.set("sweep", "custom");
     doc.set("jobs", uint64_t(jobs));
     doc.set("wallSeconds", wallSeconds);
+    doc.set("store", driver::storeStatsJson());
     analysis::writeJsonFile(jsonPath, doc);
     std::printf("wrote %s\n", jsonPath.c_str());
 

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The sweepd client: submit a batched slice of the experiment space to
+ * a running sweepd (examples/sweepd.cpp) and collect the streamed
+ * results into the standard sweep JSON document.
+ *
+ * Plan construction takes the same flags as examples/sweep.cpp, so a
+ * client run and a direct local sweep of the same slice produce
+ * field-for-field identical "experiments" arrays (the wire carries
+ * the store codec's full-fidelity documents):
+ *
+ *   ./build/examples/sweep_client --socket /tmp/sweepd.sock \
+ *       --kernels fft,lu --configs S,M-D --scale-div 4
+ *
+ * Options:
+ *   --socket PATH        sweepd socket (default: sweepd.sock)
+ *   --kernels a,b,...    kernel names, or "all" (default: the Table 4
+ *                        performance suite)
+ *   --configs a,b,...    configuration names, or "all" (default: all)
+ *   --scale-div n,m,...  scale divisors (default: 1)
+ *   --seeds a,b or a..b  dataset seeds, list or range (default: 1234)
+ *   --json FILE          output path (default: SWEEP_CLIENT.json)
+ *   --shutdown           ask the server to exit after this batch
+ *   --quiet              suppress per-result progress lines
+ *
+ * The document gains a "serve" object — the server's lifetime
+ * counters after this batch (requests, cells, dedupedInFlight,
+ * storeHits, computed) — so in-flight dedup is observable: submit
+ * --seeds 7,7 and dedupedInFlight rises by the duplicated cell count.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "analysis/experiments.hh"
+#include "analysis/export.hh"
+#include "arch/configs.hh"
+#include "common/logging.hh"
+#include "serve/protocol.hh"
+#include "store/codec.hh"
+
+using namespace dlp;
+
+namespace {
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= arg.size()) {
+        size_t comma = arg.find(',', start);
+        if (comma == std::string::npos)
+            comma = arg.size();
+        if (comma > start)
+            out.push_back(arg.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+/** Parse "7" or "3..9" (inclusive) into a list of integers. */
+std::vector<uint64_t>
+parseNumbers(const std::string &arg)
+{
+    std::vector<uint64_t> out;
+    for (const auto &tok : splitList(arg)) {
+        size_t dots = tok.find("..");
+        if (dots == std::string::npos) {
+            out.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+            continue;
+        }
+        uint64_t lo = std::strtoull(tok.substr(0, dots).c_str(), nullptr, 10);
+        uint64_t hi =
+            std::strtoull(tok.substr(dots + 2).c_str(), nullptr, 10);
+        fatal_if(hi < lo || hi - lo > 4096, "bad range '%s'", tok.c_str());
+        for (uint64_t v = lo; v <= hi; ++v)
+            out.push_back(v);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuietLogging(true);
+    std::string socketPath = "sweepd.sock";
+    std::vector<std::string> kernels = analysis::perfKernels();
+    std::vector<std::string> configs = arch::allConfigNames();
+    std::vector<uint64_t> scaleDivs = {1};
+    std::vector<uint64_t> seeds = {1234};
+    std::string jsonPath = "SWEEP_CLIENT.json";
+    bool shutdown = false;
+    bool quiet = false;
+
+    auto value = [&](int &i) -> const char * {
+        fatal_if(i + 1 >= argc, "%s needs an argument", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--socket") == 0) {
+            socketPath = value(i);
+        } else if (std::strcmp(argv[i], "--kernels") == 0) {
+            std::string v = value(i);
+            if (v != "all")
+                kernels = splitList(v);
+        } else if (std::strcmp(argv[i], "--configs") == 0) {
+            std::string v = value(i);
+            if (v != "all")
+                configs = splitList(v);
+        } else if (std::strcmp(argv[i], "--scale-div") == 0) {
+            scaleDivs = parseNumbers(value(i));
+        } else if (std::strcmp(argv[i], "--seeds") == 0) {
+            seeds = parseNumbers(value(i));
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            jsonPath = value(i);
+        } else if (std::strcmp(argv[i], "--shutdown") == 0) {
+            shutdown = true;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else {
+            fatal("unknown option '%s' (see the header of "
+                  "examples/sweep_client.cpp)", argv[i]);
+        }
+    }
+
+    driver::SweepPlan plan;
+    for (uint64_t seed : seeds)
+        for (uint64_t div : scaleDivs)
+            plan.addGrid(kernels, configs, div, seed);
+    fatal_if(plan.empty(), "empty plan");
+
+    int fd = serve::connectUnix(socketPath);
+    fatal_if(!serve::writeLine(fd, serve::sweepRequest("batch", plan)),
+             "sweepd went away while sending the request");
+    std::printf("sweep_client: %zu task(s) submitted to %s\n", plan.size(),
+                socketPath.c_str());
+
+    std::vector<arch::ExperimentResult> results(plan.size());
+    std::vector<bool> have(plan.size(), false);
+    json::Value counters;
+    serve::LineReader reader;
+    std::string line;
+    size_t received = 0;
+    bool done = false;
+    while (!done) {
+        fatal_if(!serve::readMessage(fd, reader, line),
+                 "connection closed before the batch finished");
+        json::Value msg = json::parse(line);
+        std::string type = msg.at("type").asString();
+        if (type == "result") {
+            size_t index = size_t(msg.at("index").asNumber());
+            fatal_if(index >= plan.size() || have[index],
+                     "bogus result index %zu", index);
+            results[index] = store::resultFromJson(msg.at("result"));
+            have[index] = true;
+            ++received;
+            if (!quiet) {
+                std::printf("  [%3zu/%3zu] %s/%s%s\n", received,
+                            plan.size(), results[index].kernel.c_str(),
+                            results[index].config.c_str(),
+                            msg.at("cached").asBool() ? " (warm)" : "");
+                std::fflush(stdout);
+            }
+        } else if (type == "done") {
+            counters = msg.at("counters");
+            done = true;
+        } else if (type == "error") {
+            fatal("sweepd error: %s", msg.at("message").asString().c_str());
+        } else {
+            fatal("unexpected message type '%s'", type.c_str());
+        }
+    }
+    fatal_if(received != plan.size(),
+             "server finished after %zu of %zu results", received,
+             plan.size());
+
+    if (shutdown) {
+        serve::writeLine(fd, serve::simpleRequest("bye", "shutdown"));
+        serve::readMessage(fd, reader, line);  // wait for the ack
+    }
+    ::close(fd);
+
+    std::printf("batch done: %" PRIu64 " deduped in flight, %" PRIu64
+                " store hit(s), %" PRIu64 " computed\n",
+                uint64_t(counters.at("dedupedInFlight").asNumber()),
+                uint64_t(counters.at("storeHits").asNumber()),
+                uint64_t(counters.at("computed").asNumber()));
+
+    analysis::json::Value doc = analysis::toJson(results);
+    doc.set("sweep", "client");
+    doc.set("serve", counters);
+    analysis::writeJsonFile(jsonPath, doc);
+    std::printf("wrote %s\n", jsonPath.c_str());
+    return 0;
+}

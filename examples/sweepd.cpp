@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The sweepd daemon: sweep-as-a-service over a Unix-domain socket.
+ *
+ * Start a server, point one or more sweep_client invocations at it,
+ * and identical cells are computed once: warm cells stream from the
+ * persistent result store, duplicate cells inside a batch are
+ * deduplicated in flight, and cold cells are sharded across forked
+ * worker processes.
+ *
+ *   ./build/examples/sweepd --socket /tmp/sweepd.sock \
+ *       --store /tmp/dlp-store --workers 8
+ *   ./build/examples/sweep_client --socket /tmp/sweepd.sock \
+ *       --kernels fft,lu --configs all
+ *
+ * Options:
+ *   --socket PATH    socket file to listen on (default: sweepd.sock)
+ *   --workers N      worker processes for cold cells; <= 1 computes
+ *                    inline in the event loop (default: DLP_JOBS,
+ *                    else 1; 0 = one per hardware thread)
+ *   --store DIR      persistent content-addressed result store
+ *                    (also: DLP_STORE=DIR)
+ *   --once           serve a single connection, then exit — handy for
+ *                    smoke tests and one-shot batch runs
+ *
+ * The server exits cleanly when a client sends the shutdown op.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.hh"
+#include "driver/job_pool.hh"
+#include "serve/server.hh"
+
+using namespace dlp;
+
+int
+main(int argc, char **argv)
+{
+    setQuietLogging(true);
+    serve::ServerOptions opts;
+    opts.socketPath = "sweepd.sock";
+    opts.workers = driver::JobPool::defaultWorkers();
+    if (const char *env = std::getenv("DLP_STORE"); env && *env)
+        opts.storeDir = env;
+
+    auto value = [&](int &i) -> const char * {
+        fatal_if(i + 1 >= argc, "%s needs an argument", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--socket") == 0) {
+            opts.socketPath = value(i);
+        } else if (std::strcmp(argv[i], "--workers") == 0) {
+            const char *v = value(i);
+            opts.workers = unsigned(std::strtoul(v, nullptr, 10));
+            if (std::strcmp(v, "0") == 0) {
+                unsigned hw = std::thread::hardware_concurrency();
+                opts.workers = hw ? hw : 1;
+            }
+        } else if (std::strncmp(argv[i], "--store=", 8) == 0) {
+            opts.storeDir = argv[i] + 8;
+        } else if (std::strcmp(argv[i], "--store") == 0) {
+            opts.storeDir = value(i);
+        } else if (std::strcmp(argv[i], "--once") == 0) {
+            opts.once = true;
+        } else {
+            fatal("unknown option '%s' (see the header of "
+                  "examples/sweepd.cpp)", argv[i]);
+        }
+    }
+
+    unsigned workers = opts.workers;
+    std::string storeDir = opts.storeDir;
+    serve::Server server(std::move(opts));
+    std::printf("sweepd: listening on %s (%u worker%s%s%s)\n",
+                server.socketPath().c_str(), workers,
+                workers == 1 ? "" : "s",
+                storeDir.empty() ? "" : ", store ",
+                storeDir.c_str());
+    std::fflush(stdout);
+
+    server.run();
+
+    const serve::ServerCounters &c = server.counters();
+    std::printf("sweepd: done — %llu connection(s), %llu request(s), "
+                "%llu cell(s): %llu deduped in flight, %llu store hit(s), "
+                "%llu computed, %llu error(s)\n",
+                (unsigned long long)c.connections,
+                (unsigned long long)c.requests,
+                (unsigned long long)c.cells,
+                (unsigned long long)c.dedupedInFlight,
+                (unsigned long long)c.storeHits,
+                (unsigned long long)c.computed,
+                (unsigned long long)c.errors);
+    return 0;
+}

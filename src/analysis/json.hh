@@ -1,117 +1,19 @@
 /**
  * @file
- * A minimal self-contained JSON document model, writer and parser.
- *
- * The simulator's machine-readable output (stat-group dumps, the
- * experiment grid) must be consumable by external tooling without
- * pulling a third-party dependency into the build, so this implements
- * just the subset the exporter needs:
- *
- *  - a Value DOM (null / bool / number / string / array / object),
- *  - objects preserve insertion order, so exported documents have a
- *    stable, deterministic key ordering run to run,
- *  - a writer with optional pretty-printing; doubles are emitted via
- *    std::to_chars (shortest round-trippable form), and numbers that
- *    hold exact integral values print without a decimal point,
- *  - a recursive-descent parser (used by the tests to round-trip the
- *    benches' output) that raises FatalError on malformed input.
+ * Compatibility shim: the JSON document model moved to common/json.hh
+ * (namespace dlp::json) so lower layers — the content-addressed result
+ * store, the sweep driver, the sweepd wire protocol — can use it
+ * without depending on the analysis library. Existing analysis-side
+ * spellings (analysis::json::Value) keep working through this alias.
  */
 
-#ifndef DLP_ANALYSIS_JSON_HH
-#define DLP_ANALYSIS_JSON_HH
+#ifndef DLP_ANALYSIS_JSON_SHIM_HH
+#define DLP_ANALYSIS_JSON_SHIM_HH
 
-#include <cstdint>
-#include <initializer_list>
-#include <string>
-#include <utility>
-#include <vector>
+#include "common/json.hh"
 
-#include "common/logging.hh"
+namespace dlp::analysis {
+namespace json = ::dlp::json;
+} // namespace dlp::analysis
 
-namespace dlp::analysis::json {
-
-class Value;
-
-/** Object member list; a vector keeps insertion order stable. */
-using Members = std::vector<std::pair<std::string, Value>>;
-
-class Value
-{
-  public:
-    enum class Kind { Null, Bool, Number, String, Array, Object };
-
-    Value() : kind_(Kind::Null) {}
-    Value(std::nullptr_t) : kind_(Kind::Null) {}
-    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
-    Value(double d) : kind_(Kind::Number), num_(d) {}
-    Value(int i) : kind_(Kind::Number), num_(i) {}
-    Value(unsigned u) : kind_(Kind::Number), num_(u) {}
-    Value(int64_t i) : kind_(Kind::Number), num_(double(i)) {}
-    Value(uint64_t u) : kind_(Kind::Number), num_(double(u)) {}
-    Value(const char *s) : kind_(Kind::String), str_(s) {}
-    Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
-
-    /** An empty array or object. */
-    static Value array() { Value v; v.kind_ = Kind::Array; return v; }
-    static Value object() { Value v; v.kind_ = Kind::Object; return v; }
-
-    Kind kind() const { return kind_; }
-    bool isNull() const { return kind_ == Kind::Null; }
-    bool isBool() const { return kind_ == Kind::Bool; }
-    bool isNumber() const { return kind_ == Kind::Number; }
-    bool isString() const { return kind_ == Kind::String; }
-    bool isArray() const { return kind_ == Kind::Array; }
-    bool isObject() const { return kind_ == Kind::Object; }
-
-    bool asBool() const { check(Kind::Bool); return bool_; }
-    double asNumber() const { check(Kind::Number); return num_; }
-    const std::string &asString() const { check(Kind::String); return str_; }
-
-    /** Array access. */
-    const std::vector<Value> &items() const { check(Kind::Array); return arr_; }
-    void push(Value v) { check(Kind::Array); arr_.push_back(std::move(v)); }
-    const Value &at(size_t i) const;
-
-    /** Object access. */
-    const Members &members() const { check(Kind::Object); return obj_; }
-    /** Appends (or overwrites) a member, preserving first-set order. */
-    void set(const std::string &key, Value v);
-    /** The member's value; panics if the key is absent. */
-    const Value &at(const std::string &key) const;
-    /** Null if the key is absent. */
-    const Value *find(const std::string &key) const;
-    bool has(const std::string &key) const { return find(key) != nullptr; }
-
-    size_t size() const;
-
-  private:
-    void
-    check(Kind expected) const
-    {
-        panic_if(kind_ != expected, "json: value is not %s",
-                 kindName(expected));
-    }
-
-    static const char *kindName(Kind k);
-
-    Kind kind_;
-    bool bool_ = false;
-    double num_ = 0.0;
-    std::string str_;
-    std::vector<Value> arr_;
-    Members obj_;
-};
-
-/**
- * Serialize a document.
- *
- * @param indent spaces per nesting level; 0 emits a compact single line
- */
-std::string write(const Value &v, unsigned indent = 2);
-
-/** Parse a document; raises FatalError on malformed input. */
-Value parse(const std::string &text);
-
-} // namespace dlp::analysis::json
-
-#endif // DLP_ANALYSIS_JSON_HH
+#endif // DLP_ANALYSIS_JSON_SHIM_HH

@@ -1,0 +1,28 @@
+#include "common/hash.hh"
+
+namespace dlp {
+
+std::string
+Hash128::hex() const
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(32, '0');
+    for (int i = 0; i < 16; ++i) {
+        uint64_t word = i < 8 ? hi : lo;
+        unsigned shift = 8 * (7 - (i % 8));
+        auto byte = static_cast<unsigned>((word >> shift) & 0xff);
+        out[2 * i] = digits[byte >> 4];
+        out[2 * i + 1] = digits[byte & 0xf];
+    }
+    return out;
+}
+
+Hash128
+fnv1a128(const std::string &bytes)
+{
+    Fnv1a128 h;
+    h.add(bytes.data(), bytes.size());
+    return h.digest();
+}
+
+} // namespace dlp

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Stable streaming hashes: FNV-1a in 64- and 128-bit widths.
+ *
+ * The simulator needs hashes that are *stable* — identical across
+ * processes, runs, compilers and (for the on-disk result store) across
+ * binary versions — so std::hash is out: its values are unspecified and
+ * may be seeded per process. FNV-1a is tiny, fully specified, and fast
+ * enough for the sizes we hash (kernel IR graphs, machine-parameter
+ * blocks, result JSON text up to a few hundred KB).
+ *
+ * Two forms:
+ *
+ *  - Fnv1a64: the classic byte-stream FNV-1a; also exposes the
+ *    word-folding step (fnv1aStep) the execution engines' occupancy
+ *    SignatureHash (obs/timeline.hh) builds on, so both hashers share
+ *    one set of constants and one idiom.
+ *  - Fnv1a128: the 128-bit variant (via the compiler's unsigned
+ *    __int128), used where collisions must be ignorable by
+ *    construction: content-addressed store keys and entry checksums.
+ *
+ * Multi-field keys fold each field through add*() in a fixed order;
+ * addString() length-prefixes so ("ab","c") and ("a","bc") differ.
+ */
+
+#ifndef DLP_COMMON_HASH_HH
+#define DLP_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dlp {
+
+/// FNV-1a 64-bit parameters (Fowler–Noll–Vo, the specified constants).
+/// The basis is written in hex: its decimal form is one dropped digit
+/// away from a famous wrong constant (…65603 vs …656037).
+constexpr uint64_t fnv64OffsetBasis = 0xcbf29ce484222325ULL;
+constexpr uint64_t fnv64Prime = 0x100000001b3ULL;
+
+/**
+ * One FNV-1a folding step over a whole 64-bit unit (not a byte). This
+ * is the obs::SignatureHash idiom: two ALU ops per value, good mixing
+ * for equality detection of event schedules.
+ */
+constexpr uint64_t
+fnv1aStep(uint64_t h, uint64_t v)
+{
+    return (h ^ v) * fnv64Prime;
+}
+
+/** Streaming byte-wise FNV-1a 64. */
+class Fnv1a64
+{
+  public:
+    void
+    add(const void *data, size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < n; ++i)
+            h = (h ^ p[i]) * fnv64Prime;
+    }
+
+    /** Fold a 64-bit value as 8 little-endian bytes (canonical form). */
+    void
+    addU64(uint64_t v)
+    {
+        unsigned char b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = static_cast<unsigned char>(v >> (8 * i));
+        add(b, 8);
+    }
+
+    /** Length-prefixed string fold (unambiguous field boundaries). */
+    void
+    addString(const std::string &s)
+    {
+        addU64(s.size());
+        add(s.data(), s.size());
+    }
+
+    uint64_t digest() const { return h; }
+    void reset() { h = fnv64OffsetBasis; }
+
+  private:
+    uint64_t h = fnv64OffsetBasis;
+};
+
+/** A 128-bit digest, comparable and printable as 32 hex digits. */
+struct Hash128
+{
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+
+    bool operator==(const Hash128 &o) const
+    {
+        return hi == o.hi && lo == o.lo;
+    }
+    bool operator!=(const Hash128 &o) const { return !(*this == o); }
+    bool operator<(const Hash128 &o) const
+    {
+        return hi != o.hi ? hi < o.hi : lo < o.lo;
+    }
+
+    /** Lower-case fixed-width hex, hi first: 32 characters. */
+    std::string hex() const;
+};
+
+/** Streaming byte-wise FNV-1a 128 (unsigned __int128 arithmetic). */
+class Fnv1a128
+{
+  public:
+    Fnv1a128() { reset(); }
+
+    void
+    add(const void *data, size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < n; ++i)
+            h = (h ^ p[i]) * prime();
+    }
+
+    void
+    addU64(uint64_t v)
+    {
+        unsigned char b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = static_cast<unsigned char>(v >> (8 * i));
+        add(b, 8);
+    }
+
+    void
+    addString(const std::string &s)
+    {
+        addU64(s.size());
+        add(s.data(), s.size());
+    }
+
+    Hash128
+    digest() const
+    {
+        return {static_cast<uint64_t>(h >> 64), static_cast<uint64_t>(h)};
+    }
+
+    void
+    reset()
+    {
+        // Offset basis 0x6c62272e07bb014262b821756295c58d.
+        h = (static_cast<unsigned __int128>(0x6c62272e07bb0142ULL) << 64) |
+            0x62b821756295c58dULL;
+    }
+
+  private:
+    /// FNV 128-bit prime: 2^88 + 2^8 + 0x3b.
+    static unsigned __int128
+    prime()
+    {
+        return (static_cast<unsigned __int128>(1) << 88) | 0x13bULL;
+    }
+
+    unsigned __int128 h;
+};
+
+/** Convenience: FNV-1a 128 of one byte string. */
+Hash128 fnv1a128(const std::string &bytes);
+
+} // namespace dlp
+
+#endif // DLP_COMMON_HASH_HH

@@ -1,10 +1,10 @@
-#include "analysis/json.hh"
+#include "common/json.hh"
 
 #include <charconv>
 #include <cmath>
 #include <cstdio>
 
-namespace dlp::analysis::json {
+namespace dlp::json {
 
 const char *
 Value::kindName(Kind k)
@@ -416,4 +416,4 @@ parse(const std::string &text)
     return Parser(text).document();
 }
 
-} // namespace dlp::analysis::json
+} // namespace dlp::json

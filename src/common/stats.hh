@@ -135,6 +135,36 @@ class Distribution
         return var > 0.0 ? std::sqrt(var) : 0.0;
     }
 
+    /**
+     * Rebuild the exact internal state from serialized fields (the
+     * result store's codec is the inverse of this). Restoring sum and
+     * sumSq — not mean and stdev — is what makes a store round trip
+     * bit-identical: mean() and stdev() recompute from the same raw
+     * accumulators the original run held.
+     */
+    void
+    restore(double lo, double hi, std::vector<uint64_t> bucketCounts,
+            uint64_t underN, uint64_t overN, uint64_t samplesN,
+            double sumV, double sumSqV, double minV, double maxV)
+    {
+        panic_if(bucketCounts.empty(), "distribution %s restore with no "
+                 "buckets", name.c_str());
+        panic_if(hi <= lo, "distribution %s restore with empty range",
+                 name.c_str());
+        rangeLo = lo;
+        rangeHi = hi;
+        counts = std::move(bucketCounts);
+        under = underN;
+        over = overN;
+        nSamples = samplesN;
+        total = sumV;
+        totalSq = sumSqV;
+        minSeen = minV;
+        maxSeen = maxV;
+    }
+
+    double sumSq() const { return totalSq; }
+
     size_t numBuckets() const { return counts.size(); }
     uint64_t bucket(size_t i) const { return counts.at(i); }
     uint64_t underflow() const { return under; }

@@ -1,0 +1,159 @@
+#include "driver/proc_pool.hh"
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dlp::driver {
+
+namespace {
+
+/** Write exactly n bytes; false on any error (e.g. parent died). */
+bool
+writeAll(int fd, const void *data, size_t n)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n) {
+        ssize_t w = ::write(fd, p, n);
+        if (w <= 0)
+            return false;
+        p += w;
+        n -= size_t(w);
+    }
+    return true;
+}
+
+/** One frame on the pipe: item index, payload size, payload bytes. */
+bool
+writeFrame(int fd, uint64_t item, const std::string &payload)
+{
+    uint64_t hdr[2] = {item, payload.size()};
+    return writeAll(fd, hdr, sizeof(hdr)) &&
+           writeAll(fd, payload.data(), payload.size());
+}
+
+/** Per-child parent-side state: pipe fd, pid, reassembly buffer. */
+struct Child
+{
+    int fd = -1;
+    pid_t pid = -1;
+    std::string buf;
+    bool eof = false;
+};
+
+} // namespace
+
+void
+runForked(size_t items, unsigned workers,
+          const std::function<std::string(size_t)> &produce,
+          const std::function<void(size_t, std::string)> &collect)
+{
+    if (items == 0)
+        return;
+    workers = unsigned(std::min<size_t>(workers ? workers : 1, items));
+    if (workers <= 1) {
+        for (size_t i = 0; i < items; ++i)
+            collect(i, produce(i));
+        return;
+    }
+
+    std::vector<Child> children(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        int pipefd[2];
+        fatal_if(::pipe(pipefd) != 0, "pipe failed: %s",
+                 std::strerror(errno));
+        pid_t pid = ::fork();
+        fatal_if(pid < 0, "fork failed: %s", std::strerror(errno));
+        if (pid == 0) {
+            // Child: run this worker's round-robin shard and stream
+            // each payload back. Any write failure means the parent is
+            // gone, so just stop.
+            ::close(pipefd[0]);
+            for (size_t i = w; i < items; i += workers) {
+                if (!writeFrame(pipefd[1], i, produce(i)))
+                    ::_exit(1);
+            }
+            ::close(pipefd[1]);
+            ::_exit(0);
+        }
+        ::close(pipefd[1]);
+        children[w].fd = pipefd[0];
+        children[w].pid = pid;
+    }
+
+    std::vector<bool> delivered(items, false);
+    size_t deliveredCount = 0;
+    size_t open = workers;
+    while (open) {
+        std::vector<struct pollfd> fds;
+        fds.reserve(open);
+        for (const auto &c : children)
+            if (!c.eof)
+                fds.push_back({c.fd, POLLIN, 0});
+        int rc = ::poll(fds.data(), nfds_t(fds.size()), -1);
+        if (rc < 0 && errno == EINTR)
+            continue;
+        fatal_if(rc < 0, "poll failed: %s", std::strerror(errno));
+
+        for (auto &c : children) {
+            if (c.eof)
+                continue;
+            bool ready = false;
+            for (const auto &p : fds)
+                if (p.fd == c.fd && (p.revents & (POLLIN | POLLHUP)))
+                    ready = true;
+            if (!ready)
+                continue;
+            char chunk[65536];
+            ssize_t n = ::read(c.fd, chunk, sizeof(chunk));
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                fatal("read from worker failed: %s", std::strerror(errno));
+            }
+            if (n == 0) {
+                c.eof = true;
+                ::close(c.fd);
+                --open;
+                continue;
+            }
+            c.buf.append(chunk, size_t(n));
+            // Drain every complete frame in the buffer.
+            while (c.buf.size() >= 2 * sizeof(uint64_t)) {
+                uint64_t hdr[2];
+                std::memcpy(hdr, c.buf.data(), sizeof(hdr));
+                size_t total = 2 * sizeof(uint64_t) + hdr[1];
+                if (c.buf.size() < total)
+                    break;
+                std::string payload =
+                    c.buf.substr(2 * sizeof(uint64_t), hdr[1]);
+                c.buf.erase(0, total);
+                fatal_if(hdr[0] >= items || delivered[hdr[0]],
+                         "worker delivered bogus item %llu",
+                         (unsigned long long)hdr[0]);
+                delivered[hdr[0]] = true;
+                ++deliveredCount;
+                collect(size_t(hdr[0]), std::move(payload));
+            }
+        }
+    }
+
+    for (const auto &c : children) {
+        int status = 0;
+        ::waitpid(c.pid, &status, 0);
+        fatal_if(!WIFEXITED(status) || WEXITSTATUS(status) != 0,
+                 "sweep worker process %d died (status %d)", int(c.pid),
+                 status);
+    }
+    fatal_if(deliveredCount != items,
+             "workers delivered %zu of %zu items", deliveredCount, items);
+}
+
+} // namespace dlp::driver

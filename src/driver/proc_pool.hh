@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fork-based process sharding, the multi-process sibling of JobPool.
+ *
+ * JobPool spreads independent work across threads inside one address
+ * space; ProcPool spreads it across forked child processes, which is
+ * what a server wants when each work item is a whole simulation: the
+ * children share nothing, a crash in one item cannot take down the
+ * parent, and the parent stays single-threaded (so it remains safe to
+ * fork again later).
+ *
+ * Work items are sharded round-robin across the workers. Each child
+ * runs its shard serially and returns one opaque byte payload per item
+ * over its pipe, length-prefix framed; the parent polls all pipes and
+ * invokes the collect callback as payloads arrive — in completion
+ * order, not item order, so streaming consumers see results early.
+ */
+
+#ifndef DLP_DRIVER_PROC_POOL_HH
+#define DLP_DRIVER_PROC_POOL_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace dlp::driver {
+
+/**
+ * Fork workers (at most one per item), run produce(item) in a child
+ * for every item, and call collect(item, payload) in the parent as
+ * payloads arrive. Serial (no fork) when workers <= 1. Fatal if a
+ * child dies without delivering its shard.
+ *
+ * The parent must be single-threaded at the call; produce must not
+ * touch parent state (it runs in a copy-on-write child).
+ */
+void runForked(size_t items, unsigned workers,
+               const std::function<std::string(size_t)> &produce,
+               const std::function<void(size_t, std::string)> &collect);
+
+} // namespace dlp::driver
+
+#endif // DLP_DRIVER_PROC_POOL_HH

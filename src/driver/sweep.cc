@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <tuple>
 
@@ -11,33 +13,36 @@
 #include "driver/job_pool.hh"
 #include "kernels/workload.hh"
 #include "obs/timeline.hh"
+#include "store/key.hh"
 #include "verify/audit.hh"
 
 namespace dlp::driver {
 
 namespace {
 
-using ResultKey = std::tuple<std::string, std::string, uint64_t, uint64_t>;
 using FixtureKey = std::tuple<std::string, uint64_t, uint64_t>;
 
-/// Process-wide result cache. Guarded by cacheMutex; values are copied
-/// in and out so callers never hold references into the table.
+/// Process-wide result cache, keyed by the content-addressed experiment
+/// key so entries invalidate with the code version, kernel IR or
+/// machine config. Guarded by cacheMutex; values are copied in and out
+/// so callers never hold references into the table.
 std::mutex cacheMutex;
-std::map<ResultKey, arch::ExperimentResult> resultCacheTable;
+std::map<std::string, arch::ExperimentResult> resultCacheTable;
 std::atomic<uint64_t> cacheHitCount{0};
 std::atomic<uint64_t> cacheMissCount{0};
 
-ResultKey
+std::string
 keyOf(const SweepTask &t)
 {
-    return {t.kernel, t.config, resolvedScale(t), t.seed};
+    return store::experimentKey(t.kernel, t.config, resolvedScale(t),
+                                t.seed);
 }
 
 bool
-cacheLookup(const SweepTask &t, arch::ExperimentResult &out)
+cacheLookup(const std::string &key, arch::ExperimentResult &out)
 {
     std::lock_guard<std::mutex> lock(cacheMutex);
-    auto it = resultCacheTable.find(keyOf(t));
+    auto it = resultCacheTable.find(key);
     if (it == resultCacheTable.end())
         return false;
     out = it->second;
@@ -45,10 +50,36 @@ cacheLookup(const SweepTask &t, arch::ExperimentResult &out)
 }
 
 void
-cacheStore(const SweepTask &t, const arch::ExperimentResult &result)
+cacheStore(const std::string &key, const arch::ExperimentResult &result)
 {
     std::lock_guard<std::mutex> lock(cacheMutex);
-    resultCacheTable.emplace(keyOf(t), result);
+    resultCacheTable.emplace(key, result);
+}
+
+/// Persistent store handles, one per directory, living for the whole
+/// process so their traffic counters accumulate across sweeps.
+std::mutex storeMutex;
+std::string defaultStoreDir;
+std::map<std::string, std::unique_ptr<store::ResultStore>> storeHandles;
+
+store::ResultStore *
+storeFor(const SweepOptions &opts)
+{
+    std::string dir = opts.storeDir;
+    std::lock_guard<std::mutex> lock(storeMutex);
+    if (dir.empty())
+        dir = defaultStoreDir;
+    if (dir.empty())
+        if (const char *env = std::getenv("DLP_STORE"); env && *env)
+            dir = env;
+    if (dir.empty())
+        return nullptr;
+    auto it = storeHandles.find(dir);
+    if (it == storeHandles.end())
+        it = storeHandles
+                 .emplace(dir, std::make_unique<store::ResultStore>(dir))
+                 .first;
+    return it->second.get();
 }
 
 /** Run one instantiation of a fixture on one machine configuration. */
@@ -147,20 +178,35 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
         }
     };
 
-    // Satisfy what we can from the result cache up front, so fixtures
-    // are only built for kernels that still have live simulations.
+    store::ResultStore *st = storeFor(opts);
+
+    // Satisfy what we can without simulating — first the in-process
+    // cache, then (on a miss) the persistent store — so fixtures are
+    // only built for kernels that still have live simulations. Every
+    // cell lands in exactly one cache counter here, and the store is
+    // consulted exactly once per cache miss: those conservation laws
+    // are what storeStatsJson() documents and the tests assert.
+    std::vector<std::string> keys(total);
     std::vector<size_t> pending;
     pending.reserve(total);
     for (size_t i = 0; i < total; ++i) {
         const SweepTask &task = plan.tasks[i];
-        if (opts.useCache && cacheLookup(task, results[i])) {
+        keys[i] = keyOf(task);
+        if (opts.useCache && cacheLookup(keys[i], results[i])) {
             cacheHitCount.fetch_add(1, std::memory_order_relaxed);
             obs::hostInstant(obs::Cat::Driver, "cacheHit",
                              task.kernel + "/" + task.config);
             report(task, true);
-        } else {
-            pending.push_back(i);
+            continue;
         }
+        cacheMissCount.fetch_add(1, std::memory_order_relaxed);
+        if (st && st->lookup(keys[i], results[i])) {
+            if (opts.useCache)
+                cacheStore(keys[i], results[i]);
+            report(task, true);
+            continue;
+        }
+        pending.push_back(i);
     }
     if (pending.empty())
         return results;
@@ -180,9 +226,10 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
         const auto &fixture =
             fixtures.at({task.kernel, resolvedScale(task), task.seed});
         results[i] = runOnFixture(*fixture, task);
-        cacheMissCount.fetch_add(1, std::memory_order_relaxed);
         if (opts.useCache)
-            cacheStore(task, results[i]);
+            cacheStore(keys[i], results[i]);
+        if (st)
+            st->insert(keys[i], results[i]);
         report(task, false);
     };
 
@@ -254,6 +301,57 @@ clearResultCache()
     resultCacheTable.clear();
     cacheHitCount.store(0, std::memory_order_relaxed);
     cacheMissCount.store(0, std::memory_order_relaxed);
+}
+
+void
+setDefaultStoreDir(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(storeMutex);
+    defaultStoreDir = dir;
+}
+
+store::StoreStats
+storeTraffic()
+{
+    store::StoreStats total;
+    std::lock_guard<std::mutex> lock(storeMutex);
+    for (auto &[dir, handle] : storeHandles) {
+        store::StoreStats s = handle->stats();
+        total.hits += s.hits;
+        total.misses += s.misses;
+        total.inserts += s.inserts;
+        total.corrupt += s.corrupt;
+        total.entries += s.entries;
+        total.bytes += s.bytes;
+    }
+    return total;
+}
+
+json::Value
+storeStatsJson()
+{
+    json::Value obj = json::Value::object();
+    obj.set("cacheHits", resultCacheHits());
+    obj.set("cacheMisses", resultCacheMisses());
+
+    store::StoreStats s = storeTraffic();
+    obj.set("storeHits", s.hits);
+    obj.set("storeMisses", s.misses);
+    obj.set("storeInserts", s.inserts);
+    obj.set("storeCorrupt", s.corrupt);
+
+    bool anyStore = false;
+    {
+        std::lock_guard<std::mutex> lock(storeMutex);
+        anyStore = !storeHandles.empty();
+        if (storeHandles.size() == 1)
+            obj.set("storeDir", storeHandles.begin()->first);
+    }
+    if (anyStore) {
+        obj.set("entries", s.entries);
+        obj.set("bytes", s.bytes);
+    }
+    return obj;
 }
 
 } // namespace dlp::driver

@@ -11,15 +11,24 @@
  * job instantiates its own workload from a shared immutable fixture
  * and its own processor).
  *
- * Two caches amortize repeated work:
+ * Three tiers amortize repeated work:
  *
  *  - a per-sweep fixture cache: dataset generation and golden-model
  *    evaluation run once per (kernel, scale, seed), and every config's
  *    job reads the shared immutable fixture;
- *  - a process-wide result cache keyed by (kernel, config, scale,
- *    seed), where scale is the resolved problem size (a pure function
- *    of scaleDiv): repeated sweeps (explore_configs refinement passes,
- *    a bench rerun in the same process) skip finished simulations.
+ *  - a process-wide result cache keyed by the content-addressed
+ *    experiment key (store/key.hh) — canonical kernel-IR digest,
+ *    machine-config digest, code version, resolved scale, seed — so a
+ *    stale entry cannot outlive the code or configuration that
+ *    produced it: repeated sweeps (explore_configs refinement passes,
+ *    a bench rerun in the same process) skip finished simulations;
+ *  - an optional persistent result store (store/result_store.hh) under
+ *    the same key, consulted on every in-process cache miss and filled
+ *    after every simulation, so a rerun in a *new* process — or on
+ *    another machine sharing the directory — is near-instant and
+ *    bit-identical. Enable per sweep with SweepOptions::storeDir, or
+ *    process-wide with setDefaultStoreDir() / the DLP_STORE
+ *    environment variable.
  */
 
 #ifndef DLP_DRIVER_SWEEP_HH
@@ -31,6 +40,8 @@
 #include <vector>
 
 #include "arch/processor.hh"
+#include "common/json.hh"
+#include "store/result_store.hh"
 
 namespace dlp::driver {
 
@@ -92,6 +103,13 @@ struct SweepOptions
     /** Consult and fill the process-wide result cache. */
     bool useCache = true;
 
+    /**
+     * Directory of the persistent result store. Empty means the
+     * process default — setDefaultStoreDir(), else the DLP_STORE
+     * environment variable, else no store at all.
+     */
+    std::string storeDir;
+
     /** Invoked (under a lock) after each task completes. */
     std::function<void(const SweepProgress &)> progress;
 };
@@ -124,6 +142,31 @@ size_t resultCacheSize();
 uint64_t resultCacheHits();
 uint64_t resultCacheMisses();
 void clearResultCache();
+/// @}
+
+/// @name Persistent result-store wiring.
+/// @{
+
+/** Process-default store directory; "" falls back to DLP_STORE. */
+void setDefaultStoreDir(const std::string &dir);
+
+/**
+ * Store traffic aggregated across every store handle runSweep has
+ * opened in this process (all zero when no store was ever active).
+ */
+store::StoreStats storeTraffic();
+
+/**
+ * Cache and store counters as the sweep documents' "store" object:
+ * { cacheHits, cacheMisses, storeHits, storeMisses, storeInserts,
+ *   storeCorrupt, and — when a store is active — storeDir, entries,
+ *   bytes }. Every cell of every sweep lands in exactly one cache
+ * counter, and the store counters tally only cache misses, so
+ * cacheHits + cacheMisses == cells swept and
+ * storeHits + storeMisses <= cacheMisses (== when a store was active
+ * throughout).
+ */
+json::Value storeStatsJson();
 /// @}
 
 } // namespace dlp::driver

@@ -52,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
 
@@ -76,6 +77,8 @@ enum class Cat : uint8_t
     Driver,  ///< host: sweep cells, fixtures, JobPool jobs, experiments
     Audit,   ///< host: post-run invariant audit gate
     Check,   ///< host: pre-run static verification gate
+    Store,   ///< host: result-store lookups, hits/misses, inserts
+    Serve,   ///< host: sweepd request lifecycle and worker sharding
     NumCats
 };
 
@@ -246,28 +249,25 @@ TimelineCounts timelineCounts();
 /// @}
 
 /**
- * FNV-1a-style running hash over an iteration's event schedule. The
- * block engine feeds (instruction index, issue-tick offset) for every
- * fire plus the activation's occupancy envelope; equal digests across
+ * FNV-1a-style running hash over an iteration's event schedule, built
+ * on the shared word-folding step from common/hash.hh (same constants
+ * as the byte-stream hashers the result store keys with). The block
+ * engine feeds (instruction index, issue-tick offset) for every fire
+ * plus the activation's occupancy envelope; equal digests across
  * activations identify steady state (ROADMAP item 1's trigger).
  * Always-on: two multiplies per instruction, no atomics, deterministic.
  */
 class SignatureHash
 {
   public:
-    void reset() { h = 1469598103934665603ULL; }
+    void reset() { h = fnv64OffsetBasis; }
 
-    void
-    add(uint64_t v)
-    {
-        h ^= v;
-        h *= 1099511628211ULL;
-    }
+    void add(uint64_t v) { h = fnv1aStep(h, v); }
 
     uint64_t digest() const { return h; }
 
   private:
-    uint64_t h = 1469598103934665603ULL;
+    uint64_t h = fnv64OffsetBasis;
 };
 
 } // namespace dlp::obs

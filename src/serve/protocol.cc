@@ -1,0 +1,125 @@
+#include "serve/protocol.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace dlp::serve {
+
+bool
+LineReader::next(std::string &line)
+{
+    size_t nl = buf.find('\n');
+    if (nl == std::string::npos)
+        return false;
+    line = buf.substr(0, nl);
+    buf.erase(0, nl + 1);
+    return true;
+}
+
+bool
+writeLine(int fd, const json::Value &message)
+{
+    std::string text = json::write(message, 0);
+    text += '\n';
+    const char *p = text.data();
+    size_t n = text.size();
+    while (n) {
+        ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w <= 0) {
+            if (w < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= size_t(w);
+    }
+    return true;
+}
+
+int
+connectUnix(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    fatal_if(fd < 0, "socket failed: %s", std::strerror(errno));
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    fatal_if(path.size() >= sizeof(addr.sun_path),
+             "socket path too long: '%s'", path.c_str());
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    fatal_if(::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                       sizeof(addr)) != 0,
+             "cannot connect to sweepd at '%s': %s", path.c_str(),
+             std::strerror(errno));
+    return fd;
+}
+
+bool
+readMessage(int fd, LineReader &reader, std::string &line)
+{
+    while (!reader.next(line)) {
+        char chunk[65536];
+        ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        reader.feed(chunk, size_t(n));
+    }
+    return true;
+}
+
+json::Value
+sweepRequest(const std::string &id, const driver::SweepPlan &plan)
+{
+    json::Value req = json::Value::object();
+    req.set("op", "sweep");
+    req.set("id", id);
+    json::Value tasks = json::Value::array();
+    for (const auto &t : plan.tasks) {
+        json::Value task = json::Value::object();
+        task.set("kernel", t.kernel);
+        task.set("config", t.config);
+        task.set("scaleDiv", t.scaleDiv);
+        task.set("seed", t.seed);
+        task.set("scale", t.scale);
+        tasks.push(std::move(task));
+    }
+    req.set("tasks", std::move(tasks));
+    return req;
+}
+
+json::Value
+simpleRequest(const std::string &id, const std::string &op)
+{
+    json::Value req = json::Value::object();
+    req.set("op", op);
+    req.set("id", id);
+    return req;
+}
+
+driver::SweepPlan
+planFromRequest(const json::Value &request)
+{
+    driver::SweepPlan plan;
+    for (const auto &t : request.at("tasks").items()) {
+        driver::SweepTask task;
+        task.kernel = t.at("kernel").asString();
+        task.config = t.at("config").asString();
+        task.scaleDiv = uint64_t(t.at("scaleDiv").asNumber());
+        task.seed = uint64_t(t.at("seed").asNumber());
+        task.scale = uint64_t(t.at("scale").asNumber());
+        plan.tasks.push_back(std::move(task));
+    }
+    return plan;
+}
+
+} // namespace dlp::serve

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The sweepd wire protocol: newline-delimited JSON over a Unix-domain
+ * stream socket.
+ *
+ * Every message is one complete JSON object on one line (the JSON
+ * writer's compact form never embeds raw newlines). Requests carry an
+ * "op" and a client-chosen "id" that every response echoes:
+ *
+ *   {"op":"ping","id":..}      -> {"id":..,"type":"pong"}
+ *   {"op":"stats","id":..}     -> {"id":..,"type":"stats",
+ *                                  "counters":{..},"store":{..}}
+ *   {"op":"shutdown","id":..}  -> {"id":..,"type":"bye"}  (server exits)
+ *   {"op":"sweep","id":..,
+ *    "tasks":[{"kernel","config","scaleDiv","seed","scale"},..]}
+ *
+ * A sweep response streams one line per task *as cells complete* (not
+ * in task order — warm cells arrive first), then a terminator:
+ *
+ *   {"id":..,"type":"result","index":N,"cached":bool,"result":{..}}
+ *   {"id":..,"type":"done","cells":N,"counters":{..},"store":{..}}
+ *
+ * The "result" object is the store codec's full-fidelity document
+ * (store/codec.hh), so the client reconstructs ExperimentResults that
+ * are field-for-field identical to a local runSweep. Malformed input
+ * yields {"id":..,"type":"error","message":..} and the connection
+ * stays open.
+ */
+
+#ifndef DLP_SERVE_PROTOCOL_HH
+#define DLP_SERVE_PROTOCOL_HH
+
+#include <string>
+
+#include "common/json.hh"
+#include "driver/sweep.hh"
+
+namespace dlp::serve {
+
+/**
+ * Incremental splitter of a byte stream into newline-terminated
+ * lines. feed() appends raw bytes; next() pops the earliest complete
+ * line (without its newline) until the buffer holds none.
+ */
+class LineReader
+{
+  public:
+    void feed(const char *data, size_t n) { buf.append(data, n); }
+    bool next(std::string &line);
+
+  private:
+    std::string buf;
+};
+
+/**
+ * Write one message as a compact JSON line. Returns false when the
+ * peer is gone (EPIPE and friends); never raises SIGPIPE.
+ */
+bool writeLine(int fd, const json::Value &message);
+
+/** Connect to a Unix-domain stream socket; fatal on failure. */
+int connectUnix(const std::string &path);
+
+/**
+ * Blocking read of the next message line from fd through reader.
+ * Returns false on EOF before a complete line.
+ */
+bool readMessage(int fd, LineReader &reader, std::string &line);
+
+/// @name Message builders and parsers.
+/// @{
+
+json::Value sweepRequest(const std::string &id,
+                         const driver::SweepPlan &plan);
+
+json::Value simpleRequest(const std::string &id, const std::string &op);
+
+/** Parse a sweep request's "tasks" array; FatalError on bad shape. */
+driver::SweepPlan planFromRequest(const json::Value &request);
+
+/// @}
+
+} // namespace dlp::serve
+
+#endif // DLP_SERVE_PROTOCOL_HH

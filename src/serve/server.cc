@@ -1,0 +1,299 @@
+#include "serve/server.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <map>
+
+#include "common/logging.hh"
+#include "driver/proc_pool.hh"
+#include "obs/timeline.hh"
+#include "store/codec.hh"
+#include "store/key.hh"
+
+namespace dlp::serve {
+
+namespace {
+
+/** Echo of the request's "id" (null when the request had none). */
+json::Value
+idOf(const json::Value &request)
+{
+    if (const json::Value *id = request.find("id"))
+        return *id;
+    return json::Value();
+}
+
+json::Value
+errorMessage(const json::Value &request, const std::string &what)
+{
+    json::Value msg = json::Value::object();
+    msg.set("id", idOf(request));
+    msg.set("type", "error");
+    msg.set("message", what);
+    return msg;
+}
+
+} // namespace
+
+Server::Server(ServerOptions options) : opts(std::move(options))
+{
+    fatal_if(opts.socketPath.empty(), "sweepd needs a socket path");
+    if (!opts.storeDir.empty())
+        storeHandle = std::make_unique<store::ResultStore>(opts.storeDir);
+
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    fatal_if(listenFd < 0, "socket failed: %s", std::strerror(errno));
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    fatal_if(opts.socketPath.size() >= sizeof(addr.sun_path),
+             "socket path too long: '%s'", opts.socketPath.c_str());
+    std::strncpy(addr.sun_path, opts.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(opts.socketPath.c_str());  // replace a stale socket file
+    fatal_if(::bind(listenFd, reinterpret_cast<struct sockaddr *>(&addr),
+                    sizeof(addr)) != 0,
+             "cannot bind '%s': %s", opts.socketPath.c_str(),
+             std::strerror(errno));
+    fatal_if(::listen(listenFd, 16) != 0, "listen failed: %s",
+             std::strerror(errno));
+}
+
+Server::~Server()
+{
+    for (const auto &c : conns)
+        ::close(c.fd);
+    if (listenFd >= 0)
+        ::close(listenFd);
+    ::unlink(opts.socketPath.c_str());
+}
+
+json::Value
+Server::countersJson() const
+{
+    json::Value obj = json::Value::object();
+    obj.set("connections", ctrs.connections);
+    obj.set("requests", ctrs.requests);
+    obj.set("cells", ctrs.cells);
+    obj.set("uniqueCells", ctrs.uniqueCells);
+    obj.set("dedupedInFlight", ctrs.dedupedInFlight);
+    obj.set("storeHits", ctrs.storeHits);
+    obj.set("computed", ctrs.computed);
+    obj.set("errors", ctrs.errors);
+    return obj;
+}
+
+void
+Server::handleSweep(int fd, const json::Value &request)
+{
+    driver::SweepPlan plan = planFromRequest(request);
+    json::Value id = idOf(request);
+    ++ctrs.requests;
+    ctrs.cells += plan.size();
+    obs::HostSpan span(obs::Cat::Serve, "sweep", "", plan.size());
+
+    // In-flight dedup: every task folds to its content-addressed
+    // experiment key, and tasks sharing a key share one computation.
+    // (The key derivation validates kernel and config names, so a
+    // bogus request fails here, before any simulation.)
+    struct Cell
+    {
+        driver::SweepTask task;
+        std::vector<size_t> indices;  ///< request positions it serves
+    };
+    std::vector<Cell> cells;
+    std::map<std::string, size_t> cellByKey;
+    for (size_t i = 0; i < plan.size(); ++i) {
+        const driver::SweepTask &task = plan.tasks[i];
+        std::string key = store::experimentKey(
+            task.kernel, task.config, driver::resolvedScale(task),
+            task.seed);
+        auto [it, fresh] = cellByKey.emplace(key, cells.size());
+        if (fresh)
+            cells.push_back({task, {}});
+        else
+            obs::hostInstant(obs::Cat::Serve, "dedup",
+                             task.kernel + "/" + task.config);
+        cells[it->second].indices.push_back(i);
+    }
+    ctrs.uniqueCells += cells.size();
+    ctrs.dedupedInFlight += plan.size() - cells.size();
+
+    auto emit = [&](const Cell &cell, const arch::ExperimentResult &r,
+                    bool cached) {
+        json::Value doc = store::resultToJson(r);
+        for (size_t index : cell.indices) {
+            json::Value msg = json::Value::object();
+            msg.set("id", id);
+            msg.set("type", "result");
+            msg.set("index", uint64_t(index));
+            msg.set("cached", cached);
+            msg.set("result", doc);
+            writeLine(fd, msg);
+        }
+    };
+
+    // Warm pass: anything already in the store streams out right away.
+    std::vector<size_t> cold;
+    for (size_t c = 0; c < cells.size(); ++c) {
+        arch::ExperimentResult r;
+        std::string key = store::experimentKey(
+            cells[c].task.kernel, cells[c].task.config,
+            driver::resolvedScale(cells[c].task), cells[c].task.seed);
+        if (storeHandle && storeHandle->lookup(key, r)) {
+            ++ctrs.storeHits;
+            emit(cells[c], r, true);
+        } else {
+            cold.push_back(c);
+        }
+    }
+
+    // Cold pass: simulate, shard across forked workers when asked.
+    // Children only compute and serialize; the store insert and the
+    // client write stay in the parent, as payloads arrive.
+    auto produce = [&](size_t i) {
+        arch::ExperimentResult r = driver::runTask(cells[cold[i]].task);
+        return json::write(store::resultToJson(r), 0);
+    };
+    auto collect = [&](size_t i, std::string payload) {
+        arch::ExperimentResult r =
+            store::resultFromJson(json::parse(payload));
+        const Cell &cell = cells[cold[i]];
+        if (storeHandle) {
+            storeHandle->insert(
+                store::experimentKey(cell.task.kernel, cell.task.config,
+                                     driver::resolvedScale(cell.task),
+                                     cell.task.seed),
+                r);
+        }
+        ++ctrs.computed;
+        emit(cell, r, false);
+    };
+    driver::runForked(cold.size(), opts.workers, produce, collect);
+
+    json::Value done = json::Value::object();
+    done.set("id", id);
+    done.set("type", "done");
+    done.set("cells", uint64_t(plan.size()));
+    done.set("counters", countersJson());
+    if (storeHandle) {
+        store::StoreStats s = storeHandle->stats();
+        json::Value st = json::Value::object();
+        st.set("dir", storeHandle->dir());
+        st.set("hits", s.hits);
+        st.set("misses", s.misses);
+        st.set("inserts", s.inserts);
+        st.set("entries", s.entries);
+        st.set("bytes", s.bytes);
+        done.set("store", std::move(st));
+    }
+    writeLine(fd, done);
+}
+
+void
+Server::handleLine(int fd, const std::string &line)
+{
+    json::Value request;
+    try {
+        request = json::parse(line);
+        std::string op = request.at("op").asString();
+        if (op == "sweep") {
+            handleSweep(fd, request);
+        } else if (op == "stats") {
+            json::Value msg = json::Value::object();
+            msg.set("id", idOf(request));
+            msg.set("type", "stats");
+            msg.set("counters", countersJson());
+            if (storeHandle) {
+                store::StoreStats s = storeHandle->stats();
+                json::Value st = json::Value::object();
+                st.set("dir", storeHandle->dir());
+                st.set("hits", s.hits);
+                st.set("misses", s.misses);
+                st.set("inserts", s.inserts);
+                st.set("entries", s.entries);
+                st.set("bytes", s.bytes);
+                msg.set("store", std::move(st));
+            }
+            writeLine(fd, msg);
+        } else if (op == "ping") {
+            json::Value msg = json::Value::object();
+            msg.set("id", idOf(request));
+            msg.set("type", "pong");
+            writeLine(fd, msg);
+        } else if (op == "shutdown") {
+            json::Value msg = json::Value::object();
+            msg.set("id", idOf(request));
+            msg.set("type", "bye");
+            writeLine(fd, msg);
+            stopping = true;
+        } else {
+            ++ctrs.errors;
+            writeLine(fd, errorMessage(request, "unknown op '" + op + "'"));
+        }
+    } catch (const std::exception &e) {
+        // Malformed requests and failed sweeps answer in-band; the
+        // daemon and the connection both survive.
+        ++ctrs.errors;
+        writeLine(fd, errorMessage(request, e.what()));
+    }
+}
+
+void
+Server::run()
+{
+    bool acceptedOnce = false;
+    while (!stopping) {
+        if (opts.once && acceptedOnce && conns.empty())
+            break;
+        std::vector<struct pollfd> fds;
+        bool acceptMore = !(opts.once && acceptedOnce);
+        if (acceptMore)
+            fds.push_back({listenFd, POLLIN, 0});
+        for (const auto &c : conns)
+            fds.push_back({c.fd, POLLIN, 0});
+        int rc = ::poll(fds.data(), nfds_t(fds.size()), -1);
+        if (rc < 0 && errno == EINTR)
+            continue;
+        fatal_if(rc < 0, "poll failed: %s", std::strerror(errno));
+
+        size_t base = 0;
+        if (acceptMore) {
+            if (fds[0].revents & POLLIN) {
+                int fd = ::accept(listenFd, nullptr, nullptr);
+                if (fd >= 0) {
+                    conns.push_back({fd, {}});
+                    ++ctrs.connections;
+                    acceptedOnce = true;
+                    obs::hostInstant(obs::Cat::Serve, "accept", "");
+                    continue;  // re-poll with the new connection
+                }
+            }
+            base = 1;
+        }
+
+        for (size_t i = 0; i < conns.size() && !stopping; ++i) {
+            if (!(fds[base + i].revents & (POLLIN | POLLHUP)))
+                continue;
+            char chunk[65536];
+            ssize_t n = ::read(conns[i].fd, chunk, sizeof(chunk));
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0) {
+                ::close(conns[i].fd);
+                conns.erase(conns.begin() + long(i));
+                break;  // indices into fds are stale now; re-poll
+            }
+            conns[i].reader.feed(chunk, size_t(n));
+            std::string line;
+            while (!stopping && conns[i].reader.next(line))
+                handleLine(conns[i].fd, line);
+        }
+    }
+}
+
+} // namespace dlp::serve

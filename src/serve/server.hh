@@ -1,0 +1,114 @@
+/**
+ * @file
+ * sweepd: the sweep-as-a-service front-end.
+ *
+ * A single-threaded poll(2) event loop serves batched experiment
+ * requests (serve/protocol.hh) over a Unix-domain socket. For every
+ * sweep request the server:
+ *
+ *  - deduplicates in-flight work: tasks resolving to the same
+ *    content-addressed experiment key (store/key.hh) are computed once
+ *    and fanned out to every requesting index, with the duplicates
+ *    counted in dedupedInFlight;
+ *  - serves warm cells from the persistent result store, streaming
+ *    them immediately;
+ *  - shards the remaining cold cells across forked worker processes
+ *    (driver/proc_pool.hh) when workers > 1 — children share nothing
+ *    with the event loop and a simulation crash cannot take the
+ *    daemon down — or computes them inline when workers <= 1 (the
+ *    fork-free mode, safe even when the server runs on a thread
+ *    inside a test);
+ *  - streams each result to the client as it completes and finishes
+ *    with a "done" line carrying the request's counters.
+ *
+ * Because the loop is single-threaded, forking happens with no other
+ * threads alive in the daemon, which is the only regime where fork(2)
+ * plus arbitrary code in the child is safe.
+ */
+
+#ifndef DLP_SERVE_SERVER_HH
+#define DLP_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "store/result_store.hh"
+
+namespace dlp::serve {
+
+struct ServerOptions
+{
+    std::string socketPath;  ///< Unix-domain socket to listen on
+
+    /**
+     * Worker processes for cold cells: <= 1 computes inline in the
+     * event loop (no fork), N > 1 forks up to N children per request.
+     */
+    unsigned workers = 1;
+
+    /** Persistent result-store directory; empty disables the store. */
+    std::string storeDir;
+
+    /** Serve one connection to completion, then return from run(). */
+    bool once = false;
+};
+
+/** Lifetime traffic counters of one server instance. */
+struct ServerCounters
+{
+    uint64_t connections = 0;      ///< accepted connections
+    uint64_t requests = 0;         ///< sweep requests handled
+    uint64_t cells = 0;            ///< task entries across all requests
+    uint64_t uniqueCells = 0;      ///< distinct experiment keys of those
+    uint64_t dedupedInFlight = 0;  ///< cells - uniqueCells (fan-outs)
+    uint64_t storeHits = 0;        ///< unique cells served from the store
+    uint64_t computed = 0;         ///< unique cells simulated
+    uint64_t errors = 0;           ///< malformed or failed requests
+};
+
+class Server
+{
+  public:
+    /** Bind + listen (replacing any stale socket file); fatal if unable. */
+    explicit Server(ServerOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * The event loop: blocks until a client sends a shutdown op, or —
+     * with once set — until the first accepted connection closes.
+     * Removes the socket file on the way out.
+     */
+    void run();
+
+    const std::string &socketPath() const { return opts.socketPath; }
+    const ServerCounters &counters() const { return ctrs; }
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        LineReader reader;
+    };
+
+    /** Dispatch one request line; never throws (errors answer in-band). */
+    void handleLine(int fd, const std::string &line);
+    void handleSweep(int fd, const json::Value &request);
+    json::Value countersJson() const;
+
+    ServerOptions opts;
+    ServerCounters ctrs;
+    std::unique_ptr<store::ResultStore> storeHandle;
+    int listenFd = -1;
+    std::vector<Conn> conns;
+    bool stopping = false;
+};
+
+} // namespace dlp::serve
+
+#endif // DLP_SERVE_SERVER_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Full-fidelity JSON codec for ExperimentResult.
+ *
+ * The analysis exporter (analysis/export.hh) serializes results for
+ * *consumption*: distributions appear as derived mean/stdev, which is
+ * what plots want but cannot be inverted exactly. The store codec
+ * serializes results for *reconstruction*: distributions carry their
+ * raw accumulators (sum, sumSq) so a decoded result re-exported through
+ * the analysis exporter is byte-for-byte identical to the original —
+ * mean() and stdev() recompute from the very same doubles the original
+ * run held. (JSON doubles survive the trip exactly: the writer emits
+ * shortest round-trippable forms.)
+ *
+ * Everything on the result rides along — audit/check findings, the
+ * sampled timeseries, host-performance numbers (historical values from
+ * the run that computed the cell) — so a store hit is indistinguishable
+ * from a recompute, modulo wall-clock.
+ */
+
+#ifndef DLP_STORE_CODEC_HH
+#define DLP_STORE_CODEC_HH
+
+#include "arch/processor.hh"
+#include "common/json.hh"
+
+namespace dlp::store {
+
+/** Schema version of the codec's document shape. */
+constexpr uint64_t codecFormatVersion = 1;
+
+/** Serialize a result with enough fidelity to reconstruct it exactly. */
+json::Value resultToJson(const arch::ExperimentResult &result);
+
+/** Inverse of resultToJson; raises FatalError on malformed documents. */
+arch::ExperimentResult resultFromJson(const json::Value &doc);
+
+} // namespace dlp::store
+
+#endif // DLP_STORE_CODEC_HH

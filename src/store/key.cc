@@ -1,0 +1,200 @@
+#include "store/key.hh"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "arch/configs.hh"
+#include "kernels/catalog.hh"
+
+namespace dlp::store {
+
+namespace {
+
+/// Guards the per-name digest caches and the code-version override.
+std::mutex keyMutex;
+
+void
+foldNode(Fnv1a128 &h, const kernels::Node &n)
+{
+    h.addU64(static_cast<uint64_t>(n.kind));
+    h.addU64(static_cast<uint64_t>(n.op));
+    for (auto s : n.src)
+        h.addU64(s);
+    h.addU64(n.imm);
+    h.addU64(n.loop);
+    h.addU64(n.overhead ? 1 : 0);
+    h.addU64(n.immB ? 1 : 0);
+}
+
+} // namespace
+
+void
+foldKernel(Fnv1a128 &h, const kernels::Kernel &k)
+{
+    h.addString(k.name);
+    h.addU64(static_cast<uint64_t>(k.domain));
+    h.addU64(k.inWords);
+    h.addU64(k.outWords);
+    h.addU64(k.scratchWords);
+    h.addU64(k.irregularBytes);
+
+    h.addU64(k.constants.size());
+    for (const auto &c : k.constants) {
+        h.addString(c.name);
+        h.addU64(c.value);
+    }
+    h.addU64(k.tables.size());
+    for (const auto &t : k.tables) {
+        h.addString(t.name);
+        h.addU64(t.data.size());
+        for (auto w : t.data)
+            h.addU64(w);
+    }
+    h.addU64(k.nodes.size());
+    for (const auto &n : k.nodes)
+        foldNode(h, n);
+    h.addU64(k.loops.size());
+    for (const auto &l : k.loops) {
+        h.addU64(l.parent);
+        h.addU64(l.staticTrip);
+        h.addU64(l.tripValue);
+        h.addU64(l.maxTrip);
+        h.addU64(l.carries.size());
+        for (auto c : l.carries)
+            h.addU64(c);
+    }
+    h.addU64(k.carries.size());
+    for (const auto &c : k.carries) {
+        h.addU64(c.node);
+        h.addU64(c.init);
+        h.addU64(c.next);
+        h.addU64(c.loop);
+    }
+}
+
+void
+foldMachine(Fnv1a128 &h, const core::MachineParams &m)
+{
+    h.addString(m.name);
+    h.addU64(m.rows);
+    h.addU64(m.cols);
+    h.addU64(m.frameSlots);
+    h.addU64(m.tileRegs);
+    h.addU64(m.l0InstEntries);
+    h.addU64(m.l0DataBytes);
+    h.addU64(m.l0Latency);
+    h.addU64(m.hopTicks);
+    h.addU64(m.mimdOutstandingLoads);
+    h.addU64(m.regBanks);
+    h.addU64(m.numRegs);
+    h.addU64(m.regLatency);
+    h.addU64(m.mapBandwidth);
+    h.addU64(m.mapOverhead);
+    h.addU64(m.revitalizeDelay);
+    h.addU64(m.pipelineFrames);
+    h.addU64(m.injectInterval);
+
+    h.addU64(m.mech.smc ? 1 : 0);
+    h.addU64(m.mech.instRevitalize ? 1 : 0);
+    h.addU64(m.mech.operandRevitalize ? 1 : 0);
+    h.addU64(m.mech.l0DataStore ? 1 : 0);
+    h.addU64(m.mech.localPC ? 1 : 0);
+
+    const auto &mp = m.memParams;
+    h.addU64(mp.rows);
+    h.addU64(mp.smcBankBytes);
+    h.addU64(mp.smcLatency);
+    h.addU64(mp.smcWordsPerCycle);
+    h.addU64(mp.storeBufWordsPerCycle);
+    h.addU64(mp.l1Bytes);
+    h.addU64(mp.l1Assoc);
+    h.addU64(mp.lineBytes);
+    h.addU64(mp.l1HitLatency);
+    h.addU64(mp.l2Bytes);
+    h.addU64(mp.l2Assoc);
+    h.addU64(mp.l2Latency);
+    h.addU64(mp.memLatency);
+    h.addU64(mp.memWordsPerCycle);
+}
+
+Hash128
+kernelIrHash(const std::string &kernelName)
+{
+    std::lock_guard<std::mutex> lock(keyMutex);
+    static std::map<std::string, Hash128> cache;
+    auto it = cache.find(kernelName);
+    if (it == cache.end()) {
+        Fnv1a128 h;
+        foldKernel(h, kernels::kernelByName(kernelName));
+        it = cache.emplace(kernelName, h.digest()).first;
+    }
+    return it->second;
+}
+
+Hash128
+machineHash(const std::string &configName)
+{
+    std::lock_guard<std::mutex> lock(keyMutex);
+    static std::map<std::string, Hash128> cache;
+    auto it = cache.find(configName);
+    if (it == cache.end()) {
+        Fnv1a128 h;
+        foldMachine(h, arch::configByName(configName));
+        it = cache.emplace(configName, h.digest()).first;
+    }
+    return it->second;
+}
+
+namespace {
+
+std::string codeVersionOverride;
+
+std::string
+defaultCodeVersion()
+{
+    if (const char *env = std::getenv("DLP_CODE_VERSION"); env && *env)
+        return env;
+    // The library's compile-time stamp: a rebuild defaults to a cold
+    // store rather than risking stale results from an older binary.
+    return __DATE__ " " __TIME__;
+}
+
+} // namespace
+
+std::string
+codeVersion()
+{
+    std::lock_guard<std::mutex> lock(keyMutex);
+    if (!codeVersionOverride.empty())
+        return codeVersionOverride;
+    static const std::string stamp = defaultCodeVersion();
+    return stamp;
+}
+
+void
+setCodeVersion(const std::string &version)
+{
+    std::lock_guard<std::mutex> lock(keyMutex);
+    codeVersionOverride = version;
+}
+
+std::string
+experimentKey(const std::string &kernel, const std::string &config,
+              uint64_t scale, uint64_t seed)
+{
+    Fnv1a128 h;
+    h.addU64(keyFormatVersion);
+    h.addString(codeVersion());
+    Hash128 kh = kernelIrHash(kernel);
+    h.addU64(kh.hi);
+    h.addU64(kh.lo);
+    Hash128 mh = machineHash(config);
+    h.addU64(mh.hi);
+    h.addU64(mh.lo);
+    h.addU64(scale);
+    h.addU64(seed);
+    return h.digest().hex();
+}
+
+} // namespace dlp::store

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The persistent content-addressed experiment store.
+ *
+ * On-disk layout under the store directory:
+ *
+ *   objects/<kk>/<key>.json   one entry per experiment cell, where
+ *                             <key> is the 32-hex experiment key
+ *                             (store/key.hh) and <kk> its first two
+ *                             characters (fan-out so directories stay
+ *                             small);
+ *   index.ndjson              append-only newline-delimited JSON, one
+ *                             line per insert: {"key","kernel",
+ *                             "config","bytes"}.
+ *
+ * Entry files are complete JSON documents:
+ *
+ *   { "format": 1, "codeVersion": "...", "key": "...",
+ *     "checksum": "<fnv1a128 hex of the compact result text>",
+ *     "result": { ...full-fidelity codec document... } }
+ *
+ * Durability and concurrency:
+ *
+ *  - inserts write a per-process temp file in the same directory and
+ *    rename(2) it into place, so readers never observe a partial
+ *    entry; two processes inserting the same key race benignly (the
+ *    simulator is deterministic, so both wrote identical results and
+ *    either rename winning is correct);
+ *  - index appends are single short write(2)s on an O_APPEND
+ *    descriptor; the index is advisory (stats/listing only) — lookups
+ *    go straight to the object path, so a torn or truncated index can
+ *    never serve a wrong result, and rebuildIndex() repairs it from
+ *    the objects directory;
+ *  - corrupt entries (unparseable, checksum mismatch, foreign code
+ *    version, wrong key) are treated as misses: counted, unlinked so
+ *    the next insert repairs them, never fatal.
+ */
+
+#ifndef DLP_STORE_RESULT_STORE_HH
+#define DLP_STORE_RESULT_STORE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "arch/processor.hh"
+
+namespace dlp::store {
+
+/** Counters of one ResultStore handle plus on-disk totals. */
+struct StoreStats
+{
+    // This handle's traffic (process-local).
+    uint64_t hits = 0;     ///< lookups served from disk
+    uint64_t misses = 0;   ///< lookups that found no usable entry
+    uint64_t inserts = 0;  ///< entries written
+    uint64_t corrupt = 0;  ///< entries rejected (and removed) as bad
+
+    // On-disk state (from the index, deduplicated by key).
+    uint64_t entries = 0;  ///< distinct keys indexed
+    uint64_t bytes = 0;    ///< sum of their entry-file sizes
+};
+
+class ResultStore
+{
+  public:
+    /** Open (creating directories if needed); fatal if dir is unusable. */
+    explicit ResultStore(std::string directory);
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    const std::string &dir() const { return root; }
+
+    /**
+     * Fetch the entry for key into out. Returns false — never throws —
+     * when the entry is absent, corrupt, checksum-mismatched or written
+     * by a different code version; corrupt entries are unlinked so the
+     * next insert repairs them.
+     */
+    bool lookup(const std::string &key, arch::ExperimentResult &out);
+
+    /** Write (or atomically overwrite) the entry for key. */
+    void insert(const std::string &key, const arch::ExperimentResult &r);
+
+    /**
+     * True if the entry exists, parses, carries the current code
+     * version and passes its checksum — without decoding the result.
+     * Unlike lookup() this neither counts hit/miss nor unlinks bad
+     * entries.
+     */
+    bool verifyEntry(const std::string &key);
+
+    /** Handle counters plus on-disk entry/byte totals from the index. */
+    StoreStats stats();
+
+    /** Rewrite index.ndjson from the objects directory (repair). */
+    void rebuildIndex();
+
+    /** Absolute path of the entry file a key maps to. */
+    std::string entryPath(const std::string &key) const;
+
+    /** Path of the index file. */
+    std::string indexPath() const;
+
+  private:
+    enum class ReadStatus { Ok, Absent, Corrupt };
+
+    /// Parse + validate an entry file; decodes into *out unless null.
+    ReadStatus readEntry(const std::string &key,
+                         arch::ExperimentResult *out);
+
+    void appendIndexLine(const std::string &key,
+                         const arch::ExperimentResult &r, uint64_t bytes);
+
+    std::string root;
+    std::mutex mu;  ///< guards the counters
+    uint64_t hitCount = 0;
+    uint64_t missCount = 0;
+    uint64_t insertCount = 0;
+    uint64_t corruptCount = 0;
+};
+
+} // namespace dlp::store
+
+#endif // DLP_STORE_RESULT_STORE_HH

@@ -186,6 +186,44 @@ TEST(Sweep, CacheHitsOnRepeatAndMissesWhenCold)
     clearResultCache();
 }
 
+TEST(Sweep, CacheCountersConserveCells)
+{
+    // The conservation law behind the exported "store" object: every
+    // cell of every sweep lands in exactly one counter, so across any
+    // sequence of sweeps hits + misses == cells swept. Exercise the
+    // law over a mix of cold, warm, duplicated and cache-bypassed
+    // plans.
+    clearResultCache();
+    uint64_t cells = 0;
+    SweepOptions opts;
+    opts.jobs = 1;
+
+    SweepPlan cold;
+    cold.add("dct", "baseline", 64, 11);
+    cold.add("dct", "S", 64, 11);
+    runSweep(cold, opts);
+    cells += cold.size();
+
+    runSweep(cold, opts);  // fully warm
+    cells += cold.size();
+
+    SweepPlan duplicated;  // same cell twice in one plan, plus a warm one
+    duplicated.add("dct", "M", 64, 11);
+    duplicated.add("dct", "M", 64, 11);
+    duplicated.add("dct", "baseline", 64, 11);
+    runSweep(duplicated, opts);
+    cells += duplicated.size();
+
+    SweepOptions noCache;
+    noCache.jobs = 1;
+    noCache.useCache = false;  // bypassed lookups still count as misses
+    runSweep(cold, noCache);
+    cells += cold.size();
+
+    EXPECT_EQ(resultCacheHits() + resultCacheMisses(), cells);
+    clearResultCache();
+}
+
 TEST(Sweep, ProgressReportsEveryTaskAndCachedFlag)
 {
     clearResultCache();

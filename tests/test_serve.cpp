@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the sweepd service layer: the newline-delimited JSON wire
+ * protocol, an in-process server on a Unix-domain socket (fork-free
+ * worker mode), in-flight deduplication, store-backed warm serving,
+ * in-band error handling and clean shutdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/export.hh"
+#include "driver/proc_pool.hh"
+#include "driver/sweep.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "store/codec.hh"
+
+using namespace dlp;
+
+namespace {
+
+std::string
+freshDir(const std::string &tag)
+{
+    std::string tmpl = ::testing::TempDir() + "dlp_serve_" + tag + "_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    const char *made = ::mkdtemp(buf.data());
+    EXPECT_NE(made, nullptr);
+    return made ? made : tmpl;
+}
+
+json::Value
+readJson(int fd, serve::LineReader &reader)
+{
+    std::string line;
+    EXPECT_TRUE(serve::readMessage(fd, reader, line));
+    return json::parse(line);
+}
+
+/**
+ * The exporter's view of a result with the "host" object neutralized:
+ * host is wall-clock performance of whichever process computed the
+ * cell, the one field that legitimately differs between a served
+ * result and a fresh local run.
+ */
+std::string
+exportSansHost(const arch::ExperimentResult &r)
+{
+    json::Value doc = analysis::toJson(r);
+    doc.set("host", json::Value());
+    return json::write(doc);
+}
+
+} // namespace
+
+TEST(Protocol, LineReaderSplitsArbitraryChunks)
+{
+    serve::LineReader r;
+    std::string line;
+    EXPECT_FALSE(r.next(line));
+    r.feed("ab", 2);
+    EXPECT_FALSE(r.next(line));  // incomplete line stays buffered
+    r.feed("c\nsecond\nthi", 12);
+    EXPECT_TRUE(r.next(line));
+    EXPECT_EQ(line, "abc");
+    EXPECT_TRUE(r.next(line));
+    EXPECT_EQ(line, "second");
+    EXPECT_FALSE(r.next(line));
+    r.feed("rd\n", 3);
+    EXPECT_TRUE(r.next(line));
+    EXPECT_EQ(line, "third");
+}
+
+TEST(Protocol, SweepRequestRoundTrip)
+{
+    driver::SweepPlan plan;
+    plan.add("fft", "S", 8, 7);
+    plan.add("lu", "M-D", 2, 9);
+    plan.tasks[1].scale = 64;
+
+    json::Value req = serve::sweepRequest("r1", plan);
+    EXPECT_EQ(req.at("op").asString(), "sweep");
+    driver::SweepPlan back = serve::planFromRequest(req);
+    ASSERT_EQ(back.size(), plan.size());
+    for (size_t i = 0; i < plan.size(); ++i) {
+        EXPECT_EQ(back.tasks[i].kernel, plan.tasks[i].kernel);
+        EXPECT_EQ(back.tasks[i].config, plan.tasks[i].config);
+        EXPECT_EQ(back.tasks[i].scaleDiv, plan.tasks[i].scaleDiv);
+        EXPECT_EQ(back.tasks[i].seed, plan.tasks[i].seed);
+        EXPECT_EQ(back.tasks[i].scale, plan.tasks[i].scale);
+    }
+}
+
+TEST(ProcPool, ShardsAndCollectsEveryItem)
+{
+    // Payloads come back keyed by item regardless of worker count or
+    // completion order.
+    for (unsigned workers : {1u, 3u}) {
+        std::vector<std::string> got(10);
+        driver::runForked(
+            10, workers,
+            [](size_t i) { return "payload-" + std::to_string(i); },
+            [&](size_t i, std::string payload) {
+                got[i] = std::move(payload);
+            });
+        for (size_t i = 0; i < got.size(); ++i)
+            EXPECT_EQ(got[i], "payload-" + std::to_string(i));
+    }
+}
+
+TEST(Server, SweepStatsDedupShutdown)
+{
+    std::string dir = freshDir("srv");
+    serve::ServerOptions opts;
+    opts.socketPath = dir + "/d.sock";
+    opts.workers = 1;  // inline compute: safe on a thread (no fork)
+    opts.storeDir = dir + "/store";
+    serve::Server server(std::move(opts));
+    std::thread loop([&] { server.run(); });
+
+    int fd = serve::connectUnix(server.socketPath());
+    serve::LineReader reader;
+
+    ASSERT_TRUE(serve::writeLine(fd, serve::simpleRequest("p", "ping")));
+    EXPECT_EQ(readJson(fd, reader).at("type").asString(), "pong");
+
+    // A batch with an exact duplicate cell: four tasks, three unique.
+    driver::SweepPlan plan;
+    plan.add("fft", "S", 8, 7);
+    plan.add("fft", "M-D", 8, 7);
+    plan.add("fft", "S", 8, 7);  // duplicate of task 0
+    plan.add("lu", "S", 8, 7);
+    ASSERT_TRUE(serve::writeLine(fd, serve::sweepRequest("b1", plan)));
+
+    std::vector<arch::ExperimentResult> results(plan.size());
+    std::vector<bool> have(plan.size(), false);
+    json::Value counters;
+    for (bool done = false; !done;) {
+        json::Value msg = readJson(fd, reader);
+        ASSERT_EQ(msg.at("id").asString(), "b1");
+        std::string type = msg.at("type").asString();
+        ASSERT_NE(type, "error");
+        if (type == "done") {
+            counters = msg.at("counters");
+            done = true;
+            continue;
+        }
+        ASSERT_EQ(type, "result");
+        size_t index = size_t(msg.at("index").asNumber());
+        ASSERT_LT(index, plan.size());
+        EXPECT_FALSE(have[index]);
+        results[index] = store::resultFromJson(msg.at("result"));
+        have[index] = true;
+    }
+    for (bool h : have)
+        EXPECT_TRUE(h);
+    EXPECT_EQ(uint64_t(counters.at("cells").asNumber()), 4u);
+    EXPECT_EQ(uint64_t(counters.at("uniqueCells").asNumber()), 3u);
+    EXPECT_EQ(uint64_t(counters.at("dedupedInFlight").asNumber()), 1u);
+    EXPECT_EQ(uint64_t(counters.at("computed").asNumber()), 3u);
+    EXPECT_EQ(uint64_t(counters.at("storeHits").asNumber()), 0u);
+
+    // The duplicate indices received the identical result (host and
+    // all — one computation, fanned out), and every result matches a
+    // direct local computation field for field modulo host wall-clock.
+    EXPECT_EQ(json::write(analysis::toJson(results[0])),
+              json::write(analysis::toJson(results[2])));
+    for (size_t i = 0; i < plan.size(); ++i) {
+        arch::ExperimentResult local = driver::runTask(plan.tasks[i]);
+        EXPECT_EQ(exportSansHost(local), exportSansHost(results[i]));
+    }
+
+    // Rerunning the batch is warm now: all unique cells hit the store.
+    ASSERT_TRUE(serve::writeLine(fd, serve::sweepRequest("b2", plan)));
+    size_t warmResults = 0;
+    for (bool done = false; !done;) {
+        json::Value msg = readJson(fd, reader);
+        std::string type = msg.at("type").asString();
+        if (type == "done") {
+            counters = msg.at("counters");
+            done = true;
+        } else {
+            ASSERT_EQ(type, "result");
+            EXPECT_TRUE(msg.at("cached").asBool());
+            ++warmResults;
+        }
+    }
+    EXPECT_EQ(warmResults, plan.size());
+    EXPECT_EQ(uint64_t(counters.at("computed").asNumber()), 3u);
+    EXPECT_EQ(uint64_t(counters.at("storeHits").asNumber()), 3u);
+
+    // Malformed requests answer in-band and leave the session usable.
+    ASSERT_TRUE(serve::writeLine(fd, serve::simpleRequest("x", "bogus")));
+    EXPECT_EQ(readJson(fd, reader).at("type").asString(), "error");
+    json::Value badSweep = serve::simpleRequest("y", "sweep");  // no tasks
+    ASSERT_TRUE(serve::writeLine(fd, badSweep));
+    EXPECT_EQ(readJson(fd, reader).at("type").asString(), "error");
+
+    // Stats reflects the whole session.
+    ASSERT_TRUE(serve::writeLine(fd, serve::simpleRequest("s", "stats")));
+    json::Value stats = readJson(fd, reader);
+    EXPECT_EQ(stats.at("type").asString(), "stats");
+    EXPECT_EQ(uint64_t(stats.at("counters").at("requests").asNumber()), 2u);
+    EXPECT_EQ(uint64_t(stats.at("counters").at("errors").asNumber()), 2u);
+    EXPECT_EQ(uint64_t(stats.at("store").at("inserts").asNumber()), 3u);
+
+    ASSERT_TRUE(serve::writeLine(fd, serve::simpleRequest("q", "shutdown")));
+    EXPECT_EQ(readJson(fd, reader).at("type").asString(), "bye");
+    loop.join();
+    ::close(fd);
+
+    const serve::ServerCounters &c = server.counters();
+    EXPECT_EQ(c.connections, 1u);
+    EXPECT_EQ(c.cells, 8u);
+    EXPECT_EQ(c.dedupedInFlight, 2u);
+    EXPECT_EQ(c.computed, 3u);
+    EXPECT_EQ(c.storeHits, 3u);
+}
