@@ -173,6 +173,10 @@ main(int argc, char **argv)
             counters = msg.at("counters");
             done = true;
         } else if (type == "error") {
+            if (const json::Value *index = msg.find("index"))
+                fatal("sweepd error on task %" PRIu64 ": %s",
+                      index->asUInt64(),
+                      msg.at("message").asString().c_str());
             fatal("sweepd error: %s", msg.at("message").asString().c_str());
         } else {
             fatal("unexpected message type '%s'", type.c_str());

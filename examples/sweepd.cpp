@@ -88,13 +88,14 @@ main(int argc, char **argv)
     const serve::ServerCounters &c = server.counters();
     std::printf("sweepd: done — %llu connection(s), %llu request(s), "
                 "%llu cell(s): %llu deduped in flight, %llu store hit(s), "
-                "%llu computed, %llu error(s)\n",
+                "%llu computed, %llu error(s), %llu failed cell(s)\n",
                 (unsigned long long)c.connections,
                 (unsigned long long)c.requests,
                 (unsigned long long)c.cells,
                 (unsigned long long)c.dedupedInFlight,
                 (unsigned long long)c.storeHits,
                 (unsigned long long)c.computed,
-                (unsigned long long)c.errors);
+                (unsigned long long)c.errors,
+                (unsigned long long)c.cellErrors);
     return 0;
 }

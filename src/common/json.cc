@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 
 namespace dlp::json {
@@ -18,6 +19,49 @@ Value::kindName(Kind k)
       case Kind::Object: return "object";
     }
     return "?";
+}
+
+uint64_t
+Value::asUInt64() const
+{
+    check(Kind::Number);
+    switch (rep_) {
+      case NumRep::UInt64:
+        return int_;
+      case NumRep::Int64:
+        panic_if(int64_t(int_) < 0, "json: number %lld is negative",
+                 (long long)int64_t(int_));
+        return int_;
+      case NumRep::Double:
+        break;
+    }
+    // 2^64 is the first double at or past the unsigned range.
+    panic_if(!(num_ >= 0.0 && num_ < 18446744073709551616.0 &&
+               std::nearbyint(num_) == num_),
+             "json: number %g is not an exact uint64", num_);
+    return uint64_t(num_);
+}
+
+int64_t
+Value::asInt64() const
+{
+    check(Kind::Number);
+    switch (rep_) {
+      case NumRep::Int64:
+        return int64_t(int_);
+      case NumRep::UInt64:
+        panic_if(int_ > uint64_t(INT64_MAX),
+                 "json: number %llu overflows int64",
+                 (unsigned long long)int_);
+        return int64_t(int_);
+      case NumRep::Double:
+        break;
+    }
+    panic_if(!(num_ >= -9223372036854775808.0 &&
+               num_ < 9223372036854775808.0 &&
+               std::nearbyint(num_) == num_),
+             "json: number %g is not an exact int64", num_);
+    return int64_t(num_);
 }
 
 const Value &
@@ -97,8 +141,21 @@ writeEscaped(std::string &out, const std::string &s)
 }
 
 void
-writeNumber(std::string &out, double d)
+writeNumber(std::string &out, const Value &v)
 {
+    char buf[64];
+    // Exact 64-bit integers print all their digits, no double detour.
+    if (v.numRep() == Value::NumRep::UInt64) {
+        auto res = std::to_chars(buf, buf + sizeof(buf), v.asUInt64());
+        out.append(buf, res.ptr);
+        return;
+    }
+    if (v.numRep() == Value::NumRep::Int64) {
+        auto res = std::to_chars(buf, buf + sizeof(buf), v.asInt64());
+        out.append(buf, res.ptr);
+        return;
+    }
+    double d = v.asNumber();
     // JSON has no NaN/Inf; null is the conventional stand-in.
     if (!std::isfinite(d)) {
         out += "null";
@@ -108,12 +165,10 @@ writeNumber(std::string &out, double d)
     // read as the integers they are (2^53 bounds exact representation).
     double rounded = std::nearbyint(d);
     if (rounded == d && std::fabs(d) < 9.0e15) {
-        char buf[32];
         auto res = std::to_chars(buf, buf + sizeof(buf), int64_t(rounded));
         out.append(buf, res.ptr);
         return;
     }
-    char buf[64];
     auto res = std::to_chars(buf, buf + sizeof(buf), d);
     out.append(buf, res.ptr);
 }
@@ -136,7 +191,7 @@ writeValue(std::string &out, const Value &v, unsigned indent, unsigned depth)
         out += v.asBool() ? "true" : "false";
         break;
       case Value::Kind::Number:
-        writeNumber(out, v.asNumber());
+        writeNumber(out, v);
         break;
       case Value::Kind::String:
         writeEscaped(out, v.asString());
@@ -379,16 +434,37 @@ class Parser
     number()
     {
         size_t start = pos;
-        consume('-');
+        bool negative = consume('-');
+        bool integral = true;
         while (pos < s.size() &&
                ((s[pos] >= '0' && s[pos] <= '9') || s[pos] == '.' ||
                 s[pos] == 'e' || s[pos] == 'E' || s[pos] == '+' ||
-                s[pos] == '-'))
+                s[pos] == '-')) {
+            if (s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E')
+                integral = false;
             ++pos;
+        }
         fail_if(pos == start, "expected a value");
+        const char *first = s.data() + start;
+        const char *last = s.data() + pos;
+        if (integral) {
+            // Restore an integer literal exactly; only a literal that
+            // overflows 64 bits falls back to the double path below.
+            if (negative) {
+                int64_t i = 0;
+                auto res = std::from_chars(first, last, i);
+                if (res.ec == std::errc() && res.ptr == last)
+                    return Value(i);
+            } else {
+                uint64_t u = 0;
+                auto res = std::from_chars(first, last, u);
+                if (res.ec == std::errc() && res.ptr == last)
+                    return Value(u);
+            }
+        }
         double d = 0;
-        auto res = std::from_chars(s.data() + start, s.data() + pos, d);
-        fail_if(res.ec != std::errc() || res.ptr != s.data() + pos,
+        auto res = std::from_chars(first, last, d);
+        fail_if(res.ec != std::errc() || res.ptr != last,
                 "malformed number");
         return Value(d);
     }

@@ -8,12 +8,17 @@
  * third-party dependency into the build, so this implements just the
  * subset those consumers need:
  *
- *  - a Value DOM (null / bool / number / string / array / object),
+ *  - a Value DOM (null / bool / number / string / array / object);
+ *    numbers built from 64-bit integers keep their exact value (no
+ *    silent narrowing through double above 2^53 — cycle counters and
+ *    distribution accumulators of very long simulations stay
+ *    bit-exact), and the parser restores integer literals exactly,
  *  - objects preserve insertion order, so exported documents have a
  *    stable, deterministic key ordering run to run,
  *  - a writer with optional pretty-printing; doubles are emitted via
- *    std::to_chars (shortest round-trippable form), and numbers that
- *    hold exact integral values print without a decimal point,
+ *    std::to_chars (shortest round-trippable form), numbers that hold
+ *    exact integral values print without a decimal point, and exact
+ *    64-bit integers print all their digits,
  *  - a recursive-descent parser (used by the tests to round-trip the
  *    benches' output) that raises FatalError on malformed input.
  */
@@ -41,14 +46,25 @@ class Value
   public:
     enum class Kind { Null, Bool, Number, String, Array, Object };
 
+    /**
+     * How a Kind::Number stores its exact value. Integer-built numbers
+     * keep full 64-bit precision; asNumber() always works (nearest
+     * double), the width-specific accessors are lossless.
+     */
+    enum class NumRep { Double, Int64, UInt64 };
+
     Value() : kind_(Kind::Null) {}
     Value(std::nullptr_t) : kind_(Kind::Null) {}
     Value(bool b) : kind_(Kind::Bool), bool_(b) {}
     Value(double d) : kind_(Kind::Number), num_(d) {}
-    Value(int i) : kind_(Kind::Number), num_(i) {}
-    Value(unsigned u) : kind_(Kind::Number), num_(u) {}
-    Value(int64_t i) : kind_(Kind::Number), num_(double(i)) {}
-    Value(uint64_t u) : kind_(Kind::Number), num_(double(u)) {}
+    Value(int i) : Value(int64_t(i)) {}
+    Value(unsigned u) : Value(uint64_t(u)) {}
+    Value(int64_t i)
+        : kind_(Kind::Number), rep_(NumRep::Int64), num_(double(i)),
+          int_(uint64_t(i)) {}
+    Value(uint64_t u)
+        : kind_(Kind::Number), rep_(NumRep::UInt64), num_(double(u)),
+          int_(u) {}
     Value(const char *s) : kind_(Kind::String), str_(s) {}
     Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
 
@@ -66,6 +82,15 @@ class Value
 
     bool asBool() const { check(Kind::Bool); return bool_; }
     double asNumber() const { check(Kind::Number); return num_; }
+    NumRep numRep() const { check(Kind::Number); return rep_; }
+    /**
+     * The number as an exact unsigned/signed 64-bit integer. Exact
+     * integer representations convert losslessly (with a range check
+     * across signedness); a double-represented number must hold an
+     * integral value in range. Panics otherwise.
+     */
+    uint64_t asUInt64() const;
+    int64_t asInt64() const;
     const std::string &asString() const { check(Kind::String); return str_; }
 
     /** Array access. */
@@ -96,8 +121,10 @@ class Value
     static const char *kindName(Kind k);
 
     Kind kind_;
+    NumRep rep_ = NumRep::Double;
     bool bool_ = false;
     double num_ = 0.0;
+    uint64_t int_ = 0;  ///< exact payload when rep_ is Int64/UInt64
     std::string str_;
     std::vector<Value> arr_;
     Members obj_;

@@ -30,11 +30,15 @@ writeAll(int fd, const void *data, size_t n)
     return true;
 }
 
-/** One frame on the pipe: item index, payload size, payload bytes. */
+/**
+ * One frame on the pipe: item index, status (0 = payload, 1 = error
+ * text from a produce() that threw), payload size, payload bytes.
+ */
 bool
-writeFrame(int fd, uint64_t item, const std::string &payload)
+writeFrame(int fd, uint64_t item, uint64_t status,
+           const std::string &payload)
 {
-    uint64_t hdr[2] = {item, payload.size()};
+    uint64_t hdr[3] = {item, status, payload.size()};
     return writeAll(fd, hdr, sizeof(hdr)) &&
            writeAll(fd, payload.data(), payload.size());
 }
@@ -48,19 +52,77 @@ struct Child
     bool eof = false;
 };
 
+/**
+ * The child's whole life: run the round-robin shard, stream one frame
+ * per item, and make sure no exception ever unwinds past this frame
+ * into the stack inherited from the parent. Never returns.
+ */
+[[noreturn]] void
+runChildShard(int writeFd, unsigned shard, size_t items, unsigned workers,
+              const std::function<std::string(size_t)> &produce,
+              const std::function<void()> &childInit)
+{
+    int status = 0;
+    try {
+        if (childInit)
+            childInit();
+        for (size_t i = shard; i < items; i += workers) {
+            std::string out;
+            uint64_t err = 0;
+            try {
+                out = produce(i);
+            } catch (const std::exception &e) {
+                err = 1;
+                out = e.what();
+            } catch (...) {
+                err = 1;
+                out = "unknown exception in worker";
+            }
+            // A write failure means the parent is gone; just stop.
+            if (!writeFrame(writeFd, i, err, out)) {
+                status = 1;
+                break;
+            }
+        }
+    } catch (...) {
+        // childInit failed or something escaped the per-item barrier;
+        // the parent sees the nonzero exit via waitpid.
+        status = 1;
+    }
+    ::close(writeFd);
+    ::_exit(status);
+}
+
 } // namespace
 
 void
 runForked(size_t items, unsigned workers,
           const std::function<std::string(size_t)> &produce,
-          const std::function<void(size_t, std::string)> &collect)
+          const std::function<void(size_t, std::string)> &collect,
+          const std::function<void(size_t, const std::string &)> &onError,
+          const std::function<void()> &childInit)
 {
     if (items == 0)
         return;
     workers = unsigned(std::min<size_t>(workers ? workers : 1, items));
     if (workers <= 1) {
-        for (size_t i = 0; i < items; ++i)
-            collect(i, produce(i));
+        // Serial mode keeps the forked mode's error contract: with an
+        // onError callback a throwing item is reported and the rest of
+        // the batch still runs.
+        for (size_t i = 0; i < items; ++i) {
+            if (!onError) {
+                collect(i, produce(i));
+                continue;
+            }
+            std::string payload;
+            try {
+                payload = produce(i);
+            } catch (const std::exception &e) {
+                onError(i, e.what());
+                continue;
+            }
+            collect(i, std::move(payload));
+        }
         return;
     }
 
@@ -72,16 +134,13 @@ runForked(size_t items, unsigned workers,
         pid_t pid = ::fork();
         fatal_if(pid < 0, "fork failed: %s", std::strerror(errno));
         if (pid == 0) {
-            // Child: run this worker's round-robin shard and stream
-            // each payload back. Any write failure means the parent is
-            // gone, so just stop.
             ::close(pipefd[0]);
-            for (size_t i = w; i < items; i += workers) {
-                if (!writeFrame(pipefd[1], i, produce(i)))
-                    ::_exit(1);
-            }
-            ::close(pipefd[1]);
-            ::_exit(0);
+            // Drop the read ends inherited from earlier forks: holding
+            // them would keep dead siblings' pipes alive and blunt
+            // parent-death detection via write failure.
+            for (unsigned prev = 0; prev < w; ++prev)
+                ::close(children[prev].fd);
+            runChildShard(pipefd[1], w, items, workers, produce, childInit);
         }
         ::close(pipefd[1]);
         children[w].fd = pipefd[0];
@@ -90,6 +149,9 @@ runForked(size_t items, unsigned workers,
 
     std::vector<bool> delivered(items, false);
     size_t deliveredCount = 0;
+    // With no onError callback a failure must still drain the pipes
+    // and reap every child before surfacing, or the siblings leak.
+    std::string firstError;
     size_t open = workers;
     while (open) {
         std::vector<struct pollfd> fds;
@@ -126,21 +188,28 @@ runForked(size_t items, unsigned workers,
             }
             c.buf.append(chunk, size_t(n));
             // Drain every complete frame in the buffer.
-            while (c.buf.size() >= 2 * sizeof(uint64_t)) {
-                uint64_t hdr[2];
+            while (c.buf.size() >= 3 * sizeof(uint64_t)) {
+                uint64_t hdr[3];
                 std::memcpy(hdr, c.buf.data(), sizeof(hdr));
-                size_t total = 2 * sizeof(uint64_t) + hdr[1];
+                size_t total = 3 * sizeof(uint64_t) + hdr[2];
                 if (c.buf.size() < total)
                     break;
                 std::string payload =
-                    c.buf.substr(2 * sizeof(uint64_t), hdr[1]);
+                    c.buf.substr(3 * sizeof(uint64_t), hdr[2]);
                 c.buf.erase(0, total);
                 fatal_if(hdr[0] >= items || delivered[hdr[0]],
                          "worker delivered bogus item %llu",
                          (unsigned long long)hdr[0]);
                 delivered[hdr[0]] = true;
                 ++deliveredCount;
-                collect(size_t(hdr[0]), std::move(payload));
+                if (hdr[1] == 0) {
+                    collect(size_t(hdr[0]), std::move(payload));
+                } else if (onError) {
+                    onError(size_t(hdr[0]), payload);
+                } else if (firstError.empty()) {
+                    firstError = "item " + std::to_string(hdr[0]) + ": " +
+                                 payload;
+                }
             }
         }
     }
@@ -154,6 +223,8 @@ runForked(size_t items, unsigned workers,
     }
     fatal_if(deliveredCount != items,
              "workers delivered %zu of %zu items", deliveredCount, items);
+    fatal_if(!firstError.empty(), "sweep worker failed: %s",
+             firstError.c_str());
 }
 
 } // namespace dlp::driver

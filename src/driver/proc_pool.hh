@@ -10,10 +10,16 @@
  * fork again later).
  *
  * Work items are sharded round-robin across the workers. Each child
- * runs its shard serially and returns one opaque byte payload per item
- * over its pipe, length-prefix framed; the parent polls all pipes and
- * invokes the collect callback as payloads arrive — in completion
- * order, not item order, so streaming consumers see results early.
+ * runs its shard serially and returns one length-prefix framed payload
+ * per item over its pipe; the parent polls all pipes and invokes the
+ * collect callback as payloads arrive — in completion order, not item
+ * order, so streaming consumers see results early.
+ *
+ * The fork boundary is an exception barrier: a child never lets an
+ * exception unwind into the stack it inherited from the parent (which
+ * would re-enter the parent's event loop or test harness as a duplicate
+ * process). A produce() failure travels back as an in-band error frame
+ * instead, and every other escape path in the child ends in _exit.
  */
 
 #ifndef DLP_DRIVER_PROC_POOL_HH
@@ -31,12 +37,26 @@ namespace dlp::driver {
  * payloads arrive. Serial (no fork) when workers <= 1. Fatal if a
  * child dies without delivering its shard.
  *
+ * A produce() that throws delivers an error for that item instead of a
+ * payload: onError(item, message) is called in the parent (in both
+ * serial and forked mode), and the remaining items still run. Without
+ * an onError callback the batch finishes, the children are reaped, and
+ * then the first failure raises fatal().
+ *
+ * childInit, when set, runs once in every forked child immediately
+ * after fork, before any produce() — the hook for closing inherited
+ * descriptors the shard must not keep alive (listening sockets, client
+ * connections). It is not called in serial mode.
+ *
  * The parent must be single-threaded at the call; produce must not
  * touch parent state (it runs in a copy-on-write child).
  */
 void runForked(size_t items, unsigned workers,
                const std::function<std::string(size_t)> &produce,
-               const std::function<void(size_t, std::string)> &collect);
+               const std::function<void(size_t, std::string)> &collect,
+               const std::function<void(size_t, const std::string &)>
+                   &onError = {},
+               const std::function<void()> &childInit = {});
 
 } // namespace dlp::driver
 

@@ -18,13 +18,16 @@
  * in task order — warm cells arrive first), then a terminator:
  *
  *   {"id":..,"type":"result","index":N,"cached":bool,"result":{..}}
+ *   {"id":..,"type":"error","index":N,"message":..}   (failed cell)
  *   {"id":..,"type":"done","cells":N,"counters":{..},"store":{..}}
  *
  * The "result" object is the store codec's full-fidelity document
  * (store/codec.hh), so the client reconstructs ExperimentResults that
- * are field-for-field identical to a local runSweep. Malformed input
- * yields {"id":..,"type":"error","message":..} and the connection
- * stays open.
+ * are field-for-field identical to a local runSweep. A cell whose
+ * simulation fails answers with an indexed "error" line per requesting
+ * task while the rest of the batch completes, still terminated by
+ * "done". Malformed input yields {"id":..,"type":"error","message":..}
+ * (no "index") and the connection stays open either way.
  */
 
 #ifndef DLP_SERVE_PROTOCOL_HH

@@ -54,7 +54,21 @@ Server::Server(ServerOptions options) : opts(std::move(options))
              "socket path too long: '%s'", opts.socketPath.c_str());
     std::strncpy(addr.sun_path, opts.socketPath.c_str(),
                  sizeof(addr.sun_path) - 1);
-    ::unlink(opts.socketPath.c_str());  // replace a stale socket file
+    // A leftover socket file from a crashed daemon must be reclaimed,
+    // but a live daemon still answers a connect probe — refuse to
+    // unlink its address out from under it.
+    int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    fatal_if(probe < 0, "socket failed: %s", std::strerror(errno));
+    bool alive = ::connect(probe, reinterpret_cast<struct sockaddr *>(&addr),
+                           sizeof(addr)) == 0;
+    ::close(probe);
+    if (alive) {
+        ::close(listenFd);
+        listenFd = -1;
+        fatal("a sweepd is already serving on '%s'",
+              opts.socketPath.c_str());
+    }
+    ::unlink(opts.socketPath.c_str());  // stale: no listener answered
     fatal_if(::bind(listenFd, reinterpret_cast<struct sockaddr *>(&addr),
                     sizeof(addr)) != 0,
              "cannot bind '%s': %s", opts.socketPath.c_str(),
@@ -84,6 +98,7 @@ Server::countersJson() const
     obj.set("storeHits", ctrs.storeHits);
     obj.set("computed", ctrs.computed);
     obj.set("errors", ctrs.errors);
+    obj.set("cellErrors", ctrs.cellErrors);
     return obj;
 }
 
@@ -103,6 +118,7 @@ Server::handleSweep(int fd, const json::Value &request)
     struct Cell
     {
         driver::SweepTask task;
+        std::string key;              ///< content-addressed experiment key
         std::vector<size_t> indices;  ///< request positions it serves
     };
     std::vector<Cell> cells;
@@ -114,7 +130,7 @@ Server::handleSweep(int fd, const json::Value &request)
             task.seed);
         auto [it, fresh] = cellByKey.emplace(key, cells.size());
         if (fresh)
-            cells.push_back({task, {}});
+            cells.push_back({task, key, {}});
         else
             obs::hostInstant(obs::Cat::Serve, "dedup",
                              task.kernel + "/" + task.config);
@@ -141,10 +157,7 @@ Server::handleSweep(int fd, const json::Value &request)
     std::vector<size_t> cold;
     for (size_t c = 0; c < cells.size(); ++c) {
         arch::ExperimentResult r;
-        std::string key = store::experimentKey(
-            cells[c].task.kernel, cells[c].task.config,
-            driver::resolvedScale(cells[c].task), cells[c].task.seed);
-        if (storeHandle && storeHandle->lookup(key, r)) {
+        if (storeHandle && storeHandle->lookup(cells[c].key, r)) {
             ++ctrs.storeHits;
             emit(cells[c], r, true);
         } else {
@@ -154,7 +167,9 @@ Server::handleSweep(int fd, const json::Value &request)
 
     // Cold pass: simulate, shard across forked workers when asked.
     // Children only compute and serialize; the store insert and the
-    // client write stay in the parent, as payloads arrive.
+    // client write stay in the parent, as payloads arrive. A cell
+    // whose simulation throws answers as an error line per requesting
+    // index while the rest of the batch completes.
     auto produce = [&](size_t i) {
         arch::ExperimentResult r = driver::runTask(cells[cold[i]].task);
         return json::write(store::resultToJson(r), 0);
@@ -163,17 +178,31 @@ Server::handleSweep(int fd, const json::Value &request)
         arch::ExperimentResult r =
             store::resultFromJson(json::parse(payload));
         const Cell &cell = cells[cold[i]];
-        if (storeHandle) {
-            storeHandle->insert(
-                store::experimentKey(cell.task.kernel, cell.task.config,
-                                     driver::resolvedScale(cell.task),
-                                     cell.task.seed),
-                r);
-        }
+        if (storeHandle)
+            storeHandle->insert(cell.key, r);
         ++ctrs.computed;
         emit(cell, r, false);
     };
-    driver::runForked(cold.size(), opts.workers, produce, collect);
+    auto onError = [&](size_t i, const std::string &message) {
+        ++ctrs.cellErrors;
+        for (size_t index : cells[cold[i]].indices) {
+            json::Value msg = json::Value::object();
+            msg.set("id", id);
+            msg.set("type", "error");
+            msg.set("index", uint64_t(index));
+            msg.set("message", message);
+            writeLine(fd, msg);
+        }
+    };
+    auto childInit = [&] {
+        // The forked worker inherits the daemon's listening socket and
+        // every client connection; only the parent may speak on those.
+        ::close(listenFd);
+        for (const auto &c : conns)
+            ::close(c.fd);
+    };
+    driver::runForked(cold.size(), opts.workers, produce, collect,
+                      onError, childInit);
 
     json::Value done = json::Value::object();
     done.set("id", id);

@@ -14,10 +14,11 @@
  *    them immediately;
  *  - shards the remaining cold cells across forked worker processes
  *    (driver/proc_pool.hh) when workers > 1 — children share nothing
- *    with the event loop and a simulation crash cannot take the
- *    daemon down — or computes them inline when workers <= 1 (the
- *    fork-free mode, safe even when the server runs on a thread
- *    inside a test);
+ *    with the event loop, a simulation failure in one cell answers as
+ *    an in-band per-index error line while the rest of the batch
+ *    completes, and a crash cannot take the daemon down — or computes
+ *    them inline when workers <= 1 (the fork-free mode, safe even
+ *    when the server runs on a thread inside a test);
  *  - streams each result to the client as it completes and finishes
  *    with a "done" line carrying the request's counters.
  *
@@ -67,12 +68,17 @@ struct ServerCounters
     uint64_t storeHits = 0;        ///< unique cells served from the store
     uint64_t computed = 0;         ///< unique cells simulated
     uint64_t errors = 0;           ///< malformed or failed requests
+    uint64_t cellErrors = 0;       ///< unique cells whose simulation failed
 };
 
 class Server
 {
   public:
-    /** Bind + listen (replacing any stale socket file); fatal if unable. */
+    /**
+     * Bind + listen. A stale socket file (no listener answers a
+     * connect probe) is reclaimed; a live daemon on the path is
+     * fatal rather than hijacked.
+     */
     explicit Server(ServerOptions options);
     ~Server();
 

@@ -9,7 +9,9 @@ namespace {
 uint64_t
 asU64(const json::Value &v)
 {
-    return static_cast<uint64_t>(v.asNumber());
+    // Exact even above 2^53: cycle counts and distribution
+    // accumulators of very long simulations round-trip bit-identically.
+    return v.asUInt64();
 }
 
 json::Value

@@ -335,6 +335,44 @@ TEST(Json, WriteParseRoundTrip)
               std::string::npos);
 }
 
+TEST(Json, ExactSixtyFourBitIntegers)
+{
+    // Integer-built numbers keep full 64-bit precision through write
+    // and parse — no silent narrowing through double above 2^53.
+    const uint64_t top = 18446744073709551615ull;   // 2^64 - 1
+    const uint64_t odd = (1ull << 53) + 1;          // first non-double
+    json::Value doc = json::Value::object();
+    doc.set("top", top);
+    doc.set("odd", odd);
+    doc.set("neg", INT64_MIN);
+
+    std::string text = json::write(doc, 0);
+    EXPECT_EQ(text, "{\"top\":18446744073709551615,"
+                    "\"odd\":9007199254740993,"
+                    "\"neg\":-9223372036854775808}");
+    json::Value back = json::parse(text);
+    EXPECT_EQ(back.at("top").asUInt64(), top);
+    EXPECT_EQ(back.at("odd").asUInt64(), odd);
+    EXPECT_EQ(back.at("neg").asInt64(), INT64_MIN);
+    EXPECT_EQ(json::write(back, 0), text);  // byte-stable round trip
+
+    // Plain integer literals restore exactly; fractional, exponent
+    // and over-wide literals still travel as doubles.
+    EXPECT_EQ(json::parse("7").asUInt64(), 7u);
+    EXPECT_EQ(json::parse("-3").asInt64(), -3);
+    EXPECT_DOUBLE_EQ(json::parse("2.5").asNumber(), 2.5);
+    EXPECT_DOUBLE_EQ(json::parse("1e300").asNumber(), 1e300);
+    EXPECT_DOUBLE_EQ(json::parse("184467440737095516160").asNumber(),
+                     1.8446744073709552e20);
+
+    // The exact accessors convert integral doubles and range-check
+    // across signedness instead of wrapping.
+    EXPECT_EQ(json::Value(42.0).asUInt64(), 42u);
+    EXPECT_THROW(json::Value(-1).asUInt64(), PanicError);
+    EXPECT_THROW(json::Value(top).asInt64(), PanicError);
+    EXPECT_THROW(json::Value(2.5).asUInt64(), PanicError);
+}
+
 TEST(Json, StableKeyOrder)
 {
     json::Value doc = json::Value::object();

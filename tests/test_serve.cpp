@@ -8,8 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstring>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -112,6 +117,68 @@ TEST(ProcPool, ShardsAndCollectsEveryItem)
             });
         for (size_t i = 0; i < got.size(); ++i)
             EXPECT_EQ(got[i], "payload-" + std::to_string(i));
+    }
+}
+
+TEST(ProcPool, ProduceFailureReportsInBandAndBatchCompletes)
+{
+    // A produce() that throws must not unwind the forked child's
+    // inherited stack (the original bug: the child re-entered the
+    // caller's loop as a duplicate process while the parent waited on
+    // the pipe forever). The failure comes back through onError and
+    // every other item still delivers — identically in serial mode.
+    auto produce = [](size_t i) -> std::string {
+        if (i == 2 || i == 5)
+            throw std::runtime_error("boom-" + std::to_string(i));
+        return "ok-" + std::to_string(i);
+    };
+    for (unsigned workers : {1u, 3u}) {
+        std::vector<std::string> got(7);
+        std::vector<std::string> errs(7);
+        driver::runForked(
+            7, workers, produce,
+            [&](size_t i, std::string payload) {
+                got[i] = std::move(payload);
+            },
+            [&](size_t i, const std::string &message) {
+                errs[i] = message;
+            });
+        for (size_t i = 0; i < 7; ++i) {
+            if (i == 2 || i == 5) {
+                EXPECT_EQ(got[i], "");
+                EXPECT_NE(errs[i].find("boom-" + std::to_string(i)),
+                          std::string::npos);
+            } else {
+                EXPECT_EQ(got[i], "ok-" + std::to_string(i));
+                EXPECT_EQ(errs[i], "");
+            }
+        }
+    }
+}
+
+TEST(ProcPool, ProduceFailureWithoutHandlerIsFatalAfterReaping)
+{
+    // No onError: the batch still drains (no deadlock, no leaked
+    // children), then the first failure surfaces as FatalError.
+    for (unsigned workers : {1u, 3u}) {
+        size_t collected = 0;
+        auto run = [&] {
+            driver::runForked(
+                4, workers,
+                [](size_t i) -> std::string {
+                    if (i == 1)
+                        throw std::runtime_error("lone failure");
+                    return "ok";
+                },
+                [&](size_t, std::string) { ++collected; });
+        };
+        if (workers <= 1) {
+            // Serial mode without a handler propagates directly.
+            EXPECT_THROW(run(), std::runtime_error);
+        } else {
+            EXPECT_THROW(run(), FatalError);
+            EXPECT_EQ(collected, 3u);
+        }
     }
 }
 
@@ -222,4 +289,112 @@ TEST(Server, SweepStatsDedupShutdown)
     EXPECT_EQ(c.dedupedInFlight, 2u);
     EXPECT_EQ(c.computed, 3u);
     EXPECT_EQ(c.storeHits, 3u);
+}
+
+TEST(Server, ForkedWorkersServeABatch)
+{
+    // The real deployment shape: a single-threaded daemon process
+    // (forked from the test) sharding cold cells across its own forked
+    // workers. The daemon must answer the batch, match a direct local
+    // computation, and exit cleanly on shutdown.
+    std::string dir = freshDir("fork");
+    serve::ServerOptions opts;
+    opts.socketPath = dir + "/d.sock";
+    opts.workers = 3;
+    pid_t daemon = ::fork();
+    ASSERT_NE(daemon, -1);
+    if (daemon == 0) {
+        int code = 0;
+        try {
+            serve::Server server(opts);
+            server.run();
+        } catch (...) {
+            code = 1;
+        }
+        ::_exit(code);
+    }
+
+    int fd = -1;
+    for (int tries = 0; fd < 0 && tries < 500; ++tries) {
+        try {
+            fd = serve::connectUnix(opts.socketPath);
+        } catch (const FatalError &) {
+            ::usleep(10 * 1000);  // daemon not listening yet
+        }
+    }
+    ASSERT_GE(fd, 0);
+
+    driver::SweepPlan plan;
+    plan.add("fft", "S", 8, 7);
+    plan.add("lu", "S", 8, 7);
+    plan.add("fft", "S", 8, 7);  // duplicate of task 0
+    serve::LineReader reader;
+    ASSERT_TRUE(serve::writeLine(fd, serve::sweepRequest("f1", plan)));
+
+    std::vector<arch::ExperimentResult> results(plan.size());
+    std::vector<bool> have(plan.size(), false);
+    json::Value counters;
+    for (bool done = false; !done;) {
+        json::Value msg = readJson(fd, reader);
+        std::string type = msg.at("type").asString();
+        ASSERT_NE(type, "error");
+        if (type == "done") {
+            counters = msg.at("counters");
+            done = true;
+            continue;
+        }
+        ASSERT_EQ(type, "result");
+        size_t index = size_t(msg.at("index").asUInt64());
+        ASSERT_LT(index, plan.size());
+        EXPECT_FALSE(have[index]);
+        results[index] = store::resultFromJson(msg.at("result"));
+        have[index] = true;
+    }
+    for (bool h : have)
+        EXPECT_TRUE(h);
+    EXPECT_EQ(counters.at("computed").asUInt64(), 2u);
+    EXPECT_EQ(counters.at("dedupedInFlight").asUInt64(), 1u);
+    EXPECT_EQ(counters.at("cellErrors").asUInt64(), 0u);
+    for (size_t i = 0; i < plan.size(); ++i) {
+        arch::ExperimentResult local = driver::runTask(plan.tasks[i]);
+        EXPECT_EQ(exportSansHost(local), exportSansHost(results[i]));
+    }
+
+    ASSERT_TRUE(serve::writeLine(fd, serve::simpleRequest("q", "shutdown")));
+    EXPECT_EQ(readJson(fd, reader).at("type").asString(), "bye");
+    ::close(fd);
+    int status = -1;
+    ASSERT_EQ(::waitpid(daemon, &status, 0), daemon);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
+TEST(Server, RefusesToHijackALiveDaemonSocket)
+{
+    std::string dir = freshDir("hijack");
+    std::string path = dir + "/d.sock";
+
+    // A stale socket file (bound once, no listener left) is reclaimed.
+    {
+        int s = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(s, 0);
+        struct sockaddr_un addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ASSERT_EQ(::bind(s, reinterpret_cast<struct sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        ::close(s);  // file stays behind, nobody listening
+    }
+    serve::ServerOptions opts;
+    opts.socketPath = path;
+    serve::Server first(opts);
+
+    // A second sweepd on the same path must fail loudly, and the
+    // first one must keep its address: the socket file still answers.
+    EXPECT_THROW(serve::Server second(opts), FatalError);
+    int fd = serve::connectUnix(path);
+    EXPECT_GE(fd, 0);
+    ::close(fd);
 }

@@ -115,6 +115,22 @@ TEST(StoreCodec, RoundTripIsExportIdentical)
               json::write(analysis::toJson(decoded)));
 }
 
+TEST(StoreCodec, CountersAboveDoublePrecisionStayExact)
+{
+    // A very long simulation's uint64 counters exceed 2^53; the codec
+    // and the JSON layer must carry them bit-exactly, not through a
+    // double.
+    arch::ExperimentResult original = driver::runTask(quickTask());
+    original.cycles = (1ull << 53) + 1;          // first non-double
+    original.instsExecuted = 18446744073709551615ull;  // 2^64 - 1
+    original.hostEvents = (1ull << 62) + 12345;
+    arch::ExperimentResult decoded = store::resultFromJson(
+        json::parse(json::write(store::resultToJson(original), 0)));
+    EXPECT_EQ(decoded.cycles, original.cycles);
+    EXPECT_EQ(decoded.instsExecuted, original.instsExecuted);
+    EXPECT_EQ(decoded.hostEvents, original.hostEvents);
+}
+
 TEST(ResultStore, InsertLookupVerifyStats)
 {
     std::string dir = freshDir("rt");
