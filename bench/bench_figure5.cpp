@@ -23,6 +23,10 @@
  * grid; --timeseries=N samples every stat each N simulated ticks into
  * the per-experiment "timeseries" JSON object (also DLP_TIMELINE /
  * DLP_TIMESERIES).
+ * Epoch fast-forwarding (steady-state trace JIT) is on by default and
+ * bit-identical to full simulation; --no-fast-forward (or
+ * DLP_FASTFORWARD=0) forces event-by-event execution, --fast-forward
+ * forces it back on.
  */
 
 #include <chrono>
@@ -39,6 +43,7 @@
 #include "check/verify.hh"
 #include "driver/job_pool.hh"
 #include "driver/sweep.hh"
+#include "epoch/epoch.hh"
 #include "obs/timeline.hh"
 #include "verify/audit.hh"
 
@@ -60,6 +65,10 @@ main(int argc, char **argv)
             verify::setAuditEnabled(true);
         else if (std::strcmp(argv[i], "--check") == 0)
             check::setCheckEnabled(true);
+        else if (std::strcmp(argv[i], "--fast-forward") == 0)
+            epoch::setFastForwardEnabled(true);
+        else if (std::strcmp(argv[i], "--no-fast-forward") == 0)
+            epoch::setFastForwardEnabled(false);
         else if (std::strncmp(argv[i], "--store=", 8) == 0)
             driver::setDefaultStoreDir(argv[i] + 8);
         else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc)

@@ -9,6 +9,7 @@
  *
  * Usage: bench_table4 [--quick] [--jobs N] [--audit] [--check]
  *                     [--store=DIR] [--trace-out=FILE] [--timeseries=N]
+ *                     [--fast-forward | --no-fast-forward]
  * The 13 baseline simulations are independent; --jobs (or DLP_JOBS)
  * runs them concurrently on the sweep driver. --audit (or DLP_AUDIT=1)
  * checks every run against the conservation invariants and fails the
@@ -34,6 +35,7 @@
 #include "check/verify.hh"
 #include "common/logging.hh"
 #include "driver/sweep.hh"
+#include "epoch/epoch.hh"
 #include "obs/timeline.hh"
 #include "verify/audit.hh"
 
@@ -55,6 +57,10 @@ main(int argc, char **argv)
             verify::setAuditEnabled(true);
         else if (std::strcmp(argv[i], "--check") == 0)
             check::setCheckEnabled(true);
+        else if (std::strcmp(argv[i], "--fast-forward") == 0)
+            epoch::setFastForwardEnabled(true);
+        else if (std::strcmp(argv[i], "--no-fast-forward") == 0)
+            epoch::setFastForwardEnabled(false);
         else if (std::strncmp(argv[i], "--store=", 8) == 0)
             opts.storeDir = argv[i] + 8;
         else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc)

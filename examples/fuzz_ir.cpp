@@ -26,6 +26,10 @@
  *                            static rule or is logged as a coverage
  *                            gap; static errors on dynamically clean
  *                            cases are failures (kind "static")
+ *   --fast-forward           differential epoch fast-forwarding: run
+ *                            every case with the fast-forwarder off and
+ *                            on and require bit-identical results
+ *                            (failures have kind "fastforward")
  *   --json FILE              write counterexamples as JSON
  *
  * Exit status: 0 when every (seed, config) run matches the oracle and
@@ -152,6 +156,8 @@ main(int argc, char **argv)
             base.audit = false;
         } else if (std::strcmp(argv[i], "--static-check") == 0) {
             base.staticCheck = true;
+        } else if (std::strcmp(argv[i], "--fast-forward") == 0) {
+            base.ffDiff = true;
         } else if (std::strcmp(argv[i], "--json") == 0) {
             jsonPath = value(i);
         } else if (std::strcmp(argv[i], "--dump") == 0) {
@@ -179,10 +185,11 @@ main(int argc, char **argv)
     size_t nConfigs =
         base.configs.empty() ? arch::allConfigNames().size()
                              : base.configs.size();
-    std::printf("fuzz_ir: %zu seed%s x %zu config%s, oracle-diff%s\n",
+    std::printf("fuzz_ir: %zu seed%s x %zu config%s, oracle-diff%s%s\n",
                 seeds.size(), seeds.size() == 1 ? "" : "s", nConfigs,
                 nConfigs == 1 ? "" : "s",
-                base.audit ? " + invariant audit" : "");
+                base.audit ? " + invariant audit" : "",
+                base.ffDiff ? " + fast-forward diff" : "");
 
     verify::FuzzReport rep = verify::fuzzSeeds(seeds, base);
 

@@ -97,6 +97,13 @@ toJson(const arch::ExperimentResult &result)
     host.set("events", result.hostEvents);
     host.set("eventsPerSec", result.hostEventsPerSec());
     host.set("seconds", result.hostSeconds);
+    // Epoch fast-forwarding accounting: exact counters (the auditor's
+    // conservation laws hold on them), but host-side execution strategy
+    // rather than simulated state, so they live under "host" too.
+    host.set("ffEpochs", result.ffEpochs);
+    host.set("ffIterations", result.ffIterations);
+    host.set("ffEventsSaved", result.ffEventsSaved);
+    host.set("eventActivations", result.eventActivations);
     obj.set("host", std::move(host));
 
     // Post-run invariant audit, present only when auditing ran so

@@ -212,6 +212,10 @@ TripsProcessor::runSimd(Workload &workload)
 
     res.hostEvents = engine.hostEvents();
     res.hostSeconds = timer.seconds();
+    res.ffEpochs = engine.ffEpochs();
+    res.ffIterations = engine.ffIterations();
+    res.ffEventsSaved = engine.ffEventsSaved();
+    res.eventActivations = engine.eventActivations();
 
     std::string err;
     res.verified = workload.verify(err);
@@ -294,6 +298,8 @@ TripsProcessor::runMimd(Workload &workload)
 
     res.hostEvents = engine.hostEvents();
     res.hostSeconds = timer.seconds();
+    // MIMD never fast-forwards: every activation runs event-by-event.
+    res.eventActivations = res.activations;
 
     std::string err;
     res.verified = workload.verify(err);

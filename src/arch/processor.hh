@@ -85,6 +85,18 @@ struct ExperimentResult
     }
     /// @}
 
+    /// @name Epoch fast-forwarding accounting. Host-side too (the CI
+    /// diff strips them with the rest of the "host" object), but exact
+    /// rather than noisy: the auditor checks the conservation laws
+    /// eventActivations + ffIterations == activations and
+    /// hostEvents + ffEventsSaved == core.simd.eventsExecuted.
+    /// @{
+    uint64_t ffEpochs = 0;          ///< epochs entered
+    uint64_t ffIterations = 0;      ///< activations replayed closed-form
+    uint64_t ffEventsSaved = 0;     ///< events those activations skipped
+    uint64_t eventActivations = 0;  ///< activations simulated event-by-event
+    /// @}
+
     /**
      * End-of-run snapshots of every per-structure statistics group
      * (engine, mesh, SMC, memory system). Value-semantic: they outlive

@@ -48,6 +48,18 @@ class Stat
     void set(double v) { value = v; }
     void reset() { value = 0.0; }
 
+    /**
+     * Apply `times` repetitions of a per-iteration delta at once (epoch
+     * fast-forwarding). Exact -- bit-identical to `times` sequential
+     * `+= delta` -- only when value and delta are integer-valued and
+     * the result stays within 2^53; the epoch pass pipeline validates
+     * those preconditions before planning a bulk application.
+     */
+    void fastForward(double delta, uint64_t times)
+    {
+        value += delta * double(times);
+    }
+
     double get() const { return value; }
     const std::string &statName() const { return name; }
 
@@ -165,6 +177,31 @@ class Distribution
 
     double sumSq() const { return totalSq; }
 
+    /**
+     * Apply `times` repetitions of a per-iteration delta to every
+     * accumulator at once (epoch fast-forwarding). min/max are left
+     * untouched: the caller must have validated that the repeated
+     * iteration establishes no new extremes, that sumDelta/sumSqDelta
+     * are integer-valued, and that the projected totals stay within
+     * 2^53 -- under those preconditions the result is bit-identical to
+     * sampling the iteration `times` more times.
+     */
+    void
+    fastForward(const std::vector<uint64_t> &countsDelta, uint64_t underDelta,
+                uint64_t overDelta, uint64_t samplesDelta, double sumDelta,
+                double sumSqDelta, uint64_t times)
+    {
+        panic_if(countsDelta.size() != counts.size(),
+                 "distribution %s fastForward bucket mismatch", name.c_str());
+        for (size_t i = 0; i < counts.size(); ++i)
+            counts[i] += countsDelta[i] * times;
+        under += underDelta * times;
+        over += overDelta * times;
+        nSamples += samplesDelta * times;
+        total += sumDelta * double(times);
+        totalSq += sumSqDelta * double(times);
+    }
+
     size_t numBuckets() const { return counts.size(); }
     uint64_t bucket(size_t i) const { return counts.at(i); }
     uint64_t underflow() const { return under; }
@@ -233,6 +270,20 @@ class VectorStat
     }
 
     void reset() { std::fill(values.begin(), values.end(), 0.0); }
+
+    /**
+     * Element-wise bulk application of a per-iteration delta (epoch
+     * fast-forwarding); same integrality/2^53 preconditions as
+     * Stat::fastForward.
+     */
+    void
+    fastForward(const std::vector<double> &delta, uint64_t times)
+    {
+        panic_if(delta.size() != values.size(),
+                 "vector stat %s fastForward size mismatch", name.c_str());
+        for (size_t i = 0; i < values.size(); ++i)
+            values[i] += delta[i] * double(times);
+    }
 
     const std::string &statName() const { return name; }
     const std::vector<double> &all() const { return values; }
@@ -346,6 +397,31 @@ class StatGroup
     {
         return stats.count(statName) != 0;
     }
+
+    /// @name Mutable lookups without fetch-or-create semantics (epoch
+    /// fast-forwarding applies planned deltas to existing stats only).
+    /// @{
+    Stat *
+    findScalar(const std::string &statName)
+    {
+        auto it = stats.find(statName);
+        return it == stats.end() ? nullptr : &it->second;
+    }
+
+    Distribution *
+    findDistribution(const std::string &statName)
+    {
+        auto it = dists.find(statName);
+        return it == dists.end() ? nullptr : &it->second;
+    }
+
+    VectorStat *
+    findVector(const std::string &statName)
+    {
+        auto it = vecs.find(statName);
+        return it == vecs.end() ? nullptr : &it->second;
+    }
+    /// @}
 
     /** Zero every statistic in the group. */
     void

@@ -24,6 +24,7 @@ std::ostream *sinkStream = nullptr;
 
 const char *const names[numFlags] = {
     "EventQ", "Mesh", "SMC", "Cache", "Mem", "Engine", "Revit", "Exec",
+    "Epoch",
 };
 
 } // namespace
@@ -99,7 +100,7 @@ setByName(const std::string &spec)
         std::lock_guard<std::mutex> lock(warnedMutex);
         if (warnedNames.insert(name).second) {
             warn("unknown trace flag '%s' (known: EventQ, Mesh, SMC, Cache, "
-                 "Mem, Engine, Revit, Exec, All)", spec.c_str());
+                 "Mem, Engine, Revit, Exec, Epoch, All)", spec.c_str());
         }
     }
     return false;

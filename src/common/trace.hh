@@ -65,6 +65,7 @@ enum class Flag : unsigned
     Engine,  ///< engine activations, pacing, instruction issue
     Revit,   ///< instruction/operand revitalization events
     Exec,    ///< per-instruction execution (very verbose)
+    Epoch,   ///< epoch fast-forwarding: record, replay, bail-out
     NumFlags
 };
 

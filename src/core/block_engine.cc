@@ -5,6 +5,8 @@
 
 #include "common/bitutils.hh"
 #include "common/trace.hh"
+#include "epoch/epoch.hh"
+#include "epoch/passes.hh"
 #include "isa/disasm.hh"
 
 namespace dlp::core {
@@ -68,11 +70,16 @@ BlockEngine::BlockEngine(const MachineParams &params,
 
     // Lifetime event-queue counters, surfaced so the post-run auditor
     // can check the conservation law scheduled == executed + pending +
-    // discarded (and that a completed run drains the queue).
-    engStats.formula("eventsScheduled",
-                     [this] { return double(eq.scheduledEvents()); });
-    engStats.formula("eventsExecuted",
-                     [this] { return double(eq.executedEvents()); });
+    // discarded (and that a completed run drains the queue). The ff
+    // offsets fold in the events replayed epochs accounted for without
+    // firing, so these report simulated-machine totals; hostEvents()
+    // stays the true host count.
+    engStats.formula("eventsScheduled", [this] {
+        return double(eq.scheduledEvents() + ffScheduledOffset);
+    });
+    engStats.formula("eventsExecuted", [this] {
+        return double(eq.executedEvents() + ffExecutedOffset);
+    });
     engStats.formula("eventsPending",
                      [this] { return double(eq.pending()); });
     engStats.formula("eventsDiscarded",
@@ -125,6 +132,14 @@ BlockEngine::run(const sched::SimdPlan &plan, uint64_t numRecords)
 {
     RunStats stats;
     Tick t = curTick;
+
+    // A fresh run (new plan, new chunk, reused in-process fixture) must
+    // not inherit the previous run's steady-state evidence: the first
+    // activation always resets the streak through the fresh-mapping
+    // path, but the epoch controller arms off the streak *between*
+    // activations, so stale state here would be evidence it never saw.
+    signatureStreak = 0;
+    lastSignature = 0;
 
     // Setup block: write the initial register values (constants,
     // induction registers) through the register-file ports, and load the
@@ -189,6 +204,133 @@ BlockEngine::run(const sched::SimdPlan &plan, uint64_t numRecords)
             sampler->maybeSample(drain);
     };
 
+    const bool ffEligible =
+        epoch::fastForwardEnabled() && m.mech.instRevitalize;
+    uint64_t armThreshold = epoch::armStreak();
+    unsigned epochAttempts = 0;
+
+    // Record two consecutive *units* starting at unit u, lower them
+    // through the epoch pass pipeline, and -- when every validation
+    // holds -- replay the remaining units arithmetically. A unit is the
+    // repeating schedule quantum: one activation when the plan is
+    // resident, one full group (every segment mapped and activated)
+    // otherwise. runUnit(n) executes unit n through the event kernel;
+    // setUnitContext(n) re-establishes the sequencer-owned register
+    // state for unit n (also called before each replayed unit);
+    // unitBlocks names the block behind each activation of a unit and
+    // blocks lists the distinct blocks for classification. Returns how
+    // many units were consumed: the two recorded ones are real
+    // simulation either way, so a failed lowering costs nothing but the
+    // controller backoff.
+    auto tryEpoch = [&](uint64_t u, uint64_t totalUnits,
+                        const std::vector<const MappedBlock *> &unitBlocks,
+                        const std::vector<const MappedBlock *> &blocks,
+                        auto &&setUnitContext, auto &&runUnit) -> uint64_t {
+        epoch::EpochInput in;
+        in.blocks = blocks;
+        in.smcMechanism = m.mech.smc;
+        in.l0DataStore = m.mech.l0DataStore;
+        in.instRevitalize = m.mech.instRevitalize;
+        uint64_t remaining = totalUnits - u - 2;
+        uint64_t cap = epoch::maxIterationsPerEpoch();
+        in.iterations = cap ? std::min(remaining, cap) : remaining;
+
+        captureEpochSnapshot(in.s0, stats);
+        auto record = [&](uint64_t unit, epoch::RecordedIteration &r) {
+            Tick origin = nextStart;
+            epochRec = &r;
+            runUnit(unit);
+            epochRec = nullptr;
+            r.start = origin;
+            r.drainLen = actMaxTick - origin;
+            r.issueLen = actMaxIssue - origin;
+            r.writeLen = actMaxWrite - origin;
+            r.unitDrainLen = drain - origin;
+            r.fired = r.fires.size();
+            captureEpochTails(r.tails, origin);
+        };
+        record(u, in.r1);
+        captureEpochSnapshot(in.s1, stats);
+        record(u + 1, in.r2);
+        captureEpochSnapshot(in.s2, stats);
+        in.period = in.r2.start - in.r1.start;
+        in.period2 = nextStart - in.r2.start;
+
+        epoch::EpochLower lower(in);
+        if (!lower.ok()) {
+            DPRINTF(Epoch, "bail at unit %" PRIu64 " in %s: %s", u,
+                    lower.failedPass().c_str(),
+                    lower.failureDetail().c_str());
+            OBS_SIM_INSTANT(Epoch, "bail", nextStart, u);
+            armThreshold *= 2;
+            ++epochAttempts;
+            return 2;
+        }
+
+        const epoch::EpochPlan &ep = lower.plan();
+        const uint64_t iters = in.iterations;
+        DPRINTF(Epoch,
+                "enter at unit %" PRIu64 ": period=%" PRIu64
+                " ticks, %" PRIu64 " events/unit, replaying %" PRIu64
+                " units",
+                u, ep.period, ep.eqExecuted, iters);
+
+        Tick firstStart = nextStart;
+        Tick start = firstStart;
+        uint64_t pendingIters = 0;
+        for (uint64_t i = 0; i < iters; ++i) {
+            // The sequencer still owns the record-group pointer.
+            setUnitContext(u + 2 + i);
+            replayEpochFires(unitBlocks, ep);
+
+            // The streak either keeps growing (no reset inside the
+            // unit) or lands on the same value after every unit; the
+            // passes proved which.
+            if (ep.sigStreakAdditive)
+                signatureStreak =
+                    uint64_t(int64_t(signatureStreak) + ep.sigStreakDelta);
+            else
+                signatureStreak = ep.sigStreakEnd;
+
+            stats.activations += ep.activations;
+            stats.mappings += ep.mappings;
+            stats.instsExecuted += ep.instsExecuted;
+            stats.usefulOps += ep.usefulOps;
+            ffScheduledOffset += ep.eqScheduled;
+            ffExecutedOffset += ep.eqExecuted;
+            ffEventsSavedN += ep.eqExecuted;
+            ffIterationsN += ep.activations;
+            ++pendingIters;
+
+            drain = std::max(drain, start + ep.unitDrainLen);
+            if (sampler && sampler->due(drain)) {
+                // Bring every bulk counter current before the sampler
+                // reads the groups, exactly as a simulated unit would
+                // have left them.
+                applyEpochCounters(ep, pendingIters);
+                pendingIters = 0;
+                sampler->maybeSample(drain);
+            }
+            start += ep.period;
+        }
+        lastSignature = ep.sigLast;
+        applyEpochCounters(ep, pendingIters);
+        shiftEpochCalendars(ep, iters);
+
+        Tick lastStart = start - ep.period;
+        nextStart = start;
+        actMaxTick = lastStart + ep.drainLen;
+        actMaxIssue = lastStart + ep.issueLen;
+        actMaxWrite = lastStart + ep.writeLen;
+        ++ffEpochsN;
+        OBS_SIM_SPAN(Epoch, "epoch", firstStart, ep.period * iters, iters);
+        DPRINTF(Epoch,
+                "exit at unit %" PRIu64 ": clock advanced to %" PRIu64
+                ", %" PRIu64 " events saved",
+                u + 2 + iters, nextStart, ep.eqExecuted * iters);
+        return 2 + iters;
+    };
+
     if (plan.resident()) {
         const auto &seg = plan.segments[0];
         uint64_t totalActs = groups * seg.activations;
@@ -201,19 +343,67 @@ BlockEngine::run(const sched::SimdPlan &plan, uint64_t numRecords)
         stats.mappings++;
         OBS_SIM_SPAN(Engine, "map", nextStart - mapTicks, mapTicks,
                      seg.block.insts.size());
-        for (uint64_t a = 0; a < totalActs; ++a) {
+
+        const std::vector<const MappedBlock *> unitBlocks = {&seg.block};
+        auto setCtx = [&](uint64_t act) {
+            rf.at(plan.recBaseReg) = (act / seg.activations) * plan.unroll;
+        };
+        auto runUnit = [&](uint64_t act) {
+            setCtx(act);
+            paceActivation(seg.block, false, gap);
+        };
+
+        uint64_t a = 0;
+        while (a < totalActs) {
             bool first = a == 0;
             if (!first && !m.mech.instRevitalize) {
                 stats.mappings++;
                 first = true; // a fresh mapping re-fires everything
             }
+            // Steady state (and at least one activation to replay after
+            // the two recorded ones): try to fast-forward.
+            if (ffEligible && !first && signatureStreak >= armThreshold &&
+                totalActs - a >= 3 &&
+                epochAttempts < epoch::maxAttemptsPerRun) {
+                a += tryEpoch(a, totalActs, unitBlocks, unitBlocks, setCtx,
+                              runUnit);
+                continue;
+            }
             // The sequencer owns the record-group pointer.
-            rf.at(plan.recBaseReg) = (a / seg.activations) * plan.unroll;
+            setCtx(a);
             paceActivation(seg.block, first, gap);
+            ++a;
         }
     } else {
-        for (uint64_t g = 0; g < groups; ++g) {
-            rf.at(plan.recBaseReg) = g * plan.unroll;
+        // Group-level epochs: when the plan cycles through several
+        // segments, no single activation's signature repeats
+        // back-to-back, but the whole group -- every segment mapped and
+        // all its activations run, in order -- is the steady-state
+        // quantum. Arm on a streak of identical *group* digests (the
+        // fold of every activation signature in the group) and hand the
+        // same record/lower/replay machinery one group per unit.
+        std::vector<const MappedBlock *> unitBlocks, segBlocks;
+        for (const auto &seg : plan.segments) {
+            segBlocks.push_back(&seg.block);
+            for (uint64_t a = 0; a < seg.activations; ++a)
+                unitBlocks.push_back(&seg.block);
+        }
+
+        // Replay applies stat deltas at unit-end granularity, so a
+        // sampler wanting rows mid-group could not be served
+        // bit-identically; groups fast-forward only while sampling is
+        // off (the resident path keeps per-activation exactness).
+        const bool ffGroups =
+            ffEligible && (!sampler || sampler->intervalTicks() == 0);
+        uint64_t groupStreak = 0;
+        uint64_t lastGroupDigest = 0;
+
+        auto setCtx = [&](uint64_t grp) {
+            rf.at(plan.recBaseReg) = grp * plan.unroll;
+        };
+        auto runUnit = [&](uint64_t grp) {
+            setCtx(grp);
+            obs::SignatureHash groupHash;
             for (const auto &seg : plan.segments) {
                 Tick mapTicks =
                     cyclesToTicks(divCeil(seg.block.insts.size(),
@@ -234,8 +424,28 @@ BlockEngine::run(const sched::SimdPlan &plan, uint64_t numRecords)
                         first = true;
                     }
                     paceActivation(seg.block, first, gap);
+                    groupHash.add(lastSignature);
                 }
             }
+            uint64_t digest = groupHash.digest();
+            if (grp > 0 && digest == lastGroupDigest)
+                ++groupStreak;
+            else
+                groupStreak = 0;
+            lastGroupDigest = digest;
+        };
+
+        uint64_t g = 0;
+        while (g < groups) {
+            if (ffGroups && g > 0 && groupStreak >= armThreshold &&
+                groups - g >= 3 &&
+                epochAttempts < epoch::maxAttemptsPerRun) {
+                g += tryEpoch(g, groups, unitBlocks, segBlocks, setCtx,
+                              runUnit);
+                continue;
+            }
+            runUnit(g);
+            ++g;
         }
     }
 
@@ -306,8 +516,18 @@ BlockEngine::runActivation(const MappedBlock &block, Tick startTick,
     // Sustained issue width of this activation: instructions fired over
     // the issue span (drain excluded -- it overlaps the next activation).
     Cycles span = ticksToCycles(actMaxIssue - startTick) + 1;
-    issueWidth->sample(double(firedCount) / double(span));
+    double width = double(firedCount) / double(span);
+    issueWidth->sample(width);
     ++*activationsStat;
+
+    // Epoch recording: the per-activation substructure replay needs to
+    // partition the unit's fire trace and stay bit-exact on the sampled
+    // issue width (the division is not an integer).
+    if (epochRec) {
+        epochRec->fireCounts.push_back(firedCount);
+        epochRec->issueSamples.push_back(width);
+        epochRec->fresh.push_back(firstActivation ? 1 : 0);
+    }
 
     // Close the occupancy signature with the activation's envelope: two
     // iterations with identical fire schedules but different drain or
@@ -324,6 +544,10 @@ BlockEngine::runActivation(const MappedBlock &block, Tick startTick,
         signatureStreak = 0;
     }
     lastSignature = digest;
+    DPRINTF(Epoch,
+            "signature %016" PRIx64 " streak=%" PRIu64 " fired=%" PRIu64
+            " drain=%" PRIu64,
+            digest, signatureStreak, firedCount, actMaxTick - startTick);
 
     OBS_SIM_SPAN(Engine, "activation", startTick, actMaxTick - startTick,
                  firedCount);
@@ -331,6 +555,7 @@ BlockEngine::runActivation(const MappedBlock &block, Tick startTick,
                     eq.executedEvents());
 
     stats.activations++;
+    ++eventActivationsN;
 }
 
 void
@@ -375,6 +600,12 @@ BlockEngine::execute(const MappedBlock &block, uint32_t idx, Tick ready,
     // into the activation. Identical sequences => identical iterations.
     sigHash.add(idx);
     sigHash.add(ready - seedTick);
+
+    // Epoch recording: capture the fire schedule in invocation order.
+    // The event kernel executes producers before their consumers (even
+    // same-tick), so replaying deliveries in this order is causal.
+    if (epochRec)
+        epochRec->fires.push_back({idx, ready - seedTick});
 
     Word a = st.operand[0];
     Word b = mi.immB ? mi.imm : st.operand[1];
@@ -549,6 +780,200 @@ BlockEngine::deliver(const MappedBlock &block, uint32_t producer,
                 return;
         execute(*curBlock, idx, when, *curStats);
     });
+}
+
+void
+BlockEngine::captureEpochSnapshot(epoch::Snapshot &s, const RunStats &stats)
+{
+    s.res.resize(tracked.size());
+    for (size_t i = 0; i < tracked.size(); ++i)
+        s.res[i] = {tracked[i]->grants(), tracked[i]->waitedTicks()};
+
+    // Raw (pre-preDump) copies: derived stats recompute from these at
+    // dump time, so they need no deltas of their own.
+    s.groups.clear();
+    StatGroup *groups[] = {&engStats, &mesh.statsGroup(),
+                           &mem.smc().statsGroup(), &mem.statsGroup()};
+    for (StatGroup *g : groups) {
+        epoch::GroupRaw raw;
+        raw.name = g->groupName();
+        for (const auto &[n, st] : g->all())
+            raw.scalars[n] = st.get();
+        raw.dists = g->allDistributions();
+        raw.vectors = g->allVectors();
+        s.groups.push_back(std::move(raw));
+    }
+
+    s.eqScheduled = eq.scheduledEvents();
+    s.eqExecuted = eq.executedEvents();
+    s.eqDiscarded = eq.discardedEvents();
+
+    s.smcReads = mem.smc().reads();
+    s.smcWrites = mem.smc().writes();
+    s.smcWords = mem.smc().wordsRead();
+    s.smcLast = mem.smc().lastBankActivity();
+
+    s.meshRouted = mesh.operandsRouted();
+    s.meshHops = mesh.totalHops();
+    s.meshContention = mesh.contentionTicks();
+    s.meshLast = mesh.lastLinkActivity();
+
+    s.l1Hits = mem.l1().hits();
+    s.l1Misses = mem.l1().misses();
+    s.l2Hits = mem.l2().hits();
+    s.l2Misses = mem.l2().misses();
+    s.mainMemAccesses = mem.mainMemory().accesses();
+
+    s.instsExecuted = stats.instsExecuted;
+    s.usefulOps = stats.usefulOps;
+    s.activations = stats.activations;
+    s.mappings = stats.mappings;
+
+    s.sigLast = lastSignature;
+    s.sigStreak = signatureStreak;
+}
+
+void
+BlockEngine::captureEpochTails(std::vector<epoch::ResourceTail> &out,
+                               Tick origin)
+{
+    out.resize(tracked.size());
+    for (size_t i = 0; i < tracked.size(); ++i) {
+        tracked[i]->tailSince(origin, out[i].busy);
+        out[i].lastEnd = int64_t(tracked[i]->nextFree()) - int64_t(origin);
+    }
+}
+
+void
+BlockEngine::replayEpochFires(
+    const std::vector<const MappedBlock *> &unitBlocks,
+    const epoch::EpochPlan &plan)
+{
+    // The recorded order is the event kernel's invocation order, so
+    // every producer precedes its consumers here (even same-tick fires
+    // carry later sequence numbers). Writing result words straight into
+    // consumer operand slots is therefore causal. Timing is untouched:
+    // the plan already proved it identical every unit.
+    size_t fi = 0;
+    for (size_t act = 0; act < plan.fireCounts.size(); ++act) {
+        const MappedBlock &block = *unitBlocks[act];
+        // A fresh mapping resets instruction state, exactly as
+        // runActivation's (re)initialization would.
+        if (plan.fresh[act])
+            state.assign(block.insts.size(), InstState{});
+        for (uint64_t n = 0; n < plan.fireCounts[act]; ++n, ++fi) {
+            const auto &f = plan.fires[fi];
+            const MappedInst &mi = block.insts[f.idx];
+            InstState &st = state[f.idx];
+            Word a = st.operand[0];
+            Word b = mi.immB ? mi.imm : st.operand[1];
+            Word c = st.operand[2];
+            Word result = 0;
+            bool deliverResult = true;
+            switch (mi.op) {
+              case Op::Read:
+                result = rf.at(static_cast<size_t>(mi.imm));
+                break;
+              case Op::Write:
+                pendingWrites.emplace_back(static_cast<unsigned>(mi.imm),
+                                           a);
+                deliverResult = false;
+                break;
+              case Op::Ld:
+                result = mem.smc().peek(a);
+                break;
+              case Op::Lmw:
+                for (const auto &t : mi.targets)
+                    state[t.inst].operand[t.srcSlot] =
+                        mem.smc().peek(a + Addr(t.wordIdx) * mi.lmwStride);
+                deliverResult = false;
+                break;
+              case Op::St:
+                mem.smc().poke(a, b);
+                result = b;
+                break;
+              case Op::Tld: {
+                const auto &table = (*tables)[mi.tableId].data;
+                result = table[a & (table.size() - 1)];
+                break;
+              }
+              default:
+                result = isa::evalOp(mi.op, a, b, c, mi.imm);
+                break;
+            }
+            if (deliverResult)
+                for (const auto &t : mi.targets)
+                    state[t.inst].operand[t.srcSlot] = result;
+        }
+
+        // Commit register writes at the activation boundary, exactly as
+        // the simulated activation would, then take its issue-width
+        // sample with the recorded (bit-exact) value.
+        for (const auto &w : pendingWrites)
+            rf.at(w.first) = w.second;
+        pendingWrites.clear();
+        issueWidth->sample(plan.issueSamples[act]);
+    }
+}
+
+void
+BlockEngine::applyEpochCounters(const epoch::EpochPlan &plan, uint64_t iters)
+{
+    if (iters == 0)
+        return;
+
+    StatGroup *groups[] = {&engStats, &mesh.statsGroup(),
+                           &mem.smc().statsGroup(), &mem.statsGroup()};
+    panic_if(plan.groups.size() != std::size(groups),
+             "epoch plan group count mismatch");
+    for (size_t gi = 0; gi < plan.groups.size(); ++gi) {
+        const epoch::GroupAdvance &adv = plan.groups[gi];
+        StatGroup *g = groups[gi];
+        for (const auto &[name, delta] : adv.scalars) {
+            Stat *st = g->findScalar(name);
+            panic_if(!st, "epoch plan names unknown scalar %s.%s",
+                     g->groupName().c_str(), name.c_str());
+            st->fastForward(delta, iters);
+        }
+        for (const auto &[name, d] : adv.dists) {
+            Distribution *dist = g->findDistribution(name);
+            panic_if(!dist, "epoch plan names unknown distribution %s.%s",
+                     g->groupName().c_str(), name.c_str());
+            dist->fastForward(d.counts, d.under, d.over, d.samples, d.sum,
+                              d.sumSq, iters);
+        }
+        for (const auto &[name, delta] : adv.vectors) {
+            VectorStat *v = g->findVector(name);
+            panic_if(!v, "epoch plan names unknown vector %s.%s",
+                     g->groupName().c_str(), name.c_str());
+            v->fastForward(delta, iters);
+        }
+    }
+
+    for (size_t i = 0; i < tracked.size(); ++i) {
+        const auto &r = plan.res[i];
+        if (r.cls == epoch::ResClass::Shift)
+            tracked[i]->fastForwardCounters(r.grants * iters,
+                                            r.wait * iters);
+    }
+
+    Tick span = plan.period * iters;
+    mem.smc().fastForward(plan.smcReads * iters, plan.smcWrites * iters,
+                          plan.smcWords * iters,
+                          plan.smcLastAdvances ? span : 0);
+    mesh.fastForward(plan.meshRouted * iters, plan.meshHops * iters,
+                     plan.meshContention * iters,
+                     plan.meshLastAdvances ? span : 0);
+}
+
+void
+BlockEngine::shiftEpochCalendars(const epoch::EpochPlan &plan,
+                                 uint64_t iters)
+{
+    Tick shift = plan.period * iters;
+    for (size_t i = 0; i < tracked.size(); ++i)
+        if (plan.res[i].cls == epoch::ResClass::Shift)
+            tracked[i]->shiftCalendar(shift);
 }
 
 } // namespace dlp::core

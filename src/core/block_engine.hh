@@ -23,6 +23,7 @@
 
 #include "common/stats.hh"
 #include "core/machine.hh"
+#include "epoch/ir.hh"
 #include "kernels/ir.hh"
 #include "mem/memory_system.hh"
 #include "noc/mesh.hh"
@@ -96,6 +97,27 @@ class BlockEngine
     /** Host-side count of discrete events executed across all runs. */
     uint64_t hostEvents() const { return eq.executedEvents(); }
 
+    /// @name Epoch fast-forwarding counters (cumulative across runs).
+    /// The core.simd eventsScheduled/eventsExecuted formulas report
+    /// *simulated-machine* totals (host events plus the events replayed
+    /// epochs did not fire); hostEvents() above stays the true host
+    /// count, so ffEventsSaved() is exactly their difference.
+    /// @{
+
+    /** Epochs entered (record + validate + replay sequences). */
+    uint64_t ffEpochs() const { return ffEpochsN; }
+
+    /** Activations replayed arithmetically instead of simulated. */
+    uint64_t ffIterations() const { return ffIterationsN; }
+
+    /** Events those activations would have executed. */
+    uint64_t ffEventsSaved() const { return ffEventsSavedN; }
+
+    /** Activations actually simulated through the event queue. */
+    uint64_t eventActivations() const { return eventActivationsN; }
+
+    /// @}
+
     /**
      * Attach (or detach, with nullptr) a periodic stat sampler. The
      * engine polls it at activation boundaries, so sampling never
@@ -133,6 +155,34 @@ class BlockEngine
 
     void runActivation(const isa::MappedBlock &block, Tick startTick,
                        bool firstActivation, RunStats &stats);
+
+    /// @name Epoch fast-forwarding internals.
+    /// @{
+
+    /** Capture everything the epoch passes diff between iterations. */
+    void captureEpochSnapshot(epoch::Snapshot &s, const RunStats &stats);
+
+    /** Capture every tracked resource's calendar tail relative to origin. */
+    void captureEpochTails(std::vector<epoch::ResourceTail> &out,
+                           Tick origin);
+
+    /**
+     * Execute one unit's worth of fires functionally (no events),
+     * committing register writes and sampling issue width at each
+     * recorded activation boundary. unitBlocks names the block each
+     * activation of the unit ran (one entry per fireCounts element).
+     */
+    void replayEpochFires(
+        const std::vector<const isa::MappedBlock *> &unitBlocks,
+        const epoch::EpochPlan &plan);
+
+    /** Bulk-apply `iters` iterations of the plan's counter advances. */
+    void applyEpochCounters(const epoch::EpochPlan &plan, uint64_t iters);
+
+    /** Shift every periodic resource calendar by `iters` periods. */
+    void shiftEpochCalendars(const epoch::EpochPlan &plan, uint64_t iters);
+
+    /// @}
 
     /**
      * Fired by the reusable seed event at an activation's start tick:
@@ -205,6 +255,22 @@ class BlockEngine
     obs::SignatureHash sigHash;   ///< running digest of this activation
     uint64_t lastSignature = 0;   ///< digest of the previous activation
     uint64_t signatureStreak = 0; ///< consecutive identical digests
+
+    /// When non-null, the engine is recording an epoch unit: execute()
+    /// appends every fire and runActivation() appends each activation's
+    /// fire count, issue-width sample and fresh flag.
+    epoch::RecordedIteration *epochRec = nullptr;
+
+    uint64_t ffEpochsN = 0;
+    uint64_t ffIterationsN = 0;
+    uint64_t ffEventsSavedN = 0;
+    uint64_t eventActivationsN = 0;
+
+    /// Simulated-machine event totals the replayed epochs would have
+    /// added to the queue's lifetime counters; folded into the
+    /// eventsScheduled/eventsExecuted formulas.
+    uint64_t ffScheduledOffset = 0;
+    uint64_t ffExecutedOffset = 0;
 
     std::vector<InstState> state;
 

@@ -1,0 +1,61 @@
+#include "epoch/epoch.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace dlp::epoch {
+
+namespace {
+
+/// -1 = follow the environment, 0/1 = forced off/on.
+std::atomic<int> ffOverride{-1};
+
+std::atomic<uint64_t> iterationCap{0};
+
+bool
+envFastForward()
+{
+    // On unless explicitly disabled: DLP_FASTFORWARD=0 turns it off,
+    // anything else (including unset) leaves it on.
+    const char *env = std::getenv("DLP_FASTFORWARD");
+    return !env || std::string(env) != "0";
+}
+
+} // namespace
+
+bool
+fastForwardEnabled()
+{
+    int forced = ffOverride.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return forced != 0;
+    static const bool fromEnv = envFastForward();
+    return fromEnv;
+}
+
+void
+setFastForwardEnabled(bool on)
+{
+    ffOverride.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+uint64_t
+armStreak()
+{
+    return 4;
+}
+
+uint64_t
+maxIterationsPerEpoch()
+{
+    return iterationCap.load(std::memory_order_relaxed);
+}
+
+void
+setMaxIterationsPerEpoch(uint64_t iterations)
+{
+    iterationCap.store(iterations, std::memory_order_relaxed);
+}
+
+} // namespace dlp::epoch

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Epoch fast-forwarding: process-wide gate and tuning knobs.
+ *
+ * Once a plan reaches steady state (PR 6's occupancy-signature streak
+ * for resident blocks; a streak of identical whole-group digests for
+ * multi-segment plans), the block engine records two consecutive units
+ * into an epoch IR, validates them against each other with the pass
+ * pipeline in passes.hh, and — when every pass holds — replays the
+ * remaining units arithmetically instead of firing events.
+ * This header owns the global on/off gate (`DLP_FASTFORWARD`, on by
+ * default) plus the controller thresholds the engine consults.
+ */
+
+#ifndef DLP_EPOCH_EPOCH_HH
+#define DLP_EPOCH_EPOCH_HH
+
+#include <cstdint>
+
+namespace dlp::epoch {
+
+/**
+ * Is epoch fast-forwarding enabled? Defaults to on; the DLP_FASTFORWARD
+ * environment variable ("0" disables) or setFastForwardEnabled()
+ * override. Fast-forwarding is bit-identity-preserving, so the gate
+ * exists for differential testing and performance comparison, not
+ * safety.
+ */
+bool fastForwardEnabled();
+
+/** Force the gate programmatically (wins over the environment). */
+void setFastForwardEnabled(bool on);
+
+/**
+ * Signature-repeat streak required before the engine attempts to record
+ * an epoch. Small: recording costs two ordinary iterations, and a
+ * failed validation backs off exponentially.
+ */
+uint64_t armStreak();
+
+/**
+ * Cap on replayed iterations per epoch; 0 = unlimited (the default).
+ * Tests lower this to force epochs to interleave with real event-level
+ * simulation, exercising epoch exit/re-entry.
+ */
+uint64_t maxIterationsPerEpoch();
+void setMaxIterationsPerEpoch(uint64_t iterations);
+
+/** Epoch-record attempts per engine run before giving up entirely. */
+constexpr unsigned maxAttemptsPerRun = 8;
+
+/**
+ * RAII save/restore of the gate, for differential harnesses that flip
+ * fast-forwarding on and off around otherwise identical runs.
+ */
+class FastForwardGuard
+{
+  public:
+    FastForwardGuard() : saved(fastForwardEnabled()) {}
+    ~FastForwardGuard() { setFastForwardEnabled(saved); }
+
+    FastForwardGuard(const FastForwardGuard &) = delete;
+    FastForwardGuard &operator=(const FastForwardGuard &) = delete;
+
+  private:
+    bool saved;
+};
+
+} // namespace dlp::epoch
+
+#endif // DLP_EPOCH_EPOCH_HH

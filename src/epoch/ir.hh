@@ -1,0 +1,252 @@
+/**
+ * @file
+ * The epoch IR: what one canonical steady-state iteration looks like to
+ * the fast-forwarder.
+ *
+ * The repeating quantum is a *unit*: one activation when the plan is
+ * resident (a single block revitalizing in place), or one full group —
+ * every segment mapped and all its activations run — when the plan
+ * cycles through several blocks. The block engine captures three
+ * structure-state snapshots (before, between and after two
+ * consecutively recorded units) plus the two units' fire traces and
+ * occupancy envelopes. The pass pipeline (passes.hh) diffs the
+ * snapshots into per-unit deltas, validates that both recorded units
+ * are indistinguishable to every piece of downstream state, and lowers
+ * the result into an EpochPlan — the closed form the engine replays N
+ * more units from: per-stat increments, per-resource grant/wait credits
+ * and calendar shifts, raw structure counters, and the functional fire
+ * schedule.
+ *
+ * Everything here is value-semantic plain data: the IR references no
+ * live simulation structures, so a plan outlives the recording moment
+ * and the passes can run without touching the engine.
+ */
+
+#ifndef DLP_EPOCH_IR_HH
+#define DLP_EPOCH_IR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dlp::isa {
+struct MappedBlock;
+} // namespace dlp::isa
+
+namespace dlp::epoch {
+
+/** One instruction fire: which instruction, how long after seeding. */
+struct FireRecord
+{
+    uint32_t idx;    ///< instruction index within the mapped block
+    Tick offset;     ///< issue tick relative to the activation start
+
+    bool operator==(const FireRecord &o) const
+    {
+        return idx == o.idx && offset == o.offset;
+    }
+};
+
+/** A tracked resource's cumulative counters at a snapshot point. */
+struct ResourceState
+{
+    uint64_t grants = 0;
+    Tick wait = 0;
+};
+
+/**
+ * A resource calendar's still-relevant suffix, relative to an
+ * iteration's start tick (signed: intervals may begin before it).
+ */
+struct ResourceTail
+{
+    std::vector<std::pair<int64_t, int64_t>> busy;
+    int64_t lastEnd = 0; ///< nextFree() relative to the iteration start
+
+    bool operator==(const ResourceTail &o) const
+    {
+        return busy == o.busy && lastEnd == o.lastEnd;
+    }
+};
+
+/** Raw (pre-preDump) copy of one StatGroup's counters. */
+struct GroupRaw
+{
+    std::string name;
+    std::map<std::string, double> scalars;
+    std::map<std::string, Distribution> dists;
+    std::map<std::string, VectorStat> vectors;
+};
+
+/**
+ * Everything downstream of an iteration boundary that could influence
+ * future timing or results, captured between activations (event queue
+ * drained).
+ */
+struct Snapshot
+{
+    std::vector<ResourceState> res; ///< parallel to the engine's tracked set
+    std::vector<GroupRaw> groups;   ///< engine, mesh, smc, memory-system
+
+    uint64_t eqScheduled = 0;
+    uint64_t eqExecuted = 0;
+    uint64_t eqDiscarded = 0;
+
+    uint64_t smcReads = 0;
+    uint64_t smcWrites = 0;
+    uint64_t smcWords = 0;
+    Tick smcLast = 0;
+
+    uint64_t meshRouted = 0;
+    uint64_t meshHops = 0;
+    Tick meshContention = 0;
+    Tick meshLast = 0;
+
+    uint64_t l1Hits = 0;
+    uint64_t l1Misses = 0;
+    uint64_t l2Hits = 0;
+    uint64_t l2Misses = 0;
+    uint64_t mainMemAccesses = 0;
+
+    uint64_t instsExecuted = 0;
+    uint64_t usefulOps = 0;
+    uint64_t activations = 0; ///< RunStats activations so far
+    uint64_t mappings = 0;    ///< RunStats mappings so far
+
+    uint64_t sigLast = 0;   ///< last activation signature digest
+    uint64_t sigStreak = 0; ///< consecutive-identical-signature streak
+};
+
+/**
+ * One recorded unit: schedule, envelope, calendar tails, and the
+ * per-activation substructure the replay needs to stay bit-identical
+ * (each activation's fire count, its issue-width sample, and whether it
+ * began with a fresh mapping that resets instruction state).
+ */
+struct RecordedIteration
+{
+    Tick start = 0;         ///< unit start tick
+    Tick drainLen = 0;      ///< end-of-unit last event tick, rel. start
+    Tick issueLen = 0;      ///< end-of-unit last issue tick, rel. start
+    Tick writeLen = 0;      ///< end-of-unit last reg write, rel. start
+    Tick unitDrainLen = 0;  ///< drain watermark after the unit, rel. start
+    uint64_t fired = 0;     ///< instructions fired across the unit
+    std::vector<FireRecord> fires;    ///< in execution order, whole unit
+    std::vector<uint64_t> fireCounts; ///< fires per activation, in order
+    std::vector<double> issueSamples; ///< issueWidth sample per activation
+    std::vector<uint8_t> fresh;       ///< fresh-mapping flag per activation
+    std::vector<ResourceTail> tails;  ///< captured at unit end
+};
+
+/** The pass pipeline's input: two recorded units in context. */
+struct EpochInput
+{
+    /** Every distinct block the unit activates (one for a resident
+     *  plan, one per segment otherwise). */
+    std::vector<const isa::MappedBlock *> blocks;
+    bool smcMechanism = false;   ///< SMC streaming configured
+    bool l0DataStore = false;    ///< L0 data tables configured
+    bool instRevitalize = false; ///< instruction revitalization configured
+    uint64_t iterations = 0;     ///< replay length K the plan must cover
+
+    Snapshot s0, s1, s2;
+    RecordedIteration r1, r2;
+    Tick period = 0;  ///< start(r2) - start(r1)
+    Tick period2 = 0; ///< next start after r2 - start(r2); must equal period
+};
+
+/** Per-iteration delta of one Distribution's accumulators. */
+struct DistDelta
+{
+    std::vector<uint64_t> counts;
+    uint64_t under = 0;
+    uint64_t over = 0;
+    uint64_t samples = 0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+};
+
+/** Planned bulk advances for one StatGroup (nonzero deltas only). */
+struct GroupAdvance
+{
+    std::vector<std::pair<std::string, double>> scalars;
+    std::vector<std::pair<std::string, DistDelta>> dists;
+    std::vector<std::pair<std::string, std::vector<double>>> vectors;
+};
+
+/** How one tracked resource behaves across a steady iteration. */
+enum class ResClass : uint8_t
+{
+    Static, ///< untouched: calendar and counters stay put
+    Shift   ///< periodic: counters credit per iteration, calendar shifts
+};
+
+struct ResAdvance
+{
+    ResClass cls = ResClass::Static;
+    uint64_t grants = 0; ///< per-iteration grant credit
+    Tick wait = 0;       ///< per-iteration wait credit
+};
+
+/** The closed form the engine replays fast-forwarded units from. */
+struct EpochPlan
+{
+    Tick period = 0;
+
+    // Occupancy envelope of the steady unit, relative to its start.
+    Tick drainLen = 0;
+    Tick issueLen = 0;
+    Tick writeLen = 0;
+    Tick unitDrainLen = 0;
+    uint64_t fired = 0;
+
+    /// The canonical fire schedule, replayed functionally in order,
+    /// partitioned into activations by fireCounts (register writes
+    /// commit at each activation boundary, exactly as simulated).
+    std::vector<FireRecord> fires;
+    std::vector<uint64_t> fireCounts;
+    std::vector<double> issueSamples; ///< exact per-activation samples
+    std::vector<uint8_t> fresh;       ///< per-activation state reset
+
+    std::vector<GroupAdvance> groups; ///< parallel to Snapshot::groups
+    std::vector<ResAdvance> res;      ///< parallel to Snapshot::res
+
+    uint64_t eqScheduled = 0; ///< events the queue would have scheduled
+    uint64_t eqExecuted = 0;  ///< events the queue would have executed
+
+    uint64_t smcReads = 0;
+    uint64_t smcWrites = 0;
+    uint64_t smcWords = 0;
+    bool smcLastAdvances = false; ///< watermark moves by period/iteration
+
+    uint64_t meshRouted = 0;
+    uint64_t meshHops = 0;
+    Tick meshContention = 0;
+    bool meshLastAdvances = false;
+
+    uint64_t instsExecuted = 0; ///< RunStats delta per unit
+    uint64_t usefulOps = 0;
+    uint64_t activations = 0; ///< RunStats activations per unit
+    uint64_t mappings = 0;    ///< RunStats mappings per unit
+
+    /**
+     * How the engine's signature streak evolves per unit. Additive when
+     * both recorded units advanced it by the same signed amount (the
+     * resident steady state: +1 per activation); otherwise the streak
+     * resets somewhere inside every unit and lands on the same absolute
+     * value, which replay restores directly.
+     */
+    bool sigStreakAdditive = false;
+    int64_t sigStreakDelta = 0;
+    uint64_t sigStreakEnd = 0;
+    uint64_t sigLast = 0; ///< digest after every unit (validated stable)
+};
+
+} // namespace dlp::epoch
+
+#endif // DLP_EPOCH_IR_HH

@@ -1,0 +1,545 @@
+#include "epoch/passes.hh"
+
+#include <cmath>
+#include <cstdint>
+
+#include "isa/mapped.hh"
+#include "isa/opcodes.hh"
+
+namespace dlp::epoch {
+
+namespace {
+
+/// Largest double magnitude at which every integer is exactly
+/// representable; bulk accumulator application is only exact below it.
+constexpr double maxExactDouble = 9007199254740992.0; // 2^53
+
+bool
+integral(double v)
+{
+    return std::nearbyint(v) == v;
+}
+
+double
+scalarOr(const std::map<std::string, double> &m, const std::string &key)
+{
+    auto it = m.find(key);
+    return it == m.end() ? 0.0 : it->second;
+}
+
+/** b - a of one Distribution's accumulators; false on shape mismatch. */
+bool
+distDelta(const Distribution &a, const Distribution &b, DistDelta &out)
+{
+    if (a.numBuckets() != b.numBuckets() || a.low() != b.low() ||
+        a.high() != b.high()) {
+        return false;
+    }
+    if (b.samples() < a.samples() || b.underflow() < a.underflow() ||
+        b.overflow() < a.overflow()) {
+        return false;
+    }
+    out.counts.resize(b.numBuckets());
+    for (size_t i = 0; i < b.numBuckets(); ++i) {
+        if (b.bucket(i) < a.bucket(i))
+            return false;
+        out.counts[i] = b.bucket(i) - a.bucket(i);
+    }
+    out.under = b.underflow() - a.underflow();
+    out.over = b.overflow() - a.overflow();
+    out.samples = b.samples() - a.samples();
+    out.sum = b.sum() - a.sum();
+    out.sumSq = b.sumSq() - a.sumSq();
+    return true;
+}
+
+bool
+operator==(const DistDelta &x, const DistDelta &y)
+{
+    return x.counts == y.counts && x.under == y.under && x.over == y.over &&
+           x.samples == y.samples && x.sum == y.sum && x.sumSq == y.sumSq;
+}
+
+bool
+zeroDelta(const DistDelta &d)
+{
+    for (uint64_t c : d.counts)
+        if (c)
+            return false;
+    return !d.under && !d.over && !d.samples && d.sum == 0.0 && d.sumSq == 0.0;
+}
+
+/**
+ * issueWidth samples are fractional (fired / issue span), so a bulk
+ * fused application of their sum would not match sequential sampling
+ * bit for bit. The replay loop samples the recorded per-activation
+ * values in order instead; the pass pipeline pins the distribution's
+ * per-unit sample delta to the recorded activation count.
+ */
+bool
+semanticDist(const std::string &group, const std::string &stat)
+{
+    return group == "core.simd" && stat == "issueWidth";
+}
+
+} // namespace
+
+const std::vector<const char *> &
+EpochLower::passNames()
+{
+    static const std::vector<const char *> names = {
+        "ClassifyOps",     "ScheduleStability", "StatDeltaStability",
+        "ResourcePeriodicity", "CounterLaws",   "BuildReplay",
+    };
+    return names;
+}
+
+EpochLower::EpochLower(const EpochInput &in)
+{
+    using PassFn = bool (EpochLower::*)(const EpochInput &);
+    const std::pair<const char *, PassFn> passes[] = {
+        {"ClassifyOps", &EpochLower::passClassifyOps},
+        {"ScheduleStability", &EpochLower::passScheduleStability},
+        {"StatDeltaStability", &EpochLower::passStatDeltaStability},
+        {"ResourcePeriodicity", &EpochLower::passResourcePeriodicity},
+        {"CounterLaws", &EpochLower::passCounterLaws},
+        {"BuildReplay", &EpochLower::passBuildReplay},
+    };
+    for (const auto &[name, fn] : passes) {
+        if (!(this->*fn)(in)) {
+            failedPass_ = name;
+            return;
+        }
+    }
+}
+
+bool
+EpochLower::passClassifyOps(const EpochInput &in)
+{
+    using isa::MemSpace;
+    using isa::Op;
+
+    if (in.blocks.empty() || in.blocks[0] == nullptr)
+        return fail("no block recorded");
+    if (!in.instRevitalize)
+        return fail("machine lacks instruction revitalization");
+
+    for (const isa::MappedBlock *block : in.blocks) {
+        auto blocker = [&](size_t i, std::string why) {
+            classify_.blockers.push_back(static_cast<uint32_t>(i));
+            return fail(block->name + " inst " + std::to_string(i) + " (" +
+                        isa::opName(block->insts[i].op) + "): " +
+                        std::move(why));
+        };
+        for (size_t i = 0; i < block->insts.size(); ++i) {
+            const auto &mi = block->insts[i];
+            switch (mi.op) {
+              case Op::Read:
+              case Op::Write:
+                break; // register ports: fixed bank timing
+              case Op::Ld:
+              case Op::Lmw:
+              case Op::St:
+                // SMC stream timing charges the accessing row's bank
+                // port regardless of address; any other path prices the
+                // address through the cache hierarchy and cannot be
+                // summarized.
+                if (mi.space != MemSpace::Smc)
+                    return blocker(i, "non-stream memory space");
+                if (!in.smcMechanism)
+                    return blocker(i, "stream op without the SMC mechanism");
+                break;
+              case Op::Tld:
+                if (!in.l0DataStore)
+                    return blocker(i, "table load through cached memory");
+                break;
+              default:
+                // Pure computation has fixed, data-independent latency;
+                // control/free-running ops have no closed form.
+                if (isa::opInfo(mi.op).fu == isa::FuClass::Ctrl)
+                    return blocker(i, "non-functional opcode");
+                break;
+            }
+        }
+    }
+    classify_.allSummarizable = true;
+    return true;
+}
+
+bool
+EpochLower::passScheduleStability(const EpochInput &in)
+{
+    if (in.period == 0)
+        return fail("zero unit period");
+    if (in.period2 != in.period) {
+        return fail("aperiodic pacing: " + std::to_string(in.period) +
+                    " then " + std::to_string(in.period2) + " ticks");
+    }
+    if (in.r1.fires.empty())
+        return fail("no instructions fired");
+    if (!(in.r1.fires == in.r2.fires))
+        return fail("fire schedules differ between recorded units");
+    if (in.r1.fireCounts != in.r2.fireCounts ||
+        in.r1.fresh != in.r2.fresh)
+        return fail("activation partitioning differs between recorded units");
+    // Bitwise equality: identical schedules evaluate identical FP
+    // expressions, so any difference means the units are not the same
+    // steady state.
+    if (in.r1.issueSamples != in.r2.issueSamples)
+        return fail("issue-width samples differ between recorded units");
+    if (in.r1.fired != in.r2.fired ||
+        in.r1.drainLen != in.r2.drainLen ||
+        in.r1.issueLen != in.r2.issueLen ||
+        in.r1.writeLen != in.r2.writeLen ||
+        in.r1.unitDrainLen != in.r2.unitDrainLen) {
+        return fail("occupancy envelopes differ between recorded units");
+    }
+    uint64_t total = 0;
+    for (uint64_t c : in.r2.fireCounts)
+        total += c;
+    if (total != in.r2.fires.size() || total != in.r2.fired)
+        return fail("fire counts do not partition the unit's schedule");
+    return true;
+}
+
+bool
+EpochLower::passStatDeltaStability(const EpochInput &in)
+{
+    const size_t nGroups = in.s0.groups.size();
+    if (in.s1.groups.size() != nGroups || in.s2.groups.size() != nGroups)
+        return fail("snapshot group sets differ");
+
+    plan_.groups.assign(nGroups, GroupAdvance{});
+    for (size_t g = 0; g < nGroups; ++g) {
+        const GroupRaw &g0 = in.s0.groups[g];
+        const GroupRaw &g1 = in.s1.groups[g];
+        const GroupRaw &g2 = in.s2.groups[g];
+        GroupAdvance &adv = plan_.groups[g];
+
+        // Scalars: union of keys, absent means zero (stats register
+        // lazily). Both iterations must have moved each by the same
+        // amount; the common delta is the bulk advance.
+        auto checkScalars = [&](const std::map<std::string, double> &m) {
+            for (const auto &[name, unused] : m) {
+                (void)unused;
+                double v0 = scalarOr(g0.scalars, name);
+                double v1 = scalarOr(g1.scalars, name);
+                double v2 = scalarOr(g2.scalars, name);
+                double d1 = v1 - v0;
+                double d2 = v2 - v1;
+                if (d1 != d2) {
+                    return fail(g2.name + "." + name + " advanced " +
+                                std::to_string(d1) + " then " +
+                                std::to_string(d2));
+                }
+                if (d2 != 0.0) {
+                    bool seen = false;
+                    for (const auto &kv : adv.scalars)
+                        seen |= kv.first == name;
+                    if (!seen)
+                        adv.scalars.emplace_back(name, d2);
+                }
+            }
+            return true;
+        };
+        if (!checkScalars(g2.scalars) || !checkScalars(g1.scalars) ||
+            !checkScalars(g0.scalars)) {
+            return false;
+        }
+
+        // Distributions and vectors: require identical key sets across
+        // the three snapshots (a stat materializing mid-recording means
+        // a preDump or sampler fired between snapshots — bail).
+        auto sameKeys = [](const auto &a, const auto &b) {
+            if (a.size() != b.size())
+                return false;
+            auto ia = a.begin();
+            for (auto ib = b.begin(); ib != b.end(); ++ia, ++ib)
+                if (ia->first != ib->first)
+                    return false;
+            return true;
+        };
+        if (!sameKeys(g0.dists, g1.dists) || !sameKeys(g1.dists, g2.dists))
+            return fail(g2.name + ": distribution set changed mid-recording");
+        if (!sameKeys(g0.vectors, g1.vectors) ||
+            !sameKeys(g1.vectors, g2.vectors)) {
+            return fail(g2.name + ": vector stat set changed mid-recording");
+        }
+
+        for (const auto &[name, d2dist] : g2.dists) {
+            const Distribution &dist0 = g0.dists.at(name);
+            const Distribution &dist1 = g1.dists.at(name);
+            DistDelta d1, d2;
+            if (!distDelta(dist0, dist1, d1) ||
+                !distDelta(dist1, d2dist, d2)) {
+                return fail(g2.name + "." + name +
+                            " was reshaped or reset mid-recording");
+            }
+            if (!(d1 == d2)) {
+                return fail(g2.name + "." + name +
+                            " advanced differently across iterations");
+            }
+            if (d2.samples == 0) {
+                if (!zeroDelta(d2)) {
+                    return fail(g2.name + "." + name +
+                                " moved without samples");
+                }
+                continue;
+            }
+            // Replayed samples may establish no new extremes; the two
+            // recorded iterations prove they don't.
+            if (dist1.minValue() != d2dist.minValue() ||
+                dist1.maxValue() != d2dist.maxValue()) {
+                return fail(g2.name + "." + name +
+                            " min/max still moving");
+            }
+            if (semanticDist(g2.name, name)) {
+                if (d2.samples != in.r2.issueSamples.size()) {
+                    return fail(g2.name + "." + name +
+                                " sampled off the activation cadence");
+                }
+                continue; // replay samples the recorded values in order
+            }
+            adv.dists.emplace_back(name, std::move(d2));
+        }
+
+        for (const auto &[name, v2] : g2.vectors) {
+            const VectorStat &v0 = g0.vectors.at(name);
+            const VectorStat &v1 = g1.vectors.at(name);
+            if (v0.size() != v1.size() || v1.size() != v2.size())
+                return fail(g2.name + "." + name + " resized mid-recording");
+            std::vector<double> delta(v2.size(), 0.0);
+            bool nonzero = false;
+            for (size_t i = 0; i < v2.size(); ++i) {
+                double d1 = v1.at(i) - v0.at(i);
+                double d2 = v2.at(i) - v1.at(i);
+                if (d1 != d2) {
+                    return fail(g2.name + "." + name + "[" +
+                                std::to_string(i) +
+                                "] advanced differently across iterations");
+                }
+                delta[i] = d2;
+                nonzero |= d2 != 0.0;
+            }
+            if (nonzero)
+                adv.vectors.emplace_back(name, std::move(delta));
+        }
+    }
+    return true;
+}
+
+bool
+EpochLower::passResourcePeriodicity(const EpochInput &in)
+{
+    const size_t n = in.s0.res.size();
+    if (in.s1.res.size() != n || in.s2.res.size() != n ||
+        in.r1.tails.size() != n || in.r2.tails.size() != n) {
+        return fail("resource sets differ between snapshots");
+    }
+
+    plan_.res.assign(n, ResAdvance{});
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t dg1 = in.s1.res[i].grants - in.s0.res[i].grants;
+        uint64_t dg2 = in.s2.res[i].grants - in.s1.res[i].grants;
+        Tick dw1 = in.s1.res[i].wait - in.s0.res[i].wait;
+        Tick dw2 = in.s2.res[i].wait - in.s1.res[i].wait;
+        if (dg1 != dg2 || dw1 != dw2) {
+            return fail("resource " + std::to_string(i) +
+                        " grants/wait advanced differently across "
+                        "iterations");
+        }
+        if (dg2 == 0) {
+            if (dw2 != 0) {
+                return fail("resource " + std::to_string(i) +
+                            " waited without grants");
+            }
+            plan_.res[i] = {ResClass::Static, 0, 0};
+            continue;
+        }
+        // Periodic: future requests see exactly the same relative
+        // calendar tail after either iteration, so by induction every
+        // replayed iteration shifts the calendar by one period.
+        if (!(in.r1.tails[i] == in.r2.tails[i])) {
+            return fail("resource " + std::to_string(i) +
+                        " calendar tail not periodic");
+        }
+        plan_.res[i] = {ResClass::Shift, dg2, dw2};
+    }
+
+    // Structure activity watermarks: either frozen or advancing by
+    // exactly one period per iteration (same relative offset from both
+    // iteration starts).
+    auto watermark = [&](Tick w0, Tick w1, Tick w2, bool &advances,
+                         const char *what) {
+        if (w0 == w1 && w1 == w2) {
+            advances = false;
+            return true;
+        }
+        if (int64_t(w1 - in.r1.start) != int64_t(w2 - in.r2.start)) {
+            return fail(std::string(what) +
+                        " activity watermark not periodic");
+        }
+        advances = true;
+        return true;
+    };
+    bool smcAdv = false, meshAdv = false;
+    if (!watermark(in.s0.smcLast, in.s1.smcLast, in.s2.smcLast, smcAdv,
+                   "SMC")) {
+        return false;
+    }
+    if (!watermark(in.s0.meshLast, in.s1.meshLast, in.s2.meshLast, meshAdv,
+                   "mesh")) {
+        return false;
+    }
+    plan_.smcLastAdvances = smcAdv;
+    plan_.meshLastAdvances = meshAdv;
+    return true;
+}
+
+bool
+EpochLower::passCounterLaws(const EpochInput &in)
+{
+    auto stable = [&](uint64_t v0, uint64_t v1, uint64_t v2, uint64_t &delta,
+                      const char *what) {
+        if (v1 - v0 != v2 - v1) {
+            return fail(std::string(what) +
+                        " advanced differently across iterations");
+        }
+        delta = v2 - v1;
+        return true;
+    };
+    auto frozen = [&](uint64_t v0, uint64_t v1, uint64_t v2,
+                      const char *what) {
+        if (v0 != v1 || v1 != v2)
+            return fail(std::string(what) + " moved during recording");
+        return true;
+    };
+
+    if (!stable(in.s0.eqScheduled, in.s1.eqScheduled, in.s2.eqScheduled,
+                plan_.eqScheduled, "events scheduled") ||
+        !stable(in.s0.eqExecuted, in.s1.eqExecuted, in.s2.eqExecuted,
+                plan_.eqExecuted, "events executed") ||
+        !frozen(in.s0.eqDiscarded, in.s1.eqDiscarded, in.s2.eqDiscarded,
+                "events discarded") ||
+        !stable(in.s0.smcReads, in.s1.smcReads, in.s2.smcReads,
+                plan_.smcReads, "SMC reads") ||
+        !stable(in.s0.smcWrites, in.s1.smcWrites, in.s2.smcWrites,
+                plan_.smcWrites, "SMC writes") ||
+        !stable(in.s0.smcWords, in.s1.smcWords, in.s2.smcWords,
+                plan_.smcWords, "SMC words") ||
+        !stable(in.s0.meshRouted, in.s1.meshRouted, in.s2.meshRouted,
+                plan_.meshRouted, "operands routed") ||
+        !stable(in.s0.meshHops, in.s1.meshHops, in.s2.meshHops,
+                plan_.meshHops, "mesh hops") ||
+        !stable(in.s0.meshContention, in.s1.meshContention,
+                in.s2.meshContention, plan_.meshContention,
+                "mesh contention") ||
+        !frozen(in.s0.l1Hits, in.s1.l1Hits, in.s2.l1Hits, "L1 hits") ||
+        !frozen(in.s0.l1Misses, in.s1.l1Misses, in.s2.l1Misses,
+                "L1 misses") ||
+        !frozen(in.s0.l2Hits, in.s1.l2Hits, in.s2.l2Hits, "L2 hits") ||
+        !frozen(in.s0.l2Misses, in.s1.l2Misses, in.s2.l2Misses,
+                "L2 misses") ||
+        !frozen(in.s0.mainMemAccesses, in.s1.mainMemAccesses,
+                in.s2.mainMemAccesses, "main-memory accesses") ||
+        !stable(in.s0.instsExecuted, in.s1.instsExecuted, in.s2.instsExecuted,
+                plan_.instsExecuted, "instructions executed") ||
+        !stable(in.s0.usefulOps, in.s1.usefulOps, in.s2.usefulOps,
+                plan_.usefulOps, "useful ops") ||
+        !stable(in.s0.activations, in.s1.activations, in.s2.activations,
+                plan_.activations, "activations") ||
+        !stable(in.s0.mappings, in.s1.mappings, in.s2.mappings,
+                plan_.mappings, "mappings")) {
+        return false;
+    }
+    if (plan_.eqExecuted == 0)
+        return fail("units execute no events");
+    if (plan_.activations != in.r2.fireCounts.size())
+        return fail("snapshot activation delta disagrees with the "
+                    "recorded unit");
+
+    // Signature streak evolution: either both units advanced it by the
+    // same signed amount (no internal reset — the resident steady
+    // state), or a reset inside every unit pins it to the same absolute
+    // value. The end-of-unit digest must be stable either way, so the
+    // first post-epoch real activation compares against the digest a
+    // simulated run would have left behind.
+    if (in.s1.sigLast != in.s2.sigLast)
+        return fail("activation signature digest not stable");
+    int64_t ds1 = int64_t(in.s1.sigStreak) - int64_t(in.s0.sigStreak);
+    int64_t ds2 = int64_t(in.s2.sigStreak) - int64_t(in.s1.sigStreak);
+    if (ds1 == ds2) {
+        plan_.sigStreakAdditive = true;
+        plan_.sigStreakDelta = ds2;
+    } else if (in.s1.sigStreak == in.s2.sigStreak) {
+        plan_.sigStreakAdditive = false;
+        plan_.sigStreakEnd = in.s2.sigStreak;
+    } else {
+        return fail("signature streak evolution not periodic");
+    }
+    plan_.sigLast = in.s2.sigLast;
+
+    // Exactness of every planned bulk application: integer-valued
+    // bases and deltas whose K-fold projection stays exactly
+    // representable. Sequential += and one fused application then agree
+    // bit for bit.
+    const double k = double(in.iterations);
+    auto exactScalar = [&](double base, double delta, const std::string &id) {
+        if (!integral(base) || !integral(delta)) {
+            return fail(id + " is not integer-valued");
+        }
+        double projected = std::fabs(base) + std::fabs(delta) * k;
+        if (projected > maxExactDouble)
+            return fail(id + " would overflow exact double range");
+        return true;
+    };
+    for (size_t g = 0; g < plan_.groups.size(); ++g) {
+        const GroupRaw &g2 = in.s2.groups[g];
+        for (const auto &[name, delta] : plan_.groups[g].scalars) {
+            if (!exactScalar(scalarOr(g2.scalars, name), delta,
+                             g2.name + "." + name)) {
+                return false;
+            }
+        }
+        for (const auto &[name, d] : plan_.groups[g].dists) {
+            const Distribution &base = g2.dists.at(name);
+            if (!exactScalar(base.sum(), d.sum,
+                             g2.name + "." + name + "::sum") ||
+                !exactScalar(base.sumSq(), d.sumSq,
+                             g2.name + "." + name + "::sumSq")) {
+                return false;
+            }
+        }
+        for (const auto &[name, delta] : plan_.groups[g].vectors) {
+            const VectorStat &base = g2.vectors.at(name);
+            for (size_t i = 0; i < delta.size(); ++i) {
+                if (!exactScalar(base.at(i), delta[i],
+                                 g2.name + "." + name + "::" +
+                                     std::to_string(i))) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+bool
+EpochLower::passBuildReplay(const EpochInput &in)
+{
+    if (in.iterations == 0)
+        return fail("nothing left to replay");
+    plan_.period = in.period;
+    plan_.drainLen = in.r2.drainLen;
+    plan_.issueLen = in.r2.issueLen;
+    plan_.writeLen = in.r2.writeLen;
+    plan_.unitDrainLen = in.r2.unitDrainLen;
+    plan_.fired = in.r2.fired;
+    plan_.fires = in.r2.fires;
+    plan_.fireCounts = in.r2.fireCounts;
+    plan_.issueSamples = in.r2.issueSamples;
+    plan_.fresh = in.r2.fresh;
+    return true;
+}
+
+} // namespace dlp::epoch

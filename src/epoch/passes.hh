@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The epoch lowering pipeline: staged validation passes that turn two
+ * recorded steady-state units (activations of a resident plan, whole
+ * segment groups otherwise) into a replayable EpochPlan.
+ *
+ * Structured after nvFuser's GpuLower: an explicit, ordered pass list
+ * (passNames()), each pass either contributing to the analysis maps and
+ * the plan under construction or failing with a queryable (pass,
+ * detail) pair. A failed lowering is not an error — the engine falls
+ * back to event-level simulation and backs off — so every check is
+ * conservative: the plan is only produced when bit-identical replay is
+ * provable from the two iterations alone.
+ *
+ * The passes, in order:
+ *
+ *  1. ClassifyOps          every instruction's timing must be
+ *                          data-independent (pure compute, register
+ *                          ports, SMC streams, L0 tables). Cached
+ *                          memory, control and free-running ops bail.
+ *  2. ScheduleStability    both units fired the same instructions at
+ *                          the same relative ticks, partitioned into
+ *                          the same activations, with the same
+ *                          occupancy envelope and period.
+ *  3. StatDeltaStability   every statistic advanced by the same delta
+ *                          in both iterations (the deltas become the
+ *                          bulk advances).
+ *  4. ResourcePeriodicity  every resource calendar is either untouched
+ *                          or left an identical relative tail — the
+ *                          induction step that makes all future
+ *                          iterations identical.
+ *  5. CounterLaws          event-queue/structure counters advanced
+ *                          identically, and every planned bulk
+ *                          application is exact in double arithmetic
+ *                          (integral deltas, totals within 2^53).
+ *  6. BuildReplay          assemble the final EpochPlan.
+ */
+
+#ifndef DLP_EPOCH_PASSES_HH
+#define DLP_EPOCH_PASSES_HH
+
+#include <string>
+#include <vector>
+
+#include "epoch/ir.hh"
+
+namespace dlp::epoch {
+
+/** Per-instruction classification from the ClassifyOps pass. */
+struct ClassifyResult
+{
+    bool allSummarizable = false;
+    /// Instruction indices whose ops forced a bail-out (empty on success).
+    std::vector<uint32_t> blockers;
+};
+
+class EpochLower
+{
+  public:
+    /** Run the full pass list over the recorded input. */
+    explicit EpochLower(const EpochInput &in);
+
+    /** Did every pass hold (plan() is valid)? */
+    bool ok() const { return failedPass_ == nullptr; }
+
+    /** Name of the first failing pass ("" when ok()). */
+    std::string failedPass() const
+    {
+        return failedPass_ ? failedPass_ : "";
+    }
+
+    /** Human-readable reason for the failure ("" when ok()). */
+    const std::string &failureDetail() const { return detail_; }
+
+    /** The lowered replay plan; only meaningful when ok(). */
+    const EpochPlan &plan() const { return plan_; }
+
+    /** ClassifyOps analysis (valid once that pass has run). */
+    const ClassifyResult &classification() const { return classify_; }
+
+    /** The ordered pass list, for docs/tests. */
+    static const std::vector<const char *> &passNames();
+
+  private:
+    bool passClassifyOps(const EpochInput &in);
+    bool passScheduleStability(const EpochInput &in);
+    bool passStatDeltaStability(const EpochInput &in);
+    bool passResourcePeriodicity(const EpochInput &in);
+    bool passCounterLaws(const EpochInput &in);
+    bool passBuildReplay(const EpochInput &in);
+
+    /** Record a failure reason; returns false for `return fail(...)`. */
+    bool fail(std::string why)
+    {
+        detail_ = std::move(why);
+        return false;
+    }
+
+    const char *failedPass_ = nullptr;
+    std::string detail_;
+    ClassifyResult classify_;
+    EpochPlan plan_;
+};
+
+} // namespace dlp::epoch
+
+#endif // DLP_EPOCH_PASSES_HH

@@ -87,6 +87,25 @@ class SmcSubsystem
     uint64_t writes() const { return nWrites; }
     uint64_t wordsRead() const { return nWordsRead; }
 
+    /** Latest bank-port grant end (occupancy reference point). */
+    Tick lastBankActivity() const { return lastActivity; }
+
+    /**
+     * Advance the raw access counters by a replayed epoch's worth of
+     * traffic without simulating it (epoch fast-forwarding). The
+     * activity watermark moves by `lastAdvance` ticks; bank/channel
+     * calendars are shifted separately through their Resources.
+     */
+    void
+    fastForward(uint64_t readsDelta, uint64_t writesDelta,
+                uint64_t wordsDelta, Tick lastAdvance)
+    {
+        nReads += readsDelta;
+        nWrites += writesDelta;
+        nWordsRead += wordsDelta;
+        lastActivity += lastAdvance;
+    }
+
     /**
      * The SMC statistics group ("mem.smc"): a per-row bank-conflict
      * counter vector, read-burst and row-streaming-occupancy

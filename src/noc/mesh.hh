@@ -86,6 +86,25 @@ class MeshNetwork
     uint64_t totalHops() const { return hops; }
     Tick contentionTicks() const { return contention; }
 
+    /** Latest link grant end (utilization reference point). */
+    Tick lastLinkActivity() const { return lastActivity; }
+
+    /**
+     * Advance the raw routing counters by a replayed epoch's worth of
+     * traffic without simulating it (epoch fast-forwarding). The
+     * activity watermark moves by `lastAdvance` ticks; link calendars
+     * are shifted separately through their Resources.
+     */
+    void
+    fastForward(uint64_t routedDelta, uint64_t hopsDelta,
+                Tick contentionDelta, Tick lastAdvance)
+    {
+        routed += routedDelta;
+        hops += hopsDelta;
+        contention += contentionDelta;
+        lastActivity += lastAdvance;
+    }
+
     /**
      * The mesh statistics group ("noc.mesh"): routing counters, a
      * per-hop contention-stall histogram, and — refreshed at dump time —

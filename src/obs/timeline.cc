@@ -25,7 +25,7 @@ namespace {
 
 const char *const catNames[numCats] = {
     "EventQ", "Mesh", "SMC", "Cache", "Mem", "Engine", "Revit", "Exec",
-    "Driver", "Audit", "Check", "Store", "Serve",
+    "Epoch", "Driver", "Audit", "Check", "Store", "Serve",
 };
 
 /**
@@ -289,8 +289,8 @@ parseCatList(const std::string &list)
             std::lock_guard<std::mutex> lock(warnedMutex);
             if (warnedNames.insert(name).second) {
                 warn("unknown timeline category '%s' (known: EventQ, Mesh, "
-                     "SMC, Cache, Mem, Engine, Revit, Exec, Driver, Audit, "
-                     "Check, Store, Serve, All)", spec.c_str());
+                     "SMC, Cache, Mem, Engine, Revit, Exec, Epoch, Driver, "
+                     "Audit, Check, Store, Serve, All)", spec.c_str());
             }
         }
     }

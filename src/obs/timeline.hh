@@ -74,6 +74,7 @@ enum class Cat : uint8_t
     Engine,  ///< activations, mappings, chunk runs
     Revit,   ///< revitalization broadcasts
     Exec,    ///< per-instruction fires (very verbose)
+    Epoch,   ///< epoch fast-forwarding: recorded iterations, replay spans
     Driver,  ///< host: sweep cells, fixtures, JobPool jobs, experiments
     Audit,   ///< host: post-run invariant audit gate
     Check,   ///< host: pre-run static verification gate
@@ -83,7 +84,7 @@ enum class Cat : uint8_t
 };
 
 constexpr unsigned numCats = static_cast<unsigned>(Cat::NumCats);
-static_assert(static_cast<unsigned>(Cat::Exec) + 1 == trace::numFlags,
+static_assert(static_cast<unsigned>(Cat::Epoch) + 1 == trace::numFlags,
               "the first obs categories must mirror trace::Flag");
 
 /** The category a DPRINTF flag maps to (identity on the shared prefix). */

@@ -90,6 +90,8 @@ class SmallVec
 
     const T *begin() const { return data_; }
     const T *end() const { return data_ + count; }
+    T *begin() { return data_; }
+    T *end() { return data_ + count; }
 
     void
     push_back(const T &v)
@@ -268,6 +270,69 @@ class Resource
         totalGrants = 0;
         totalWait = 0;
     }
+
+    /// @name Epoch fast-forward support.
+    /// @{
+
+    /**
+     * Credit the grant/wait totals for `grantsDelta` grants that were
+     * never individually simulated (a replayed epoch's worth). The
+     * calendar is not touched -- see shiftCalendar().
+     */
+    void
+    fastForwardCounters(uint64_t grantsDelta, Tick waitDelta)
+    {
+        totalGrants += grantsDelta;
+        totalWait += waitDelta;
+    }
+
+    /**
+     * Translate the whole busy calendar `shift` ticks into the future.
+     * After replaying K periodic iterations arithmetically, the calendar
+     * a real simulation would have left behind is exactly the recorded
+     * one shifted by K*period: the pre-epoch prefix is never consulted
+     * again (future requests arrive at or after the new tail), and the
+     * tail lands where periodicity places it.
+     */
+    void
+    shiftCalendar(Tick shift)
+    {
+        for (auto &iv : busy) {
+            iv.start += shift;
+            iv.end += shift;
+        }
+        lastEnd += shift;
+    }
+
+    /**
+     * The busy intervals still extending past `origin`, as signed
+     * offsets relative to it. Two iterations of a periodic schedule are
+     * indistinguishable to all future requests iff these relative tails
+     * (plus the relative calendar end) match -- the epoch pass pipeline
+     * compares them between consecutive recorded iterations.
+     *
+     * Interval starts clamp at origin: grants never land before their
+     * request tick and every future request arrives at or after origin,
+     * so how far back a merged busy interval stretches is invisible to
+     * all future behavior. Without the clamp a saturated resource --
+     * one continuous interval growing by a period per iteration --
+     * would never compare tail-equal.
+     */
+    void
+    tailSince(Tick origin,
+              std::vector<std::pair<int64_t, int64_t>> &out) const
+    {
+        out.clear();
+        for (const auto &iv : busy) {
+            if (iv.end > origin) {
+                out.emplace_back(int64_t(std::max(iv.start, origin) -
+                                         origin),
+                                 int64_t(iv.end - origin));
+            }
+        }
+    }
+
+    /// @}
 
   private:
     struct Interval

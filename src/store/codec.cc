@@ -166,6 +166,10 @@ resultToJson(const arch::ExperimentResult &result)
     obj.set("mappings", result.mappings);
     obj.set("hostSeconds", result.hostSeconds);
     obj.set("hostEvents", result.hostEvents);
+    obj.set("ffEpochs", result.ffEpochs);
+    obj.set("ffIterations", result.ffIterations);
+    obj.set("ffEventsSaved", result.ffEventsSaved);
+    obj.set("eventActivations", result.eventActivations);
 
     obj.set("audited", result.audited);
     if (result.audited) {
@@ -221,6 +225,18 @@ resultFromJson(const json::Value &doc)
     r.mappings = asU64(doc.at("mappings"));
     r.hostSeconds = doc.at("hostSeconds").asNumber();
     r.hostEvents = asU64(doc.at("hostEvents"));
+    // Fast-forwarding counters: absent in pre-epoch documents, which by
+    // construction simulated every activation through the event queue.
+    if (const json::Value *v = doc.find("ffEpochs"))
+        r.ffEpochs = asU64(*v);
+    if (const json::Value *v = doc.find("ffIterations"))
+        r.ffIterations = asU64(*v);
+    if (const json::Value *v = doc.find("ffEventsSaved"))
+        r.ffEventsSaved = asU64(*v);
+    if (const json::Value *v = doc.find("eventActivations"))
+        r.eventActivations = asU64(*v);
+    else
+        r.eventActivations = r.activations;
 
     r.audited = doc.at("audited").asBool();
     if (r.audited) {

@@ -39,8 +39,12 @@
 
 namespace dlp::store {
 
-/** Bumped whenever the canonical fold below changes shape. */
-constexpr uint64_t keyFormatVersion = 1;
+/**
+ * Bumped whenever the canonical fold below changes shape, or when the
+ * simulator's result schema changes incompatibly (v2: epoch
+ * fast-forwarding counters joined the stored ExperimentResult).
+ */
+constexpr uint64_t keyFormatVersion = 2;
 
 /** Fold a kernel's complete IR into a hasher, canonically. */
 void foldKernel(Fnv1a128 &h, const kernels::Kernel &k);

@@ -311,6 +311,40 @@ checkActivations(const ExperimentResult &res, std::vector<AuditFinding> &out)
                     double(iw->samples())));
 }
 
+/**
+ * Epoch fast-forwarding conservation: every activation was either
+ * simulated through the event queue or replayed by an epoch, and the
+ * simulated-machine event total equals the host events actually
+ * executed plus the events fast-forwarding skipped.
+ */
+void
+checkEpochConservation(const ExperimentResult &res,
+                       std::vector<AuditFinding> &out)
+{
+    if (res.eventActivations + res.ffIterations != res.activations) {
+        std::ostringstream os;
+        os << "eventActivations " << res.eventActivations
+           << " + ffIterations " << res.ffIterations << " != activations "
+           << res.activations;
+        report(out, "epoch-conservation", os.str());
+    }
+    if (res.ffEpochs > 0 && res.ffIterations == 0)
+        report(out, "epoch-conservation",
+               "epochs entered but zero iterations replayed");
+    // The events formula exists only on the SIMD engine group; MIMD
+    // runs (and pre-epoch stored results) simply have nothing to check.
+    const GroupSnapshot *g = findGroup(res, "core.simd");
+    if (!g)
+        return;
+    const double *exec = formulaOf(*g, "eventsExecuted");
+    if (!exec)
+        return;
+    if (!near(double(res.hostEvents + res.ffEventsSaved), *exec))
+        report(out, "epoch-conservation",
+               fmt2("hostEvents + ffEventsSaved vs eventsExecuted", *exec,
+                    double(res.hostEvents + res.ffEventsSaved)));
+}
+
 const std::vector<Invariant> registry = {
     {"output-verified", "machine outputs match the golden model",
      checkVerified},
@@ -336,6 +370,10 @@ const std::vector<Invariant> registry = {
      checkEventConservation},
     {"activation-agreement",
      "engine and result activation counters agree", checkActivations},
+    {"epoch-conservation",
+     "simulated + fast-forwarded activations == total; "
+     "hostEvents + ffEventsSaved == eventsExecuted",
+     checkEpochConservation},
 };
 
 std::atomic<int> auditOverride{-1};

@@ -7,12 +7,15 @@
 #include "arch/configs.hh"
 #include "arch/processor.hh"
 #include "check/verify.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "epoch/epoch.hh"
 #include "kernels/interp.hh"
 #include "kernels/workload.hh"
 #include "sched/linearize.hh"
 #include "sched/simd_lowering.hh"
+#include "store/codec.hh"
 #include "verify/audit.hh"
 
 namespace dlp::verify {
@@ -312,13 +315,68 @@ struct RunOutcome
     std::string detail;
 };
 
+arch::ExperimentResult
+runOnce(const FuzzCase &fc, const std::string &config)
+{
+    FuzzWorkload wl(fc);
+    arch::TripsProcessor cpu(arch::configByName(config));
+    return cpu.run(wl);
+}
+
+/**
+ * Canonical serialization of a result with the host-side fields -- the
+ * only ones allowed to differ between a fully simulated and a
+ * fast-forwarded run -- scrubbed out.
+ */
+std::string
+scrubbedJson(arch::ExperimentResult res)
+{
+    res.hostSeconds = 0.0;
+    res.hostEvents = 0;
+    res.ffEpochs = 0;
+    res.ffIterations = 0;
+    res.ffEventsSaved = 0;
+    res.eventActivations = 0;
+    return json::write(store::resultToJson(res));
+}
+
+std::string
+firstJsonDiff(const std::string &a, const std::string &b)
+{
+    size_t i = 0;
+    while (i < a.size() && i < b.size() && a[i] == b[i])
+        ++i;
+    size_t from = i > 40 ? i - 40 : 0;
+    std::ostringstream os;
+    os << "fast-forwarded run diverges at byte " << i << ": ..."
+       << a.substr(from, 80) << "... vs ..." << b.substr(from, 80)
+       << "...";
+    return os.str();
+}
+
 RunOutcome
-runCase(const FuzzCase &fc, const std::string &config, bool audit)
+runCase(const FuzzCase &fc, const std::string &config, bool audit,
+        bool ffDiff)
 {
     try {
-        FuzzWorkload wl(fc);
-        arch::TripsProcessor cpu(arch::configByName(config));
-        auto res = cpu.run(wl);
+        arch::ExperimentResult res;
+        if (ffDiff) {
+            // Differential: the same case with the fast-forwarder off,
+            // then on. Everything but the scrubbed host fields must be
+            // bit-identical. The audit below runs on the ff-on result,
+            // so its conservation laws see the interesting path.
+            epoch::FastForwardGuard guard;
+            epoch::setFastForwardEnabled(false);
+            arch::ExperimentResult off = runOnce(fc, config);
+            epoch::setFastForwardEnabled(true);
+            res = runOnce(fc, config);
+            std::string a = scrubbedJson(off);
+            std::string b = scrubbedJson(res);
+            if (a != b)
+                return {true, "fastforward", firstJsonDiff(a, b)};
+        } else {
+            res = runOnce(fc, config);
+        }
         if (!res.verified)
             return {true, "mismatch", res.error};
         if (audit) {
@@ -381,7 +439,7 @@ stillFails(const FuzzOptions &opts, const std::string &config,
     ++runs;
     try {
         FuzzCase fc = buildCase(opts);
-        return runCase(fc, config, opts.audit).failed;
+        return runCase(fc, config, opts.audit, opts.ffDiff).failed;
     } catch (const std::exception &) {
         return true;
     }
@@ -499,6 +557,8 @@ replayCommand(const FuzzOptions &opts, const std::string &config)
         os << " --no-scratch";
     if (opts.staticCheck)
         os << " --static-check";
+    if (opts.ffDiff)
+        os << " --fast-forward";
     os << " --configs " << config;
     return os.str();
 }
@@ -531,7 +591,7 @@ fuzzOne(const FuzzOptions &opts)
 
     for (const auto &config : o.configs) {
         ++rep.runs;
-        RunOutcome out = runCase(fc, config, o.audit);
+        RunOutcome out = runCase(fc, config, o.audit, o.ffDiff);
         if (!out.failed) {
             // Dynamically clean: a static Error here is a verifier
             // false positive, which is itself a counterexample.

@@ -54,6 +54,15 @@ struct FuzzOptions
      */
     bool staticCheck = false;
 
+    /**
+     * Differential epoch fast-forwarding: run every case twice, once
+     * with the fast-forwarder disabled and once enabled, serialize both
+     * ExperimentResults (host-side measurement fields scrubbed) and
+     * diff them byte for byte. Any divergence is a failure of kind
+     * "fastforward" -- the fast-forwarder's contract is bit-identity.
+     */
+    bool ffDiff = false;
+
     /** Configurations to run; empty means all of Table 5. */
     std::vector<std::string> configs;
 };
@@ -63,7 +72,8 @@ struct FuzzFailure
 {
     uint64_t seed = 0;
     std::string config;
-    std::string kind;   ///< "mismatch", "exception", "audit" or "static"
+    /// "mismatch", "exception", "audit", "static" or "fastforward"
+    std::string kind;
     std::string detail; ///< first differing word / what() / violation
     FuzzOptions shrunk; ///< smallest options still reproducing it
     std::string replay; ///< one-line fuzz_ir command reproducing it

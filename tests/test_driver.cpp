@@ -15,9 +15,12 @@
 #include <vector>
 
 #include "analysis/experiments.hh"
+#include "arch/configs.hh"
 #include "common/logging.hh"
+#include "core/block_engine.hh"
 #include "driver/job_pool.hh"
 #include "driver/sweep.hh"
+#include "sched/plan.hh"
 
 using namespace dlp;
 using namespace dlp::driver;
@@ -351,4 +354,82 @@ TEST(Determinism, ParallelGridMatchesSerialFieldForField)
             expectSameResult(result, pc->second);
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Engine reuse across sweep cells
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** A one-block plan: r10 = 7 + 8 per activation (see test_engines). */
+sched::SimdPlan
+streakPlan(const core::MachineParams &m)
+{
+    using isa::MappedInst;
+    using isa::Op;
+    using isa::Target;
+    auto inst = [](Op op, unsigned row, unsigned col, unsigned slot) {
+        MappedInst mi;
+        mi.op = op;
+        mi.row = static_cast<uint8_t>(row);
+        mi.col = static_cast<uint8_t>(col);
+        mi.slot = static_cast<uint8_t>(slot);
+        mi.numSrcs = isa::opInfo(op).numSrcs;
+        return mi;
+    };
+
+    sched::SimdPlan plan;
+    plan.name = "streak";
+    plan.unroll = 1;
+    plan.recBaseReg = 0;
+    plan.initialRegs = {{0, 0}};
+
+    sched::Segment seg;
+    auto &b = seg.block;
+    b.name = "streak#0";
+    b.rows = static_cast<uint8_t>(m.rows);
+    b.cols = static_cast<uint8_t>(m.cols);
+    b.slotsPerTile = static_cast<uint8_t>(m.frameSlots);
+
+    MappedInst a = inst(Op::Movi, 1, 1, 0);
+    a.imm = 7;
+    a.overhead = true;
+    a.targets.push_back(Target{2, 0, 0});
+    MappedInst c = inst(Op::Movi, 2, 3, 0);
+    c.imm = 8;
+    c.overhead = true;
+    c.targets.push_back(Target{2, 1, 0});
+    MappedInst add = inst(Op::Add, 1, 2, 0);
+    add.targets.push_back(Target{3, 0, 0});
+    MappedInst wr = inst(Op::Write, 0, 0, 0);
+    wr.imm = 10;
+    wr.regTile = true;
+    wr.overhead = true;
+    b.insts = {a, c, add, wr};
+    b.validate();
+    plan.segments.push_back(std::move(seg));
+    return plan;
+}
+
+} // namespace
+
+TEST(Determinism, EngineResetsSignatureStreakBetweenRuns)
+{
+    // Sweep fixtures reuse one engine across runs; a streak (or last
+    // signature) leaking from the previous run would let the second
+    // run's epoch controller arm early and diverge from a cold engine.
+    auto m = arch::configByName("S");
+    mem::MemorySystem memory(m.memParams, true);
+    core::BlockEngine engine(m, memory);
+    auto plan = streakPlan(m);
+
+    engine.run(plan, 24);
+    EXPECT_GT(engine.steadySignatureStreak() + engine.ffIterations(), 0u);
+
+    // A zero-record run executes no activations: the streak state must
+    // still have been cleared at entry.
+    engine.run(plan, 0);
+    EXPECT_EQ(engine.activationSignature(), 0u);
+    EXPECT_EQ(engine.steadySignatureStreak(), 0u);
 }
