@@ -23,8 +23,13 @@
  *   --once           serve a single connection, then exit — handy for
  *                    smoke tests and one-shot batch runs
  *
- * The server exits cleanly when a client sends the shutdown op.
+ * The server exits cleanly when a client sends the shutdown op, or on
+ * SIGINT/SIGTERM: the request in flight finishes streaming, the socket
+ * file is unlinked and the lifetime counters are printed — a ^C or a
+ * service manager's stop never leaves a stale socket behind.
  */
+
+#include <signal.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +41,34 @@
 #include "serve/server.hh"
 
 using namespace dlp;
+
+namespace {
+
+serve::Server *activeServer = nullptr;
+
+/** Async-signal-safe: requestStop only sets a sig_atomic_t flag. */
+void
+onStopSignal(int)
+{
+    if (activeServer)
+        activeServer->requestStop();
+}
+
+void
+installStopHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onStopSignal;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESTART: the signal interrupts a blocking poll(2) with
+    // EINTR so the loop re-checks its stop flag immediately instead of
+    // waiting out the poll timeout.
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -76,6 +109,8 @@ main(int argc, char **argv)
     unsigned workers = opts.workers;
     std::string storeDir = opts.storeDir;
     serve::Server server(std::move(opts));
+    activeServer = &server;
+    installStopHandlers();
     std::printf("sweepd: listening on %s (%u worker%s%s%s)\n",
                 server.socketPath().c_str(), workers,
                 workers == 1 ? "" : "s",
@@ -84,6 +119,7 @@ main(int argc, char **argv)
     std::fflush(stdout);
 
     server.run();
+    activeServer = nullptr;
 
     const serve::ServerCounters &c = server.counters();
     std::printf("sweepd: done — %llu connection(s), %llu request(s), "

@@ -41,6 +41,50 @@ toJson(const VectorStat &v)
     return arr;
 }
 
+json::Value
+auditToJson(const std::vector<arch::AuditFinding> &violations)
+{
+    json::Value audit = json::Value::object();
+    audit.set("violations", violations.size());
+    json::Value findings = json::Value::array();
+    for (const auto &f : violations) {
+        json::Value entry = json::Value::object();
+        entry.set("invariant", f.invariant);
+        entry.set("detail", f.detail);
+        findings.push(std::move(entry));
+    }
+    audit.set("findings", std::move(findings));
+    return audit;
+}
+
+json::Value
+timeseriesToJson(const obs::TimeSeries &ts)
+{
+    json::Value series = json::Value::object();
+    series.set("intervalTicks", ts.intervalTicks);
+    json::Value names = json::Value::array();
+    for (const auto &n : ts.statNames)
+        names.push(n);
+    series.set("stats", std::move(names));
+    json::Value levels = json::Value::array();
+    for (bool level : ts.isLevel)
+        levels.push(level);
+    series.set("isLevel", std::move(levels));
+    json::Value ticks = json::Value::array();
+    for (uint64_t t : ts.ticks)
+        ticks.push(t);
+    series.set("ticks", std::move(ticks));
+    json::Value rows = json::Value::array();
+    for (const auto &row : ts.samples) {
+        json::Value vals = json::Value::array();
+        for (double v : row)
+            vals.push(v);
+        rows.push(std::move(vals));
+    }
+    series.set("samples", std::move(rows));
+    return series;
+}
+
 } // namespace
 
 json::Value
@@ -108,19 +152,8 @@ toJson(const arch::ExperimentResult &result)
 
     // Post-run invariant audit, present only when auditing ran so
     // unaudited documents (and their golden diffs) keep their shape.
-    if (result.audited) {
-        json::Value audit = json::Value::object();
-        audit.set("violations", result.auditViolations.size());
-        json::Value findings = json::Value::array();
-        for (const auto &f : result.auditViolations) {
-            json::Value entry = json::Value::object();
-            entry.set("invariant", f.invariant);
-            entry.set("detail", f.detail);
-            findings.push(std::move(entry));
-        }
-        audit.set("findings", std::move(findings));
-        obj.set("audit", std::move(audit));
-    }
+    if (result.audited)
+        obj.set("audit", auditToJson(result.auditViolations));
 
     // Pre-run static verification, present only when checking ran (the
     // same shape-stability contract as "audit" above).
@@ -146,32 +179,93 @@ toJson(const arch::ExperimentResult &result)
     // as "audit"/"check"). Delta columns (isLevel false) sum to the
     // corresponding final aggregates in "statGroups"; level columns are
     // instantaneous formula values.
-    if (result.timeseries.present()) {
-        const obs::TimeSeries &ts = result.timeseries;
-        json::Value series = json::Value::object();
-        series.set("intervalTicks", ts.intervalTicks);
-        json::Value names = json::Value::array();
-        for (const auto &n : ts.statNames)
-            names.push(n);
-        series.set("stats", std::move(names));
-        json::Value levels = json::Value::array();
-        for (bool level : ts.isLevel)
-            levels.push(level);
-        series.set("isLevel", std::move(levels));
-        json::Value ticks = json::Value::array();
-        for (uint64_t t : ts.ticks)
-            ticks.push(t);
-        series.set("ticks", std::move(ticks));
-        json::Value rows = json::Value::array();
-        for (const auto &row : ts.samples) {
-            json::Value vals = json::Value::array();
-            for (double v : row)
-                vals.push(v);
-            rows.push(std::move(vals));
-        }
-        series.set("samples", std::move(rows));
-        obj.set("timeseries", std::move(series));
+    if (result.timeseries.present())
+        obj.set("timeseries", timeseriesToJson(result.timeseries));
+
+    json::Value groups = json::Value::array();
+    for (const auto &g : result.statGroups)
+        groups.push(toJson(g));
+    obj.set("statGroups", std::move(groups));
+    return obj;
+}
+
+json::Value
+toJson(const arch::ServiceResult &result)
+{
+    json::Value obj = json::Value::object();
+    obj.set("kind", "service");
+    obj.set("config", result.config);
+    obj.set("cores", result.cores);
+    obj.set("bandwidthWordsPerTick", result.bandwidthWordsPerTick);
+    obj.set("offeredRps", result.offeredRps);
+    obj.set("arrival", result.arrival);
+    obj.set("batch", result.batch);
+    obj.set("seed", result.seed);
+    obj.set("seedPool", result.seedPool);
+    obj.set("ticksPerSec", result.ticksPerSec);
+
+    obj.set("injected", result.injected);
+    obj.set("completed", result.completed);
+    obj.set("inFlightAtDrain", result.inFlightAtDrain);
+    obj.set("systemActivations", result.systemActivations);
+    obj.set("drainTick", result.drainTick);
+    obj.set("sustainedRps", result.sustainedRps);
+
+    json::Value lat = json::Value::object();
+    lat.set("p50", result.p50);
+    lat.set("p95", result.p95);
+    lat.set("p99", result.p99);
+    lat.set("mean", result.meanLatency);
+    lat.set("max", result.maxLatency);
+    lat.set("histogram", toJson(result.latency));
+    obj.set("latencyTicks", std::move(lat));
+
+    obj.set("meanQueueWait", result.meanQueueWait);
+    obj.set("maxQueueDepth", result.maxQueueDepth);
+
+    json::Value perCore = json::Value::array();
+    for (const auto &c : result.perCore) {
+        json::Value core = json::Value::object();
+        core.set("requests", c.requests);
+        core.set("busyTicks", c.busyTicks);
+        core.set("workTicks", c.workTicks);
+        core.set("activations", c.activations);
+        perCore.push(std::move(core));
     }
+    obj.set("perCore", std::move(perCore));
+
+    json::Value profiles = json::Value::array();
+    for (const auto &p : result.profiles) {
+        json::Value prof = json::Value::object();
+        prof.set("kernel", p.kernel);
+        prof.set("scale", p.scale);
+        prof.set("seed", p.seed);
+        prof.set("isolatedTicks", p.isolatedTicks);
+        prof.set("demandWordsPerTick", p.demandWordsPerTick);
+        prof.set("activations", p.activations);
+        prof.set("usefulOps", p.usefulOps);
+        profiles.push(std::move(prof));
+    }
+    obj.set("profiles", std::move(profiles));
+
+    json::Value requests = json::Value::array();
+    for (const auto &r : result.requests) {
+        json::Value req = json::Value::object();
+        req.set("index", r.index);
+        req.set("mixIndex", r.mixIndex);
+        req.set("seedSlot", r.seedSlot);
+        req.set("core", r.core);
+        req.set("arrival", r.arrival);
+        req.set("start", r.start);
+        req.set("finish", r.finish);
+        requests.push(std::move(req));
+    }
+    obj.set("requests", std::move(requests));
+
+    if (result.audited)
+        obj.set("audit", auditToJson(result.auditViolations));
+    if (result.timeseries.present())
+        obj.set("timeseries", timeseriesToJson(result.timeseries));
 
     json::Value groups = json::Value::array();
     for (const auto &g : result.statGroups)

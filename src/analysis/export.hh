@@ -31,6 +31,7 @@
 
 #include "analysis/experiments.hh"
 #include "analysis/json.hh"
+#include "arch/multicore.hh"
 #include "arch/processor.hh"
 #include "common/stats.hh"
 
@@ -41,6 +42,15 @@ json::Value toJson(const GroupSnapshot &group);
 
 /** One experiment result, including its stat-group snapshots. */
 json::Value toJson(const arch::ExperimentResult &result);
+
+/**
+ * One multi-core service run: configuration echo, conservation totals,
+ * throughput, latency percentiles + histogram, per-core and per-profile
+ * tables, per-request records, shared-memory contention groups, and —
+ * under the same shape-stability contract as experiment documents —
+ * optional "audit" and "timeseries" objects.
+ */
+json::Value toJson(const arch::ServiceResult &result);
 
 /**
  * A flat list of results (Table 4 style) as a complete document:

@@ -1,6 +1,7 @@
 #include "driver/proc_pool.hh"
 
 #include <poll.h>
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -15,13 +16,15 @@ namespace dlp::driver {
 
 namespace {
 
-/** Write exactly n bytes; false on any error (e.g. parent died). */
+/** Write exactly n bytes; false on any real error (e.g. parent died). */
 bool
 writeAll(int fd, const void *data, size_t n)
 {
     const char *p = static_cast<const char *>(data);
     while (n) {
         ssize_t w = ::write(fd, p, n);
+        if (w < 0 && errno == EINTR)
+            continue;  // a signal mid-frame is a retry, not a failure
         if (w <= 0)
             return false;
         p += w;
@@ -62,6 +65,13 @@ runChildShard(int writeFd, unsigned shard, size_t items, unsigned workers,
               const std::function<std::string(size_t)> &produce,
               const std::function<void()> &childInit)
 {
+    // The parent detects our death via pipe EOF and waitpid, and we
+    // detect the parent's death via write failure on the pipe — which
+    // requires surviving the SIGPIPE that a write to a widowed pipe
+    // raises first (default disposition kills the process before
+    // write() can return EPIPE).
+    ::signal(SIGPIPE, SIG_IGN);
+
     int status = 0;
     try {
         if (childInit)

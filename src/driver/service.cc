@@ -1,0 +1,113 @@
+#include "driver/service.hh"
+
+#include "arch/configs.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "driver/sweep.hh"
+#include "verify/audit.hh"
+
+namespace dlp::driver {
+
+namespace {
+
+const GroupSnapshot *
+findGroup(const arch::ExperimentResult &res, const std::string &name)
+{
+    for (const auto &g : res.statGroups)
+        if (g.name == name)
+            return &g;
+    return nullptr;
+}
+
+double
+scalarOr(const GroupSnapshot *g, const std::string &name)
+{
+    if (!g)
+        return 0.0;
+    auto it = g->scalars.find(name);
+    return it == g->scalars.end() ? 0.0 : it->second;
+}
+
+} // namespace
+
+arch::RequestProfile
+profileFromResult(const arch::ExperimentResult &res,
+                  const std::string &config, uint64_t scale, uint64_t seed)
+{
+    arch::RequestProfile p;
+    p.kernel = res.kernel;
+    p.scale = scale;
+    p.seed = seed;
+    p.activations = res.activations;
+    p.usefulOps = res.usefulOps;
+    p.isolatedTicks = double(cyclesToTicks(res.cycles));
+    fatal_if(p.isolatedTicks <= 0.0,
+             "profile run %s/%s simulated zero cycles", res.kernel.c_str(),
+             res.config.c_str());
+
+    // Shared-structure words the request moves: SMC stream traffic
+    // (reads in words, plus one word per write) and hardware-cache L1
+    // miss line fills out of the same physical L2 banks. Configurations
+    // without an SMC simply contribute their cache-side traffic.
+    const GroupSnapshot *smc = findGroup(res, "mem.smc");
+    const GroupSnapshot *sys = findGroup(res, "mem.sys");
+    double lineWords =
+        double(arch::configByName(config).memParams.lineBytes) /
+        double(wordBytes);
+    double sharedWords = scalarOr(smc, "wordsRead") +
+                         scalarOr(smc, "writes") +
+                         scalarOr(sys, "l1Misses") * lineWords;
+    p.demandWordsPerTick = sharedWords / p.isolatedTicks;
+    return p;
+}
+
+arch::ServiceResult
+runService(const ServiceOptions &opts)
+{
+    const traffic::TrafficParams &t = opts.traffic;
+    fatal_if(t.mix.empty(), "service: empty kernel mix");
+    fatal_if(opts.cores == 0, "service: need at least one core");
+
+    // One profile run per (mix kernel x dataset-seed slot), through the
+    // ordinary sweep: parallel across jobs, cached, stored — and
+    // bit-identical to standalone single-core runs of the same cells.
+    SweepPlan plan;
+    for (const auto &e : t.mix)
+        for (uint64_t s = 0; s < t.seedPool; ++s)
+            plan.tasks.push_back({e.kernel, opts.config, 1,
+                                  slotSeed(t, uint32_t(s)), t.batch});
+
+    SweepOptions sweep;
+    sweep.jobs = opts.jobs;
+    sweep.useCache = opts.useCache;
+    sweep.storeDir = opts.storeDir;
+    std::vector<arch::ExperimentResult> profiled = runSweep(plan, sweep);
+
+    std::vector<arch::RequestProfile> profiles;
+    profiles.reserve(profiled.size());
+    for (size_t i = 0; i < profiled.size(); ++i)
+        profiles.push_back(profileFromResult(profiled[i], opts.config,
+                                             t.batch,
+                                             plan.tasks[i].seed));
+
+    arch::SystemParams sp;
+    sp.cores = opts.cores;
+    sp.bandwidthWordsPerTick = opts.bandwidthWordsPerTick;
+    sp.ticksPerSec = t.ticksPerSec;
+    sp.timeseriesInterval = opts.timeseriesInterval;
+
+    arch::MultiCoreSystem system(sp, std::move(profiles), t.seedPool);
+    arch::ServiceResult res = system.serve(traffic::generate(t));
+
+    res.config = opts.config;
+    res.offeredRps = t.rps;
+    res.arrival = traffic::arrivalName(t.arrival);
+    res.batch = t.batch;
+    res.seed = t.seed;
+
+    if (verify::auditEnabled())
+        verify::auditAndRecordService(res);
+    return res;
+}
+
+} // namespace dlp::driver

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The multi-core service driver: characterize the request classes of a
+ * traffic mix through the ordinary sweep machinery, then serve the
+ * generated schedule on an arch::MultiCoreSystem.
+ *
+ * Two-level strategy. Each distinct request class — a kernel from the
+ * mix crossed with a dataset-seed slot — is simulated once, alone on
+ * one grid core, through driver::runSweep: exactly the single-core
+ * simulation the rest of the repo runs, so the per-core numbers are
+ * bit-identical to a standalone run, the profile runs parallelize
+ * across --jobs workers, and the result cache plus the persistent
+ * store amortize them. The system level (queueing, dispatch, shared
+ * L2/SMC contention) is then a strictly serial deterministic
+ * composition of those profiles, so a service run is bit-reproducible
+ * regardless of worker count — the property the determinism tests and
+ * the CI golden diff assert.
+ *
+ * The dataset seed of slot s is traffic.seed + s: distinct slots read
+ * distinct datasets, and the (kernel, batch, seed) triple is exactly an
+ * experiment-store cell, so profile runs hit the same store entries a
+ * plain sweep of those cells would.
+ */
+
+#ifndef DLP_DRIVER_SERVICE_HH
+#define DLP_DRIVER_SERVICE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "arch/multicore.hh"
+#include "traffic/generator.hh"
+
+namespace dlp::driver {
+
+struct ServiceOptions
+{
+    std::string config = "S-O-D";  ///< machine configuration per core
+    unsigned cores = 1;
+    /** Shared L2/SMC bandwidth, words/tick; 0 = the MemParams default
+     *  (arch::MultiCoreSystem::defaultBandwidth). */
+    double bandwidthWordsPerTick = 0.0;
+
+    traffic::TrafficParams traffic;  ///< the open-loop load description
+
+    /// @name Profile-sweep execution knobs (forwarded to runSweep).
+    /// @{
+    unsigned jobs = 0;      ///< 0 = DLP_JOBS default
+    bool useCache = true;   ///< consult/fill the in-process result cache
+    std::string storeDir;   ///< persistent store ("" = process default)
+    /// @}
+
+    /** Queue-depth sampling interval in ticks (0 = off). */
+    uint64_t timeseriesInterval = 0;
+};
+
+/** The dataset seed a traffic seed-slot resolves to. */
+inline uint64_t
+slotSeed(const traffic::TrafficParams &t, uint32_t slot)
+{
+    return t.seed + slot;
+}
+
+/**
+ * Derive one request class's profile from its single-core result:
+ * service time (ticks) and shared-structure demand rate — SMC stream
+ * words moved plus L1 miss line fills, per isolated tick.
+ */
+arch::RequestProfile profileFromResult(const arch::ExperimentResult &res,
+                                       const std::string &config,
+                                       uint64_t scale, uint64_t seed);
+
+/**
+ * Run a complete service experiment: profile every (mix kernel x seed
+ * slot) class via runSweep, generate the arrival schedule, serve it on
+ * a MultiCoreSystem, and — when auditing is enabled
+ * (verify::auditEnabled) — record the multi-core conservation laws'
+ * verdict on the result. Fatal on unknown kernels/config or a scale
+ * the kernel rejects.
+ */
+arch::ServiceResult runService(const ServiceOptions &opts);
+
+} // namespace dlp::driver
+
+#endif // DLP_DRIVER_SERVICE_HH

@@ -1,0 +1,58 @@
+#include "mem/shared_smc.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dlp::mem {
+
+SharedSmcArbiter::SharedSmcArbiter(unsigned cores,
+                                   double bandwidthWordsPerTick)
+    : nCores(cores), bw(bandwidthWordsPerTick)
+{
+    fatal_if(cores == 0, "shared SMC arbiter needs at least one core");
+    fatal_if(bw <= 0.0, "shared SMC bandwidth must be positive");
+
+    activeDist = &statGroup.distribution("activeCores", 0.0,
+                                         double(nCores) + 1.0, nCores + 1);
+    statGroup.setPreDump([this] {
+        statGroup.scalar("grantedWords").set(granted);
+        statGroup.scalar("stallTicks").set(stalled);
+        statGroup.scalar("contendedTicks").set(contended);
+        statGroup.scalar("busyTicks").set(busy);
+        statGroup.scalar("bandwidthWordsPerTick").set(bw);
+    });
+    statGroup.formula("utilization", [this] {
+        return busy > 0.0 ? granted / (busy * bw) : 0.0;
+    });
+    statGroup.formula("stallFraction", [this] {
+        // Fraction of aggregate active core-time lost to arbitration.
+        double active = activeDist->sum();
+        return active > 0.0 ? stalled / active : 0.0;
+    });
+}
+
+void
+SharedSmcArbiter::charge(double ticks, const std::vector<double> &demand,
+                         double f)
+{
+    if (ticks <= 0.0 || demand.empty())
+        return;
+    double total = 0.0;
+    for (double d : demand)
+        total += d;
+    // Post-stretch grant rate: each core moves d/f words per tick, so
+    // the structure grants total/f <= bw words per tick.
+    granted += total / f * ticks;
+    busy += ticks;
+    if (f > 1.0) {
+        contended += ticks;
+        stalled += double(demand.size()) * ticks * (1.0 - 1.0 / f);
+    }
+    // Time-weighted active-core histogram, in whole ticks so the
+    // distribution's integer accumulators stay exact.
+    activeDist->sample(double(demand.size()),
+                      uint64_t(std::llround(ticks)));
+}
+
+} // namespace dlp::mem

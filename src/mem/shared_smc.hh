@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared L2/SMC arbitration for the multi-core serving configurations.
+ *
+ * Each grid core keeps its private L1 and its private view of the SMC
+ * streaming channels (those are modeled cycle-accurately inside the
+ * per-core simulation), but the SMC banks themselves are reconfigured
+ * L2 banks — and the L2 is one physical structure. When N cores run
+ * concurrently they contend for that structure's aggregate bandwidth.
+ *
+ * The arbiter models this contention as fluid bandwidth sharing at
+ * request granularity: every active request presents a demand rate
+ * (shared-structure words per tick, measured by its isolated per-core
+ * run), and whenever the summed demand exceeds the shared bandwidth B
+ * every active core is stretched by the same factor f = demand / B —
+ * the steady-state outcome of fair round-robin bank arbitration, where
+ * each core's memory stream slows in proportion to total pressure.
+ * Between system events (arrivals, completions) the active set is
+ * constant, so the stretch is piecewise constant and the system
+ * simulation stays event-driven and exactly reproducible.
+ *
+ * The arbiter owns the "mem.shared" statistics group: granted words,
+ * contended time, per-core stall ticks, and an active-core histogram —
+ * the contention counters the ServiceResult exports.
+ */
+
+#ifndef DLP_MEM_SHARED_SMC_HH
+#define DLP_MEM_SHARED_SMC_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dlp::mem {
+
+class SharedSmcArbiter
+{
+  public:
+    /**
+     * @param cores             number of cores behind the shared banks
+     * @param bandwidthWordsPerTick  aggregate shared L2/SMC bandwidth
+     */
+    SharedSmcArbiter(unsigned cores, double bandwidthWordsPerTick);
+
+    double bandwidth() const { return bw; }
+
+    /**
+     * The uniform slowdown factor (>= 1) the active cores see at the
+     * given summed demand rate (words/tick).
+     */
+    double
+    slowdown(double totalDemand) const
+    {
+        return totalDemand > bw ? totalDemand / bw : 1.0;
+    }
+
+    /**
+     * Account one inter-event interval of `ticks` simulated time during
+     * which the cores in `activeDemand` (demand rate per active core,
+     * one entry per active request, words/tick *before* stretching)
+     * were running under slowdown factor f. Words granted are the
+     * post-stretch rates integrated over the interval; stall ticks are
+     * the per-core time lost to arbitration, ticks * (1 - 1/f) each.
+     */
+    void charge(double ticks, const std::vector<double> &activeDemand,
+                double f);
+
+    /// @name Aggregate counters (also exposed via the stats group).
+    /// @{
+    double grantedWords() const { return granted; }
+    double stallTicks() const { return stalled; }
+    double contendedTicks() const { return contended; }
+    /// @}
+
+    /**
+     * The shared-memory statistics group ("mem.shared"): scalars
+     * grantedWords / stallTicks / contendedTicks / busyTicks, an
+     * activeCores distribution (time-weighted, in whole ticks) and a
+     * utilization formula.
+     */
+    StatGroup &statsGroup() { return statGroup; }
+
+  private:
+    unsigned nCores;
+    double bw;
+
+    double granted = 0.0;    ///< words through the shared banks
+    double stalled = 0.0;    ///< summed per-core arbitration loss, ticks
+    double contended = 0.0;  ///< time with summed demand > bandwidth
+    double busy = 0.0;       ///< time with at least one active core
+
+    StatGroup statGroup{"mem.shared"};
+    Distribution *activeDist = nullptr;  ///< active cores, time-weighted
+};
+
+} // namespace dlp::mem
+
+#endif // DLP_MEM_SHARED_SMC_HH

@@ -276,7 +276,7 @@ void
 Server::run()
 {
     bool acceptedOnce = false;
-    while (!stopping) {
+    while (!stopping && !stopRequested) {
         if (opts.once && acceptedOnce && conns.empty())
             break;
         std::vector<struct pollfd> fds;
@@ -285,10 +285,15 @@ Server::run()
             fds.push_back({listenFd, POLLIN, 0});
         for (const auto &c : conns)
             fds.push_back({c.fd, POLLIN, 0});
-        int rc = ::poll(fds.data(), nfds_t(fds.size()), -1);
+        // A finite timeout bounds how long a requestStop() set between
+        // polls (e.g. from a SIGTERM handler) waits to be noticed; an
+        // infinite poll would sleep until the next client byte.
+        int rc = ::poll(fds.data(), nfds_t(fds.size()), 500);
         if (rc < 0 && errno == EINTR)
             continue;
         fatal_if(rc < 0, "poll failed: %s", std::strerror(errno));
+        if (rc == 0)
+            continue;  // timeout: re-check the stop flags
 
         size_t base = 0;
         if (acceptMore) {

@@ -30,6 +30,7 @@
 #ifndef DLP_SERVE_SERVER_HH
 #define DLP_SERVE_SERVER_HH
 
+#include <csignal>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -86,11 +87,23 @@ class Server
     Server &operator=(const Server &) = delete;
 
     /**
-     * The event loop: blocks until a client sends a shutdown op, or —
-     * with once set — until the first accepted connection closes.
-     * Removes the socket file on the way out.
+     * The event loop: blocks until a client sends a shutdown op, a
+     * signal handler calls requestStop(), or — with once set — until
+     * the first accepted connection closes. Removes the socket file on
+     * the way out.
      */
     void run();
+
+    /**
+     * Ask the loop to finish: the request currently being handled (if
+     * any) completes and streams its results, then run() returns and
+     * the destructor unlinks the socket. Async-signal-safe — it only
+     * sets a sig_atomic_t flag — so SIGINT/SIGTERM handlers may call
+     * it directly (the loop polls with a short timeout rather than
+     * blocking forever, so a flag set between polls is still seen
+     * promptly). Also callable from another thread in tests.
+     */
+    void requestStop() { stopRequested = 1; }
 
     const std::string &socketPath() const { return opts.socketPath; }
     const ServerCounters &counters() const { return ctrs; }
@@ -113,6 +126,10 @@ class Server
     int listenFd = -1;
     std::vector<Conn> conns;
     bool stopping = false;
+
+    /** Set by requestStop(); sig_atomic_t so a handler's store is
+     *  well-defined with respect to the loop's read. */
+    volatile sig_atomic_t stopRequested = 0;
 };
 
 } // namespace dlp::serve

@@ -1,6 +1,7 @@
 #include "store/key.hh"
 
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <mutex>
 
@@ -194,6 +195,49 @@ experimentKey(const std::string &kernel, const std::string &config,
     h.addU64(mh.lo);
     h.addU64(scale);
     h.addU64(seed);
+    return h.digest().hex();
+}
+
+namespace {
+
+/** Fold a double by its exact IEEE-754 bit pattern. */
+void
+foldDouble(Fnv1a128 &h, double d)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    h.addU64(bits);
+}
+
+} // namespace
+
+std::string
+serviceKey(const std::string &config, unsigned cores,
+           double bandwidthWordsPerTick, const traffic::TrafficParams &t)
+{
+    Fnv1a128 h;
+    h.addU64(keyFormatVersion);
+    h.addString(codeVersion());
+    Hash128 mh = machineHash(config);
+    h.addU64(mh.hi);
+    h.addU64(mh.lo);
+    h.addU64(cores);
+    foldDouble(h, bandwidthWordsPerTick);
+    foldDouble(h, t.rps);
+    h.addU64(t.requests);
+    h.addU64(t.batch);
+    h.addU64(t.seed);
+    h.addU64(t.seedPool);
+    foldDouble(h, t.ticksPerSec);
+    h.addU64(static_cast<uint64_t>(t.arrival));
+    h.addU64(t.mix.size());
+    for (const auto &e : t.mix) {
+        Hash128 kh = kernelIrHash(e.kernel);
+        h.addU64(kh.hi);
+        h.addU64(kh.lo);
+        h.addU64(e.weight);
+    }
     return h.digest().hex();
 }
 

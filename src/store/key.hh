@@ -36,15 +36,18 @@
 #include "common/hash.hh"
 #include "core/machine.hh"
 #include "kernels/ir.hh"
+#include "traffic/generator.hh"
 
 namespace dlp::store {
 
 /**
  * Bumped whenever the canonical fold below changes shape, or when the
  * simulator's result schema changes incompatibly (v2: epoch
- * fast-forwarding counters joined the stored ExperimentResult).
+ * fast-forwarding counters joined the stored ExperimentResult; v3:
+ * multi-core service documents joined the store and serviceKey()'s
+ * canonical fold was defined).
  */
-constexpr uint64_t keyFormatVersion = 2;
+constexpr uint64_t keyFormatVersion = 3;
 
 /** Fold a kernel's complete IR into a hasher, canonically. */
 void foldKernel(Fnv1a128 &h, const kernels::Kernel &k);
@@ -75,6 +78,18 @@ void setCodeVersion(const std::string &version);
 std::string experimentKey(const std::string &kernel,
                           const std::string &config, uint64_t scale,
                           uint64_t seed);
+
+/**
+ * The content-addressed key of one multi-core service run, as 32 hex
+ * chars: machine-config digest, core count, shared bandwidth, the
+ * complete traffic description (arrival process, load, request count,
+ * batch, seeds, and the IR digest plus weight of every mix entry) and
+ * the code version. The same determinism argument as experimentKey():
+ * the service simulation is bit-reproducible from exactly these inputs.
+ */
+std::string serviceKey(const std::string &config, unsigned cores,
+                       double bandwidthWordsPerTick,
+                       const traffic::TrafficParams &t);
 
 } // namespace dlp::store
 

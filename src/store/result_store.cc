@@ -61,16 +61,15 @@ ResultStore::indexPath() const
 }
 
 ResultStore::ReadStatus
-ResultStore::readEntry(const std::string &key, arch::ExperimentResult *out)
+ResultStore::readRawEntry(const std::string &key, json::Value *out)
 {
     std::string text;
     if (!slurp(entryPath(key), text))
         return ReadStatus::Absent;
 
     // Anything wrong past this point — malformed JSON, missing fields,
-    // checksum or version or key mismatch, undecodable result — is a
-    // defect in the entry, never a crash: the caller treats it as a
-    // miss and recomputes.
+    // checksum or version or key mismatch — is a defect in the entry,
+    // never a crash: the caller treats it as a miss and recomputes.
     try {
         json::Value doc = json::parse(text);
         if (static_cast<uint64_t>(doc.at("format").asNumber()) !=
@@ -88,11 +87,26 @@ ResultStore::readEntry(const std::string &key, arch::ExperimentResult *out)
             doc.at("checksum").asString())
             return ReadStatus::Corrupt;
         if (out)
-            *out = resultFromJson(result);
+            *out = result;
         return ReadStatus::Ok;
     } catch (const std::exception &) {
         return ReadStatus::Corrupt;
     }
+}
+
+ResultStore::ReadStatus
+ResultStore::readEntry(const std::string &key, arch::ExperimentResult *out)
+{
+    json::Value result;
+    ReadStatus st = readRawEntry(key, out ? &result : nullptr);
+    if (st != ReadStatus::Ok || !out)
+        return st;
+    try {
+        *out = resultFromJson(result);
+    } catch (const std::exception &) {
+        return ReadStatus::Corrupt;
+    }
+    return ReadStatus::Ok;
 }
 
 bool
@@ -128,9 +142,10 @@ ResultStore::lookup(const std::string &key, arch::ExperimentResult &out)
 }
 
 void
-ResultStore::insert(const std::string &key, const arch::ExperimentResult &r)
+ResultStore::publishEntry(const std::string &key, json::Value result,
+                          const std::string &kernel,
+                          const std::string &config)
 {
-    json::Value result = resultToJson(r);
     std::string resultText = json::write(result, 0);
 
     json::Value doc = json::Value::object();
@@ -167,23 +182,65 @@ ResultStore::insert(const std::string &key, const arch::ExperimentResult &r)
         fatal("cannot publish store entry '%s'", finalPath.c_str());
     }
 
-    appendIndexLine(key, r, text.size());
+    appendIndexLine(key, kernel, config, text.size());
     {
         std::lock_guard<std::mutex> lock(mu);
         ++insertCount;
     }
-    obs::hostInstant(obs::Cat::Store, "insert", r.kernel + "/" + r.config);
+    obs::hostInstant(obs::Cat::Store, "insert", kernel + "/" + config);
+}
+
+void
+ResultStore::insert(const std::string &key, const arch::ExperimentResult &r)
+{
+    publishEntry(key, resultToJson(r), r.kernel, r.config);
+}
+
+bool
+ResultStore::lookupRaw(const std::string &key, json::Value &out)
+{
+    ReadStatus st = readRawEntry(key, &out);
+    if (st == ReadStatus::Ok) {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            ++hitCount;
+        }
+        obs::hostInstant(obs::Cat::Store, "hit", key.substr(0, 12));
+        return true;
+    }
+    if (st == ReadStatus::Corrupt) {
+        std::error_code ec;
+        fs::remove(entryPath(key), ec);
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            ++corruptCount;
+        }
+        obs::hostInstant(obs::Cat::Store, "corrupt", key.substr(0, 12));
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ++missCount;
+    }
+    obs::hostInstant(obs::Cat::Store, "miss", key.substr(0, 12));
+    return false;
+}
+
+void
+ResultStore::insertRaw(const std::string &key, const json::Value &doc,
+                       const std::string &kind)
+{
+    publishEntry(key, doc, kind, "");
 }
 
 void
 ResultStore::appendIndexLine(const std::string &key,
-                             const arch::ExperimentResult &r,
-                             uint64_t bytes)
+                             const std::string &kernel,
+                             const std::string &config, uint64_t bytes)
 {
     json::Value line = json::Value::object();
     line.set("key", key);
-    line.set("kernel", r.kernel);
-    line.set("config", r.config);
+    line.set("kernel", kernel);
+    line.set("config", config);
     line.set("bytes", bytes);
     std::string text = json::write(line, 0);
     text += '\n';
@@ -259,10 +316,15 @@ ResultStore::rebuildIndex()
             try {
                 json::Value doc = json::parse(text);
                 const json::Value &result = doc.at("result");
+                // Raw documents (service runs) carry no "kernel" field;
+                // index them under their document kind.
+                const json::Value *kernel = result.find("kernel");
+                const json::Value *config = result.find("config");
                 json::Value line = json::Value::object();
                 line.set("key", key);
-                line.set("kernel", result.at("kernel").asString());
-                line.set("config", result.at("config").asString());
+                line.set("kernel",
+                         kernel ? kernel->asString() : "service");
+                line.set("config", config ? config->asString() : "");
                 line.set("bytes", uint64_t(text.size()));
                 fresh += json::write(line, 0);
                 fresh += '\n';

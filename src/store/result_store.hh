@@ -44,6 +44,7 @@
 #include <string>
 
 #include "arch/processor.hh"
+#include "common/json.hh"
 
 namespace dlp::store {
 
@@ -91,6 +92,28 @@ class ResultStore
      */
     bool verifyEntry(const std::string &key);
 
+    /// @name Raw JSON documents under the same envelope.
+    ///
+    /// Service results (multi-core serving runs) are stored as the
+    /// exporter's JSON documents rather than through the
+    /// ExperimentResult codec. They share the entry format, the
+    /// atomic-rename durability story, the checksum/code-version
+    /// validation and the hit/miss/corrupt counters; the index line's
+    /// "kernel" field carries the document kind (e.g. "service").
+    /// @{
+
+    /**
+     * Fetch the raw document for key into out. Same miss semantics as
+     * lookup(): false on absent/corrupt/foreign entries, corrupt ones
+     * unlinked.
+     */
+    bool lookupRaw(const std::string &key, json::Value &out);
+
+    /** Write (or atomically overwrite) a raw document for key. */
+    void insertRaw(const std::string &key, const json::Value &doc,
+                   const std::string &kind);
+    /// @}
+
     /** Handle counters plus on-disk entry/byte totals from the index. */
     StoreStats stats();
 
@@ -110,8 +133,16 @@ class ResultStore
     ReadStatus readEntry(const std::string &key,
                          arch::ExperimentResult *out);
 
-    void appendIndexLine(const std::string &key,
-                         const arch::ExperimentResult &r, uint64_t bytes);
+    /// Parse + validate an entry file's envelope; moves the raw result
+    /// document into *out unless null.
+    ReadStatus readRawEntry(const std::string &key, json::Value *out);
+
+    /// Publish an envelope atomically and append its index line.
+    void publishEntry(const std::string &key, json::Value result,
+                      const std::string &kernel, const std::string &config);
+
+    void appendIndexLine(const std::string &key, const std::string &kernel,
+                         const std::string &config, uint64_t bytes);
 
     std::string root;
     std::mutex mu;  ///< guards the counters

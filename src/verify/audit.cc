@@ -345,6 +345,194 @@ checkEpochConservation(const ExperimentResult &res,
                     double(res.hostEvents + res.ffEventsSaved)));
 }
 
+// --- Multi-core service laws ------------------------------------------------
+
+using arch::ServiceResult;
+
+const GroupSnapshot *
+findServiceGroup(const ServiceResult &res, const std::string &name)
+{
+    for (const auto &g : res.statGroups)
+        if (g.name == name)
+            return &g;
+    return nullptr;
+}
+
+/** Every injected request completed or was still in flight at drain. */
+void
+checkServiceConservation(const ServiceResult &res,
+                         std::vector<AuditFinding> &out)
+{
+    if (res.injected != res.completed + res.inFlightAtDrain) {
+        std::ostringstream os;
+        os << "injected " << res.injected << " != completed "
+           << res.completed << " + inFlight " << res.inFlightAtDrain;
+        report(out, "svc-conservation", os.str());
+    }
+    if (res.inFlightAtDrain != 0)
+        report(out, "svc-conservation",
+               fmt2("requests in flight after full drain", 0.0,
+                    double(res.inFlightAtDrain)));
+    if (res.injected != res.requests.size())
+        report(out, "svc-conservation",
+               fmt2("injected vs schedule size", double(res.requests.size()),
+                    double(res.injected)));
+}
+
+/** Per-core books sum to the system totals. */
+void
+checkServiceActivations(const ServiceResult &res,
+                        std::vector<AuditFinding> &out)
+{
+    uint64_t coreActs = 0;
+    uint64_t coreReqs = 0;
+    for (const auto &c : res.perCore) {
+        coreActs += c.activations;
+        coreReqs += c.requests;
+    }
+    if (coreActs != res.systemActivations)
+        report(out, "svc-activation-sum",
+               fmt2("per-core activations vs system activations",
+                    double(res.systemActivations), double(coreActs)));
+    if (coreReqs != res.completed)
+        report(out, "svc-activation-sum",
+               fmt2("per-core requests vs completed", double(res.completed),
+                    double(coreReqs)));
+}
+
+/** Percentiles are ordered and every completion sampled the histogram. */
+void
+checkServiceLatency(const ServiceResult &res, std::vector<AuditFinding> &out)
+{
+    if (res.p50 > res.p95 || res.p95 > res.p99 || res.p99 > res.maxLatency)
+        report(out, "svc-latency-order",
+               "latency percentiles out of order: p50 " +
+                   std::to_string(res.p50) + ", p95 " +
+                   std::to_string(res.p95) + ", p99 " +
+                   std::to_string(res.p99) + ", max " +
+                   std::to_string(res.maxLatency));
+    if (res.latency.samples() != res.completed)
+        report(out, "svc-latency-count",
+               fmt2("latency samples vs completed", double(res.completed),
+                    double(res.latency.samples())));
+    if (res.latency.samples() != bucketMass(res.latency))
+        report(out, "svc-latency-count",
+               fmt2("latency bucket mass vs samples",
+                    double(res.latency.samples()),
+                    double(bucketMass(res.latency))));
+    if (res.completed > 0 && res.latency.minValue() < 0.0)
+        report(out, "svc-latency-order", "negative latency sampled");
+}
+
+/** Each completed request moved monotonically arrival -> start -> finish. */
+void
+checkServiceRequestTimes(const ServiceResult &res,
+                         std::vector<AuditFinding> &out)
+{
+    for (const auto &r : res.requests) {
+        if (r.start < r.arrival || r.finish < r.start) {
+            std::ostringstream os;
+            os << "request " << r.index << ": arrival " << r.arrival
+               << ", start " << r.start << ", finish " << r.finish
+               << " not monotone";
+            report(out, "svc-request-times", os.str());
+            return; // one example suffices; the rest would repeat it
+        }
+    }
+}
+
+/** Shared-bandwidth books: busy/contended time and granted words bound. */
+void
+checkServiceShared(const ServiceResult &res, std::vector<AuditFinding> &out)
+{
+    const GroupSnapshot *g = findServiceGroup(res, "mem.shared");
+    if (!g)
+        return;
+    double busy = scalarOr(*g, "busyTicks");
+    double contended = scalarOr(*g, "contendedTicks");
+    double granted = scalarOr(*g, "grantedWords");
+    double bw = scalarOr(*g, "bandwidthWordsPerTick");
+    double slack = 1e-6 * std::max(busy, res.drainTick) + 1e-9;
+    if (contended > busy + slack)
+        report(out, "svc-shared-books",
+               fmt2("contendedTicks <= busyTicks", busy, contended));
+    if (busy > res.drainTick + slack)
+        report(out, "svc-shared-books",
+               fmt2("busyTicks <= drainTick", res.drainTick, busy));
+    if (bw > 0.0 && granted > bw * busy * (1.0 + 1e-9) + 1e-9)
+        report(out, "svc-shared-books",
+               fmt2("grantedWords <= bandwidth * busyTicks", bw * busy,
+                    granted));
+}
+
+/** The system flow counters agree with the result's totals. */
+void
+checkServiceFlows(const ServiceResult &res, std::vector<AuditFinding> &out)
+{
+    const GroupSnapshot *g = findServiceGroup(res, "sys.mc");
+    if (!g)
+        return;
+    double inj = scalarOr(*g, "injected");
+    double comp = scalarOr(*g, "completed");
+    if (!near(inj, double(res.injected)))
+        report(out, "svc-flow-agreement",
+               fmt2("sys.mc.injected vs result injected",
+                    double(res.injected), inj));
+    if (!near(comp, double(res.completed)))
+        report(out, "svc-flow-agreement",
+               fmt2("sys.mc.completed vs result completed",
+                    double(res.completed), comp));
+}
+
+/** Delta columns of the sampled time series sum to the final totals. */
+void
+checkServiceTimeseries(const ServiceResult &res,
+                       std::vector<AuditFinding> &out)
+{
+    const obs::TimeSeries &ts = res.timeseries;
+    if (!ts.present())
+        return;
+    for (size_t c = 0; c < ts.statNames.size(); ++c) {
+        double expected;
+        if (ts.statNames[c] == "sys.mc.injected")
+            expected = double(res.injected);
+        else if (ts.statNames[c] == "sys.mc.completed")
+            expected = double(res.completed);
+        else
+            continue;
+        double sum = 0.0;
+        for (const auto &row : ts.samples)
+            sum += row[c];
+        if (!near(sum, expected))
+            report(out, "svc-timeseries-conservation",
+                   fmt2((ts.statNames[c] + " column sum").c_str(), expected,
+                        sum));
+    }
+}
+
+const std::vector<ServiceInvariant> serviceRegistry = {
+    {"svc-conservation",
+     "requests injected == completed + in-flight at drain, drained == 0",
+     checkServiceConservation},
+    {"svc-activation-sum",
+     "per-core activations and requests sum to the system totals",
+     checkServiceActivations},
+    {"svc-latency-order",
+     "p50 <= p95 <= p99 <= max, latencies non-negative, and every "
+     "completed request samples the histogram once",
+     checkServiceLatency},
+    {"svc-request-times", "arrival <= start <= finish per request",
+     checkServiceRequestTimes},
+    {"svc-shared-books",
+     "shared-bandwidth time and word accounting stays within bounds",
+     checkServiceShared},
+    {"svc-flow-agreement", "system flow counters match result totals",
+     checkServiceFlows},
+    {"svc-timeseries-conservation",
+     "sampled delta columns sum to the final flow totals",
+     checkServiceTimeseries},
+};
+
 const std::vector<Invariant> registry = {
     {"output-verified", "machine outputs match the golden model",
      checkVerified},
@@ -409,6 +597,29 @@ size_t
 auditAndRecord(arch::ExperimentResult &res)
 {
     res.auditViolations = auditResult(res);
+    res.audited = true;
+    return res.auditViolations.size();
+}
+
+const std::vector<ServiceInvariant> &
+serviceInvariants()
+{
+    return serviceRegistry;
+}
+
+std::vector<arch::AuditFinding>
+auditServiceResult(const arch::ServiceResult &res)
+{
+    std::vector<arch::AuditFinding> findings;
+    for (const auto &inv : serviceRegistry)
+        inv.check(res, findings);
+    return findings;
+}
+
+size_t
+auditAndRecordService(arch::ServiceResult &res)
+{
+    res.auditViolations = auditServiceResult(res);
     res.audited = true;
     return res.auditViolations.size();
 }

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/multicore.hh"
 #include "arch/processor.hh"
 
 namespace dlp::verify {
@@ -49,6 +50,34 @@ std::vector<arch::AuditFinding> auditResult(const arch::ExperimentResult &res);
  * res.auditViolations). @return the number of violations found.
  */
 size_t auditAndRecord(arch::ExperimentResult &res);
+
+/**
+ * One registered multi-core conservation law, evaluated against a
+ * completed service run (arch::ServiceResult). The service registry is
+ * separate from the per-core one because the laws tie together
+ * system-level books: requests injected vs completed, per-core
+ * activation sums vs the system total, shared-bandwidth accounting.
+ */
+struct ServiceInvariant
+{
+    const char *name;
+    const char *law;
+    void (*check)(const arch::ServiceResult &,
+                  std::vector<arch::AuditFinding> &);
+};
+
+/** The service-law registry, in evaluation order. */
+const std::vector<ServiceInvariant> &serviceInvariants();
+
+/** Evaluate every registered service law against a completed run. */
+std::vector<arch::AuditFinding>
+auditServiceResult(const arch::ServiceResult &res);
+
+/**
+ * Audit res and record the outcome into it (sets res.audited and fills
+ * res.auditViolations). @return the number of violations found.
+ */
+size_t auditAndRecordService(arch::ServiceResult &res);
 
 /// @name Process-wide audit switch.
 /// Explicit setAuditEnabled() wins; otherwise the DLP_AUDIT environment

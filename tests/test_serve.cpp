@@ -8,12 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -180,6 +183,87 @@ TEST(ProcPool, ProduceFailureWithoutHandlerIsFatalAfterReaping)
             EXPECT_EQ(collected, 3u);
         }
     }
+}
+
+namespace {
+
+/** Does nothing: exists so SIGALRM interrupts syscalls with EINTR. */
+void onAlarmNoop(int) {}
+
+/**
+ * Arm a fast repeating real-time timer with a no-SA_RESTART handler,
+ * so every blocking write(2) in this process keeps getting interrupted.
+ */
+void
+armEintrStorm()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onAlarmNoop;
+    sigemptyset(&sa.sa_mask);
+    // Deliberately no SA_RESTART: the interrupted write must return
+    // EINTR (or a short count) instead of resuming transparently.
+    ASSERT_EQ(::sigaction(SIGALRM, &sa, nullptr), 0);
+    struct itimerval it;
+    it.it_interval.tv_sec = 0;
+    it.it_interval.tv_usec = 500;
+    it.it_value = it.it_interval;
+    ASSERT_EQ(::setitimer(ITIMER_REAL, &it, nullptr), 0);
+}
+
+} // namespace
+
+TEST(ProcPool, WriteAllSurvivesSignalInterruptionMidFrame)
+{
+    // Regression: writeAll treated write() == -1 with errno == EINTR as
+    // a fatal short write, so a signal landing while a worker streamed
+    // its result frame dropped the frame and failed the cell. Each
+    // child arms a 500us repeating SIGALRM (handler installed without
+    // SA_RESTART) and then returns payloads much larger than the pipe
+    // capacity, so the blocking frame writes are interrupted over and
+    // over; every byte must still arrive.
+    constexpr size_t items = 3;
+    constexpr size_t bytes = 2u << 20;
+    auto expected = [](size_t item) {
+        std::string payload(bytes, '\0');
+        for (size_t j = 0; j < payload.size(); ++j)
+            payload[j] = char('a' + (item + j) % 26);
+        return payload;
+    };
+    std::vector<std::string> got(items);
+    driver::runForked(
+        items, 2,
+        [&](size_t i) {
+            armEintrStorm();  // runs in the forked child
+            return expected(i);
+        },
+        [&](size_t i, std::string payload) { got[i] = std::move(payload); });
+    for (size_t i = 0; i < items; ++i)
+        EXPECT_TRUE(got[i] == expected(i)) << "frame " << i << " corrupted";
+}
+
+TEST(ProcPool, ForkedChildrenIgnoreSigpipeParentUnchanged)
+{
+    // Regression: workers never ignored SIGPIPE, so a parent dying
+    // mid-batch killed the children via the default disposition instead
+    // of letting writeFrame observe EPIPE and exit cleanly. The child
+    // prologue must install SIG_IGN — visible from produce() — while
+    // the parent's own disposition stays untouched.
+    auto query = []() -> std::string {
+        struct sigaction sa;
+        if (::sigaction(SIGPIPE, nullptr, &sa) != 0)
+            return "query-failed";
+        return sa.sa_handler == SIG_IGN ? "ignored" : "default";
+    };
+    ASSERT_EQ(query(), "default");  // precondition in the parent
+    std::vector<std::string> got(4);
+    driver::runForked(
+        4, 2, [&](size_t) { return query(); },
+        [&](size_t i, std::string payload) { got[i] = std::move(payload); });
+    for (size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], "ignored") << "child for item " << i;
+    // The prologue ran only in the children.
+    EXPECT_EQ(query(), "default");
 }
 
 TEST(Server, SweepStatsDedupShutdown)
@@ -397,4 +481,28 @@ TEST(Server, RefusesToHijackALiveDaemonSocket)
     int fd = serve::connectUnix(path);
     EXPECT_GE(fd, 0);
     ::close(fd);
+}
+
+TEST(Server, RequestStopEndsIdleRunAndUnlinksSocket)
+{
+    // requestStop() is what sweepd's SIGINT/SIGTERM handlers call: the
+    // loop must notice the flag without any client traffic (it polls
+    // with a finite timeout rather than blocking forever) and the
+    // destructor must remove the socket file — a stopped daemon leaves
+    // nothing behind.
+    std::string dir = freshDir("stop");
+    serve::ServerOptions opts;
+    opts.socketPath = dir + "/d.sock";
+    opts.workers = 1;
+    auto server = std::make_unique<serve::Server>(std::move(opts));
+    std::string path = server->socketPath();
+    EXPECT_EQ(::access(path.c_str(), F_OK), 0);
+
+    std::thread loop([&] { server->run(); });
+    ::usleep(50 * 1000);  // let the loop block in poll first
+    server->requestStop();  // exactly what the signal handler does
+    loop.join();  // bounded by the loop's 500ms poll timeout
+
+    server.reset();
+    EXPECT_NE(::access(path.c_str(), F_OK), 0);
 }
