@@ -30,6 +30,10 @@
  *                            every case with the fast-forwarder off and
  *                            on and require bit-identical results
  *                            (failures have kind "fastforward")
+ *   --cost                   cross-validate the static cost model: the
+ *                            model's lower bound on total ticks must
+ *                            hold on every run (failures have kind
+ *                            "cost" and shrink/replay as usual)
  *   --json FILE              write counterexamples as JSON
  *
  * Exit status: 0 when every (seed, config) run matches the oracle and
@@ -158,6 +162,8 @@ main(int argc, char **argv)
             base.staticCheck = true;
         } else if (std::strcmp(argv[i], "--fast-forward") == 0) {
             base.ffDiff = true;
+        } else if (std::strcmp(argv[i], "--cost") == 0) {
+            base.cost = true;
         } else if (std::strcmp(argv[i], "--json") == 0) {
             jsonPath = value(i);
         } else if (std::strcmp(argv[i], "--dump") == 0) {
@@ -185,11 +191,12 @@ main(int argc, char **argv)
     size_t nConfigs =
         base.configs.empty() ? arch::allConfigNames().size()
                              : base.configs.size();
-    std::printf("fuzz_ir: %zu seed%s x %zu config%s, oracle-diff%s%s\n",
+    std::printf("fuzz_ir: %zu seed%s x %zu config%s, oracle-diff%s%s%s\n",
                 seeds.size(), seeds.size() == 1 ? "" : "s", nConfigs,
                 nConfigs == 1 ? "" : "s",
                 base.audit ? " + invariant audit" : "",
-                base.ffDiff ? " + fast-forward diff" : "");
+                base.ffDiff ? " + fast-forward diff" : "",
+                base.cost ? " + cost-bound check" : "");
 
     verify::FuzzReport rep = verify::fuzzSeeds(seeds, base);
 

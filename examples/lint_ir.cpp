@@ -10,13 +10,22 @@
  *   ./build/examples/lint_ir --kernels dct,fft --configs S-O-D
  *   ./build/examples/lint_ir --json LINT.json
  *
- * Options:
- *   --kernels a,b,... kernel names (default: all of Table 1)
- *   --configs a,b,... Table 5 configuration names (default: all)
- *   --json FILE       write the findings as a JSON document
- *   --verbose         also print per-program one-line status
+ * Besides the correctness rules, the linter feeds every plan to the
+ * static cost model and appends its PERF-* advisories (performance
+ * hints, never correctness issues) to the same report.
  *
- * Exit status: 0 when no Error-severity findings, 1 otherwise.
+ * Options:
+ *   --kernels a,b,...  kernel names (default: all of Table 1)
+ *   --configs a,b,...  Table 5 configuration names (default: all)
+ *   --json FILE        write the findings as a JSON document
+ *   --fail-on LEVEL    error (default), warning, or advisory: the
+ *                      least severe finding class that fails the run
+ *   --verbose          also print per-program one-line status
+ *
+ * Exit status: 0 pass; 1 Error findings; 2 Warning findings when
+ * --fail-on=warning or stricter; 3 Advisory findings when
+ * --fail-on=advisory. Errors always dominate, then warnings: the
+ * default gate is unchanged by the advisory rules.
  */
 
 #include <cstdio>
@@ -31,6 +40,7 @@
 #include "arch/processor.hh"
 #include "check/verify.hh"
 #include "common/logging.hh"
+#include "cost/cost.hh"
 #include "kernels/catalog.hh"
 #include "sched/linearize.hh"
 #include "sched/simd_lowering.hh"
@@ -64,6 +74,7 @@ main(int argc, char **argv)
     std::vector<std::string> kernelNames;
     std::vector<std::string> configNames;
     std::string jsonPath;
+    std::string failOn = "error";
     bool verbose = false;
 
     auto value = [&](int &i) -> const char * {
@@ -81,6 +92,13 @@ main(int argc, char **argv)
                 configNames = splitList(v);
         } else if (std::strcmp(argv[i], "--json") == 0) {
             jsonPath = value(i);
+        } else if (std::strcmp(argv[i], "--fail-on") == 0 ||
+                   std::strncmp(argv[i], "--fail-on=", 10) == 0) {
+            failOn = argv[i][9] == '=' ? argv[i] + 10 : value(i);
+            fatal_if(failOn != "error" && failOn != "warning" &&
+                         failOn != "advisory",
+                     "--fail-on takes error, warning or advisory, "
+                     "not '%s'", failOn.c_str());
         } else if (std::strcmp(argv[i], "--verbose") == 0) {
             verbose = true;
         } else {
@@ -100,7 +118,7 @@ main(int argc, char **argv)
     }
 
     size_t programs = 0, blocks = 0, insts = 0;
-    size_t errors = 0, warnings = 0;
+    size_t errors = 0, warnings = 0, advisories = 0;
     std::map<std::string, size_t> byRule;
 
     using analysis::json::Value;
@@ -116,28 +134,35 @@ main(int argc, char **argv)
             sched::MimdPlan mimd;
             check::MappedProgram prog;
             prog.kernel = &k;
+            cost::CostReport costRep;
             if (m.mech.localPC) {
                 mimd = sched::lowerMimd(k, m, layout);
                 prog.mimd = &mimd;
+                costRep = cost::analyzeMimd(mimd, m);
             } else {
                 simd = sched::lowerSimd(k, m, layout);
                 prog.simd = &simd;
+                costRep = cost::analyzeSimd(simd, m);
             }
             check::Report rep = check::verify(prog, m);
+            cost::perfRules(costRep, m, rep);
+            rep.sortFindings();
 
             ++programs;
             blocks += rep.blocks;
             insts += rep.insts;
             errors += rep.errors();
             warnings += rep.warnings();
+            advisories += rep.advisories();
             for (const auto &d : rep.diags)
                 ++byRule[d.rule];
 
             if (verbose || !rep.diags.empty())
                 std::printf("%-18s %-9s %4zu insts  %zu error(s), "
-                            "%zu warning(s)\n",
+                            "%zu warning(s), %zu advisory(ies)\n",
                             k.name.c_str(), configName.c_str(), rep.insts,
-                            rep.errors(), rep.warnings());
+                            rep.errors(), rep.warnings(),
+                            rep.advisories());
             if (!rep.diags.empty())
                 std::fputs(rep.describe().c_str(), stdout);
 
@@ -149,6 +174,7 @@ main(int argc, char **argv)
                 jp.set("insts", uint64_t(rep.insts));
                 jp.set("errors", uint64_t(rep.errors()));
                 jp.set("warnings", uint64_t(rep.warnings()));
+                jp.set("advisories", uint64_t(rep.advisories()));
                 Value findings = Value::array();
                 for (const auto &d : rep.diags) {
                     Value entry = Value::object();
@@ -178,9 +204,10 @@ main(int argc, char **argv)
         std::printf("%-16s %-8s %9zu  %s\n", r.id,
                     check::severityName(r.severity), n, r.invariant);
     }
-    std::printf("lint_ir: %zu error%s, %zu warning%s\n", errors,
-                errors == 1 ? "" : "s", warnings,
-                warnings == 1 ? "" : "s");
+    std::printf("lint_ir: %zu error%s, %zu warning%s, %zu advisor%s\n",
+                errors, errors == 1 ? "" : "s", warnings,
+                warnings == 1 ? "" : "s", advisories,
+                advisories == 1 ? "y" : "ies");
 
     if (!jsonPath.empty()) {
         Value doc = Value::object();
@@ -190,6 +217,7 @@ main(int argc, char **argv)
         doc.set("insts", uint64_t(insts));
         doc.set("errors", uint64_t(errors));
         doc.set("warnings", uint64_t(warnings));
+        doc.set("advisories", uint64_t(advisories));
         Value jrules = Value::array();
         for (const auto &r : check::rules()) {
             auto it = byRule.find(r.id);
@@ -206,5 +234,11 @@ main(int argc, char **argv)
         analysis::writeJsonFile(jsonPath, doc);
         std::printf("wrote %s\n", jsonPath.c_str());
     }
-    return errors ? 1 : 0;
+    if (errors)
+        return 1;
+    if (failOn != "error" && warnings)
+        return 2;
+    if (failOn == "advisory" && advisories)
+        return 3;
+    return 0;
 }

@@ -174,6 +174,37 @@ toJson(const arch::ExperimentResult &result)
         obj.set("check", std::move(chk));
     }
 
+    // Static cost-model predictions. Always present: the analysis is
+    // pure, so the processor populates it unconditionally. Bound-side
+    // fields feed verify::costInvariants; the rest are estimates.
+    {
+        const arch::CostSummary &c = result.cost;
+        json::Value cost = json::Value::object();
+        cost.set("analyzed", c.analyzed);
+        cost.set("mimd", c.mimd);
+        cost.set("unroll", uint64_t(c.unroll));
+        cost.set("perActivationRemap", c.perActivationRemap);
+        cost.set("segments", c.segments);
+        cost.set("mapTicksMin", c.mapTicksMin);
+        cost.set("boundTicksPerActivation", c.boundTicksPerActivation);
+        cost.set("setupTicks", c.setupTicks);
+        cost.set("minCycleInsts", c.minCycleInsts);
+        cost.set("minCycleLoadUnits", c.minCycleLoadUnits);
+        cost.set("minCycleStoreUnits", c.minCycleStoreUnits);
+        cost.set("tiles", c.tiles);
+        cost.set("gridCols", c.gridCols);
+        cost.set("criticalPathTicks", c.criticalPathTicks);
+        cost.set("maxPressureTicks", c.maxPressureTicks);
+        cost.set("bottleneck", c.bottleneck);
+        cost.set("hopMass", c.hopMass);
+        cost.set("hopLowerBound", c.hopLowerBound);
+        cost.set("smcReadUnits", c.smcReadUnits);
+        cost.set("smcWriteUnits", c.smcWriteUnits);
+        cost.set("rsOccupancy", c.rsOccupancy);
+        cost.set("predictedTicksPerRecord", c.predictedTicksPerRecord);
+        obj.set("cost", std::move(cost));
+    }
+
     // Periodic stat samples over simulated time, present only when a
     // sampling interval was configured (same shape-stability contract
     // as "audit"/"check"). Delta columns (isLevel false) sum to the

@@ -7,6 +7,7 @@
 #include "check/verify.hh"
 #include "common/bitutils.hh"
 #include "common/logging.hh"
+#include "cost/cost.hh"
 #include "obs/timeline.hh"
 #include "sched/linearize.hh"
 #include "sched/simd_lowering.hh"
@@ -40,6 +41,7 @@ makeStreamLayout(const Kernel &k, const core::MachineParams &m,
     layout.inBase = 0;
     layout.outBase = alloc * k.inWords;
     layout.scratchBase = layout.outBase + alloc * k.outWords;
+    layout.chunkRecords = chunkRecords;
     return layout;
 }
 
@@ -106,6 +108,34 @@ gateOnCheck(ExperimentResult &res, const check::Report &rep)
              rep.errors() == 1 ? "" : "s", rep.describe().c_str());
 }
 
+/** Flatten a cost report into the result's value-semantic summary. */
+void
+fillCost(ExperimentResult &res, const cost::CostReport &rep)
+{
+    res.cost.analyzed = rep.analyzed;
+    res.cost.mimd = rep.mimd;
+    res.cost.unroll = rep.unroll;
+    res.cost.perActivationRemap = rep.perActivationRemap;
+    res.cost.segments = rep.segments.size();
+    res.cost.mapTicksMin = rep.mapTicksMin;
+    res.cost.boundTicksPerActivation = rep.boundTicksPerActivation;
+    res.cost.setupTicks = rep.setupTicks;
+    res.cost.minCycleInsts = rep.minCycleInsts;
+    res.cost.minCycleLoadUnits = rep.minCycleLoadUnits;
+    res.cost.minCycleStoreUnits = rep.minCycleStoreUnits;
+    res.cost.tiles = rep.tiles;
+    res.cost.gridCols = rep.gridCols;
+    res.cost.criticalPathTicks = rep.criticalPathTicks;
+    res.cost.maxPressureTicks = rep.maxPressureTicks;
+    res.cost.bottleneck = rep.bottleneck;
+    res.cost.hopMass = rep.hopMass;
+    res.cost.hopLowerBound = rep.hopLowerBound;
+    res.cost.smcReadUnits = rep.smcReadUnits;
+    res.cost.smcWriteUnits = rep.smcWriteUnits;
+    res.cost.rsOccupancy = rep.rsOccupancy;
+    res.cost.predictedTicksPerRecord = rep.predictedTicksPerRecord;
+}
+
 /** Wall-clock timer for the host-performance stats of one run. */
 class HostTimer
 {
@@ -140,6 +170,8 @@ TripsProcessor::runSimd(Workload &workload)
     uint64_t chunkRecords = 0;
     sched::StreamLayout layout = makeStreamLayout(k, m, chunkRecords);
     sched::SimdPlan plan = sched::lowerSimd(k, m, layout);
+    fillCost(res, cost::analyzeSimd(plan, m, workload.totalRecords(),
+                                    workload.numBatches()));
     if (check::checkEnabled()) {
         obs::HostSpan checkSpan(obs::Cat::Check, "staticCheck",
                                 k.name + "/" + m.name);
@@ -237,6 +269,8 @@ TripsProcessor::runMimd(Workload &workload)
     uint64_t chunkRecords = 0;
     sched::StreamLayout layout = makeStreamLayout(k, m, chunkRecords);
     sched::MimdPlan plan = sched::lowerMimd(k, m, layout);
+    fillCost(res, cost::analyzeMimd(plan, m, workload.totalRecords(),
+                                    workload.numBatches()));
     if (check::checkEnabled()) {
         obs::HostSpan checkSpan(obs::Cat::Check, "staticCheck",
                                 k.name + "/" + m.name);

@@ -54,6 +54,48 @@ struct CheckFinding
     std::string detail;   ///< human-readable specifics
 };
 
+/**
+ * Whole-plan figures from the static cost model (src/cost), flattened
+ * the same way AuditFinding/CheckFinding are so results can carry the
+ * prediction without arch's interface depending on the cost library.
+ * The analysis is pure -- populating it never perturbs simulation.
+ */
+struct CostSummary
+{
+    bool analyzed = false; ///< false when lowering failed before analysis
+    bool mimd = false;
+    unsigned unroll = 1;
+    /// SIMD without instruction revitalization: the engine re-maps the
+    /// block for every activation.
+    bool perActivationRemap = false;
+    uint64_t segments = 0;
+
+    /// @name Sound-bound ingredients (see verify::costBoundTicks).
+    /// @{
+    uint64_t mapTicksMin = 0;
+    uint64_t boundTicksPerActivation = 0;
+    uint64_t setupTicks = 0;          ///< MIMD program broadcast
+    uint64_t minCycleInsts = 0;       ///< MIMD min CFG-cycle instructions
+    uint64_t minCycleLoadUnits = 0;   ///< MIMD min CFG-cycle bank ticks
+    uint64_t minCycleStoreUnits = 0;  ///< MIMD min CFG-cycle store ticks
+    uint64_t tiles = 0;
+    uint64_t gridCols = 0;
+    /// @}
+
+    /// @name Descriptive predictions (estimates, not bounds).
+    /// @{
+    uint64_t criticalPathTicks = 0;
+    uint64_t maxPressureTicks = 0;
+    std::string bottleneck;
+    uint64_t hopMass = 0;
+    uint64_t hopLowerBound = 0;
+    uint64_t smcReadUnits = 0;
+    uint64_t smcWriteUnits = 0;
+    double rsOccupancy = 0.0;
+    double predictedTicksPerRecord = 0.0;
+    /// @}
+};
+
 /** Outcome of running one workload on one configuration. */
 struct ExperimentResult
 {
@@ -130,6 +172,14 @@ struct ExperimentResult
     uint64_t checkWarnings = 0;
     std::vector<CheckFinding> checkFindings;
     /// @}
+
+    /**
+     * Static cost-model predictions for the scheduled plan (populated
+     * unconditionally -- the analysis is pure and cheap). Exported as
+     * the "cost" JSON object; verify::costInvariants audits the bound
+     * side against the simulated cycle count.
+     */
+    CostSummary cost;
 
     double
     opsPerCycle() const

@@ -1,5 +1,6 @@
 #include "check/report.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -10,9 +11,10 @@ const char *
 severityName(Severity s)
 {
     switch (s) {
-      case Severity::Info:    return "info";
-      case Severity::Warning: return "warning";
-      case Severity::Error:   return "error";
+      case Severity::Info:     return "info";
+      case Severity::Advisory: return "advisory";
+      case Severity::Warning:  return "warning";
+      case Severity::Error:    return "error";
     }
     return "?";
 }
@@ -91,6 +93,18 @@ rules()
          "which fits the tile's operand buffers"},
         {"SEQ-HALT", Severity::Error,
          "the program contains a Halt (kernel instances must terminate)"},
+        // --- Performance advisories (static cost model) -------------------
+        {"PERF-HOP", Severity::Advisory,
+         "operand-network hop mass per activation stays within 4x the "
+         "placement lower bound (unavoidable edge/register-tile "
+         "crossings); above it the placement wastes network bandwidth"},
+        {"PERF-CAP", Severity::Advisory,
+         "steady-state throughput is not limited by a single structural "
+         "resource; when it is, the bottleneck resource is named"},
+        {"PERF-UNROLL", Severity::Advisory,
+         "reservation stations are reasonably filled; a legal larger "
+         "unroll exists when occupancy is below half at less than the "
+         "maximum unroll"},
     };
     return registry;
 }
@@ -131,6 +145,23 @@ Report::add(const std::string &rule, std::string block, int inst, int slot,
     d.slot = slot;
     d.message = std::move(message);
     diags.push_back(std::move(d));
+}
+
+void
+Report::sortFindings()
+{
+    std::stable_sort(diags.begin(), diags.end(),
+                     [](const Diag &a, const Diag &b) {
+                         if (a.rule != b.rule)
+                             return a.rule < b.rule;
+                         if (a.block != b.block)
+                             return a.block < b.block;
+                         if (a.inst != b.inst)
+                             return a.inst < b.inst;
+                         if (a.slot != b.slot)
+                             return a.slot < b.slot;
+                         return a.message < b.message;
+                     });
 }
 
 size_t

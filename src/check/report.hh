@@ -22,6 +22,7 @@ namespace dlp::check {
 enum class Severity : uint8_t
 {
     Info,     ///< observation; never fails a run
+    Advisory, ///< performance hint (PERF-*); never a correctness issue
     Warning,  ///< suspicious but possibly intended; lint-visible only
     Error     ///< the program violates an execution invariant
 };
@@ -72,9 +73,17 @@ struct Report
 
     size_t errors() const { return count(Severity::Error); }
     size_t warnings() const { return count(Severity::Warning); }
+    size_t advisories() const { return count(Severity::Advisory); }
 
-    /** No Error or Warning findings (Info is allowed). */
+    /** No Error or Warning findings (Info and Advisory are allowed). */
     bool clean() const { return errors() == 0 && warnings() == 0; }
+
+    /**
+     * Order findings by (rule, block, inst, slot, message) so exported
+     * reports are byte-stable regardless of pass or hash-map iteration
+     * order. Stable sort: equal keys keep discovery order.
+     */
+    void sortFindings();
 
     size_t count(Severity s) const;
 

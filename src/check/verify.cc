@@ -71,6 +71,7 @@ verify(const MappedProgram &prog, const core::MachineParams &m)
 
     if (prog.kernel)
         checkTableBudget(*prog.kernel, m, rep);
+    rep.sortFindings();
     return rep;
 }
 
@@ -85,6 +86,7 @@ verifyBlock(const isa::MappedBlock &block, const core::MachineParams &m,
     checkBlock(block, ctx, rep);
     rep.blocks = 1;
     rep.insts = block.insts.size();
+    rep.sortFindings();
     return rep;
 }
 
@@ -98,6 +100,7 @@ verifySeq(const isa::SeqProgram &prog, const core::MachineParams &m,
     checkSeq(prog, m, kernel, rep);
     rep.blocks = 1;
     rep.insts = prog.code.size();
+    rep.sortFindings();
     return rep;
 }
 

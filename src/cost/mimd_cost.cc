@@ -1,0 +1,428 @@
+/**
+ * @file
+ * MIMD (sequential-program) side of the static cost model.
+ *
+ * MimdEngine issues one instruction per cycle per tile, strides the
+ * record loop across all tiles, and serializes every SMC access of a
+ * row's tiles through that row's bank and store-buffer ports. The
+ * sound per-record floor is therefore a min-weight cycle over the
+ * program's control-flow graph, taken independently for three weight
+ * functions: instruction count (the per-tile serial floor), bank-port
+ * ticks and store-buffer ticks (the per-row memory floors).
+ */
+
+#include "cost/cost.hh"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "common/bitutils.hh"
+#include "isa/opcodes.hh"
+#include "isa/seq.hh"
+
+namespace dlp::cost {
+
+namespace {
+
+using isa::Op;
+using isa::SeqInst;
+using isa::SeqProgram;
+
+std::vector<std::vector<uint32_t>>
+successors(const SeqProgram &prog)
+{
+    size_t n = prog.code.size();
+    std::vector<std::vector<uint32_t>> succ(n);
+    for (size_t i = 0; i < n; ++i) {
+        const SeqInst &si = prog.code[i];
+        switch (si.op) {
+          case Op::Br:
+            if (si.branchTarget < n)
+                succ[i].push_back(si.branchTarget);
+            break;
+          case Op::Beqz:
+          case Op::Bnez:
+            if (si.branchTarget < n)
+                succ[i].push_back(si.branchTarget);
+            if (i + 1 < n)
+                succ[i].push_back(uint32_t(i + 1));
+            break;
+          case Op::Halt:
+            break;
+          default:
+            if (i + 1 < n)
+                succ[i].push_back(uint32_t(i + 1));
+            break;
+        }
+    }
+    return succ;
+}
+
+/**
+ * Minimum weight of any directed cycle, where a cycle's weight is the
+ * sum of its nodes' weights. Zero when the program has no cycle (a
+ * straight-line program contributes no per-iteration floor). Programs
+ * are tiny (tens of instructions), so Dijkstra from every node is
+ * cheap.
+ */
+uint64_t
+minCycleWeight(const std::vector<std::vector<uint32_t>> &succ,
+               const std::vector<uint64_t> &weight)
+{
+    size_t n = succ.size();
+    constexpr uint64_t inf = std::numeric_limits<uint64_t>::max();
+    uint64_t best = inf;
+
+    for (uint32_t v = 0; v < n; ++v) {
+        // Shortest weight-sum path from each successor of v back to v,
+        // counting every node entered along the way; closing the cycle
+        // adds v's own weight.
+        std::vector<uint64_t> dist(n, inf);
+        using Entry = std::pair<uint64_t, uint32_t>;
+        std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+        for (uint32_t s : succ[v]) {
+            if (s == v) { // self-loop
+                best = std::min(best, weight[v]);
+                continue;
+            }
+            if (weight[s] < dist[s]) {
+                dist[s] = weight[s];
+                pq.emplace(dist[s], s);
+            }
+        }
+        while (!pq.empty()) {
+            auto [d, u] = pq.top();
+            pq.pop();
+            if (d != dist[u])
+                continue;
+            if (d + weight[v] >= best)
+                break; // cannot improve the global minimum from here
+            for (uint32_t x : succ[u]) {
+                if (x == v) {
+                    best = std::min(best, d + weight[v]);
+                    continue;
+                }
+                uint64_t nd = d + weight[x];
+                if (nd < dist[x]) {
+                    dist[x] = nd;
+                    pq.emplace(nd, x);
+                }
+            }
+        }
+    }
+    return best == inf ? 0 : best;
+}
+
+/** SMC bank-port busy ticks for a one-word access. */
+uint64_t
+scalarBurstTicks(const core::MachineParams &m)
+{
+    unsigned wordsPerTick = m.memParams.smcWordsPerCycle / ticksPerCycle;
+    if (wordsPerTick == 0)
+        wordsPerTick = 1;
+    constexpr unsigned lineWords = 4;
+    return divCeil(lineWords, wordsPerTick);
+}
+
+/** Dynamic per-record operation counts from the abstract walk. */
+struct DynCounts
+{
+    bool converged = false; ///< the walk reached Halt within budget
+    uint64_t insts = 0;
+    uint64_t smcLoads = 0;
+    uint64_t smcStores = 0;
+    uint64_t cachedAccesses = 0;
+    uint64_t tlds = 0;
+    uint64_t ticks = 0; ///< uncontended serial ticks for the iteration
+};
+
+/**
+ * Constant-folding abstract walk of one record iteration, with the
+ * engine's in-order issue timing run alongside (uncontended).
+ *
+ * The linearizer seeds every loop counter from immediates and tests the
+ * record loop at the bottom, so a walk that folds all-known-operand ops
+ * with isa::evalOp and falls through every unknown-condition branch
+ * executes static inner loops to their exact trip counts while passing
+ * through each data-dependent loop (and the record loop itself) exactly
+ * once: the forward pre-check falls *into* the body and the backward
+ * back-edge falls *out*. The result is the dynamic instruction and
+ * memory-operation count of one record's worth of work -- the quantity
+ * the throughput estimate needs, which the static per-CFG-cycle counts
+ * (sound, but innermost-cycle-only) badly underestimate for kernels
+ * with counted inner loops.
+ *
+ * The timing shadow mirrors MimdEngine::step without contention: one
+ * issue per cycle, issue waits on the sources' ready times, ALU results
+ * ready after the op latency, loads after the row round trip with at
+ * most mimdOutstandingLoads in flight. Dependence stalls -- which
+ * dominate compute-heavy kernels and which an insts-times-issue-width
+ * model misses entirely -- thus land in `ticks` exactly.
+ */
+DynCounts
+walkOneRecord(const sched::MimdPlan &plan, const core::MachineParams &m)
+{
+    const auto &code = plan.program.code;
+    size_t n = code.size();
+    std::vector<Word> val(256, 0);
+    std::vector<bool> known(256, false);
+    for (const auto &[reg, value] : plan.initialRegs) {
+        val.at(reg) = value;
+        known.at(reg) = true;
+    }
+    // The stride is the machine's tile count; the record index (per
+    // tile) and record count (per run) are not knowable statically.
+    val.at(plan.strideReg) = m.tiles();
+    known.at(plan.strideReg) = true;
+    known.at(plan.recIdxReg) = false;
+    known.at(plan.recCountReg) = false;
+
+    // Uncontended latencies for a middle-of-the-row tile.
+    uint64_t burst = scalarBurstTicks(m);
+    uint64_t halfRowHops = uint64_t(m.cols / 2) * m.hopTicks;
+    uint64_t smcLat = ticksPerCycle + halfRowHops + 1 + burst +
+                      cyclesToTicks(m.memParams.smcLatency) + 1 +
+                      halfRowHops;
+    uint64_t cachedLat = ticksPerCycle + halfRowHops + 1 +
+                         cyclesToTicks(m.memParams.l1HitLatency) + 1 +
+                         halfRowHops;
+    // Cached-space loads are irregular by construction (MemSpace::
+    // Cached is the textures-and-pointers space): data-dependent
+    // addresses spread over a footprint the line-grained caches hold
+    // poorly, so assume they miss through to main memory. Table-space
+    // lookups are the opposite extreme -- a few KB of hot indexed
+    // constants that stay L1-resident -- so they pay the hit path.
+    uint64_t irregularLat = ticksPerCycle + halfRowHops +
+                            cyclesToTicks(m.memParams.l1HitLatency) +
+                            cyclesToTicks(m.memParams.l2Latency) +
+                            cyclesToTicks(m.memParams.memLatency) +
+                            halfRowHops;
+    size_t maxOutstanding = std::max(1u, m.mimdOutstandingLoads);
+
+    uint64_t cursor = 0;
+    std::vector<uint64_t> ready(256, 0);
+    std::deque<uint64_t> outstanding;
+
+    DynCounts out;
+    uint64_t budget = 1u << 20;
+    size_t pc = 0;
+    while (pc < n && budget) {
+        --budget;
+        const SeqInst &si = code[pc];
+        const auto &info = isa::opInfo(si.op);
+        ++out.insts;
+        if (si.op == Op::Ld && si.space == isa::MemSpace::Smc)
+            ++out.smcLoads;
+        if (si.op == Op::St && si.space == isa::MemSpace::Smc)
+            ++out.smcStores;
+        if ((si.op == Op::Ld || si.op == Op::St) &&
+            !(si.space == isa::MemSpace::Smc && m.mech.smc))
+            ++out.cachedAccesses;
+
+        uint64_t t = cursor;
+        for (unsigned s = 0; s < info.numSrcs; ++s) {
+            if (s == 1 && si.immB)
+                continue;
+            t = std::max(t, ready[si.rs[s]]);
+        }
+
+        switch (si.op) {
+          case Op::Ld: {
+            while (outstanding.size() >= maxOutstanding) {
+                t = std::max(t, outstanding.front());
+                outstanding.pop_front();
+            }
+            uint64_t done =
+                t + (si.space == isa::MemSpace::Smc      ? smcLat
+                     : si.space == isa::MemSpace::Cached ? irregularLat
+                                                         : cachedLat);
+            ready[si.rd] = done;
+            outstanding.push_back(done);
+            known[si.rd] = false;
+            ++pc;
+            break;
+          }
+          case Op::St:
+            ++pc;
+            break;
+          case Op::Tld:
+            ++out.tlds;
+            if (m.mech.l0DataStore) {
+                ready[si.rd] = t + cyclesToTicks(m.l0Latency);
+            } else {
+                while (outstanding.size() >= maxOutstanding) {
+                    t = std::max(t, outstanding.front());
+                    outstanding.pop_front();
+                }
+                ready[si.rd] = t + cachedLat;
+                outstanding.push_back(ready[si.rd]);
+            }
+            known[si.rd] = false;
+            ++pc;
+            break;
+          case Op::Br:
+            pc = si.branchTarget;
+            break;
+          case Op::Beqz:
+          case Op::Bnez:
+            if (known[si.rs[0]]) {
+                bool taken = (si.op == Op::Beqz) ? (val[si.rs[0]] == 0)
+                                                 : (val[si.rs[0]] != 0);
+                pc = taken ? si.branchTarget : pc + 1;
+            } else {
+                // Unknown condition: fall through. Forward pre-checks
+                // enter their loop body; backward back-edges exit after
+                // one trip.
+                ++pc;
+            }
+            break;
+          case Op::Halt:
+            pc = n;
+            break;
+          default: {
+            bool foldable = true;
+            for (unsigned s = 0; s < info.numSrcs; ++s) {
+                if (s == 1 && si.immB)
+                    continue;
+                if (!known[si.rs[s]])
+                    foldable = false;
+            }
+            Word b = si.immB ? si.imm : val[si.rs[1]];
+            if ((si.op == Op::Udiv || si.op == Op::Urem) && b == 0)
+                foldable = false;
+            if (foldable) {
+                val[si.rd] =
+                    isa::evalOp(si.op, val[si.rs[0]], b, val[si.rs[2]],
+                                si.imm);
+                known[si.rd] = true;
+            } else {
+                known[si.rd] = false;
+            }
+            ready[si.rd] = t + cyclesToTicks(info.latency);
+            ++pc;
+            break;
+          }
+        }
+        cursor = t + ticksPerCycle;
+    }
+    out.converged = pc >= n;
+    out.ticks = cursor;
+    return out;
+}
+
+} // namespace
+
+CostReport
+analyzeMimd(const sched::MimdPlan &plan, const core::MachineParams &m,
+            uint64_t records, uint64_t batches)
+{
+    CostReport rep;
+    rep.analyzed = true;
+    rep.mimd = true;
+    rep.plan = plan.name;
+    rep.config = m.name;
+    rep.tiles = m.tiles();
+    rep.gridCols = m.cols;
+
+    // Setup block: broadcast the program (plus the L0 table images) at
+    // the SMC streaming width -- mirrors MimdEngine::run.
+    uint64_t setupWords = plan.program.code.size();
+    // Table preloading depends on the kernel's tables, which the plan
+    // does not carry; omitting them only lowers the bound.
+    rep.setupTicks = cyclesToTicks(
+        divCeil(std::max<uint64_t>(setupWords, 1),
+                m.memParams.smcWordsPerCycle) +
+        m.mapOverhead);
+
+    size_t n = plan.program.code.size();
+    auto succ = successors(plan.program);
+
+    std::vector<uint64_t> wInsts(n, 1);
+    std::vector<uint64_t> wLoad(n, 0);
+    std::vector<uint64_t> wStore(n, 0);
+    uint64_t burst = scalarBurstTicks(m);
+    uint64_t smcLoads = 0, smcStores = 0, cachedAccesses = 0, tlds = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const SeqInst &si = plan.program.code[i];
+        if (si.op == Op::Ld && si.space == isa::MemSpace::Smc && m.mech.smc)
+            wLoad[i] = burst;
+        if (si.op == Op::St && si.space == isa::MemSpace::Smc && m.mech.smc)
+            wStore[i] = 1;
+        if ((si.op == Op::Ld || si.op == Op::St) &&
+            !(si.space == isa::MemSpace::Smc && m.mech.smc))
+            ++cachedAccesses;
+        if (si.op == Op::Ld && si.space == isa::MemSpace::Smc)
+            ++smcLoads;
+        if (si.op == Op::St && si.space == isa::MemSpace::Smc)
+            ++smcStores;
+        if (si.op == Op::Tld)
+            ++tlds;
+    }
+    rep.minCycleInsts = minCycleWeight(succ, wInsts);
+    rep.minCycleLoadUnits = minCycleWeight(succ, wLoad);
+    rep.minCycleStoreUnits = minCycleWeight(succ, wStore);
+
+    // --- Throughput estimate for ranking (not a bound) -------------------
+    // The constant-folding timed walk gives the per-record serial ticks
+    // of one tile exactly (dependence stalls, op latencies, and load
+    // round trips included), floored by the per-row bank bandwidth the
+    // row's tiles share. When the walk fails to converge (a folding gap
+    // left a counted loop spinning), fall back to the static
+    // whole-program counts at one issue per cycle plus an amortized
+    // latency penalty.
+    DynCounts dyn = walkOneRecord(plan, m);
+    double serial, bankUnits;
+    if (dyn.converged) {
+        serial = double(dyn.ticks);
+        bankUnits = double(dyn.smcLoads * burst + dyn.smcStores);
+    } else {
+        double iterTicks = double(rep.minCycleInsts) * ticksPerCycle;
+        double halfRow = double(m.cols) / 2.0;
+        double smcLat =
+            ticksPerCycle + halfRow + 1 +
+            double(burst + cyclesToTicks(m.memParams.smcLatency)) + 1 +
+            halfRow;
+        double cachedLat =
+            ticksPerCycle + halfRow + 1 +
+            double(cyclesToTicks(m.memParams.l1HitLatency)) + 1 + halfRow;
+        double outstanding = double(std::max(1u, m.mimdOutstandingLoads));
+        double latPenalty =
+            double(smcLoads) * smcLat / outstanding +
+            double(cachedAccesses) * cachedLat / outstanding;
+        if (!m.mech.l0DataStore)
+            latPenalty += double(tlds) * cachedLat / outstanding;
+        serial = iterTicks + latPenalty;
+        bankUnits = double(smcLoads * burst + smcStores);
+    }
+
+    // Run shape: each batch (and each SMC chunk within one) broadcasts
+    // the program afresh. Records stride across tiles, so a run's time
+    // is the slowest tile's serial records floored by its row's shared
+    // bank bandwidth; short runs leave most tiles idle and amortize the
+    // setup over few records.
+    uint64_t chunk = plan.layout.chunkRecords;
+    uint64_t nBatches = std::max<uint64_t>(1, batches);
+    uint64_t runs, recsPerRun;
+    if (records) {
+        uint64_t perBatch = divCeil(records, nBatches);
+        runs = nBatches * (chunk ? divCeil(perBatch, chunk) : 1);
+        recsPerRun = divCeil(records, runs);
+    } else {
+        runs = 1;
+        recsPerRun = chunk ? chunk : uint64_t(1) << 20;
+    }
+    uint64_t tiles = std::max<uint64_t>(1, rep.tiles);
+    uint64_t rows = std::max<uint64_t>(1, tiles / std::max(1u, m.cols));
+    uint64_t perTile = divCeil(recsPerRun, tiles);
+    uint64_t perRow = divCeil(recsPerRun, rows);
+    double perRun =
+        double(rep.setupTicks) +
+        std::max(double(perTile) * serial, double(perRow) * bankUnits);
+    double denom = records ? double(records) : double(recsPerRun);
+    rep.predictedTicksPerRecord = double(runs) * perRun / denom;
+    return rep;
+}
+
+} // namespace dlp::cost

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The PERF-* advisory rule family: performance findings derived from
+ * the static cost model, reported through the same registry/Report
+ * machinery as the correctness rules. Advisories never affect
+ * Report::clean(), so the pre-run hard gate and existing CI are
+ * untouched; lint_ir surfaces them behind --fail-on=advisory.
+ */
+
+#include "cost/cost.hh"
+
+#include <sstream>
+
+#include "check/report.hh"
+
+namespace dlp::cost {
+
+void
+perfRules(const CostReport &report, const core::MachineParams &m,
+          check::Report &out)
+{
+    if (!report.analyzed || report.mimd)
+        return;
+
+    for (const auto &sc : report.segments) {
+        // PERF-HOP: hop mass well above the placement lower bound (the
+        // unavoidable edge and register-tile crossings).
+        constexpr uint64_t hopSlack = 4;
+        uint64_t floor = std::max<uint64_t>(1, sc.hopLowerBound);
+        if (sc.hopMass > hopSlack * floor) {
+            std::ostringstream os;
+            os << "hop mass " << sc.hopMass << " per activation exceeds "
+               << hopSlack << "x the placement lower bound " << floor
+               << " (busiest link carries " << sc.maxLinkTicks
+               << " hops); consider a tighter placement";
+            out.add("PERF-HOP", sc.block, -1, -1, os.str());
+        }
+
+        // PERF-CAP: steady-state throughput limited by one structural
+        // resource rather than by the pacing gap + write-back path.
+        uint64_t pacing = sc.gapTicks + sc.steadyWritePathTicks;
+        if (sc.maxPressureTicks > pacing && !sc.bottleneck.empty()) {
+            std::ostringstream os;
+            os << "steady state is resource-bound: " << sc.bottleneck
+               << " is busy " << sc.maxPressureTicks
+               << " ticks per activation vs " << pacing
+               << " pacing ticks; spreading work off this resource "
+                  "raises throughput";
+            out.add("PERF-CAP", sc.block, -1, -1, os.str());
+        }
+    }
+
+    // PERF-UNROLL: reservation stations underfilled although a larger
+    // unroll would still fit the pipelined slot budget.
+    constexpr unsigned maxUnroll = 64;
+    if (report.unroll < maxUnroll && !report.segments.empty()) {
+        double occ = report.rsOccupancy;
+        uint64_t budget = uint64_t(m.totalSlots()) /
+                          std::max(1u, m.pipelineFrames);
+        uint64_t maxSeg = 0;
+        for (const auto &sc : report.segments)
+            maxSeg = std::max(maxSeg, sc.insts);
+        if (occ <= 0.5 && 2 * maxSeg <= budget) {
+            std::ostringstream os;
+            os << "unroll " << report.unroll << " fills only "
+               << int(occ * 100.0)
+               << "% of the reservation stations; doubling the unroll "
+                  "still fits the "
+               << budget << "-slot budget";
+            out.add("PERF-UNROLL", report.plan, -1, -1, os.str());
+        }
+    }
+}
+
+} // namespace dlp::cost

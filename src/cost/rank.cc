@@ -1,0 +1,33 @@
+/**
+ * @file
+ * sched::rankPlacements -- the autotuner-facing ranking hook, defined
+ * here so sched/ does not depend on the cost library (the declaration
+ * lives in sched/rank.hh; linking dlp_cost provides the symbol).
+ */
+
+#include "sched/rank.hh"
+
+#include <algorithm>
+
+#include "cost/cost.hh"
+
+namespace dlp::sched {
+
+std::vector<RankedPlacement>
+rankPlacements(const std::vector<SimdPlan> &candidates,
+               const core::MachineParams &m)
+{
+    std::vector<RankedPlacement> ranked;
+    ranked.reserve(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        cost::CostReport rep = cost::analyzeSimd(candidates[i], m);
+        ranked.push_back({i, rep.predictedTicksPerRecord});
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const RankedPlacement &a, const RankedPlacement &b) {
+                         return a.ticksPerRecord < b.ticksPerRecord;
+                     });
+    return ranked;
+}
+
+} // namespace dlp::sched

@@ -255,6 +255,8 @@ class FftWorkload : public Workload
         return (size / 2) * floorLog2(size);
     }
 
+    uint64_t numBatches() const override { return floorLog2(size); }
+
   private:
     std::shared_ptr<const FftData> d;
     size_t size;
@@ -386,6 +388,8 @@ class LuWorkload : public Workload
             total += s * s;
         return total;
     }
+
+    uint64_t numBatches() const override { return dim > 1 ? dim - 1 : 1; }
 
   private:
     std::shared_ptr<const LuData> d;

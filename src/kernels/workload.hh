@@ -48,6 +48,13 @@ class Workload
     /** Total records across all batches (for ops/cycle accounting). */
     virtual uint64_t totalRecords() const = 0;
 
+    /**
+     * How many dependent batches nextBatch will yield (FFT stages, LU
+     * steps). Part of the run's shape, known before simulating: the
+     * static cost model uses it to charge per-batch map/setup ramps.
+     */
+    virtual uint64_t numBatches() const { return 1; }
+
     /** Copy the irregular-memory image into the machine. */
     void
     populateIrregular(const std::function<void(Addr, Word)> &writeWord) const

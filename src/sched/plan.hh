@@ -27,6 +27,10 @@ struct StreamLayout
     Addr inBase = 0;
     Addr outBase = 0;
     Addr scratchBase = 0;
+    /// Records per SMC-resident chunk (0 = unbounded): streams longer
+    /// than this are staged through the SMC chunk by chunk, each chunk
+    /// paying its own map/setup ramp.
+    uint64_t chunkRecords = 0;
 };
 
 /** One mapped block plus how many activations it runs per record group. */

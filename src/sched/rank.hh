@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Static placement ranking -- the hook a placement/unroll autotuner
+ * calls to order candidate schedules without simulating them.
+ *
+ * Declared in sched/ (the consumer-facing layer) but implemented in
+ * the cost library (src/cost/rank.cc), which supplies the throughput
+ * estimates; link dlp_cost to use it. The estimate is the cost
+ * model's predictedTicksPerRecord -- a ranking signal validated for
+ * rank correlation against the simulator, not a sound bound.
+ */
+
+#ifndef DLP_SCHED_RANK_HH
+#define DLP_SCHED_RANK_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/machine.hh"
+#include "sched/plan.hh"
+
+namespace dlp::sched {
+
+/** One ranked candidate. */
+struct RankedPlacement
+{
+    size_t index;       ///< position in the candidates vector
+    double ticksPerRecord; ///< static throughput estimate (lower = better)
+};
+
+/**
+ * Rank candidate SIMD schedules for one machine, best (lowest
+ * predicted ticks per record) first. Ties keep candidate order, so
+ * the result is deterministic.
+ */
+std::vector<RankedPlacement>
+rankPlacements(const std::vector<SimdPlan> &candidates,
+               const core::MachineParams &m);
+
+} // namespace dlp::sched
+
+#endif // DLP_SCHED_RANK_HH

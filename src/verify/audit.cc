@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "verify/cost_invariants.hh"
+
 namespace dlp::verify {
 
 namespace {
@@ -345,6 +347,26 @@ checkEpochConservation(const ExperimentResult &res,
                     double(res.hostEvents + res.ffEventsSaved)));
 }
 
+/**
+ * The static cost model's closed-form lower bound on total run ticks
+ * must hold against the ticks the simulation actually took; anything
+ * else means the "sound" side of the model over-promised.
+ */
+void
+checkCostBound(const ExperimentResult &res, std::vector<AuditFinding> &out)
+{
+    uint64_t bound = costBoundTicks(res);
+    uint64_t actual = cyclesToTicks(res.cycles);
+    if (bound > actual) {
+        std::ostringstream os;
+        os << "cost-model lower bound " << bound
+           << " ticks > simulated " << actual << " ("
+           << res.activations << " activations, " << res.mappings
+           << " mappings, " << res.records << " records)";
+        report(out, "cost-lower-bound", os.str());
+    }
+}
+
 // --- Multi-core service laws ------------------------------------------------
 
 using arch::ServiceResult;
@@ -562,6 +584,8 @@ const std::vector<Invariant> registry = {
      "simulated + fast-forwarded activations == total; "
      "hostEvents + ffEventsSaved == eventsExecuted",
      checkEpochConservation},
+    {"cost-lower-bound",
+     "static cost-model bound <= simulated total ticks", checkCostBound},
 };
 
 std::atomic<int> auditOverride{-1};

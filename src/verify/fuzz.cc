@@ -17,6 +17,7 @@
 #include "sched/simd_lowering.hh"
 #include "store/codec.hh"
 #include "verify/audit.hh"
+#include "verify/cost_invariants.hh"
 
 namespace dlp::verify {
 
@@ -356,7 +357,7 @@ firstJsonDiff(const std::string &a, const std::string &b)
 
 RunOutcome
 runCase(const FuzzCase &fc, const std::string &config, bool audit,
-        bool ffDiff)
+        bool ffDiff, bool cost)
 {
     try {
         arch::ExperimentResult res;
@@ -388,6 +389,17 @@ runCase(const FuzzCase &fc, const std::string &config, bool audit,
                 if (violations.size() > 1)
                     os << " (+" << violations.size() - 1 << " more)";
                 return {true, "audit", os.str()};
+            }
+        }
+        if (cost) {
+            uint64_t bound = costBoundTicks(res);
+            uint64_t actual = cyclesToTicks(res.cycles);
+            if (bound > actual) {
+                std::ostringstream os;
+                os << "cost-model lower bound " << bound << " ticks > "
+                   << "simulated " << actual << " (" << res.activations
+                   << " activations, " << res.mappings << " mappings)";
+                return {true, "cost", os.str()};
             }
         }
         return {};
@@ -439,7 +451,8 @@ stillFails(const FuzzOptions &opts, const std::string &config,
     ++runs;
     try {
         FuzzCase fc = buildCase(opts);
-        return runCase(fc, config, opts.audit, opts.ffDiff).failed;
+        return runCase(fc, config, opts.audit, opts.ffDiff,
+                       opts.cost).failed;
     } catch (const std::exception &) {
         return true;
     }
@@ -557,6 +570,8 @@ replayCommand(const FuzzOptions &opts, const std::string &config)
         os << " --no-scratch";
     if (opts.staticCheck)
         os << " --static-check";
+    if (opts.cost)
+        os << " --cost";
     if (opts.ffDiff)
         os << " --fast-forward";
     os << " --configs " << config;
@@ -591,7 +606,7 @@ fuzzOne(const FuzzOptions &opts)
 
     for (const auto &config : o.configs) {
         ++rep.runs;
-        RunOutcome out = runCase(fc, config, o.audit, o.ffDiff);
+        RunOutcome out = runCase(fc, config, o.audit, o.ffDiff, o.cost);
         if (!out.failed) {
             // Dynamically clean: a static Error here is a verifier
             // false positive, which is itself a counterexample.

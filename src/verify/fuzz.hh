@@ -55,6 +55,16 @@ struct FuzzOptions
     bool staticCheck = false;
 
     /**
+     * Cross-validate the static cost model (src/cost): after every run,
+     * recompute its closed-form lower bound on total ticks from the
+     * result's cost summary and require it not to exceed the simulated
+     * tick count. A violation is a failure of kind "cost" -- a random
+     * kernel on which the "sound" bound over-promised -- and shrinks
+     * and replays like any other counterexample.
+     */
+    bool cost = false;
+
+    /**
      * Differential epoch fast-forwarding: run every case twice, once
      * with the fast-forwarder disabled and once enabled, serialize both
      * ExperimentResults (host-side measurement fields scrubbed) and
@@ -72,7 +82,8 @@ struct FuzzFailure
 {
     uint64_t seed = 0;
     std::string config;
-    /// "mismatch", "exception", "audit", "static" or "fastforward"
+    /// "mismatch", "exception", "audit", "static", "fastforward" or
+    /// "cost"
     std::string kind;
     std::string detail; ///< first differing word / what() / violation
     FuzzOptions shrunk; ///< smallest options still reproducing it
